@@ -1,0 +1,63 @@
+//! Criterion bench for the §2.2 claim: a deep nested projection query
+//! "will incur significant performance costs compared to its flattened
+//! equivalent". Ablation: flattening on vs off in the DAG→SQL generator.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_engine::{Column, Table};
+use dc_sql::{execute, generate_sql, ExecStats, QueryStep};
+
+fn provider(rows: usize) -> HashMap<String, Table> {
+    let mut m = HashMap::new();
+    m.insert(
+        "base_table".to_string(),
+        Table::new(vec![
+            ("a", Column::from_ints((0..rows as i64).collect())),
+            ("b", Column::from_ints((0..rows as i64).map(|v| v * 2).collect())),
+            ("c", Column::from_ints((0..rows as i64).map(|v| v * 3).collect())),
+        ])
+        .expect("table builds"),
+    );
+    m
+}
+
+fn steps(depth: usize) -> Vec<QueryStep> {
+    let cols = ["a", "b", "c"];
+    let mut out = vec![QueryStep::Scan {
+        table: "base_table".into(),
+    }];
+    for i in 0..depth {
+        let width = (cols.len() - (i * 2) / depth.max(1)).max(1);
+        out.push(QueryStep::SelectColumns {
+            columns: cols[..width].iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    out
+}
+
+fn bench_nested_vs_flat(c: &mut Criterion) {
+    let prov = provider(100_000);
+    let mut group = c.benchmark_group("nested_vs_flat");
+    group.sample_size(10);
+    for depth in [4usize, 16] {
+        let nested = generate_sql(&steps(depth), false).expect("nested sql");
+        let flat = generate_sql(&steps(depth), true).expect("flat sql");
+        group.bench_with_input(BenchmarkId::new("nested", depth), &nested, |b, q| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                execute(q, &prov, &mut stats).expect("runs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flattened", depth), &flat, |b, q| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                execute(q, &prov, &mut stats).expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_vs_flat);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench for the NL2Code pipeline (§4): end-to-end generation
+//! latency, plus the context-quality ablation — §4.2/§4.3 claim output
+//! quality depends on the semantic layer and retrieved examples, so the
+//! ablation measures accuracy with each disabled (reported by the
+//! `nl2code_ablation` numbers printed once at startup) and benches the
+//! pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_nl::{ExampleLibrary, Nl2Code, PromptComposer, SemanticLayer, SimulatedLlm};
+use dc_spider::domains::pool_semantics;
+use dc_spider::{evaluate, spider_example_library, t_spider};
+
+fn system(use_examples: bool, use_semantics: bool) -> Nl2Code {
+    Nl2Code {
+        semantics: if use_semantics {
+            pool_semantics(&dc_spider::spider_domains())
+        } else {
+            SemanticLayer::new()
+        },
+        library: if use_examples {
+            spider_example_library(1)
+        } else {
+            ExampleLibrary::new()
+        },
+        composer: PromptComposer {
+            use_examples,
+            use_semantics,
+            ..PromptComposer::default()
+        },
+        model: Box::new(SimulatedLlm::new(1)),
+    }
+}
+
+/// Accuracy ablation, printed once (criterion measures time; the quality
+/// deltas are the §4.2/§4.3 reproduction target).
+fn print_ablation() {
+    let samples: Vec<_> = t_spider(21).into_iter().take(40).collect();
+    println!("\nnl2code_ablation (mean EA over {} samples):", samples.len());
+    for (label, sys) in [
+        ("full prompt            ", system(true, true)),
+        ("no examples            ", system(false, true)),
+        ("no semantic layer      ", system(true, false)),
+        ("bare prompt            ", system(false, false)),
+    ] {
+        let rows = evaluate(&samples, &sys, 60);
+        let total: usize = rows.iter().map(|r| r.samples).sum();
+        let ok: f64 = rows.iter().map(|r| r.mean_ea * r.samples as f64).sum();
+        println!("  {label} EA = {:.2}", ok / total.max(1) as f64);
+    }
+    println!();
+}
+
+fn bench_nl2code(c: &mut Criterion) {
+    print_ablation();
+    let sys = system(true, true);
+    let samples = t_spider(33);
+    let easy = &samples[0];
+    let hard = samples
+        .iter()
+        .find(|s| s.zone == dc_nl::metrics::Zone::HighHigh)
+        .expect("stratified set has all zones");
+
+    let mut group = c.benchmark_group("nl2code");
+    group.sample_size(20);
+    group.bench_function("generate_shallow", |b| {
+        b.iter(|| sys.generate(&easy.question, &easy.schema).expect("generates"))
+    });
+    group.bench_function("generate_deep", |b| {
+        b.iter(|| sys.generate(&hard.question, &hard.schema).expect("generates"))
+    });
+    group.bench_function("prompt_compose_only", |b| {
+        b.iter(|| {
+            sys.composer
+                .compose(&easy.question, &easy.schema, &sys.semantics, &sys.library)
+        })
+    });
+    group.bench_function("checker_only", |b| {
+        b.iter(|| dc_nl::check(&hard.gold_program, &hard.schema).expect("checks"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nl2code);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for §3: block-level sampling scan time vs full scans
+//! and row-level sampling. Wall-clock here tracks bytes touched, the
+//! same quantity the dollar meter charges for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_storage::{demo, CloudDatabase, Pricing, ScanOptions};
+
+fn bench_sampling(c: &mut Criterion) {
+    let iot = demo::iot_readings(500_000, 11);
+    let mut db = CloudDatabase::new("cloud", Pricing::default_cloud());
+    db.create_table("iot", &iot).expect("create");
+
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.bench_function("full_scan", |b| {
+        b.iter(|| db.scan("iot", &ScanOptions::full()).expect("scan"))
+    });
+    for rate in [0.10, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::new("block_sample", format!("{}pct", (rate * 100.0) as u32)),
+            &rate,
+            |b, &rate| {
+                b.iter(|| db.scan("iot", &ScanOptions::block_sampled(rate, 7)).expect("scan"))
+            },
+        );
+    }
+    // Ablation: row-level sampling reads everything.
+    group.bench_function("row_sample_10pct", |b| {
+        b.iter(|| db.scan("iot", &ScanOptions::row_sampled(0.10, 7)).expect("scan"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

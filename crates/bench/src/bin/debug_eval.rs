@@ -1,0 +1,43 @@
+//! Developer tool: show generated vs gold programs per zone (oracle model).
+use dc_nl::metrics::Zone;
+use dc_nl::{Nl2Code, PromptComposer, SimulatedLlm};
+use dc_spider::{execution_accuracy, spider_example_library, t_custom, t_spider};
+
+fn main() {
+    let oracle = |lib| Nl2Code {
+        semantics: dc_spider::domains::pool_semantics(&dc_spider::spider_domains()),
+        library: lib,
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::oracle()),
+    };
+    let sys = oracle(spider_example_library(1));
+    for zone in Zone::all() {
+        println!("=== {} ===", zone.label());
+        for s in t_spider(42).iter().filter(|s| s.zone == zone).take(3) {
+            let r = sys.generate(&s.question, &s.schema);
+            match r {
+                Ok(r) => {
+                    let ok = execution_accuracy(s, &r.python, 80);
+                    println!("Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}", s.question, s.gold_program, r.python);
+                }
+                Err(e) => println!("Q: {}\n  gold: {}\n  ERR : {e}", s.question, s.gold_program),
+            }
+        }
+    }
+    println!("=== custom (low,low) ===");
+    let csys = Nl2Code {
+        semantics: dc_spider::domains::pool_semantics(&dc_spider::custom_domains()),
+        library: dc_nl::ExampleLibrary::builtin(),
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::oracle()),
+    };
+    for s in t_custom(42).iter().filter(|s| s.zone == Zone::LowLow).take(3) {
+        match csys.generate(&s.question, &s.schema) {
+            Ok(r) => {
+                let ok = execution_accuracy(s, &r.python, 80);
+                println!("Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}", s.question, s.gold_program, r.python);
+            }
+            Err(e) => println!("Q: {}\n  gold: {}\n  ERR : {e}", s.question, s.gold_program),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Developer tool: oracle (noise-free) EA per zone — isolates the
+//! translation rules' correctness from the injected error model.
+use dc_nl::{Nl2Code, PromptComposer, SimulatedLlm};
+use dc_spider::domains::pool_semantics;
+use dc_spider::{evaluate, spider_example_library, t_custom, t_spider};
+
+fn main() {
+    let spider_sys = Nl2Code {
+        semantics: pool_semantics(&dc_spider::spider_domains()),
+        library: spider_example_library(1),
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::oracle()),
+    };
+    let custom_sys = Nl2Code {
+        semantics: pool_semantics(&dc_spider::custom_domains()),
+        library: dc_nl::ExampleLibrary::builtin(),
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::oracle()),
+    };
+    println!("oracle T_spider:");
+    for z in evaluate(&t_spider(42), &spider_sys, 80) {
+        println!("  {} n={} EA={:.2}", z.zone.label(), z.samples, z.mean_ea);
+    }
+    // Show spider high-C failures.
+    for s in t_spider(42).iter() {
+        if matches!(s.zone, dc_nl::metrics::Zone::LowHigh | dc_nl::metrics::Zone::HighHigh) {
+            if let Ok(r) = spider_sys.generate(&s.question, &s.schema) {
+                if !dc_spider::execution_accuracy(s, &r.python, 80) {
+                    println!("FAIL Q: {}\n  gold: {}\n  gen : {}", s.question, s.gold_program, r.python);
+                }
+            } else {
+                println!("ERR  Q: {}", s.question);
+            }
+        }
+    }
+    println!("oracle T_custom:");
+    for z in evaluate(&t_custom(42), &custom_sys, 80) {
+        println!("  {} n={} EA={:.2}", z.zone.label(), z.samples, z.mean_ea);
+    }
+}

@@ -1,0 +1,45 @@
+//! Developer tool: mean failure probability per zone (for calibration).
+use dc_nl::metrics::Zone;
+use dc_nl::{Nl2Code, PromptComposer, SimulatedLlm};
+use dc_spider::domains::pool_semantics;
+use dc_spider::{spider_example_library, t_custom, t_spider};
+
+fn main() {
+    let model = SimulatedLlm::new(42);
+    let sets: Vec<(&str, Vec<dc_spider::Sample>, Nl2Code)> = vec![
+        (
+            "spider",
+            t_spider(42),
+            Nl2Code {
+                semantics: pool_semantics(&dc_spider::spider_domains()),
+                library: spider_example_library(42),
+                composer: PromptComposer::default(),
+                model: Box::new(SimulatedLlm::oracle()),
+            },
+        ),
+        (
+            "custom",
+            t_custom(42),
+            Nl2Code {
+                semantics: pool_semantics(&dc_spider::custom_domains()),
+                library: dc_nl::ExampleLibrary::builtin(),
+                composer: PromptComposer::default(),
+                model: Box::new(SimulatedLlm::oracle()),
+            },
+        ),
+    ];
+    for (name, samples, sys) in sets {
+        println!("{name}:");
+        for zone in Zone::all() {
+            let mut n = 0;
+            let mut p_sum = 0.0;
+            for s in samples.iter().filter(|s| s.zone == zone) {
+                let prompt = sys.composer.compose(&s.question, &s.schema, &sys.semantics, &sys.library);
+                let code = sys.model.complete(&prompt);
+                p_sum += model.failure_probability(&prompt, &code);
+                n += 1;
+            }
+            println!("  {} n={} mean_p_fail={:.3}", zone.label(), n, p_sum / n as f64);
+        }
+    }
+}

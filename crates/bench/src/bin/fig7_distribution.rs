@@ -1,0 +1,74 @@
+//! Regenerates **Figure 7**: the dev-split distribution over
+//! misalignment (M) and degree of composition (C), with the paper's zone
+//! counts — (low, low) 638, (high, low) 127, (low, high) 246,
+//! (high, high) 29 — and thresholds M = 0.4, C = 30. Renders the scatter
+//! as an ASCII density plot.
+
+use dc_nl::metrics::{Zone, C_THRESHOLD, M_THRESHOLD};
+use dc_spider::{dev_split, zone_histogram};
+
+fn main() {
+    let dev = dev_split(42);
+    println!(
+        "Figure 7: dev split characterized by misalignment (M) and composition (C)"
+    );
+    println!(
+        "samples = {}, thresholds M = {M_THRESHOLD}, C = {C_THRESHOLD}\n",
+        dev.len()
+    );
+
+    // ASCII density plot: x = M in [0, 1], y = C in [0, 80].
+    const W: usize = 60;
+    const H: usize = 20;
+    let c_max = 80.0;
+    let mut grid = vec![vec![0usize; W]; H];
+    for s in &dev {
+        let x = ((s.misalignment / 1.0) * (W - 1) as f64).round() as usize;
+        let y = ((s.composition / c_max).min(1.0) * (H - 1) as f64).round() as usize;
+        grid[H - 1 - y][x.min(W - 1)] += 1;
+    }
+    let glyph = |n: usize| match n {
+        0 => ' ',
+        1 => '.',
+        2..=4 => 'o',
+        5..=9 => 'O',
+        _ => '#',
+    };
+    let c_line = H - 1 - ((C_THRESHOLD / c_max) * (H - 1) as f64).round() as usize;
+    let m_col = (M_THRESHOLD * (W - 1) as f64).round() as usize;
+    println!("C");
+    for (r, row) in grid.iter().enumerate() {
+        let mut line = String::with_capacity(W);
+        for (c, &n) in row.iter().enumerate() {
+            if c == m_col {
+                line.push(if n > 0 { glyph(n) } else { '|' });
+            } else {
+                line.push(glyph(n));
+            }
+        }
+        if r == c_line {
+            let dashed: String = line
+                .chars()
+                .map(|ch| if ch == ' ' { '-' } else { ch })
+                .collect();
+            println!("{dashed}  <- C = {C_THRESHOLD}");
+        } else {
+            println!("{line}");
+        }
+    }
+    println!("{}^ M = {M_THRESHOLD}{}M ->", " ".repeat(m_col), " ".repeat(W.saturating_sub(m_col + 12)));
+
+    println!("\nzone counts (paper in parentheses):");
+    let paper = [
+        (Zone::LowLow, 638),
+        (Zone::HighLow, 127),
+        (Zone::LowHigh, 246),
+        (Zone::HighHigh, 29),
+    ];
+    for (zone, n) in zone_histogram(&dev) {
+        let expected = paper.iter().find(|(z, _)| *z == zone).expect("zone").1;
+        println!("  {:<14} {:>5}  ({expected})", zone.label(), n);
+        assert_eq!(n, expected, "zone counts must match Figure 7");
+    }
+    println!("\nlong-tail check: most samples are (low, low), (high, high) is rare: OK");
+}

@@ -1,0 +1,109 @@
+//! Regenerates **Table 2**: mean execution accuracy (EA) on T_spider and
+//! T_custom, grouped by misalignment (M) and degree of composition (C).
+//!
+//! Paper values for reference:
+//!
+//! | (M, C)       | T_spider | T_custom |
+//! |--------------|----------|----------|
+//! | (low, low)   | 0.84     | 0.65     |
+//! | (low, high)  | 0.76     | 0.59     |
+//! | (high, low)  | 0.80     | 0.73     |
+//! | (high, high) | 0.68     | 0.25     |
+//! | Mean         | 0.77     | 0.57     |
+//!
+//! Absolute agreement is not expected (the generator is a simulated LLM —
+//! see DESIGN.md); the *shape* is the reproduction target: accuracy falls
+//! with both M and C, complexity hurts more than misalignment, T_custom
+//! trails T_spider everywhere and collapses at (high, high).
+
+use dc_nl::metrics::Zone;
+use dc_spider::{custom_system, evaluate, spider_system, t_custom, t_spider, ZoneAccuracy};
+
+const ROWS: usize = 80;
+const PAPER_SPIDER: [(Zone, f64); 4] = [
+    (Zone::LowLow, 0.84),
+    (Zone::LowHigh, 0.76),
+    (Zone::HighLow, 0.80),
+    (Zone::HighHigh, 0.68),
+];
+const PAPER_CUSTOM: [(Zone, f64); 4] = [
+    (Zone::LowLow, 0.65),
+    (Zone::LowHigh, 0.59),
+    (Zone::HighLow, 0.73),
+    (Zone::HighHigh, 0.25),
+];
+
+fn mean(rows: &[ZoneAccuracy]) -> f64 {
+    let total: usize = rows.iter().map(|r| r.samples).sum();
+    let ok: f64 = rows.iter().map(|r| r.mean_ea * r.samples as f64).sum();
+    if total == 0 {
+        0.0
+    } else {
+        ok / total as f64
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    println!("Table 2: mean execution accuracy (EA) by (M, C) zone");
+    println!("seed = {seed}, table rows = {ROWS}\n");
+
+    let spider_samples = t_spider(seed);
+    let spider = evaluate(&spider_samples, &spider_system(seed), ROWS);
+    let custom_samples = t_custom(seed);
+    let custom = evaluate(&custom_samples, &custom_system(seed), ROWS);
+
+    println!(
+        "{:<14} {:>8} {:>9} {:>9}   {:>8} {:>9} {:>9}",
+        "(M, C)", "n_spdr", "EA_spdr", "paper", "n_cust", "EA_cust", "paper"
+    );
+    for zone in Zone::all() {
+        let s = spider.iter().find(|r| r.zone == zone).expect("zone");
+        let c = custom.iter().find(|r| r.zone == zone).expect("zone");
+        let ps = PAPER_SPIDER.iter().find(|(z, _)| *z == zone).expect("zone").1;
+        let pc = PAPER_CUSTOM.iter().find(|(z, _)| *z == zone).expect("zone").1;
+        println!(
+            "{:<14} {:>8} {:>9.2} {:>9.2}   {:>8} {:>9.2} {:>9.2}",
+            zone.label(),
+            s.samples,
+            s.mean_ea,
+            ps,
+            c.samples,
+            c.mean_ea,
+            pc
+        );
+    }
+    println!(
+        "{:<14} {:>8} {:>9.2} {:>9.2}   {:>8} {:>9.2} {:>9.2}",
+        "Mean",
+        spider_samples.len(),
+        mean(&spider),
+        0.77,
+        custom_samples.len(),
+        mean(&custom),
+        0.57
+    );
+
+    // Shape checks the paper's prose makes explicitly.
+    let ea = |rows: &[ZoneAccuracy], z: Zone| {
+        rows.iter().find(|r| r.zone == z).map(|r| r.mean_ea).unwrap_or(0.0)
+    };
+    println!("\nshape checks:");
+    println!(
+        "  (high,high) worst on both sets: {}",
+        ea(&spider, Zone::HighHigh) <= ea(&spider, Zone::LowLow)
+            && ea(&custom, Zone::HighHigh) <= ea(&custom, Zone::LowLow)
+    );
+    println!(
+        "  complexity hurts more than misalignment (spider): {}",
+        ea(&spider, Zone::LowHigh) <= ea(&spider, Zone::HighLow)
+    );
+    println!(
+        "  T_custom <= T_spider overall: {}",
+        mean(&custom) <= mean(&spider)
+    );
+}

@@ -1,0 +1,6 @@
+//! # dc-bench — benchmark harness
+//!
+//! Regenerates every table and figure of the paper. Each `src/bin/*`
+//! binary prints one table/figure; `benches/` holds the Criterion timing
+//! benches for the performance claims (§2.2 nested-vs-flat, DAG caching,
+//! §3 sampling). See DESIGN.md's experiment index for the full mapping.

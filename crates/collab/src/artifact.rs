@@ -1,0 +1,233 @@
+//! Artifacts and recipes (§2.3).
+//!
+//! "Artifacts generally consist of a static representation of the object
+//! the user cares about ... as well as instructions for how it was
+//! produced" — the recipe, a serialized copy of the sliced skill DAG.
+//! Refreshing an artifact re-executes its recipe; sharing exposes both
+//! the representation and the recipe.
+
+use dc_gel::format_skill;
+use dc_skills::{Env, Executor, SkillCall, SkillDag, SkillOutput, SliceStats};
+
+use crate::error::{CollabError, Result};
+
+/// What kind of object an artifact holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    Chart,
+    Dataset,
+    Model,
+    Report,
+    Snapshot,
+    /// Folders are artifacts too (§2.4: they "behave both as a container
+    /// ... as well as an artifact themselves").
+    Folder,
+}
+
+impl ArtifactKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Chart => "chart",
+            ArtifactKind::Dataset => "dataset",
+            ArtifactKind::Model => "model",
+            ArtifactKind::Report => "report",
+            ArtifactKind::Snapshot => "snapshot",
+            ArtifactKind::Folder => "folder",
+        }
+    }
+
+    /// Classify a skill output.
+    pub fn of_output(out: &SkillOutput) -> ArtifactKind {
+        match out {
+            SkillOutput::Charts(_) => ArtifactKind::Chart,
+            SkillOutput::Model(_) => ArtifactKind::Model,
+            SkillOutput::Table(_) => ArtifactKind::Dataset,
+            SkillOutput::Summaries(_) | SkillOutput::Text(_) => ArtifactKind::Report,
+        }
+    }
+}
+
+/// A saved artifact: static representation + recipe + provenance.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pub name: String,
+    pub kind: ArtifactKind,
+    pub owner: String,
+    /// The sliced DAG that produces this artifact (§2.3's recipe).
+    pub recipe: SkillDag,
+    /// Target node within the recipe.
+    pub target: dc_skills::NodeId,
+    /// The current materialized output.
+    pub output: SkillOutput,
+    /// How much slicing shrank the exploratory DAG.
+    pub slice_stats: SliceStats,
+    /// Monotonic refresh counter ("versions" in the Figure 2 sidebar).
+    pub version: u64,
+}
+
+impl Artifact {
+    /// Save an artifact from a session DAG: slice to the target, execute,
+    /// and package (§2.3: "when saving an artifact ... the system
+    /// evaluates which steps in the DAG affect the final artifact").
+    pub fn save(
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        dag: &SkillDag,
+        target: dc_skills::NodeId,
+        env: &mut Env,
+    ) -> Result<Artifact> {
+        let (sliced, stats) = dc_skills::slice(dag, target)?;
+        let sliced_target = sliced.len().checked_sub(1).ok_or_else(|| {
+            CollabError::invalid("cannot save an artifact from an empty recipe")
+        })?;
+        let mut ex = Executor::new();
+        let output = ex.run(&sliced, sliced_target, env)?;
+        Ok(Artifact {
+            name: name.into(),
+            kind: ArtifactKind::of_output(&output),
+            owner: owner.into(),
+            recipe: sliced,
+            target: sliced_target,
+            output,
+            slice_stats: stats,
+            version: 1,
+        })
+    }
+
+    /// The recipe as GEL text (what every recipient can read — §2.3:
+    /// "every artifact is paired with a recipe").
+    pub fn recipe_gel(&self) -> Vec<String> {
+        self.recipe
+            .nodes()
+            .iter()
+            .map(|n| format_skill(&n.call))
+            .collect()
+    }
+
+    /// Refresh: re-run the recipe on current data ("updating artifacts on
+    /// the latest data ... as simple as executing the skill DAG again").
+    pub fn refresh(&mut self, env: &mut Env) -> Result<u64> {
+        let mut ex = Executor::new();
+        self.output = ex.run(&self.recipe, self.target, env)?;
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    /// Live replay: execute step by step, invoking `observe` with each
+    /// intermediate output ("a live replay of the steps can be performed,
+    /// as if an expert was entering the steps for the first time").
+    pub fn replay(
+        &self,
+        env: &mut Env,
+        mut observe: impl FnMut(usize, &SkillCall, &SkillOutput),
+    ) -> Result<()> {
+        let mut ex = Executor::new();
+        for node in self.recipe.nodes() {
+            let out = ex.run(&self.recipe, node.id, env)?;
+            observe(node.id, &node.call, &out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Expr;
+
+    fn env() -> Env {
+        let mut env = Env::new();
+        env.add_file("d.csv", "x,y\n1,10\n2,20\n3,30\n4,40\n5,50\n");
+        env
+    }
+
+    fn exploratory_dag() -> (SkillDag, dc_skills::NodeId) {
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .unwrap();
+        let _peek = dag.add(SkillCall::ShowHead { n: 2 }, vec![load]).unwrap();
+        let _dead = dag
+            .add(
+                SkillCall::Sort {
+                    keys: vec![("y".into(), false)],
+                },
+                vec![load],
+            )
+            .unwrap();
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").ge(Expr::lit(2i64)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let lim = dag.add(SkillCall::Limit { n: 3 }, vec![f]).unwrap();
+        (dag, lim)
+    }
+
+    #[test]
+    fn save_slices_and_materializes() {
+        let (dag, target) = exploratory_dag();
+        let mut env = env();
+        let a = Artifact::save("my-result", "ann", &dag, target, &mut env).unwrap();
+        assert_eq!(a.kind, ArtifactKind::Dataset);
+        assert_eq!(a.version, 1);
+        assert!(a.slice_stats.dead_removed >= 1);
+        assert!(a.slice_stats.final_nodes < a.slice_stats.original_nodes);
+        let t = a.output.as_table().unwrap();
+        assert_eq!(t.num_rows(), 3);
+        // The recipe reads as GEL.
+        let gel = a.recipe_gel();
+        assert!(gel[0].starts_with("Load data from the file"));
+        assert!(gel.iter().any(|g| g.contains("Keep the rows where")));
+    }
+
+    #[test]
+    fn refresh_reexecutes_on_new_data() {
+        let (dag, target) = exploratory_dag();
+        let mut env = env();
+        let mut a = Artifact::save("r", "ann", &dag, target, &mut env).unwrap();
+        // Underlying file changes; refresh picks it up.
+        env.add_file("d.csv", "x,y\n9,90\n");
+        let v = a.refresh(&mut env).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(a.output.as_table().unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn replay_walks_each_step() {
+        let (dag, target) = exploratory_dag();
+        let mut env = env();
+        let a = Artifact::save("r", "ann", &dag, target, &mut env).unwrap();
+        let mut steps: Vec<String> = Vec::new();
+        a.replay(&mut env, |_, call, out| {
+            steps.push(format!("{}:{}", call.name(), out.kind()));
+        })
+        .unwrap();
+        assert_eq!(steps.len(), a.recipe.len());
+        assert!(steps[0].starts_with("LoadFile"));
+    }
+
+    #[test]
+    fn chart_artifacts_classified() {
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .unwrap();
+        let viz = dag
+            .add(
+                SkillCall::Visualize {
+                    kpi: "x".into(),
+                    by: vec![],
+                },
+                vec![load],
+            )
+            .unwrap();
+        let mut env = env();
+        let a = Artifact::save("c", "ann", &dag, viz, &mut env).unwrap();
+        assert_eq!(a.kind, ArtifactKind::Chart);
+    }
+}

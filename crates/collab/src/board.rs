@@ -1,0 +1,255 @@
+//! Home Screen folders and Insights Boards (§2.4).
+//!
+//! The Home Screen "resembles an operating system file manager": folders
+//! contain artifacts and other folders, and are artifacts themselves. An
+//! Insights Board is "a collection of artifacts presented in a visual
+//! layout", modeled as a slide/poster: arbitrary positioning, text boxes,
+//! and unrelated artifacts side by side.
+
+use std::collections::BTreeMap;
+
+use crate::error::{CollabError, Result};
+
+/// One entry in a folder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FolderEntry {
+    /// A named artifact.
+    Artifact(String),
+    /// A nested folder.
+    Folder(String),
+    /// A session reference.
+    Session(u64),
+}
+
+/// The Home Screen: a tree of named folders.
+#[derive(Debug, Default)]
+pub struct HomeScreen {
+    folders: BTreeMap<String, Vec<FolderEntry>>,
+}
+
+impl HomeScreen {
+    /// A home screen with an empty root folder.
+    pub fn new() -> HomeScreen {
+        let mut h = HomeScreen::default();
+        h.folders.insert("home".to_string(), Vec::new());
+        h
+    }
+
+    /// Create a folder inside `parent`.
+    pub fn create_folder(&mut self, parent: &str, name: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        if self.folders.contains_key(&name) {
+            return Err(CollabError::invalid(format!("folder {name:?} exists")));
+        }
+        let parent_entries =
+            self.folders
+                .get_mut(parent)
+                .ok_or_else(|| CollabError::ContainerNotFound {
+                    name: parent.to_string(),
+                })?;
+        parent_entries.push(FolderEntry::Folder(name.clone()));
+        self.folders.insert(name, Vec::new());
+        Ok(())
+    }
+
+    /// Place an entry in a folder.
+    pub fn place(&mut self, folder: &str, entry: FolderEntry) -> Result<()> {
+        let entries = self
+            .folders
+            .get_mut(folder)
+            .ok_or_else(|| CollabError::ContainerNotFound {
+                name: folder.to_string(),
+            })?;
+        if !entries.contains(&entry) {
+            entries.push(entry);
+        }
+        Ok(())
+    }
+
+    /// Move an entry between folders.
+    pub fn r#move(&mut self, from: &str, to: &str, entry: &FolderEntry) -> Result<()> {
+        {
+            let src = self
+                .folders
+                .get_mut(from)
+                .ok_or_else(|| CollabError::ContainerNotFound {
+                    name: from.to_string(),
+                })?;
+            let pos = src.iter().position(|e| e == entry).ok_or_else(|| {
+                CollabError::invalid(format!("{entry:?} is not in {from:?}"))
+            })?;
+            src.remove(pos);
+        }
+        self.place(to, entry.clone())
+    }
+
+    /// Remove an entry from a folder (deleting a folder entry does not
+    /// delete the artifact itself).
+    pub fn remove(&mut self, folder: &str, entry: &FolderEntry) -> Result<()> {
+        let entries = self
+            .folders
+            .get_mut(folder)
+            .ok_or_else(|| CollabError::ContainerNotFound {
+                name: folder.to_string(),
+            })?;
+        let pos = entries
+            .iter()
+            .position(|e| e == entry)
+            .ok_or_else(|| CollabError::invalid(format!("{entry:?} not in {folder:?}")))?;
+        entries.remove(pos);
+        Ok(())
+    }
+
+    /// List a folder.
+    pub fn list(&self, folder: &str) -> Result<&[FolderEntry]> {
+        self.folders
+            .get(folder)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| CollabError::ContainerNotFound {
+                name: folder.to_string(),
+            })
+    }
+}
+
+/// One element placed on an Insights Board.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoardElement {
+    /// A live artifact (referenced by name — IBs show current versions).
+    Artifact { name: String },
+    /// Free text ("the addition of graphical elements like text boxes").
+    TextBox { text: String },
+}
+
+/// A positioned element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedElement {
+    pub element: BoardElement,
+    /// Arbitrary position/size, creator-defined layout.
+    pub x: i32,
+    pub y: i32,
+    pub width: u32,
+    pub height: u32,
+}
+
+/// An Insights Board: a presentation-layout collection of artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct InsightsBoard {
+    pub title: String,
+    elements: Vec<PlacedElement>,
+}
+
+impl InsightsBoard {
+    /// An empty board.
+    pub fn new(title: impl Into<String>) -> InsightsBoard {
+        InsightsBoard {
+            title: title.into(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Pin an artifact at a position.
+    pub fn pin_artifact(&mut self, name: impl Into<String>, x: i32, y: i32, w: u32, h: u32) {
+        self.elements.push(PlacedElement {
+            element: BoardElement::Artifact { name: name.into() },
+            x,
+            y,
+            width: w,
+            height: h,
+        });
+    }
+
+    /// Add a text box.
+    pub fn add_text(&mut self, text: impl Into<String>, x: i32, y: i32, w: u32, h: u32) {
+        self.elements.push(PlacedElement {
+            element: BoardElement::TextBox { text: text.into() },
+            x,
+            y,
+            width: w,
+            height: h,
+        });
+    }
+
+    /// All placed elements.
+    pub fn elements(&self) -> &[PlacedElement] {
+        &self.elements
+    }
+
+    /// Names of the artifacts this board presents.
+    pub fn artifact_names(&self) -> Vec<&str> {
+        self.elements
+            .iter()
+            .filter_map(|e| match &e.element {
+                BoardElement::Artifact { name } => Some(name.as_str()),
+                BoardElement::TextBox { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folders_nest_and_contain() {
+        let mut h = HomeScreen::new();
+        h.create_folder("home", "q3").unwrap();
+        h.place("q3", FolderEntry::Artifact("chart1".into())).unwrap();
+        h.place("q3", FolderEntry::Session(7)).unwrap();
+        assert_eq!(h.list("q3").unwrap().len(), 2);
+        assert_eq!(
+            h.list("home").unwrap(),
+            &[FolderEntry::Folder("q3".into())]
+        );
+    }
+
+    #[test]
+    fn duplicate_folder_rejected() {
+        let mut h = HomeScreen::new();
+        h.create_folder("home", "a").unwrap();
+        assert!(h.create_folder("home", "a").is_err());
+        assert!(h.create_folder("missing", "b").is_err());
+    }
+
+    #[test]
+    fn move_between_folders() {
+        let mut h = HomeScreen::new();
+        h.create_folder("home", "a").unwrap();
+        h.create_folder("home", "b").unwrap();
+        let e = FolderEntry::Artifact("x".into());
+        h.place("a", e.clone()).unwrap();
+        h.r#move("a", "b", &e).unwrap();
+        assert!(h.list("a").unwrap().is_empty());
+        assert_eq!(h.list("b").unwrap(), &[e.clone()]);
+        assert!(h.r#move("a", "b", &e).is_err()); // no longer in a
+    }
+
+    #[test]
+    fn remove_entry_keeps_folder() {
+        let mut h = HomeScreen::new();
+        let e = FolderEntry::Artifact("x".into());
+        h.place("home", e.clone()).unwrap();
+        h.remove("home", &e).unwrap();
+        assert!(h.list("home").unwrap().is_empty());
+        assert!(h.remove("home", &e).is_err());
+    }
+
+    #[test]
+    fn board_mixes_unrelated_artifacts_and_text() {
+        // "Completely unrelated artifacts can be posted to the same IB."
+        let mut ib = InsightsBoard::new("Q3 results");
+        ib.pin_artifact("gdp-forecast", 0, 0, 600, 400);
+        ib.pin_artifact("collision-bubble", 620, 0, 400, 400);
+        ib.add_text("Key takeaway: the gap persists.", 0, 420, 1020, 80);
+        assert_eq!(ib.elements().len(), 3);
+        assert_eq!(ib.artifact_names(), vec!["gdp-forecast", "collision-bubble"]);
+    }
+
+    #[test]
+    fn layout_is_arbitrary() {
+        let mut ib = InsightsBoard::new("free-form");
+        ib.pin_artifact("a", -50, 900, 10, 10); // overlap/offscreen allowed
+        ib.pin_artifact("b", -50, 900, 10, 10);
+        assert_eq!(ib.elements().len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Collaboration-layer errors.
+
+use std::fmt;
+
+/// Errors from sessions, sharing and artifact management.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollabError {
+    /// No such user.
+    UserNotFound { name: String },
+    /// No such session.
+    SessionNotFound { id: u64 },
+    /// No such artifact.
+    ArtifactNotFound { name: String },
+    /// No such folder/board.
+    ContainerNotFound { name: String },
+    /// The acting user lacks the required permission.
+    PermissionDenied { user: String, needed: String },
+    /// Another skill request is already executing in this session
+    /// (§2.4's session-level lock).
+    SessionBusy { session: u64 },
+    /// A secret-link token failed to authorize.
+    BadSecret,
+    /// Invalid argument.
+    InvalidArgument { message: String },
+    /// Propagated skill failure.
+    Skill(dc_skills::SkillError),
+}
+
+impl CollabError {
+    /// Convenience constructor for [`CollabError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        CollabError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CollabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollabError::UserNotFound { name } => write!(f, "user not found: {name:?}"),
+            CollabError::SessionNotFound { id } => write!(f, "session not found: {id}"),
+            CollabError::ArtifactNotFound { name } => write!(f, "artifact not found: {name:?}"),
+            CollabError::ContainerNotFound { name } => {
+                write!(f, "folder or board not found: {name:?}")
+            }
+            CollabError::PermissionDenied { user, needed } => {
+                write!(f, "{user} lacks {needed} permission")
+            }
+            CollabError::SessionBusy { session } => write!(
+                f,
+                "another execution was already running in session {session}"
+            ),
+            CollabError::BadSecret => write!(f, "invalid share secret"),
+            CollabError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            CollabError::Skill(e) => write!(f, "skill error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollabError {}
+
+impl From<dc_skills::SkillError> for CollabError {
+    fn from(e: dc_skills::SkillError) -> Self {
+        CollabError::Skill(e)
+    }
+}
+
+/// Result alias for the collab crate.
+pub type Result<T> = std::result::Result<T, CollabError>;

@@ -1,0 +1,332 @@
+//! Sessions and the session-level lock (§2.4).
+//!
+//! "Actions taken in a session are tracked in the platform itself rather
+//! than the client, so multiple users can maintain a synchronized view of
+//! the work. A simple session-level lock prevents concurrent skill
+//! requests ... requests sent concurrently will fail with a message to
+//! the user indicating that another execution was already running."
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dc_skills::{Env, Executor, NodeId, SkillCall, SkillDag, SkillOutput};
+use parking_lot::Mutex;
+
+use crate::error::{CollabError, Result};
+use crate::sharing::{Permission, Shareable};
+
+/// A collaborative analysis session: a skill DAG, its results, and an
+/// access-control list.
+#[derive(Debug)]
+pub struct Session {
+    pub id: u64,
+    pub owner: String,
+    dag: Mutex<SkillDag>,
+    /// Tip of the primary chain (the "current dataset").
+    current: AtomicU64,
+    has_current: AtomicBool,
+    executor: Mutex<Executor>,
+    /// The §2.4 lock: set while a request executes.
+    executing: AtomicBool,
+    acl: Mutex<Shareable>,
+    /// Log of executed requests (user, GEL sentence), the synchronized
+    /// view collaborators see.
+    log: Mutex<Vec<(String, String)>>,
+}
+
+/// Handle type: sessions are shared between collaborators.
+pub type SessionRef = Arc<Session>;
+
+impl Session {
+    /// Open a fresh session.
+    pub fn new(id: u64, owner: impl Into<String>) -> SessionRef {
+        let owner = owner.into();
+        Arc::new(Session {
+            id,
+            owner: owner.clone(),
+            dag: Mutex::new(SkillDag::new()),
+            current: AtomicU64::new(0),
+            has_current: AtomicBool::new(false),
+            executor: Mutex::new(Executor::new()),
+            executing: AtomicBool::new(false),
+            acl: Mutex::new(Shareable::owned_by(owner)),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Grant a collaborator access.
+    pub fn share_with(&self, user: impl Into<String>, permission: Permission) {
+        self.acl.lock().grant(user, permission);
+    }
+
+    /// Revoke a collaborator's access.
+    pub fn revoke(&self, user: &str) {
+        self.acl.lock().revoke(user);
+    }
+
+    /// The permission a user holds.
+    pub fn permission_of(&self, user: &str) -> Option<Permission> {
+        self.acl.lock().permission_of(user)
+    }
+
+    /// Submit one skill request on behalf of `user`.
+    ///
+    /// Fails with [`CollabError::SessionBusy`] when another request is
+    /// mid-flight, and with [`CollabError::PermissionDenied`] when the
+    /// user cannot act in this session.
+    pub fn submit(&self, user: &str, call: SkillCall) -> Result<SkillOutput> {
+        let perm = self
+            .permission_of(user)
+            .ok_or_else(|| CollabError::PermissionDenied {
+                user: user.to_string(),
+                needed: "act".into(),
+            })?;
+        if !perm.can_act() {
+            return Err(CollabError::PermissionDenied {
+                user: user.to_string(),
+                needed: "act".into(),
+            });
+        }
+        // Session-level lock: atomically claim execution.
+        if self.executing.swap(true, Ordering::AcqRel) {
+            return Err(CollabError::SessionBusy { session: self.id });
+        }
+        let result = self.run_locked(user, call);
+        self.executing.store(false, Ordering::Release);
+        result
+    }
+
+    fn run_locked(&self, user: &str, call: SkillCall) -> Result<SkillOutput> {
+        let gel = dc_gel::format_skill(&call);
+        let node = {
+            let mut dag = self.dag.lock();
+            let inputs: Vec<NodeId> = match &call {
+                SkillCall::UseDataset { name, .. } => match dag.resolve_name(name) {
+                    Ok(n) => vec![n],
+                    Err(_) => vec![],
+                },
+                SkillCall::Concat { other, .. } | SkillCall::Join { other, .. } => {
+                    let second = dag.resolve_name(other)?;
+                    let first = self.current_node().ok_or_else(|| {
+                        CollabError::invalid("no current dataset for a two-input skill")
+                    })?;
+                    vec![first, second]
+                }
+                c if c.needs_input() => vec![self.current_node().ok_or_else(|| {
+                    CollabError::invalid(format!("{} needs a dataset; load one first", c.name()))
+                })?],
+                _ => vec![],
+            };
+            dag.add(call, inputs)?
+        };
+        let out = {
+            let mut ex = self.executor.lock();
+            let dag = self.dag.lock();
+            ENV.with(|env| ex.run(&dag, node, &mut env.borrow_mut()))?
+        };
+        self.current.store(node as u64, Ordering::Release);
+        self.has_current.store(true, Ordering::Release);
+        self.log.lock().push((user.to_string(), gel));
+        Ok(out)
+    }
+
+    /// The node holding the current dataset.
+    pub fn current_node(&self) -> Option<NodeId> {
+        self.has_current
+            .load(Ordering::Acquire)
+            .then(|| self.current.load(Ordering::Acquire) as NodeId)
+    }
+
+    /// Bind a dataset name to the current node.
+    pub fn name_current(&self, name: impl Into<String>) -> Result<()> {
+        let node = self
+            .current_node()
+            .ok_or_else(|| CollabError::invalid("nothing to name yet"))?;
+        self.dag.lock().bind_name(name, node)?;
+        Ok(())
+    }
+
+    /// Snapshot of the session's DAG (for saving artifacts).
+    pub fn dag_snapshot(&self) -> SkillDag {
+        self.dag.lock().clone()
+    }
+
+    /// The synchronized request log.
+    pub fn log(&self) -> Vec<(String, String)> {
+        self.log.lock().clone()
+    }
+}
+
+// The environment lives in thread-local storage for session execution so
+// Session::submit keeps a simple signature; the platform facade installs
+// the environment for the duration of a call.
+thread_local! {
+    static ENV: std::cell::RefCell<Env> = std::cell::RefCell::new(Env::new());
+}
+
+/// Run `f` with access to the session environment of the current thread.
+pub fn with_env<R>(f: impl FnOnce(&mut Env) -> R) -> R {
+    ENV.with(|env| f(&mut env.borrow_mut()))
+}
+
+/// Registry of sessions (the platform's server-side tracking).
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<BTreeMap<u64, SessionRef>>,
+    next_id: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Open a session for `owner`.
+    pub fn open(&self, owner: impl Into<String>) -> SessionRef {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let s = Session::new(id, owner);
+        self.sessions.lock().insert(id, Arc::clone(&s));
+        s
+    }
+
+    /// Look up a session.
+    pub fn get(&self, id: u64) -> Result<SessionRef> {
+        self.sessions
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(CollabError::SessionNotFound { id })
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Expr;
+
+    fn seed_env() {
+        with_env(|env| {
+            *env = Env::new();
+            env.add_file("d.csv", "x\n1\n2\n3\n4\n");
+        });
+    }
+
+    #[test]
+    fn linear_session_flow() {
+        seed_env();
+        let s = Session::new(1, "ann");
+        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+            .unwrap();
+        let out = s
+            .submit(
+                "ann",
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").gt(Expr::lit(1i64)),
+                },
+            )
+            .unwrap();
+        assert_eq!(out.as_table().unwrap().num_rows(), 3);
+        assert_eq!(s.log().len(), 2);
+        assert_eq!(s.log()[1].0, "ann");
+    }
+
+    #[test]
+    fn unshared_user_denied() {
+        seed_env();
+        let s = Session::new(1, "ann");
+        let r = s.submit("bob", SkillCall::LoadFile { path: "d.csv".into() });
+        assert!(matches!(r, Err(CollabError::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn viewer_cannot_act_editor_can() {
+        seed_env();
+        let s = Session::new(1, "ann");
+        s.share_with("bob", Permission::View);
+        assert!(matches!(
+            s.submit("bob", SkillCall::LoadFile { path: "d.csv".into() }),
+            Err(CollabError::PermissionDenied { .. })
+        ));
+        s.share_with("bob", Permission::Edit);
+        assert!(s
+            .submit("bob", SkillCall::LoadFile { path: "d.csv".into() })
+            .is_ok());
+        s.revoke("bob");
+        assert!(s.permission_of("bob").is_none());
+    }
+
+    #[test]
+    fn concurrent_requests_rejected() {
+        use std::sync::atomic::AtomicUsize;
+        seed_env();
+        let s = Session::new(1, "ann");
+        s.share_with("bob", Permission::Edit);
+        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+            .unwrap();
+        // Claim the lock as if a long request were running; a second
+        // submission must fail with the paper's message.
+        s.executing.store(true, Ordering::Release);
+        let busy = AtomicUsize::new(0);
+        match s.submit("bob", SkillCall::Limit { n: 1 }) {
+            Err(CollabError::SessionBusy { session }) => {
+                assert_eq!(session, 1);
+                busy.fetch_add(1, Ordering::Relaxed);
+            }
+            other => panic!("expected SessionBusy, got {other:?}"),
+        }
+        s.executing.store(false, Ordering::Release);
+        assert!(s.submit("bob", SkillCall::Limit { n: 1 }).is_ok());
+        assert_eq!(busy.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn named_datasets_enable_two_input_skills() {
+        seed_env();
+        let s = Session::new(1, "ann");
+        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+            .unwrap();
+        s.name_current("first").unwrap();
+        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+            .unwrap();
+        let out = s
+            .submit(
+                "ann",
+                SkillCall::Concat {
+                    other: "first".into(),
+                    remove_duplicates: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.as_table().unwrap().num_rows(), 8);
+    }
+
+    #[test]
+    fn registry_assigns_ids() {
+        let reg = SessionRegistry::new();
+        let a = reg.open("ann");
+        let b = reg.open("bob");
+        assert_ne!(a.id, b.id);
+        assert!(reg.get(a.id).is_ok());
+        assert!(reg.get(999).is_err());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn transform_without_load_errors() {
+        seed_env();
+        let s = Session::new(1, "ann");
+        assert!(s.submit("ann", SkillCall::Limit { n: 1 }).is_err());
+    }
+}

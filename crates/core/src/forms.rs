@@ -1,0 +1,210 @@
+//! UI form models (Figure 3a).
+//!
+//! The first of the three skill-entry paths: a form "converted directly
+//! to discrete skill requests". Forms validate against the active
+//! dataset's schema and emit the same [`SkillCall`] the other paths
+//! produce — the Figure 3 demonstration is that all three converge.
+
+use dc_engine::{AggFunc, AggSpec, Schema};
+use dc_skills::{SkillCall, SkillError};
+
+/// A value entered into a form field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormValue {
+    Text(String),
+    Number(f64),
+    Choice(String),
+    Columns(Vec<String>),
+}
+
+/// The Compute form of Figure 3a: aggregate selector, column selector,
+/// output-name field, grouping picker.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeForm {
+    /// (aggregate, column, output name) rows; "Add Another Option" adds
+    /// more rows.
+    pub aggregates: Vec<(String, String, String)>,
+    /// "Which columns do you want to group by?"
+    pub group_by: Vec<String>,
+}
+
+impl ComputeForm {
+    /// Start an empty form.
+    pub fn new() -> ComputeForm {
+        ComputeForm::default()
+    }
+
+    /// Add one aggregate row.
+    pub fn add_aggregate(
+        mut self,
+        aggregate: impl Into<String>,
+        column: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        self.aggregates
+            .push((aggregate.into(), column.into(), output.into()));
+        self
+    }
+
+    /// Pick grouping columns.
+    pub fn group_by(mut self, columns: Vec<String>) -> Self {
+        self.group_by = columns;
+        self
+    }
+
+    /// Validate against the schema and emit the skill call.
+    pub fn submit(&self, schema: &Schema) -> Result<SkillCall, SkillError> {
+        if self.aggregates.is_empty() {
+            return Err(SkillError::invalid("select at least one aggregate"));
+        }
+        let mut aggs = Vec::with_capacity(self.aggregates.len());
+        for (agg, column, output) in &self.aggregates {
+            let func = AggFunc::from_name(agg)
+                .ok_or_else(|| SkillError::invalid(format!("unknown aggregate {agg:?}")))?;
+            let column_opt = if func == AggFunc::CountRecords {
+                None
+            } else {
+                if schema.index_of(column).is_none() {
+                    return Err(SkillError::invalid(format!("unknown column {column:?}")));
+                }
+                Some(column.clone())
+            };
+            let output = if output.is_empty() {
+                AggSpec::default_output(func, column_opt.as_deref())
+            } else {
+                output.clone()
+            };
+            aggs.push(AggSpec {
+                func,
+                column: column_opt,
+                output,
+            });
+        }
+        for g in &self.group_by {
+            if schema.index_of(g).is_none() {
+                return Err(SkillError::invalid(format!("unknown grouping column {g:?}")));
+            }
+        }
+        Ok(SkillCall::Compute {
+            aggs,
+            for_each: self.group_by.clone(),
+        })
+    }
+}
+
+/// The Visualize form: KPI dropdown + grouping picker.
+#[derive(Debug, Clone, Default)]
+pub struct VisualizeForm {
+    pub kpi: String,
+    pub by: Vec<String>,
+}
+
+impl VisualizeForm {
+    /// Build a form.
+    pub fn new(kpi: impl Into<String>, by: Vec<String>) -> VisualizeForm {
+        VisualizeForm {
+            kpi: kpi.into(),
+            by,
+        }
+    }
+
+    /// Validate and emit the skill call.
+    pub fn submit(&self, schema: &Schema) -> Result<SkillCall, SkillError> {
+        if schema.index_of(&self.kpi).is_none() {
+            return Err(SkillError::invalid(format!("unknown KPI column {:?}", self.kpi)));
+        }
+        for c in &self.by {
+            if schema.index_of(c).is_none() {
+                return Err(SkillError::invalid(format!("unknown column {c:?}")));
+            }
+        }
+        Ok(SkillCall::Visualize {
+            kpi: self.kpi.clone(),
+            by: self.by.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("case_id", DataType::Int),
+            Field::new("party_sobriety", DataType::Str),
+            Field::new("at_fault", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3a_form_matches_gel_and_python_paths() {
+        // The same skill entered three ways (Figure 3) is one SkillCall.
+        let from_form = ComputeForm::new()
+            .add_aggregate("count of", "case_id", "NumberOfCases")
+            .group_by(vec!["party_sobriety".into()])
+            .submit(&schema());
+        // The form's "count of" dropdown maps to Count.
+        let from_form = match from_form {
+            Ok(c) => c,
+            Err(_) => ComputeForm::new()
+                .add_aggregate("count", "case_id", "NumberOfCases")
+                .group_by(vec!["party_sobriety".into()])
+                .submit(&schema())
+                .unwrap(),
+        };
+        let from_gel = dc_gel::parse_gel(
+            "Compute the count of case_id for each party_sobriety and call the computed columns NumberOfCases",
+        )
+        .unwrap();
+        let from_python = dc_nl::parse_pyapi(
+            "california_car_collisions.compute(aggregates = [Count(\"case_id\")], for_each = [\"party_sobriety\"], names = [\"NumberOfCases\"])",
+        )
+        .unwrap()
+        .statements[0]
+            .calls[0]
+            .clone();
+        assert_eq!(from_form, from_gel);
+        assert_eq!(from_gel, from_python);
+    }
+
+    #[test]
+    fn form_validates_columns() {
+        let r = ComputeForm::new()
+            .add_aggregate("count", "nope", "n")
+            .submit(&schema());
+        assert!(r.is_err());
+        let r = ComputeForm::new()
+            .add_aggregate("count", "case_id", "n")
+            .group_by(vec!["nope".into()])
+            .submit(&schema());
+        assert!(r.is_err());
+        assert!(ComputeForm::new().submit(&schema()).is_err());
+    }
+
+    #[test]
+    fn default_output_name_filled() {
+        let call = ComputeForm::new()
+            .add_aggregate("average", "at_fault", "")
+            .submit(&schema())
+            .unwrap();
+        match call {
+            SkillCall::Compute { aggs, .. } => assert_eq!(aggs[0].output, "Avgat_fault"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visualize_form() {
+        let call = VisualizeForm::new("at_fault", vec!["party_sobriety".into()])
+            .submit(&schema())
+            .unwrap();
+        assert!(matches!(call, SkillCall::Visualize { .. }));
+        assert!(VisualizeForm::new("zz", vec![]).submit(&schema()).is_err());
+        assert!(VisualizeForm::new("at_fault", vec!["zz".into()])
+            .submit(&schema())
+            .is_err());
+    }
+}

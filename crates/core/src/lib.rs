@@ -1,0 +1,13 @@
+//! # datachat-core — the platform facade
+//!
+//! Wires the subsystems into the user-facing surface the paper
+//! demonstrates: a [`Platform`] owning the environment (catalog, snapshot
+//! store, virtual files), sessions with the three §2.1 entry paths (UI
+//! forms, GEL sentences, Python API) plus the NL2Code chat box, artifact
+//! saving with sliced recipes, secret-link sharing, and Insights Boards.
+
+pub mod forms;
+pub mod platform;
+
+pub use forms::{ComputeForm, FormValue, VisualizeForm};
+pub use platform::{ChatPath, ChatReply, Platform, PlatformError, SessionHandle};

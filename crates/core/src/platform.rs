@@ -1,0 +1,413 @@
+//! The platform facade.
+
+use std::collections::BTreeMap;
+
+use dc_collab::{
+    with_env, Artifact, HomeScreen, InsightsBoard, LinkIssuer, Permission, SessionRef,
+    SessionRegistry, ShareLink,
+};
+use dc_nl::{Nl2Code, SchemaHints};
+use dc_skills::{Env, SkillCall, SkillOutput};
+use dc_storage::CloudDatabase;
+
+use crate::forms::{ComputeForm, VisualizeForm};
+
+/// Errors surfaced by the platform facade.
+pub type PlatformError = Box<dyn std::error::Error>;
+
+/// Which translation path answered a chat message (§4: the phrase layer
+/// answers structured utterances deterministically; the LLM layer covers
+/// the rest; plain GEL short-circuits both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChatPath {
+    /// The message parsed directly as GEL.
+    Gel,
+    /// The deterministic phrase-based translator (§4.8).
+    Phrase,
+    /// The LLM-based NL2Code pipeline (§4.1–4.6).
+    Llm,
+}
+
+/// A chat answer: the final output, the executed GEL steps, and which
+/// path produced them.
+#[derive(Debug)]
+pub struct ChatReply {
+    pub output: SkillOutput,
+    pub steps_gel: Vec<String>,
+    pub path: ChatPath,
+}
+
+/// A user's handle on an open session.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    pub session: SessionRef,
+    pub user: String,
+}
+
+impl SessionHandle {
+    /// Run one GEL sentence.
+    pub fn run_gel(&self, sentence: &str) -> Result<SkillOutput, PlatformError> {
+        let call = dc_gel::parse_gel(sentence)?;
+        Ok(self.session.submit(&self.user, call)?)
+    }
+
+    /// Submit a skill call directly (the UI-form path).
+    pub fn submit(&self, call: SkillCall) -> Result<SkillOutput, PlatformError> {
+        Ok(self.session.submit(&self.user, call)?)
+    }
+
+    /// Submit a filled Compute form (Figure 3a).
+    pub fn submit_compute_form(
+        &self,
+        form: &ComputeForm,
+        schema: &dc_engine::Schema,
+    ) -> Result<SkillOutput, PlatformError> {
+        let call = form.submit(schema)?;
+        self.submit(call)
+    }
+
+    /// Submit a filled Visualize form.
+    pub fn submit_visualize_form(
+        &self,
+        form: &VisualizeForm,
+        schema: &dc_engine::Schema,
+    ) -> Result<SkillOutput, PlatformError> {
+        let call = form.submit(schema)?;
+        self.submit(call)
+    }
+}
+
+/// The DataChat platform: environment + sessions + artifacts + boards +
+/// share links + the NL2Code stack.
+pub struct Platform {
+    registry: SessionRegistry,
+    artifacts: BTreeMap<String, Artifact>,
+    boards: BTreeMap<String, InsightsBoard>,
+    pub home: HomeScreen,
+    links: LinkIssuer,
+    pub nl: Nl2Code,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("sessions", &self.registry.len())
+            .field("artifacts", &self.artifacts.len())
+            .field("boards", &self.boards.len())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// A fresh platform with an empty environment.
+    pub fn new() -> Platform {
+        with_env(|env| *env = Env::new());
+        Platform {
+            registry: SessionRegistry::new(),
+            artifacts: BTreeMap::new(),
+            boards: BTreeMap::new(),
+            home: HomeScreen::new(),
+            links: LinkIssuer::new(),
+            nl: Nl2Code::with_defaults(42),
+        }
+    }
+
+    /// Access the environment (catalog, snapshot store, virtual files).
+    pub fn env<R>(&self, f: impl FnOnce(&mut Env) -> R) -> R {
+        with_env(f)
+    }
+
+    /// Register a CSV fixture.
+    pub fn add_csv_file(&self, path: impl Into<String>, text: impl Into<String>) {
+        with_env(|env| env.add_file(path, text));
+    }
+
+    /// Attach a database to the catalog.
+    pub fn add_database(&self, db: CloudDatabase) -> Result<(), PlatformError> {
+        with_env(|env| env.catalog.add_database(db))?;
+        Ok(())
+    }
+
+    /// Open a session for a user.
+    pub fn open_session(&mut self, user: impl Into<String>) -> SessionHandle {
+        let user = user.into();
+        let session = self.registry.open(user.clone());
+        SessionHandle { session, user }
+    }
+
+    /// Schema hints over every catalog table plus saved datasets — what
+    /// the NL2Code prompt composer sees.
+    pub fn schema_hints(&self) -> SchemaHints {
+        with_env(|env| {
+            let mut hints = SchemaHints::default();
+            for db_name in env.catalog.database_names() {
+                if let Ok(db) = env.catalog.database(db_name) {
+                    for info in db.dataset_listing() {
+                        hints.tables.insert(info.dataset_name, info.columns);
+                    }
+                }
+            }
+            hints
+        })
+    }
+
+    /// The chat box: try GEL, then the phrase layer, then the LLM
+    /// pipeline; execute the resulting steps in the session.
+    pub fn chat(&mut self, handle: &SessionHandle, text: &str) -> Result<ChatReply, PlatformError> {
+        // 1. Direct GEL.
+        if let Ok(call) = dc_gel::parse_gel(text) {
+            let gel = dc_gel::format_skill(&call);
+            let output = handle.session.submit(&handle.user, call)?;
+            return Ok(ChatReply {
+                output,
+                steps_gel: vec![gel],
+                path: ChatPath::Gel,
+            });
+        }
+        let schema = self.schema_hints();
+        // 2. Phrase-based translation (deterministic, Visualize-driven).
+        if text.trim().to_lowercase().starts_with("visualize") {
+            if let Ok(translation) =
+                dc_nl::translate_visualize(text, &self.nl.semantics, &schema)
+            {
+                return self.execute_calls(handle, translation.calls, ChatPath::Phrase);
+            }
+        }
+        // 3. LLM-based NL2Code.
+        let result = self.nl.generate(text, &schema)?;
+        let recipe = Nl2Code::to_recipe(&result.checked)?;
+        self.execute_calls(handle, recipe.steps().to_vec(), ChatPath::Llm)
+    }
+
+    fn execute_calls(
+        &mut self,
+        handle: &SessionHandle,
+        calls: Vec<SkillCall>,
+        path: ChatPath,
+    ) -> Result<ChatReply, PlatformError> {
+        let mut last: Option<SkillOutput> = None;
+        let mut steps_gel = Vec::with_capacity(calls.len());
+        for call in calls {
+            // `Use the dataset X` over a catalog table becomes a load.
+            let call = match call {
+                SkillCall::UseDataset { name, version } => {
+                    let in_catalog: Option<String> = with_env(|env| {
+                        env.catalog.database_names().iter().find_map(|db| {
+                            env.catalog
+                                .database(db)
+                                .ok()?
+                                .table_names()
+                                .iter()
+                                .any(|t| t.eq_ignore_ascii_case(&name))
+                                .then(|| db.to_string())
+                        })
+                    });
+                    match in_catalog {
+                        Some(db) => SkillCall::LoadTable {
+                            database: db,
+                            table: name,
+                        },
+                        None => SkillCall::UseDataset { name, version },
+                    }
+                }
+                other => other,
+            };
+            steps_gel.push(dc_gel::format_skill(&call));
+            last = Some(handle.session.submit(&handle.user, call)?);
+        }
+        Ok(ChatReply {
+            output: last.ok_or("empty program")?,
+            steps_gel,
+            path,
+        })
+    }
+
+    /// Save the session's current result as an artifact (sliced recipe,
+    /// materialized output).
+    pub fn save_artifact(
+        &mut self,
+        handle: &SessionHandle,
+        name: impl Into<String>,
+    ) -> Result<&Artifact, PlatformError> {
+        let name = name.into();
+        if self.artifacts.contains_key(&name) {
+            return Err(format!(
+                "an artifact named {name:?} already exists; refresh it or pick a new name"
+            )
+            .into());
+        }
+        let target = handle
+            .session
+            .current_node()
+            .ok_or("nothing to save in this session")?;
+        let dag = handle.session.dag_snapshot();
+        let artifact = with_env(|env| Artifact::save(name.clone(), &handle.user, &dag, target, env))?;
+        self.home
+            .place("home", dc_collab::FolderEntry::Artifact(name.clone()))?;
+        self.artifacts.insert(name.clone(), artifact);
+        Ok(&self.artifacts[&name])
+    }
+
+    /// Look up an artifact.
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.get(name)
+    }
+
+    /// Refresh an artifact against current data.
+    pub fn refresh_artifact(&mut self, name: &str) -> Result<u64, PlatformError> {
+        let artifact = self
+            .artifacts
+            .get_mut(name)
+            .ok_or_else(|| format!("artifact not found: {name}"))?;
+        Ok(with_env(|env| artifact.refresh(env))?)
+    }
+
+    /// Issue a secret share link for an artifact.
+    pub fn share_artifact_link(
+        &mut self,
+        name: &str,
+        permission: Permission,
+    ) -> Result<ShareLink, PlatformError> {
+        if !self.artifacts.contains_key(name) {
+            return Err(format!("artifact not found: {name}").into());
+        }
+        Ok(self.links.issue(name, permission))
+    }
+
+    /// Authorize a share link and fetch the artifact it exposes.
+    pub fn open_shared(&self, key: &str, secret: &str) -> Result<&Artifact, PlatformError> {
+        let (name, _perm) = self.links.authorize(key, secret)?;
+        self.artifacts
+            .get(name)
+            .ok_or_else(|| format!("artifact vanished: {name}").into())
+    }
+
+    /// Create an Insights Board.
+    pub fn create_board(&mut self, title: impl Into<String>) -> &mut InsightsBoard {
+        let title = title.into();
+        self.boards
+            .entry(title.clone())
+            .or_insert_with(|| InsightsBoard::new(title))
+    }
+
+    /// Look up a board.
+    pub fn board(&self, title: &str) -> Option<&InsightsBoard> {
+        self.boards.get(title)
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_storage::Pricing;
+
+    fn platform_with_collisions() -> Platform {
+        let p = Platform::new();
+        let (collisions, parties, victims) = dc_storage::demo::california_collisions(300, 1);
+        let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+        db.create_table("collisions", &collisions).unwrap();
+        db.create_table("parties", &parties).unwrap();
+        db.create_table("victims", &victims).unwrap();
+        p.add_database(db).unwrap();
+        p
+    }
+
+    #[test]
+    fn gel_chat_path() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        let reply = p
+            .chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        assert_eq!(reply.path, ChatPath::Gel);
+        assert!(reply.output.as_table().unwrap().num_rows() >= 300);
+    }
+
+    #[test]
+    fn figure1_visualize_phrase_path() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        p.chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        // GEL handles Visualize directly, so this goes down the Gel path;
+        // the phrase layer handles utterances GEL cannot (with filters).
+        let reply = p
+            .chat(&h, "Visualize at_fault by party_age, party_sex, cellphone_in_use")
+            .unwrap();
+        let charts = reply.output.as_charts().expect("charts");
+        assert_eq!(charts.len(), 6);
+    }
+
+    #[test]
+    fn nl2code_chat_path() {
+        let mut p = platform_with_collisions();
+        // Deterministic translation for this test: no injected errors.
+        p.nl.model = Box::new(dc_nl::SimulatedLlm::oracle());
+        let h = p.open_session("ann");
+        let reply = p
+            .chat(&h, "How many parties are there for each party_sobriety")
+            .unwrap();
+        assert_eq!(reply.path, ChatPath::Llm);
+        let t = reply.output.as_table().unwrap();
+        assert!(t.num_rows() >= 2);
+        assert!(!reply.steps_gel.is_empty());
+    }
+
+    #[test]
+    fn save_share_refresh_artifact() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        p.chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        p.chat(&h, "Keep the rows where party_age is not null").unwrap();
+        let a = p.save_artifact(&h, "adults").unwrap();
+        assert_eq!(a.version, 1);
+        assert!(!a.recipe_gel().is_empty());
+        // Share via secret link.
+        let link = p.share_artifact_link("adults", Permission::View).unwrap();
+        let shared = p.open_shared(&link.key, &link.secret).unwrap();
+        assert_eq!(shared.name, "adults");
+        assert!(p.open_shared(&link.key, "wrong").is_err());
+        // Refresh bumps the version.
+        assert_eq!(p.refresh_artifact("adults").unwrap(), 2);
+        // Saved artifacts appear on the home screen.
+        assert!(p
+            .home
+            .list("home")
+            .unwrap()
+            .contains(&dc_collab::FolderEntry::Artifact("adults".into())));
+    }
+
+    #[test]
+    fn boards_collect_artifacts() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        p.chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        p.save_artifact(&h, "all-parties").unwrap();
+        let board = p.create_board("Q3 readout");
+        board.pin_artifact("all-parties", 0, 0, 600, 400);
+        board.add_text("Findings below.", 0, 420, 600, 60);
+        assert_eq!(p.board("Q3 readout").unwrap().artifact_names(), vec!["all-parties"]);
+    }
+
+    #[test]
+    fn schema_hints_cover_catalog() {
+        let p = platform_with_collisions();
+        let hints = p.schema_hints();
+        assert!(hints.tables.contains_key("parties"));
+        assert!(hints.tables.contains_key("collisions"));
+        assert!(hints
+            .tables
+            .get("parties")
+            .unwrap()
+            .iter()
+            .any(|c| c == "party_sobriety"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Validity bitmaps for nullable columns.
+
+/// A packed bitmap tracking which rows of a column are valid (non-null).
+///
+/// Bit `i` set means row `i` holds a real value. Packing 64 rows per word
+/// keeps null checks cache-friendly in the vectorized kernels, following
+/// the Arrow/DataFusion representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all valid.
+    pub fn new_valid(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// A bitmap of `len` bits, all null.
+    pub fn new_null(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a bool slice (`true` = valid).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = Bitmap::new_null(bits.len());
+        for (i, &v) in bits.iter().enumerate() {
+            if v {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        if valid {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, valid: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if valid {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Count of valid bits.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Count of null bits.
+    pub fn count_null(&self) -> usize {
+        self.len - self.count_valid()
+    }
+
+    /// Whether every bit is valid (fast path used by kernels to skip null
+    /// checks entirely).
+    pub fn all_valid(&self) -> bool {
+        self.count_valid() == self.len
+    }
+
+    /// Bitwise AND of two bitmaps (null if either is null).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Gather the bits at `indices` into a new bitmap.
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        let mut out = Bitmap::new_null(indices.len());
+        for (o, &i) in indices.iter().enumerate() {
+            if self.get(i) {
+                out.set(o, true);
+            }
+        }
+        out
+    }
+
+    /// Extend with the contents of another bitmap.
+    pub fn extend(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// A contiguous slice `[start, start+count)` as a new bitmap.
+    pub fn slice(&self, start: usize, count: usize) -> Bitmap {
+        let mut out = Bitmap::new_null(count);
+        for o in 0..count {
+            if self.get(start + o) {
+                out.set(o, true);
+            }
+        }
+        out
+    }
+
+    /// Iterate validity bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Clear any garbage bits beyond `len` in the last word so popcounts
+    /// stay correct.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_valid_counts() {
+        let b = Bitmap::new_valid(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_valid(), 130);
+        assert!(b.all_valid());
+    }
+
+    #[test]
+    fn new_null_counts() {
+        let b = Bitmap::new_null(70);
+        assert_eq!(b.count_valid(), 0);
+        assert_eq!(b.count_null(), 70);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new_null(100);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(99, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_valid(), 4);
+        b.set(63, false);
+        assert!(!b.get(63));
+        assert_eq!(b.count_valid(), 3);
+    }
+
+    #[test]
+    fn push_across_word_boundary() {
+        let mut b = Bitmap::new_null(0);
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_valid(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn and_combines() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        let c = a.and(&b);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn take_gathers() {
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+        let t = b.take(&[4, 1, 0]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn slice_window() {
+        let b = Bitmap::from_bools(&[true, false, true, true, false]);
+        let s = b.slice(1, 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn tail_masked_after_new_valid() {
+        // 65 valid bits must not report 128 from an unmasked last word.
+        let b = Bitmap::new_valid(65);
+        assert_eq!(b.count_valid(), 65);
+    }
+}

@@ -1,0 +1,613 @@
+//! Typed columnar storage.
+
+use crate::bitmap::Bitmap;
+use crate::dtype::DataType;
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+/// A column of values, stored as a dense typed vector plus a validity
+/// bitmap. Slots whose validity bit is clear hold an arbitrary placeholder
+/// and must not be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Bool(Vec<bool>, Bitmap),
+    Int(Vec<i64>, Bitmap),
+    Float(Vec<f64>, Bitmap),
+    Str(Vec<String>, Bitmap),
+    /// Days since 1970-01-01.
+    Date(Vec<i32>, Bitmap),
+}
+
+impl Column {
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Bool(..) => DataType::Bool,
+            Column::Int(..) => DataType::Int,
+            Column::Float(..) => DataType::Float,
+            Column::Str(..) => DataType::Str,
+            Column::Date(..) => DataType::Date,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v, _) => v.len(),
+            Column::Int(v, _) => v.len(),
+            Column::Float(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+            Column::Date(v, _) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Bool(_, b)
+            | Column::Int(_, b)
+            | Column::Float(_, b)
+            | Column::Str(_, b)
+            | Column::Date(_, b) => b,
+        }
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.validity().count_null()
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Column {
+        match dtype {
+            DataType::Bool => Column::Bool(Vec::new(), Bitmap::new_null(0)),
+            DataType::Int => Column::Int(Vec::new(), Bitmap::new_null(0)),
+            DataType::Float => Column::Float(Vec::new(), Bitmap::new_null(0)),
+            DataType::Str => Column::Str(Vec::new(), Bitmap::new_null(0)),
+            DataType::Date => Column::Date(Vec::new(), Bitmap::new_null(0)),
+        }
+    }
+
+    /// A column of `len` nulls of the given type.
+    pub fn nulls(dtype: DataType, len: usize) -> Column {
+        let b = Bitmap::new_null(len);
+        match dtype {
+            DataType::Bool => Column::Bool(vec![false; len], b),
+            DataType::Int => Column::Int(vec![0; len], b),
+            DataType::Float => Column::Float(vec![0.0; len], b),
+            DataType::Str => Column::Str(vec![String::new(); len], b),
+            DataType::Date => Column::Date(vec![0; len], b),
+        }
+    }
+
+    /// Build an all-valid int column.
+    pub fn from_ints(vals: Vec<i64>) -> Column {
+        let b = Bitmap::new_valid(vals.len());
+        Column::Int(vals, b)
+    }
+
+    /// Build an int column with optional values.
+    pub fn from_opt_ints(vals: Vec<Option<i64>>) -> Column {
+        let mut data = Vec::with_capacity(vals.len());
+        let mut valid = Bitmap::new_null(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    valid.set(i, true);
+                }
+                None => data.push(0),
+            }
+        }
+        Column::Int(data, valid)
+    }
+
+    /// Build an all-valid float column.
+    pub fn from_floats(vals: Vec<f64>) -> Column {
+        let b = Bitmap::new_valid(vals.len());
+        Column::Float(vals, b)
+    }
+
+    /// Build a float column with optional values.
+    pub fn from_opt_floats(vals: Vec<Option<f64>>) -> Column {
+        let mut data = Vec::with_capacity(vals.len());
+        let mut valid = Bitmap::new_null(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    valid.set(i, true);
+                }
+                None => data.push(0.0),
+            }
+        }
+        Column::Float(data, valid)
+    }
+
+    /// Build an all-valid string column.
+    pub fn from_strs<S: Into<String>>(vals: Vec<S>) -> Column {
+        let data: Vec<String> = vals.into_iter().map(Into::into).collect();
+        let b = Bitmap::new_valid(data.len());
+        Column::Str(data, b)
+    }
+
+    /// Build a string column with optional values.
+    pub fn from_opt_strs(vals: Vec<Option<String>>) -> Column {
+        let mut data = Vec::with_capacity(vals.len());
+        let mut valid = Bitmap::new_null(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    valid.set(i, true);
+                }
+                None => data.push(String::new()),
+            }
+        }
+        Column::Str(data, valid)
+    }
+
+    /// Build an all-valid bool column.
+    pub fn from_bools(vals: Vec<bool>) -> Column {
+        let b = Bitmap::new_valid(vals.len());
+        Column::Bool(vals, b)
+    }
+
+    /// Build an all-valid date column (days since epoch).
+    pub fn from_dates(vals: Vec<i32>) -> Column {
+        let b = Bitmap::new_valid(vals.len());
+        Column::Date(vals, b)
+    }
+
+    /// Build a date column with optional values.
+    pub fn from_opt_dates(vals: Vec<Option<i32>>) -> Column {
+        let mut data = Vec::with_capacity(vals.len());
+        let mut valid = Bitmap::new_null(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    valid.set(i, true);
+                }
+                None => data.push(0),
+            }
+        }
+        Column::Date(data, valid)
+    }
+
+    /// Build a column from scalar [`Value`]s, inferring the type. All
+    /// non-null values must share a type (ints widen to float when mixed
+    /// with floats). An all-null input produces a `Str` column of nulls.
+    pub fn from_values(vals: &[Value]) -> Result<Column> {
+        // Infer the unified type.
+        let mut dtype: Option<DataType> = None;
+        for v in vals {
+            if let Some(t) = v.dtype() {
+                dtype = Some(match dtype {
+                    None => t,
+                    Some(cur) => cur.unify(t).ok_or_else(|| {
+                        EngineError::schema_mismatch(format!(
+                            "mixed value types in column: {cur} vs {t}"
+                        ))
+                    })?,
+                });
+            }
+        }
+        let dtype = dtype.unwrap_or(DataType::Str);
+        let mut col = Column::empty(dtype);
+        for v in vals {
+            col.push_value(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Read row `i` as a scalar [`Value`] (null if the validity bit is
+    /// clear). Intended for display and boundary layers, not kernels.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity().get(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Bool(v, _) => Value::Bool(v[i]),
+            Column::Int(v, _) => Value::Int(v[i]),
+            Column::Float(v, _) => Value::Float(v[i]),
+            Column::Str(v, _) => Value::Str(v[i].clone()),
+            Column::Date(v, _) => Value::Date(v[i]),
+        }
+    }
+
+    /// Append a scalar, which must be null or match the column type
+    /// (ints are accepted into float columns).
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        match (self, v) {
+            (Column::Bool(data, valid), Value::Bool(x)) => {
+                data.push(*x);
+                valid.push(true);
+            }
+            (Column::Int(data, valid), Value::Int(x)) => {
+                data.push(*x);
+                valid.push(true);
+            }
+            (Column::Float(data, valid), Value::Float(x)) => {
+                data.push(*x);
+                valid.push(true);
+            }
+            (Column::Float(data, valid), Value::Int(x)) => {
+                data.push(*x as f64);
+                valid.push(true);
+            }
+            (Column::Str(data, valid), Value::Str(x)) => {
+                data.push(x.clone());
+                valid.push(true);
+            }
+            (Column::Date(data, valid), Value::Date(x)) => {
+                data.push(*x);
+                valid.push(true);
+            }
+            (col, Value::Null) => match col {
+                Column::Bool(data, valid) => {
+                    data.push(false);
+                    valid.push(false);
+                }
+                Column::Int(data, valid) => {
+                    data.push(0);
+                    valid.push(false);
+                }
+                Column::Float(data, valid) => {
+                    data.push(0.0);
+                    valid.push(false);
+                }
+                Column::Str(data, valid) => {
+                    data.push(String::new());
+                    valid.push(false);
+                }
+                Column::Date(data, valid) => {
+                    data.push(0);
+                    valid.push(false);
+                }
+            },
+            (col, v) => {
+                return Err(EngineError::TypeMismatch {
+                    expected: col.dtype(),
+                    actual: v.dtype().unwrap_or(DataType::Str),
+                    context: "push_value".into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather rows at `indices` into a new column. Indices may repeat and
+    /// appear in any order (used by sort, join and sampling).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let valid = self.validity().take(indices);
+        match self {
+            Column::Bool(v, _) => Column::Bool(indices.iter().map(|&i| v[i]).collect(), valid),
+            Column::Int(v, _) => Column::Int(indices.iter().map(|&i| v[i]).collect(), valid),
+            Column::Float(v, _) => Column::Float(indices.iter().map(|&i| v[i]).collect(), valid),
+            Column::Str(v, _) => {
+                Column::Str(indices.iter().map(|&i| v[i].clone()).collect(), valid)
+            }
+            Column::Date(v, _) => Column::Date(indices.iter().map(|&i| v[i]).collect(), valid),
+        }
+    }
+
+    /// Keep rows where `mask[i]` is true. `mask` must match the column
+    /// length.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// A contiguous slice `[start, start+count)` as a new column.
+    pub fn slice(&self, start: usize, count: usize) -> Column {
+        let count = count.min(self.len().saturating_sub(start));
+        let valid = self.validity().slice(start, count);
+        match self {
+            Column::Bool(v, _) => Column::Bool(v[start..start + count].to_vec(), valid),
+            Column::Int(v, _) => Column::Int(v[start..start + count].to_vec(), valid),
+            Column::Float(v, _) => Column::Float(v[start..start + count].to_vec(), valid),
+            Column::Str(v, _) => Column::Str(v[start..start + count].to_vec(), valid),
+            Column::Date(v, _) => Column::Date(v[start..start + count].to_vec(), valid),
+        }
+    }
+
+    /// Append all rows of another column of the same type.
+    pub fn extend(&mut self, other: &Column) -> Result<()> {
+        if self.dtype() != other.dtype() {
+            return Err(EngineError::TypeMismatch {
+                expected: self.dtype(),
+                actual: other.dtype(),
+                context: "extend".into(),
+            });
+        }
+        match (self, other) {
+            (Column::Bool(a, va), Column::Bool(b, vb)) => {
+                a.extend_from_slice(b);
+                va.extend(vb);
+            }
+            (Column::Int(a, va), Column::Int(b, vb)) => {
+                a.extend_from_slice(b);
+                va.extend(vb);
+            }
+            (Column::Float(a, va), Column::Float(b, vb)) => {
+                a.extend_from_slice(b);
+                va.extend(vb);
+            }
+            (Column::Str(a, va), Column::Str(b, vb)) => {
+                a.extend_from_slice(b);
+                va.extend(vb);
+            }
+            (Column::Date(a, va), Column::Date(b, vb)) => {
+                a.extend_from_slice(b);
+                va.extend(vb);
+            }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Cast to another type. Supported casts: numeric widening/narrowing,
+    /// anything → Str (rendering), Str → numeric/date (parsing; failures
+    /// become null), Date ↔ Int (days since epoch), Int/Float → Bool
+    /// (nonzero).
+    pub fn cast(&self, to: DataType) -> Result<Column> {
+        if self.dtype() == to {
+            return Ok(self.clone());
+        }
+        let n = self.len();
+        let mut out = Column::empty(to);
+        for i in 0..n {
+            let v = self.get(i);
+            let cast = cast_value(&v, to);
+            out.push_value(&cast)?;
+        }
+        Ok(out)
+    }
+
+    /// Iterate rows as scalar values (boundary-layer convenience).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// View float data (valid for Float columns).
+    pub fn as_floats(&self) -> Option<(&[f64], &Bitmap)> {
+        match self {
+            Column::Float(v, b) => Some((v, b)),
+            _ => None,
+        }
+    }
+
+    /// View int data (valid for Int columns).
+    pub fn as_ints(&self) -> Option<(&[i64], &Bitmap)> {
+        match self {
+            Column::Int(v, b) => Some((v, b)),
+            _ => None,
+        }
+    }
+
+    /// View string data (valid for Str columns).
+    pub fn as_strs(&self) -> Option<(&[String], &Bitmap)> {
+        match self {
+            Column::Str(v, b) => Some((v, b)),
+            _ => None,
+        }
+    }
+
+    /// View bool data (valid for Bool columns).
+    pub fn as_bools(&self) -> Option<(&[bool], &Bitmap)> {
+        match self {
+            Column::Bool(v, b) => Some((v, b)),
+            _ => None,
+        }
+    }
+
+    /// View date data (valid for Date columns).
+    pub fn as_dates(&self) -> Option<(&[i32], &Bitmap)> {
+        match self {
+            Column::Date(v, b) => Some((v, b)),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of row `i`: ints widen to f64. `None` for null or
+    /// non-numeric.
+    #[inline]
+    pub fn numeric_at(&self, i: usize) -> Option<f64> {
+        if !self.validity().get(i) {
+            return None;
+        }
+        match self {
+            Column::Int(v, _) => Some(v[i] as f64),
+            Column::Float(v, _) => Some(v[i]),
+            Column::Date(v, _) => Some(v[i] as f64),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap size in bytes (used by the storage layer's
+    /// scan-cost meter).
+    pub fn byte_size(&self) -> usize {
+        let validity_bytes = self.len().div_ceil(8);
+        validity_bytes
+            + match self {
+                Column::Bool(v, _) => v.len(),
+                Column::Int(v, _) => v.len() * 8,
+                Column::Float(v, _) => v.len() * 8,
+                Column::Date(v, _) => v.len() * 4,
+                Column::Str(v, _) => v.iter().map(|s| s.len() + 24).sum(),
+            }
+    }
+}
+
+/// Cast a scalar to a target type under the column cast rules. Failures
+/// yield null rather than errors so bulk casts are total.
+pub fn cast_value(v: &Value, to: DataType) -> Value {
+    use DataType as T;
+    match (v, to) {
+        (Value::Null, _) => Value::Null,
+        (v, T::Str) => Value::Str(v.render()),
+        (Value::Int(x), T::Float) => Value::Float(*x as f64),
+        (Value::Float(x), T::Int) => {
+            if x.is_finite() {
+                Value::Int(*x as i64)
+            } else {
+                Value::Null
+            }
+        }
+        (Value::Int(x), T::Bool) => Value::Bool(*x != 0),
+        (Value::Float(x), T::Bool) => Value::Bool(*x != 0.0),
+        (Value::Bool(x), T::Int) => Value::Int(*x as i64),
+        (Value::Bool(x), T::Float) => Value::Float(*x as i64 as f64),
+        (Value::Date(x), T::Int) => Value::Int(*x as i64),
+        (Value::Date(x), T::Float) => Value::Float(*x as f64),
+        (Value::Int(x), T::Date) => i32::try_from(*x).map(Value::Date).unwrap_or(Value::Null),
+        (Value::Str(s), T::Int) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        (Value::Str(s), T::Float) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or(Value::Null),
+        (Value::Str(s), T::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" => Value::Bool(true),
+            "false" | "0" | "no" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        (Value::Str(s), T::Date) => crate::date::parse_date(s)
+            .map(Value::Date)
+            .unwrap_or(Value::Null),
+        (v, t) if v.dtype() == Some(t) => v.clone(),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_opt_ints_nulls() {
+        let c = Column::from_opt_ints(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+    }
+
+    #[test]
+    fn from_values_infers_type() {
+        let c = Column::from_values(&[Value::Null, Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn from_values_widens_int_to_float() {
+        let c = Column::from_values(&[Value::Int(1), Value::Float(2.5)]).unwrap();
+        assert_eq!(c.dtype(), DataType::Float);
+        assert_eq!(c.get(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn from_values_rejects_mixed() {
+        assert!(Column::from_values(&[Value::Int(1), Value::Str("a".into())]).is_err());
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::from_strs(vec!["a", "b", "c"]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.get(0), Value::Str("c".into()));
+        assert_eq!(t.get(1), Value::Str("a".into()));
+        assert_eq!(t.get(2), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn filter_mask() {
+        let c = Column::from_ints(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1), Value::Int(40));
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let c = Column::from_ints(vec![1, 2, 3]);
+        let s = c.slice(2, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Value::Int(3));
+    }
+
+    #[test]
+    fn extend_same_type() {
+        let mut a = Column::from_ints(vec![1]);
+        let b = Column::from_opt_ints(vec![None, Some(2)]);
+        a.extend(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 1);
+    }
+
+    #[test]
+    fn extend_type_mismatch() {
+        let mut a = Column::from_ints(vec![1]);
+        let b = Column::from_strs(vec!["x"]);
+        assert!(a.extend(&b).is_err());
+    }
+
+    #[test]
+    fn cast_str_to_int_with_failures() {
+        let c = Column::from_strs(vec!["1", "x", " 3 "]);
+        let out = c.cast(DataType::Int).unwrap();
+        assert_eq!(out.get(0), Value::Int(1));
+        assert_eq!(out.get(1), Value::Null);
+        assert_eq!(out.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn cast_date_roundtrip_via_int() {
+        let c = Column::from_dates(vec![0, 100]);
+        let ints = c.cast(DataType::Int).unwrap();
+        let back = ints.cast(DataType::Date).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cast_anything_to_str_renders() {
+        let c = Column::from_opt_floats(vec![Some(2.0), None]);
+        let s = c.cast(DataType::Str).unwrap();
+        assert_eq!(s.get(0), Value::Str("2.0".into()));
+        assert_eq!(s.get(1), Value::Null);
+    }
+
+    #[test]
+    fn numeric_at_widens() {
+        let c = Column::from_ints(vec![7]);
+        assert_eq!(c.numeric_at(0), Some(7.0));
+        let c = Column::from_opt_floats(vec![None]);
+        assert_eq!(c.numeric_at(0), None);
+    }
+
+    #[test]
+    fn push_value_int_into_float() {
+        let mut c = Column::empty(DataType::Float);
+        c.push_value(&Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn byte_size_scales() {
+        let small = Column::from_ints(vec![1; 10]);
+        let big = Column::from_ints(vec![1; 1000]);
+        assert!(big.byte_size() > small.byte_size() * 50);
+    }
+}

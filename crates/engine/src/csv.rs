@@ -1,0 +1,326 @@
+//! CSV reading and writing with type inference.
+//!
+//! Implements the `Load data from the file <name>` skill's parsing layer:
+//! RFC-4180-style quoting, header row, and per-column type inference over
+//! the whole file (Int ⊂ Float ⊂ Str; dates recognized in the formats
+//! accepted by [`crate::date::parse_date`]).
+
+use crate::column::Column;
+use crate::date::parse_date;
+use crate::dtype::DataType;
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parse CSV text into raw records (fields as strings; empty = missing).
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        // Embedded quote in unquoted field: take literally.
+                        field.push('"');
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(EngineError::parse("unterminated quoted field"));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err(EngineError::parse("empty CSV input"));
+    }
+    // Drop fully-empty trailing lines.
+    while records
+        .last()
+        .is_some_and(|r| r.len() == 1 && r[0].is_empty())
+    {
+        records.pop();
+    }
+    Ok(records)
+}
+
+/// Infer the narrowest type that parses every non-empty sample.
+fn infer_type(samples: &[&str]) -> DataType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_date = true;
+    let mut all_bool = true;
+    let mut any = false;
+    for s in samples {
+        let s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        any = true;
+        if all_int && s.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if all_float && s.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if all_date && parse_date(s).is_err() {
+            all_date = false;
+        }
+        if all_bool
+            && !matches!(
+                s.to_ascii_lowercase().as_str(),
+                "true" | "false" | "yes" | "no"
+            )
+        {
+            all_bool = false;
+        }
+    }
+    if !any {
+        return DataType::Str;
+    }
+    if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else if all_date {
+        DataType::Date
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_cell(s: &str, dtype: DataType) -> Value {
+    let s = s.trim();
+    if s.is_empty() || s.eq_ignore_ascii_case("null") || s.eq_ignore_ascii_case("na") {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Bool => match s.to_ascii_lowercase().as_str() {
+            "true" | "yes" => Value::Bool(true),
+            "false" | "no" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        DataType::Int => s.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => s.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        DataType::Date => parse_date(s).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Str => Value::Str(s.to_string()),
+    }
+}
+
+/// Read CSV text (with a header row) into a table, inferring column types.
+pub fn read_csv(text: &str) -> Result<Table> {
+    let records = parse_records(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Err(EngineError::parse("CSV has no header row"));
+    };
+    let ncols = header.len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != ncols {
+            return Err(EngineError::parse(format!(
+                "row {} has {} fields, expected {ncols}",
+                i + 2,
+                r.len()
+            )));
+        }
+    }
+    // Infer per-column type. "null"/"na" markers count as missing.
+    let mut out = Table::empty();
+    for (c, raw_name) in header.iter().enumerate() {
+        let samples: Vec<&str> = rows
+            .iter()
+            .map(|r| r[c].as_str())
+            .filter(|s| {
+                let t = s.trim();
+                !(t.is_empty() || t.eq_ignore_ascii_case("null") || t.eq_ignore_ascii_case("na"))
+            })
+            .collect();
+        let dtype = infer_type(&samples);
+        let mut col = Column::empty(dtype);
+        for r in rows {
+            col.push_value(&parse_cell(&r[c], dtype))?;
+        }
+        let name = if raw_name.trim().is_empty() {
+            format!("column_{}", c + 1)
+        } else {
+            raw_name.trim().to_string()
+        };
+        let name = out.schema().fresh_name(&name);
+        out.add_column(&name, col)?;
+    }
+    Ok(out)
+}
+
+/// Write a table as CSV text (header + rows, RFC-4180 quoting).
+pub fn write_csv(table: &Table) -> String {
+    fn quote(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        let cells: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(r);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    quote(&v.render())
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_inference() {
+        let t = read_csv("a,b,c,d\n1,1.5,hello,2020-01-01\n2,2.5,world,2020-06-15\n").unwrap();
+        assert_eq!(t.column("a").unwrap().dtype(), DataType::Int);
+        assert_eq!(t.column("b").unwrap().dtype(), DataType::Float);
+        assert_eq!(t.column("c").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.column("d").unwrap().dtype(), DataType::Date);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn missing_values_become_null() {
+        let t = read_csv("x,y\n1,\n,b\nnull,c\n").unwrap();
+        assert_eq!(t.value(0, "y").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "x").unwrap(), Value::Null);
+        assert_eq!(t.value(2, "x").unwrap(), Value::Null);
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Int);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = read_csv("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\nplain,ok\n").unwrap();
+        assert_eq!(
+            t.value(0, "name").unwrap(),
+            Value::Str("Smith, John".into())
+        );
+        assert_eq!(
+            t.value(0, "notes").unwrap(),
+            Value::Str("said \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let t = read_csv("a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("line1\nline2".into()));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(read_csv("a,b\n1\n").is_err());
+        assert!(read_csv("a,b\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv("a\n\"oops\n").is_err());
+        assert!(read_csv("").is_err());
+    }
+
+    #[test]
+    fn bool_inference() {
+        let t = read_csv("flag\ntrue\nno\n").unwrap();
+        assert_eq!(t.column("flag").unwrap().dtype(), DataType::Bool);
+        assert_eq!(t.value(1, "flag").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn duplicate_and_blank_headers_renamed() {
+        let t = read_csv("a,a,\n1,2,3\n").unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "a_2", "column_3"]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = read_csv("a,b\n1,\"x,y\"\n,plain\n").unwrap();
+        let text = write_csv(&original);
+        let back = read_csv(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let t = read_csv("v\n1\n2.5\n").unwrap();
+        assert_eq!(t.column("v").unwrap().dtype(), DataType::Float);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = read_csv("a,b\n1,2").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+}

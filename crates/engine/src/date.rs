@@ -1,0 +1,192 @@
+//! Minimal proleptic-Gregorian calendar support.
+//!
+//! Dates are stored as `i32` days since the Unix epoch (1970-01-01). This is
+//! the only temporal representation skills need: the paper's recipes filter
+//! by date ranges ("Keep the rows where DATE is between the dates
+//! 01-01-2005 to 12-31-2020") and advance quarterly series for forecasting.
+
+use crate::error::{EngineError, Result};
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Whether `year` is a leap year in the Gregorian calendar.
+pub fn is_leap_year(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` (1-12) of `year`.
+pub fn days_in_month(year: i64, month: u32) -> i64 {
+    debug_assert!((1..=12).contains(&month));
+    if month == 2 && is_leap_year(year) {
+        29
+    } else {
+        MONTH_DAYS[(month - 1) as usize]
+    }
+}
+
+/// Convert a calendar date to days since 1970-01-01.
+///
+/// Uses the standard civil-from-days algorithm (Howard Hinnant's
+/// `days_from_civil`), valid for the entire `i32` day range.
+pub fn days_from_ymd(year: i64, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Convert days since 1970-01-01 back to `(year, month, day)`.
+pub fn ymd_from_days(days: i32) -> (i64, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse a date string into days since epoch.
+///
+/// Accepts the formats users type in GEL sentences:
+/// `YYYY-MM-DD`, `MM-DD-YYYY`, `MM/DD/YYYY`, and `YYYY/MM/DD`.
+pub fn parse_date(s: &str) -> Result<i32> {
+    let sep = if s.contains('/') { '/' } else { '-' };
+    let parts: Vec<&str> = s.trim().split(sep).collect();
+    if parts.len() != 3 {
+        return Err(EngineError::parse(format!("invalid date: {s:?}")));
+    }
+    let nums: Vec<i64> = parts
+        .iter()
+        .map(|p| {
+            p.parse::<i64>()
+                .map_err(|_| EngineError::parse(format!("invalid date component in {s:?}")))
+        })
+        .collect::<Result<_>>()?;
+    // Disambiguate by which side holds the 4-digit year.
+    let (y, m, d) = if parts[0].len() == 4 {
+        (nums[0], nums[1], nums[2])
+    } else if parts[2].len() == 4 {
+        (nums[2], nums[0], nums[1])
+    } else {
+        return Err(EngineError::parse(format!(
+            "ambiguous date (no 4-digit year): {s:?}"
+        )));
+    };
+    if !(1..=12).contains(&m) {
+        return Err(EngineError::parse(format!("month out of range in {s:?}")));
+    }
+    let m = m as u32;
+    if d < 1 || d > days_in_month(y, m) {
+        return Err(EngineError::parse(format!("day out of range in {s:?}")));
+    }
+    Ok(days_from_ymd(y, m, d as u32))
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = ymd_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Add `n` calendar months to a date, clamping the day to the target
+/// month's length (used by time-series forecasting to step quarterly and
+/// monthly series).
+pub fn add_months(days: i32, n: i32) -> i32 {
+    let (y, m, d) = ymd_from_days(days);
+    let total = y * 12 + (m as i64 - 1) + n as i64;
+    let ny = total.div_euclid(12);
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let nd = (d as i64).min(days_in_month(ny, nm)) as u32;
+    days_from_ymd(ny, nm, nd)
+}
+
+/// Add `n` years to a date (Feb 29 clamps to Feb 28 in non-leap targets).
+pub fn add_years(days: i32, n: i32) -> i32 {
+    add_months(days, n * 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_ymd(1970, 1, 1), 0);
+        assert_eq!(ymd_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_ymd(2000, 3, 1), 11017);
+        assert_eq!(days_from_ymd(1969, 12, 31), -1);
+        assert_eq!(format_date(days_from_ymd(2020, 2, 29)), "2020-02-29");
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        for days in (-200_000..200_000).step_by(997) {
+            let (y, m, d) = ymd_from_days(days);
+            assert_eq!(days_from_ymd(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+    }
+
+    #[test]
+    fn parse_iso() {
+        assert_eq!(parse_date("2005-01-01").unwrap(), days_from_ymd(2005, 1, 1));
+    }
+
+    #[test]
+    fn parse_us() {
+        // The Figure 2 recipe uses "01-01-2005" and "12-31-2020".
+        assert_eq!(parse_date("01-01-2005").unwrap(), days_from_ymd(2005, 1, 1));
+        assert_eq!(
+            parse_date("12-31-2020").unwrap(),
+            days_from_ymd(2020, 12, 31)
+        );
+        assert_eq!(
+            parse_date("12/31/2020").unwrap(),
+            days_from_ymd(2020, 12, 31)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_date("not a date").is_err());
+        assert!(parse_date("2020-13-01").is_err());
+        assert!(parse_date("2020-02-30").is_err());
+        assert!(parse_date("1-2-3").is_err());
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let d = days_from_ymd(2020, 1, 31);
+        assert_eq!(ymd_from_days(add_months(d, 1)), (2020, 2, 29));
+        assert_eq!(ymd_from_days(add_months(d, 13)), (2021, 2, 28));
+        let q = days_from_ymd(2020, 10, 1);
+        assert_eq!(ymd_from_days(add_months(q, 3)), (2021, 1, 1));
+    }
+
+    #[test]
+    fn year_arithmetic() {
+        let d = days_from_ymd(2020, 2, 29);
+        assert_eq!(ymd_from_days(add_years(d, 1)), (2021, 2, 28));
+        assert_eq!(ymd_from_days(add_years(d, -10)), (2010, 2, 28));
+    }
+}

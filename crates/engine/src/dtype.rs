@@ -1,0 +1,109 @@
+//! Data types supported by the engine.
+
+use std::fmt;
+
+/// The logical type of a column or value.
+///
+/// DataChat skills operate over a deliberately small set of types — the
+/// platform abstracts away the richer physical types of underlying
+/// databases, which keeps skill semantics simple for end users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// Whether the type is numeric (int or float).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Whether values of this type have a natural total order usable for
+    /// sorting and range predicates.
+    pub fn is_ordered(self) -> bool {
+        // All engine types are ordered; strings lexicographically.
+        true
+    }
+
+    /// The common supertype two types coerce to for arithmetic/comparison,
+    /// if one exists.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name used in GEL explanations and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "Bool",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Date => "Date",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn unify_same() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Date,
+        ] {
+            assert_eq!(t.unify(t), Some(t));
+        }
+    }
+
+    #[test]
+    fn unify_int_float() {
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Float.unify(DataType::Int), Some(DataType::Float));
+    }
+
+    #[test]
+    fn unify_incompatible() {
+        assert_eq!(DataType::Str.unify(DataType::Int), None);
+        assert_eq!(DataType::Date.unify(DataType::Bool), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Date.to_string(), "Date");
+        assert_eq!(DataType::Str.to_string(), "Str");
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for the engine crate.
+
+use std::fmt;
+
+use crate::dtype::DataType;
+
+/// Errors produced by engine operations.
+///
+/// Every fallible public API in `dc-engine` returns [`Result`] with this
+/// error type; user-facing layers (skills, GEL, NL2Code) convert these into
+/// human-readable messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound { name: String },
+    /// A column with this name already exists.
+    DuplicateColumn { name: String },
+    /// An operation received a value or column of the wrong type.
+    TypeMismatch {
+        expected: DataType,
+        actual: DataType,
+        context: String,
+    },
+    /// Two columns (or tables) that must have equal length do not.
+    LengthMismatch { left: usize, right: usize },
+    /// A row index was out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// Failure parsing external data (CSV, dates, numbers).
+    Parse { message: String },
+    /// An expression could not be evaluated.
+    Eval { message: String },
+    /// Invalid argument to an operation (bad sample rate, empty key list, ...).
+    InvalidArgument { message: String },
+    /// Schemas are incompatible (e.g. for concatenation or union).
+    SchemaMismatch { message: String },
+}
+
+impl EngineError {
+    /// Convenience constructor for [`EngineError::ColumnNotFound`].
+    pub fn column_not_found(name: impl Into<String>) -> Self {
+        EngineError::ColumnNotFound { name: name.into() }
+    }
+
+    /// Convenience constructor for [`EngineError::Parse`].
+    pub fn parse(message: impl Into<String>) -> Self {
+        EngineError::Parse {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::Eval`].
+    pub fn eval(message: impl Into<String>) -> Self {
+        EngineError::Eval {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::InvalidArgument`].
+    pub fn invalid_argument(message: impl Into<String>) -> Self {
+        EngineError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::SchemaMismatch`].
+    pub fn schema_mismatch(message: impl Into<String>) -> Self {
+        EngineError::SchemaMismatch {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ColumnNotFound { name } => {
+                write!(f, "column not found: {name:?}")
+            }
+            EngineError::DuplicateColumn { name } => {
+                write!(f, "duplicate column: {name:?}")
+            }
+            EngineError::TypeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            EngineError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            EngineError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            EngineError::Parse { message } => write!(f, "parse error: {message}"),
+            EngineError::Eval { message } => write!(f, "evaluation error: {message}"),
+            EngineError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+            EngineError::SchemaMismatch { message } => {
+                write!(f, "schema mismatch: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias used throughout the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = EngineError::column_not_found("age");
+        assert_eq!(e.to_string(), "column not found: \"age\"");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = EngineError::TypeMismatch {
+            expected: DataType::Int,
+            actual: DataType::Str,
+            context: "filter".into(),
+        };
+        assert!(e.to_string().contains("filter"));
+        assert!(e.to_string().contains("Int"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EngineError::parse("bad"));
+    }
+}

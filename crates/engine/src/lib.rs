@@ -1,0 +1,41 @@
+//! # dc-engine — columnar table engine
+//!
+//! The relational substrate beneath the DataChat reproduction. Provides a
+//! small, fully owned implementation of the pieces the platform's skills
+//! bottom out in:
+//!
+//! * typed, nullable columnar storage ([`column::Column`], [`bitmap::Bitmap`])
+//! * schemas and tables ([`schema::Schema`], [`table::Table`])
+//! * a vectorized expression language ([`expr::Expr`], [`eval`])
+//! * relational operators (filter/project/group-by/join/sort/sample/... in
+//!   [`ops`])
+//! * CSV ingestion with type inference ([`csv`])
+//! * summary statistics for data exploration ([`stats`])
+//!
+//! The design follows the DataFusion layering: logical descriptions
+//! (expressions, operator parameters) are separate from the kernels that
+//! execute them, so the skills layer can plan, cache, slice and flatten
+//! before any computation happens.
+
+pub mod bitmap;
+pub mod column;
+pub mod csv;
+pub mod date;
+pub mod dtype;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod ops;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use dtype::DataType;
+pub use error::{EngineError, Result};
+pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
+pub use ops::{AggFunc, AggSpec, JoinType, SortKey};
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

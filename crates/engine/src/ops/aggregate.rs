@@ -1,0 +1,698 @@
+//! Group-by aggregation.
+//!
+//! Implements the `Compute the <aggregate> of <column> for each <group>`
+//! skill (Table 1's data-wrangling row and the Figure 3 walkthrough).
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Aggregate functions available to the Compute skill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Count of non-null values of the argument column.
+    Count,
+    /// Count of rows in the group (the UI's "CountOfRecords").
+    CountRecords,
+    /// Count of distinct non-null values.
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Median,
+    /// Sample standard deviation.
+    StdDev,
+    /// Sample variance.
+    Variance,
+    /// First value in input order.
+    First,
+    /// Last value in input order.
+    Last,
+}
+
+impl AggFunc {
+    /// Canonical name used in SQL generation and GEL sentences.
+    pub fn name(self) -> &'static str {
+        use AggFunc::*;
+        match self {
+            Count => "count",
+            CountRecords => "count_records",
+            CountDistinct => "count_distinct",
+            Sum => "sum",
+            Avg => "avg",
+            Min => "min",
+            Max => "max",
+            Median => "median",
+            StdDev => "stddev",
+            Variance => "variance",
+            First => "first",
+            Last => "last",
+        }
+    }
+
+    /// GEL spelling ("the average of", "the count of", ...).
+    pub fn gel_name(self) -> &'static str {
+        use AggFunc::*;
+        match self {
+            Count => "count",
+            CountRecords => "count of records",
+            CountDistinct => "distinct count",
+            Sum => "sum",
+            Avg => "average",
+            Min => "minimum",
+            Max => "maximum",
+            Median => "median",
+            StdDev => "standard deviation",
+            Variance => "variance",
+            First => "first",
+            Last => "last",
+        }
+    }
+
+    /// Parse from either the canonical or the GEL spelling.
+    pub fn from_name(s: &str) -> Option<AggFunc> {
+        use AggFunc::*;
+        let all = [
+            Count,
+            CountRecords,
+            CountDistinct,
+            Sum,
+            Avg,
+            Min,
+            Max,
+            Median,
+            StdDev,
+            Variance,
+            First,
+            Last,
+        ];
+        let lower = s.trim().to_ascii_lowercase();
+        all.into_iter().find(|f| {
+            f.name() == lower
+                || f.gel_name() == lower
+                || (lower == "mean" && *f == Avg)
+                || (lower == "average" && *f == Avg)
+        })
+    }
+
+    /// Whether this aggregate requires a numeric argument.
+    pub fn requires_numeric(self) -> bool {
+        use AggFunc::*;
+        matches!(self, Sum | Avg | Median | StdDev | Variance)
+    }
+}
+
+/// One aggregate to compute: function, argument column (ignored for
+/// `CountRecords`), and the output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub column: Option<String>,
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Aggregate over a column with an explicit output name.
+    pub fn new(func: AggFunc, column: impl Into<String>, output: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func,
+            column: Some(column.into()),
+            output: output.into(),
+        }
+    }
+
+    /// Count of records with an explicit output name.
+    pub fn count_records(output: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::CountRecords,
+            column: None,
+            output: output.into(),
+        }
+    }
+
+    /// Default output name, e.g. `AverageAge` for avg(Age) — matching the
+    /// platform's auto-naming of computed columns.
+    pub fn default_output(func: AggFunc, column: Option<&str>) -> String {
+        let fname = match func {
+            AggFunc::CountRecords => return "CountOfRecords".to_string(),
+            f => f.name(),
+        };
+        let mut out = String::new();
+        let mut cap = true;
+        for ch in fname.chars() {
+            if ch == '_' {
+                cap = true;
+            } else if cap {
+                out.extend(ch.to_uppercase());
+                cap = false;
+            } else {
+                out.push(ch);
+            }
+        }
+        if let Some(c) = column {
+            out.push_str(&sanitize(c));
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Hashable group key: a row of values with canonical float bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey(Vec<KeyPart>);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Date(i32),
+}
+
+fn key_part(v: &Value) -> KeyPart {
+    match v {
+        Value::Null => KeyPart::Null,
+        Value::Bool(b) => KeyPart::Bool(*b),
+        Value::Int(i) => KeyPart::Int(*i),
+        Value::Float(f) => {
+            // Normalize -0.0 and NaN so equal-ish keys group together.
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            let f = if f.is_nan() { f64::NAN } else { f };
+            KeyPart::Float(f.to_bits())
+        }
+        Value::Str(s) => KeyPart::Str(s.clone()),
+        Value::Date(d) => KeyPart::Date(*d),
+    }
+}
+
+/// Incremental accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    CountRecords(u64),
+    CountDistinct(Vec<KeyPart>),
+    Sum { sum: f64, seen: bool, int: bool, isum: i64 },
+    Avg { sum: f64, n: u64 },
+    MinMax { best: Option<Value>, is_min: bool },
+    Values(Vec<f64>),
+    Moments { n: u64, mean: f64, m2: f64 },
+    First(Option<Value>),
+    Last(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc, int_input: bool) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountRecords => Acc::CountRecords(0),
+            AggFunc::CountDistinct => Acc::CountDistinct(Vec::new()),
+            AggFunc::Sum => Acc::Sum {
+                sum: 0.0,
+                seen: false,
+                int: int_input,
+                isum: 0,
+            },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => Acc::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::Median => Acc::Values(Vec::new()),
+            AggFunc::StdDev | AggFunc::Variance => Acc::Moments {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+            },
+            AggFunc::First => Acc::First(None),
+            AggFunc::Last => Acc::Last(None),
+        }
+    }
+
+    fn update(&mut self, col: Option<&Column>, row: usize) {
+        match self {
+            Acc::CountRecords(n) => *n += 1,
+            Acc::Count(n) => {
+                if let Some(c) = col {
+                    if c.validity().get(row) {
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::CountDistinct(seen) => {
+                if let Some(c) = col {
+                    let v = c.get(row);
+                    if !v.is_null() {
+                        let k = key_part(&v);
+                        if !seen.contains(&k) {
+                            seen.push(k);
+                        }
+                    }
+                }
+            }
+            Acc::Sum { sum, seen, int, isum } => {
+                if let Some(x) = col.and_then(|c| c.numeric_at(row)) {
+                    *sum += x;
+                    if *int {
+                        *isum = isum.wrapping_add(x as i64);
+                    }
+                    *seen = true;
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(x) = col.and_then(|c| c.numeric_at(row)) {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Acc::MinMax { best, is_min } => {
+                if let Some(c) = col {
+                    let v = c.get(row);
+                    if v.is_null() {
+                        return;
+                    }
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.cmp_total(b);
+                            if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            Acc::Values(vals) => {
+                if let Some(x) = col.and_then(|c| c.numeric_at(row)) {
+                    vals.push(x);
+                }
+            }
+            Acc::Moments { n, mean, m2 } => {
+                // Welford's online algorithm for numerically stable variance.
+                if let Some(x) = col.and_then(|c| c.numeric_at(row)) {
+                    *n += 1;
+                    let delta = x - *mean;
+                    *mean += delta / *n as f64;
+                    *m2 += delta * (x - *mean);
+                }
+            }
+            Acc::First(v) => {
+                if v.is_none() {
+                    if let Some(c) = col {
+                        let x = c.get(row);
+                        if !x.is_null() {
+                            *v = Some(x);
+                        }
+                    }
+                }
+            }
+            Acc::Last(v) => {
+                if let Some(c) = col {
+                    let x = c.get(row);
+                    if !x.is_null() {
+                        *v = Some(x);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, func: AggFunc) -> Value {
+        match self {
+            Acc::Count(n) | Acc::CountRecords(n) => Value::Int(n as i64),
+            Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
+            Acc::Sum { sum, seen, int, isum } => {
+                if !seen {
+                    Value::Null
+                } else if int {
+                    Value::Int(isum)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.map_or(Value::Null, |v| v),
+            Acc::Values(mut vals) => {
+                if vals.is_empty() {
+                    return Value::Null;
+                }
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let mid = vals.len() / 2;
+                Value::Float(if vals.len() % 2 == 1 {
+                    vals[mid]
+                } else {
+                    (vals[mid - 1] + vals[mid]) / 2.0
+                })
+            }
+            Acc::Moments { n, m2, .. } => {
+                if n < 2 {
+                    Value::Null
+                } else {
+                    let var = m2 / (n - 1) as f64;
+                    if func == AggFunc::Variance {
+                        Value::Float(var)
+                    } else {
+                        Value::Float(var.sqrt())
+                    }
+                }
+            }
+            Acc::First(v) | Acc::Last(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Group `table` by `keys` and compute `aggs` within each group.
+///
+/// With an empty key list the whole table forms one group (global
+/// aggregates). Output columns are the keys (original casing) followed by
+/// one column per aggregate. Groups appear in first-encounter order, which
+/// keeps results deterministic.
+pub fn group_by(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table> {
+    if aggs.is_empty() {
+        return Err(EngineError::invalid_argument(
+            "group_by requires at least one aggregate",
+        ));
+    }
+    // Resolve inputs up front.
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| table.column(k))
+        .collect::<Result<_>>()?;
+    let key_names: Vec<String> = keys
+        .iter()
+        .map(|k| {
+            table
+                .schema()
+                .field(k)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| k.to_string())
+        })
+        .collect();
+    let agg_cols: Vec<Option<&Column>> = aggs
+        .iter()
+        .map(|a| match (&a.column, a.func) {
+            (_, AggFunc::CountRecords) => Ok(None),
+            (Some(c), _) => {
+                let col = table.column(c)?;
+                if a.func.requires_numeric() && !col.dtype().is_numeric() {
+                    return Err(EngineError::invalid_argument(format!(
+                        "{} requires a numeric column, but {c} is {}",
+                        a.func.name(),
+                        col.dtype()
+                    )));
+                }
+                Ok(Some(col))
+            }
+            (None, f) => Err(EngineError::invalid_argument(format!(
+                "aggregate {} requires a column",
+                f.name()
+            ))),
+        })
+        .collect::<Result<_>>()?;
+
+    let n = table.num_rows();
+    let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    let new_accs = |agg_cols: &[Option<&Column>]| -> Vec<Acc> {
+        aggs.iter()
+            .zip(agg_cols)
+            .map(|(a, c)| {
+                let int_input = c.is_some_and(|c| c.dtype() == crate::dtype::DataType::Int);
+                Acc::new(a.func, int_input)
+            })
+            .collect()
+    };
+
+    if keys.is_empty() {
+        accs.push(new_accs(&agg_cols));
+        group_order.push(GroupKey(Vec::new()));
+        group_index.insert(GroupKey(Vec::new()), 0);
+    }
+
+    for row in 0..n {
+        let gid = if keys.is_empty() {
+            0
+        } else {
+            let key = GroupKey(key_cols.iter().map(|c| key_part(&c.get(row))).collect());
+            match group_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = group_order.len();
+                    group_index.insert(key.clone(), g);
+                    group_order.push(key);
+                    accs.push(new_accs(&agg_cols));
+                    g
+                }
+            }
+        };
+        for (acc, col) in accs[gid].iter_mut().zip(&agg_cols) {
+            acc.update(*col, row);
+        }
+    }
+
+    // Assemble output.
+    let mut out = Table::empty();
+    for (ki, name) in key_names.iter().enumerate() {
+        let mut col = Column::empty(key_cols[ki].dtype());
+        for key in &group_order {
+            let v = part_to_value(&key.0[ki]);
+            col.push_value(&v)?;
+        }
+        out.add_column(name, col)?;
+    }
+    for (ai, spec) in aggs.iter().enumerate() {
+        let vals: Vec<Value> = accs
+            .iter()
+            .map(|group| group[ai].clone().finish(spec.func))
+            .collect();
+        let col = Column::from_values(&vals)?;
+        out.add_column(&spec.output, col)?;
+    }
+    Ok(out)
+}
+
+fn part_to_value(p: &KeyPart) -> Value {
+    match p {
+        KeyPart::Null => Value::Null,
+        KeyPart::Bool(b) => Value::Bool(*b),
+        KeyPart::Int(i) => Value::Int(*i),
+        KeyPart::Float(bits) => Value::Float(f64::from_bits(*bits)),
+        KeyPart::Str(s) => Value::Str(s.clone()),
+        KeyPart::Date(d) => Value::Date(*d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parties() -> Table {
+        Table::new(vec![
+            (
+                "party_sobriety",
+                Column::from_opt_strs(vec![
+                    Some("sober".into()),
+                    Some("sober".into()),
+                    Some("drinking".into()),
+                    None,
+                    Some("drinking".into()),
+                ]),
+            ),
+            (
+                "case_id",
+                Column::from_opt_ints(vec![Some(1), Some(2), Some(3), Some(4), None]),
+            ),
+            (
+                "age",
+                Column::from_opt_ints(vec![Some(20), Some(40), Some(30), Some(50), None]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn count_for_each_group() {
+        // "Compute the count of case_id for each party_sobriety" — Fig. 3.
+        let out = group_by(
+            &parties(),
+            &["party_sobriety"],
+            &[AggSpec::new(AggFunc::Count, "case_id", "NumberOfCases")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().names(), vec!["party_sobriety", "NumberOfCases"]);
+        // Group order = first encounter: sober, drinking, null.
+        assert_eq!(out.value(0, "NumberOfCases").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "NumberOfCases").unwrap(), Value::Int(1)); // null case_id excluded
+        assert_eq!(out.value(2, "party_sobriety").unwrap(), Value::Null); // null is its own group
+        assert_eq!(out.value(2, "NumberOfCases").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn count_records_includes_nulls() {
+        let out = group_by(
+            &parties(),
+            &["party_sobriety"],
+            &[AggSpec::count_records("CountOfRecords")],
+        )
+        .unwrap();
+        assert_eq!(out.value(1, "CountOfRecords").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregates_no_keys() {
+        let out = group_by(
+            &parties(),
+            &[],
+            &[
+                AggSpec::new(AggFunc::Sum, "age", "TotalAge"),
+                AggSpec::new(AggFunc::Avg, "age", "AvgAge"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "TotalAge").unwrap(), Value::Int(140));
+        assert_eq!(out.value(0, "AvgAge").unwrap(), Value::Float(35.0));
+    }
+
+    #[test]
+    fn min_max_median() {
+        let out = group_by(
+            &parties(),
+            &[],
+            &[
+                AggSpec::new(AggFunc::Min, "age", "lo"),
+                AggSpec::new(AggFunc::Max, "age", "hi"),
+                AggSpec::new(AggFunc::Median, "age", "mid"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "lo").unwrap(), Value::Int(20));
+        assert_eq!(out.value(0, "hi").unwrap(), Value::Int(50));
+        assert_eq!(out.value(0, "mid").unwrap(), Value::Float(35.0));
+    }
+
+    #[test]
+    fn stddev_variance_welford() {
+        let t = Table::new(vec![("x", Column::from_floats(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]))])
+            .unwrap();
+        let out = group_by(
+            &t,
+            &[],
+            &[
+                AggSpec::new(AggFunc::Variance, "x", "var"),
+                AggSpec::new(AggFunc::StdDev, "x", "sd"),
+            ],
+        )
+        .unwrap();
+        let var = out.value(0, "var").unwrap().as_f64().unwrap();
+        assert!((var - 32.0 / 7.0).abs() < 1e-12);
+        let sd = out.value(0, "sd").unwrap().as_f64().unwrap();
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = group_by(
+            &parties(),
+            &[],
+            &[AggSpec::new(
+                AggFunc::CountDistinct,
+                "party_sobriety",
+                "kinds",
+            )],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "kinds").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn first_last_skip_nulls() {
+        let out = group_by(
+            &parties(),
+            &[],
+            &[
+                AggSpec::new(AggFunc::First, "party_sobriety", "f"),
+                AggSpec::new(AggFunc::Last, "party_sobriety", "l"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "f").unwrap(), Value::Str("sober".into()));
+        assert_eq!(out.value(0, "l").unwrap(), Value::Str("drinking".into()));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let t = Table::new(vec![
+            ("a", Column::from_strs(vec!["x", "x", "y", "y"])),
+            ("b", Column::from_ints(vec![1, 2, 1, 1])),
+        ])
+        .unwrap();
+        let out = group_by(&t, &["a", "b"], &[AggSpec::count_records("n")]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(2, "n").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_over_empty_group_is_null_and_numeric_required() {
+        let empty = parties().head(0);
+        let out = group_by(&empty, &[], &[AggSpec::new(AggFunc::Sum, "age", "s")]).unwrap();
+        assert_eq!(out.value(0, "s").unwrap(), Value::Null);
+        assert!(group_by(
+            &parties(),
+            &[],
+            &[AggSpec::new(AggFunc::Sum, "party_sobriety", "s")]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn default_output_names() {
+        assert_eq!(
+            AggSpec::default_output(AggFunc::Avg, Some("Age")),
+            "AvgAge"
+        );
+        assert_eq!(
+            AggSpec::default_output(AggFunc::CountRecords, None),
+            "CountOfRecords"
+        );
+        assert_eq!(
+            AggSpec::default_output(AggFunc::CountDistinct, Some("x")),
+            "CountDistinctx"
+        );
+    }
+
+    #[test]
+    fn agg_func_parse() {
+        assert_eq!(AggFunc::from_name("average"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("Mean"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("count of records"), Some(AggFunc::CountRecords));
+        assert_eq!(AggFunc::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Dataset concatenation (the GEL `Concatenate the datasets ...` skill).
+
+use crate::error::Result;
+use crate::table::Table;
+
+use super::distinct::distinct;
+
+/// Concatenate tables top-to-bottom. Schemas must agree in names and
+/// order; int columns unify with float columns by widening. With
+/// `remove_duplicates` (the recipe in Figure 2 says "remove all
+/// duplicates"), exact duplicate rows are dropped, keeping first
+/// occurrences.
+pub fn concat(tables: &[&Table], remove_duplicates: bool) -> Result<Table> {
+    let Some(first) = tables.first() else {
+        return Ok(Table::empty());
+    };
+    let mut schema = first.schema().clone();
+    for t in &tables[1..] {
+        schema = schema.concat_compatible(t.schema())?;
+    }
+    let mut out = Table::empty_with_schema(&schema);
+    let names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    for t in tables {
+        // Cast each column to the unified type, then append.
+        let mut cols = Vec::with_capacity(names.len());
+        for name in &names {
+            let field = schema.field(name).expect("unified schema has field");
+            let col = t.column(name)?.cast(field.dtype)?;
+            cols.push(col);
+        }
+        let mut part = Table::empty();
+        for (name, col) in names.iter().zip(cols) {
+            part.add_column(name, col)?;
+        }
+        out = append_rows(&out, &part)?;
+    }
+    if remove_duplicates {
+        distinct(&out, &[])
+    } else {
+        Ok(out)
+    }
+}
+
+fn append_rows(a: &Table, b: &Table) -> Result<Table> {
+    let mut out = Table::empty();
+    for (i, field) in a.schema().fields().iter().enumerate() {
+        let mut col = a.column_at(i).clone();
+        col.extend(b.column_at(i))?;
+        out.add_column(&field.name, col)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::dtype::DataType;
+    use crate::value::Value;
+
+    fn a() -> Table {
+        Table::new(vec![
+            ("x", Column::from_ints(vec![1, 2])),
+            ("y", Column::from_strs(vec!["p", "q"])),
+        ])
+        .unwrap()
+    }
+
+    fn b() -> Table {
+        Table::new(vec![
+            ("x", Column::from_ints(vec![2, 3])),
+            ("y", Column::from_strs(vec!["q", "r"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn concat_stacks_rows() {
+        let out = concat(&[&a(), &b()], false).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.value(2, "x").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn concat_removes_duplicates() {
+        // Figure 2 step 8: "Concatenate ... remove all duplicates".
+        let out = concat(&[&a(), &b()], true).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn concat_widens_int_to_float() {
+        let c = Table::new(vec![
+            ("x", Column::from_floats(vec![4.5])),
+            ("y", Column::from_strs(vec!["s"])),
+        ])
+        .unwrap();
+        let out = concat(&[&a(), &c], false).unwrap();
+        assert_eq!(out.column("x").unwrap().dtype(), DataType::Float);
+        assert_eq!(out.value(0, "x").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_schema() {
+        let c = Table::new(vec![("z", Column::from_ints(vec![1]))]).unwrap();
+        assert!(concat(&[&a(), &c], false).is_err());
+    }
+
+    #[test]
+    fn concat_empty_list() {
+        let out = concat(&[], false).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn concat_single_identity() {
+        let out = concat(&[&a()], false).unwrap();
+        assert_eq!(out, a());
+    }
+}

@@ -1,0 +1,102 @@
+//! Duplicate removal.
+
+use std::collections::HashSet;
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Keep the first occurrence of each distinct combination of `columns`
+/// (all columns when the list is empty). Row order of survivors is
+/// preserved.
+pub fn distinct(table: &Table, columns: &[&str]) -> Result<Table> {
+    let cols: Vec<_> = if columns.is_empty() {
+        table.columns().iter().collect()
+    } else {
+        columns
+            .iter()
+            .map(|c| table.column(c))
+            .collect::<Result<_>>()?
+    };
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut keep = Vec::with_capacity(table.num_rows());
+    let mut key = String::new();
+    for row in 0..table.num_rows() {
+        key.clear();
+        for c in &cols {
+            let v = c.get(row);
+            key.push(match v {
+                Value::Null => 'n',
+                Value::Bool(_) => 'b',
+                Value::Int(_) => 'i',
+                Value::Float(_) => 'f',
+                Value::Str(_) => 's',
+                Value::Date(_) => 'd',
+            });
+            match &v {
+                Value::Float(f) => {
+                    let f = if *f == 0.0 { 0.0 } else { *f };
+                    key.push_str(&format!("{:x}", f.to_bits()));
+                }
+                other => key.push_str(&other.render().replace('\u{1f}', "\u{1f}\u{1f}")),
+            }
+            key.push('\u{1f}');
+        }
+        keep.push(seen.insert(key.clone()));
+    }
+    table.filter_mask(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn t() -> Table {
+        Table::new(vec![
+            ("a", Column::from_ints(vec![1, 1, 2, 1])),
+            ("b", Column::from_opt_strs(vec![Some("x".into()), Some("x".into()), None, Some("y".into())])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_all_columns() {
+        let out = distinct(&t(), &[]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "a").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_subset() {
+        let out = distinct(&t(), &["a"]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        let t = Table::new(vec![(
+            "x",
+            Column::from_opt_ints(vec![None, None, Some(1)]),
+        )])
+        .unwrap();
+        let out = distinct(&t, &[]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(distinct(&t(), &["zz"]).is_err());
+    }
+
+    #[test]
+    fn int_and_float_rows_stay_distinct() {
+        // 1 (Int) and 1.0 (Float) are different key encodings.
+        let a = Table::new(vec![("x", Column::from_ints(vec![1]))]).unwrap();
+        let b = Table::new(vec![("x", Column::from_floats(vec![1.0]))]).unwrap();
+        // Separate tables; within one table a column has a single type, so
+        // this is about the key tagging, covered via the concat path.
+        assert_eq!(distinct(&a, &[]).unwrap().num_rows(), 1);
+        assert_eq!(distinct(&b, &[]).unwrap().num_rows(), 1);
+    }
+}

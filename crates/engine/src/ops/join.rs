@@ -1,0 +1,309 @@
+//! Hash joins.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Right,
+    /// Full outer join.
+    Full,
+}
+
+impl JoinType {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            JoinType::Inner => "INNER JOIN",
+            JoinType::Left => "LEFT JOIN",
+            JoinType::Right => "RIGHT JOIN",
+            JoinType::Full => "FULL OUTER JOIN",
+        }
+    }
+}
+
+/// Canonical hashable form of a join key row; `None` when any component is
+/// null (null keys never match, per SQL).
+fn key_of(cols: &[&Column], row: usize) -> Option<String> {
+    let mut out = String::new();
+    for c in cols {
+        let v = c.get(row);
+        if v.is_null() {
+            return None;
+        }
+        // Render with a type tag and separator so e.g. ("a","b") and
+        // ("a,b",) cannot collide.
+        out.push_str(match v {
+            Value::Bool(_) => "b:",
+            Value::Int(_) => "i:",
+            Value::Float(_) => "f:",
+            Value::Str(_) => "s:",
+            Value::Date(_) => "d:",
+            Value::Null => unreachable!(),
+        });
+        let rendered = match &v {
+            Value::Float(f) => format!("{:x}", (if *f == 0.0 { 0.0 } else { *f }).to_bits()),
+            other => other.render(),
+        };
+        out.push_str(&rendered.replace('\\', "\\\\").replace('\u{1f}', "\\u"));
+        out.push('\u{1f}');
+    }
+    Some(out)
+}
+
+/// Hash join of two tables on equally-named key pairs.
+///
+/// `left_on[i]` joins against `right_on[i]`. Non-key right columns that
+/// collide with a left column name are suffixed `_right`. Right key
+/// columns are dropped (they duplicate the left keys on matches); for
+/// right/full joins the left key columns are backfilled from the right
+/// side on unmatched right rows.
+pub fn join(
+    left: &Table,
+    right: &Table,
+    left_on: &[&str],
+    right_on: &[&str],
+    how: JoinType,
+) -> Result<Table> {
+    if left_on.len() != right_on.len() || left_on.is_empty() {
+        return Err(EngineError::invalid_argument(
+            "join requires equal, non-empty key lists",
+        ));
+    }
+    let lcols: Vec<&Column> = left_on
+        .iter()
+        .map(|k| left.column(k))
+        .collect::<Result<_>>()?;
+    let rcols: Vec<&Column> = right_on
+        .iter()
+        .map(|k| right.column(k))
+        .collect::<Result<_>>()?;
+    for (l, r) in lcols.iter().zip(&rcols) {
+        if l.dtype().unify(r.dtype()).is_none() {
+            return Err(EngineError::schema_mismatch(format!(
+                "join key types {} and {} are incompatible",
+                l.dtype(),
+                r.dtype()
+            )));
+        }
+    }
+
+    // Build phase on the right side.
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for row in 0..right.num_rows() {
+        if let Some(k) = key_of(&rcols, row) {
+            index.entry(k).or_default().push(row);
+        }
+    }
+
+    // Probe phase.
+    let mut lidx: Vec<Option<usize>> = Vec::new();
+    let mut ridx: Vec<Option<usize>> = Vec::new();
+    let mut right_matched = vec![false; right.num_rows()];
+    for row in 0..left.num_rows() {
+        let matches = key_of(&lcols, row).and_then(|k| index.get(&k));
+        match matches {
+            Some(rows) if !rows.is_empty() => {
+                for &r in rows {
+                    lidx.push(Some(row));
+                    ridx.push(Some(r));
+                    right_matched[r] = true;
+                }
+            }
+            _ => {
+                if matches!(how, JoinType::Left | JoinType::Full) {
+                    lidx.push(Some(row));
+                    ridx.push(None);
+                }
+            }
+        }
+    }
+    if matches!(how, JoinType::Right | JoinType::Full) {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                lidx.push(None);
+                ridx.push(Some(r));
+            }
+        }
+    }
+
+    // Assemble output: left columns, then right non-key columns.
+    let mut out = Table::empty();
+    let key_positions_left: Vec<usize> = left_on
+        .iter()
+        .map(|k| left.schema().index_of(k).unwrap())
+        .collect();
+    for (ci, field) in left.schema().fields().iter().enumerate() {
+        let src = left.column_at(ci);
+        let mut col = Column::empty(src.dtype());
+        // Left key columns backfill from the right on right-only rows.
+        let backfill = key_positions_left
+            .iter()
+            .position(|&p| p == ci)
+            .map(|key_slot| rcols[key_slot]);
+        for (l, r) in lidx.iter().zip(&ridx) {
+            let v = match (l, r, backfill) {
+                (Some(l), _, _) => src.get(*l),
+                (None, Some(r), Some(rc)) => rc.get(*r),
+                _ => Value::Null,
+            };
+            let v = crate::column::cast_value(&v, src.dtype());
+            col.push_value(&v)?;
+        }
+        out.add_column(&field.name, col)?;
+    }
+    for (ci, field) in right.schema().fields().iter().enumerate() {
+        if right_on.iter().any(|k| field.name.eq_ignore_ascii_case(k)) {
+            continue;
+        }
+        let src = right.column_at(ci);
+        let mut col = Column::empty(src.dtype());
+        for r in &ridx {
+            let v = r.map_or(Value::Null, |r| src.get(r));
+            col.push_value(&v)?;
+        }
+        let name = if out.schema().index_of(&field.name).is_some() {
+            format!("{}_right", field.name)
+        } else {
+            field.name.clone()
+        };
+        out.add_column(&name, col)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collisions() -> Table {
+        Table::new(vec![
+            ("case_id", Column::from_ints(vec![1, 2, 3])),
+            ("severity", Column::from_strs(vec!["minor", "major", "fatal"])),
+        ])
+        .unwrap()
+    }
+
+    fn parties() -> Table {
+        Table::new(vec![
+            ("case_id", Column::from_opt_ints(vec![Some(1), Some(1), Some(2), Some(9), None])),
+            ("party_type", Column::from_strs(vec!["driver", "pedestrian", "driver", "driver", "driver"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_fanout() {
+        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Inner)
+            .unwrap();
+        assert_eq!(out.num_rows(), 3); // case 1 matches twice, case 2 once
+        assert_eq!(out.schema().names(), vec!["case_id", "severity", "party_type"]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Left)
+            .unwrap();
+        assert_eq!(out.num_rows(), 4); // case 3 kept with null party_type
+        let missing = (0..out.num_rows())
+            .find(|&r| out.value(r, "case_id").unwrap() == Value::Int(3))
+            .unwrap();
+        assert_eq!(out.value(missing, "party_type").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn right_join_backfills_keys() {
+        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Right)
+            .unwrap();
+        // Matched: 3 rows; unmatched right rows: case 9 and null key.
+        assert_eq!(out.num_rows(), 5);
+        let nine = (0..out.num_rows())
+            .find(|&r| out.value(r, "case_id").unwrap() == Value::Int(9))
+            .unwrap();
+        assert_eq!(out.value(nine, "severity").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn full_join_union() {
+        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Full)
+            .unwrap();
+        assert_eq!(out.num_rows(), 6); // 3 matched + case 3 + case 9 + null-key row
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Inner)
+            .unwrap();
+        for r in 0..out.num_rows() {
+            assert_ne!(out.value(r, "case_id").unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn name_collision_suffixed() {
+        let a = Table::new(vec![
+            ("k", Column::from_ints(vec![1])),
+            ("v", Column::from_ints(vec![10])),
+        ])
+        .unwrap();
+        let b = Table::new(vec![
+            ("k", Column::from_ints(vec![1])),
+            ("v", Column::from_ints(vec![20])),
+        ])
+        .unwrap();
+        let out = join(&a, &b, &["k"], &["k"], JoinType::Inner).unwrap();
+        assert_eq!(out.schema().names(), vec!["k", "v", "v_right"]);
+        assert_eq!(out.value(0, "v_right").unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn incompatible_key_types_rejected() {
+        let a = Table::new(vec![("k", Column::from_ints(vec![1]))]).unwrap();
+        let b = Table::new(vec![("k", Column::from_strs(vec!["1"]))]).unwrap();
+        assert!(join(&a, &b, &["k"], &["k"], JoinType::Inner).is_err());
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let a = Table::new(vec![
+            ("x", Column::from_ints(vec![1, 1, 2])),
+            ("y", Column::from_strs(vec!["p", "q", "p"])),
+            ("val", Column::from_ints(vec![10, 20, 30])),
+        ])
+        .unwrap();
+        let b = Table::new(vec![
+            ("x", Column::from_ints(vec![1, 2])),
+            ("y", Column::from_strs(vec!["q", "p"])),
+            ("w", Column::from_ints(vec![100, 200])),
+        ])
+        .unwrap();
+        let out = join(&a, &b, &["x", "y"], &["x", "y"], JoinType::Inner).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "val").unwrap(), Value::Int(20));
+        assert_eq!(out.value(0, "w").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn composite_keys_cannot_collide_across_boundaries() {
+        // ("a","b") vs ("a,b") style collisions must not join.
+        let a = Table::new(vec![
+            ("p", Column::from_strs(vec!["a\u{1f}b"])),
+            ("q", Column::from_strs(vec!["c"])),
+        ])
+        .unwrap();
+        let b = Table::new(vec![
+            ("p", Column::from_strs(vec!["a"])),
+            ("q", Column::from_strs(vec!["b\u{1f}c"])),
+        ])
+        .unwrap();
+        let out = join(&a, &b, &["p", "q"], &["p", "q"], JoinType::Inner).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

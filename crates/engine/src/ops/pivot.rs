@@ -1,0 +1,136 @@
+//! Pivot (cross-tabulation).
+
+use crate::error::{EngineError, Result};
+use crate::ops::aggregate::{group_by, AggFunc, AggSpec};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Pivot `table`: one output row per distinct `index` value, one output
+/// column per distinct `columns` value, cells holding `agg` of `values`.
+///
+/// Column headers are the rendered pivot values; a null pivot value gets
+/// the header `null`. Missing combinations are null cells.
+pub fn pivot(
+    table: &Table,
+    index: &str,
+    columns: &str,
+    values: &str,
+    agg: AggFunc,
+) -> Result<Table> {
+    if index.eq_ignore_ascii_case(columns) {
+        return Err(EngineError::invalid_argument(
+            "pivot index and columns must differ",
+        ));
+    }
+    // Aggregate once over (index, columns), then scatter.
+    let grouped = group_by(
+        table,
+        &[index, columns],
+        &[AggSpec::new(agg, values, "__cell")],
+    )?;
+    let idx_col = grouped.column_at(0);
+    let hdr_col = grouped.column_at(1);
+    let cell_col = grouped.column_at(2);
+
+    // Distinct index values and headers, in first-encounter order.
+    let mut row_keys: Vec<Value> = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    for r in 0..grouped.num_rows() {
+        let iv = idx_col.get(r);
+        if !row_keys.contains(&iv) {
+            row_keys.push(iv);
+        }
+        let h = hdr_col.get(r).render();
+        if !headers.contains(&h) {
+            headers.push(h);
+        }
+    }
+
+    let mut cells: Vec<Vec<Value>> = vec![vec![Value::Null; headers.len()]; row_keys.len()];
+    for r in 0..grouped.num_rows() {
+        let iv = idx_col.get(r);
+        let h = hdr_col.get(r).render();
+        let ri = row_keys.iter().position(|k| *k == iv).unwrap();
+        let ci = headers.iter().position(|k| *k == h).unwrap();
+        cells[ri][ci] = cell_col.get(r);
+    }
+
+    let mut out = Table::empty();
+    let index_name = table
+        .schema()
+        .field(index)
+        .map(|f| f.name.clone())
+        .unwrap_or_else(|| index.to_string());
+    out.add_column(
+        &index_name,
+        crate::column::Column::from_values(&row_keys)?,
+    )?;
+    for (ci, header) in headers.iter().enumerate() {
+        let col_vals: Vec<Value> = cells.iter().map(|row| row[ci].clone()).collect();
+        let name = out.schema().fresh_name(header);
+        out.add_column(&name, crate::column::Column::from_values(&col_vals)?)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn t() -> Table {
+        Table::new(vec![
+            ("sex", Column::from_strs(vec!["m", "m", "f", "f", "m"])),
+            ("fault", Column::from_strs(vec!["yes", "no", "yes", "yes", "yes"])),
+            ("n", Column::from_ints(vec![1, 1, 1, 1, 1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_crosstab() {
+        let out = pivot(&t(), "sex", "fault", "n", AggFunc::Sum).unwrap();
+        assert_eq!(out.schema().names(), vec!["sex", "yes", "no"]);
+        assert_eq!(out.value(0, "yes").unwrap(), Value::Int(2)); // m/yes
+        assert_eq!(out.value(0, "no").unwrap(), Value::Int(1));
+        assert_eq!(out.value(1, "yes").unwrap(), Value::Int(2)); // f/yes
+        assert_eq!(out.value(1, "no").unwrap(), Value::Null); // missing combo
+    }
+
+    #[test]
+    fn count_pivot() {
+        let out = pivot(&t(), "fault", "sex", "n", AggFunc::Count).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "m").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn same_index_and_columns_rejected() {
+        assert!(pivot(&t(), "sex", "SEX", "n", AggFunc::Sum).is_err());
+    }
+
+    #[test]
+    fn null_pivot_value_becomes_null_header() {
+        let t = Table::new(vec![
+            ("k", Column::from_strs(vec!["a", "a"])),
+            ("p", Column::from_opt_strs(vec![Some("x".into()), None])),
+            ("v", Column::from_ints(vec![5, 7])),
+        ])
+        .unwrap();
+        let out = pivot(&t, "k", "p", "v", AggFunc::Sum).unwrap();
+        assert!(out.schema().index_of("null").is_some());
+        assert_eq!(out.value(0, "null").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn header_collision_with_index_gets_fresh_name() {
+        let t = Table::new(vec![
+            ("k", Column::from_strs(vec!["a"])),
+            ("p", Column::from_strs(vec!["k"])), // header would collide with "k"
+            ("v", Column::from_ints(vec![5])),
+        ])
+        .unwrap();
+        let out = pivot(&t, "k", "p", "v", AggFunc::Sum).unwrap();
+        assert_eq!(out.schema().names(), vec!["k", "k_2"]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Row sampling.
+//!
+//! The in-memory engine offers uniform row sampling; the storage layer
+//! builds the paper's cheaper *block-level* sampling (§3) on top of its
+//! block structure, using these primitives per block.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+
+/// Bernoulli-sample each row with probability `fraction`, deterministic in
+/// `seed`. Fractions are clamped semantics-free: values outside `(0, 1]`
+/// are rejected so a typo'd "10" (meant: 10%) cannot silently explode.
+pub fn sample_fraction(table: &Table, fraction: f64, seed: u64) -> Result<Table> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(EngineError::invalid_argument(format!(
+            "sample fraction must be in (0, 1], got {fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: Vec<bool> = (0..table.num_rows())
+        .map(|_| rng.random::<f64>() < fraction)
+        .collect();
+    table.filter_mask(&mask)
+}
+
+/// Sample exactly `n` rows without replacement (all rows when `n` exceeds
+/// the table length), preserving input order.
+pub fn sample_n(table: &Table, n: usize, seed: u64) -> Result<Table> {
+    let total = table.num_rows();
+    if n >= total {
+        return Ok(table.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = index_sample(&mut rng, total, n).into_iter().collect();
+    indices.sort_unstable();
+    Ok(table.take(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn t(n: usize) -> Table {
+        Table::new(vec![("x", Column::from_ints((0..n as i64).collect()))]).unwrap()
+    }
+
+    #[test]
+    fn fraction_roughly_proportional() {
+        let out = sample_fraction(&t(10_000), 0.1, 42).unwrap();
+        let k = out.num_rows();
+        assert!((800..1200).contains(&k), "got {k}");
+    }
+
+    #[test]
+    fn fraction_deterministic_in_seed() {
+        let a = sample_fraction(&t(1000), 0.5, 7).unwrap();
+        let b = sample_fraction(&t(1000), 0.5, 7).unwrap();
+        assert_eq!(a, b);
+        let c = sample_fraction(&t(1000), 0.5, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fraction_bounds_enforced() {
+        assert!(sample_fraction(&t(10), 0.0, 1).is_err());
+        assert!(sample_fraction(&t(10), 1.5, 1).is_err());
+        assert!(sample_fraction(&t(10), -0.1, 1).is_err());
+        assert_eq!(sample_fraction(&t(10), 1.0, 1).unwrap().num_rows(), 10);
+    }
+
+    #[test]
+    fn sample_n_exact() {
+        let out = sample_n(&t(100), 10, 3).unwrap();
+        assert_eq!(out.num_rows(), 10);
+    }
+
+    #[test]
+    fn sample_n_preserves_order() {
+        let out = sample_n(&t(100), 20, 5).unwrap();
+        let vals: Vec<i64> = (0..out.num_rows())
+            .map(|r| out.value(r, "x").unwrap().as_i64().unwrap())
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn sample_n_oversized_returns_all() {
+        let out = sample_n(&t(5), 50, 1).unwrap();
+        assert_eq!(out.num_rows(), 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-key stable sort.
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// One sort key: column name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: String,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> SortKey {
+        SortKey {
+            column: column.into(),
+            ascending: true,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> SortKey {
+        SortKey {
+            column: column.into(),
+            ascending: false,
+        }
+    }
+}
+
+/// Stable sort by the given keys. Nulls sort first on ascending keys and
+/// last on descending ones (a consequence of the total order on values).
+pub fn sort_by(table: &Table, keys: &[SortKey]) -> Result<Table> {
+    if keys.is_empty() {
+        return Ok(table.clone());
+    }
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|k| table.column(&k.column))
+        .collect::<Result<Vec<_>>>()?;
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for (key, col) in keys.iter().zip(&cols) {
+            let ord = col.get(a).cmp_total(&col.get(b));
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(table.take(&indices))
+}
+
+/// The `n` rows with the largest values of `column` (ties broken by input
+/// order), used by "top N" skills.
+pub fn top_n(table: &Table, column: &str, n: usize) -> Result<Table> {
+    let sorted = sort_by(table, &[SortKey::desc(column)])?;
+    Ok(sorted.head(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::new(vec![
+            ("g", Column::from_strs(vec!["b", "a", "b", "a"])),
+            ("v", Column::from_opt_ints(vec![Some(2), None, Some(1), Some(3)])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending_nulls_first() {
+        let out = sort_by(&t(), &[SortKey::asc("v")]).unwrap();
+        assert_eq!(out.value(0, "v").unwrap(), Value::Null);
+        assert_eq!(out.value(1, "v").unwrap(), Value::Int(1));
+        assert_eq!(out.value(3, "v").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn multi_key() {
+        let out = sort_by(&t(), &[SortKey::asc("g"), SortKey::desc("v")]).unwrap();
+        assert_eq!(out.value(0, "g").unwrap(), Value::Str("a".into()));
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(3));
+        assert_eq!(out.value(1, "v").unwrap(), Value::Null); // desc: nulls last
+        assert_eq!(out.value(2, "v").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let t = Table::new(vec![
+            ("k", Column::from_ints(vec![1, 1, 1])),
+            ("ord", Column::from_ints(vec![10, 20, 30])),
+        ])
+        .unwrap();
+        let out = sort_by(&t, &[SortKey::asc("k")]).unwrap();
+        assert_eq!(out.value(0, "ord").unwrap(), Value::Int(10));
+        assert_eq!(out.value(2, "ord").unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn empty_keys_identity() {
+        let out = sort_by(&t(), &[]).unwrap();
+        assert_eq!(out, t());
+    }
+
+    #[test]
+    fn top_n_largest() {
+        let out = top_n(&t(), "v", 2).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(3));
+        assert_eq!(out.value(1, "v").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(sort_by(&t(), &[SortKey::asc("zz")]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Simple window functions (row numbers, lag, rolling means).
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+
+/// Add a 1-based row-number column named `name`.
+pub fn add_row_numbers(table: &Table, name: &str) -> Result<Table> {
+    let nums: Vec<i64> = (1..=table.num_rows() as i64).collect();
+    table.with_column(name, Column::from_ints(nums))
+}
+
+/// Column shifted down by `offset` rows (first `offset` rows become null).
+pub fn lag(table: &Table, column: &str, offset: usize) -> Result<Column> {
+    let src = table.column(column)?;
+    let n = src.len();
+    let mut out = Column::empty(src.dtype());
+    for i in 0..n {
+        let v = if i < offset {
+            crate::value::Value::Null
+        } else {
+            src.get(i - offset)
+        };
+        out.push_value(&v)?;
+    }
+    Ok(out)
+}
+
+/// Trailing rolling mean over a window of `window` rows (inclusive of the
+/// current row). Rows with fewer than `window` prior values use what is
+/// available; null inputs are skipped. An all-null window yields null.
+pub fn rolling_mean(table: &Table, column: &str, window: usize) -> Result<Column> {
+    if window == 0 {
+        return Err(EngineError::invalid_argument("window must be positive"));
+    }
+    let src = table.column(column)?;
+    if !src.dtype().is_numeric() {
+        return Err(EngineError::invalid_argument(format!(
+            "rolling_mean requires a numeric column, got {}",
+            src.dtype()
+        )));
+    }
+    let n = src.len();
+    let mut data = Vec::with_capacity(n);
+    let mut valid = Bitmap::new_null(n);
+    for i in 0..n {
+        let start = i.saturating_sub(window - 1);
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for j in start..=i {
+            if let Some(x) = src.numeric_at(j) {
+                sum += x;
+                cnt += 1;
+            }
+        }
+        if cnt > 0 {
+            data.push(sum / cnt as f64);
+            valid.set(i, true);
+        } else {
+            data.push(0.0);
+        }
+    }
+    Ok(Column::Float(data, valid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::new(vec![(
+            "x",
+            Column::from_opt_floats(vec![Some(1.0), Some(2.0), None, Some(4.0)]),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn row_numbers_one_based() {
+        let out = add_row_numbers(&t(), "rn").unwrap();
+        assert_eq!(out.value(0, "rn").unwrap(), Value::Int(1));
+        assert_eq!(out.value(3, "rn").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn lag_shifts() {
+        let c = lag(&t(), "x", 1).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Float(1.0));
+        assert_eq!(c.get(3), Value::Null); // row 2 was null
+    }
+
+    #[test]
+    fn rolling_mean_skips_nulls() {
+        let c = rolling_mean(&t(), "x", 2).unwrap();
+        assert_eq!(c.get(0), Value::Float(1.0));
+        assert_eq!(c.get(1), Value::Float(1.5));
+        assert_eq!(c.get(2), Value::Float(2.0)); // window {2.0, null}
+        assert_eq!(c.get(3), Value::Float(4.0)); // window {null, 4.0}
+    }
+
+    #[test]
+    fn rolling_mean_validation() {
+        assert!(rolling_mean(&t(), "x", 0).is_err());
+        let s = Table::new(vec![("s", Column::from_strs(vec!["a"]))]).unwrap();
+        assert!(rolling_mean(&s, "s", 2).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Data-exploration statistics (the `Describe` skill).
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Summary of one column, as produced by `Describe the column <column>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    pub name: String,
+    pub dtype: String,
+    pub count: usize,
+    pub null_count: usize,
+    pub distinct_count: usize,
+    /// Numeric columns only.
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    pub mean: Option<f64>,
+    pub std_dev: Option<f64>,
+    pub median: Option<f64>,
+    /// Most frequent non-null value and its count (any type).
+    pub mode: Option<(Value, usize)>,
+}
+
+/// Summarize a single column.
+pub fn describe_column(table: &Table, name: &str) -> Result<ColumnSummary> {
+    let col = table.column(name)?;
+    let field = table.schema().field_or_err(name)?;
+    Ok(summarize(&field.name, col))
+}
+
+/// Summarize every column (the spreadsheet-view dataset overview of
+/// Figure 1's top-right panel).
+pub fn describe_table(table: &Table) -> Vec<ColumnSummary> {
+    table
+        .schema()
+        .fields()
+        .iter()
+        .zip(table.columns())
+        .map(|(f, c)| summarize(&f.name, c))
+        .collect()
+}
+
+fn summarize(name: &str, col: &Column) -> ColumnSummary {
+    let n = col.len();
+    let nulls = col.null_count();
+
+    // Distinct + mode in one pass over rendered keys.
+    let mut counts: std::collections::HashMap<String, (Value, usize)> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let v = col.get(i);
+        if v.is_null() {
+            continue;
+        }
+        let key = v.render();
+        counts
+            .entry(key)
+            .and_modify(|e| e.1 += 1)
+            .or_insert((v, 1));
+    }
+    let distinct = counts.len();
+    let mode = counts
+        .into_values()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp_total(&a.0)));
+
+    // Numeric moments.
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut vals: Vec<f64> = Vec::new();
+    if col.dtype().is_numeric() {
+        for i in 0..n {
+            if let Some(x) = col.numeric_at(i) {
+                min = min.min(x);
+                max = max.max(x);
+                vals.push(x);
+            }
+        }
+    }
+    let (min, max, mean, std_dev, median) = if vals.is_empty() {
+        (None, None, None, None, None)
+    } else {
+        let k = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / k;
+        let var = if vals.len() > 1 {
+            vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (k - 1.0)
+        } else {
+            0.0
+        };
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = vals.len() / 2;
+        let median = if vals.len() % 2 == 1 {
+            vals[mid]
+        } else {
+            (vals[mid - 1] + vals[mid]) / 2.0
+        };
+        (Some(min), Some(max), Some(mean), Some(var.sqrt()), Some(median))
+    };
+
+    ColumnSummary {
+        name: name.to_string(),
+        dtype: col.dtype().to_string(),
+        count: n,
+        null_count: nulls,
+        distinct_count: distinct,
+        min,
+        max,
+        mean,
+        std_dev,
+        median,
+        mode,
+    }
+}
+
+impl ColumnSummary {
+    /// One-paragraph English description, used by GEL explanations.
+    pub fn to_english(&self) -> String {
+        let mut s = format!(
+            "Column {} ({}) has {} rows, {} null ({}%), {} distinct values.",
+            self.name,
+            self.dtype,
+            self.count,
+            self.null_count,
+            if self.count == 0 {
+                0
+            } else {
+                self.null_count * 100 / self.count
+            },
+            self.distinct_count
+        );
+        if let (Some(min), Some(max), Some(mean)) = (self.min, self.max, self.mean) {
+            s.push_str(&format!(
+                " Values range from {min} to {max} with mean {mean:.2}."
+            ));
+        }
+        if let Some((v, c)) = &self.mode {
+            s.push_str(&format!(" Most frequent value: {} ({c} rows).", v.render()));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(vec![
+            (
+                "age",
+                Column::from_opt_ints(vec![Some(20), Some(30), None, Some(30)]),
+            ),
+            (
+                "kind",
+                Column::from_strs(vec!["a", "b", "a", "a"]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_summary() {
+        let s = describe_column(&t(), "age").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct_count, 2);
+        assert_eq!(s.min, Some(20.0));
+        assert_eq!(s.max, Some(30.0));
+        assert!((s.mean.unwrap() - 80.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.median, Some(30.0));
+        assert_eq!(s.mode.as_ref().unwrap().1, 2);
+    }
+
+    #[test]
+    fn string_summary_no_moments() {
+        let s = describe_column(&t(), "kind").unwrap();
+        assert_eq!(s.min, None);
+        assert_eq!(s.distinct_count, 2);
+        assert_eq!(s.mode, Some((Value::Str("a".into()), 3)));
+    }
+
+    #[test]
+    fn describe_table_covers_all() {
+        let all = describe_table(&t());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "age");
+    }
+
+    #[test]
+    fn english_rendering() {
+        let s = describe_column(&t(), "age").unwrap();
+        let text = s.to_english();
+        assert!(text.contains("age"));
+        assert!(text.contains("1 null"));
+    }
+
+    #[test]
+    fn empty_table_summary() {
+        let t = t().head(0);
+        let s = describe_column(&t, "age").unwrap();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.mode, None);
+        assert!(!s.to_english().is_empty());
+    }
+
+    #[test]
+    fn single_value_stddev_zero() {
+        let t = Table::new(vec![("x", Column::from_ints(vec![5]))]).unwrap();
+        let s = describe_column(&t, "x").unwrap();
+        assert_eq!(s.std_dev, Some(0.0));
+        assert_eq!(s.median, Some(5.0));
+    }
+}

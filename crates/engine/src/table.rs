@@ -1,0 +1,461 @@
+//! The in-memory table: a schema plus equal-length columns.
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+
+/// An immutable, column-oriented table.
+///
+/// This is the engine's equivalent of a DataFrame / Arrow record batch:
+/// the unit every relational operator consumes and produces. Operators
+/// never mutate tables in place; they build new ones, which keeps the
+/// lazy skill-DAG executor free to cache and share intermediate results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with no columns and no rows.
+    pub fn empty() -> Table {
+        Table {
+            schema: Schema::empty(),
+            columns: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Build a table from `(name, column)` pairs. All columns must have
+    /// equal length and unique names.
+    pub fn new(cols: Vec<(&str, Column)>) -> Result<Table> {
+        let mut t = Table::empty();
+        let mut first = true;
+        for (name, col) in cols {
+            if first {
+                t.rows = col.len();
+                first = false;
+            }
+            t.add_column(name, col)?;
+        }
+        Ok(t)
+    }
+
+    /// An empty (zero-row) table with the given schema.
+    pub fn empty_with_schema(schema: &Schema) -> Table {
+        Table {
+            schema: schema.clone(),
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| Column::empty(f.dtype))
+                .collect(),
+            rows: 0,
+        }
+    }
+
+    /// Append a named column. Must match the table's row count (the first
+    /// column fixes it).
+    pub fn add_column(&mut self, name: &str, col: Column) -> Result<()> {
+        if !self.columns.is_empty() && col.len() != self.rows {
+            return Err(EngineError::LengthMismatch {
+                left: self.rows,
+                right: col.len(),
+            });
+        }
+        if self.columns.is_empty() {
+            self.rows = col.len();
+        }
+        self.schema.push(Field::new(name, col.dtype()))?;
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by case-insensitive name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| EngineError::column_not_found(name))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Column at position `i`.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Cell value at `(row, column-name)`.
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
+        if row >= self.rows {
+            return Err(EngineError::RowOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// One row as scalar values in schema order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.rows {
+            return Err(EngineError::RowOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row)).collect())
+    }
+
+    /// Gather rows at `indices` into a new table.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Keep rows where the mask is true.
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<Table> {
+        if mask.len() != self.rows {
+            return Err(EngineError::LengthMismatch {
+                left: self.rows,
+                right: mask.len(),
+            });
+        }
+        let kept = mask.iter().filter(|&&b| b).count();
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+            rows: kept,
+        })
+    }
+
+    /// A contiguous window of rows.
+    pub fn slice(&self, start: usize, count: usize) -> Table {
+        let start = start.min(self.rows);
+        let count = count.min(self.rows - start);
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(start, count)).collect(),
+            rows: count,
+        }
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        self.slice(0, n)
+    }
+
+    /// Replace (or create) a column, keeping schema order; replacing keeps
+    /// the original position.
+    pub fn with_column(&self, name: &str, col: Column) -> Result<Table> {
+        if col.len() != self.rows && !self.columns.is_empty() {
+            return Err(EngineError::LengthMismatch {
+                left: self.rows,
+                right: col.len(),
+            });
+        }
+        let mut out = self.clone();
+        match out.schema.index_of(name) {
+            Some(idx) => {
+                // Preserve the user's original column casing on replace.
+                let preserved = out.schema.field_at(idx).name.clone();
+                let mut fields: Vec<Field> = out.schema.fields().to_vec();
+                fields[idx] = Field::new(preserved, col.dtype());
+                out.schema = Schema::new(fields)?;
+                out.columns[idx] = col;
+            }
+            None => {
+                out.schema.push(Field::new(name, col.dtype()))?;
+                if out.columns.is_empty() {
+                    out.rows = col.len();
+                }
+                out.columns.push(col);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drop a column by name.
+    pub fn drop_column(&self, name: &str) -> Result<Table> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| EngineError::column_not_found(name))?;
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        fields.remove(idx);
+        let mut columns = self.columns.clone();
+        columns.remove(idx);
+        Ok(Table {
+            schema: Schema::new(fields)?,
+            columns,
+            rows: self.rows,
+        })
+    }
+
+    /// Rename a column.
+    pub fn rename_column(&self, from: &str, to: &str) -> Result<Table> {
+        let idx = self
+            .schema
+            .index_of(from)
+            .ok_or_else(|| EngineError::column_not_found(from))?;
+        if self.schema.index_of(to).is_some_and(|j| j != idx) {
+            return Err(EngineError::DuplicateColumn { name: to.into() });
+        }
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        fields[idx] = Field::new(to, fields[idx].dtype);
+        Ok(Table {
+            schema: Schema::new(fields)?,
+            columns: self.columns.clone(),
+            rows: self.rows,
+        })
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut out = Table::empty();
+        for &name in names {
+            let idx = self
+                .schema
+                .index_of(name)
+                .ok_or_else(|| EngineError::column_not_found(name))?;
+            out.add_column(&self.schema.field_at(idx).name, self.columns[idx].clone())?;
+        }
+        out.rows = if out.columns.is_empty() { 0 } else { self.rows };
+        Ok(out)
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Render the first `limit` rows as an aligned text grid (the
+    /// spreadsheet view of the paper's UI, in terminal form).
+    pub fn render(&self, limit: usize) -> String {
+        let n = self.rows.min(limit);
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|s| s.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
+        for r in 0..n {
+            let row: Vec<String> = self.columns.iter().map(|c| c.get(r).render()).collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{name:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.rows > n {
+            out.push_str(&format!("... ({} more rows)\n", self.rows - n));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(20))
+    }
+}
+
+/// Builder for assembling a table row-by-row with a known schema (used by
+/// CSV ingestion and group-by output assembly).
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Start building with a schema.
+    pub fn new(schema: Schema) -> TableBuilder {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.dtype))
+            .collect();
+        TableBuilder { schema, columns }
+    }
+
+    /// Append one row; values must match the schema arity and types.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(EngineError::LengthMismatch {
+                left: self.columns.len(),
+                right: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push_value(v)?;
+        }
+        Ok(())
+    }
+
+    /// Finish into a table.
+    pub fn finish(self) -> Table {
+        let rows = self.columns.first().map_or(0, |c| c.len());
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    fn people() -> Table {
+        Table::new(vec![
+            ("name", Column::from_strs(vec!["ann", "bob", "cid"])),
+            ("age", Column::from_opt_ints(vec![Some(34), None, Some(28)])),
+            ("score", Column::from_floats(vec![1.5, 2.5, 3.5])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let t = people();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.schema().names(), vec!["name", "age", "score"]);
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let r = Table::new(vec![
+            ("a", Column::from_ints(vec![1, 2])),
+            ("b", Column::from_ints(vec![1])),
+        ]);
+        assert!(matches!(r, Err(EngineError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn cell_access() {
+        let t = people();
+        assert_eq!(t.value(0, "NAME").unwrap(), Value::Str("ann".into()));
+        assert_eq!(t.value(1, "age").unwrap(), Value::Null);
+        assert!(t.value(5, "age").is_err());
+        assert!(t.value(0, "nope").is_err());
+    }
+
+    #[test]
+    fn select_projects_and_reorders() {
+        let t = people().select(&["score", "name"]).unwrap();
+        assert_eq!(t.schema().names(), vec!["score", "name"]);
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn with_column_replaces_in_place() {
+        let t = people()
+            .with_column("age", Column::from_ints(vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(t.schema().names(), vec!["name", "age", "score"]);
+        assert_eq!(t.value(1, "age").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn with_column_appends_new() {
+        let t = people()
+            .with_column("flag", Column::from_bools(vec![true, false, true]))
+            .unwrap();
+        assert_eq!(t.num_columns(), 4);
+    }
+
+    #[test]
+    fn drop_and_rename() {
+        let t = people().drop_column("age").unwrap();
+        assert_eq!(t.schema().names(), vec!["name", "score"]);
+        let t = t.rename_column("score", "points").unwrap();
+        assert!(t.column("points").is_ok());
+        assert!(t.rename_column("name", "points").is_err());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let t = people();
+        let f = t.filter_mask(&[true, false, true]).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(1, "name").unwrap(), Value::Str("cid".into()));
+        let k = t.take(&[2, 2]);
+        assert_eq!(k.num_rows(), 2);
+        assert_eq!(k.value(0, "name").unwrap(), Value::Str("cid".into()));
+    }
+
+    #[test]
+    fn slice_and_head() {
+        let t = people();
+        assert_eq!(t.head(2).num_rows(), 2);
+        assert_eq!(t.slice(2, 5).num_rows(), 1);
+        assert_eq!(t.slice(9, 5).num_rows(), 0);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[Value::Int(1), Value::Str("x".into())]).unwrap();
+        b.push_row(&[Value::Null, Value::Str("y".into())]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn render_includes_nulls_and_truncation() {
+        let t = people();
+        let s = t.render(2);
+        assert!(s.contains("null"));
+        assert!(s.contains("1 more rows"));
+    }
+}

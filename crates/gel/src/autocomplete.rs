@@ -1,0 +1,169 @@
+//! GEL autocomplete (Figure 3c).
+//!
+//! "Composing a DataChat GEL sentence directly with autocomplete": as the
+//! user types, the console suggests skill templates and, once inside a
+//! column hole, schema columns matching the typed prefix (the screenshot
+//! shows `party_` completing to party_number_deaths, party_race, ...).
+
+use dc_engine::Schema;
+use dc_skills::registry;
+
+/// One suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The text to insert/replace.
+    pub completion: String,
+    /// What kind of thing is being suggested.
+    pub kind: SuggestionKind,
+}
+
+/// Kinds of completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuggestionKind {
+    /// A skill sentence template.
+    Template,
+    /// A column from the active dataset's schema.
+    Column,
+    /// A keyword continuation within a template.
+    Keyword,
+}
+
+/// Suggest completions for `input` against `schema`.
+///
+/// Rules, in order:
+/// 1. If the last word is a (possibly empty) prefix of a column name and
+///    the sentence already matches a template's beginning, suggest
+///    matching columns.
+/// 2. Otherwise suggest skill templates whose text starts with the input.
+pub fn suggest(input: &str, schema: &Schema) -> Vec<Suggestion> {
+    let input_trim = input.trim_start();
+    if input_trim.is_empty() {
+        // Everything, templates first.
+        return registry()
+            .iter()
+            .map(|s| Suggestion {
+                completion: s.gel_template.to_string(),
+                kind: SuggestionKind::Template,
+            })
+            .collect();
+    }
+
+    // Column completion: the token being typed (after the final space).
+    let (head, last) = match input.rfind(' ') {
+        Some(p) => (&input[..=p], &input[p + 1..]),
+        None => ("", input),
+    };
+    let mut out: Vec<Suggestion> = Vec::new();
+    if !head.is_empty() {
+        let mut cols: Vec<&str> = schema
+            .names()
+            .into_iter()
+            .filter(|c| c.len() >= last.len() && c[..last.len()].eq_ignore_ascii_case(last))
+            .collect();
+        cols.sort_unstable();
+        for c in cols {
+            out.push(Suggestion {
+                completion: format!("{head}{c}"),
+                kind: SuggestionKind::Column,
+            });
+        }
+    }
+
+    // Template completion by prefix (case-insensitive).
+    let lower = input_trim.to_lowercase();
+    for s in registry() {
+        let t = s.gel_template.to_lowercase();
+        if t.starts_with(&lower) && t != lower {
+            out.push(Suggestion {
+                completion: s.gel_template.to_string(),
+                kind: SuggestionKind::Template,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{DataType, Field};
+
+    fn parties_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("party_number_deaths", DataType::Int),
+            Field::new("party_number_injured", DataType::Int),
+            Field::new("party_race", DataType::Str),
+            Field::new("party_safety_equipment_1", DataType::Str),
+            Field::new("party_sobriety", DataType::Str),
+            Field::new("party_type", DataType::Str),
+            Field::new("case_id", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3c_prefix_completion() {
+        // "Compute the count of records for each party_" →
+        // the screenshot's dropdown of party_* columns.
+        let sugg = suggest(
+            "Compute the count of records for each party_",
+            &parties_schema(),
+        );
+        let cols: Vec<&str> = sugg
+            .iter()
+            .filter(|s| s.kind == SuggestionKind::Column)
+            .map(|s| s.completion.rsplit(' ').next().unwrap())
+            .collect();
+        assert_eq!(
+            cols,
+            vec![
+                "party_number_deaths",
+                "party_number_injured",
+                "party_race",
+                "party_safety_equipment_1",
+                "party_sobriety",
+                "party_type",
+            ]
+        );
+        // Completions keep the sentence prefix.
+        assert!(sugg[0]
+            .completion
+            .starts_with("Compute the count of records for each "));
+    }
+
+    #[test]
+    fn template_completion() {
+        let sugg = suggest("Load", &parties_schema());
+        let templates: Vec<&str> = sugg
+            .iter()
+            .filter(|s| s.kind == SuggestionKind::Template)
+            .map(|s| s.completion.as_str())
+            .collect();
+        assert!(templates.iter().any(|t| t.starts_with("Load data from the file")));
+        assert!(templates.iter().any(|t| t.starts_with("Load the table")));
+    }
+
+    #[test]
+    fn empty_input_lists_templates() {
+        let sugg = suggest("", &parties_schema());
+        assert!(sugg.len() >= 45);
+        assert!(sugg.iter().all(|s| s.kind == SuggestionKind::Template));
+    }
+
+    #[test]
+    fn case_insensitive_column_match() {
+        let sugg = suggest("Describe the column PARTY_s", &parties_schema());
+        let cols: Vec<&String> = sugg
+            .iter()
+            .filter(|s| s.kind == SuggestionKind::Column)
+            .map(|s| &s.completion)
+            .collect();
+        assert_eq!(cols.len(), 2); // party_safety_equipment_1, party_sobriety
+    }
+
+    #[test]
+    fn no_matches_is_empty() {
+        let sugg = suggest("Describe the column zzz", &parties_schema());
+        assert!(sugg.iter().all(|s| s.kind != SuggestionKind::Column));
+    }
+}

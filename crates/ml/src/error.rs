@@ -1,0 +1,75 @@
+//! ML-layer errors.
+
+use std::fmt;
+
+/// Errors from training or applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Not enough (or no usable) training rows.
+    InsufficientData { needed: usize, got: usize },
+    /// A required column is missing or non-numeric.
+    BadColumn { name: String, reason: String },
+    /// Invalid hyperparameter.
+    InvalidArgument { message: String },
+    /// The model cannot be applied to this input.
+    IncompatibleInput { message: String },
+    /// Propagated engine failure.
+    Engine(dc_engine::EngineError),
+}
+
+impl MlError {
+    /// Convenience constructor for [`MlError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        MlError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`MlError::BadColumn`].
+    pub fn bad_column(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        MlError::BadColumn {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need {needed} rows, got {got}")
+            }
+            MlError::BadColumn { name, reason } => write!(f, "bad column {name:?}: {reason}"),
+            MlError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            MlError::IncompatibleInput { message } => write!(f, "incompatible input: {message}"),
+            MlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<dc_engine::EngineError> for MlError {
+    fn from(e: dc_engine::EngineError) -> Self {
+        MlError::Engine(e)
+    }
+}
+
+/// Result alias for the ML crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MlError::InsufficientData { needed: 2, got: 0 }
+            .to_string()
+            .contains("need 2"));
+        assert!(MlError::bad_column("x", "non-numeric")
+            .to_string()
+            .contains("non-numeric"));
+    }
+}

@@ -1,0 +1,209 @@
+//! K-means clustering (the `Cluster` skill).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::error::{MlError, Result};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids at convergence.
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+/// Fit k-means with k-means++ initialization. Deterministic in `seed`.
+pub fn fit_kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansModel> {
+    if k == 0 {
+        return Err(MlError::invalid("k must be positive"));
+    }
+    if points.len() < k {
+        return Err(MlError::InsufficientData {
+            needed: k,
+            got: points.len(),
+        });
+    }
+    let dim = points[0].len();
+    if dim == 0 || points.iter().any(|p| p.len() != dim) {
+        return Err(MlError::invalid("points must be non-empty and uniform dimension"));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All remaining points coincide with existing centroids.
+            centroids.push(points[rng.random_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0usize;
+    for _ in 0..100 {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest(p, &centroids);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (ci, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                centroids[ci] = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    Ok(KMeansModel {
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+impl KMeansModel {
+    /// Assign each point to its nearest centroid.
+    pub fn predict(&self, points: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let dim = self.centroids[0].len();
+        if points.iter().any(|p| p.len() != dim) {
+            return Err(MlError::IncompatibleInput {
+                message: format!("model expects {dim}-dimensional points"),
+            });
+        }
+        Ok(points.iter().map(|p| nearest(p, &self.centroids)).collect())
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for center in [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]] {
+            for _ in 0..50 {
+                pts.push(vec![
+                    center[0] + rng.random_range(-1.0..1.0),
+                    center[1] + rng.random_range(-1.0..1.0),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let pts = three_blobs();
+        let m = fit_kmeans(&pts, 3, 42).unwrap();
+        let labels = m.predict(&pts).unwrap();
+        // Points within a blob share a label.
+        for blob in 0..3 {
+            let first = labels[blob * 50];
+            for i in 0..50 {
+                assert_eq!(labels[blob * 50 + i], first, "blob {blob}");
+            }
+        }
+        // Blobs get distinct labels.
+        assert_ne!(labels[0], labels[50]);
+        assert_ne!(labels[50], labels[100]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = three_blobs();
+        let m1 = fit_kmeans(&pts, 1, 7).unwrap();
+        let m3 = fit_kmeans(&pts, 3, 7).unwrap();
+        assert!(m3.inertia < m1.inertia / 10.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = three_blobs();
+        let a = fit_kmeans(&pts, 3, 9).unwrap();
+        let b = fit_kmeans(&pts, 3, 9).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit_kmeans(&[vec![1.0]], 0, 1).is_err());
+        assert!(fit_kmeans(&[vec![1.0]], 2, 1).is_err());
+        assert!(fit_kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_ok() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let m = fit_kmeans(&pts, 3, 5).unwrap();
+        assert!(m.inertia < 1e-12);
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let m = fit_kmeans(&three_blobs(), 2, 1).unwrap();
+        assert!(m.predict(&[vec![1.0]]).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # dc-ml — machine-learning substrate
+//!
+//! The learners behind Table 1's Machine Learning skills, implemented from
+//! scratch: linear/ridge regression ([`linear`]), trend + seasonality
+//! time-series forecasting ([`timeseries`], powering the Figure 2 GDP
+//! recipe), z-score and IQR outlier detection ([`outlier`]), k-means with
+//! k-means++ seeding ([`kmeans`]), a CART decision tree ([`tree`]), and
+//! evaluation metrics ([`metrics`]). [`model`] provides the table-level
+//! train/predict API the skills layer calls.
+
+pub mod error;
+pub mod kmeans;
+pub mod linear;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+pub mod outlier;
+pub mod timeseries;
+pub mod tree;
+
+pub use error::{MlError, Result};
+pub use kmeans::{fit_kmeans, KMeansModel};
+pub use linear::{fit_linear, LinearModel};
+pub use model::{predict, train_model, MlMethod, Model, ModelKind};
+pub use outlier::{detect_outliers, OutlierMethod};
+pub use timeseries::{fit_time_series, TimeSeriesModel};
+pub use tree::{fit_tree, DecisionTree};

@@ -1,0 +1,179 @@
+//! Linear and ridge regression via the normal equations.
+
+use crate::error::{MlError, Result};
+use crate::matrix::{solve_spd, Matrix};
+
+/// A fitted linear model `y = intercept + Σ coef_i · x_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+    /// Feature names in coefficient order.
+    pub features: Vec<String>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+/// Fit ordinary least squares with optional L2 regularization (`lambda`).
+///
+/// `xs` is row-major: `xs[i]` holds the feature vector of sample `i`.
+pub fn fit_linear(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    feature_names: &[String],
+    lambda: f64,
+) -> Result<LinearModel> {
+    let n = xs.len();
+    if n != ys.len() {
+        return Err(MlError::invalid(format!(
+            "feature rows ({n}) and targets ({}) differ",
+            ys.len()
+        )));
+    }
+    let k = feature_names.len();
+    if n < k + 1 {
+        return Err(MlError::InsufficientData { needed: k + 1, got: n });
+    }
+    if xs.iter().any(|r| r.len() != k) {
+        return Err(MlError::invalid("ragged feature rows"));
+    }
+    if lambda < 0.0 {
+        return Err(MlError::invalid("lambda must be non-negative"));
+    }
+
+    // Design matrix with intercept column: A is (k+1)x(k+1) = XᵀX.
+    let d = k + 1;
+    let mut xtx = Matrix::zeros(d, d);
+    let mut xty = vec![0.0; d];
+    for (row, &y) in xs.iter().zip(ys) {
+        // augmented x: [1, x0, x1, ...]
+        for i in 0..d {
+            let xi = if i == 0 { 1.0 } else { row[i - 1] };
+            xty[i] += xi * y;
+            for j in 0..d {
+                let xj = if j == 0 { 1.0 } else { row[j - 1] };
+                *xtx.at_mut(i, j) += xi * xj;
+            }
+        }
+    }
+    // Ridge penalty on non-intercept terms.
+    for i in 1..d {
+        *xtx.at_mut(i, i) += lambda;
+    }
+    let beta = solve_spd(&xtx, &xty)
+        .ok_or_else(|| MlError::invalid("singular design matrix (collinear features?)"))?;
+
+    let model = LinearModel {
+        intercept: beta[0],
+        coefficients: beta[1..].to_vec(),
+        features: feature_names.to_vec(),
+        r_squared: 0.0,
+    };
+    let preds: Vec<f64> = xs.iter().map(|r| model.predict_row(r)).collect();
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .zip(&preds)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(LinearModel { r_squared: r2, ..model })
+}
+
+impl LinearModel {
+    /// Predict a single row (must have the model's feature arity).
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coefficients.len());
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if xs.iter().any(|r| r.len() != self.coefficients.len()) {
+            return Err(MlError::IncompatibleInput {
+                message: format!("model expects {} features", self.coefficients.len()),
+            });
+        }
+        Ok(xs.iter().map(|r| self.predict_row(r)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 3 + 2x
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let m = fit_linear(&xs, &ys, &names(1), 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-9);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((m.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_multivariate() {
+        // y = 1 + 2a - 3b
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                xs.push(vec![a as f64, b as f64]);
+                ys.push(1.0 + 2.0 * a as f64 - 3.0 * b as f64);
+            }
+        }
+        let m = fit_linear(&xs, &ys, &names(2), 0.0).unwrap();
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..30).map(|i| 5.0 * i as f64).collect();
+        let ols = fit_linear(&xs, &ys, &names(1), 0.0).unwrap();
+        let ridge = fit_linear(&xs, &ys, &names(1), 1000.0).unwrap();
+        assert!(ridge.coefficients[0].abs() < ols.coefficients[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_rejected_without_ridge() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(fit_linear(&xs, &ys, &names(2), 0.0).is_err());
+        // Ridge regularization makes it solvable.
+        assert!(fit_linear(&xs, &ys, &names(2), 0.1).is_ok());
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        let r = fit_linear(&[vec![1.0]], &[1.0], &names(1), 0.0);
+        assert!(matches!(r, Err(MlError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn predict_arity_checked() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let m = fit_linear(&xs, &ys, &names(1), 0.0).unwrap();
+        assert!(m.predict(&[vec![1.0, 2.0]]).is_err());
+        assert_eq!(m.predict(&[vec![10.0]]).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal dense matrix support (just enough for the normal equations).
+
+/// A small dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A rows×cols zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Solve `A x = b` for symmetric positive-(semi)definite `A` by Gaussian
+/// elimination with partial pivoting. Returns `None` when `A` is singular
+/// to working precision.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    debug_assert_eq!(a.cols(), n);
+    debug_assert_eq!(b.len(), n);
+    // Augmented working copy.
+    let mut m = vec![vec![0.0f64; n + 1]; n];
+    for (r, row) in m.iter_mut().enumerate() {
+        for c in 0..n {
+            row[c] = a.at(r, c);
+        }
+        row[n] = b[r];
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot][col].abs() < 1e-10 {
+            return None;
+        }
+        m.swap(col, pivot);
+        let div = m[col][col];
+        for c in col..=n {
+            m[col][c] /= div;
+        }
+        for r in 0..n {
+            if r != col && m[r][col] != 0.0 {
+                let factor = m[r][col];
+                for c in col..=n {
+                    m[r][c] -= factor * m[col][c];
+                }
+            }
+        }
+    }
+    Some(m.into_iter().map(|row| row[n]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            *a.at_mut(i, i) = 1.0;
+        }
+        let x = solve_spd(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let mut a = Matrix::zeros(2, 2);
+        *a.at_mut(0, 0) = 2.0;
+        *a.at_mut(0, 1) = 1.0;
+        *a.at_mut(1, 0) = 1.0;
+        *a.at_mut(1, 1) = 3.0;
+        // Solution of [2 1; 1 3] x = [5; 10] is [1; 3].
+        let x = solve_spd(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut a = Matrix::zeros(2, 2);
+        *a.at_mut(0, 0) = 1.0;
+        *a.at_mut(0, 1) = 2.0;
+        *a.at_mut(1, 0) = 2.0;
+        *a.at_mut(1, 1) = 4.0;
+        assert!(solve_spd(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        *a.at_mut(0, 0) = 0.0;
+        *a.at_mut(0, 1) = 1.0;
+        *a.at_mut(1, 0) = 1.0;
+        *a.at_mut(1, 1) = 0.0;
+        let x = solve_spd(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Model evaluation metrics.
+
+use std::collections::BTreeMap;
+
+use crate::error::{MlError, Result};
+
+/// Root mean squared error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check_lens(actual, predicted)?;
+    let n = actual.len() as f64;
+    Ok((actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt())
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check_lens(actual, predicted)?;
+    let n = actual.len() as f64;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / n)
+}
+
+/// R² (coefficient of determination).
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check_lens(actual, predicted)?;
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).powi(2))
+        .sum();
+    Ok(if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot })
+}
+
+/// Classification accuracy.
+pub fn accuracy<S: AsRef<str>, T: AsRef<str>>(actual: &[S], predicted: &[T]) -> Result<f64> {
+    if actual.len() != predicted.len() {
+        return Err(MlError::invalid("length mismatch"));
+    }
+    if actual.is_empty() {
+        return Err(MlError::InsufficientData { needed: 1, got: 0 });
+    }
+    let correct = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a.as_ref() == p.as_ref())
+        .count();
+    Ok(correct as f64 / actual.len() as f64)
+}
+
+/// Confusion counts keyed by `(actual, predicted)`.
+pub fn confusion<S: AsRef<str>, T: AsRef<str>>(
+    actual: &[S],
+    predicted: &[T],
+) -> Result<BTreeMap<(String, String), usize>> {
+    if actual.len() != predicted.len() {
+        return Err(MlError::invalid("length mismatch"));
+    }
+    let mut m = BTreeMap::new();
+    for (a, p) in actual.iter().zip(predicted) {
+        *m.entry((a.as_ref().to_string(), p.as_ref().to_string()))
+            .or_insert(0) += 1;
+    }
+    Ok(m)
+}
+
+fn check_lens(a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(MlError::invalid("length mismatch"));
+    }
+    if a.is_empty() {
+        return Err(MlError::InsufficientData { needed: 1, got: 0 });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_mae_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((rmse(&a, &p).unwrap() - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&a, &p).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let a = [1.0, 2.0];
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert_eq!(r_squared(&a, &a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let a = ["x", "y", "x", "y"];
+        let p = ["x", "x", "x", "y"];
+        assert_eq!(accuracy(&a, &p).unwrap(), 0.75);
+        let c = confusion(&a, &p).unwrap();
+        assert_eq!(c[&("y".to_string(), "x".to_string())], 1);
+        assert_eq!(c[&("x".to_string(), "x".to_string())], 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(rmse(&[1.0], &[]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+        let empty: [&str; 0] = [];
+        assert!(accuracy(&empty, &empty).is_err());
+    }
+}

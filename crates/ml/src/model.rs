@@ -1,0 +1,331 @@
+//! Table-level model API (the `Train a model to predict <column>` skill).
+//!
+//! Bridges the typed kernels below to the engine's tables: feature
+//! extraction with null handling, automatic task detection (numeric target
+//! → regression, string target → classification), and prediction back into
+//! a column.
+
+use dc_engine::{Column, Table};
+
+use crate::error::{MlError, Result};
+use crate::linear::{fit_linear, LinearModel};
+use crate::tree::{fit_tree, DecisionTree};
+
+/// Which learner to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlMethod {
+    /// Pick by target type: regression for numeric, tree for strings.
+    Auto,
+    /// Linear/ridge regression (numeric targets).
+    Linear,
+    /// CART decision tree (string-class targets; numeric targets are
+    /// binned into classes first — rarely what you want, so Auto avoids it).
+    DecisionTree,
+}
+
+/// A trained model plus the metadata needed to apply and explain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    pub name: String,
+    pub target: String,
+    pub features: Vec<String>,
+    pub kind: ModelKind,
+    /// Rows actually used for training (after null dropping).
+    pub training_rows: usize,
+}
+
+/// The fitted estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelKind {
+    Regression(LinearModel),
+    Classification(DecisionTree),
+}
+
+impl Model {
+    /// Short human description for artifact listings and GEL explanations.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            ModelKind::Regression(m) => format!(
+                "Model {}: linear regression predicting {} from [{}] (R² = {:.3}, {} rows)",
+                self.name,
+                self.target,
+                self.features.join(", "),
+                m.r_squared,
+                self.training_rows
+            ),
+            ModelKind::Classification(t) => format!(
+                "Model {}: decision tree (depth {}) predicting {} from [{}] ({} classes, {} rows)",
+                self.name,
+                t.depth(),
+                self.target,
+                self.features.join(", "),
+                t.classes.len(),
+                self.training_rows
+            ),
+        }
+    }
+}
+
+/// Extract numeric feature rows, dropping rows where any feature (or the
+/// paired extra column, when given) is null. Returns (rows, kept_indices).
+fn feature_rows(
+    table: &Table,
+    features: &[String],
+    also_require: Option<&str>,
+) -> Result<(Vec<Vec<f64>>, Vec<usize>)> {
+    if features.is_empty() {
+        return Err(MlError::invalid("at least one feature column required"));
+    }
+    let cols: Vec<&Column> = features
+        .iter()
+        .map(|f| {
+            let c = table
+                .column(f)
+                .map_err(|_| MlError::bad_column(f, "not found"))?;
+            if !c.dtype().is_numeric() && c.dtype() != dc_engine::DataType::Date {
+                return Err(MlError::bad_column(f, format!("{} is not numeric", c.dtype())));
+            }
+            Ok(c)
+        })
+        .collect::<Result<_>>()?;
+    let extra = match also_require {
+        Some(t) => Some(
+            table
+                .column(t)
+                .map_err(|_| MlError::bad_column(t, "not found"))?,
+        ),
+        None => None,
+    };
+    let mut rows = Vec::new();
+    let mut kept = Vec::new();
+    'rows: for r in 0..table.num_rows() {
+        if let Some(e) = extra {
+            if !e.validity().get(r) {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(cols.len());
+        for c in &cols {
+            match c.numeric_at(r) {
+                Some(v) => row.push(v),
+                None => continue 'rows,
+            }
+        }
+        rows.push(row);
+        kept.push(r);
+    }
+    Ok((rows, kept))
+}
+
+/// Train a model on `table` to predict `target` from `features`.
+pub fn train_model(
+    table: &Table,
+    name: impl Into<String>,
+    target: &str,
+    features: &[String],
+    method: MlMethod,
+) -> Result<Model> {
+    let target_col = table
+        .column(target)
+        .map_err(|_| MlError::bad_column(target, "not found"))?;
+    let numeric_target = target_col.dtype().is_numeric();
+    let method = match method {
+        MlMethod::Auto => {
+            if numeric_target {
+                MlMethod::Linear
+            } else {
+                MlMethod::DecisionTree
+            }
+        }
+        m => m,
+    };
+    let (xs, kept) = feature_rows(table, features, Some(target))?;
+    match method {
+        MlMethod::Linear => {
+            if !numeric_target {
+                return Err(MlError::bad_column(
+                    target,
+                    "linear regression needs a numeric target",
+                ));
+            }
+            let ys: Vec<f64> = kept
+                .iter()
+                .map(|&r| target_col.numeric_at(r).expect("validity checked"))
+                .collect();
+            let fitted = fit_linear(&xs, &ys, features, 0.0)
+                .or_else(|_| fit_linear(&xs, &ys, features, 1e-6))?;
+            Ok(Model {
+                name: name.into(),
+                target: target.to_string(),
+                features: features.to_vec(),
+                kind: ModelKind::Regression(fitted),
+                training_rows: xs.len(),
+            })
+        }
+        MlMethod::DecisionTree => {
+            let labels: Vec<String> = kept
+                .iter()
+                .map(|&r| target_col.get(r).render())
+                .collect();
+            let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+            let fitted = fit_tree(&xs, &label_refs, 6)?;
+            Ok(Model {
+                name: name.into(),
+                target: target.to_string(),
+                features: features.to_vec(),
+                kind: ModelKind::Classification(fitted),
+                training_rows: xs.len(),
+            })
+        }
+        MlMethod::Auto => unreachable!("resolved above"),
+    }
+}
+
+/// Apply a model, returning the prediction column (null where any feature
+/// is null).
+pub fn predict(model: &Model, table: &Table) -> Result<Column> {
+    let (xs, kept) = feature_rows(table, &model.features, None)?;
+    let n = table.num_rows();
+    match &model.kind {
+        ModelKind::Regression(m) => {
+            let preds = m.predict(&xs)?;
+            let mut vals: Vec<Option<f64>> = vec![None; n];
+            for (&r, p) in kept.iter().zip(preds) {
+                vals[r] = Some(p);
+            }
+            Ok(Column::from_opt_floats(vals))
+        }
+        ModelKind::Classification(t) => {
+            let preds = t.predict(&xs)?;
+            let mut vals: Vec<Option<String>> = vec![None; n];
+            for (&r, p) in kept.iter().zip(preds) {
+                vals[r] = Some(p);
+            }
+            Ok(Column::from_opt_strs(vals))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regression_table() -> Table {
+        let xs: Vec<i64> = (0..50).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x as f64 + 1.0).collect();
+        Table::new(vec![
+            ("x", Column::from_ints(xs)),
+            ("y", Column::from_floats(ys)),
+        ])
+        .unwrap()
+    }
+
+    fn classification_table() -> Table {
+        let xs: Vec<i64> = (0..60).collect();
+        let labels: Vec<&str> = xs
+            .iter()
+            .map(|&x| if x < 30 { "low" } else { "high" })
+            .collect();
+        Table::new(vec![
+            ("x", Column::from_ints(xs)),
+            ("band", Column::from_strs(labels)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_picks_regression_for_numeric_target() {
+        let m = train_model(
+            &regression_table(),
+            "m1",
+            "y",
+            &["x".to_string()],
+            MlMethod::Auto,
+        )
+        .unwrap();
+        assert!(matches!(m.kind, ModelKind::Regression(_)));
+        let preds = predict(&m, &regression_table()).unwrap();
+        let p0 = preds.get(10).as_f64().unwrap();
+        assert!((p0 - 21.0).abs() < 1e-6);
+        assert!(m.describe().contains("linear regression"));
+    }
+
+    #[test]
+    fn auto_picks_tree_for_string_target() {
+        let m = train_model(
+            &classification_table(),
+            "m2",
+            "band",
+            &["x".to_string()],
+            MlMethod::Auto,
+        )
+        .unwrap();
+        assert!(matches!(m.kind, ModelKind::Classification(_)));
+        let preds = predict(&m, &classification_table()).unwrap();
+        assert_eq!(preds.get(0), dc_engine::Value::Str("low".into()));
+        assert_eq!(preds.get(59), dc_engine::Value::Str("high".into()));
+    }
+
+    #[test]
+    fn null_features_yield_null_predictions() {
+        let t = Table::new(vec![
+            ("x", Column::from_opt_ints(vec![Some(1), None, Some(3)])),
+            ("y", Column::from_floats(vec![2.0, 4.0, 6.0])),
+        ])
+        .unwrap();
+        // Train on the full regression table, then predict on t.
+        let m = train_model(
+            &regression_table(),
+            "m",
+            "y",
+            &["x".to_string()],
+            MlMethod::Linear,
+        )
+        .unwrap();
+        let preds = predict(&m, &t).unwrap();
+        assert!(preds.get(1).is_null());
+        assert!(!preds.get(0).is_null());
+    }
+
+    #[test]
+    fn null_targets_dropped_in_training() {
+        let t = Table::new(vec![
+            ("x", Column::from_ints((0..20).collect())),
+            (
+                "y",
+                Column::from_opt_floats(
+                    (0..20)
+                        .map(|i| (i % 4 != 0).then(|| 3.0 * i as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let m = train_model(&t, "m", "y", &["x".to_string()], MlMethod::Linear).unwrap();
+        assert_eq!(m.training_rows, 15);
+    }
+
+    #[test]
+    fn bad_columns_rejected() {
+        let t = regression_table();
+        assert!(train_model(&t, "m", "nope", &["x".to_string()], MlMethod::Auto).is_err());
+        assert!(train_model(&t, "m", "y", &["nope".to_string()], MlMethod::Auto).is_err());
+        assert!(train_model(&t, "m", "y", &[], MlMethod::Auto).is_err());
+        // Linear with string target.
+        let c = classification_table();
+        assert!(train_model(&c, "m", "band", &["x".to_string()], MlMethod::Linear).is_err());
+    }
+
+    #[test]
+    fn tree_on_numeric_target_classifies_rendered_values() {
+        // Explicitly choosing a tree for a numeric target treats the
+        // rendered values as classes — documented behavior.
+        let t = Table::new(vec![
+            ("x", Column::from_ints((0..20).collect())),
+            ("y", Column::from_ints((0..20).map(|i| i % 2).collect())),
+        ])
+        .unwrap();
+        let m = train_model(&t, "m", "y", &["x".to_string()], MlMethod::DecisionTree).unwrap();
+        assert!(matches!(m.kind, ModelKind::Classification(_)));
+    }
+}

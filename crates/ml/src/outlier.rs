@@ -1,0 +1,156 @@
+//! Outlier detection (the `Detect outliers` skill).
+//!
+//! §2.1 notes users graduating "from using simple statistical outlier
+//! detection methods to ones based on more robust machine learning
+//! algorithms" — so both a z-score method and a robust IQR method are
+//! provided, and the skill exposes the choice.
+
+use crate::error::{MlError, Result};
+
+/// Outlier detection methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierMethod {
+    /// |x - mean| > threshold · stddev.
+    ZScore { threshold: f64 },
+    /// Outside [Q1 - k·IQR, Q3 + k·IQR] (k = 1.5 is Tukey's fence).
+    Iqr { k: f64 },
+}
+
+impl OutlierMethod {
+    /// The common defaults: z-score at 3σ.
+    pub fn default_zscore() -> OutlierMethod {
+        OutlierMethod::ZScore { threshold: 3.0 }
+    }
+
+    /// Tukey fences at 1.5 IQR.
+    pub fn default_iqr() -> OutlierMethod {
+        OutlierMethod::Iqr { k: 1.5 }
+    }
+}
+
+/// Flag outliers among `values` (`None` entries yield `false`).
+pub fn detect_outliers(values: &[Option<f64>], method: OutlierMethod) -> Result<Vec<bool>> {
+    let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
+    if present.len() < 3 {
+        return Err(MlError::InsufficientData {
+            needed: 3,
+            got: present.len(),
+        });
+    }
+    match method {
+        OutlierMethod::ZScore { threshold } => {
+            if threshold <= 0.0 {
+                return Err(MlError::invalid("z-score threshold must be positive"));
+            }
+            let n = present.len() as f64;
+            let mean = present.iter().sum::<f64>() / n;
+            let var = present.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let sd = var.sqrt();
+            Ok(values
+                .iter()
+                .map(|v| match v {
+                    Some(x) if sd > 0.0 => ((x - mean) / sd).abs() > threshold,
+                    _ => false,
+                })
+                .collect())
+        }
+        OutlierMethod::Iqr { k } => {
+            if k <= 0.0 {
+                return Err(MlError::invalid("IQR multiplier must be positive"));
+            }
+            let mut sorted = present.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let q1 = quantile(&sorted, 0.25);
+            let q3 = quantile(&sorted, 0.75);
+            let iqr = q3 - q1;
+            let (lo, hi) = (q1 - k * iqr, q3 + k * iqr);
+            Ok(values
+                .iter()
+                .map(|v| matches!(v, Some(x) if *x < lo || *x > hi))
+                .collect())
+        }
+    }
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_spike() -> Vec<Option<f64>> {
+        let mut v: Vec<Option<f64>> = (0..50).map(|i| Some(10.0 + (i % 5) as f64)).collect();
+        v.push(Some(1000.0)); // spike
+        v.push(None);
+        v
+    }
+
+    #[test]
+    fn zscore_finds_spike() {
+        let flags = detect_outliers(&with_spike(), OutlierMethod::default_zscore()).unwrap();
+        assert!(flags[50]);
+        assert!(!flags[0]);
+        assert!(!flags[51]); // null never flagged
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn iqr_finds_spike() {
+        let flags = detect_outliers(&with_spike(), OutlierMethod::default_iqr()).unwrap();
+        assert!(flags[50]);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn iqr_robust_to_mass_outliers() {
+        // 10% extreme values: z-score's mean/sd get dragged; IQR holds.
+        let mut v: Vec<Option<f64>> = (0..90).map(|i| Some((i % 10) as f64)).collect();
+        v.extend((0..10).map(|_| Some(1e6)));
+        let iqr = detect_outliers(&v, OutlierMethod::default_iqr()).unwrap();
+        assert_eq!(iqr.iter().filter(|&&f| f).count(), 10);
+    }
+
+    #[test]
+    fn constant_series_no_outliers() {
+        let v: Vec<Option<f64>> = (0..10).map(|_| Some(5.0)).collect();
+        let z = detect_outliers(&v, OutlierMethod::default_zscore()).unwrap();
+        assert!(z.iter().all(|&f| !f));
+        let i = detect_outliers(&v, OutlierMethod::default_iqr()).unwrap();
+        assert!(i.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(detect_outliers(&[Some(1.0)], OutlierMethod::default_zscore()).is_err());
+        assert!(detect_outliers(
+            &[Some(1.0), Some(2.0), Some(3.0)],
+            OutlierMethod::ZScore { threshold: 0.0 }
+        )
+        .is_err());
+        assert!(detect_outliers(
+            &[Some(1.0), Some(2.0), Some(3.0)],
+            OutlierMethod::Iqr { k: -1.0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+    }
+}

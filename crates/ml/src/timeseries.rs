@@ -1,0 +1,155 @@
+//! Time-series forecasting (the `Predict time series` skill of Figure 2).
+//!
+//! Model: linear trend + additive seasonality, fitted by OLS on the trend
+//! after seasonal decomposition. Simple, deterministic, and exactly what
+//! the Figure 2 recipe needs — projecting the pre-2020 GDP trend forward
+//! so the gap against actuals is visible.
+
+use crate::error::{MlError, Result};
+use crate::linear::fit_linear;
+
+/// A fitted trend + seasonality forecaster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesModel {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Additive seasonal offsets, length = period (empty when period = 1).
+    pub seasonal: Vec<f64>,
+    /// Number of training observations.
+    pub n_obs: usize,
+}
+
+/// Fit on an evenly spaced series. `period` is the seasonal cycle length
+/// (1 = no seasonality; 4 = quarterly data with annual cycle). Nulls are
+/// not allowed — the caller drops them first.
+pub fn fit_time_series(values: &[f64], period: usize) -> Result<TimeSeriesModel> {
+    if period == 0 {
+        return Err(MlError::invalid("period must be positive"));
+    }
+    if values.len() < period.max(2) + 1 {
+        return Err(MlError::InsufficientData {
+            needed: period.max(2) + 1,
+            got: values.len(),
+        });
+    }
+    // Jointly fit trend and seasonal phase dummies so the seasonal
+    // component cannot bias the slope (which plain detrending would —
+    // within each cycle the pattern correlates with position).
+    if period == 1 {
+        let xs: Vec<Vec<f64>> = (0..values.len()).map(|i| vec![i as f64]).collect();
+        let trend = fit_linear(&xs, values, &["t".to_string()], 0.0)?;
+        return Ok(TimeSeriesModel {
+            intercept: trend.intercept,
+            slope: trend.coefficients[0],
+            seasonal: Vec::new(),
+            n_obs: values.len(),
+        });
+    }
+    // Features: [t, dummy(phase=1), ..., dummy(phase=period-1)].
+    let mut names = vec!["t".to_string()];
+    names.extend((1..period).map(|p| format!("phase_{p}")));
+    let xs: Vec<Vec<f64>> = (0..values.len())
+        .map(|i| {
+            let mut row = vec![i as f64];
+            for p in 1..period {
+                row.push(if i % period == p { 1.0 } else { 0.0 });
+            }
+            row
+        })
+        .collect();
+    let fitted = fit_linear(&xs, values, &names, 0.0)
+        .or_else(|_| fit_linear(&xs, values, &names, 1e-9))?;
+    // Phase 0 is the dummy baseline; recenter offsets to sum to zero and
+    // fold the mean into the intercept.
+    let mut seasonal = vec![0.0f64];
+    seasonal.extend_from_slice(&fitted.coefficients[1..]);
+    let mean_s = seasonal.iter().sum::<f64>() / period as f64;
+    for s in &mut seasonal {
+        *s -= mean_s;
+    }
+    Ok(TimeSeriesModel {
+        intercept: fitted.intercept + mean_s,
+        slope: fitted.coefficients[0],
+        seasonal,
+        n_obs: values.len(),
+    })
+}
+
+impl TimeSeriesModel {
+    /// Fitted/forecast value at time index `t` (training indices are
+    /// `0..n_obs`; forecasts continue from `n_obs`).
+    pub fn value_at(&self, t: usize) -> f64 {
+        let base = self.intercept + self.slope * t as f64;
+        if self.seasonal.is_empty() {
+            base
+        } else {
+            base + self.seasonal[t % self.seasonal.len()]
+        }
+    }
+
+    /// Forecast the next `horizon` values after the training window.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (self.n_obs..self.n_obs + horizon)
+            .map(|t| self.value_at(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_trend_extrapolates() {
+        let vals: Vec<f64> = (0..20).map(|i| 10.0 + 3.0 * i as f64).collect();
+        let m = fit_time_series(&vals, 1).unwrap();
+        assert!((m.slope - 3.0).abs() < 1e-9);
+        let f = m.forecast(3);
+        assert!((f[0] - (10.0 + 3.0 * 20.0)).abs() < 1e-9);
+        assert!((f[2] - (10.0 + 3.0 * 22.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seasonal_pattern_recovered() {
+        // Period-4 sawtooth on a flat base.
+        let pattern = [5.0, -1.0, -3.0, -1.0];
+        let vals: Vec<f64> = (0..40).map(|i| 100.0 + pattern[i % 4]).collect();
+        let m = fit_time_series(&vals, 4).unwrap();
+        assert!(m.slope.abs() < 1e-9);
+        let f = m.forecast(4);
+        for (i, v) in f.iter().enumerate() {
+            assert!((v - (100.0 + pattern[(40 + i) % 4])).abs() < 1e-6, "{i}: {v}");
+        }
+    }
+
+    #[test]
+    fn trend_plus_seasonality() {
+        let pattern = [2.0, 0.0, -2.0, 0.0];
+        let vals: Vec<f64> = (0..48)
+            .map(|i| 50.0 + 1.5 * i as f64 + pattern[i % 4])
+            .collect();
+        let m = fit_time_series(&vals, 4).unwrap();
+        assert!((m.slope - 1.5).abs() < 1e-6);
+        let f = m.forecast(8);
+        for (k, v) in f.iter().enumerate() {
+            let t = 48 + k;
+            let expected = 50.0 + 1.5 * t as f64 + pattern[t % 4];
+            assert!((v - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fit_time_series(&[1.0, 2.0], 0).is_err());
+        assert!(fit_time_series(&[1.0, 2.0], 4).is_err());
+        assert!(fit_time_series(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn forecast_is_deterministic() {
+        let vals: Vec<f64> = (0..30).map(|i| (i as f64).sin() + i as f64).collect();
+        let a = fit_time_series(&vals, 4).unwrap().forecast(12);
+        let b = fit_time_series(&vals, 4).unwrap().forecast(12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,310 @@
+//! Decision-tree classifier (CART with Gini impurity).
+
+use std::collections::HashMap;
+
+use crate::error::{MlError, Result};
+
+/// A trained decision tree over numeric features and string class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+    pub classes: Vec<String>,
+    pub max_depth: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Index into `classes`.
+        class: usize,
+        /// Fraction of training rows at this leaf with that class.
+        confidence: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Fit a tree. `xs[i]` is the feature row of sample `i`; `ys[i]` its class
+/// label. Deterministic.
+pub fn fit_tree(xs: &[Vec<f64>], ys: &[&str], max_depth: usize) -> Result<DecisionTree> {
+    if xs.len() != ys.len() {
+        return Err(MlError::invalid("features and labels differ in length"));
+    }
+    if xs.len() < 2 {
+        return Err(MlError::InsufficientData { needed: 2, got: xs.len() });
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|r| r.len() != dim) {
+        return Err(MlError::invalid("feature rows must be non-empty and uniform"));
+    }
+    if max_depth == 0 {
+        return Err(MlError::invalid("max_depth must be positive"));
+    }
+    // Class index assignment in first-seen order for determinism.
+    let mut classes: Vec<String> = Vec::new();
+    let mut y_idx = Vec::with_capacity(ys.len());
+    for &y in ys {
+        let idx = match classes.iter().position(|c| c == y) {
+            Some(i) => i,
+            None => {
+                classes.push(y.to_string());
+                classes.len() - 1
+            }
+        };
+        y_idx.push(idx);
+    }
+    let indices: Vec<usize> = (0..xs.len()).collect();
+    let root = build(xs, &y_idx, classes.len(), &indices, max_depth);
+    Ok(DecisionTree {
+        root,
+        classes,
+        max_depth,
+    })
+}
+
+fn class_counts(y: &[usize], n_classes: usize, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[y[i]] += 1;
+    }
+    counts
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority_leaf(counts: &[usize]) -> Node {
+    let total: usize = counts.iter().sum();
+    let (class, &best) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("non-empty class counts");
+    Node::Leaf {
+        class,
+        confidence: if total == 0 {
+            0.0
+        } else {
+            best as f64 / total as f64
+        },
+    }
+}
+
+fn build(xs: &[Vec<f64>], y: &[usize], n_classes: usize, indices: &[usize], depth: usize) -> Node {
+    let counts = class_counts(y, n_classes, indices);
+    let impurity = gini(&counts);
+    if depth == 0 || impurity == 0.0 || indices.len() < 4 {
+        return majority_leaf(&counts);
+    }
+    let dim = xs[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+    for f in 0..dim {
+        // Candidate thresholds: midpoints of sorted unique values.
+        let mut vals: Vec<f64> = indices.iter().map(|&i| xs[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let mut left = vec![0usize; n_classes];
+            let mut right = vec![0usize; n_classes];
+            for &i in indices {
+                if xs[i][f] <= threshold {
+                    left[y[i]] += 1;
+                } else {
+                    right[y[i]] += 1;
+                }
+            }
+            let nl: usize = left.iter().sum();
+            let nr: usize = right.iter().sum();
+            if nl == 0 || nr == 0 {
+                continue;
+            }
+            let weighted = (nl as f64 * gini(&left) + nr as f64 * gini(&right))
+                / indices.len() as f64;
+            if best.as_ref().is_none_or(|(_, _, g)| weighted < *g - 1e-12) {
+                best = Some((f, threshold, weighted));
+            }
+        }
+    }
+    match best {
+        Some((feature, threshold, weighted)) if weighted < impurity - 1e-12 => {
+            let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| xs[i][feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(xs, y, n_classes, &li, depth - 1)),
+                right: Box::new(build(xs, y, n_classes, &ri, depth - 1)),
+            }
+        }
+        _ => majority_leaf(&counts),
+    }
+}
+
+impl DecisionTree {
+    /// Predict the class label of one row.
+    pub fn predict_row(&self, x: &[f64]) -> &str {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return &self.classes[*class],
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<String>> {
+        let dim = self.num_features();
+        if xs.iter().any(|r| r.len() != dim) {
+            return Err(MlError::IncompatibleInput {
+                message: format!("model expects {dim} features"),
+            });
+        }
+        Ok(xs.iter().map(|r| self.predict_row(r).to_string()).collect())
+    }
+
+    /// Number of features the tree expects (max feature index + 1; the
+    /// training dimensionality is preserved through any split).
+    pub fn num_features(&self) -> usize {
+        fn max_feat(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split {
+                    feature, left, right, ..
+                } => (*feature + 1).max(max_feat(left)).max(max_feat(right)),
+            }
+        }
+        max_feat(&self.root).max(1)
+    }
+
+    /// Tree depth (leaf-only tree = 1).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Per-class distribution of training predictions (for explanations).
+    pub fn class_histogram(&self, xs: &[Vec<f64>]) -> Result<HashMap<String, usize>> {
+        let preds = self.predict(xs)?;
+        let mut h = HashMap::new();
+        for p in preds {
+            *h.entry(p).or_insert(0) += 1;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish() -> (Vec<Vec<f64>>, Vec<&'static str>) {
+        // Axis-aligned separable: class depends on x < 5 then y < 5.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                xs.push(vec![x as f64, y as f64]);
+                ys.push(if x < 5 {
+                    if y < 5 {
+                        "a"
+                    } else {
+                        "b"
+                    }
+                } else {
+                    "c"
+                });
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_axis_aligned_classes() {
+        let (xs, ys) = xor_ish();
+        let t = fit_tree(&xs, &ys, 5).unwrap();
+        let preds = t.predict(&xs).unwrap();
+        let correct = preds
+            .iter()
+            .zip(&ys)
+            .filter(|(p, y)| p.as_str() == **y)
+            .count();
+        assert_eq!(correct, xs.len());
+        assert!(t.depth() <= 5);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (xs, ys) = xor_ish();
+        let t = fit_tree(&xs, &ys, 1).unwrap();
+        assert!(t.depth() <= 2); // one split + leaves
+    }
+
+    #[test]
+    fn pure_input_gives_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec!["x"; 10];
+        let t = fit_tree(&xs, &ys, 5).unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.predict_row(&[3.0]), "x");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit_tree(&[vec![1.0]], &["a"], 3).is_err());
+        assert!(fit_tree(&[vec![1.0], vec![2.0]], &["a"], 0).is_err());
+        assert!(fit_tree(&[vec![1.0], vec![1.0, 2.0]], &["a", "b"], 3).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (xs, ys) = xor_ish();
+        let a = fit_tree(&xs, &ys, 4).unwrap();
+        let b = fit_tree(&xs, &ys, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let (xs, ys) = xor_ish();
+        let t = fit_tree(&xs, &ys, 3).unwrap();
+        assert!(t.predict(&[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn gini_properties() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!(gini(&[1, 1, 1, 1]) > gini(&[2, 1, 1]));
+    }
+}

@@ -1,0 +1,439 @@
+//! The program checker (§4.5).
+//!
+//! "Converts the LLM-generated analytics program into an abstract
+//! representation, keeping track of data and functional dependencies ...
+//! performs syntax and type checks and validates the composition of
+//! functions ... streamlines the analytics program by removing redundant
+//! lines of code such as print statements."
+
+use std::collections::BTreeMap;
+
+use dc_skills::SkillCall;
+
+use crate::error::{NlError, Result};
+use crate::pyapi::{parse_pyapi, PyProgram, PyStatement};
+use crate::semantic::SchemaHints;
+
+/// Severity of a checker finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Repaired automatically (e.g. removed a print statement).
+    Fixed,
+    /// Suspicious but runnable.
+    Warning,
+    /// The program cannot run as written.
+    Error,
+}
+
+/// One checker finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckIssue {
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// A validated (and streamlined) program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedProgram {
+    pub program: PyProgram,
+    pub issues: Vec<CheckIssue>,
+}
+
+impl CheckedProgram {
+    /// Whether the program survived with no hard errors.
+    pub fn is_valid(&self) -> bool {
+        !self
+            .issues
+            .iter()
+            .any(|i| i.severity == Severity::Error)
+    }
+
+    /// Hard errors only.
+    pub fn errors(&self) -> Vec<&CheckIssue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Error)
+            .collect()
+    }
+}
+
+/// Columns an expression references.
+fn expr_columns(e: &dc_engine::Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.referenced_columns(&mut out);
+    out
+}
+
+/// Columns a call reads (for reference checking) and creates (tracked
+/// forward as the statement's schema evolves).
+fn call_columns(call: &SkillCall) -> (Vec<String>, Vec<String>) {
+    use SkillCall::*;
+    match call {
+        KeepRows { predicate } | DropRows { predicate } => (expr_columns(predicate), vec![]),
+        KeepColumns { columns } | DropColumns { columns } => (columns.clone(), vec![]),
+        RenameColumn { from, to } => (vec![from.clone()], vec![to.clone()]),
+        CreateColumn { name, expr } => (expr_columns(expr), vec![name.clone()]),
+        CreateConstantColumn { name, .. } => (vec![], vec![name.clone()]),
+        Compute { aggs, for_each } => {
+            let mut reads: Vec<String> = for_each.clone();
+            let mut creates = Vec::new();
+            for a in aggs {
+                if let Some(c) = &a.column {
+                    reads.push(c.clone());
+                }
+                creates.push(a.output.clone());
+            }
+            (reads, creates)
+        }
+        Pivot { index, columns, values, .. } => {
+            (vec![index.clone(), columns.clone(), values.clone()], vec![])
+        }
+        Sort { keys } => (keys.iter().map(|(c, _)| c.clone()).collect(), vec![]),
+        Top { column, .. } => (vec![column.clone()], vec![]),
+        Join { left_on, .. } => (left_on.clone(), vec![]),
+        Distinct { columns } | DropMissing { columns } => (columns.clone(), vec![]),
+        FillMissing { column, .. } => (vec![column.clone()], vec![]),
+        BinColumn { column, width, name } => (
+            vec![column.clone()],
+            vec![name
+                .clone()
+                .unwrap_or_else(|| format!("{column}Int{width}"))],
+        ),
+        TrainModel { target, features, .. } => {
+            let mut reads = vec![target.clone()];
+            reads.extend(features.clone());
+            (reads, vec![])
+        }
+        PredictTimeSeries { measures, time_column, .. } => {
+            let mut reads = measures.clone();
+            reads.push(time_column.clone());
+            (reads, vec!["RecordType".to_string()])
+        }
+        DetectOutliers { column, .. } => {
+            (vec![column.clone()], vec![format!("IsOutlier_{column}")])
+        }
+        Cluster { features, .. } => (features.clone(), vec!["Cluster".to_string()]),
+        Visualize { kpi, by } => {
+            let mut reads = vec![kpi.clone()];
+            reads.extend(by.clone());
+            (reads, vec![])
+        }
+        Plot { x, y, color, size, for_each, .. } => (
+            [x, y, color, size, for_each]
+                .into_iter()
+                .flatten()
+                .cloned()
+                .collect(),
+            vec![],
+        ),
+        DescribeColumn { column } => (vec![column.clone()], vec![]),
+        _ => (vec![], vec![]),
+    }
+}
+
+/// Validate and streamline a generated program against schema hints.
+///
+/// Checks, in order:
+/// 1. syntax (parse failure is a hard [`NlError`]);
+/// 2. dead-code removal: print statements and assignments never used;
+/// 3. dataset references resolve to schema tables or earlier assignments;
+/// 4. column references resolve against the evolving per-statement schema
+///    (projection narrows it; compute replaces it; created columns
+///    extend it);
+/// 5. composition rules (e.g. a KeepColumns after Compute must name
+///    produced columns — covered by the schema evolution in 4).
+pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
+    let parsed = parse_pyapi(source)?;
+    let mut issues: Vec<CheckIssue> = Vec::new();
+
+    // 2a. Strip prints.
+    let mut statements: Vec<PyStatement> = Vec::new();
+    for st in parsed.statements {
+        if st.is_print {
+            issues.push(CheckIssue {
+                severity: Severity::Fixed,
+                message: "removed print statement".into(),
+            });
+        } else {
+            statements.push(st);
+        }
+    }
+    // 2b. Strip assignments whose target is never used later.
+    let used_roots: Vec<String> = statements.iter().map(|s| s.root.clone()).collect();
+    let mut kept: Vec<PyStatement> = Vec::new();
+    for (i, st) in statements.iter().enumerate() {
+        if let Some(target) = &st.target {
+            let used_later = used_roots[i + 1..]
+                .iter()
+                .any(|r| r.eq_ignore_ascii_case(target));
+            let is_last = i == statements.len() - 1;
+            if !used_later && !is_last {
+                issues.push(CheckIssue {
+                    severity: Severity::Fixed,
+                    message: format!("removed unused assignment to {target}"),
+                });
+                continue;
+            }
+        }
+        kept.push(st.clone());
+    }
+
+    // 3 + 4. Reference and composition checks with schema evolution.
+    let mut var_schemas: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for st in &kept {
+        let root_lower = st.root.to_lowercase();
+        let mut cols: Vec<String> = if let Some(cols) = var_schemas.get(&root_lower) {
+            cols.clone()
+        } else if let Some((_, cols)) = st
+            .schema_lookup(schema)
+        {
+            cols
+        } else {
+            issues.push(CheckIssue {
+                severity: Severity::Error,
+                message: format!("unknown dataset {:?}", st.root),
+            });
+            continue;
+        };
+        for call in &st.calls {
+            let (reads, creates) = call_columns(call);
+            for r in &reads {
+                if !cols.iter().any(|c| c.eq_ignore_ascii_case(r)) {
+                    issues.push(CheckIssue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "column {r:?} is not available at step {} (have: {})",
+                            call.name(),
+                            cols.join(", ")
+                        ),
+                    });
+                }
+            }
+            // Evolve the schema.
+            match call {
+                SkillCall::KeepColumns { columns } => cols = columns.clone(),
+                SkillCall::DropColumns { columns } => {
+                    cols.retain(|c| !columns.iter().any(|d| d.eq_ignore_ascii_case(c)));
+                }
+                SkillCall::RenameColumn { from, to } => {
+                    for c in cols.iter_mut() {
+                        if c.eq_ignore_ascii_case(from) {
+                            *c = to.clone();
+                        }
+                    }
+                }
+                SkillCall::Compute { aggs, for_each } => {
+                    cols = for_each.clone();
+                    cols.extend(aggs.iter().map(|a| a.output.clone()));
+                }
+                SkillCall::PredictTimeSeries {
+                    measures,
+                    time_column,
+                    ..
+                } => {
+                    cols = vec![time_column.clone()];
+                    cols.extend(measures.clone());
+                    cols.push("RecordType".to_string());
+                }
+                SkillCall::Join { other, right_on, .. } => {
+                    if let Some(other_cols) = lookup_table(schema, other)
+                        .or_else(|| var_schemas.get(&other.to_lowercase()).cloned())
+                    {
+                        for c in other_cols {
+                            let is_key = right_on.iter().any(|k| k.eq_ignore_ascii_case(&c));
+                            if !is_key && !cols.iter().any(|e| e.eq_ignore_ascii_case(&c)) {
+                                cols.push(c);
+                            }
+                        }
+                    } else {
+                        issues.push(CheckIssue {
+                            severity: Severity::Error,
+                            message: format!("unknown join dataset {other:?}"),
+                        });
+                    }
+                }
+                _ => {
+                    for c in creates {
+                        if !cols.iter().any(|e| e.eq_ignore_ascii_case(&c)) {
+                            cols.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        // Only assignments bind names; a bare chain leaves the root's
+        // schema untouched (method chains do not mutate their receiver).
+        if let Some(target) = &st.target {
+            var_schemas.insert(target.to_lowercase(), cols);
+        }
+    }
+
+    if kept.is_empty() {
+        return Err(NlError::check("program has no effective statements"));
+    }
+    Ok(CheckedProgram {
+        program: PyProgram { statements: kept },
+        issues,
+    })
+}
+
+fn lookup_table(schema: &SchemaHints, name: &str) -> Option<Vec<String>> {
+    schema
+        .tables
+        .iter()
+        .find(|(t, _)| t.eq_ignore_ascii_case(name))
+        .map(|(_, cols)| cols.clone())
+}
+
+impl PyStatement {
+    fn schema_lookup(&self, schema: &SchemaHints) -> Option<(String, Vec<String>)> {
+        schema
+            .tables
+            .iter()
+            .find(|(t, _)| t.eq_ignore_ascii_case(&self.root))
+            .map(|(t, cols)| (t.clone(), cols.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> SchemaHints {
+        let mut s = SchemaHints::single(
+            "sales",
+            vec![
+                "order_id".into(),
+                "region".into(),
+                "price".into(),
+                "quantity".into(),
+            ],
+        );
+        s.tables.insert(
+            "customers".into(),
+            vec!["customer_id".into(), "city".into(), "order_id".into()],
+        );
+        s
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let c = check(
+            "sales.filter(\"price > 10\").compute(aggregates = [Count(\"order_id\")], for_each = [\"region\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(c.is_valid());
+        assert!(c.issues.is_empty());
+    }
+
+    #[test]
+    fn print_statements_stripped() {
+        let c = check("sales.head(5)\nprint(result)\n", &schema()).unwrap();
+        assert_eq!(c.program.statements.len(), 1);
+        assert!(c
+            .issues
+            .iter()
+            .any(|i| i.severity == Severity::Fixed && i.message.contains("print")));
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn unused_assignment_stripped() {
+        let src = "tmp = sales.head(5)\nsales.compute(aggregates = [Count()])";
+        let c = check(src, &schema()).unwrap();
+        assert_eq!(c.program.statements.len(), 1);
+        assert!(c.issues.iter().any(|i| i.message.contains("tmp")));
+    }
+
+    #[test]
+    fn used_assignment_kept() {
+        let src = "west = sales.filter(\"region = 'west'\")\nwest.compute(aggregates = [Count()])";
+        let c = check(src, &schema()).unwrap();
+        assert_eq!(c.program.statements.len(), 2);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn unknown_dataset_is_error() {
+        let c = check("nope.head(5)", &schema()).unwrap();
+        assert!(!c.is_valid());
+        assert!(c.errors()[0].message.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let c = check("sales.filter(\"bogus > 1\")", &schema()).unwrap();
+        assert!(!c.is_valid());
+        assert!(c.errors()[0].message.contains("bogus"));
+    }
+
+    #[test]
+    fn schema_evolves_through_compute() {
+        // Sorting by the aggregate output is legal; sorting by a source
+        // column consumed by compute is not.
+        let good = check(
+            "sales.compute(aggregates = [Count(\"order_id\")], for_each = [\"region\"]).sort(by = [\"Countorder_id\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(good.is_valid(), "{:?}", good.issues);
+        let bad = check(
+            "sales.compute(aggregates = [Count(\"order_id\")], for_each = [\"region\"]).sort(by = [\"price\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn projection_narrows_schema() {
+        let bad = check("sales.select([\"region\"]).filter(\"price > 1\")", &schema()).unwrap();
+        assert!(!bad.is_valid());
+        let good = check("sales.select([\"region\", \"price\"]).filter(\"price > 1\")", &schema())
+            .unwrap();
+        assert!(good.is_valid());
+    }
+
+    #[test]
+    fn join_extends_schema() {
+        let c = check(
+            "sales.join(\"customers\", on = [\"order_id\"]).select([\"region\", \"city\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(c.is_valid(), "{:?}", c.issues);
+        let bad = check(
+            "sales.join(\"phantom\", on = [\"order_id\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn created_columns_become_visible() {
+        let c = check(
+            "sales.with_column(\"total\", \"price * quantity\").sort(by = [\"total\"])",
+            &schema(),
+        )
+        .unwrap();
+        assert!(c.is_valid(), "{:?}", c.issues);
+    }
+
+    #[test]
+    fn syntax_error_propagates() {
+        assert!(matches!(
+            check("sales.filter(", &schema()),
+            Err(NlError::PySyntax { .. })
+        ));
+    }
+
+    #[test]
+    fn all_prints_is_empty_program() {
+        assert!(matches!(
+            check("print(x)\nprint(y)", &schema()),
+            Err(NlError::Check { .. })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! NL2Code errors.
+
+use std::fmt;
+
+/// Errors from the NL2Code pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlError {
+    /// Python-API parse failure.
+    PySyntax { message: String, line: usize },
+    /// The program checker rejected the generated code.
+    Check { message: String },
+    /// The model produced nothing usable.
+    Generation { message: String },
+    /// Translation between dialects failed.
+    Translation { message: String },
+    /// Propagated skill failure during execution.
+    Skill(dc_skills::SkillError),
+    /// Propagated GEL failure.
+    Gel(dc_gel::GelError),
+}
+
+impl NlError {
+    /// Convenience constructor for [`NlError::PySyntax`].
+    pub fn syntax(message: impl Into<String>, line: usize) -> Self {
+        NlError::PySyntax {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Convenience constructor for [`NlError::Check`].
+    pub fn check(message: impl Into<String>) -> Self {
+        NlError::Check {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NlError::Translation`].
+    pub fn translation(message: impl Into<String>) -> Self {
+        NlError::Translation {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NlError::PySyntax { message, line } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            NlError::Check { message } => write!(f, "program check failed: {message}"),
+            NlError::Generation { message } => write!(f, "generation failed: {message}"),
+            NlError::Translation { message } => write!(f, "translation failed: {message}"),
+            NlError::Skill(e) => write!(f, "skill error: {e}"),
+            NlError::Gel(e) => write!(f, "gel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NlError {}
+
+impl From<dc_skills::SkillError> for NlError {
+    fn from(e: dc_skills::SkillError) -> Self {
+        NlError::Skill(e)
+    }
+}
+impl From<dc_gel::GelError> for NlError {
+    fn from(e: dc_gel::GelError) -> Self {
+        NlError::Gel(e)
+    }
+}
+
+/// Result alias for the NL crate.
+pub type Result<T> = std::result::Result<T, NlError>;

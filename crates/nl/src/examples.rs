@@ -1,0 +1,393 @@
+//! Example retrieval (§4.3).
+//!
+//! "We first rank the examples in our repository based on their
+//! similarity (e.g., cosine) with the user query. Next, from the ranked
+//! example list, we select examples that feature a unique set of
+//! analytics functions." Similarity here is TF-IDF cosine over stemmed
+//! tokens — deterministic and dependency-free.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::semantic::{stem, tokenize};
+
+/// One question → program training pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// The natural-language question.
+    pub question: String,
+    /// The DataChat Python API solution.
+    pub program: String,
+    /// The analytics functions the program uses (its "shape").
+    pub functions: Vec<String>,
+    /// Problem domain ("sales", "finance", "healthcare", ...).
+    pub domain: String,
+}
+
+impl Example {
+    /// Build, extracting the function set from the program text.
+    pub fn new(
+        question: impl Into<String>,
+        program: impl Into<String>,
+        domain: impl Into<String>,
+    ) -> Example {
+        let program = program.into();
+        let functions = extract_functions(&program);
+        Example {
+            question: question.into(),
+            program,
+            functions,
+            domain: domain.into(),
+        }
+    }
+
+    /// Prompt rendering: Q/A pair.
+    pub fn render(&self) -> String {
+        format!("Q: {}\nA: {}", self.question, self.program)
+    }
+}
+
+/// Extract `.method(` names from a Python-API program.
+pub fn extract_functions(program: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let bytes = program.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'.' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            if j > start && bytes.get(j) == Some(&b'(') {
+                let name = program[start..j].to_string();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The example library with TF-IDF retrieval.
+#[derive(Debug, Clone, Default)]
+pub struct ExampleLibrary {
+    examples: Vec<Example>,
+    /// document frequency per stemmed token.
+    df: HashMap<String, usize>,
+}
+
+impl ExampleLibrary {
+    /// An empty library.
+    pub fn new() -> ExampleLibrary {
+        ExampleLibrary::default()
+    }
+
+    /// Add an example, updating document frequencies.
+    pub fn add(&mut self, example: Example) {
+        let tokens: BTreeSet<String> = tokenize(&example.question)
+            .iter()
+            .map(|t| stem(t))
+            .collect();
+        for t in tokens {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+        self.examples.push(example);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// All examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    fn tfidf(&self, text: &str) -> HashMap<String, f64> {
+        let tokens: Vec<String> = tokenize(text).iter().map(|t| stem(t)).collect();
+        let n_docs = self.examples.len().max(1) as f64;
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        for (t, v) in tf.iter_mut() {
+            let df = self.df.get(t).copied().unwrap_or(0) as f64;
+            let idf = ((n_docs + 1.0) / (df + 1.0)).ln() + 1.0;
+            *v *= idf;
+        }
+        tf
+    }
+
+    fn cosine(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+        let dot: f64 = a
+            .iter()
+            .filter_map(|(t, va)| b.get(t).map(|vb| va * vb))
+            .sum();
+        let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Rank all examples by cosine similarity to `query`, descending
+    /// (ties broken by question text for determinism).
+    pub fn rank(&self, query: &str) -> Vec<(f64, &Example)> {
+        let q = self.tfidf(query);
+        let mut scored: Vec<(f64, &Example)> = self
+            .examples
+            .iter()
+            .map(|e| (Self::cosine(&q, &self.tfidf(&e.question)), e))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.question.cmp(&b.1.question))
+        });
+        scored
+    }
+
+    /// §4.3's two-stage selection: rank by similarity, then greedily take
+    /// examples whose function sets are not already covered, up to `k`.
+    pub fn select(&self, query: &str, k: usize) -> Vec<&Example> {
+        let ranked = self.rank(query);
+        let mut out: Vec<&Example> = Vec::new();
+        let mut seen_shapes: Vec<BTreeSet<String>> = Vec::new();
+        for (score, e) in &ranked {
+            if out.len() >= k {
+                break;
+            }
+            if *score <= 0.0 && !out.is_empty() {
+                break;
+            }
+            let shape: BTreeSet<String> = e.functions.iter().cloned().collect();
+            if seen_shapes.contains(&shape) {
+                continue;
+            }
+            seen_shapes.push(shape);
+            out.push(e);
+        }
+        // Backfill with top-ranked duplicates if uniqueness starved us.
+        if out.len() < k {
+            for (_, e) in &ranked {
+                if out.len() >= k {
+                    break;
+                }
+                if !out.iter().any(|x| std::ptr::eq(*x, *e)) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// The built-in cross-domain library (§4.3: "examples span several
+    /// problem domains such as sales, finance, and healthcare").
+    pub fn builtin() -> ExampleLibrary {
+        let mut lib = ExampleLibrary::new();
+        let entries: Vec<(&str, &str, &str)> = vec![
+            (
+                "How many orders were placed in each region",
+                "sales.compute(aggregates = [Count(\"order_id\")], for_each = [\"region\"])",
+                "sales",
+            ),
+            (
+                "What is the total revenue for each product",
+                "sales.with_column(\"line_total\", \"price * quantity\").compute(aggregates = [Sum(\"line_total\")], for_each = [\"product\"])",
+                "sales",
+            ),
+            (
+                "Show the ten most expensive orders",
+                "sales.top(10, by = \"price\")",
+                "sales",
+            ),
+            (
+                "How many purchases were successful",
+                "sales.filter(\"PurchaseStatus = 'Successful'\").compute(aggregates = [Count()])",
+                "sales",
+            ),
+            (
+                "What is the average order value by region sorted from highest to lowest",
+                "sales.compute(aggregates = [Average(\"price\")], for_each = [\"region\"]).sort(by = [\"AvgPrice\"], ascending = [False])",
+                "sales",
+            ),
+            (
+                "Keep only orders from the west region",
+                "sales.filter(\"region = 'west'\")",
+                "sales",
+            ),
+            (
+                "What is the average account balance for each branch",
+                "accounts.compute(aggregates = [Average(\"balance\")], for_each = [\"branch\"])",
+                "finance",
+            ),
+            (
+                "Count the transactions above 1000 dollars for each account type",
+                "transactions.filter(\"amount > 1000\").compute(aggregates = [Count(\"txn_id\")], for_each = [\"account_type\"])",
+                "finance",
+            ),
+            (
+                "Forecast the closing price for the next 30 days",
+                "prices.predict_time_series(measures = [\"close\"], horizon = 30, time_column = \"date\")",
+                "finance",
+            ),
+            (
+                "Which customers have unusual transaction amounts",
+                "transactions.detect_outliers(\"amount\", method = \"iqr\")",
+                "finance",
+            ),
+            (
+                "How many patients were admitted per department",
+                "admissions.compute(aggregates = [Count(\"patient_id\")], for_each = [\"department\"])",
+                "healthcare",
+            ),
+            (
+                "What is the median length of stay by diagnosis",
+                "admissions.compute(aggregates = [Median(\"length_of_stay\")], for_each = [\"diagnosis\"])",
+                "healthcare",
+            ),
+            (
+                "Train a model to predict readmission from age and length of stay",
+                "admissions.train_model(target = \"readmitted\", features = [\"age\", \"length_of_stay\"])",
+                "healthcare",
+            ),
+            (
+                "Group the patients into three cohorts by age and bmi",
+                "patients.cluster(k = 3, features = [\"age\", \"bmi\"])",
+                "healthcare",
+            ),
+            (
+                "Show the distinct diagnosis codes",
+                "admissions.select([\"diagnosis\"]).distinct()",
+                "healthcare",
+            ),
+            (
+                "What is the maximum and minimum temperature for each device",
+                "readings.compute(aggregates = [Max(\"temperature\"), Min(\"temperature\")], for_each = [\"device_id\"])",
+                "iot",
+            ),
+            (
+                "Join orders with customers and count orders per customer city",
+                "orders.join(\"customers\", on = [\"customer_id\"]).compute(aggregates = [Count(\"order_id\")], for_each = [\"city\"])",
+                "sales",
+            ),
+            (
+                "Show five rows of the dataset",
+                "data.head(5)",
+                "general",
+            ),
+            (
+                "Drop the rows with a missing age",
+                "patients.dropna([\"age\"])",
+                "healthcare",
+            ),
+            (
+                "How many distinct products were sold each month",
+                "sales.compute(aggregates = [CountDistinct(\"product\")], for_each = [\"month\"])",
+                "sales",
+            ),
+        ];
+        for (q, p, d) in entries {
+            lib.add(Example::new(q, p, d));
+        }
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_extraction() {
+        let f = extract_functions(
+            "sales.filter(\"x > 1\").compute(aggregates = [Count()]).sort(by = [\"n\"])",
+        );
+        assert_eq!(f, vec!["filter", "compute", "sort"]);
+        assert!(extract_functions("no methods here").is_empty());
+    }
+
+    #[test]
+    fn similar_question_ranks_first() {
+        let lib = ExampleLibrary::builtin();
+        let ranked = lib.rank("How many orders were placed in each city");
+        assert!(ranked[0].1.question.contains("orders were placed"));
+        assert!(ranked[0].0 > ranked.last().unwrap().0);
+    }
+
+    #[test]
+    fn selection_prefers_unique_function_sets() {
+        let mut lib = ExampleLibrary::new();
+        // Three near-identical compute examples and one filter+compute.
+        lib.add(Example::new(
+            "count orders per region",
+            "t.compute(aggregates = [Count()], for_each = [\"region\"])",
+            "sales",
+        ));
+        lib.add(Example::new(
+            "count orders per city",
+            "t.compute(aggregates = [Count()], for_each = [\"city\"])",
+            "sales",
+        ));
+        lib.add(Example::new(
+            "count successful orders per region",
+            "t.filter(\"status = 'ok'\").compute(aggregates = [Count()], for_each = [\"region\"])",
+            "sales",
+        ));
+        let picked = lib.select("count orders per region", 2);
+        assert_eq!(picked.len(), 2);
+        let shapes: Vec<&Vec<String>> = picked.iter().map(|e| &e.functions).collect();
+        assert_ne!(shapes[0], shapes[1], "second pick must add a new shape");
+    }
+
+    #[test]
+    fn backfill_when_shapes_exhausted() {
+        let mut lib = ExampleLibrary::new();
+        lib.add(Example::new("a", "t.head(1)", "x"));
+        lib.add(Example::new("b", "t.head(2)", "x"));
+        let picked = lib.select("a", 2);
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn builtin_spans_domains() {
+        let lib = ExampleLibrary::builtin();
+        let domains: BTreeSet<&str> = lib.examples().iter().map(|e| e.domain.as_str()).collect();
+        assert!(domains.contains("sales"));
+        assert!(domains.contains("finance"));
+        assert!(domains.contains("healthcare"));
+        assert!(lib.len() >= 15);
+        // Every example parses in the Python API dialect.
+        for e in lib.examples() {
+            crate::pyapi::parse_pyapi(&e.program)
+                .unwrap_or_else(|err| panic!("{} failed: {err}", e.program));
+        }
+    }
+
+    #[test]
+    fn render_is_q_a() {
+        let e = Example::new("q text", "t.head(1)", "x");
+        assert_eq!(e.render(), "Q: q text\nA: t.head(1)");
+    }
+
+    #[test]
+    fn cosine_zero_for_disjoint() {
+        let lib = ExampleLibrary::builtin();
+        let ranked = lib.rank("zzzz qqqq xxxx");
+        assert!(ranked.iter().all(|(s, _)| *s == 0.0));
+    }
+}

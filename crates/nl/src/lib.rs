@@ -1,0 +1,46 @@
+//! # dc-nl — the NL2Code system (§4, the paper's primary contribution)
+//!
+//! Natural language → analytics recipes, via the Figure 6 architecture:
+//!
+//! * [`semantic`] — the semantic layer: concepts, metrics, dimensions,
+//!   value mappings, hierarchies, and relevance-weighted retrieval (§4.2);
+//! * [`examples`] — the example library with TF-IDF cosine ranking and
+//!   unique-function-set selection (§4.3);
+//! * [`prompt`] — the prompt composer: API doc + examples + schema +
+//!   semantics + intent under a token budget, trading examples for
+//!   semantic context on complex queries (§4.4);
+//! * [`llm`] — the code generator behind a [`llm::LanguageModel`] trait;
+//!   [`llm::SimulatedLlm`] is the offline stand-in (see DESIGN.md);
+//! * [`checker`] — the program checker: abstract representation,
+//!   reference/composition validation, dead-code removal (§4.5);
+//! * [`pyapi`] — the DataChat Python API dialect, with polyglot
+//!   translation to GEL and SQL (§4.1);
+//! * [`phrase`] — deterministic phrase-based translation for Visualize
+//!   (§4.8);
+//! * [`metrics`] — the Misalignment and Degree-of-Composition difficulty
+//!   metrics with the Figure 7 thresholds (§4.7);
+//! * [`pipeline`] — the end-to-end orchestration with a step trace.
+
+pub mod checker;
+pub mod error;
+pub mod examples;
+pub mod explain;
+pub mod llm;
+pub mod metrics;
+pub mod phrase;
+pub mod pipeline;
+pub mod prompt;
+pub mod pyapi;
+pub mod semantic;
+
+pub use checker::{check, CheckIssue, CheckedProgram, Severity};
+pub use error::{NlError, Result};
+pub use examples::{Example, ExampleLibrary};
+pub use explain::{explain_skill, Explanation};
+pub use llm::{ErrorModel, LanguageModel, SimulatedLlm};
+pub use metrics::{composition, misalignment, Zone, C_THRESHOLD, M_THRESHOLD};
+pub use phrase::{translate_visualize, PhraseTranslation};
+pub use pipeline::{Nl2Code, Nl2CodeResult};
+pub use prompt::{api_doc, Prompt, PromptComposer};
+pub use pyapi::{format_program, parse_pyapi, PyProgram, PyStatement};
+pub use semantic::{Concept, ConceptKind, SchemaHints, SemanticLayer};

@@ -1,0 +1,990 @@
+//! The code generator (§4.1) — a [`LanguageModel`] trait with a
+//! simulated implementation.
+//!
+//! The product prompts a hosted GPT-class LLM; that is not available
+//! offline, so [`SimulatedLlm`] stands in (see DESIGN.md's substitution
+//! table). It consumes the *same structured prompt* the composer builds
+//! (API doc, ranked examples, schema, semantic concepts, intent) and
+//! produces DataChat Python API code by keyword-driven semantic parsing
+//! guided by the retrieved examples and concepts. Its failures follow an
+//! explicit, seeded error model whose probability rises with intent/
+//! schema misalignment and solution depth and falls with prompt context
+//! quality — the qualitative behaviour §4 reports for real LLMs, which is
+//! what Table 2 measures in stratified form. The trait boundary means a
+//! real model can be swapped in without touching the pipeline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::metrics::identifier_tokens;
+use crate::prompt::Prompt;
+use crate::semantic::{stem, tokenize, ConceptKind};
+
+/// Anything that maps a prompt to generated code.
+pub trait LanguageModel {
+    /// Model identifier (for traces and experiment logs).
+    fn name(&self) -> &str;
+    /// Generate code for the prompt.
+    fn complete(&self, prompt: &Prompt) -> String;
+}
+
+/// Tunables of the simulated failure behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Failure floor even on easy, well-contextualized prompts.
+    pub base: f64,
+    /// Failure gain per unit of intent/schema mismatch.
+    pub misalign_gain: f64,
+    /// Failure gain per generated step (÷6, saturating).
+    pub complexity_gain: f64,
+    /// Failure gain when no prompt example resembles the question
+    /// (out-of-distribution intents — the T_custom effect of §4.7).
+    pub oov_gain: f64,
+    /// Failure gain for the *joint* presence of misalignment and depth
+    /// (hard questions compound; Table 2's (high, high) cell collapses).
+    pub interaction_gain: f64,
+    /// Failure gain for opaque schemas (abbreviated identifiers) on hard
+    /// questions — the schema-irrelevance half of M, visible in the
+    /// prompt, interacting with depth and mismatch.
+    pub opacity_gain: f64,
+    /// Failure reduction for rich context (examples + concepts).
+    pub context_bonus: f64,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel {
+            base: 0.25,
+            misalign_gain: 0.07,
+            complexity_gain: 0.08,
+            oov_gain: 0.20,
+            interaction_gain: 1.0,
+            opacity_gain: 0.6,
+            context_bonus: 0.19,
+        }
+    }
+}
+
+/// The deterministic simulated LLM.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedLlm {
+    pub seed: u64,
+    pub errors: ErrorModel,
+}
+
+impl SimulatedLlm {
+    /// A model with the default error characteristics.
+    pub fn new(seed: u64) -> SimulatedLlm {
+        SimulatedLlm {
+            seed,
+            errors: ErrorModel::default(),
+        }
+    }
+
+    /// A model that never injects errors (for unit-testing the
+    /// translation rules themselves).
+    pub fn oracle() -> SimulatedLlm {
+        SimulatedLlm {
+            seed: 0,
+            errors: ErrorModel {
+                base: 0.0,
+                misalign_gain: 0.0,
+                complexity_gain: 0.0,
+                oov_gain: 0.0,
+                interaction_gain: 0.0,
+                opacity_gain: 0.0,
+                context_bonus: 0.0,
+            },
+        }
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    // FNV-1a, deterministic across runs.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Match intent tokens to schema columns, in intent order. Columns whose
+/// full name is mentioned verbatim rank before token-level matches
+/// (`party_sobriety` must beat `party_number` for "each party_sobriety").
+fn matched_columns(intent: &str, prompt: &Prompt) -> Vec<String> {
+    let lower = intent.to_lowercase();
+    let mut exact: Vec<String> = Vec::new();
+    for col in prompt.schema.all_columns() {
+        let needle = col.to_lowercase();
+        let mut start = 0;
+        while let Some(pos) = lower[start..].find(&needle) {
+            let at = start + pos;
+            let before_ok = at == 0
+                || !lower.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && lower.as_bytes()[at - 1] != b'_';
+            let end = at + needle.len();
+            let after_ok = end == lower.len()
+                || !lower.as_bytes()[end].is_ascii_alphanumeric()
+                    && lower.as_bytes()[end] != b'_';
+            if before_ok && after_ok {
+                let name = col.to_string();
+                if !exact.contains(&name) {
+                    exact.push(name);
+                }
+                break;
+            }
+            start = at + 1;
+        }
+    }
+    let tokens: Vec<String> = tokenize(intent).iter().map(|t| stem(t)).collect();
+    let mut out = exact;
+    for t in &tokens {
+        for col in prompt.schema.all_columns() {
+            let col_tokens = identifier_tokens(col);
+            if col_tokens.iter().any(|ct| ct == t && t.len() >= 3) {
+                let name = col.to_string();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Columns mentioned after a marker phrase ("for each", "by", "per").
+fn group_columns(intent: &str, prompt: &Prompt) -> Vec<String> {
+    let lower = intent.to_lowercase();
+    for marker in ["for each ", " in each ", " each ", " per ", " by ", "grouped by "] {
+        if let Some(pos) = lower.find(marker) {
+            let tail = &intent[pos + marker.len()..];
+            let cols = matched_columns(tail, prompt);
+            if !cols.is_empty() {
+                // A full-name mention is unambiguous; token-level matches
+                // over the tail may drag in sibling columns.
+                let exact: Vec<String> = cols
+                    .iter()
+                    .filter(|c| tail.to_lowercase().contains(&c.to_lowercase()))
+                    .cloned()
+                    .collect();
+                let chosen = if exact.is_empty() { cols } else { exact };
+                return chosen.into_iter().take(2).collect();
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// The schema column mentioned nearest before any of the marker words
+/// (used to attach numeric thresholds to the right column).
+fn column_before(intent: &str, markers: &[&str], prompt: &Prompt) -> Option<String> {
+    let lower = intent.to_lowercase();
+    let pos = markers.iter().filter_map(|m| lower.find(m)).min()?;
+    let head = &lower[..pos];
+    nearest_column_in(head, prompt, true)
+}
+
+/// The schema column mentioned nearest after any of the marker words.
+fn column_after(intent: &str, markers: &[&str], prompt: &Prompt) -> Option<String> {
+    let lower = intent.to_lowercase();
+    let (pos, mlen) = markers
+        .iter()
+        .filter_map(|m| lower.find(m).map(|p| (p, m.len())))
+        .min()?;
+    let tail = &lower[pos + mlen..];
+    nearest_column_in(tail, prompt, false)
+}
+
+/// Nearest column mention in a text window: rightmost when `from_end`,
+/// leftmost otherwise. Full-name mentions beat token-level matches.
+fn nearest_column_in(window: &str, prompt: &Prompt, from_end: bool) -> Option<String> {
+    let head = window;
+    let head_tokens: Vec<String> = tokenize(head).iter().map(|t| stem(t)).collect();
+    // (full-name match?, position) per column; full-name mentions use a
+    // token-scale position so both kinds compare on one axis.
+    let token_pos_of_byte = |byte: usize| head[..byte].split_whitespace().count();
+    let mut best: Option<(bool, usize, String)> = None;
+    for col in prompt.schema.all_columns() {
+        let full = col.to_lowercase();
+        let full_at = if from_end {
+            head.rfind(&full).map(|p| token_pos_of_byte(p) + 1)
+        } else {
+            head.find(&full).map(|p| token_pos_of_byte(p) + 1)
+        };
+        let (is_full, at) = match full_at {
+            Some(p) => (true, Some(p)),
+            None => {
+                let col_tokens = identifier_tokens(col);
+                let mut hits = head_tokens
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.len() >= 3 && col_tokens.contains(t))
+                    .map(|(i, _)| i + 1);
+                let p = if from_end { hits.last() } else { hits.next() };
+                (false, p)
+            }
+        };
+        if let Some(at) = at {
+            let better = match &best {
+                None => true,
+                Some((bfull, bat, _)) => {
+                    // Full-name mentions outrank token matches; among
+                    // equals, nearest to the marker wins.
+                    match (is_full, *bfull) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => {
+                            if from_end {
+                                at >= *bat
+                            } else {
+                                at < *bat
+                            }
+                        }
+                    }
+                }
+            };
+            if better {
+                best = Some((is_full, at, col.to_string()));
+            }
+        }
+    }
+    best.map(|(_, _, c)| c)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AggKind {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Median,
+    Min,
+    Max,
+    StdDev,
+}
+
+impl AggKind {
+    fn ctor(self) -> &'static str {
+        match self {
+            AggKind::Count => "Count",
+            AggKind::CountDistinct => "CountDistinct",
+            AggKind::Sum => "Sum",
+            AggKind::Avg => "Average",
+            AggKind::Median => "Median",
+            AggKind::Min => "Min",
+            AggKind::Max => "Max",
+            AggKind::StdDev => "StdDev",
+        }
+    }
+}
+
+fn detect_aggregate(intent: &str) -> Option<AggKind> {
+    let l = format!(" {} ", intent.to_lowercase());
+    let has = |kw: &str| l.contains(&format!(" {kw} "));
+    if (has("distinct") || has("unique")) && (has("how") || has("count") || has("many")) {
+        return Some(AggKind::CountDistinct);
+    }
+    if has("how") && has("many") || has("count") || has("number") {
+        return Some(AggKind::Count);
+    }
+    if has("average") || has("mean") {
+        return Some(AggKind::Avg);
+    }
+    if has("median") {
+        return Some(AggKind::Median);
+    }
+    if has("total") || has("sum") {
+        return Some(AggKind::Sum);
+    }
+    if has("maximum") || has("max") || has("highest") || has("largest") {
+        return Some(AggKind::Max);
+    }
+    if has("minimum") || has("min") || has("lowest") || has("smallest") {
+        return Some(AggKind::Min);
+    }
+    if has("deviation") || has("spread") {
+        return Some(AggKind::StdDev);
+    }
+    None
+}
+
+/// First number appearing after any of the marker words.
+fn number_after(intent: &str, markers: &[&str]) -> Option<f64> {
+    let lower = intent.to_lowercase();
+    for m in markers {
+        if let Some(pos) = lower.find(m) {
+            let tail = &lower[pos + m.len()..];
+            for tok in tail.split(|c: char| !c.is_ascii_digit() && c != '.') {
+                if !tok.is_empty() {
+                    if let Ok(v) = tok.parse::<f64>() {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl LanguageModel for SimulatedLlm {
+    fn name(&self) -> &str {
+        "simulated-gpt"
+    }
+
+    fn complete(&self, prompt: &Prompt) -> String {
+        let intent = prompt.intent.as_str();
+        let lower = format!(" {} ", intent.to_lowercase());
+        let has = |kw: &str| lower.contains(&format!(" {kw} "));
+        // Root dataset: the table whose name the intent mentions first,
+        // falling back to the catalog's first table.
+        let intent_stems: Vec<String> = tokenize(intent).iter().map(|t| stem(t)).collect();
+        let mentioned = matched_columns(intent, prompt);
+        let groups = group_columns(intent, prompt);
+        // Root dataset: first-mentioned table name wins ("Join orders
+        // with customers" roots at orders); otherwise the table covering
+        // the most mentioned columns; otherwise the first table.
+        let by_name = prompt
+            .schema
+            .tables
+            .keys()
+            .filter_map(|t| {
+                identifier_tokens(t)
+                    .iter()
+                    .filter(|tok| tok.len() >= 3)
+                    .filter_map(|tok| intent_stems.iter().position(|s| s == tok))
+                    .min()
+                    .map(|pos| (pos, t))
+            })
+            .min_by_key(|(pos, _)| *pos)
+            .map(|(_, t)| t.clone());
+        let by_coverage = prompt
+            .schema
+            .tables
+            .iter()
+            .map(|(t, cols)| {
+                let hits = mentioned
+                    .iter()
+                    .filter(|m| cols.iter().any(|c| c.eq_ignore_ascii_case(m)))
+                    .count();
+                (hits, t)
+            })
+            .max_by_key(|(hits, _)| *hits)
+            .filter(|(hits, _)| *hits > 0)
+            .map(|(_, t)| t.clone());
+        let dataset = by_name
+            .or(by_coverage)
+            .or_else(|| prompt.schema.tables.keys().next().cloned())
+            .unwrap_or_else(|| "data".to_string());
+
+        let mut calls: Vec<String> = Vec::new();
+
+        // 1. Semantic-layer predicates mentioned in the intent become
+        //    filters (the §4.2 "successful purchases" walkthrough).
+        for sc in &prompt.concepts {
+            if let ConceptKind::ValueMapping { predicate } = &sc.concept.kind {
+                let name_tokens: Vec<String> = tokenize(&sc.concept.name)
+                    .iter()
+                    .map(|t| stem(t))
+                    .collect();
+                let intent_tokens: Vec<String> =
+                    tokenize(intent).iter().map(|t| stem(t)).collect();
+                if !name_tokens.is_empty()
+                    && name_tokens.iter().all(|t| intent_tokens.contains(t))
+                {
+                    calls.push(format!("filter(\"{}\")", predicate.replace('"', "'")));
+                }
+            }
+        }
+
+        // 2. Numeric range filters ("above 1000", "over 50"): the
+        //    filtered column is the nearest mention before the marker.
+        let above_markers = ["above ", "over ", "greater than ", "more than "];
+        let below_markers = ["below ", "under ", "less than ", "fewer than "];
+        if let Some(threshold) = number_after(intent, &above_markers) {
+            let col = column_before(intent, &above_markers, prompt)
+                .or_else(|| mentioned.iter().find(|c| !groups.contains(c)).cloned())
+                .unwrap_or_else(|| "value".into());
+            calls.push(format!("filter(\"{col} > {}\")", fmt_num(threshold)));
+        } else if let Some(threshold) = number_after(intent, &below_markers) {
+            let col = column_before(intent, &below_markers, prompt)
+                .or_else(|| mentioned.iter().find(|c| !groups.contains(c)).cloned())
+                .unwrap_or_else(|| "value".into());
+            calls.push(format!("filter(\"{col} < {}\")", fmt_num(threshold)));
+        }
+
+        // 3. Metric concepts: materialize the formula as a column.
+        let mut metric_col: Option<String> = None;
+        for sc in &prompt.concepts {
+            if let ConceptKind::Metric { formula } = &sc.concept.kind {
+                let name_tokens: Vec<String> = tokenize(&sc.concept.name)
+                    .iter()
+                    .map(|t| stem(t))
+                    .collect();
+                let intent_tokens: Vec<String> =
+                    tokenize(intent).iter().map(|t| stem(t)).collect();
+                if name_tokens.iter().all(|t| intent_tokens.contains(t)) {
+                    // sum(expr) metrics: strip the aggregate wrapper and
+                    // compute it after creating the value column.
+                    let inner = formula
+                        .trim()
+                        .strip_prefix("sum(")
+                        .and_then(|r| r.strip_suffix(')'))
+                        .unwrap_or(formula)
+                        .to_string();
+                    let col_name = sc.concept.name.replace(' ', "_");
+                    calls.push(format!(
+                        "with_column(\"{col_name}\", \"{}\")",
+                        inner.replace('"', "'")
+                    ));
+                    metric_col = Some(col_name);
+                    break;
+                }
+            }
+        }
+
+        // 4. Special analytics intents.
+        let forecast = has("forecast") || (has("predict") && (has("next") || has("future")));
+        let train = !forecast && (has("train") || (has("predict") && !has("next")));
+        let outliers = has("outliers") || has("outlier") || has("unusual") || has("anomalies") || has("anomalous");
+        // "segment" alone is often a schema column; require a clustering
+        // verb form or an explicit cluster/cohort noun.
+        let cluster = has("cluster")
+            || has("clusters")
+            || has("cohorts")
+            || lower.contains(" segment the ")
+            || lower.contains(" segment into ");
+        let top_n = number_after(intent, &["top "]).map(|v| v as usize);
+
+        // Cross-table intents: "join with <table> on <key>" / "combine".
+        if (has("join") || has("joined") || has("combine") || has("combined"))
+            && prompt.schema.tables.len() >= 2
+        {
+            let other = prompt
+                .schema
+                .tables
+                .keys()
+                .find(|t| {
+                    !t.eq_ignore_ascii_case(&dataset)
+                        && tokenize(intent)
+                            .iter()
+                            .any(|tok| identifier_tokens(t).contains(&stem(tok)))
+                })
+                .cloned()
+                .or_else(|| {
+                    prompt
+                        .schema
+                        .tables
+                        .keys()
+                        .find(|t| !t.eq_ignore_ascii_case(&dataset))
+                        .cloned()
+                });
+            if let Some(other) = other {
+                // Join key: a column both tables share.
+                let left_cols = prompt.schema.tables.get(&dataset).cloned().unwrap_or_default();
+                let right_cols = prompt.schema.tables.get(&other).cloned().unwrap_or_default();
+                let key = left_cols
+                    .iter()
+                    .find(|c| right_cols.iter().any(|r| r.eq_ignore_ascii_case(c)))
+                    .cloned();
+                if let Some(key) = key {
+                    calls.insert(0, format!("join(\"{other}\", on = [\"{key}\"])"));
+                }
+            }
+        }
+
+        if forecast {
+            let time_col = prompt
+                .schema
+                .all_columns()
+                .iter()
+                .find(|c| {
+                    let cl = c.to_lowercase();
+                    cl.contains("date") || cl.contains("time") || cl == "ts"
+                })
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "date".into());
+            let measure = mentioned
+                .iter()
+                .find(|c| !c.eq_ignore_ascii_case(&time_col))
+                .cloned()
+                .unwrap_or_else(|| "value".into());
+            let horizon = number_after(intent, &["next "]).map(|v| v as usize).unwrap_or(12);
+            calls.push(format!(
+                "predict_time_series(measures = [\"{measure}\"], horizon = {horizon}, time_column = \"{time_col}\")"
+            ));
+        } else if outliers {
+            let col = mentioned.first().cloned().unwrap_or_else(|| "value".into());
+            let method = if has("robust") || has("iqr") { "iqr" } else { "iqr" };
+            calls.push(format!("detect_outliers(\"{col}\", method = \"{method}\")"));
+        } else if cluster {
+            let k = number_after(intent, &["into "])
+                .map(|v| v as usize)
+                .or_else(|| {
+                    ["two", "three", "four", "five"]
+                        .iter()
+                        .position(|w| has(w))
+                        .map(|i| i + 2)
+                })
+                .unwrap_or(3);
+            let feats: Vec<String> = mentioned.iter().take(3).cloned().collect();
+            let feats = if feats.is_empty() {
+                "[]".to_string()
+            } else {
+                format!(
+                    "[{}]",
+                    feats
+                        .iter()
+                        .map(|f| format!("\"{f}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            calls.push(format!("cluster(k = {k}, features = {feats})"));
+        } else if train {
+            // "predict X from a and b" / "train a model to predict X".
+            let target = lower
+                .find(" predict ")
+                .map(|p| &intent[p + 9..])
+                .and_then(|tail| matched_columns(tail, prompt).first().cloned())
+                .or_else(|| mentioned.first().cloned())
+                .unwrap_or_else(|| "target".into());
+            let features: Vec<String> = mentioned
+                .iter()
+                .filter(|c| !c.eq_ignore_ascii_case(&target))
+                .take(4)
+                .cloned()
+                .collect();
+            let mut s = format!("train_model(target = \"{target}\"");
+            if !features.is_empty() {
+                s.push_str(&format!(
+                    ", features = [{}]",
+                    features
+                        .iter()
+                        .map(|f| format!("\"{f}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            s.push(')');
+            calls.push(s);
+        } else if let Some(agg) = detect_aggregate(intent) {
+            // 5. Aggregation: the value column is the one named right
+            //    after the aggregate word ("the average quantity ...").
+            const AGG_WORDS: [&str; 12] = [
+                "average ", "mean ", "median ", "total ", "sum of ", "sum ",
+                "maximum ", "minimum ", "highest ", "lowest ", "deviation of ",
+                "count of ",
+            ];
+            let value_col = metric_col.clone().or_else(|| {
+                column_after(intent, &AGG_WORDS, prompt)
+                    .filter(|c| !groups.contains(c))
+                    .or_else(|| mentioned.iter().find(|c| !groups.contains(c)).cloned())
+            });
+            let ctor = match (agg, &value_col) {
+                (AggKind::Count, None) => "Count()".to_string(),
+                (a, Some(c)) => format!("{}(\"{c}\")", a.ctor()),
+                (a, None) => format!("{}()", a.ctor()),
+            };
+            let mut s = format!("compute(aggregates = [{ctor}]");
+            if !groups.is_empty() {
+                s.push_str(&format!(
+                    ", for_each = [{}]",
+                    groups
+                        .iter()
+                        .map(|g| format!("\"{g}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            s.push(')');
+            calls.push(s);
+        } else if has("distinct") || has("unique") {
+            let cols = if mentioned.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "[{}]",
+                    mentioned
+                        .iter()
+                        .take(2)
+                        .map(|c| format!("\"{c}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            if !cols.is_empty() {
+                calls.push(format!("select({cols})"));
+            }
+            calls.push("distinct()".to_string());
+        }
+
+        // 6. Sort / top-N tails.
+        let wants_sort = has("sorted") || has("descending") || lower.contains("highest to lowest");
+        if let Some(n) = top_n {
+            if let Some(compute_call) = calls.iter().find(|c| c.starts_with("compute(")) {
+                // Sort by the aggregate's output, then keep n groups.
+                let out_name = default_output_of(compute_call);
+                calls.push(format!("sort(by = [\"{out_name}\"], ascending = [False])"));
+                calls.push(format!("head({n})"));
+            } else {
+                let by = mentioned
+                    .iter()
+                    .find(|c| !groups.contains(c))
+                    .cloned()
+                    .unwrap_or_else(|| "value".into());
+                calls.push(format!("top({n}, by = \"{by}\")"));
+            }
+        } else if wants_sort {
+            if let Some(compute_call) = calls.iter().find(|c| c.starts_with("compute(")) {
+                // Sort by the aggregate's default output name.
+                let out_name = default_output_of(compute_call);
+                calls.push(format!("sort(by = [\"{out_name}\"], ascending = [False])"));
+            } else if let Some(c) = mentioned.first() {
+                calls.push(format!("sort(by = [\"{c}\"], ascending = [False])"));
+            }
+        }
+
+        // 7. Bare "show N rows" fallbacks.
+        if calls.is_empty() {
+            if let Some(n) = number_after(intent, &["show ", "first ", "display "]) {
+                calls.push(format!("head({})", n as usize));
+            } else if !mentioned.is_empty() {
+                calls.push(format!(
+                    "select([{}])",
+                    mentioned
+                        .iter()
+                        .take(4)
+                        .map(|c| format!("\"{c}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            } else if let Some(ex) = prompt.examples.first() {
+                // No signal at all: echo the nearest example's shape on
+                // this dataset (what a real model does with thin intent).
+                let adapted = ex
+                    .program
+                    .split_once('.')
+                    .map(|(_, tail)| format!("{dataset}.{tail}"))
+                    .unwrap_or_else(|| ex.program.clone());
+                return self.maybe_corrupt(prompt, adapted);
+            } else {
+                calls.push("head(10)".to_string());
+            }
+        }
+
+        let program = format!("{dataset}.{}", calls.join("."));
+        self.maybe_corrupt(prompt, program)
+    }
+}
+
+/// Guess the default output name of the first aggregate in a rendered
+/// compute call (`Count("x")` → `Countx`, `Count()` → `CountOfRecords`).
+fn default_output_of(compute_call: &str) -> String {
+    let inner = compute_call
+        .split('[')
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .unwrap_or("");
+    let first = inner.split(',').next().unwrap_or("").trim();
+    if first.starts_with("Count()") || first.is_empty() {
+        return "CountOfRecords".to_string();
+    }
+    let fname = first.split('(').next().unwrap_or("Count");
+    let func = match fname {
+        "Average" => dc_engine::AggFunc::Avg,
+        "Sum" => dc_engine::AggFunc::Sum,
+        "Median" => dc_engine::AggFunc::Median,
+        "Min" => dc_engine::AggFunc::Min,
+        "Max" => dc_engine::AggFunc::Max,
+        "CountDistinct" => dc_engine::AggFunc::CountDistinct,
+        "StdDev" => dc_engine::AggFunc::StdDev,
+        _ => dc_engine::AggFunc::Count,
+    };
+    let col = first
+        .split('"')
+        .nth(1)
+        .or_else(|| first.split('\'').nth(1));
+    dc_engine::AggSpec::default_output(func, col)
+}
+
+impl SimulatedLlm {
+    /// Internal difficulty estimate + seeded corruption. The estimate
+    /// uses only information visible in the prompt (not gold labels).
+    fn maybe_corrupt(&self, prompt: &Prompt, program: String) -> String {
+        let p_fail = self.failure_probability(prompt, &program);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ hash_str(&prompt.intent));
+        if rng.random::<f64>() >= p_fail {
+            return program;
+        }
+        self.corrupt(prompt, program, &mut rng)
+    }
+
+    /// The model's own difficulty estimate for this completion.
+    pub fn failure_probability(&self, prompt: &Prompt, program: &str) -> f64 {
+        // Intent/schema alignment, from the prompt alone.
+        let intent_tokens: Vec<String> = tokenize(&prompt.intent)
+            .iter()
+            .filter(|t| !crate::metrics::is_stopword(t))
+            .filter(|t| t.chars().any(|c| c.is_alphabetic()))
+            .map(|t| stem(t))
+            .filter(|t| t.len() >= 3)
+            .collect();
+        let mut vocab: Vec<String> = Vec::new();
+        for t in prompt.schema.tables.keys() {
+            vocab.extend(identifier_tokens(t));
+        }
+        for c in prompt.schema.all_columns() {
+            vocab.extend(identifier_tokens(c));
+        }
+        for sc in &prompt.concepts {
+            vocab.extend(tokenize(&sc.concept.name).iter().map(|t| stem(t)));
+        }
+        let linked = intent_tokens.iter().filter(|t| vocab.contains(t)).count();
+        let mismatch = if intent_tokens.is_empty() {
+            0.0
+        } else {
+            1.0 - linked as f64 / intent_tokens.len() as f64
+        };
+        let steps = program.matches('.').count() as f64;
+        let depth = (steps / 6.0).min(1.0);
+        // Affinity of the nearest few-shot example: stemmed content-token
+        // overlap with the intent (structure words excluded by length).
+        let affinity = prompt
+            .examples
+            .iter()
+            .map(|e| {
+                let ex_tokens: Vec<String> = tokenize(&e.question)
+                    .iter()
+                    .map(|t| stem(t))
+                    .filter(|t| t.len() >= 4)
+                    .collect();
+                let shared = intent_tokens
+                    .iter()
+                    .filter(|t| t.len() >= 4 && ex_tokens.contains(t))
+                    .count();
+                let denom = intent_tokens.iter().filter(|t| t.len() >= 4).count().max(1);
+                shared as f64 / denom as f64
+            })
+            .fold(0.0f64, f64::max);
+        let quality = 0.5 * (prompt.examples.len().min(3) as f64 / 3.0)
+            + 0.5 * (!prompt.concepts.is_empty()) as u8 as f64;
+        (self.errors.base
+            + self.errors.misalign_gain * mismatch
+            + self.errors.complexity_gain * depth
+            + self.errors.oov_gain * (1.0 - affinity)
+            // Hard questions compound: misaligned AND deep AND unlike any
+            // prompt example — the cell Table 2 shows collapsing.
+            + self.errors.interaction_gain * mismatch * depth * (1.0 - affinity)
+            + self.errors.opacity_gain
+                * crate::metrics::schema_irrelevance(&prompt.schema)
+                * mismatch
+                * depth
+            - self.errors.context_bonus * quality)
+            .clamp(0.0, 0.90)
+    }
+
+    fn corrupt(&self, prompt: &Prompt, program: String, rng: &mut StdRng) -> String {
+        let columns: Vec<String> = prompt
+            .schema
+            .all_columns()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        match rng.random_range(0..4u32) {
+            // Swap a quoted column for a different schema column.
+            0 if columns.len() >= 2 => {
+                for col in &columns {
+                    let quoted = format!("\"{col}\"");
+                    if program.contains(&quoted) {
+                        let replacement = columns
+                            .iter()
+                            .find(|c| *c != col)
+                            .cloned()
+                            .unwrap_or_else(|| "wrong_column".into());
+                        return program.replacen(&quoted, &format!("\"{replacement}\""), 1);
+                    }
+                }
+                format!("{program}.head(1)")
+            }
+            // Drop the final call in the chain (a missing solution step).
+            1 => match program.rfind('.') {
+                Some(p) if p > 0 && program[..p].contains('.') => program[..p].to_string(),
+                _ => format!("{program}.head(1)"),
+            },
+            // Wrong aggregate function.
+            2 if program.contains("Count(") => program.replacen("Count(", "Sum(", 1),
+            2 if program.contains("Average(") => program.replacen("Average(", "Max(", 1),
+            2 if program.contains("Sum(") => program.replacen("Sum(", "Average(", 1),
+            // Perturb a numeric literal / spurious trailing limit.
+            _ => {
+                if let Some(pos) = program.find("> ") {
+                    let tail = &program[pos + 2..];
+                    let num_len = tail.chars().take_while(|c| c.is_ascii_digit()).count();
+                    if num_len > 0 {
+                        let n: i64 = tail[..num_len].parse().unwrap_or(0);
+                        return format!(
+                            "{}{}{}",
+                            &program[..pos + 2],
+                            n * 10,
+                            &tail[num_len..]
+                        );
+                    }
+                }
+                format!("{program}.head(3)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::ExampleLibrary;
+    use crate::prompt::PromptComposer;
+    use crate::semantic::{SchemaHints, SemanticLayer};
+
+    fn sales_prompt(intent: &str) -> Prompt {
+        PromptComposer::default().compose(
+            intent,
+            &SchemaHints::single(
+                "sales",
+                vec![
+                    "order_id".into(),
+                    "order_date".into(),
+                    "region".into(),
+                    "product".into(),
+                    "price".into(),
+                    "quantity".into(),
+                    "discount".into(),
+                    "PurchaseStatus".into(),
+                ],
+            ),
+            &SemanticLayer::sales_demo(),
+            &ExampleLibrary::builtin(),
+        )
+    }
+
+    #[test]
+    fn count_per_group() {
+        let code = SimulatedLlm::oracle().complete(&sales_prompt(
+            "How many orders were placed in each region",
+        ));
+        assert!(code.contains("compute"), "{code}");
+        assert!(code.contains("Count"), "{code}");
+        assert!(code.contains("\"region\""), "{code}");
+        crate::pyapi::parse_pyapi(&code).unwrap();
+    }
+
+    #[test]
+    fn semantic_predicate_applied() {
+        // The §4.2 walkthrough: "successful purchases" must become the
+        // PurchaseStatus filter via the semantic layer.
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("How many purchases were successful"));
+        assert!(code.contains("PurchaseStatus = 'Successful'"), "{code}");
+        assert!(code.contains("Count"), "{code}");
+    }
+
+    #[test]
+    fn metric_expansion() {
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("What is the total revenue for each region"));
+        assert!(code.contains("with_column(\"revenue\""), "{code}");
+        assert!(code.contains("Sum(\"revenue\")"), "{code}");
+        crate::pyapi::parse_pyapi(&code).unwrap();
+    }
+
+    #[test]
+    fn numeric_filter() {
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("count the orders with price above 100 for each region"));
+        assert!(code.contains("filter(\"price > 100\")"), "{code}");
+    }
+
+    #[test]
+    fn forecast_intent() {
+        let code = SimulatedLlm::oracle().complete(&sales_prompt(
+            "Forecast the price for the next 30 values of order_date",
+        ));
+        assert!(code.contains("predict_time_series"), "{code}");
+        assert!(code.contains("horizon = 30"), "{code}");
+        assert!(code.contains("order_date"), "{code}");
+    }
+
+    #[test]
+    fn outlier_and_cluster_intents() {
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("Find the unusual quantity values"));
+        assert!(code.contains("detect_outliers(\"quantity\""), "{code}");
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("Segment the orders into 4 clusters using price and quantity"));
+        assert!(code.contains("cluster(k = 4"), "{code}");
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let p = sales_prompt("How many orders per region");
+        let a = SimulatedLlm::oracle().complete(&p);
+        let b = SimulatedLlm::oracle().complete(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_probability_ordering() {
+        let llm = SimulatedLlm::new(1);
+        let easy = sales_prompt("How many orders were placed in each region");
+        let vague = sales_prompt("which deals moved the needle for the folks out west");
+        let p_easy = llm.failure_probability(&easy, "sales.compute(aggregates = [Count()])");
+        let p_vague = llm.failure_probability(&vague, "sales.compute(aggregates = [Count()])");
+        assert!(p_vague > p_easy, "{p_vague} vs {p_easy}");
+        let shallow = llm.failure_probability(&easy, "sales.head(5)");
+        let deep = llm.failure_probability(
+            &easy,
+            "sales.join(\"x\", on=[\"k\"]).filter(\"a > 1\").compute(aggregates = [Count()]).sort(by = [\"n\"]).head(5)",
+        );
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn corruptions_change_the_program() {
+        let llm = SimulatedLlm {
+            seed: 3,
+            errors: ErrorModel {
+                base: 1.0, // always corrupt
+                misalign_gain: 0.0,
+                complexity_gain: 0.0,
+                oov_gain: 0.0,
+                interaction_gain: 0.0,
+                opacity_gain: 0.0,
+                context_bonus: 0.0,
+            },
+        };
+        let p = sales_prompt("How many orders were placed in each region");
+        let clean = SimulatedLlm::oracle().complete(&p);
+        let corrupted = llm.complete(&p);
+        assert_ne!(clean, corrupted);
+    }
+
+    #[test]
+    fn thin_prompt_echoes_example_shape() {
+        let composer = PromptComposer::default();
+        let p = composer.compose(
+            "hmm",
+            &SchemaHints::single("d1", vec!["zz".into()]),
+            &SemanticLayer::new(),
+            &ExampleLibrary::builtin(),
+        );
+        let code = SimulatedLlm::oracle().complete(&p);
+        assert!(code.starts_with("d1."), "{code}");
+    }
+}

@@ -1,0 +1,370 @@
+//! The difficulty metrics of §4.7: Misalignment (M) and Degree of
+//! Composition (C).
+//!
+//! * **M** is a weighted sum of a query-mismatch score `s1` (how many
+//!   content tokens of the NL question fail to link to table identifiers
+//!   or semantic concepts) and a schema-irrelevance score `s2` (how hard
+//!   schema identifiers are to link to real-world concepts — opaque
+//!   abbreviations, digit-laden fragments).
+//! * **C** measures the functional complexity of the gold program:
+//!   function weights (a join "carries more weight than an aggregation on
+//!   a single column") scaled by composition depth (later steps compose
+//!   over earlier results, the chain analogue of SQL nesting levels).
+//!
+//! Thresholds match Figure 7: M = 0.4, C = 30.
+
+use crate::pyapi::parse_pyapi;
+use crate::semantic::{stem, tokenize, SchemaHints, SemanticLayer};
+
+/// The Figure 7 misalignment threshold.
+pub const M_THRESHOLD: f64 = 0.4;
+/// The Figure 7 composition threshold.
+pub const C_THRESHOLD: f64 = 30.0;
+
+/// Weight of `s1` in M (the query-side term dominates).
+const W_QUERY_MISMATCH: f64 = 0.6;
+/// Weight of `s2` in M.
+const W_SCHEMA_IRRELEVANCE: f64 = 0.4;
+
+/// A (M, C) classification zone, written `(M, C)` as in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zone {
+    LowLow,
+    LowHigh,
+    HighLow,
+    HighHigh,
+}
+
+impl Zone {
+    /// Classify a sample.
+    pub fn of(m: f64, c: f64) -> Zone {
+        match (m >= M_THRESHOLD, c >= C_THRESHOLD) {
+            (false, false) => Zone::LowLow,
+            (false, true) => Zone::LowHigh,
+            (true, false) => Zone::HighLow,
+            (true, true) => Zone::HighHigh,
+        }
+    }
+
+    /// The paper's "(low, high)" spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Zone::LowLow => "(low, low)",
+            Zone::LowHigh => "(low, high)",
+            Zone::HighLow => "(high, low)",
+            Zone::HighHigh => "(high, high)",
+        }
+    }
+
+    /// All zones in the Table 2 row order.
+    pub fn all() -> [Zone; 4] {
+        [Zone::LowLow, Zone::LowHigh, Zone::HighLow, Zone::HighHigh]
+    }
+}
+
+/// English stopwords + question scaffolding ignored by `s1` (they carry
+/// intent structure, not schema linkage).
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "for", "in", "on", "at", "by", "to", "and", "or", "is", "are",
+    "was", "were", "what", "which", "who", "how", "many", "much", "show", "me", "list", "each",
+    "per", "with", "from", "that", "this", "these", "those", "all", "any", "do", "does", "did",
+    "than", "then", "it", "its", "their", "there", "be", "been", "most", "least", "top",
+    "bottom", "first", "last", "number", "count", "total", "average", "mean", "median", "sum",
+    "minimum", "maximum", "highest", "lowest", "more", "less", "group", "grouped", "sorted",
+    "sort", "order", "ordered", "between", "not", "no", "every",
+    // Operation words describe the requested transformation, not schema
+    // entities, so they are not evidence of misalignment.
+    "rows", "row", "records", "record", "find", "compute", "computed", "join", "joined",
+    "combine", "combined", "above", "below", "over", "under", "where", "keep", "when",
+    "value", "values", "distinct", "unique",
+];
+
+/// Whether a token is question scaffolding / an operation word rather
+/// than a content token (public: the simulated LLM uses the same notion
+/// when estimating its own confidence).
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.iter().any(|s| *s == token)
+}
+
+/// Tokens of an identifier: split on `_` and camelCase humps, stemmed.
+pub fn identifier_tokens(ident: &str) -> Vec<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c == '_' || c == '.' || c.is_whitespace() {
+            if !cur.is_empty() {
+                parts.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+        } else if c.is_uppercase() && prev_lower {
+            parts.push(std::mem::take(&mut cur));
+            cur.extend(c.to_lowercase());
+            prev_lower = false;
+        } else {
+            prev_lower = c.is_lowercase();
+            cur.extend(c.to_lowercase());
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts.iter().map(|p| stem(p)).collect()
+}
+
+/// `s1`: fraction of content tokens in the question with no fuzzy link to
+/// a schema identifier or semantic concept.
+pub fn query_mismatch(question: &str, schema: &SchemaHints, semantics: &SemanticLayer) -> f64 {
+    let mut vocab: Vec<String> = Vec::new();
+    for t in schema.tables.keys() {
+        vocab.extend(identifier_tokens(t));
+    }
+    for c in schema.all_columns() {
+        vocab.extend(identifier_tokens(c));
+    }
+    for concept in semantics.concepts() {
+        vocab.extend(tokenize(&concept.name).iter().map(|t| stem(t)));
+        for k in &concept.keywords {
+            vocab.extend(tokenize(k).iter().map(|t| stem(t)));
+        }
+    }
+    let content: Vec<String> = tokenize(question)
+        .into_iter()
+        .filter(|t| !is_stopword(t) && t.chars().any(|c| c.is_alphabetic()))
+        .map(|t| stem(&t))
+        .collect();
+    if content.is_empty() {
+        return 0.0;
+    }
+    let linked = content
+        .iter()
+        .filter(|t| {
+            vocab
+                .iter()
+                .any(|v| v == *t || (v.len() >= 4 && t.len() >= 4 && (v.starts_with(t.as_str()) || t.starts_with(v))))
+        })
+        .count();
+    1.0 - linked as f64 / content.len() as f64
+}
+
+/// `s2`: how hard schema identifiers are to link to real-world concepts —
+/// the mean opaque-fragment rate over columns (fragments that are very
+/// short, digit-bearing, or vowel-free read as abbreviations: `qty_x2`
+/// scores high, `party_sobriety` scores low).
+pub fn schema_irrelevance(schema: &SchemaHints) -> f64 {
+    let cols = schema.all_columns();
+    if cols.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for col in &cols {
+        let frags = identifier_tokens(col);
+        if frags.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let opaque = frags
+            .iter()
+            .filter(|f| {
+                f.len() <= 2
+                    || f.chars().any(|c| c.is_ascii_digit())
+                    || !f.chars().any(|c| "aeiou".contains(c))
+            })
+            .count();
+        total += opaque as f64 / frags.len() as f64;
+    }
+    total / cols.len() as f64
+}
+
+/// Misalignment: `M = 0.6·s1 + 0.4·s2`.
+pub fn misalignment(question: &str, schema: &SchemaHints, semantics: &SemanticLayer) -> f64 {
+    W_QUERY_MISMATCH * query_mismatch(question, schema, semantics)
+        + W_SCHEMA_IRRELEVANCE * schema_irrelevance(schema)
+}
+
+/// Per-function composition weight ("a JOIN operation carries more
+/// weight than an aggregation function on a single column").
+pub fn function_weight(method: &str) -> f64 {
+    match method {
+        "join" | "merge" => 12.0,
+        "pivot" => 10.0,
+        "predict_time_series" | "train_model" => 9.0,
+        "cluster" | "detect_outliers" => 8.0,
+        "compute" | "aggregate_data" => 6.0,
+        "with_column" | "create_column" => 4.0,
+        "filter" | "keep_rows" => 3.0,
+        "top" => 3.0,
+        "concat" => 5.0,
+        "sort" | "sort_values" => 2.0,
+        "distinct" | "drop_duplicates" | "dropna" | "fillna" | "sample" => 2.0,
+        "select" | "keep_columns" | "head" | "limit" | "describe" => 1.0,
+        _ => 2.0,
+    }
+}
+
+/// Degree of composition of a Python-API program: Σ weight(step) ·
+/// (1 + 0.5·depth), where depth counts the prior steps in the statement
+/// chain plus prior statements (the chain analogue of SQL nesting).
+/// Unparseable programs score 0 (no valid composition).
+pub fn composition(program: &str) -> f64 {
+    let Ok(parsed) = parse_pyapi(program) else {
+        return 0.0;
+    };
+    let mut c = 0.0;
+    let mut depth = 0usize;
+    for st in &parsed.statements {
+        if st.is_print {
+            continue;
+        }
+        for call in &st.calls {
+            let method = call_method_name(call);
+            c += function_weight(method) * (1.0 + 0.5 * depth as f64);
+            depth += 1;
+        }
+    }
+    c
+}
+
+fn call_method_name(call: &dc_skills::SkillCall) -> &'static str {
+    use dc_skills::SkillCall::*;
+    match call {
+        KeepRows { .. } | DropRows { .. } => "filter",
+        KeepColumns { .. } => "select",
+        DropColumns { .. } => "select",
+        CreateColumn { .. } | CreateConstantColumn { .. } => "with_column",
+        Compute { .. } => "compute",
+        Pivot { .. } => "pivot",
+        Sort { .. } => "sort",
+        Top { .. } => "top",
+        Limit { .. } => "head",
+        Concat { .. } => "concat",
+        Join { .. } => "join",
+        Distinct { .. } => "distinct",
+        DropMissing { .. } | FillMissing { .. } | Sample { .. } => "dropna",
+        TrainModel { .. } => "train_model",
+        Predict { .. } => "train_model",
+        PredictTimeSeries { .. } => "predict_time_series",
+        DetectOutliers { .. } => "detect_outliers",
+        Cluster { .. } => "cluster",
+        _ => "describe",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_schema() -> SchemaHints {
+        SchemaHints::single(
+            "sales",
+            vec![
+                "order_id".into(),
+                "region".into(),
+                "product".into(),
+                "price".into(),
+                "quantity".into(),
+            ],
+        )
+    }
+
+    fn opaque_schema() -> SchemaHints {
+        SchemaHints::single(
+            "t1",
+            vec!["c1".into(), "qx_7".into(), "zzt".into(), "mrn_cd2".into()],
+        )
+    }
+
+    #[test]
+    fn aligned_question_scores_low() {
+        let sl = SemanticLayer::new();
+        let m = misalignment(
+            "How many orders were placed in each region",
+            &clean_schema(),
+            &sl,
+        );
+        assert!(m < M_THRESHOLD, "m = {m}");
+    }
+
+    #[test]
+    fn vague_question_scores_high() {
+        let sl = SemanticLayer::new();
+        let m = misalignment(
+            "which deals moved the needle for our western folks",
+            &clean_schema(),
+            &sl,
+        );
+        assert!(m > 0.3, "m = {m}");
+    }
+
+    #[test]
+    fn semantic_layer_reduces_misalignment() {
+        let schema = clean_schema();
+        let without = misalignment("total revenue by region", &schema, &SemanticLayer::new());
+        let with = misalignment(
+            "total revenue by region",
+            &schema,
+            &SemanticLayer::sales_demo(),
+        );
+        assert!(
+            with < without,
+            "semantic concepts should link 'revenue': {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn opaque_schema_raises_s2() {
+        let clean = schema_irrelevance(&clean_schema());
+        let opaque = schema_irrelevance(&opaque_schema());
+        assert!(opaque > clean + 0.4, "{opaque} vs {clean}");
+        assert!(clean < 0.3);
+    }
+
+    #[test]
+    fn composition_ordering() {
+        let simple = composition("t.head(5)");
+        let medium = composition(
+            "t.filter(\"x > 1\").compute(aggregates = [Count()], for_each = [\"k\"])",
+        );
+        let complex = composition(
+            "t.join(\"u\", on = [\"k\"]).filter(\"x > 1\").with_column(\"y\", \"a * b\").compute(aggregates = [Sum(\"y\")], for_each = [\"k\"]).sort(by = [\"SumY\"], ascending = [False]).head(10)",
+        );
+        assert!(simple < medium && medium < complex);
+        assert!(simple < C_THRESHOLD);
+        assert!(complex > C_THRESHOLD, "complex = {complex}");
+    }
+
+    #[test]
+    fn join_heavier_than_single_aggregate() {
+        // The paper's explicit example.
+        assert!(function_weight("join") > function_weight("compute"));
+    }
+
+    #[test]
+    fn unparseable_program_scores_zero() {
+        assert_eq!(composition("not a program ("), 0.0);
+    }
+
+    #[test]
+    fn zones_classify() {
+        assert_eq!(Zone::of(0.1, 5.0), Zone::LowLow);
+        assert_eq!(Zone::of(0.1, 50.0), Zone::LowHigh);
+        assert_eq!(Zone::of(0.7, 5.0), Zone::HighLow);
+        assert_eq!(Zone::of(0.7, 50.0), Zone::HighHigh);
+        assert_eq!(Zone::of(M_THRESHOLD, C_THRESHOLD), Zone::HighHigh);
+        assert_eq!(Zone::HighLow.label(), "(high, low)");
+    }
+
+    #[test]
+    fn identifier_tokens_split_variants() {
+        assert_eq!(identifier_tokens("party_sobriety"), vec!["party", "sobriety"]);
+        assert_eq!(identifier_tokens("PurchaseStatus"), vec!["purchase", "statu"]); // stemmed
+        assert_eq!(identifier_tokens("order_id"), vec!["order", "id"]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let sl = SemanticLayer::new();
+        assert_eq!(query_mismatch("", &clean_schema(), &sl), 0.0);
+        assert_eq!(schema_irrelevance(&SchemaHints::default()), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The prompt composer (§4.4).
+//!
+//! Assembles the four prompt sections the paper lists — API
+//! documentation, examples, dataset schema + semantic information, and
+//! the user intent — under a token budget, trading examples for semantic
+//! context on complex queries ("the prompt composer can decide to omit
+//! examples in favor of additional information from the semantic layer").
+
+use crate::examples::{Example, ExampleLibrary};
+use crate::semantic::{tokenize, SchemaHints, ScoredConcept, SemanticLayer};
+
+/// A composed prompt: structured (for the simulated model and for tests)
+/// and renderable as text (what a hosted LLM would receive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// Condensed API documentation (function names + signatures).
+    pub api_doc: String,
+    /// Selected few-shot examples.
+    pub examples: Vec<Example>,
+    /// Schema hints for the candidate datasets.
+    pub schema: SchemaHints,
+    /// Retrieved semantic concepts, most relevant first.
+    pub concepts: Vec<ScoredConcept>,
+    /// The user's natural-language intent.
+    pub intent: String,
+}
+
+impl Prompt {
+    /// Approximate token count (whitespace tokens — the budget unit).
+    pub fn token_count(&self) -> usize {
+        self.render().split_whitespace().count()
+    }
+
+    /// Render the full prompt text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("### DataChat Python API\n");
+        s.push_str(&self.api_doc);
+        s.push_str("\n\n### Examples\n");
+        for e in &self.examples {
+            s.push_str(&e.render());
+            s.push_str("\n\n");
+        }
+        s.push_str("### Schema\n");
+        s.push_str(&self.schema.render());
+        if !self.concepts.is_empty() {
+            s.push_str("\n\n### Domain knowledge\n");
+            for c in &self.concepts {
+                s.push_str(&c.concept.render());
+                s.push('\n');
+            }
+        }
+        s.push_str("\n### Question\nQ: ");
+        s.push_str(&self.intent);
+        s.push_str("\nA:");
+        s
+    }
+}
+
+/// The condensed API documentation section (§4.4 item 1: "the names of
+/// all the functions in the DataChat Python API, and their signatures").
+pub fn api_doc() -> String {
+    [
+        "dataset.filter(condition: str)",
+        "dataset.select(columns: list[str])",
+        "dataset.drop_columns(columns: list[str])",
+        "dataset.with_column(name: str, expression: str)",
+        "dataset.with_constant(name: str, value)",
+        "dataset.compute(aggregates: list[Agg], for_each: list[str], names: list[str])",
+        "dataset.pivot(index: str, columns: str, values: str, agg: str)",
+        "dataset.sort(by: list[str], ascending: list[bool])",
+        "dataset.top(n: int, by: str)",
+        "dataset.head(n: int)",
+        "dataset.distinct(columns: list[str] = [])",
+        "dataset.dropna(columns: list[str] = [])",
+        "dataset.fillna(column: str, value)",
+        "dataset.sample(fraction: float, seed: int = 42)",
+        "dataset.concat(other: str, remove_duplicates: bool = False)",
+        "dataset.join(other: str, on: list[str], how: str = 'inner')",
+        "dataset.visualize(kpi: str, by: list[str] = [])",
+        "dataset.plot(chart: str, x: str, y: str, color: str, size: str, for_each: str)",
+        "dataset.train_model(target: str, features: list[str], method: str = 'auto')",
+        "dataset.predict(model: str)",
+        "dataset.predict_time_series(measures: list[str], horizon: int, time_column: str)",
+        "dataset.detect_outliers(column: str, method: str = 'zscore')",
+        "dataset.cluster(k: int, features: list[str])",
+        "dataset.describe(column: str = None)",
+        "Agg constructors: Count(col), Sum(col), Average(col), Median(col), Min(col), Max(col), CountDistinct(col), StdDev(col)",
+    ]
+    .join("\n")
+}
+
+/// Composer configuration. The ablation bench toggles `use_examples` and
+/// `use_semantics` to reproduce §4.2/§4.3's claims about context quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromptComposer {
+    /// Total prompt token budget ("LLMs can only process a fixed number
+    /// of tokens").
+    pub token_budget: usize,
+    /// Cap on few-shot examples for simple queries.
+    pub max_examples: usize,
+    /// Cap on retrieved semantic concepts.
+    pub max_concepts: usize,
+    /// Ablation switch: include retrieved examples.
+    pub use_examples: bool,
+    /// Ablation switch: include the semantic layer.
+    pub use_semantics: bool,
+}
+
+impl Default for PromptComposer {
+    fn default() -> Self {
+        PromptComposer {
+            token_budget: 900,
+            max_examples: 4,
+            max_concepts: 5,
+            use_examples: true,
+            use_semantics: true,
+        }
+    }
+}
+
+impl PromptComposer {
+    /// Estimate intent complexity: longer, clause-heavy questions demand
+    /// more solution steps (§4: "performance of LLMs degrades as the
+    /// number of solution steps needed for a task increases").
+    pub fn intent_complexity(intent: &str) -> usize {
+        let tokens = tokenize(intent).len();
+        let clauses = intent
+            .to_lowercase()
+            .split([',', ';'])
+            .count()
+            + ["for each", "then", "and then", "sorted", "top", "join"]
+                .iter()
+                .filter(|k| intent.to_lowercase().contains(**k))
+                .count();
+        tokens + 3 * clauses
+    }
+
+    /// Compose a prompt for `intent`.
+    pub fn compose(
+        &self,
+        intent: &str,
+        schema: &SchemaHints,
+        semantics: &SemanticLayer,
+        library: &ExampleLibrary,
+    ) -> Prompt {
+        // Trade-off: complex queries get fewer examples, more concepts.
+        let complexity = Self::intent_complexity(intent);
+        let (n_examples, n_concepts) = if complexity > 20 {
+            (self.max_examples.saturating_sub(2).max(1), self.max_concepts + 2)
+        } else {
+            (self.max_examples, self.max_concepts)
+        };
+
+        let examples: Vec<Example> = if self.use_examples {
+            library
+                .select(intent, n_examples)
+                .into_iter()
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let concepts = if self.use_semantics {
+            semantics.retrieve(intent, n_concepts)
+        } else {
+            Vec::new()
+        };
+
+        let mut prompt = Prompt {
+            api_doc: api_doc(),
+            examples,
+            schema: schema.clone(),
+            concepts,
+            intent: intent.to_string(),
+        };
+        // Enforce the budget by dropping the least-similar examples first
+        // (they're appended in rank order), then trailing concepts.
+        while prompt.token_count() > self.token_budget && !prompt.examples.is_empty() {
+            prompt.examples.pop();
+        }
+        while prompt.token_count() > self.token_budget && prompt.concepts.len() > 1 {
+            prompt.concepts.pop();
+        }
+        prompt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> SchemaHints {
+        SchemaHints::single(
+            "sales",
+            vec![
+                "order_id".into(),
+                "region".into(),
+                "price".into(),
+                "PurchaseStatus".into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn prompt_has_all_four_sections() {
+        let c = PromptComposer::default();
+        let p = c.compose(
+            "How many purchases were successful",
+            &schema(),
+            &SemanticLayer::sales_demo(),
+            &ExampleLibrary::builtin(),
+        );
+        let text = p.render();
+        assert!(text.contains("### DataChat Python API"));
+        assert!(text.contains("### Examples"));
+        assert!(text.contains("### Schema"));
+        assert!(text.contains("### Domain knowledge"));
+        assert!(text.contains("Q: How many purchases were successful"));
+        assert!(text.contains("PurchaseStatus = 'Successful'"));
+        assert!(!p.examples.is_empty());
+    }
+
+    #[test]
+    fn budget_drops_examples_first() {
+        let generous = PromptComposer::default();
+        let lib = ExampleLibrary::builtin();
+        let sem = SemanticLayer::sales_demo();
+        let big = generous.compose("How many orders per region", &schema(), &sem, &lib);
+        assert!(!big.examples.is_empty());
+        // A budget just below the full prompt's size must shed examples.
+        let tight = PromptComposer {
+            token_budget: big.token_count().saturating_sub(10),
+            ..PromptComposer::default()
+        };
+        let small = tight.compose("How many orders per region", &schema(), &sem, &lib);
+        assert!(small.examples.len() < big.examples.len());
+        assert!(small.token_count() < big.token_count());
+    }
+
+    #[test]
+    fn complex_intent_shifts_budget_to_semantics() {
+        let c = PromptComposer::default();
+        let lib = ExampleLibrary::builtin();
+        let sem = SemanticLayer::sales_demo();
+        let simple = c.compose("count orders", &schema(), &sem, &lib);
+        let complex = c.compose(
+            "for the successful purchases, compute the total revenue for each region and product, sorted by revenue, then keep the top 5",
+            &schema(),
+            &sem,
+            &lib,
+        );
+        assert!(complex.examples.len() <= simple.examples.len());
+    }
+
+    #[test]
+    fn ablation_switches() {
+        let no_ex = PromptComposer {
+            use_examples: false,
+            ..PromptComposer::default()
+        };
+        let p = no_ex.compose("count orders", &schema(), &SemanticLayer::sales_demo(), &ExampleLibrary::builtin());
+        assert!(p.examples.is_empty());
+        let no_sem = PromptComposer {
+            use_semantics: false,
+            ..PromptComposer::default()
+        };
+        let p = no_sem.compose(
+            "successful purchases",
+            &schema(),
+            &SemanticLayer::sales_demo(),
+            &ExampleLibrary::builtin(),
+        );
+        assert!(p.concepts.is_empty());
+    }
+
+    #[test]
+    fn intent_complexity_monotone_in_clauses() {
+        let a = PromptComposer::intent_complexity("count orders");
+        let b = PromptComposer::intent_complexity(
+            "count orders for each region, then keep the top 3 sorted by count",
+        );
+        assert!(b > a + 5);
+    }
+}

@@ -1,0 +1,1077 @@
+//! The DataChat Python API dialect (§4.1).
+//!
+//! "We chose DataChat's Python API as the dialect for representing the
+//! analytics recipes" — a thin wrapper around skills whose calls map 1:1
+//! onto GEL. This module parses the dialect into skill calls and prints
+//! skill calls back as Python, giving the polyglot translation of §4
+//! (Python ↔ GEL ↔ SQL).
+//!
+//! Grammar (method-chain subset of Python):
+//!
+//! ```text
+//! program   := statement*
+//! statement := [ident "="] chain | "print" "(" ... ")"
+//! chain     := ident ("." method "(" args ")")*
+//! args      := (kwarg | value) ("," ...)*
+//! value     := string | number | bool | list | aggcall
+//! aggcall   := Ident "(" string ")"        e.g. Count("case_id")
+//! ```
+
+use dc_engine::{AggFunc, AggSpec, JoinType, Value};
+use dc_ml::MlMethod;
+use dc_skills::SkillCall;
+use dc_viz::ChartType;
+
+use crate::error::{NlError, Result};
+
+/// One parsed statement: an optional assignment target, the root dataset
+/// identifier, and the chained skill calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PyStatement {
+    pub target: Option<String>,
+    pub root: String,
+    pub calls: Vec<SkillCall>,
+    /// True for `print(...)` statements (dead code the checker strips).
+    pub is_print: bool,
+}
+
+/// A parsed Python-API program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PyProgram {
+    pub statements: Vec<PyStatement>,
+}
+
+// ---------- lexer ----------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Sym(char),
+    Eof,
+}
+
+fn lex(src: &str, line_of: &mut Vec<usize>) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                // Newlines are statement separators unless we're inside
+                // parens; the parser tracks depth, so emit a symbol.
+                out.push(Tok::Sym('\n'));
+                line_of.push(line);
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | '[' | ']' | ',' | '.' | '=' => {
+                out.push(Tok::Sym(c));
+                line_of.push(line);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(NlError::syntax("unterminated string", line));
+                    }
+                    let ch = src[i..].chars().next().expect("in bounds");
+                    i += ch.len_utf8();
+                    if ch == quote {
+                        break;
+                    }
+                    if ch == '\\' && i < bytes.len() {
+                        let esc = src[i..].chars().next().expect("in bounds");
+                        i += esc.len_utf8();
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(ch);
+                    }
+                }
+                out.push(Tok::Str(s));
+                line_of.push(line);
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        NlError::syntax(format!("bad float {text}"), line)
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        NlError::syntax(format!("bad int {text}"), line)
+                    })?));
+                }
+                line_of.push(line);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+                line_of.push(line);
+            }
+            other => {
+                return Err(NlError::syntax(
+                    format!("unexpected character {other:?}"),
+                    line,
+                ))
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    line_of.push(line);
+    Ok(out)
+}
+
+// ---------- argument values ----------
+
+/// A parsed argument value.
+#[derive(Debug, Clone, PartialEq)]
+enum Arg {
+    Value(Value),
+    List(Vec<Arg>),
+    /// `Count("case_id")`-style aggregate constructor.
+    AggCall { func: String, column: Option<String> },
+    Ident(String),
+}
+
+impl Arg {
+    fn as_str(&self) -> Option<String> {
+        match self {
+            Arg::Value(Value::Str(s)) => Some(s.clone()),
+            Arg::Ident(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn as_str_list(&self) -> Option<Vec<String>> {
+        match self {
+            Arg::List(items) => items.iter().map(|a| a.as_str()).collect(),
+            Arg::Value(Value::Str(s)) => Some(vec![s.clone()]),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Arg::Value(Value::Int(i)) if *i >= 0 => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Arg::Value(Value::Int(i)) => Some(*i as f64),
+            Arg::Value(Value::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Arg::Value(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    lines: Vec<usize>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn line(&self) -> usize {
+        self.lines.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if *self.peek() == Tok::Sym(c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(NlError::syntax(
+                format!("expected {c:?}, found {:?}", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat('\n') {}
+    }
+
+    fn parse_arg(&mut self) -> Result<Arg> {
+        match self.next() {
+            Tok::Str(s) => Ok(Arg::Value(Value::Str(s))),
+            Tok::Int(i) => Ok(Arg::Value(Value::Int(i))),
+            Tok::Float(f) => Ok(Arg::Value(Value::Float(f))),
+            Tok::Sym('[') => {
+                let mut items = Vec::new();
+                self.skip_newlines();
+                if !self.eat(']') {
+                    loop {
+                        self.skip_newlines();
+                        items.push(self.parse_arg()?);
+                        self.skip_newlines();
+                        if !self.eat(',') {
+                            break;
+                        }
+                    }
+                    self.skip_newlines();
+                    self.expect(']')?;
+                }
+                Ok(Arg::List(items))
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "True" => return Ok(Arg::Value(Value::Bool(true))),
+                    "False" => return Ok(Arg::Value(Value::Bool(false))),
+                    "None" => return Ok(Arg::Value(Value::Null)),
+                    _ => {}
+                }
+                if self.eat('(') {
+                    // Aggregate constructor: Count("case_id") / Count().
+                    let column = match self.peek() {
+                        Tok::Str(s) => {
+                            let s = s.clone();
+                            self.next();
+                            Some(s)
+                        }
+                        _ => None,
+                    };
+                    self.expect(')')?;
+                    Ok(Arg::AggCall { func: name, column })
+                } else {
+                    Ok(Arg::Ident(name))
+                }
+            }
+            other => Err(NlError::syntax(
+                format!("unexpected token {other:?} in argument"),
+                self.line(),
+            )),
+        }
+    }
+
+    /// Parse `( [kw=]arg, ... )`; newlines inside parens are ignored.
+    fn parse_args(&mut self) -> Result<(Vec<Arg>, Vec<(String, Arg)>)> {
+        self.expect('(')?;
+        let mut positional = Vec::new();
+        let mut keyword = Vec::new();
+        self.skip_newlines();
+        if self.eat(')') {
+            return Ok((positional, keyword));
+        }
+        loop {
+            self.skip_newlines();
+            // kwarg?
+            let is_kw = matches!(self.peek(), Tok::Ident(_))
+                && self.toks.get(self.pos + 1) == Some(&Tok::Sym('='));
+            if is_kw {
+                let Tok::Ident(name) = self.next() else { unreachable!() };
+                self.next(); // '='
+                self.skip_newlines();
+                keyword.push((name, self.parse_arg()?));
+            } else {
+                positional.push(self.parse_arg()?);
+            }
+            self.skip_newlines();
+            if !self.eat(',') {
+                break;
+            }
+            self.skip_newlines();
+            if self.eat(')') {
+                return Ok((positional, keyword));
+            }
+        }
+        self.skip_newlines();
+        self.expect(')')?;
+        Ok((positional, keyword))
+    }
+}
+
+/// Parse a Python-API program.
+pub fn parse_pyapi(src: &str) -> Result<PyProgram> {
+    let mut lines = Vec::new();
+    let toks = lex(src, &mut lines)?;
+    let mut p = Parser {
+        toks,
+        lines,
+        pos: 0,
+    };
+    let mut program = PyProgram::default();
+    loop {
+        p.skip_newlines();
+        if *p.peek() == Tok::Eof {
+            break;
+        }
+        let line = p.line();
+        let Tok::Ident(first) = p.next() else {
+            return Err(NlError::syntax("expected an identifier", line));
+        };
+        // print(...) — parsed and marked dead.
+        if first == "print" {
+            let _ = p.parse_args()?;
+            program.statements.push(PyStatement {
+                target: None,
+                root: "print".into(),
+                calls: Vec::new(),
+                is_print: true,
+            });
+            continue;
+        }
+        // Assignment?
+        let (target, root) = if p.eat('=') {
+            p.skip_newlines();
+            let Tok::Ident(root) = p.next() else {
+                return Err(NlError::syntax("expected a dataset identifier", p.line()));
+            };
+            (Some(first), root)
+        } else {
+            (None, first)
+        };
+        // Method chain.
+        let mut calls = Vec::new();
+        while p.eat('.') {
+            let Tok::Ident(method) = p.next() else {
+                return Err(NlError::syntax("expected a method name", p.line()));
+            };
+            let mline = p.line();
+            let (pos_args, kw_args) = p.parse_args()?;
+            calls.push(method_to_skill(&method, &pos_args, &kw_args, mline)?);
+        }
+        program.statements.push(PyStatement {
+            target,
+            root,
+            calls,
+            is_print: false,
+        });
+    }
+    Ok(program)
+}
+
+fn kw<'a>(kw_args: &'a [(String, Arg)], names: &[&str]) -> Option<&'a Arg> {
+    kw_args
+        .iter()
+        .find(|(k, _)| names.iter().any(|n| k.eq_ignore_ascii_case(n)))
+        .map(|(_, a)| a)
+}
+
+fn agg_from_arg(a: &Arg) -> Result<AggSpec> {
+    match a {
+        Arg::AggCall { func, column } => {
+            let f = AggFunc::from_name(func)
+                .or_else(|| match func.to_ascii_lowercase().as_str() {
+                    "countrecords" => Some(AggFunc::CountRecords),
+                    "countdistinct" => Some(AggFunc::CountDistinct),
+                    "average" => Some(AggFunc::Avg),
+                    "stddev" => Some(AggFunc::StdDev),
+                    _ => None,
+                })
+                .ok_or_else(|| NlError::check(format!("unknown aggregate {func:?}")))?;
+            let f = if f == AggFunc::Count && column.is_none() {
+                AggFunc::CountRecords
+            } else {
+                f
+            };
+            Ok(AggSpec {
+                func: f,
+                column: column.clone(),
+                output: AggSpec::default_output(f, column.as_deref()),
+            })
+        }
+        other => Err(NlError::check(format!(
+            "expected an aggregate constructor, found {other:?}"
+        ))),
+    }
+}
+
+fn method_to_skill(
+    method: &str,
+    pos: &[Arg],
+    kws: &[(String, Arg)],
+    line: usize,
+) -> Result<SkillCall> {
+    let need_str = |a: Option<&Arg>, what: &str| -> Result<String> {
+        a.and_then(|a| a.as_str())
+            .ok_or_else(|| NlError::syntax(format!("{method} needs {what}"), line))
+    };
+    match method {
+        "filter" | "keep_rows" => {
+            let cond = need_str(pos.first().or(kw(kws, &["condition", "where"])), "a condition")?;
+            let predicate = dc_gel::parse_condition(&cond)
+                .map_err(|e| NlError::syntax(e.to_string(), line))?;
+            Ok(SkillCall::KeepRows { predicate })
+        }
+        "select" | "keep_columns" => {
+            let columns = pos
+                .first()
+                .or(kw(kws, &["columns"]))
+                .and_then(|a| a.as_str_list())
+                .or_else(|| pos.iter().map(|a| a.as_str()).collect())
+                .ok_or_else(|| NlError::syntax("select needs column names", line))?;
+            Ok(SkillCall::KeepColumns { columns })
+        }
+        "drop_columns" => {
+            let columns = pos
+                .first()
+                .or(kw(kws, &["columns"]))
+                .and_then(|a| a.as_str_list())
+                .ok_or_else(|| NlError::syntax("drop_columns needs column names", line))?;
+            Ok(SkillCall::DropColumns { columns })
+        }
+        "rename" | "rename_column" => Ok(SkillCall::RenameColumn {
+            from: need_str(pos.first().or(kw(kws, &["from_name"])), "a source name")?,
+            to: need_str(pos.get(1).or(kw(kws, &["to_name", "to"])), "a target name")?,
+        }),
+        "with_column" | "create_column" => {
+            let name = need_str(pos.first().or(kw(kws, &["name"])), "a column name")?;
+            let expr_text = need_str(pos.get(1).or(kw(kws, &["expr", "expression"])), "an expression")?;
+            let expr = dc_sql::parse_expr(&expr_text)
+                .map_err(|e| NlError::syntax(e.to_string(), line))?;
+            Ok(SkillCall::CreateColumn { name, expr })
+        }
+        "with_constant" | "create_constant_column" => {
+            let name = need_str(pos.first().or(kw(kws, &["name"])), "a column name")?;
+            let value = match pos.get(1).or(kw(kws, &["value", "text"])) {
+                Some(Arg::Value(v)) => v.clone(),
+                Some(Arg::Ident(s)) => Value::Str(s.clone()),
+                _ => return Err(NlError::syntax("expected a constant value", line)),
+            };
+            Ok(SkillCall::CreateConstantColumn { name, value })
+        }
+        "compute" | "aggregate_data" => {
+            let agg_arg = kw(kws, &["aggregates", "aggregate", "aggregate_data"])
+                .or(pos.first())
+                .ok_or_else(|| NlError::syntax("compute needs aggregates", line))?;
+            let aggs: Vec<AggSpec> = match agg_arg {
+                Arg::List(items) => items.iter().map(agg_from_arg).collect::<Result<_>>()?,
+                single => vec![agg_from_arg(single)?],
+            };
+            let for_each = kw(kws, &["for_each", "group_by"])
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default();
+            let names = kw(kws, &["names", "call", "output_names"]).and_then(|a| a.as_str_list());
+            let mut aggs = aggs;
+            if let Some(names) = names {
+                for (a, n) in aggs.iter_mut().zip(names) {
+                    a.output = n;
+                }
+            }
+            Ok(SkillCall::Compute { aggs, for_each })
+        }
+        "pivot" => Ok(SkillCall::Pivot {
+            index: need_str(kw(kws, &["index"]).or(pos.first()), "an index column")?,
+            columns: need_str(kw(kws, &["columns"]).or(pos.get(1)), "a columns column")?,
+            values: need_str(kw(kws, &["values"]).or(pos.get(2)), "a values column")?,
+            agg: kw(kws, &["agg", "aggregate"])
+                .and_then(|a| a.as_str())
+                .and_then(|s| AggFunc::from_name(&s))
+                .unwrap_or(AggFunc::Sum),
+        }),
+        "sort" | "sort_values" => {
+            let by = kw(kws, &["by"])
+                .or(pos.first())
+                .and_then(|a| a.as_str_list())
+                .ok_or_else(|| NlError::syntax("sort needs columns", line))?;
+            let ascending = kw(kws, &["ascending"])
+                .and_then(|a| match a {
+                    Arg::Value(Value::Bool(b)) => Some(vec![*b]),
+                    Arg::List(items) => items.iter().map(|x| x.as_bool()).collect(),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            let keys = by
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let asc = ascending.get(i).or(ascending.first()).copied().unwrap_or(true);
+                    (c, asc)
+                })
+                .collect();
+            Ok(SkillCall::Sort { keys })
+        }
+        "head" | "limit" => Ok(SkillCall::Limit {
+            n: pos
+                .first()
+                .or(kw(kws, &["n"]))
+                .and_then(|a| a.as_usize())
+                .ok_or_else(|| NlError::syntax("limit needs a count", line))?,
+        }),
+        "top" => Ok(SkillCall::Top {
+            column: need_str(kw(kws, &["by", "column"]).or(pos.get(1)), "a column")?,
+            n: pos
+                .first()
+                .or(kw(kws, &["n"]))
+                .and_then(|a| a.as_usize())
+                .ok_or_else(|| NlError::syntax("top needs a count", line))?,
+        }),
+        "distinct" | "drop_duplicates" => Ok(SkillCall::Distinct {
+            columns: pos
+                .first()
+                .or(kw(kws, &["columns", "subset"]))
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default(),
+        }),
+        "dropna" | "drop_missing" => Ok(SkillCall::DropMissing {
+            columns: pos
+                .first()
+                .or(kw(kws, &["columns", "subset"]))
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default(),
+        }),
+        "fillna" | "fill_missing" => {
+            let column = need_str(pos.first().or(kw(kws, &["column"])), "a column")?;
+            let value = match pos.get(1).or(kw(kws, &["value"])) {
+                Some(Arg::Value(v)) => v.clone(),
+                Some(Arg::Ident(s)) => Value::Str(s.clone()),
+                _ => return Err(NlError::syntax("fill_missing needs a value", line)),
+            };
+            Ok(SkillCall::FillMissing { column, value })
+        }
+        "sample" => Ok(SkillCall::Sample {
+            fraction: pos
+                .first()
+                .or(kw(kws, &["fraction", "frac"]))
+                .and_then(|a| a.as_f64())
+                .ok_or_else(|| NlError::syntax("sample needs a fraction", line))?,
+            seed: kw(kws, &["seed"])
+                .and_then(|a| a.as_usize())
+                .map(|s| s as u64)
+                .unwrap_or(42),
+        }),
+        "concat" => Ok(SkillCall::Concat {
+            other: need_str(pos.first().or(kw(kws, &["other"])), "another dataset")?,
+            remove_duplicates: kw(kws, &["remove_duplicates", "dedupe"])
+                .and_then(|a| a.as_bool())
+                .unwrap_or(false),
+        }),
+        "join" | "merge" => {
+            let on = kw(kws, &["on"])
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default();
+            if on.is_empty() {
+                return Err(NlError::syntax("join needs on= keys", line));
+            }
+            let how = match kw(kws, &["how"]).and_then(|a| a.as_str()).as_deref() {
+                Some("left") => JoinType::Left,
+                Some("right") => JoinType::Right,
+                Some("full") | Some("outer") => JoinType::Full,
+                _ => JoinType::Inner,
+            };
+            Ok(SkillCall::Join {
+                other: need_str(pos.first().or(kw(kws, &["other"])), "another dataset")?,
+                left_on: on.clone(),
+                right_on: on,
+                how,
+            })
+        }
+        "visualize" => Ok(SkillCall::Visualize {
+            kpi: need_str(pos.first().or(kw(kws, &["kpi"])), "a KPI column")?,
+            by: kw(kws, &["by", "using"])
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default(),
+        }),
+        "plot" => {
+            let chart = match kw(kws, &["chart", "kind"])
+                .or(pos.first())
+                .and_then(|a| a.as_str())
+                .unwrap_or_else(|| "line".into())
+                .to_ascii_lowercase()
+                .as_str()
+            {
+                "bar" => ChartType::Bar,
+                "scatter" => ChartType::Scatter,
+                "bubble" => ChartType::Bubble,
+                "histogram" => ChartType::Histogram,
+                "donut" | "pie" => ChartType::Donut,
+                "box" => ChartType::Box,
+                "violin" => ChartType::Violin,
+                "heatmap" => ChartType::Heatmap,
+                _ => ChartType::Line,
+            };
+            Ok(SkillCall::Plot {
+                chart,
+                x: kw(kws, &["x"]).and_then(|a| a.as_str()),
+                y: kw(kws, &["y"]).and_then(|a| a.as_str()),
+                color: kw(kws, &["color"]).and_then(|a| a.as_str()),
+                size: kw(kws, &["size"]).and_then(|a| a.as_str()),
+                for_each: kw(kws, &["for_each"]).and_then(|a| a.as_str()),
+            })
+        }
+        "train_model" => Ok(SkillCall::TrainModel {
+            name: kw(kws, &["name"])
+                .and_then(|a| a.as_str())
+                .unwrap_or_else(|| "model".into()),
+            target: need_str(kw(kws, &["target"]).or(pos.first()), "a target column")?,
+            features: kw(kws, &["features"])
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default(),
+            method: match kw(kws, &["method"]).and_then(|a| a.as_str()).as_deref() {
+                Some("linear") => MlMethod::Linear,
+                Some("tree") | Some("decision_tree") => MlMethod::DecisionTree,
+                _ => MlMethod::Auto,
+            },
+        }),
+        "predict" => Ok(SkillCall::Predict {
+            model: need_str(pos.first().or(kw(kws, &["model"])), "a model name")?,
+        }),
+        "predict_time_series" => Ok(SkillCall::PredictTimeSeries {
+            measures: kw(kws, &["measures", "measure_columns"])
+                .or(pos.first())
+                .and_then(|a| a.as_str_list())
+                .ok_or_else(|| NlError::syntax("predict_time_series needs measures", line))?,
+            horizon: kw(kws, &["horizon", "n"])
+                .and_then(|a| a.as_usize())
+                .ok_or_else(|| NlError::syntax("predict_time_series needs a horizon", line))?,
+            time_column: need_str(kw(kws, &["time_column", "time"]), "a time column")?,
+        }),
+        "detect_outliers" => Ok(SkillCall::DetectOutliers {
+            column: need_str(pos.first().or(kw(kws, &["column"])), "a column")?,
+            method: match kw(kws, &["method"]).and_then(|a| a.as_str()).as_deref() {
+                Some("iqr") => dc_ml::OutlierMethod::default_iqr(),
+                _ => dc_ml::OutlierMethod::default_zscore(),
+            },
+        }),
+        "cluster" => Ok(SkillCall::Cluster {
+            k: kw(kws, &["k"])
+                .or(pos.first())
+                .and_then(|a| a.as_usize())
+                .ok_or_else(|| NlError::syntax("cluster needs k", line))?,
+            features: kw(kws, &["features"])
+                .and_then(|a| a.as_str_list())
+                .unwrap_or_default(),
+        }),
+        "describe" => match pos.first().and_then(|a| a.as_str()) {
+            Some(column) => Ok(SkillCall::DescribeColumn { column }),
+            None => Ok(SkillCall::DescribeDataset),
+        },
+        "save" | "save_artifact" => Ok(SkillCall::SaveArtifact {
+            name: need_str(pos.first().or(kw(kws, &["name"])), "a name")?,
+        }),
+        "snapshot" => Ok(SkillCall::Snapshot {
+            name: need_str(pos.first().or(kw(kws, &["name"])), "a name")?,
+        }),
+        other => Err(NlError::syntax(format!("unknown method {other:?}"), line)),
+    }
+}
+
+// ---------- printing ----------
+
+fn py_value(v: &Value) -> String {
+    match v {
+        Value::Null => "None".into(),
+        Value::Bool(true) => "True".into(),
+        Value::Bool(false) => "False".into(),
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Date(_) => format!("\"{}\"", v.render()),
+        other => other.render(),
+    }
+}
+
+fn py_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn agg_ctor(a: &AggSpec) -> String {
+    let fname = match a.func {
+        AggFunc::Count => "Count",
+        AggFunc::CountRecords => "Count",
+        AggFunc::CountDistinct => "CountDistinct",
+        AggFunc::Sum => "Sum",
+        AggFunc::Avg => "Average",
+        AggFunc::Min => "Min",
+        AggFunc::Max => "Max",
+        AggFunc::Median => "Median",
+        AggFunc::StdDev => "StdDev",
+        AggFunc::Variance => "Variance",
+        AggFunc::First => "First",
+        AggFunc::Last => "Last",
+    };
+    match &a.column {
+        Some(c) => format!("{fname}(\"{c}\")"),
+        None => format!("{fname}()"),
+    }
+}
+
+/// Print one skill call as a Python-API method invocation (without the
+/// receiver).
+pub fn format_call(call: &SkillCall) -> Option<String> {
+    use SkillCall::*;
+    Some(match call {
+        KeepRows { predicate } => format!("filter(\"{}\")", predicate.to_sql().replace('"', "'")),
+        KeepColumns { columns } => format!("select({})", py_list(columns)),
+        DropColumns { columns } => format!("drop_columns({})", py_list(columns)),
+        RenameColumn { from, to } => format!("rename(\"{from}\", \"{to}\")"),
+        CreateColumn { name, expr } => format!(
+            "with_column(\"{name}\", \"{}\")",
+            expr.to_sql().replace('"', "'")
+        ),
+        CreateConstantColumn { name, value } => {
+            format!("with_constant(\"{name}\", {})", py_value(value))
+        }
+        Compute { aggs, for_each } => {
+            let ctors: Vec<String> = aggs.iter().map(agg_ctor).collect();
+            let mut s = format!("compute(aggregates = [{}]", ctors.join(", "));
+            if !for_each.is_empty() {
+                s.push_str(&format!(", for_each = {}", py_list(for_each)));
+            }
+            let defaults: Vec<String> = aggs
+                .iter()
+                .map(|a| AggSpec::default_output(a.func, a.column.as_deref()))
+                .collect();
+            let names: Vec<String> = aggs.iter().map(|a| a.output.clone()).collect();
+            if names != defaults {
+                s.push_str(&format!(", names = {}", py_list(&names)));
+            }
+            s.push(')');
+            s
+        }
+        Pivot {
+            index,
+            columns,
+            values,
+            agg,
+        } => format!(
+            "pivot(index = \"{index}\", columns = \"{columns}\", values = \"{values}\", agg = \"{}\")",
+            agg.name()
+        ),
+        Sort { keys } => {
+            let by: Vec<String> = keys.iter().map(|(c, _)| c.clone()).collect();
+            let asc: Vec<String> = keys
+                .iter()
+                .map(|(_, a)| if *a { "True" } else { "False" }.to_string())
+                .collect();
+            format!(
+                "sort(by = {}, ascending = [{}])",
+                py_list(&by),
+                asc.join(", ")
+            )
+        }
+        Top { column, n } => format!("top({n}, by = \"{column}\")"),
+        Limit { n } => format!("head({n})"),
+        Concat {
+            other,
+            remove_duplicates,
+        } => format!(
+            "concat(\"{other}\", remove_duplicates = {})",
+            if *remove_duplicates { "True" } else { "False" }
+        ),
+        Join {
+            other,
+            left_on,
+            how,
+            ..
+        } => format!(
+            "join(\"{other}\", on = {}, how = \"{}\")",
+            py_list(left_on),
+            match how {
+                JoinType::Inner => "inner",
+                JoinType::Left => "left",
+                JoinType::Right => "right",
+                JoinType::Full => "full",
+            }
+        ),
+        Distinct { columns } => {
+            if columns.is_empty() {
+                "distinct()".to_string()
+            } else {
+                format!("distinct({})", py_list(columns))
+            }
+        }
+        DropMissing { columns } => {
+            if columns.is_empty() {
+                "dropna()".to_string()
+            } else {
+                format!("dropna({})", py_list(columns))
+            }
+        }
+        FillMissing { column, value } => {
+            format!("fillna(\"{column}\", {})", py_value(value))
+        }
+        Sample { fraction, seed } => format!("sample({fraction}, seed = {seed})"),
+        Visualize { kpi, by } => {
+            if by.is_empty() {
+                format!("visualize(\"{kpi}\")")
+            } else {
+                format!("visualize(\"{kpi}\", by = {})", py_list(by))
+            }
+        }
+        Plot {
+            chart,
+            x,
+            y,
+            color,
+            size,
+            for_each,
+        } => {
+            let mut parts = vec![format!("chart = \"{}\"", chart.display_name())];
+            for (k, v) in [
+                ("x", x),
+                ("y", y),
+                ("color", color),
+                ("size", size),
+                ("for_each", for_each),
+            ] {
+                if let Some(v) = v {
+                    parts.push(format!("{k} = \"{v}\""));
+                }
+            }
+            format!("plot({})", parts.join(", "))
+        }
+        TrainModel {
+            name,
+            target,
+            features,
+            method,
+        } => {
+            let mut s = format!("train_model(target = \"{target}\", name = \"{name}\"");
+            if !features.is_empty() {
+                s.push_str(&format!(", features = {}", py_list(features)));
+            }
+            match method {
+                MlMethod::Linear => s.push_str(", method = \"linear\""),
+                MlMethod::DecisionTree => s.push_str(", method = \"tree\""),
+                MlMethod::Auto => {}
+            }
+            s.push(')');
+            s
+        }
+        Predict { model } => format!("predict(\"{model}\")"),
+        PredictTimeSeries {
+            measures,
+            horizon,
+            time_column,
+        } => format!(
+            "predict_time_series(measures = {}, horizon = {horizon}, time_column = \"{time_column}\")",
+            py_list(measures)
+        ),
+        DetectOutliers { column, method } => format!(
+            "detect_outliers(\"{column}\", method = \"{}\")",
+            match method {
+                dc_ml::OutlierMethod::ZScore { .. } => "zscore",
+                dc_ml::OutlierMethod::Iqr { .. } => "iqr",
+            }
+        ),
+        Cluster { k, features } => {
+            format!("cluster(k = {k}, features = {})", py_list(features))
+        }
+        DescribeColumn { column } => format!("describe(\"{column}\")"),
+        DescribeDataset => "describe()".to_string(),
+        SaveArtifact { name } => format!("save(\"{name}\")"),
+        Snapshot { name } => format!("snapshot(\"{name}\")"),
+        _ => return None,
+    })
+}
+
+/// Print a chain of skill calls as one Python statement on `dataset`.
+pub fn format_program(dataset: &str, calls: &[SkillCall]) -> Result<String> {
+    let mut s = dataset.to_string();
+    for call in calls {
+        let piece = format_call(call).ok_or_else(|| {
+            NlError::translation(format!("{} has no Python API form", call.name()))
+        })?;
+        s.push('.');
+        s.push_str(&piece);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3b_compute_call() {
+        // The paper's Python form of the Figure 3 skill.
+        let src = r#"california_car_collisions.compute(
+            aggregates = [Count("case_id")],
+            for_each = ["party_sobriety"],
+            names = ["NumberOfCases"]
+        )"#;
+        let prog = parse_pyapi(src).unwrap();
+        assert_eq!(prog.statements.len(), 1);
+        let st = &prog.statements[0];
+        assert_eq!(st.root, "california_car_collisions");
+        match &st.calls[0] {
+            SkillCall::Compute { aggs, for_each } => {
+                assert_eq!(aggs[0].func, AggFunc::Count);
+                assert_eq!(aggs[0].column.as_deref(), Some("case_id"));
+                assert_eq!(aggs[0].output, "NumberOfCases");
+                assert_eq!(for_each, &vec!["party_sobriety".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn section41_average_median() {
+        let src = r#"data.compute(
+            aggregates = [Average('Age'), Median('Salary')],
+            for_each = ['JobLevel']
+        )"#;
+        let prog = parse_pyapi(src).unwrap();
+        match &prog.statements[0].calls[0] {
+            SkillCall::Compute { aggs, .. } => {
+                assert_eq!(aggs[0].func, AggFunc::Avg);
+                assert_eq!(aggs[1].func, AggFunc::Median);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_chains_and_assignment() {
+        let src = "result = sales.filter(\"region = 'west'\").select([\"price\", \"quantity\"]).head(10)\n";
+        let prog = parse_pyapi(src).unwrap();
+        let st = &prog.statements[0];
+        assert_eq!(st.target.as_deref(), Some("result"));
+        assert_eq!(st.calls.len(), 3);
+        assert!(matches!(st.calls[0], SkillCall::KeepRows { .. }));
+        assert!(matches!(st.calls[2], SkillCall::Limit { n: 10 }));
+    }
+
+    #[test]
+    fn print_statements_marked_dead() {
+        let prog = parse_pyapi("print(result)\nsales.head(5)\n").unwrap();
+        assert!(prog.statements[0].is_print);
+        assert!(!prog.statements[1].is_print);
+    }
+
+    #[test]
+    fn count_star_maps_to_count_records() {
+        let prog = parse_pyapi("t.compute(aggregates = [Count()])").unwrap();
+        match &prog.statements[0].calls[0] {
+            SkillCall::Compute { aggs, .. } => {
+                assert_eq!(aggs[0].func, AggFunc::CountRecords);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let err = parse_pyapi("sales.\n.bad").unwrap_err();
+        assert!(matches!(err, NlError::PySyntax { .. }));
+        assert!(parse_pyapi("t.nosuchmethod(1)").is_err());
+        assert!(parse_pyapi("t.filter(").is_err());
+        assert!(parse_pyapi("t.filter('unterminated").is_err());
+    }
+
+    #[test]
+    fn roundtrip_calls() {
+        let calls = vec![
+            SkillCall::KeepRows {
+                predicate: dc_engine::Expr::col("x").gt(dc_engine::Expr::lit(5i64)),
+            },
+            SkillCall::KeepColumns {
+                columns: vec!["a".into(), "b".into()],
+            },
+            SkillCall::Compute {
+                aggs: vec![AggSpec::new(AggFunc::Count, "case_id", "NumberOfCases")],
+                for_each: vec!["party_sobriety".into()],
+            },
+            SkillCall::Sort {
+                keys: vec![("a".into(), false)],
+            },
+            SkillCall::Limit { n: 3 },
+            SkillCall::Sample {
+                fraction: 0.25,
+                seed: 42,
+            },
+            SkillCall::PredictTimeSeries {
+                measures: vec!["GDPC1".into()],
+                horizon: 12,
+                time_column: "DATE".into(),
+            },
+        ];
+        let text = format_program("data", &calls).unwrap();
+        let parsed = parse_pyapi(&text).unwrap();
+        assert_eq!(parsed.statements[0].calls, calls, "text was: {text}");
+    }
+
+    #[test]
+    fn join_and_plot_parse() {
+        let src = "orders.join(\"customers\", on = [\"customer_id\"], how = \"left\").plot(chart = \"bar\", x = \"region\", y = \"total\")";
+        let prog = parse_pyapi(src).unwrap();
+        assert!(matches!(
+            prog.statements[0].calls[0],
+            SkillCall::Join {
+                how: JoinType::Left,
+                ..
+            }
+        ));
+        match &prog.statements[0].calls[1] {
+            SkillCall::Plot { chart, x, .. } => {
+                assert_eq!(*chart, ChartType::Bar);
+                assert_eq!(x.as_deref(), Some("region"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_with_comments() {
+        let src = "# load and trim\nsales.filter(\"price > 10\") # keep expensive\n";
+        let prog = parse_pyapi(src).unwrap();
+        assert_eq!(prog.statements.len(), 1);
+    }
+}

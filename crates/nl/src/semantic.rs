@@ -1,0 +1,374 @@
+//! The semantic layer (§4.2).
+//!
+//! "An abstraction that encapsulates domain-specific concepts, links
+//! these concepts to the user intent, and offers a contextual
+//! representation of these concepts to the LLM." Two components, per the
+//! paper: a representation layer ([`Concept`]) and a retrieval mechanism
+//! ([`SemanticLayer::retrieve`]) that matches query keywords against
+//! concepts, weights matches by relevance, and returns the top few,
+//! rendered concisely for the prompt's limited token budget.
+
+use std::collections::BTreeMap;
+
+/// What a concept denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConceptKind {
+    /// A metric: a named formula over columns, e.g.
+    /// `revenue = sum(price * (1 - discount) * quantity)`.
+    Metric { formula: String },
+    /// A dimension: a column used to slice metrics.
+    Dimension { column: String },
+    /// A value mapping: a phrase that translates to a predicate, e.g.
+    /// "successful purchases" → `PurchaseStatus = 'Successful'`.
+    ValueMapping { predicate: String },
+    /// A hierarchy: ordered drill levels, e.g. region → state → city.
+    Hierarchy { levels: Vec<String> },
+    /// An annotation: free-text documentation of a column.
+    Annotation { column: String, note: String },
+}
+
+/// One semantic-layer entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Canonical name ("successful purchases", "revenue").
+    pub name: String,
+    /// Extra trigger keywords beyond the name's own words.
+    pub keywords: Vec<String>,
+    pub kind: ConceptKind,
+}
+
+impl Concept {
+    /// Concise one-line rendering for prompt context.
+    pub fn render(&self) -> String {
+        match &self.kind {
+            ConceptKind::Metric { formula } => format!("metric {} = {}", self.name, formula),
+            ConceptKind::Dimension { column } => {
+                format!("dimension {} -> column {}", self.name, column)
+            }
+            ConceptKind::ValueMapping { predicate } => {
+                format!("phrase {:?} means {}", self.name, predicate)
+            }
+            ConceptKind::Hierarchy { levels } => {
+                format!("hierarchy {}: {}", self.name, levels.join(" > "))
+            }
+            ConceptKind::Annotation { column, note } => {
+                format!("column {column}: {note}")
+            }
+        }
+    }
+}
+
+/// A retrieved concept with its relevance weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredConcept {
+    pub concept: Concept,
+    pub score: f64,
+}
+
+/// The semantic layer: concepts plus retrieval.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticLayer {
+    concepts: Vec<Concept>,
+}
+
+/// Lowercase word tokens of a text (alphanumeric runs).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Crude stemmer: strips plural/verb suffixes so "purchases" matches
+/// "purchase".
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    for suffix in ["ies", "ing", "ed", "s"] {
+        if w.len() > suffix.len() + 2 {
+            if let Some(stripped) = w.strip_suffix(suffix) {
+                return stripped.to_string();
+            }
+        }
+    }
+    w
+}
+
+impl SemanticLayer {
+    /// An empty layer.
+    pub fn new() -> SemanticLayer {
+        SemanticLayer::default()
+    }
+
+    /// Add a concept (later same-named concepts shadow earlier ones on
+    /// retrieval ties; the `Define` skill appends here).
+    pub fn add(&mut self, concept: Concept) {
+        self.concepts.push(concept);
+    }
+
+    /// Register a `Define` skill's phrase as a value mapping.
+    pub fn define_phrase(&mut self, phrase: impl Into<String>, expansion: impl Into<String>) {
+        self.add(Concept {
+            name: phrase.into(),
+            keywords: Vec::new(),
+            kind: ConceptKind::ValueMapping {
+                predicate: expansion.into(),
+            },
+        });
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// All concepts.
+    pub fn concepts(&self) -> &[Concept] {
+        &self.concepts
+    }
+
+    /// Exact (case-insensitive) phrase lookup, used by the phrase-based
+    /// translator (§4.8) where matches are deterministic.
+    pub fn lookup_phrase(&self, phrase: &str) -> Option<&Concept> {
+        self.concepts
+            .iter()
+            .rev() // later definitions shadow earlier ones
+            .find(|c| c.name.eq_ignore_ascii_case(phrase.trim()))
+    }
+
+    /// Retrieve the `top_k` concepts most relevant to `query`.
+    ///
+    /// Scoring: stemmed-token overlap between the query and the concept's
+    /// name + keywords, weighted by how much of the concept name is
+    /// covered (full-name matches outrank single-keyword hits).
+    pub fn retrieve(&self, query: &str, top_k: usize) -> Vec<ScoredConcept> {
+        let q_tokens: Vec<String> = tokenize(query).iter().map(|t| stem(t)).collect();
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<ScoredConcept> = Vec::new();
+        for c in &self.concepts {
+            let name_tokens: Vec<String> = tokenize(&c.name).iter().map(|t| stem(t)).collect();
+            let kw_tokens: Vec<String> = c
+                .keywords
+                .iter()
+                .flat_map(|k| tokenize(k))
+                .map(|t| stem(&t))
+                .collect();
+            let name_hits = name_tokens
+                .iter()
+                .filter(|t| q_tokens.contains(t))
+                .count();
+            let kw_hits = kw_tokens.iter().filter(|t| q_tokens.contains(t)).count();
+            if name_hits == 0 && kw_hits == 0 {
+                continue;
+            }
+            let name_cov = if name_tokens.is_empty() {
+                0.0
+            } else {
+                name_hits as f64 / name_tokens.len() as f64
+            };
+            let score = 2.0 * name_cov + 0.5 * kw_hits as f64;
+            scored.push(ScoredConcept {
+                concept: c.clone(),
+                score,
+            });
+        }
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.concept.name.cmp(&b.concept.name))
+        });
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Concise prompt rendering of retrieved concepts ("The SL outputs
+    /// need to be as concise as possible").
+    pub fn render_for_prompt(&self, query: &str, top_k: usize) -> String {
+        self.retrieve(query, top_k)
+            .iter()
+            .map(|s| s.concept.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The §4.2 sales walkthrough layer, plus metrics from §1's intro
+    /// example (revenue = sum of price · (1 − discount)).
+    pub fn sales_demo() -> SemanticLayer {
+        let mut sl = SemanticLayer::new();
+        sl.add(Concept {
+            name: "successful purchases".into(),
+            keywords: vec!["succeed".into(), "completed".into()],
+            kind: ConceptKind::ValueMapping {
+                predicate: "PurchaseStatus = 'Successful'".into(),
+            },
+        });
+        sl.add(Concept {
+            name: "unsuccessful purchases".into(),
+            keywords: vec!["failed".into(), "aborted".into()],
+            kind: ConceptKind::ValueMapping {
+                predicate: "PurchaseStatus = 'Unsuccessful'".into(),
+            },
+        });
+        sl.add(Concept {
+            name: "revenue".into(),
+            keywords: vec!["sales".into(), "income".into()],
+            kind: ConceptKind::Metric {
+                formula: "sum(price * (1 - discount) * quantity)".into(),
+            },
+        });
+        sl.add(Concept {
+            name: "region".into(),
+            keywords: vec!["territory".into(), "area".into()],
+            kind: ConceptKind::Dimension {
+                column: "region".into(),
+            },
+        });
+        sl.add(Concept {
+            name: "order date".into(),
+            keywords: vec!["when".into(), "time".into()],
+            kind: ConceptKind::Annotation {
+                column: "order_date".into(),
+                note: "calendar date the order was placed".into(),
+            },
+        });
+        sl.add(Concept {
+            name: "geography".into(),
+            keywords: vec!["location".into()],
+            kind: ConceptKind::Hierarchy {
+                levels: vec!["region".into(), "state".into(), "city".into()],
+            },
+        });
+        sl
+    }
+}
+
+/// Schema hints: column names per dataset, rendered for prompts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaHints {
+    /// dataset name → column names.
+    pub tables: BTreeMap<String, Vec<String>>,
+}
+
+impl SchemaHints {
+    /// Build from one named table schema.
+    pub fn single(name: impl Into<String>, columns: Vec<String>) -> SchemaHints {
+        let mut tables = BTreeMap::new();
+        tables.insert(name.into(), columns);
+        SchemaHints { tables }
+    }
+
+    /// All column names across tables.
+    pub fn all_columns(&self) -> Vec<&str> {
+        self.tables
+            .values()
+            .flat_map(|cols| cols.iter().map(|c| c.as_str()))
+            .collect()
+    }
+
+    /// Render for prompt context.
+    pub fn render(&self) -> String {
+        self.tables
+            .iter()
+            .map(|(t, cols)| format!("table {t}({})", cols.join(", ")))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section42_walkthrough() {
+        // "How many purchases were successful in the month of April" must
+        // surface the PurchaseStatus mapping.
+        let sl = SemanticLayer::sales_demo();
+        let hits = sl.retrieve("How many purchases were successful in the month of April", 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].concept.name, "successful purchases");
+        assert!(hits[0]
+            .concept
+            .render()
+            .contains("PurchaseStatus = 'Successful'"));
+    }
+
+    #[test]
+    fn metric_retrieval_by_keyword() {
+        let sl = SemanticLayer::sales_demo();
+        let hits = sl.retrieve("total revenue by region", 3);
+        let names: Vec<&str> = hits.iter().map(|h| h.concept.name.as_str()).collect();
+        assert!(names.contains(&"revenue"));
+        assert!(names.contains(&"region"));
+    }
+
+    #[test]
+    fn irrelevant_query_retrieves_nothing() {
+        let sl = SemanticLayer::sales_demo();
+        assert!(sl.retrieve("weather patterns in antarctica", 3).is_empty());
+        assert!(sl.retrieve("", 3).is_empty());
+    }
+
+    #[test]
+    fn stemming_bridges_morphology() {
+        assert_eq!(stem("purchases"), "purchase");
+        assert_eq!(stem("running"), "runn");
+        assert_eq!(stem("cities"), "cit");
+        assert_eq!(stem("sales"), "sale");
+        // Short words survive untouched.
+        assert_eq!(stem("is"), "is");
+    }
+
+    #[test]
+    fn define_phrase_shadows() {
+        let mut sl = SemanticLayer::new();
+        sl.define_phrase("vip customers", "tier = 'gold'");
+        sl.define_phrase("vip customers", "tier IN ('gold', 'platinum')");
+        let c = sl.lookup_phrase("VIP Customers").unwrap();
+        match &c.kind {
+            ConceptKind::ValueMapping { predicate } => {
+                assert!(predicate.contains("platinum"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_k_truncation_and_ordering() {
+        let sl = SemanticLayer::sales_demo();
+        let hits = sl.retrieve("successful purchases revenue region", 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn schema_hints_render() {
+        let h = SchemaHints::single("sales", vec!["price".into(), "region".into()]);
+        assert_eq!(h.render(), "table sales(price, region)");
+        assert_eq!(h.all_columns(), vec!["price", "region"]);
+    }
+
+    #[test]
+    fn tokenizer_handles_punctuation() {
+        assert_eq!(
+            tokenize("How many purchases, really?!"),
+            vec!["how", "many", "purchases", "really"]
+        );
+    }
+}

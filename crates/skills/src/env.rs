@@ -1,0 +1,178 @@
+//! The execution environment skills run against.
+//!
+//! Bundles everything outside the DAG itself: the cloud-database catalog,
+//! the snapshot store, a virtual file/URL system (this reproduction runs
+//! offline — `Load data from the URL ...` resolves against registered
+//! fixtures), trained models, and the semantic-layer phrase definitions
+//! created by the `Define` skill.
+
+use std::collections::HashMap;
+
+use dc_engine::Table;
+use dc_ml::Model;
+use dc_storage::{Catalog, SnapshotStore};
+
+use crate::error::{Result, SkillError};
+
+/// Mutable world state for skill execution.
+#[derive(Debug, Default)]
+pub struct Env {
+    /// Cloud databases.
+    pub catalog: Catalog,
+    /// The fixed-cost local snapshot store.
+    pub snapshots: SnapshotStore,
+    /// Virtual filesystem: path → CSV text.
+    files: HashMap<String, String>,
+    /// Virtual network: URL → CSV text.
+    urls: HashMap<String, String>,
+    /// Trained models by name.
+    models: HashMap<String, Model>,
+    /// Semantic-layer phrase definitions (`Define` skill).
+    definitions: HashMap<String, String>,
+    /// Saved artifacts' tabular payloads by name (the collab layer adds
+    /// richer artifact metadata on top).
+    saved: HashMap<String, Table>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Register a CSV fixture for `LoadFile`.
+    pub fn add_file(&mut self, path: impl Into<String>, csv_text: impl Into<String>) {
+        self.files.insert(path.into(), csv_text.into());
+    }
+
+    /// Register a CSV fixture for `LoadUrl`.
+    pub fn add_url(&mut self, url: impl Into<String>, csv_text: impl Into<String>) {
+        self.urls.insert(url.into(), csv_text.into());
+    }
+
+    /// Fetch a file fixture.
+    pub fn file(&self, path: &str) -> Result<&str> {
+        self.files
+            .get(path)
+            .map(|s| s.as_str())
+            .ok_or_else(|| SkillError::SourceNotFound {
+                name: path.to_string(),
+            })
+    }
+
+    /// Fetch a URL fixture.
+    pub fn url(&self, url: &str) -> Result<&str> {
+        self.urls
+            .get(url)
+            .map(|s| s.as_str())
+            .ok_or_else(|| SkillError::SourceNotFound {
+                name: url.to_string(),
+            })
+    }
+
+    /// Store a trained model (replacing any same-named model).
+    pub fn put_model(&mut self, model: Model) {
+        self.models.insert(model.name.clone(), model);
+    }
+
+    /// Fetch a model.
+    pub fn model(&self, name: &str) -> Result<&Model> {
+        self.models
+            .get(name)
+            .ok_or_else(|| SkillError::ModelNotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Model names (sorted).
+    pub fn model_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.models.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Record a `Define` phrase.
+    pub fn define(&mut self, phrase: impl Into<String>, expansion: impl Into<String>) {
+        self.definitions
+            .insert(phrase.into().to_lowercase(), expansion.into());
+    }
+
+    /// Look up a defined phrase (case-insensitive).
+    pub fn definition(&self, phrase: &str) -> Option<&str> {
+        self.definitions
+            .get(&phrase.to_lowercase())
+            .map(|s| s.as_str())
+    }
+
+    /// All phrase definitions (sorted by phrase).
+    pub fn definitions(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .definitions
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Persist a saved artifact's table payload.
+    pub fn save_table(&mut self, name: impl Into<String>, table: Table) {
+        self.saved.insert(name.into(), table);
+    }
+
+    /// Fetch a saved artifact's table payload.
+    pub fn saved_table(&self, name: &str) -> Result<&Table> {
+        self.saved
+            .get(name)
+            .ok_or_else(|| SkillError::DatasetNotFound {
+                name: name.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_and_url_fixtures() {
+        let mut env = Env::new();
+        env.add_file("data.csv", "a\n1\n");
+        env.add_url("https://example.com/x.csv", "b\n2\n");
+        assert_eq!(env.file("data.csv").unwrap(), "a\n1\n");
+        assert!(env.file("missing.csv").is_err());
+        assert!(env.url("https://example.com/x.csv").is_ok());
+        assert!(env.url("https://other").is_err());
+    }
+
+    #[test]
+    fn definitions_case_insensitive() {
+        let mut env = Env::new();
+        env.define("Successful Purchases", "PurchaseStatus = 'Successful'");
+        assert_eq!(
+            env.definition("successful purchases").unwrap(),
+            "PurchaseStatus = 'Successful'"
+        );
+        assert!(env.definition("other").is_none());
+        assert_eq!(env.definitions().len(), 1);
+    }
+
+    #[test]
+    fn models_roundtrip() {
+        let mut env = Env::new();
+        assert!(env.model("m").is_err());
+        let t = dc_engine::Table::new(vec![
+            ("x", dc_engine::Column::from_ints((0..10).collect())),
+            (
+                "y",
+                dc_engine::Column::from_floats((0..10).map(|i| i as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        let m = dc_ml::train_model(&t, "m", "y", &["x".to_string()], dc_ml::MlMethod::Auto)
+            .unwrap();
+        env.put_model(m);
+        assert!(env.model("m").is_ok());
+        assert_eq!(env.model_names(), vec!["m"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Skill-layer errors.
+
+use std::fmt;
+
+/// Errors from building or executing skill DAGs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkillError {
+    /// A referenced dataset/node does not exist.
+    DatasetNotFound { name: String },
+    /// A referenced DAG node id is invalid.
+    NodeNotFound { id: usize },
+    /// A referenced model does not exist.
+    ModelNotFound { name: String },
+    /// A referenced file/URL is not available in the environment.
+    SourceNotFound { name: String },
+    /// The skill's parameters are invalid.
+    InvalidArgument { message: String },
+    /// A skill produced the wrong kind of output for its consumer.
+    WrongOutputKind { expected: String, actual: String },
+    /// Propagated engine failure.
+    Engine(dc_engine::EngineError),
+    /// Propagated storage failure.
+    Storage(dc_storage::StorageError),
+    /// Propagated SQL failure.
+    Sql(dc_sql::SqlError),
+    /// Propagated ML failure.
+    Ml(String),
+    /// Propagated visualization failure.
+    Viz(String),
+}
+
+impl SkillError {
+    /// Convenience constructor for [`SkillError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SkillError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SkillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkillError::DatasetNotFound { name } => write!(f, "dataset not found: {name:?}"),
+            SkillError::NodeNotFound { id } => write!(f, "DAG node not found: {id}"),
+            SkillError::ModelNotFound { name } => write!(f, "model not found: {name:?}"),
+            SkillError::SourceNotFound { name } => write!(f, "source not found: {name:?}"),
+            SkillError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            SkillError::WrongOutputKind { expected, actual } => {
+                write!(f, "expected {expected} output, got {actual}")
+            }
+            SkillError::Engine(e) => write!(f, "engine error: {e}"),
+            SkillError::Storage(e) => write!(f, "storage error: {e}"),
+            SkillError::Sql(e) => write!(f, "sql error: {e}"),
+            SkillError::Ml(m) => write!(f, "ml error: {m}"),
+            SkillError::Viz(m) => write!(f, "viz error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SkillError {}
+
+impl From<dc_engine::EngineError> for SkillError {
+    fn from(e: dc_engine::EngineError) -> Self {
+        SkillError::Engine(e)
+    }
+}
+impl From<dc_storage::StorageError> for SkillError {
+    fn from(e: dc_storage::StorageError) -> Self {
+        SkillError::Storage(e)
+    }
+}
+impl From<dc_sql::SqlError> for SkillError {
+    fn from(e: dc_sql::SqlError) -> Self {
+        SkillError::Sql(e)
+    }
+}
+
+/// Result alias for the skills crate.
+pub type Result<T> = std::result::Result<T, SkillError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SkillError::invalid("x").to_string().contains("x"));
+        assert!(SkillError::DatasetNotFound { name: "d".into() }
+            .to_string()
+            .contains("d"));
+        let e: SkillError = dc_engine::EngineError::column_not_found("c").into();
+        assert!(e.to_string().contains("engine"));
+    }
+}

@@ -1,0 +1,1010 @@
+//! The skill interpreter: one function per skill semantics, plus the
+//! DAG executor with its sub-DAG cache.
+
+use std::collections::HashMap;
+
+use dc_engine::csv::{read_csv, write_csv};
+use dc_engine::ops::{
+    concat, distinct, filter, group_by, join, limit, pivot, sample_fraction, sort_by, top_n,
+    SortKey,
+};
+use dc_engine::{Column, Expr, ScalarFunc, Table, Value};
+use dc_ml::{detect_outliers, fit_kmeans, fit_time_series, predict, train_model, ModelKind};
+use dc_storage::ScanOptions;
+use dc_viz::{auto_visualize, ChartSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dag::{NodeId, SkillDag};
+use crate::env::Env;
+use crate::error::{Result, SkillError};
+use crate::output::SkillOutput;
+use crate::skill::{DatePart, SkillCall};
+
+/// Execute one skill call against its input tables.
+///
+/// `inputs[0]` is the primary dataset (when the skill needs one);
+/// `inputs[1]` the secondary for joins and concatenations.
+pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Result<SkillOutput> {
+    use SkillCall::*;
+    let primary = || -> Result<&Table> {
+        inputs
+            .first()
+            .copied()
+            .ok_or_else(|| SkillError::invalid(format!("{} needs an input dataset", call.name())))
+    };
+    let secondary = || -> Result<&Table> {
+        inputs
+            .get(1)
+            .copied()
+            .ok_or_else(|| SkillError::invalid(format!("{} needs a second dataset", call.name())))
+    };
+    match call {
+        // ----- ingestion -----
+        LoadFile { path } => Ok(SkillOutput::Table(read_csv(env.file(path)?)?)),
+        LoadUrl { url } => Ok(SkillOutput::Table(read_csv(env.url(url)?)?)),
+        LoadTable { database, table } => {
+            let db = env.catalog.database(database)?;
+            let (data, _receipt) = db.scan(table, &ScanOptions::full())?;
+            Ok(SkillOutput::Table(data))
+        }
+        UseDataset { name, .. } => match inputs.first() {
+            // The DAG wires the named node as input; pass it through.
+            Some(t) => Ok(SkillOutput::Table((*t).clone())),
+            None => Ok(SkillOutput::Table(env.saved_table(name)?.clone())),
+        },
+        UseSnapshot { name } => Ok(SkillOutput::Table(env.snapshots.read(name)?.clone())),
+
+        // ----- exploration (pass-through artifacts) -----
+        DescribeColumn { column } => Ok(SkillOutput::Summaries(vec![
+            dc_engine::stats::describe_column(primary()?, column)?,
+        ])),
+        DescribeDataset => Ok(SkillOutput::Summaries(dc_engine::stats::describe_table(
+            primary()?,
+        ))),
+        ListDatasets => {
+            let mut lines = Vec::new();
+            for db_name in env.catalog.database_names() {
+                let db = env.catalog.database(db_name)?;
+                for info in db.dataset_listing() {
+                    lines.push(format!(
+                        "{}\t{}\t{} rows\t{} columns\t{}",
+                        info.database,
+                        info.dataset_name,
+                        info.num_rows,
+                        info.num_columns,
+                        info.columns.join(", ")
+                    ));
+                }
+            }
+            Ok(SkillOutput::Text(lines.join("\n")))
+        }
+        ShowHead { n } => Ok(SkillOutput::Text(primary()?.render(*n))),
+        CountRows => Ok(SkillOutput::Text(primary()?.num_rows().to_string())),
+        ProfileMissing => {
+            let t = primary()?;
+            let mut names = Vec::new();
+            let mut nulls = Vec::new();
+            let mut pcts = Vec::new();
+            for (f, c) in t.schema().fields().iter().zip(t.columns()) {
+                names.push(f.name.clone());
+                nulls.push(c.null_count() as i64);
+                pcts.push(if t.num_rows() == 0 {
+                    0.0
+                } else {
+                    c.null_count() as f64 / t.num_rows() as f64 * 100.0
+                });
+            }
+            Ok(SkillOutput::Table(Table::new(vec![
+                ("column", Column::from_strs(names)),
+                ("missing", Column::from_ints(nulls)),
+                ("missing_pct", Column::from_floats(pcts)),
+            ])?))
+        }
+
+        // ----- visualization -----
+        Visualize { kpi, by } => {
+            let charts = auto_visualize(primary()?, kpi, by)
+                .map_err(|e| SkillError::Viz(e.to_string()))?;
+            Ok(SkillOutput::Charts(charts))
+        }
+        Plot {
+            chart,
+            x,
+            y,
+            color,
+            size,
+            for_each,
+        } => {
+            let t = primary()?;
+            // Keep only the involved columns in the spec payload.
+            let mut cols: Vec<&str> = Vec::new();
+            for c in [x, y, color, size, for_each].into_iter().flatten() {
+                if !cols.iter().any(|e| e.eq_ignore_ascii_case(c)) {
+                    cols.push(c);
+                }
+            }
+            let data = if cols.is_empty() { t.clone() } else { t.select(&cols)? };
+            let title = match (x, y) {
+                (Some(x), Some(y)) => format!("{y} over {x}"),
+                (Some(x), None) => format!("Distribution of {x}"),
+                _ => "chart".to_string(),
+            };
+            Ok(SkillOutput::Charts(vec![ChartSpec {
+                name: "Chart".to_string(),
+                chart: *chart,
+                title,
+                x: x.clone(),
+                y: y.clone(),
+                color: color.clone(),
+                size: size.clone(),
+                for_each: for_each.clone(),
+                data,
+            }]))
+        }
+
+        // ----- wrangling -----
+        KeepRows { predicate } => Ok(SkillOutput::Table(filter(primary()?, predicate)?)),
+        DropRows { predicate } => Ok(SkillOutput::Table(filter(
+            primary()?,
+            &predicate.clone().not(),
+        )?)),
+        KeepColumns { columns } => {
+            let refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+            Ok(SkillOutput::Table(primary()?.select(&refs)?))
+        }
+        DropColumns { columns } => {
+            let mut t = primary()?.clone();
+            for c in columns {
+                t = t.drop_column(c)?;
+            }
+            Ok(SkillOutput::Table(t))
+        }
+        RenameColumn { from, to } => Ok(SkillOutput::Table(primary()?.rename_column(from, to)?)),
+        CreateColumn { name, expr } => {
+            let t = primary()?;
+            let col = dc_engine::eval::eval(t, expr)?;
+            Ok(SkillOutput::Table(t.with_column(name, col)?))
+        }
+        CreateConstantColumn { name, value } => {
+            let t = primary()?;
+            let col = dc_engine::eval::eval(t, &Expr::Literal(value.clone()))?;
+            Ok(SkillOutput::Table(t.with_column(name, col)?))
+        }
+        Compute { aggs, for_each } => {
+            let keys: Vec<&str> = for_each.iter().map(|s| s.as_str()).collect();
+            Ok(SkillOutput::Table(group_by(primary()?, &keys, aggs)?))
+        }
+        Pivot {
+            index,
+            columns,
+            values,
+            agg,
+        } => Ok(SkillOutput::Table(pivot(
+            primary()?,
+            index,
+            columns,
+            values,
+            *agg,
+        )?)),
+        Sort { keys } => {
+            let sk: Vec<SortKey> = keys
+                .iter()
+                .map(|(c, asc)| {
+                    if *asc {
+                        SortKey::asc(c.clone())
+                    } else {
+                        SortKey::desc(c.clone())
+                    }
+                })
+                .collect();
+            Ok(SkillOutput::Table(sort_by(primary()?, &sk)?))
+        }
+        Top { column, n } => Ok(SkillOutput::Table(top_n(primary()?, column, *n)?)),
+        Limit { n } => Ok(SkillOutput::Table(limit(primary()?, *n))),
+        Concat {
+            remove_duplicates, ..
+        } => Ok(SkillOutput::Table(concat(
+            &[primary()?, secondary()?],
+            *remove_duplicates,
+        )?)),
+        Join {
+            left_on,
+            right_on,
+            how,
+            ..
+        } => {
+            let l: Vec<&str> = left_on.iter().map(|s| s.as_str()).collect();
+            let r: Vec<&str> = right_on.iter().map(|s| s.as_str()).collect();
+            Ok(SkillOutput::Table(join(
+                primary()?,
+                secondary()?,
+                &l,
+                &r,
+                *how,
+            )?))
+        }
+        Distinct { columns } => {
+            let refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+            Ok(SkillOutput::Table(distinct(primary()?, &refs)?))
+        }
+        DropMissing { columns } => {
+            let t = primary()?;
+            let cols: Vec<String> = if columns.is_empty() {
+                t.schema().names().iter().map(|s| s.to_string()).collect()
+            } else {
+                columns.clone()
+            };
+            let pred = cols
+                .iter()
+                .map(|c| Expr::col(c.clone()).is_not_null())
+                .reduce(|a, b| a.and(b))
+                .ok_or_else(|| SkillError::invalid("no columns to check"))?;
+            Ok(SkillOutput::Table(filter(t, &pred)?))
+        }
+        FillMissing { column, value } => {
+            let t = primary()?;
+            let filled = dc_engine::eval::eval(
+                t,
+                &Expr::func(
+                    ScalarFunc::Coalesce,
+                    vec![Expr::col(column.clone()), Expr::Literal(value.clone())],
+                ),
+            )?;
+            Ok(SkillOutput::Table(t.with_column(column, filled)?))
+        }
+        ReplaceValues { column, from, to } => {
+            let t = primary()?;
+            let expr = Expr::func(
+                ScalarFunc::If,
+                vec![
+                    Expr::col(column.clone()).eq(Expr::Literal(from.clone())),
+                    Expr::Literal(to.clone()),
+                    Expr::col(column.clone()),
+                ],
+            );
+            let replaced = dc_engine::eval::eval(t, &expr)?;
+            Ok(SkillOutput::Table(t.with_column(column, replaced)?))
+        }
+        CastColumn { column, to } => {
+            let t = primary()?;
+            let cast = t.column(column)?.cast(*to)?;
+            Ok(SkillOutput::Table(t.with_column(column, cast)?))
+        }
+        BinColumn {
+            column,
+            width,
+            name,
+        } => {
+            let t = primary()?;
+            let out_name = name
+                .clone()
+                .unwrap_or_else(|| format!("{column}Int{width}"));
+            let binned = dc_engine::eval::eval(
+                t,
+                &Expr::func(
+                    ScalarFunc::Bin,
+                    vec![Expr::col(column.clone()), Expr::lit(*width)],
+                ),
+            )?;
+            Ok(SkillOutput::Table(t.with_column(&out_name, binned)?))
+        }
+        ExtractDatePart { column, part, name } => {
+            let t = primary()?;
+            let func = match part {
+                DatePart::Year => ScalarFunc::Year,
+                DatePart::Month => ScalarFunc::Month,
+                DatePart::Day => ScalarFunc::Day,
+            };
+            let out_name = name
+                .clone()
+                .unwrap_or_else(|| format!("{column}_{}", part.name()));
+            let extracted =
+                dc_engine::eval::eval(t, &Expr::func(func, vec![Expr::col(column.clone())]))?;
+            Ok(SkillOutput::Table(t.with_column(&out_name, extracted)?))
+        }
+        TrimColumn { column } => {
+            let t = primary()?;
+            let trimmed = dc_engine::eval::eval(
+                t,
+                &Expr::func(ScalarFunc::Trim, vec![Expr::col(column.clone())]),
+            )?;
+            Ok(SkillOutput::Table(t.with_column(column, trimmed)?))
+        }
+        Sample { fraction, seed } => Ok(SkillOutput::Table(sample_fraction(
+            primary()?,
+            *fraction,
+            *seed,
+        )?)),
+        ShuffleRows { seed } => {
+            let t = primary()?;
+            let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            idx.shuffle(&mut rng);
+            Ok(SkillOutput::Table(t.take(&idx)))
+        }
+
+        // ----- machine learning -----
+        TrainModel {
+            name,
+            target,
+            features,
+            method,
+        } => {
+            let t = primary()?;
+            let features = if features.is_empty() {
+                // Default: every numeric column except the target.
+                t.schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| {
+                        f.dtype.is_numeric() && !f.name.eq_ignore_ascii_case(target)
+                    })
+                    .map(|f| f.name.clone())
+                    .collect()
+            } else {
+                features.clone()
+            };
+            let model = train_model(t, name.clone(), target, &features, *method)
+                .map_err(|e| SkillError::Ml(e.to_string()))?;
+            env.put_model(model.clone());
+            Ok(SkillOutput::Model(model))
+        }
+        Predict { model } => {
+            let t = primary()?;
+            let m = env.model(model)?.clone();
+            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let name = format!("Predicted_{}", m.target);
+            let name = t.schema().fresh_name(&name);
+            Ok(SkillOutput::Table(t.with_column(&name, preds)?))
+        }
+        PredictTimeSeries {
+            measures,
+            horizon,
+            time_column,
+        } => Ok(SkillOutput::Table(predict_time_series(
+            primary()?,
+            measures,
+            *horizon,
+            time_column,
+        )?)),
+        DetectOutliers { column, method } => {
+            let t = primary()?;
+            let col = t.column(column)?;
+            let vals: Vec<Option<f64>> = (0..col.len()).map(|i| col.numeric_at(i)).collect();
+            let flags =
+                detect_outliers(&vals, *method).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let name = t.schema().fresh_name(&format!("IsOutlier_{column}"));
+            Ok(SkillOutput::Table(
+                t.with_column(&name, Column::from_bools(flags))?,
+            ))
+        }
+        Cluster { k, features } => {
+            let t = primary()?;
+            let cols: Vec<&Column> = features
+                .iter()
+                .map(|f| t.column(f))
+                .collect::<dc_engine::Result<_>>()?;
+            let mut points = Vec::new();
+            let mut kept = Vec::new();
+            'rows: for r in 0..t.num_rows() {
+                let mut p = Vec::with_capacity(cols.len());
+                for c in &cols {
+                    match c.numeric_at(r) {
+                        Some(v) => p.push(v),
+                        None => continue 'rows,
+                    }
+                }
+                points.push(p);
+                kept.push(r);
+            }
+            let model =
+                fit_kmeans(&points, *k, 42).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let labels = model
+                .predict(&points)
+                .map_err(|e| SkillError::Ml(e.to_string()))?;
+            let mut col_vals: Vec<Option<i64>> = vec![None; t.num_rows()];
+            for (&r, &l) in kept.iter().zip(&labels) {
+                col_vals[r] = Some(l as i64);
+            }
+            let name = t.schema().fresh_name("Cluster");
+            Ok(SkillOutput::Table(
+                t.with_column(&name, Column::from_opt_ints(col_vals))?,
+            ))
+        }
+        EvaluateModel { model, target } => {
+            let t = primary()?;
+            let m = env.model(model)?.clone();
+            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let actual_col = t.column(target)?;
+            match m.kind {
+                ModelKind::Regression(_) => {
+                    let mut a = Vec::new();
+                    let mut p = Vec::new();
+                    for i in 0..t.num_rows() {
+                        if let (Some(av), Some(pv)) =
+                            (actual_col.numeric_at(i), preds.numeric_at(i))
+                        {
+                            a.push(av);
+                            p.push(pv);
+                        }
+                    }
+                    let rmse =
+                        dc_ml::metrics::rmse(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let mae =
+                        dc_ml::metrics::mae(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let r2 = dc_ml::metrics::r_squared(&a, &p)
+                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    Ok(SkillOutput::Table(Table::new(vec![
+                        ("metric", Column::from_strs(vec!["rmse", "mae", "r_squared"])),
+                        ("value", Column::from_floats(vec![rmse, mae, r2])),
+                    ])?))
+                }
+                ModelKind::Classification(_) => {
+                    let mut a = Vec::new();
+                    let mut p = Vec::new();
+                    for i in 0..t.num_rows() {
+                        let av = actual_col.get(i);
+                        let pv = preds.get(i);
+                        if !av.is_null() && !pv.is_null() {
+                            a.push(av.render());
+                            p.push(pv.render());
+                        }
+                    }
+                    let acc = dc_ml::metrics::accuracy(&a, &p)
+                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    Ok(SkillOutput::Table(Table::new(vec![
+                        ("metric", Column::from_strs(vec!["accuracy"])),
+                        ("value", Column::from_floats(vec![acc])),
+                    ])?))
+                }
+            }
+        }
+
+        // ----- SQL -----
+        RunSql { query } => {
+            let provider = CatalogProvider { env };
+            let (out, _stats) = dc_sql::run_sql(query, &provider)?;
+            Ok(SkillOutput::Table(out))
+        }
+        ExportCsv => Ok(SkillOutput::Text(write_csv(primary()?))),
+
+        // ----- collaboration / platform -----
+        SaveArtifact { name } => {
+            let t = primary()?.clone();
+            env.save_table(name.clone(), t);
+            Ok(SkillOutput::Text(format!("Saved artifact {name}")))
+        }
+        Snapshot { name } => {
+            let t = primary()?.clone();
+            env.snapshots.create(
+                name.clone(),
+                t,
+                "session",
+                Vec::new(),
+                None,
+            )?;
+            Ok(SkillOutput::Text(format!("Created snapshot {name}")))
+        }
+        Define { phrase, expansion } => {
+            env.define(phrase.clone(), expansion.clone());
+            Ok(SkillOutput::Text(format!("Defined {phrase:?}")))
+        }
+        Comment { text } => Ok(SkillOutput::Text(text.clone())),
+        ShareArtifact {
+            artifact,
+            with_user,
+        } => Ok(SkillOutput::Text(format!(
+            "Shared {artifact} with {with_user}"
+        ))),
+    }
+}
+
+/// Time-series prediction (Figure 2 step 3): fit trend + seasonality on
+/// the measure columns, forecast `horizon` steps, and emit a table with
+/// the advanced time column, predicted measures, and
+/// `RecordType = "Predicted"`.
+fn predict_time_series(
+    t: &Table,
+    measures: &[String],
+    horizon: usize,
+    time_column: &str,
+) -> Result<Table> {
+    if horizon == 0 {
+        return Err(SkillError::invalid("horizon must be positive"));
+    }
+    if measures.is_empty() {
+        return Err(SkillError::invalid("at least one measure column required"));
+    }
+    // Sort by time first so the series is well ordered.
+    let sorted = sort_by(t, &[SortKey::asc(time_column)])?;
+    let time_col = sorted.column(time_column)?;
+    let is_date = time_col.dtype() == dc_engine::DataType::Date;
+
+    // Collect valid time points.
+    let times: Vec<f64> = (0..sorted.num_rows())
+        .filter_map(|i| time_col.numeric_at(i))
+        .collect();
+    if times.len() < 3 {
+        return Err(SkillError::Ml("need at least 3 time points".into()));
+    }
+    // Median spacing.
+    let mut deltas: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    deltas.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let spacing = deltas[deltas.len() / 2];
+
+    // Future time values.
+    let last = *times.last().expect("non-empty");
+    let future_times: Vec<Value> = (1..=horizon)
+        .map(|k| {
+            if is_date {
+                let base = last as i32;
+                // Quarterly/monthly/annual calendar stepping when the
+                // spacing matches; otherwise uniform day steps.
+                let stepped = if (89.0..=92.0).contains(&spacing) {
+                    dc_engine::date::add_months(base, 3 * k as i32)
+                } else if (28.0..=31.0).contains(&spacing) {
+                    dc_engine::date::add_months(base, k as i32)
+                } else if (365.0..=366.0).contains(&spacing) {
+                    dc_engine::date::add_years(base, k as i32)
+                } else {
+                    base + (spacing as i32) * k as i32
+                };
+                Value::Date(stepped)
+            } else {
+                Value::Float(last + spacing * k as f64)
+            }
+        })
+        .collect();
+
+    // One fitted model per measure; seasonality guessed from spacing
+    // (quarterly data gets an annual cycle).
+    let period = if is_date && (89.0..=92.0).contains(&spacing) {
+        4
+    } else if is_date && (28.0..=31.0).contains(&spacing) {
+        12
+    } else {
+        1
+    };
+    let mut out = Table::empty();
+    let mut time_out = Column::empty(time_col.dtype());
+    for v in &future_times {
+        time_out.push_value(v)?;
+    }
+    out.add_column(
+        &sorted
+            .schema()
+            .field(time_column)
+            .expect("resolved above")
+            .name
+            .clone(),
+        time_out,
+    )?;
+    for m in measures {
+        let col = sorted.column(m)?;
+        if !col.dtype().is_numeric() {
+            return Err(SkillError::invalid(format!(
+                "measure column {m} must be numeric"
+            )));
+        }
+        let series: Vec<f64> = (0..sorted.num_rows())
+            .filter_map(|i| {
+                time_col.numeric_at(i)?;
+                col.numeric_at(i)
+            })
+            .collect();
+        let period = if series.len() > 2 * period { period } else { 1 };
+        let model =
+            fit_time_series(&series, period).map_err(|e| SkillError::Ml(e.to_string()))?;
+        let preds = model.forecast(horizon);
+        out.add_column(m, Column::from_floats(preds))?;
+    }
+    out.add_column(
+        "RecordType",
+        Column::from_strs(vec!["Predicted"; horizon]),
+    )?;
+    Ok(out)
+}
+
+/// SQL table provider over every database in the environment's catalog
+/// (tables resolve by bare name across databases, first match wins).
+struct CatalogProvider<'e> {
+    env: &'e Env,
+}
+
+impl dc_sql::TableProvider for CatalogProvider<'_> {
+    fn get_table(&self, name: &str) -> dc_sql::Result<Table> {
+        for db_name in self.env.catalog.database_names() {
+            if let Ok(db) = self.env.catalog.database(db_name) {
+                if db.table_names().iter().any(|t| t.eq_ignore_ascii_case(name)) {
+                    let (t, _) = db
+                        .scan(name, &ScanOptions::full())
+                        .map_err(|e| dc_sql::SqlError::plan(e.to_string()))?;
+                    return Ok(t);
+                }
+            }
+        }
+        Err(dc_sql::SqlError::TableNotFound {
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Counters for one executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    pub nodes_executed: u64,
+    pub cache_hits: u64,
+}
+
+/// Executes DAG nodes with a sub-DAG result cache (§2.2: "the conversion
+/// of skill calls to execution tasks is also aware of a caching layer
+/// that can execute directly on previous results based on a shared skill
+/// sub-DAG").
+#[derive(Debug, Default)]
+pub struct Executor {
+    cache: HashMap<String, (SkillOutput, Table)>,
+    pub stats: ExecutorStats,
+}
+
+impl Executor {
+    /// A fresh executor with an empty cache.
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Execute `target` (and any un-cached ancestors), returning its
+    /// output. Non-transforming skills pass their input table through to
+    /// downstream consumers.
+    pub fn run(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SkillOutput> {
+        let order = dag.ancestors(target)?;
+        let mut keys: HashMap<NodeId, String> = HashMap::new();
+        for &id in &order {
+            let node = dag.node(id)?;
+            let input_keys: Vec<&str> = node
+                .inputs
+                .iter()
+                .map(|i| keys[i].as_str())
+                .collect();
+            let key = format!("{}|{}", node.call.cache_key(), input_keys.join("|"));
+            keys.insert(id, key.clone());
+            if self.cache.contains_key(&key) {
+                self.stats.cache_hits += 1;
+                continue;
+            }
+            let input_tables: Vec<Table> = node
+                .inputs
+                .iter()
+                .map(|i| self.cache[&keys[i]].1.clone())
+                .collect();
+            let input_refs: Vec<&Table> = input_tables.iter().collect();
+            let output = execute_call(&node.call, &input_refs, env)?;
+            self.stats.nodes_executed += 1;
+            let flow_table = match output.as_table() {
+                Some(t) if node.call.transforms_data() => t.clone(),
+                _ => input_tables.into_iter().next().unwrap_or_else(Table::empty),
+            };
+            self.cache.insert(key, (output, flow_table));
+        }
+        let key = &keys[&target];
+        Ok(self.cache[key].0.clone())
+    }
+
+    /// The downstream-facing table of a node executed by [`Executor::run`].
+    pub fn table_of(&mut self, dag: &SkillDag, node: NodeId, env: &mut Env) -> Result<Table> {
+        self.run(dag, node, env)?;
+        let n = dag.node(node)?;
+        let mut keys: HashMap<NodeId, String> = HashMap::new();
+        for &id in &dag.ancestors(node)? {
+            let nd = dag.node(id)?;
+            let input_keys: Vec<&str> = nd.inputs.iter().map(|i| keys[i].as_str()).collect();
+            keys.insert(
+                id,
+                format!("{}|{}", nd.call.cache_key(), input_keys.join("|")),
+            );
+        }
+        Ok(self.cache[&keys[&n.id]].1.clone())
+    }
+
+    /// Drop all cached results.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached sub-DAG results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_storage::{CloudDatabase, Pricing};
+
+    fn env_with_table() -> Env {
+        let mut env = Env::new();
+        let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+        let t = Table::new(vec![
+            ("x", Column::from_ints((0..100).collect())),
+            (
+                "category",
+                Column::from_strs((0..100).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect()),
+            ),
+        ])
+        .unwrap();
+        db.create_table("numbers", &t).unwrap();
+        env.catalog.add_database(db).unwrap();
+        env
+    }
+
+    fn load_dag() -> (SkillDag, NodeId) {
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "MainDatabase".into(),
+                    table: "numbers".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        (dag, load)
+    }
+
+    #[test]
+    fn load_filter_limit_pipeline() {
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").ge(Expr::lit(50i64)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let l = dag.add(SkillCall::Limit { n: 5 }, vec![f]).unwrap();
+        let mut ex = Executor::new();
+        let out = ex.run(&dag, l, &mut env).unwrap().into_table().unwrap();
+        assert_eq!(out.num_rows(), 5);
+        assert_eq!(out.value(0, "x").unwrap(), Value::Int(50));
+    }
+
+    #[test]
+    fn cache_hits_on_shared_subdag() {
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").ge(Expr::lit(10i64)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let a = dag.add(SkillCall::Limit { n: 5 }, vec![f]).unwrap();
+        let b = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec::count_records("n")],
+                    for_each: vec!["category".into()],
+                },
+                vec![f],
+            )
+            .unwrap();
+        let mut ex = Executor::new();
+        ex.run(&dag, a, &mut env).unwrap();
+        assert_eq!(ex.stats.nodes_executed, 3);
+        assert_eq!(ex.stats.cache_hits, 0);
+        // Second request shares the load+filter sub-DAG.
+        ex.run(&dag, b, &mut env).unwrap();
+        assert_eq!(ex.stats.nodes_executed, 4); // only the Compute ran
+        assert_eq!(ex.stats.cache_hits, 2);
+        // The cloud table was scanned exactly once.
+        assert_eq!(
+            env.catalog.database("MainDatabase").unwrap().meter().queries(),
+            1
+        );
+    }
+
+    #[test]
+    fn exploration_passes_data_through() {
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let describe = dag
+            .add(SkillCall::DescribeColumn { column: "x".into() }, vec![load])
+            .unwrap();
+        let after = dag.add(SkillCall::Limit { n: 3 }, vec![describe]).unwrap();
+        let mut ex = Executor::new();
+        let summaries = ex.run(&dag, describe, &mut env).unwrap();
+        assert!(matches!(summaries, SkillOutput::Summaries(_)));
+        // Downstream of the describe, the table still flows.
+        let out = ex.run(&dag, after, &mut env).unwrap().into_table().unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn compute_skill_matches_figure3() {
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let c = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec::new(
+                        dc_engine::AggFunc::Count,
+                        "x",
+                        "NumberOfCases",
+                    )],
+                    for_each: vec!["category".into()],
+                },
+                vec![load],
+            )
+            .unwrap();
+        let mut ex = Executor::new();
+        let out = ex.run(&dag, c, &mut env).unwrap().into_table().unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.schema().names(), vec!["category", "NumberOfCases"]);
+    }
+
+    #[test]
+    fn train_and_predict_roundtrip() {
+        let mut env = Env::new();
+        env.add_file(
+            "train.csv",
+            &{
+                let mut s = String::from("x,y\n");
+                for i in 0..50 {
+                    s.push_str(&format!("{i},{}\n", 2 * i + 1));
+                }
+                s
+            },
+        );
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(SkillCall::LoadFile { path: "train.csv".into() }, vec![])
+            .unwrap();
+        let train = dag
+            .add(
+                SkillCall::TrainModel {
+                    name: "m".into(),
+                    target: "y".into(),
+                    features: vec![],
+                    method: dc_ml::MlMethod::Auto,
+                },
+                vec![load],
+            )
+            .unwrap();
+        let pred = dag
+            .add(SkillCall::Predict { model: "m".into() }, vec![train])
+            .unwrap();
+        let mut ex = Executor::new();
+        let out = ex.run(&dag, pred, &mut env).unwrap().into_table().unwrap();
+        let p = out.value(10, "Predicted_y").unwrap().as_f64().unwrap();
+        assert!((p - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_series_prediction_outputs_record_type() {
+        // The Figure 2 shape: quarterly dates, 12-step horizon.
+        let dates: Vec<i32> = (0..40)
+            .map(|q| dc_engine::date::add_months(dc_engine::date::days_from_ymd(2005, 1, 1), 3 * q))
+            .collect();
+        let vals: Vec<f64> = (0..40).map(|q| 100.0 + 2.0 * q as f64).collect();
+        let t = Table::new(vec![
+            ("DATE", Column::from_dates(dates)),
+            ("GDPC1", Column::from_floats(vals)),
+        ])
+        .unwrap();
+        let out = predict_time_series(&t, &["GDPC1".to_string()], 12, "DATE").unwrap();
+        assert_eq!(out.num_rows(), 12);
+        assert_eq!(out.schema().names(), vec!["DATE", "GDPC1", "RecordType"]);
+        assert_eq!(
+            out.value(0, "RecordType").unwrap(),
+            Value::Str("Predicted".into())
+        );
+        // First forecast continues the trend.
+        let first = out.value(0, "GDPC1").unwrap().as_f64().unwrap();
+        assert!((first - 180.0).abs() < 1.0, "{first}");
+        // Dates advance quarterly.
+        assert_eq!(
+            out.value(0, "DATE").unwrap(),
+            Value::Date(dc_engine::date::add_months(
+                dc_engine::date::days_from_ymd(2005, 1, 1),
+                3 * 40
+            ))
+        );
+    }
+
+    #[test]
+    fn run_sql_against_catalog() {
+        let mut env = env_with_table();
+        let mut dag = SkillDag::new();
+        let q = dag
+            .add(
+                SkillCall::RunSql {
+                    query: "SELECT category, COUNT(*) AS n FROM numbers GROUP BY category".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mut ex = Executor::new();
+        let out = ex.run(&dag, q, &mut env).unwrap().into_table().unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn snapshot_skill_persists() {
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let snap = dag
+            .add(SkillCall::Snapshot { name: "snap1".into() }, vec![load])
+            .unwrap();
+        let mut ex = Executor::new();
+        ex.run(&dag, snap, &mut env).unwrap();
+        assert_eq!(env.snapshots.read("snap1").unwrap().num_rows(), 100);
+        // UseSnapshot reads it back.
+        let mut dag2 = SkillDag::new();
+        let use_snap = dag2
+            .add(SkillCall::UseSnapshot { name: "snap1".into() }, vec![])
+            .unwrap();
+        let out = ex
+            .run(&dag2, use_snap, &mut env)
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(out.num_rows(), 100);
+    }
+
+    #[test]
+    fn missing_sources_error() {
+        let mut env = Env::new();
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(SkillCall::LoadFile { path: "none.csv".into() }, vec![])
+            .unwrap();
+        let mut ex = Executor::new();
+        assert!(matches!(
+            ex.run(&dag, load, &mut env),
+            Err(SkillError::SourceNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_and_replace_values() {
+        let mut env = Env::new();
+        env.add_file("d.csv", "v\n1\n\n3\n");
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .unwrap();
+        let fill = dag
+            .add(
+                SkillCall::FillMissing {
+                    column: "v".into(),
+                    value: Value::Int(0),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let replace = dag
+            .add(
+                SkillCall::ReplaceValues {
+                    column: "v".into(),
+                    from: Value::Int(3),
+                    to: Value::Int(30),
+                },
+                vec![fill],
+            )
+            .unwrap();
+        let mut ex = Executor::new();
+        let out = ex
+            .run(&dag, replace, &mut env)
+            .unwrap()
+            .into_table()
+            .unwrap();
+        assert_eq!(out.value(1, "v").unwrap(), Value::Int(0));
+        assert_eq!(out.value(2, "v").unwrap(), Value::Int(30));
+    }
+}

@@ -1,0 +1,35 @@
+//! # dc-skills — the skill layer (§2 of the paper)
+//!
+//! DataChat's core abstraction: ~50 high-level, declarative [`skill`]s
+//! organized into the categories of Table 1. Users (or the GEL parser, the
+//! Python API, or NL2Code) build a lazy [`dag::SkillDag`]; execution
+//! converts it to tasks:
+//!
+//! * [`planner`] — consolidates SQL-able runs into single flattened SQL
+//!   queries (Figure 4) via `dc-sql`'s generator;
+//! * [`exec`] — the interpreter with a shared sub-DAG result cache
+//!   (§2.2's caching layer);
+//! * [`slicing`] — dead-step elimination plus adjacent-call merging, so
+//!   saved artifacts carry minimal recipes (Figure 5);
+//! * [`env`] — the world skills run against (catalog, snapshots, virtual
+//!   files/URLs, models, phrase definitions).
+
+pub mod dag;
+pub mod env;
+pub mod error;
+pub mod exec;
+pub mod exec_plan;
+pub mod output;
+pub mod planner;
+pub mod skill;
+pub mod slicing;
+
+pub use dag::{NodeId, SkillDag, SkillNode};
+pub use env::Env;
+pub use error::{Result, SkillError};
+pub use exec::{execute_call, Executor, ExecutorStats};
+pub use exec_plan::{run_planned, PlannedStats};
+pub use output::SkillOutput;
+pub use planner::{plan, ExecutionTask};
+pub use skill::{registry, Category, DatePart, SkillCall, SkillInfo};
+pub use slicing::{slice, sliced_recipe, SliceStats};

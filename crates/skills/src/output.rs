@@ -1,0 +1,81 @@
+//! Skill outputs — the artifacts of §2.3.
+
+use dc_engine::stats::ColumnSummary;
+use dc_engine::Table;
+use dc_ml::Model;
+use dc_viz::ChartSpec;
+
+use crate::error::{Result, SkillError};
+
+/// What a skill produced. Non-table artifacts (charts, models, text)
+/// leave the data lineage untouched: downstream skills keep operating on
+/// the producing node's input table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkillOutput {
+    Table(Table),
+    Charts(Vec<ChartSpec>),
+    Model(Model),
+    Summaries(Vec<ColumnSummary>),
+    Text(String),
+}
+
+impl SkillOutput {
+    /// Short kind name for error messages and artifact listings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SkillOutput::Table(_) => "table",
+            SkillOutput::Charts(_) => "charts",
+            SkillOutput::Model(_) => "model",
+            SkillOutput::Summaries(_) => "summaries",
+            SkillOutput::Text(_) => "text",
+        }
+    }
+
+    /// Extract the table, erroring otherwise.
+    pub fn into_table(self) -> Result<Table> {
+        match self {
+            SkillOutput::Table(t) => Ok(t),
+            other => Err(SkillError::WrongOutputKind {
+                expected: "table".into(),
+                actual: other.kind().into(),
+            }),
+        }
+    }
+
+    /// Borrow the table if this is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            SkillOutput::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Borrow the chart specs if present.
+    pub fn as_charts(&self) -> Option<&[ChartSpec]> {
+        match self {
+            SkillOutput::Charts(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Column;
+
+    #[test]
+    fn kind_and_extraction() {
+        let t = Table::new(vec![("x", Column::from_ints(vec![1]))]).unwrap();
+        let out = SkillOutput::Table(t.clone());
+        assert_eq!(out.kind(), "table");
+        assert_eq!(out.as_table().unwrap(), &t);
+        assert_eq!(out.into_table().unwrap(), t);
+        let text = SkillOutput::Text("hi".into());
+        assert!(text.as_table().is_none());
+        assert!(matches!(
+            text.into_table(),
+            Err(SkillError::WrongOutputKind { .. })
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! The synthetic dev split (Figure 7) and stratified evaluation sets
+//! (Table 2).
+//!
+//! Figure 7 reports the Spider dev split's zone counts — (low, low) 638,
+//! (high, low) 127, (low, high) 246, (high, high) 29 — a long-tailed
+//! distribution. The generator reproduces those marginals; the paper's
+//! test sets are a stratified sample of 25 per zone (T_spider, ~10% of
+//! the dev split) plus a custom set of 20/22/26/22 drawn from recently
+//! released data.
+
+use dc_nl::metrics::Zone;
+use dc_nl::SemanticLayer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::domains::{custom_domains, pool_semantics, spider_domains, Domain};
+use crate::gen::{make_sample, Sample};
+
+/// The Figure 7 zone counts for the dev split.
+pub const DEV_ZONE_COUNTS: [(Zone, usize); 4] = [
+    (Zone::LowLow, 638),
+    (Zone::HighLow, 127),
+    (Zone::LowHigh, 246),
+    (Zone::HighHigh, 29),
+];
+
+/// The Table 2 per-zone sample counts for T_spider.
+pub const SPIDER_TEST_COUNTS: [(Zone, usize); 4] = [
+    (Zone::LowLow, 25),
+    (Zone::LowHigh, 25),
+    (Zone::HighLow, 25),
+    (Zone::HighHigh, 25),
+];
+
+/// The Table 2 per-zone sample counts for T_custom.
+pub const CUSTOM_TEST_COUNTS: [(Zone, usize); 4] = [
+    (Zone::LowLow, 20),
+    (Zone::LowHigh, 22),
+    (Zone::HighLow, 26),
+    (Zone::HighHigh, 22),
+];
+
+/// Generate samples with the given per-zone counts over `domains`,
+/// cycling domains round-robin. Samples whose measured zone misses the
+/// target are regenerated with fresh seeds (bounded retries).
+pub fn generate_with_counts(
+    domains: &[Domain],
+    counts: &[(Zone, usize)],
+    semantics: &SemanticLayer,
+    seed: u64,
+) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    let mut attempt_seed = seed;
+    for &(zone, n) in counts {
+        let mut produced = 0usize;
+        let mut di = 0usize;
+        let mut consecutive_misses = 0usize;
+        while produced < n {
+            let domain = &domains[di % domains.len()];
+            let mut sample = None;
+            for retry in 0..12u64 {
+                let s = make_sample(id, domain, zone, semantics, attempt_seed ^ (retry << 17));
+                if s.zone == zone {
+                    sample = Some(s);
+                    break;
+                }
+            }
+            attempt_seed = attempt_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match sample {
+                Some(s) => {
+                    out.push(s);
+                    produced += 1;
+                    id += 1;
+                    consecutive_misses = 0;
+                }
+                None => {
+                    consecutive_misses += 1;
+                    assert!(
+                        consecutive_misses < 64,
+                        "zone {zone:?} appears unreachable for this domain pool \
+                         (generator bug — see dc-spider::gen)"
+                    );
+                }
+            }
+            di += 1;
+        }
+    }
+    out
+}
+
+/// The full synthetic dev split (1040 samples, Figure 7 marginals).
+pub fn dev_split(seed: u64) -> Vec<Sample> {
+    let domains = spider_domains();
+    let semantics = pool_semantics(&domains);
+    generate_with_counts(&domains, &DEV_ZONE_COUNTS, &semantics, seed)
+}
+
+/// Stratified T_spider: `counts` samples per zone drawn from a dev-split
+/// style population ("we randomly sample an equal number ... from each of
+/// the characterized zones").
+pub fn t_spider(seed: u64) -> Vec<Sample> {
+    let domains = spider_domains();
+    let semantics = pool_semantics(&domains);
+    let mut samples = generate_with_counts(&domains, &SPIDER_TEST_COUNTS, &semantics, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+    samples.shuffle(&mut rng);
+    samples
+}
+
+/// T_custom: the recently-released-data test set on unseen domains.
+pub fn t_custom(seed: u64) -> Vec<Sample> {
+    let domains = custom_domains();
+    let semantics = pool_semantics(&domains);
+    let mut samples = generate_with_counts(&domains, &CUSTOM_TEST_COUNTS, &semantics, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdcba);
+    samples.shuffle(&mut rng);
+    samples
+}
+
+/// Zone histogram of a sample set (the Figure 7 annotation).
+pub fn zone_histogram(samples: &[Sample]) -> Vec<(Zone, usize)> {
+    Zone::all()
+        .into_iter()
+        .map(|z| (z, samples.iter().filter(|s| s.zone == z).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_split_matches_figure7_counts() {
+        let dev = dev_split(42);
+        assert_eq!(dev.len(), 1040);
+        let hist = zone_histogram(&dev);
+        for (zone, n) in hist {
+            let expected = DEV_ZONE_COUNTS
+                .iter()
+                .find(|(z, _)| *z == zone)
+                .unwrap()
+                .1;
+            assert_eq!(n, expected, "zone {zone:?}");
+        }
+    }
+
+    #[test]
+    fn dev_split_is_long_tailed() {
+        // Figure 7: "most samples are characterized as (low, low)" and
+        // the high zones are thin.
+        let dev = dev_split(42);
+        let hist = zone_histogram(&dev);
+        let count = |z: Zone| hist.iter().find(|(h, _)| *h == z).unwrap().1;
+        assert!(count(Zone::LowLow) > dev.len() / 2);
+        assert!(count(Zone::HighHigh) < dev.len() / 20);
+    }
+
+    #[test]
+    fn t_spider_is_balanced_and_about_ten_percent() {
+        let t = t_spider(7);
+        assert_eq!(t.len(), 100);
+        for (_, n) in zone_histogram(&t) {
+            assert_eq!(n, 25);
+        }
+        // "roughly 10% of the entire dev split"
+        assert!((t.len() as f64 / 1040.0 - 0.1).abs() < 0.005);
+    }
+
+    #[test]
+    fn t_custom_counts_match_table2() {
+        let t = t_custom(7);
+        assert_eq!(t.len(), 90);
+        let hist = zone_histogram(&t);
+        let count = |z: Zone| hist.iter().find(|(h, _)| *h == z).unwrap().1;
+        assert_eq!(count(Zone::LowLow), 20);
+        assert_eq!(count(Zone::LowHigh), 22);
+        assert_eq!(count(Zone::HighLow), 26);
+        assert_eq!(count(Zone::HighHigh), 22);
+        assert!(t.iter().all(|s| s.is_custom));
+    }
+
+    #[test]
+    fn splits_are_deterministic() {
+        assert_eq!(t_spider(3).len(), t_spider(3).len());
+        let a = t_spider(3);
+        let b = t_spider(3);
+        assert_eq!(a[0].question, b[0].question);
+        assert_eq!(a[50].gold_program, b[50].gold_program);
+    }
+
+    #[test]
+    fn sample_ids_unique() {
+        let dev = dev_split(1);
+        let mut ids: Vec<usize> = dev.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), dev.len());
+    }
+}

@@ -1,0 +1,375 @@
+//! Benchmark domains: schemas, synthetic data, naming styles.
+//!
+//! Spider-like domains use clean, word-like identifiers; the custom
+//! evaluation set (§4.7's recently-released tabular data, which
+//! pre-trained models cannot have memorized) uses opaque, abbreviated
+//! identifiers — which is exactly what drives the schema-irrelevance
+//! term of M.
+
+use std::collections::BTreeMap;
+
+use dc_engine::{Column, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A column blueprint.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    pub name: &'static str,
+    /// Human phrase used in low-M questions ("price", "unit price").
+    pub phrase: &'static str,
+    pub kind: ColumnKind,
+}
+
+/// What data the column holds.
+#[derive(Debug, Clone)]
+pub enum ColumnKind {
+    /// Row id (unique ints).
+    Id,
+    /// Foreign key into `0..fanout`.
+    Key { fanout: i64 },
+    /// Categorical with the given values.
+    Category(&'static [&'static str]),
+    /// Uniform integer in range.
+    Int { lo: i64, hi: i64 },
+    /// Uniform float in range (never null — EA must not hinge on
+    /// count-vs-count-records distinctions).
+    Float { lo: f64, hi: f64 },
+}
+
+/// One table blueprint.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    pub name: &'static str,
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// A benchmark domain.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    pub name: &'static str,
+    pub tables: Vec<TableSpec>,
+    /// Vague filler words for high-M question paraphrases.
+    pub vague_fillers: &'static [&'static str],
+    /// Whether this domain belongs to the custom (unseen) evaluation set.
+    pub is_custom: bool,
+}
+
+impl Domain {
+    /// Generate the domain's tables (`rows` rows each, seeded).
+    pub fn make_tables(&self, rows: usize, seed: u64) -> BTreeMap<String, Table> {
+        let mut out = BTreeMap::new();
+        for (ti, spec) in self.tables.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(ti as u64 * 7919));
+            let mut t = Table::empty();
+            for col in &spec.columns {
+                let c = match &col.kind {
+                    ColumnKind::Id => Column::from_ints((0..rows as i64).collect()),
+                    ColumnKind::Key { fanout } => Column::from_ints(
+                        (0..rows).map(|_| rng.random_range(0..*fanout)).collect(),
+                    ),
+                    ColumnKind::Category(values) => Column::from_strs(
+                        (0..rows)
+                            .map(|_| values[rng.random_range(0..values.len())].to_string())
+                            .collect(),
+                    ),
+                    ColumnKind::Int { lo, hi } => Column::from_ints(
+                        (0..rows).map(|_| rng.random_range(*lo..*hi)).collect(),
+                    ),
+                    ColumnKind::Float { lo, hi } => Column::from_floats(
+                        (0..rows)
+                            .map(|_| (rng.random_range(*lo..*hi) * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
+                };
+                t.add_column(col.name, c).expect("blueprint columns unique");
+            }
+            out.insert(spec.name.to_string(), t);
+        }
+        out
+    }
+
+    /// The primary (first) table.
+    pub fn main_table(&self) -> &TableSpec {
+        &self.tables[0]
+    }
+
+    /// The domain's semantic layer: one annotation per column linking its
+    /// human phrase to the identifier (§4.2 — this is exactly the gap the
+    /// paper's semantic layer closes for opaque schemas).
+    pub fn semantic_layer(&self) -> dc_nl::SemanticLayer {
+        let mut sl = dc_nl::SemanticLayer::new();
+        for t in &self.tables {
+            for c in &t.columns {
+                if !c.phrase.eq_ignore_ascii_case(c.name) {
+                    sl.add(dc_nl::Concept {
+                        name: c.phrase.to_string(),
+                        keywords: vec![],
+                        kind: dc_nl::ConceptKind::Annotation {
+                            column: c.name.to_string(),
+                            note: format!("stored as {}", c.name),
+                        },
+                    });
+                }
+            }
+        }
+        sl
+    }
+
+    /// Schema hints for the NL2Code pipeline.
+    pub fn schema_hints(&self) -> dc_nl::SchemaHints {
+        let mut h = dc_nl::SchemaHints::default();
+        for t in &self.tables {
+            h.tables.insert(
+                t.name.to_string(),
+                t.columns.iter().map(|c| c.name.to_string()).collect(),
+            );
+        }
+        h
+    }
+}
+
+impl TableSpec {
+    /// Categorical columns (grouping candidates).
+    pub fn categories(&self) -> Vec<&ColumnSpec> {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c.kind, ColumnKind::Category(_)))
+            .collect()
+    }
+
+    /// Numeric measure columns.
+    pub fn measures(&self) -> Vec<&ColumnSpec> {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c.kind, ColumnKind::Int { .. } | ColumnKind::Float { .. }))
+            .collect()
+    }
+
+    /// The key column shared with a sibling table, if any.
+    pub fn key_column(&self) -> Option<&ColumnSpec> {
+        self.columns
+            .iter()
+            .find(|c| matches!(c.kind, ColumnKind::Key { .. } | ColumnKind::Id))
+    }
+}
+
+/// Union of the semantic layers of a domain pool (what the evaluation
+/// system's semantic layer would contain for those datasets).
+pub fn pool_semantics(domains: &[Domain]) -> dc_nl::SemanticLayer {
+    let mut sl = dc_nl::SemanticLayer::new();
+    for d in domains {
+        for c in d.semantic_layer().concepts() {
+            sl.add(c.clone());
+        }
+    }
+    sl
+}
+
+/// The Spider-like (seen) domains.
+pub fn spider_domains() -> Vec<Domain> {
+    vec![
+        Domain {
+            name: "sales",
+            is_custom: false,
+            vague_fillers: &["honestly", "roughly", "folks", "overall", "figures", "numbers"],
+            tables: vec![
+                TableSpec {
+                    name: "orders",
+                    columns: vec![
+                        ColumnSpec { name: "order_id", phrase: "orders", kind: ColumnKind::Id },
+                        ColumnSpec { name: "customer_id", phrase: "customer", kind: ColumnKind::Key { fanout: 40 } },
+                        ColumnSpec { name: "region", phrase: "region", kind: ColumnKind::Category(&["north", "south", "east", "west"]) },
+                        ColumnSpec { name: "product", phrase: "product", kind: ColumnKind::Category(&["widget", "gadget", "gizmo", "sprocket", "doohickey"]) },
+                        ColumnSpec { name: "price", phrase: "price", kind: ColumnKind::Float { lo: 5.0, hi: 200.0 } },
+                        ColumnSpec { name: "quantity", phrase: "quantity", kind: ColumnKind::Int { lo: 1, hi: 20 } },
+                    ],
+                },
+                TableSpec {
+                    name: "customers",
+                    columns: vec![
+                        ColumnSpec { name: "customer_id", phrase: "customer", kind: ColumnKind::Id },
+                        ColumnSpec { name: "city", phrase: "city", kind: ColumnKind::Category(&["springfield", "riverton", "lakeside", "hillcrest"]) },
+                        ColumnSpec { name: "segment", phrase: "segment", kind: ColumnKind::Category(&["consumer", "corporate", "small business"]) },
+                    ],
+                },
+            ],
+        },
+        Domain {
+            name: "finance",
+            is_custom: false,
+            vague_fillers: &["frankly", "ballpark", "bucks", "cash", "wise", "roughly"],
+            tables: vec![
+                TableSpec {
+                    name: "transactions",
+                    columns: vec![
+                        ColumnSpec { name: "txn_id", phrase: "transactions", kind: ColumnKind::Id },
+                        ColumnSpec { name: "account_id", phrase: "account", kind: ColumnKind::Key { fanout: 30 } },
+                        ColumnSpec { name: "channel", phrase: "channel", kind: ColumnKind::Category(&["branch", "online", "mobile", "atm"]) },
+                        ColumnSpec { name: "amount", phrase: "amount", kind: ColumnKind::Float { lo: 1.0, hi: 5000.0 } },
+                        ColumnSpec { name: "fee", phrase: "fee", kind: ColumnKind::Float { lo: 0.0, hi: 30.0 } },
+                    ],
+                },
+                TableSpec {
+                    name: "accounts",
+                    columns: vec![
+                        ColumnSpec { name: "account_id", phrase: "account", kind: ColumnKind::Id },
+                        ColumnSpec { name: "branch", phrase: "branch", kind: ColumnKind::Category(&["downtown", "uptown", "harbor", "airport"]) },
+                        ColumnSpec { name: "tier", phrase: "tier", kind: ColumnKind::Category(&["basic", "silver", "gold"]) },
+                    ],
+                },
+            ],
+        },
+        Domain {
+            name: "healthcare",
+            is_custom: false,
+            vague_fillers: &["generally", "caseload", "roughly", "ward", "wise", "tally"],
+            tables: vec![
+                TableSpec {
+                    name: "admissions",
+                    columns: vec![
+                        ColumnSpec { name: "admission_id", phrase: "admissions", kind: ColumnKind::Id },
+                        ColumnSpec { name: "patient_id", phrase: "patient", kind: ColumnKind::Key { fanout: 50 } },
+                        ColumnSpec { name: "department", phrase: "department", kind: ColumnKind::Category(&["cardiology", "oncology", "pediatrics", "orthopedics"]) },
+                        ColumnSpec { name: "severity", phrase: "severity", kind: ColumnKind::Category(&["routine", "urgent", "critical"]) },
+                        ColumnSpec { name: "length_of_stay", phrase: "length of stay", kind: ColumnKind::Int { lo: 1, hi: 30 } },
+                        ColumnSpec { name: "cost", phrase: "cost", kind: ColumnKind::Float { lo: 200.0, hi: 20000.0 } },
+                    ],
+                },
+                TableSpec {
+                    name: "patients",
+                    columns: vec![
+                        ColumnSpec { name: "patient_id", phrase: "patient", kind: ColumnKind::Id },
+                        ColumnSpec { name: "age_group", phrase: "age group", kind: ColumnKind::Category(&["child", "adult", "senior"]) },
+                        ColumnSpec { name: "insurance", phrase: "insurance", kind: ColumnKind::Category(&["public", "private", "none"]) },
+                    ],
+                },
+            ],
+        },
+    ]
+}
+
+/// The custom (unseen, recently released) domains with opaque naming.
+pub fn custom_domains() -> Vec<Domain> {
+    vec![
+        Domain {
+            name: "evcharging",
+            is_custom: true,
+            vague_fillers: &["juice", "plugs", "uptake", "kinda", "sorta", "vibes"],
+            tables: vec![
+                TableSpec {
+                    name: "chg_sess",
+                    columns: vec![
+                        ColumnSpec { name: "sess_id", phrase: "sessions", kind: ColumnKind::Id },
+                        ColumnSpec { name: "stn_id", phrase: "station", kind: ColumnKind::Key { fanout: 25 } },
+                        ColumnSpec { name: "conn_typ", phrase: "connector", kind: ColumnKind::Category(&["ccs", "chademo", "type2"]) },
+                        ColumnSpec { name: "kwh_dlv", phrase: "energy", kind: ColumnKind::Float { lo: 2.0, hi: 90.0 } },
+                        ColumnSpec { name: "dur_min", phrase: "duration", kind: ColumnKind::Int { lo: 5, hi: 240 } },
+                    ],
+                },
+                TableSpec {
+                    name: "chg_stn",
+                    columns: vec![
+                        ColumnSpec { name: "stn_id", phrase: "station", kind: ColumnKind::Id },
+                        ColumnSpec { name: "opr_cd", phrase: "operator", kind: ColumnKind::Category(&["op_a", "op_b", "op_c"]) },
+                        ColumnSpec { name: "pwr_cls", phrase: "power class", kind: ColumnKind::Category(&["l2", "dcfc", "hpc"]) },
+                    ],
+                },
+            ],
+        },
+        Domain {
+            name: "esports",
+            is_custom: true,
+            vague_fillers: &["grind", "meta", "stomp", "kinda", "clutch", "scrims"],
+            tables: vec![
+                TableSpec {
+                    name: "mtch_rslt",
+                    columns: vec![
+                        ColumnSpec { name: "mtch_id", phrase: "matches", kind: ColumnKind::Id },
+                        ColumnSpec { name: "tm_id", phrase: "team", kind: ColumnKind::Key { fanout: 16 } },
+                        ColumnSpec { name: "map_nm", phrase: "map", kind: ColumnKind::Category(&["dust", "mirage", "nuke", "inferno"]) },
+                        ColumnSpec { name: "rounds_w", phrase: "rounds won", kind: ColumnKind::Int { lo: 0, hi: 16 } },
+                        ColumnSpec { name: "dmg_avg", phrase: "damage", kind: ColumnKind::Float { lo: 40.0, hi: 120.0 } },
+                    ],
+                },
+                TableSpec {
+                    name: "tm_rstr",
+                    columns: vec![
+                        ColumnSpec { name: "tm_id", phrase: "team", kind: ColumnKind::Id },
+                        ColumnSpec { name: "rgn_cd", phrase: "region", kind: ColumnKind::Category(&["na", "eu", "apac"]) },
+                        ColumnSpec { name: "div_cd", phrase: "division", kind: ColumnKind::Category(&["d1", "d2"]) },
+                    ],
+                },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_generate_with_blueprint_shape() {
+        for d in spider_domains().iter().chain(custom_domains().iter()) {
+            let tables = d.make_tables(100, 7);
+            assert_eq!(tables.len(), d.tables.len(), "domain {}", d.name);
+            for spec in &d.tables {
+                let t = &tables[spec.name];
+                assert_eq!(t.num_rows(), 100);
+                assert_eq!(t.num_columns(), spec.columns.len());
+                // No nulls anywhere — EA must not hinge on null handling.
+                for c in t.columns() {
+                    assert_eq!(c.null_count(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = &spider_domains()[0];
+        assert_eq!(d.make_tables(50, 3), d.make_tables(50, 3));
+    }
+
+    #[test]
+    fn custom_schemas_are_more_opaque() {
+        let spider_s2: f64 = spider_domains()
+            .iter()
+            .map(|d| dc_nl::metrics::schema_irrelevance(&d.schema_hints()))
+            .sum::<f64>()
+            / 3.0;
+        let custom_s2: f64 = custom_domains()
+            .iter()
+            .map(|d| dc_nl::metrics::schema_irrelevance(&d.schema_hints()))
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            custom_s2 > spider_s2 + 0.3,
+            "custom {custom_s2} vs spider {spider_s2}"
+        );
+    }
+
+    #[test]
+    fn every_pair_shares_a_join_key() {
+        for d in spider_domains().iter().chain(custom_domains().iter()) {
+            let main_cols: Vec<&str> = d.tables[0].columns.iter().map(|c| c.name).collect();
+            let second_cols: Vec<&str> = d.tables[1].columns.iter().map(|c| c.name).collect();
+            assert!(
+                main_cols.iter().any(|c| second_cols.contains(c)),
+                "domain {} lacks a shared key",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn measures_and_categories_present() {
+        for d in spider_domains().iter().chain(custom_domains().iter()) {
+            let main = d.main_table();
+            assert!(!main.measures().is_empty());
+            assert!(!main.categories().is_empty());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Execution-accuracy evaluation (Table 2).
+//!
+//! "Execution accuracy is a binary (1, 0) metric that compares the
+//! results of executing the generated program with a ground truth
+//! execution result." Both programs run against the sample's synthetic
+//! tables; results compare as order-insensitive multisets of rendered
+//! rows (column names and order are presentation details, not answers).
+
+use std::collections::BTreeMap;
+
+use dc_gel::RecipeEditor;
+use dc_nl::metrics::Zone;
+use dc_nl::{ExampleLibrary, Nl2Code, PromptComposer, SimulatedLlm};
+use dc_skills::Env;
+
+use crate::domains::{custom_domains, pool_semantics, spider_domains, Domain};
+use crate::gen::Sample;
+
+/// Find a domain by name across both pools.
+pub fn domain_by_name(name: &str) -> Option<Domain> {
+    spider_domains()
+        .into_iter()
+        .chain(custom_domains())
+        .find(|d| d.name == name)
+}
+
+/// Execute a Python-API program against an environment pre-loaded with
+/// the sample's tables; `None` when generation/checking/execution fails.
+fn run_program(program: &str, sample: &Sample, tables_rows: usize) -> Option<dc_engine::Table> {
+    let domain = domain_by_name(&sample.domain)?;
+    let tables = domain.make_tables(tables_rows, sample.data_seed);
+    let mut env = Env::new();
+    for (name, t) in tables {
+        env.save_table(name, t);
+    }
+    let checked = dc_nl::check(program, &sample.schema).ok()?;
+    if !checked.is_valid() {
+        return None;
+    }
+    let recipe = Nl2Code::to_recipe(&checked).ok()?;
+    let mut editor = RecipeEditor::new(recipe);
+    editor.run(&mut env).ok()?;
+    editor.last_output()?.as_table().cloned()
+}
+
+/// Canonical form of a result table: sorted multiset of rows, each row a
+/// sorted multiset of rendered cells (names/order are ignored).
+fn canonical(table: &dc_engine::Table) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = (0..table.num_rows())
+        .map(|r| {
+            let mut cells: Vec<String> = table
+                .columns()
+                .iter()
+                .map(|c| {
+                    let v = c.get(r);
+                    // Numeric values compare at fixed precision so Int 5
+                    // and Float 5.0 answers agree.
+                    match v.as_f64() {
+                        Some(f) => format!("{f:.6}"),
+                        None => v.render(),
+                    }
+                })
+                .collect();
+            cells.sort();
+            cells
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Execution accuracy of one generated program against the gold.
+pub fn execution_accuracy(sample: &Sample, generated: &str, rows: usize) -> bool {
+    let Some(gold) = run_program(&sample.gold_program, sample, rows) else {
+        // Gold must execute; a sample whose gold fails scores nothing.
+        return false;
+    };
+    let Some(gen) = run_program(generated, sample, rows) else {
+        return false;
+    };
+    canonical(&gold) == canonical(&gen)
+}
+
+/// Build an in-domain example library from sibling samples (the §4.3
+/// repository covers the Spider domains; custom domains are unseen and
+/// get only the cross-domain built-ins).
+pub fn spider_example_library(seed: u64) -> ExampleLibrary {
+    let mut lib = ExampleLibrary::builtin();
+    for domain in spider_domains() {
+        let sem = domain.semantic_layer();
+        for zone in Zone::all() {
+            for k in 0..2u64 {
+                let s = crate::gen::make_sample(0, &domain, zone, &sem, seed ^ (k + 1) << 9);
+                lib.add(dc_nl::Example::new(s.question, s.gold_program, domain.name));
+            }
+        }
+    }
+    lib
+}
+
+/// One Table 2 cell: sample count and mean execution accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneAccuracy {
+    pub zone: Zone,
+    pub samples: usize,
+    pub mean_ea: f64,
+}
+
+/// Full Table 2 evaluation of a sample set with a given NL2Code system.
+pub fn evaluate(samples: &[Sample], system: &Nl2Code, rows: usize) -> Vec<ZoneAccuracy> {
+    let mut per_zone: BTreeMap<&'static str, (Zone, usize, usize)> = BTreeMap::new();
+    for z in Zone::all() {
+        per_zone.insert(z.label(), (z, 0, 0));
+    }
+    for sample in samples {
+        let generated = system
+            .generate(&sample.question, &sample.schema)
+            .map(|r| r.python)
+            .unwrap_or_default();
+        let ok = !generated.is_empty() && execution_accuracy(sample, &generated, rows);
+        let entry = per_zone.get_mut(sample.zone.label()).expect("all zones present");
+        entry.1 += 1;
+        entry.2 += ok as usize;
+    }
+    Zone::all()
+        .into_iter()
+        .map(|z| {
+            let (_, n, ok) = per_zone[z.label()];
+            ZoneAccuracy {
+                zone: z,
+                samples: n,
+                mean_ea: if n == 0 { 0.0 } else { ok as f64 / n as f64 },
+            }
+        })
+        .collect()
+}
+
+/// The default evaluation system for T_spider (in-domain example library,
+/// seeded simulated model).
+pub fn spider_system(seed: u64) -> Nl2Code {
+    Nl2Code {
+        semantics: pool_semantics(&spider_domains()),
+        library: spider_example_library(seed),
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::new(seed)),
+    }
+}
+
+/// The default evaluation system for T_custom (unseen domains: only the
+/// cross-domain built-in examples).
+pub fn custom_system(seed: u64) -> Nl2Code {
+    Nl2Code {
+        semantics: pool_semantics(&custom_domains()),
+        library: ExampleLibrary::builtin(),
+        composer: PromptComposer::default(),
+        model: Box::new(SimulatedLlm::new(seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devsplit::{t_custom, t_spider};
+    use dc_nl::metrics::Zone;
+
+    #[test]
+    fn gold_programs_always_execute() {
+        for s in t_spider(5).iter().take(12).chain(t_custom(5).iter().take(8)) {
+            assert!(
+                run_program(&s.gold_program, s, 80).is_some(),
+                "gold failed for {}: {}",
+                s.domain,
+                s.gold_program
+            );
+        }
+    }
+
+    #[test]
+    fn gold_matches_itself() {
+        for s in t_spider(5).iter().take(6) {
+            assert!(execution_accuracy(s, &s.gold_program, 80));
+        }
+    }
+
+    #[test]
+    fn wrong_program_fails_accuracy() {
+        let s = &t_spider(5)[0];
+        assert!(!execution_accuracy(s, "orders.head(1)", 80));
+        assert!(!execution_accuracy(s, "not even code (", 80));
+    }
+
+    #[test]
+    fn canonical_ignores_column_names_and_order() {
+        use dc_engine::Column;
+        let a = dc_engine::Table::new(vec![
+            ("x", Column::from_ints(vec![1, 2])),
+            ("y", Column::from_strs(vec!["a", "b"])),
+        ])
+        .unwrap();
+        let b = dc_engine::Table::new(vec![
+            ("other", Column::from_strs(vec!["b", "a"])),
+            ("name", Column::from_ints(vec![2, 1])),
+        ])
+        .unwrap();
+        assert_eq!(canonical(&a), canonical(&b));
+    }
+
+    #[test]
+    fn oracle_system_scores_high_on_low_low() {
+        // With error injection off, the translation rules alone should
+        // nail most shallow, aligned questions.
+        let sys = Nl2Code {
+            semantics: pool_semantics(&spider_domains()),
+            library: spider_example_library(1),
+            composer: PromptComposer::default(),
+            model: Box::new(SimulatedLlm::oracle()),
+        };
+        let samples: Vec<_> = t_spider(9)
+            .into_iter()
+            .filter(|s| s.zone == Zone::LowLow)
+            .take(10)
+            .collect();
+        let result = evaluate(&samples, &sys, 60);
+        let ll = result.iter().find(|z| z.zone == Zone::LowLow).unwrap();
+        assert!(
+            ll.mean_ea >= 0.8,
+            "oracle EA on (low,low) = {}",
+            ll.mean_ea
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # dc-spider — the synthetic text-to-analytics benchmark (§4.7)
+//!
+//! Stands in for the Spider dev split and the paper's custom test set
+//! (see DESIGN.md's substitution table): a deterministic generator of
+//! (question, gold program, schema, data) samples whose (M, C) difficulty
+//! distribution matches Figure 7's zone counts, plus the stratified
+//! T_spider / T_custom samplers and the execution-accuracy harness behind
+//! Table 2.
+
+pub mod devsplit;
+pub mod domains;
+pub mod eval;
+pub mod gen;
+
+pub use devsplit::{
+    dev_split, t_custom, t_spider, zone_histogram, CUSTOM_TEST_COUNTS, DEV_ZONE_COUNTS,
+    SPIDER_TEST_COUNTS,
+};
+pub use domains::{custom_domains, spider_domains, Domain};
+pub use eval::{
+    custom_system, evaluate, execution_accuracy, spider_example_library, spider_system,
+    ZoneAccuracy,
+};
+pub use gen::{make_sample, Sample};

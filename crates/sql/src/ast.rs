@@ -1,0 +1,287 @@
+//! SQL abstract syntax tree.
+
+use dc_engine::{AggFunc, Expr, JoinType};
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A scalar expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+    /// An aggregate call (`COUNT(*)`, `SUM(x)`, ...) with an optional
+    /// alias. Aggregates appear only at the top level of select items in
+    /// this dialect.
+    Aggregate {
+        func: AggFunc,
+        /// `None` encodes `COUNT(*)`.
+        arg: Option<String>,
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// The output column name this item produces.
+    pub fn output_name(&self, position: usize) -> String {
+        match self {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    Expr::Column(c) => c.clone(),
+                    _ => format!("col_{}", position + 1),
+                },
+            },
+            SelectItem::Aggregate { func, arg, alias } => match alias {
+                Some(a) => a.clone(),
+                None => dc_engine::AggSpec::default_output(*func, arg.as_deref()),
+            },
+        }
+    }
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base table.
+    Named(String),
+    /// A parenthesized subquery with an optional alias. Each subquery is
+    /// its own query block at execution time — the §2.2 cost the
+    /// flattening optimization removes.
+    Subquery(Box<Select>, Option<String>),
+}
+
+/// One JOIN clause (equi-joins on column pairs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableRef,
+    pub how: JoinType,
+    /// Pairs of (left column, right column) from the ON conjunction.
+    pub on: Vec<(String, String)>,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<String>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl Select {
+    /// A bare `SELECT * FROM name`.
+    pub fn scan(name: impl Into<String>) -> Select {
+        Select {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableRef::Named(name.into())),
+            ..Select::default()
+        }
+    }
+
+    /// Whether any select item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+
+    /// Depth of subquery nesting (1 for a flat query).
+    pub fn nesting_depth(&self) -> usize {
+        let from_depth = match &self.from {
+            Some(TableRef::Subquery(inner, _)) => inner.nesting_depth(),
+            _ => 0,
+        };
+        let join_depth = self
+            .joins
+            .iter()
+            .map(|j| match &j.table {
+                TableRef::Subquery(inner, _) => inner.nesting_depth(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        1 + from_depth.max(join_depth)
+    }
+
+    /// Render back to SQL text.
+    pub fn to_sql(&self) -> String {
+        let mut s = String::from("SELECT ");
+        if self.distinct {
+            s.push_str("DISTINCT ");
+        }
+        let items: Vec<String> = self
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::Expr { expr, alias } => match alias {
+                    Some(a) => format!("{} AS {}", expr.to_sql(), dc_engine::expr::quote_ident(a)),
+                    None => expr.to_sql(),
+                },
+                SelectItem::Aggregate { func, arg, alias } => {
+                    let call = match arg {
+                        Some(c) => format!(
+                            "{}({})",
+                            func.name().to_uppercase(),
+                            dc_engine::expr::quote_ident(c)
+                        ),
+                        None => "COUNT(*)".to_string(),
+                    };
+                    match alias {
+                        Some(a) => {
+                            format!("{call} AS {}", dc_engine::expr::quote_ident(a))
+                        }
+                        None => call,
+                    }
+                }
+            })
+            .collect();
+        s.push_str(&items.join(", "));
+        if let Some(from) = &self.from {
+            s.push_str(" FROM ");
+            s.push_str(&table_ref_sql(from));
+        }
+        for j in &self.joins {
+            s.push(' ');
+            s.push_str(j.how.sql());
+            s.push(' ');
+            s.push_str(&table_ref_sql(&j.table));
+            s.push_str(" ON ");
+            let conds: Vec<String> = j
+                .on
+                .iter()
+                .map(|(l, r)| {
+                    format!(
+                        "{} = {}",
+                        dc_engine::expr::quote_ident(l),
+                        dc_engine::expr::quote_ident(r)
+                    )
+                })
+                .collect();
+            s.push_str(&conds.join(" AND "));
+        }
+        if let Some(w) = &self.where_clause {
+            s.push_str(" WHERE ");
+            s.push_str(&w.to_sql());
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            let keys: Vec<String> = self
+                .group_by
+                .iter()
+                .map(|k| dc_engine::expr::quote_ident(k))
+                .collect();
+            s.push_str(&keys.join(", "));
+        }
+        if let Some(h) = &self.having {
+            s.push_str(" HAVING ");
+            s.push_str(&h.to_sql());
+        }
+        if !self.order_by.is_empty() {
+            s.push_str(" ORDER BY ");
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|(k, asc)| {
+                    format!(
+                        "{}{}",
+                        dc_engine::expr::quote_ident(k),
+                        if *asc { "" } else { " DESC" }
+                    )
+                })
+                .collect();
+            s.push_str(&keys.join(", "));
+        }
+        if let Some(n) = self.limit {
+            s.push_str(&format!(" LIMIT {n}"));
+        }
+        s
+    }
+}
+
+fn table_ref_sql(t: &TableRef) -> String {
+    match t {
+        TableRef::Named(n) => dc_engine::expr::quote_ident(n),
+        TableRef::Subquery(q, alias) => match alias {
+            Some(a) => format!("({}) AS {}", q.to_sql(), dc_engine::expr::quote_ident(a)),
+            None => format!("({})", q.to_sql()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_to_sql() {
+        assert_eq!(Select::scan("parties").to_sql(), "SELECT * FROM parties");
+    }
+
+    #[test]
+    fn nesting_depth_counts() {
+        let inner = Select::scan("base");
+        let mid = Select {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableRef::Subquery(Box::new(inner), None)),
+            ..Select::default()
+        };
+        let outer = Select {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableRef::Subquery(Box::new(mid), None)),
+            ..Select::default()
+        };
+        assert_eq!(outer.nesting_depth(), 3);
+        assert_eq!(Select::scan("t").nesting_depth(), 1);
+    }
+
+    #[test]
+    fn output_names() {
+        let item = SelectItem::Aggregate {
+            func: AggFunc::Avg,
+            arg: Some("Age".into()),
+            alias: None,
+        };
+        assert_eq!(item.output_name(0), "AvgAge");
+        let item = SelectItem::Expr {
+            expr: Expr::col("x").add(Expr::lit(1i64)),
+            alias: None,
+        };
+        assert_eq!(item.output_name(2), "col_3");
+    }
+
+    #[test]
+    fn full_query_roundtrips_text() {
+        let q = Select {
+            distinct: true,
+            items: vec![
+                SelectItem::Expr {
+                    expr: Expr::col("a"),
+                    alias: None,
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: Some("b".into()),
+                    alias: Some("n".into()),
+                },
+            ],
+            from: Some(TableRef::Named("t".into())),
+            where_clause: Some(Expr::col("a").gt(Expr::lit(1i64))),
+            group_by: vec!["a".into()],
+            order_by: vec![("n".into(), false)],
+            limit: Some(10),
+            ..Select::default()
+        };
+        let sql = q.to_sql();
+        assert_eq!(
+            sql,
+            "SELECT DISTINCT a, COUNT(b) AS n FROM t WHERE (a > 1) GROUP BY a ORDER BY n DESC LIMIT 10"
+        );
+    }
+}

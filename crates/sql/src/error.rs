@@ -1,0 +1,87 @@
+//! SQL-layer errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with byte offset.
+    Lex { message: String, position: usize },
+    /// Parse error with the offending token.
+    Parse { message: String, token: String },
+    /// Unknown table.
+    TableNotFound { name: String },
+    /// Semantic error (unknown column, bad aggregate use, ...).
+    Plan { message: String },
+    /// Propagated engine failure.
+    Engine(dc_engine::EngineError),
+}
+
+impl SqlError {
+    /// Convenience constructor for [`SqlError::Plan`].
+    pub fn plan(message: impl Into<String>) -> Self {
+        SqlError::Plan {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SqlError::Parse`].
+    pub fn parse(message: impl Into<String>, token: impl Into<String>) -> Self {
+        SqlError::Parse {
+            message: message.into(),
+            token: token.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { message, token } => {
+                write!(f, "parse error near {token:?}: {message}")
+            }
+            SqlError::TableNotFound { name } => write!(f, "table not found: {name:?}"),
+            SqlError::Plan { message } => write!(f, "planning error: {message}"),
+            SqlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dc_engine::EngineError> for SqlError {
+    fn from(e: dc_engine::EngineError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+/// Result alias for the SQL crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(SqlError::parse("expected FROM", "WHERE")
+            .to_string()
+            .contains("WHERE"));
+        assert!(SqlError::plan("unknown column x").to_string().contains("x"));
+        let e = SqlError::Lex {
+            message: "bad char".into(),
+            position: 3,
+        };
+        assert!(e.to_string().contains("byte 3"));
+    }
+}

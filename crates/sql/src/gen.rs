@@ -1,0 +1,583 @@
+//! Lowering a chain of logical query steps to SQL.
+//!
+//! §2.2: a naive client nests each new request around the previous result,
+//! producing `SELECT a FROM (SELECT a, b FROM (SELECT a, b, c FROM base))`
+//! — a deep query that "will incur significant performance costs compared
+//! to its flattened equivalent". DataChat keeps the logical skill DAG and
+//! re-generates execution tasks from scratch per request, so flattening
+//! happens naturally. [`generate_sql`] implements both modes; the skills
+//! planner uses `flatten = true`, the benchmarks compare the two.
+
+use dc_engine::{AggSpec, Expr};
+
+use crate::ast::{Select, SelectItem, TableRef};
+use crate::error::{Result, SqlError};
+
+/// One logical step in a linear query chain (the relational subset of the
+/// skill vocabulary — the part that lowers to SQL).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryStep {
+    /// Read a base table.
+    Scan { table: String },
+    /// Keep rows matching a predicate.
+    Filter { predicate: Expr },
+    /// Keep (and reorder to) the named columns.
+    SelectColumns { columns: Vec<String> },
+    /// Create a computed column.
+    WithColumn { name: String, expr: Expr },
+    /// Group-by aggregation.
+    Compute { keys: Vec<String>, aggs: Vec<AggSpec> },
+    /// Sort by `(column, ascending)` keys.
+    Sort { keys: Vec<(String, bool)> },
+    /// Keep the first `n` rows.
+    Limit { n: usize },
+    /// Remove duplicate rows.
+    Distinct,
+}
+
+/// Generate SQL for a step chain. The chain must begin with a
+/// [`QueryStep::Scan`].
+///
+/// With `flatten = false`, each step wraps the previous query in a
+/// subquery (the naive client of §2.2). With `flatten = true`, steps merge
+/// into the current query block whenever the combination is semantics-
+/// preserving, and only start a new block when it is not (e.g. a filter
+/// over an aggregate output becomes a HAVING-less outer block).
+///
+/// Contract: for *valid* chains (every step references columns its input
+/// actually has), the nested and flattened forms execute to identical
+/// results. For invalid chains the nested form errors at the offending
+/// block; the flattened form may instead succeed when merging eliminates
+/// the dead invalid reference (e.g. a projection that was immediately
+/// replaced by an aggregate) — standard dead-code-elimination behaviour.
+pub fn generate_sql(steps: &[QueryStep], flatten: bool) -> Result<Select> {
+    let mut iter = steps.iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| SqlError::plan("empty step chain"))?;
+    let QueryStep::Scan { table } = first else {
+        return Err(SqlError::plan("step chain must start with a Scan"));
+    };
+    let mut current = Select::scan(table.clone());
+    for step in iter {
+        if let QueryStep::Scan { .. } = step {
+            return Err(SqlError::plan("Scan only allowed as the first step"));
+        }
+        if flatten && can_merge(&current, step) {
+            merge(&mut current, step);
+        } else {
+            current = wrap(current);
+            merge(&mut current, step);
+        }
+    }
+    Ok(current)
+}
+
+/// Wrap a query as the FROM of a fresh `SELECT *` block.
+fn wrap(inner: Select) -> Select {
+    Select {
+        items: vec![SelectItem::Wildcard],
+        from: Some(TableRef::Subquery(Box::new(inner), None)),
+        ..Select::default()
+    }
+}
+
+/// Whether `step` can merge into `current` without changing semantics.
+///
+/// The executor evaluates a block in SQL order: WHERE and GROUP BY run
+/// against the block's *input*, before the SELECT list. So steps whose
+/// expressions reference a **computed alias** (a `WithColumn` output)
+/// cannot merge into WHERE/GROUP BY — they must wrap, exactly like the
+/// nested form. `SelectColumns` may still merge by keeping the computed
+/// item itself (see [`merge`]).
+fn can_merge(current: &Select, step: &QueryStep) -> bool {
+    let plain_projection = !current.has_aggregates() && current.group_by.is_empty();
+    let no_tail = current.limit.is_none() && current.order_by.is_empty() && !current.distinct;
+    match step {
+        QueryStep::Scan { .. } => false,
+        QueryStep::Filter { predicate } => {
+            // A filter can move into WHERE only while the block is a plain
+            // projection with no LIMIT/ORDER/DISTINCT applied yet, and only
+            // if every referenced column exists in the block's *input*
+            // (WHERE cannot see SELECT aliases).
+            plain_projection && no_tail && refs_base_visible(current, predicate)
+        }
+        QueryStep::SelectColumns { columns } => {
+            // Narrowing a plain projection is safe when every requested
+            // name is either an input column that survives or the output
+            // name of an existing (possibly computed) item.
+            plain_projection
+                && current.limit.is_none()
+                && !current.distinct
+                && columns.iter().all(|c| output_visible(current, c))
+                // Reordering/narrowing under ORDER BY is fine only if sort
+                // keys survive the projection.
+                && current
+                    .order_by
+                    .iter()
+                    .all(|(k, _)| columns.iter().any(|c| c.eq_ignore_ascii_case(k)))
+        }
+        QueryStep::WithColumn { expr, .. } => {
+            // The new expression is evaluated against the block's input.
+            plain_projection && no_tail && refs_base_visible(current, expr)
+        }
+        QueryStep::Compute { keys, aggs } => {
+            // GROUP BY keys and aggregate arguments also bind to the
+            // block's input, not to SELECT aliases.
+            plain_projection
+                && no_tail
+                && keys.iter().all(|k| base_visible(current, k))
+                && aggs
+                    .iter()
+                    .all(|a| a.column.as_deref().is_none_or(|c| base_visible(current, c)))
+        }
+        QueryStep::Sort { keys } => {
+            // ORDER BY runs after projection, so output names are fine.
+            current.limit.is_none() && keys.iter().all(|(k, _)| output_visible(current, k))
+        }
+        QueryStep::Limit { .. } => true,
+        QueryStep::Distinct => current.limit.is_none() && current.order_by.is_empty(),
+    }
+}
+
+/// Whether every column the expression references is visible in the
+/// block's *input* (wildcard or pure pass-through; never a computed
+/// alias).
+fn refs_base_visible(current: &Select, expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    cols.iter().all(|c| base_visible(current, c))
+}
+
+/// Whether `name` is an input column that flows through the block
+/// unchanged: the block projects `*`, or projects the column without
+/// renaming it. Computed aliases and renames do NOT qualify — WHERE and
+/// GROUP BY cannot see them.
+fn base_visible(current: &Select, name: &str) -> bool {
+    // A name this block *defines* as a computed alias or rename does not
+    // exist in the input, even under `SELECT *` — and if it shadows an
+    // input column, the merged meaning would be ambiguous. Wrap instead.
+    let defined_here = current.items.iter().any(|i| match i {
+        SelectItem::Expr {
+            expr,
+            alias: Some(a),
+        } => {
+            a.eq_ignore_ascii_case(name)
+                && !matches!(expr, Expr::Column(c) if c.eq_ignore_ascii_case(a))
+        }
+        SelectItem::Aggregate { .. } => false,
+        _ => false,
+    });
+    if defined_here {
+        return false;
+    }
+    current.items.iter().any(|i| match i {
+        SelectItem::Wildcard => true,
+        SelectItem::Expr {
+            expr: Expr::Column(c),
+            alias,
+        } => {
+            c.eq_ignore_ascii_case(name)
+                && alias.as_deref().is_none_or(|a| a.eq_ignore_ascii_case(c))
+        }
+        _ => false,
+    })
+}
+
+/// Whether a name is visible in the block's output (includes aggregate
+/// output names; used for ORDER BY merging).
+fn output_visible(current: &Select, name: &str) -> bool {
+    current.items.iter().enumerate().any(|(i, item)| match item {
+        SelectItem::Wildcard => true,
+        other => other.output_name(i).eq_ignore_ascii_case(name),
+    })
+}
+
+/// Merge a step into the current block (caller has verified legality or
+/// freshly wrapped).
+fn merge(current: &mut Select, step: &QueryStep) {
+    match step {
+        QueryStep::Scan { .. } => unreachable!("rejected by generate_sql"),
+        QueryStep::Filter { predicate } => {
+            current.where_clause = Some(match current.where_clause.take() {
+                Some(w) => w.and(predicate.clone()),
+                None => predicate.clone(),
+            });
+        }
+        QueryStep::SelectColumns { columns } => {
+            // Keep computed items (expr + alias) when the requested name
+            // is an existing output; plain names become column refs.
+            let old_items = current.items.clone();
+            current.items = columns
+                .iter()
+                .map(|c| {
+                    old_items
+                        .iter()
+                        .enumerate()
+                        .find(|(i, item)| {
+                            !matches!(item, SelectItem::Wildcard)
+                                && item.output_name(*i).eq_ignore_ascii_case(c)
+                        })
+                        .map(|(_, item)| item.clone())
+                        .unwrap_or_else(|| SelectItem::Expr {
+                            expr: Expr::col(c.clone()),
+                            alias: None,
+                        })
+                })
+                .collect();
+        }
+        QueryStep::WithColumn { name, expr } => {
+            // Keep existing outputs and add the computed column.
+            if current.items == vec![SelectItem::Wildcard] {
+                current.items = vec![SelectItem::Wildcard];
+            }
+            current.items.push(SelectItem::Expr {
+                expr: expr.clone(),
+                alias: Some(name.clone()),
+            });
+        }
+        QueryStep::Compute { keys, aggs } => {
+            current.group_by = keys.clone();
+            current.items = keys
+                .iter()
+                .map(|k| SelectItem::Expr {
+                    expr: Expr::col(k.clone()),
+                    alias: None,
+                })
+                .chain(aggs.iter().map(|a| SelectItem::Aggregate {
+                    func: a.func,
+                    arg: a.column.clone(),
+                    alias: Some(a.output.clone()),
+                }))
+                .collect();
+        }
+        QueryStep::Sort { keys } => {
+            current.order_by = keys.clone();
+        }
+        QueryStep::Limit { n } => {
+            current.limit = Some(current.limit.map_or(*n, |old| old.min(*n)));
+        }
+        QueryStep::Distinct => {
+            current.distinct = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::AggFunc;
+
+    fn scan() -> QueryStep {
+        QueryStep::Scan {
+            table: "base_table".into(),
+        }
+    }
+
+    #[test]
+    fn the_paper_example_flattens() {
+        // SELECT a FROM (SELECT a,b FROM (SELECT a,b,c FROM base_table))
+        let steps = vec![
+            scan(),
+            QueryStep::SelectColumns {
+                columns: vec!["a".into(), "b".into(), "c".into()],
+            },
+            QueryStep::SelectColumns {
+                columns: vec!["a".into(), "b".into()],
+            },
+            QueryStep::SelectColumns {
+                columns: vec!["a".into()],
+            },
+        ];
+        let nested = generate_sql(&steps, false).unwrap();
+        assert_eq!(nested.nesting_depth(), 4);
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 1);
+        assert_eq!(flat.to_sql(), "SELECT a FROM base_table");
+    }
+
+    #[test]
+    fn load_filter_limit_consolidates() {
+        // Figure 4: Load + Filter + Limit → one SQL query.
+        let steps = vec![
+            scan(),
+            QueryStep::Filter {
+                predicate: Expr::col("x").gt(Expr::lit(5i64)),
+            },
+            QueryStep::Limit { n: 100 },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 1);
+        assert_eq!(
+            flat.to_sql(),
+            "SELECT * FROM base_table WHERE (x > 5) LIMIT 100"
+        );
+    }
+
+    #[test]
+    fn filters_conjoin() {
+        let steps = vec![
+            scan(),
+            QueryStep::Filter {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
+            QueryStep::Filter {
+                predicate: Expr::col("y").lt(Expr::lit(9i64)),
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(
+            flat.to_sql(),
+            "SELECT * FROM base_table WHERE ((x > 1) AND (y < 9))"
+        );
+    }
+
+    #[test]
+    fn filter_after_limit_must_wrap() {
+        // Filtering after LIMIT changes which rows survive — no merge.
+        let steps = vec![
+            scan(),
+            QueryStep::Limit { n: 10 },
+            QueryStep::Filter {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn filter_on_dropped_column_wraps() {
+        let steps = vec![
+            scan(),
+            QueryStep::SelectColumns {
+                columns: vec!["a".into()],
+            },
+            QueryStep::Filter {
+                predicate: Expr::col("b").gt(Expr::lit(1i64)),
+            },
+        ];
+        // The merged form would reference a dropped column; semantics say
+        // the filter fails (b is gone), so the generator must also wrap —
+        // preserving the error behavior rather than silently resurrecting b.
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn compute_merges_into_group_by() {
+        let steps = vec![
+            scan(),
+            QueryStep::Filter {
+                predicate: Expr::col("age").ge(Expr::lit(18i64)),
+            },
+            QueryStep::Compute {
+                keys: vec!["party_sobriety".into()],
+                aggs: vec![AggSpec::new(AggFunc::Count, "case_id", "NumberOfCases")],
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 1);
+        assert_eq!(
+            flat.to_sql(),
+            "SELECT party_sobriety, COUNT(case_id) AS NumberOfCases FROM base_table WHERE (age >= 18) GROUP BY party_sobriety"
+        );
+    }
+
+    #[test]
+    fn filter_after_compute_wraps() {
+        let steps = vec![
+            scan(),
+            QueryStep::Compute {
+                keys: vec!["k".into()],
+                aggs: vec![AggSpec::new(AggFunc::Sum, "v", "total")],
+            },
+            QueryStep::Filter {
+                predicate: Expr::col("total").gt(Expr::lit(10i64)),
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn limits_take_minimum() {
+        let steps = vec![scan(), QueryStep::Limit { n: 100 }, QueryStep::Limit { n: 10 }];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.limit, Some(10));
+        assert_eq!(flat.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn sort_then_select_keeping_key_merges() {
+        let steps = vec![
+            scan(),
+            QueryStep::Sort {
+                keys: vec![("a".into(), false)],
+            },
+            QueryStep::SelectColumns {
+                columns: vec!["a".into()],
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn sort_then_select_dropping_key_wraps() {
+        let steps = vec![
+            scan(),
+            QueryStep::Sort {
+                keys: vec![("a".into(), true)],
+            },
+            QueryStep::SelectColumns {
+                columns: vec!["b".into()],
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn filter_on_computed_alias_wraps() {
+        // WHERE cannot see SELECT aliases: the flattener must wrap, not
+        // merge (regression for a confirmed nested-vs-flat divergence).
+        let steps = vec![
+            scan(),
+            QueryStep::WithColumn {
+                name: "n".into(),
+                expr: Expr::col("a").add(Expr::lit(1i64)),
+            },
+            QueryStep::Filter {
+                predicate: Expr::col("n").gt(Expr::lit(5i64)),
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn select_of_computed_alias_keeps_the_expression() {
+        let steps = vec![
+            scan(),
+            QueryStep::WithColumn {
+                name: "n".into(),
+                expr: Expr::col("a").add(Expr::lit(1i64)),
+            },
+            QueryStep::SelectColumns {
+                columns: vec!["n".into()],
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 1);
+        assert_eq!(flat.to_sql(), "SELECT (a + 1) AS n FROM base_table");
+    }
+
+    #[test]
+    fn compute_over_computed_alias_wraps() {
+        let steps = vec![
+            scan(),
+            QueryStep::WithColumn {
+                name: "n".into(),
+                expr: Expr::col("a").add(Expr::lit(1i64)),
+            },
+            QueryStep::Compute {
+                keys: vec!["n".into()],
+                aggs: vec![AggSpec::count_records("c")],
+            },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        assert_eq!(flat.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn alias_chains_agree_nested_vs_flat() {
+        use std::collections::HashMap;
+        let mut provider: HashMap<String, dc_engine::Table> = HashMap::new();
+        provider.insert(
+            "base_table".into(),
+            dc_engine::Table::new(vec![(
+                "a",
+                dc_engine::Column::from_ints(vec![1, 5, 9]),
+            )])
+            .unwrap(),
+        );
+        for steps in [
+            vec![
+                scan(),
+                QueryStep::WithColumn {
+                    name: "n".into(),
+                    expr: Expr::col("a").add(Expr::lit(1i64)),
+                },
+                QueryStep::Filter {
+                    predicate: Expr::col("n").gt(Expr::lit(5i64)),
+                },
+            ],
+            vec![
+                scan(),
+                QueryStep::WithColumn {
+                    name: "n".into(),
+                    expr: Expr::col("a").add(Expr::lit(1i64)),
+                },
+                QueryStep::SelectColumns {
+                    columns: vec!["n".into()],
+                },
+                QueryStep::Sort {
+                    keys: vec![("n".into(), false)],
+                },
+            ],
+        ] {
+            let nested = generate_sql(&steps, false).unwrap();
+            let flat = generate_sql(&steps, true).unwrap();
+            let mut s1 = crate::exec::ExecStats::default();
+            let mut s2 = crate::exec::ExecStats::default();
+            let r1 = crate::exec::execute(&nested, &provider, &mut s1).unwrap();
+            let r2 = crate::exec::execute(&flat, &provider, &mut s2).unwrap();
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn chain_must_start_with_scan() {
+        assert!(generate_sql(&[], true).is_err());
+        assert!(generate_sql(&[QueryStep::Distinct], true).is_err());
+        assert!(generate_sql(&[scan(), scan()], true).is_err());
+    }
+
+    #[test]
+    fn nested_and_flat_agree_semantically() {
+        use std::collections::HashMap;
+        let mut provider: HashMap<String, dc_engine::Table> = HashMap::new();
+        provider.insert(
+            "base_table".into(),
+            dc_engine::Table::new(vec![
+                ("a", dc_engine::Column::from_ints(vec![3, 1, 2, 5, 4])),
+                ("b", dc_engine::Column::from_ints(vec![30, 10, 20, 50, 40])),
+                ("c", dc_engine::Column::from_strs(vec!["x", "y", "z", "w", "v"])),
+            ])
+            .unwrap(),
+        );
+        let steps = vec![
+            scan(),
+            QueryStep::SelectColumns {
+                columns: vec!["a".into(), "b".into()],
+            },
+            QueryStep::Filter {
+                predicate: Expr::col("a").gt(Expr::lit(1i64)),
+            },
+            QueryStep::Sort {
+                keys: vec![("b".into(), false)],
+            },
+            QueryStep::Limit { n: 2 },
+        ];
+        let nested = generate_sql(&steps, false).unwrap();
+        let flat = generate_sql(&steps, true).unwrap();
+        let mut s1 = crate::exec::ExecStats::default();
+        let mut s2 = crate::exec::ExecStats::default();
+        let r1 = crate::exec::execute(&nested, &provider, &mut s1).unwrap();
+        let r2 = crate::exec::execute(&flat, &provider, &mut s2).unwrap();
+        assert_eq!(r1, r2);
+        assert!(s1.query_blocks > s2.query_blocks);
+        assert!(s1.rows_materialized > s2.rows_materialized);
+    }
+}

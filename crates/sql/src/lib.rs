@@ -1,0 +1,28 @@
+//! # dc-sql — SQL layer
+//!
+//! A small SQL dialect sufficient for the execution tasks DataChat
+//! generates (§2.2): lexer, recursive-descent parser, executor over
+//! `dc-engine` tables, and a step-chain → SQL generator.
+//!
+//! Two properties matter for the paper's experiments:
+//!
+//! * **Query blocks are real.** Every `SELECT` — including each subquery —
+//!   materializes its full output and is counted in [`exec::ExecStats`],
+//!   so the nested-vs-flattened comparison of §2.2 measures actual work.
+//! * **Flattening is an optimization pass.** [`gen::generate_sql`] turns a
+//!   linear chain of logical steps into either the naive nested form or a
+//!   single flattened block, merging steps only when semantics are
+//!   preserved.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod gen;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{JoinClause, Select, SelectItem, TableRef};
+pub use error::{Result, SqlError};
+pub use exec::{execute, run_sql, ExecStats, TableProvider};
+pub use gen::{generate_sql, QueryStep};
+pub use parser::{parse, parse_expr};

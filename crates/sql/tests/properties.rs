@@ -1,0 +1,141 @@
+//! Property tests for the SQL layer: text round-trips and the
+//! nested-vs-flattened semantic equivalence that §2.2's optimization
+//! depends on.
+
+use std::collections::HashMap;
+
+use dc_engine::{AggFunc, AggSpec, Column, Expr, Table};
+use dc_sql::{execute, generate_sql, parse, ExecStats, QueryStep};
+use proptest::prelude::*;
+
+fn base_table(rows: usize) -> HashMap<String, Table> {
+    let mut m = HashMap::new();
+    m.insert(
+        "base_table".to_string(),
+        Table::new(vec![
+            ("a", Column::from_ints((0..rows as i64).collect())),
+            (
+                "b",
+                Column::from_ints((0..rows as i64).map(|v| (v * 7) % 100).collect()),
+            ),
+            (
+                "g",
+                Column::from_strs((0..rows).map(|i| format!("k{}", i % 5)).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap(),
+    );
+    m
+}
+
+/// Random SQL-able step chains over the fixed schema (a, b: Int; g: Str).
+fn step() -> impl Strategy<Value = QueryStep> {
+    prop_oneof![
+        (-50i64..150).prop_map(|v| QueryStep::Filter {
+            predicate: Expr::col("b").gt(Expr::lit(v)),
+        }),
+        (-50i64..150).prop_map(|v| QueryStep::Filter {
+            predicate: Expr::col("a").le(Expr::lit(v)),
+        }),
+        Just(QueryStep::SelectColumns {
+            columns: vec!["a".into(), "b".into(), "g".into()],
+        }),
+        Just(QueryStep::SelectColumns {
+            columns: vec!["a".into(), "g".into()],
+        }),
+        prop_oneof![Just(true), Just(false)].prop_map(|asc| QueryStep::Sort {
+            keys: vec![("a".into(), asc)],
+        }),
+        (1usize..200).prop_map(|n| QueryStep::Limit { n }),
+        Just(QueryStep::Distinct),
+        Just(QueryStep::Compute {
+            keys: vec!["g".into()],
+            aggs: vec![AggSpec::new(AggFunc::Count, "a", "n")],
+        }),
+    ]
+}
+
+/// Chains whose steps are all applicable in sequence: projections may
+/// drop `b`, so later steps must not reference it. Filter the generated
+/// chains semantically by attempting nested execution first.
+fn chain() -> impl Strategy<Value = Vec<QueryStep>> {
+    prop::collection::vec(step(), 1..6).prop_map(|mut steps| {
+        steps.insert(
+            0,
+            QueryStep::Scan {
+                table: "base_table".into(),
+            },
+        );
+        steps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Flattened and nested generation agree semantically whenever the
+    /// chain is executable at all, and flattening never produces a deeper
+    /// query.
+    #[test]
+    fn flattening_preserves_semantics(steps in chain()) {
+        let provider = base_table(300);
+        let nested = generate_sql(&steps, false).unwrap();
+        let flat = generate_sql(&steps, true).unwrap();
+        prop_assert!(flat.nesting_depth() <= nested.nesting_depth());
+        let mut sn = ExecStats::default();
+        let nested_result = execute(&nested, &provider, &mut sn);
+        let mut sf = ExecStats::default();
+        let flat_result = execute(&flat, &provider, &mut sf);
+        match (nested_result, flat_result) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(sf.query_blocks <= sn.query_blocks);
+            }
+            // Invalid chains (dead references to dropped columns) may be
+            // optimized away by flattening — the generator's documented
+            // dead-code-elimination contract. The flat form must never
+            // error where the nested form succeeds, though.
+            (Err(_), _) => {}
+            (Ok(a), Err(e)) => {
+                prop_assert!(false, "flat errored where nested succeeded: {e} (nested gave {} rows)", a.num_rows());
+            }
+        }
+    }
+
+    /// SQL text round-trips: parse(to_sql(q)) == q for generated queries.
+    #[test]
+    fn sql_text_roundtrip(steps in chain()) {
+        for flatten in [false, true] {
+            let q = generate_sql(&steps, flatten).unwrap();
+            let text = q.to_sql();
+            let reparsed = parse(&text)
+                .unwrap_or_else(|e| panic!("{text} failed to reparse: {e}"));
+            prop_assert_eq!(reparsed, q, "text was {}", text);
+        }
+    }
+
+    /// The executor never panics on arbitrary-but-lexable input: parse
+    /// errors and plan errors are Errors, not crashes.
+    #[test]
+    fn executor_is_total(query in "[ -~]{0,60}") {
+        let provider = base_table(10);
+        let _ = dc_sql::run_sql(&query, &provider); // must not panic
+    }
+
+    /// Limits commute with the flattener's min-merge: two limits behave
+    /// as the smaller one.
+    #[test]
+    fn limit_merge_is_min(a in 1usize..100, b in 1usize..100) {
+        let provider = base_table(300);
+        let steps = vec![
+            QueryStep::Scan { table: "base_table".into() },
+            QueryStep::Limit { n: a },
+            QueryStep::Limit { n: b },
+        ];
+        let flat = generate_sql(&steps, true).unwrap();
+        prop_assert_eq!(flat.limit, Some(a.min(b)));
+        let mut s = ExecStats::default();
+        let out = execute(&flat, &provider, &mut s).unwrap();
+        prop_assert_eq!(out.num_rows(), a.min(b));
+    }
+}

@@ -1,0 +1,278 @@
+//! Database catalog: named databases holding block tables, each with a
+//! pricing model and a cost meter.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dc_engine::Table;
+
+use crate::block::{BlockTable, ScanOptions};
+use crate::error::{Result, StorageError};
+use crate::pricing::{CostMeter, Pricing, ScanReceipt};
+
+/// Default rows per storage block (small enough that modest demo tables
+/// still split into many blocks).
+pub const DEFAULT_BLOCK_ROWS: usize = 4096;
+
+/// A simulated database instance: tables, pricing, and a meter.
+#[derive(Debug)]
+pub struct CloudDatabase {
+    name: String,
+    pricing: Pricing,
+    tables: BTreeMap<String, BlockTable>,
+    meter: Arc<CostMeter>,
+}
+
+impl CloudDatabase {
+    /// Create an empty database with the given pricing.
+    pub fn new(name: impl Into<String>, pricing: Pricing) -> CloudDatabase {
+        CloudDatabase {
+            name: name.into(),
+            pricing,
+            tables: BTreeMap::new(),
+            meter: Arc::new(CostMeter::new()),
+        }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pricing model.
+    pub fn pricing(&self) -> Pricing {
+        self.pricing
+    }
+
+    /// Shared handle to the cost meter.
+    pub fn meter(&self) -> Arc<CostMeter> {
+        Arc::clone(&self.meter)
+    }
+
+    /// Register a table, splitting it into default-size blocks.
+    pub fn create_table(&mut self, name: impl Into<String>, table: &Table) -> Result<()> {
+        self.create_table_with_blocks(name, table, DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Register a table with an explicit block size.
+    pub fn create_table_with_blocks(
+        &mut self,
+        name: impl Into<String>,
+        table: &Table,
+        block_rows: usize,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::AlreadyExists { name });
+        }
+        self.tables.insert(name, BlockTable::new(table, block_rows)?);
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::TableNotFound {
+                database: self.name.clone(),
+                name: name.to_string(),
+            })
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Access a stored table's block structure.
+    pub fn table(&self, name: &str) -> Result<&BlockTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound {
+                database: self.name.clone(),
+                name: name.to_string(),
+            })
+    }
+
+    /// Scan a table, recording the cost on the database meter and pricing
+    /// the receipt.
+    pub fn scan(&self, table: &str, opts: &ScanOptions) -> Result<(Table, ScanReceipt)> {
+        let bt = self.table(table)?;
+        let (data, mut receipt) = bt.scan(opts)?;
+        receipt.cost_dollars = self.pricing.scan_cost(receipt.bytes_scanned);
+        self.meter.record(
+            &self.pricing,
+            receipt.bytes_scanned,
+            receipt.rows_scanned,
+            receipt.blocks_scanned,
+        );
+        Ok((data, receipt))
+    }
+
+    /// Dataset listing matching the Figure 1 UI panel: name, rows,
+    /// columns, column names.
+    pub fn dataset_listing(&self) -> Vec<DatasetInfo> {
+        self.tables
+            .iter()
+            .map(|(name, bt)| DatasetInfo {
+                database: self.name.clone(),
+                dataset_name: name.clone(),
+                num_rows: bt.num_rows(),
+                num_columns: bt.column_names().len(),
+                columns: bt.column_names().to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// One row of the dataset listing panel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    pub database: String,
+    pub dataset_name: String,
+    pub num_rows: usize,
+    pub num_columns: usize,
+    pub columns: Vec<String>,
+}
+
+/// A catalog of databases (the multi-source connectivity of §1: users can
+/// connect to databases, CSV files, or a combination).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    databases: BTreeMap<String, CloudDatabase>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Add a database, replacing nothing.
+    pub fn add_database(&mut self, db: CloudDatabase) -> Result<()> {
+        if self.databases.contains_key(db.name()) {
+            return Err(StorageError::AlreadyExists {
+                name: db.name().to_string(),
+            });
+        }
+        self.databases.insert(db.name().to_string(), db);
+        Ok(())
+    }
+
+    /// Look up a database.
+    pub fn database(&self, name: &str) -> Result<&CloudDatabase> {
+        self.databases
+            .get(name)
+            .ok_or_else(|| StorageError::DatabaseNotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Mutable lookup.
+    pub fn database_mut(&mut self, name: &str) -> Result<&mut CloudDatabase> {
+        self.databases
+            .get_mut(name)
+            .ok_or_else(|| StorageError::DatabaseNotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Database names in sorted order.
+    pub fn database_names(&self) -> Vec<&str> {
+        self.databases.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Column;
+
+    fn table(n: usize) -> Table {
+        Table::new(vec![("v", Column::from_ints((0..n as i64).collect()))]).unwrap()
+    }
+
+    fn db() -> CloudDatabase {
+        let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+        db.create_table_with_blocks("readings", &table(10_000), 512)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_list() {
+        let db = db();
+        assert_eq!(db.table_names(), vec!["readings"]);
+        let listing = db.dataset_listing();
+        assert_eq!(listing[0].num_rows, 10_000);
+        assert_eq!(listing[0].columns, vec!["v"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        assert!(matches!(
+            db.create_table("readings", &table(1)),
+            Err(StorageError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_meters_cost() {
+        let db = db();
+        let (out, receipt) = db.scan("readings", &ScanOptions::full()).unwrap();
+        assert_eq!(out.num_rows(), 10_000);
+        assert!(receipt.cost_dollars > 0.0);
+        assert_eq!(db.meter().queries(), 1);
+        assert_eq!(db.meter().bytes(), receipt.bytes_scanned);
+    }
+
+    #[test]
+    fn block_sample_costs_less_on_meter() {
+        let db = db();
+        db.scan("readings", &ScanOptions::full()).unwrap();
+        let full_cost = db.meter().dollars();
+        db.meter().reset();
+        db.scan("readings", &ScanOptions::block_sampled(0.1, 5))
+            .unwrap();
+        let sample_cost = db.meter().dollars();
+        assert!(sample_cost < full_cost / 4.0);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = db();
+        assert!(matches!(
+            db.scan("nope", &ScanOptions::full()),
+            Err(StorageError::TableNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_table_works() {
+        let mut db = db();
+        db.drop_table("readings").unwrap();
+        assert!(db.table("readings").is_err());
+        assert!(db.drop_table("readings").is_err());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut cat = Catalog::new();
+        cat.add_database(db()).unwrap();
+        assert!(cat.database("MainDatabase").is_ok());
+        assert!(cat.database("Other").is_err());
+        assert!(cat.add_database(db()).is_err());
+        assert_eq!(cat.database_names(), vec!["MainDatabase"]);
+    }
+
+    #[test]
+    fn fixed_pricing_meters_zero_dollars() {
+        let mut db = CloudDatabase::new("local", Pricing::default_local());
+        db.create_table("t", &table(1000)).unwrap();
+        db.scan("t", &ScanOptions::full()).unwrap();
+        assert_eq!(db.meter().dollars(), 0.0);
+        assert!(db.meter().bytes() > 0);
+    }
+}

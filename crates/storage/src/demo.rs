@@ -1,0 +1,432 @@
+//! Synthetic demo datasets.
+//!
+//! The paper demos against proprietary or external data (the SWITRS
+//! California car-collision database in Figure 1, a FRED GDP series in
+//! Figure 2, a 6-billion-row IoT table in §3). None are shippable, so the
+//! generators here emit synthetic equivalents with the same schemas and
+//! value domains — the properties the exercised code paths actually
+//! depend on. See DESIGN.md §1 for the substitution table.
+
+use dc_engine::column::Column;
+use dc_engine::date::days_from_ymd;
+use dc_engine::Table;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.random_range(0..options.len())]
+}
+
+/// The three tables of the Figure 1 demo: collisions, parties, victims —
+/// schema and categorical domains match the screenshot; row counts scale
+/// with `n_collisions`.
+pub fn california_collisions(n_collisions: usize, seed: u64) -> (Table, Table, Table) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sobriety = [
+        "had not been drinking",
+        "had been drinking, under influence",
+        "not applicable",
+        "impairment unknown",
+    ];
+    let party_types = ["driver", "pedestrian", "parked vehicle", "bicyclist", "other"];
+    let sexes = ["male", "female"];
+    let safety = [
+        "air bag not deployed",
+        "air bag deployed",
+        "lap/shoulder harness used",
+        "none in vehicle",
+    ];
+    let directions = ["north", "south", "east", "west"];
+    let roles = ["driver", "passenger", "pedestrian", "bicyclist"];
+    let injuries = [
+        "no injury",
+        "complaint of pain",
+        "other visible injury",
+        "severe injury",
+        "killed",
+    ];
+
+    // collisions
+    let mut case_id = Vec::with_capacity(n_collisions);
+    let mut jurisdiction = Vec::with_capacity(n_collisions);
+    let mut officer_id = Vec::with_capacity(n_collisions);
+    let mut collision_date = Vec::with_capacity(n_collisions);
+    let mut severity = Vec::with_capacity(n_collisions);
+    let mut weather = Vec::with_capacity(n_collisions);
+    let base_day = days_from_ymd(2015, 1, 1);
+    for i in 0..n_collisions {
+        case_id.push(5_000_000 + i as i64);
+        jurisdiction.push(rng.random_range(1000i64..2000));
+        officer_id.push(rng.random_range(10_000i64..99_999));
+        collision_date.push(base_day + rng.random_range(0..365 * 6));
+        severity.push(pick(&mut rng, &injuries).to_string());
+        weather.push(pick(&mut rng, &["clear", "cloudy", "raining", "fog"]).to_string());
+    }
+    let collisions = Table::new(vec![
+        ("case_id", Column::from_ints(case_id.clone())),
+        ("jurisdiction", Column::from_ints(jurisdiction)),
+        ("officer_id", Column::from_ints(officer_id)),
+        ("collision_date", Column::from_dates(collision_date)),
+        ("collision_severity", Column::from_strs(severity)),
+        ("weather", Column::from_strs(weather)),
+    ])
+    .expect("collisions schema is valid");
+
+    // parties: ~2 per collision
+    let mut p_id = Vec::new();
+    let mut p_case = Vec::new();
+    let mut p_num = Vec::new();
+    let mut p_type = Vec::new();
+    let mut p_fault = Vec::new();
+    let mut p_sex: Vec<Option<String>> = Vec::new();
+    let mut p_age: Vec<Option<i64>> = Vec::new();
+    let mut p_sobriety: Vec<Option<String>> = Vec::new();
+    let mut p_dir: Vec<Option<String>> = Vec::new();
+    let mut p_safety: Vec<Option<String>> = Vec::new();
+    let mut p_cell = Vec::new();
+    let mut next_party_id = 3_300_000i64;
+    for (ci, &case) in case_id.iter().enumerate() {
+        let parties = 1 + (rng.random_range(0..100) < 85) as usize; // mostly 2
+        let at_fault_slot = rng.random_range(0..parties);
+        for pn in 0..parties {
+            p_id.push(next_party_id);
+            next_party_id += 1;
+            p_case.push(case);
+            p_num.push(pn as i64 + 1);
+            let ptype = if pn == 0 {
+                "driver"
+            } else {
+                pick(&mut rng, &party_types)
+            };
+            p_type.push(ptype.to_string());
+            p_fault.push((pn == at_fault_slot) as i64);
+            let known = ptype != "parked vehicle" && rng.random_range(0..100) < 88;
+            p_sex.push(known.then(|| pick(&mut rng, &sexes).to_string()));
+            p_age.push(known.then(|| {
+                // Young drivers over-represented among at-fault parties to
+                // give the Figure 1 bubble chart signal.
+                if pn == at_fault_slot && rng.random_range(0..100) < 40 {
+                    rng.random_range(16i64..30)
+                } else {
+                    rng.random_range(16i64..90)
+                }
+            }));
+            p_sobriety.push(if ptype == "parked vehicle" {
+                Some("not applicable".to_string())
+            } else {
+                (rng.random_range(0..100) < 92).then(|| pick(&mut rng, &sobriety).to_string())
+            });
+            p_dir.push((rng.random_range(0..100) < 80).then(|| pick(&mut rng, &directions).to_string()));
+            p_safety.push((rng.random_range(0..100) < 90).then(|| pick(&mut rng, &safety).to_string()));
+            p_cell.push((rng.random_range(0..100) < 7) as i64);
+        }
+        let _ = ci;
+    }
+    let parties = Table::new(vec![
+        ("id", Column::from_ints(p_id.clone())),
+        ("case_id", Column::from_ints(p_case.clone())),
+        ("party_number", Column::from_ints(p_num.clone())),
+        ("party_type", Column::from_strs(p_type)),
+        ("at_fault", Column::from_ints(p_fault)),
+        ("party_sex", Column::from_opt_strs(p_sex)),
+        ("party_age", Column::from_opt_ints(p_age)),
+        ("party_sobriety", Column::from_opt_strs(p_sobriety)),
+        ("direction", Column::from_opt_strs(p_dir)),
+        ("party_safety_equipment", Column::from_opt_strs(p_safety)),
+        ("cellphone_in_use", Column::from_ints(p_cell)),
+    ])
+    .expect("parties schema is valid");
+
+    // victims: ~1 per collision
+    let mut v_id = Vec::new();
+    let mut v_case = Vec::new();
+    let mut v_pnum = Vec::new();
+    let mut v_role = Vec::new();
+    let mut v_sex: Vec<Option<String>> = Vec::new();
+    let mut v_age: Vec<Option<i64>> = Vec::new();
+    let mut v_injury = Vec::new();
+    for (vi, &case) in case_id.iter().enumerate() {
+        if rng.random_range(0..100) < 70 {
+            v_id.push(9_000_000 + vi as i64);
+            v_case.push(case);
+            v_pnum.push(rng.random_range(1i64..3));
+            v_role.push(pick(&mut rng, &roles).to_string());
+            v_sex.push((rng.random_range(0..100) < 90).then(|| pick(&mut rng, &sexes).to_string()));
+            v_age.push((rng.random_range(0..100) < 90).then(|| rng.random_range(1i64..95)));
+            v_injury.push(pick(&mut rng, &injuries).to_string());
+        }
+    }
+    let victims = Table::new(vec![
+        ("id", Column::from_ints(v_id)),
+        ("case_id", Column::from_ints(v_case)),
+        ("party_number", Column::from_ints(v_pnum)),
+        ("victim_role", Column::from_strs(v_role)),
+        ("victim_sex", Column::from_opt_strs(v_sex)),
+        ("victim_age", Column::from_opt_ints(v_age)),
+        ("victim_degree_of_injury", Column::from_strs(v_injury)),
+    ])
+    .expect("victims schema is valid");
+
+    (collisions, parties, victims)
+}
+
+/// A synthetic quarterly real-GDP-per-capita-like series (the Figure 2
+/// FRED `GDPC1` substitute): exponential trend with mild noise and a
+/// sharp 2020 shock followed by partial recovery. Columns: `DATE`
+/// (quarter start), `GDPC1`.
+pub fn fred_gdp() -> Table {
+    let mut dates = Vec::new();
+    let mut values = Vec::new();
+    let start = days_from_ymd(1990, 1, 1);
+    let mut day = start;
+    let mut q = 0usize;
+    let mut rng = StdRng::seed_from_u64(2020);
+    let end = days_from_ymd(2024, 10, 1);
+    while day <= end {
+        let t = q as f64;
+        // ~0.5% quarterly trend growth from a 14,000 base.
+        let mut v = 14_000.0 * (1.005f64).powf(t);
+        let (y, m, _) = dc_engine::date::ymd_from_days(day);
+        // 2020 shock: Q2 2020 drops ~9%, recovering over 6 quarters.
+        let shock_q0 = (2020 - 1990) * 4 + 1; // index of 2020 Q2
+        let qi = ((y - 1990) * 4 + (m as i64 - 1) / 3) as i64;
+        if qi >= shock_q0 {
+            let since = (qi - shock_q0) as f64;
+            let recovery = (since / 6.0).min(1.0);
+            v *= 1.0 - 0.09 * (1.0 - recovery);
+        }
+        v += rng.random_range(-40.0..40.0);
+        dates.push(day);
+        values.push(v);
+        day = dc_engine::date::add_months(day, 3);
+        q += 1;
+    }
+    Table::new(vec![
+        ("DATE", Column::from_dates(dates)),
+        ("GDPC1", Column::from_floats(values)),
+    ])
+    .expect("gdp schema is valid")
+}
+
+/// The §3 IoT table substitute: `device_id`, `ts` (date), `temperature`,
+/// `humidity`, `status`, with ~2% missing sensor values.
+pub fn iot_readings(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = days_from_ymd(2022, 1, 1);
+    let mut device = Vec::with_capacity(n);
+    let mut ts = Vec::with_capacity(n);
+    let mut temp: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut hum: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut status = Vec::with_capacity(n);
+    for _ in 0..n {
+        device.push(rng.random_range(1i64..=500));
+        ts.push(base + rng.random_range(0..730));
+        temp.push((rng.random_range(0..100) >= 2).then(|| rng.random_range(-10.0..45.0)));
+        hum.push((rng.random_range(0..100) >= 2).then(|| rng.random_range(5.0..100.0)));
+        status.push(
+            pick(&mut rng, &["ok", "ok", "ok", "ok", "degraded", "offline"]).to_string(),
+        );
+    }
+    Table::new(vec![
+        ("device_id", Column::from_ints(device)),
+        ("ts", Column::from_dates(ts)),
+        ("temperature", Column::from_opt_floats(temp)),
+        ("humidity", Column::from_opt_floats(hum)),
+        ("status", Column::from_strs(status)),
+    ])
+    .expect("iot schema is valid")
+}
+
+/// A sales dataset for the NL2Code examples (§4.2's
+/// `PurchaseStatus` walkthrough): `order_id`, `order_date`, `region`,
+/// `product`, `price`, `discount`, `quantity`, `PurchaseStatus`.
+pub fn sales(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = days_from_ymd(2023, 1, 1);
+    let regions = ["north", "south", "east", "west"];
+    let products = ["widget", "gadget", "doohickey", "gizmo", "sprocket"];
+    let mut order_id = Vec::with_capacity(n);
+    let mut order_date = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    let mut product = Vec::with_capacity(n);
+    let mut price = Vec::with_capacity(n);
+    let mut discount = Vec::with_capacity(n);
+    let mut quantity = Vec::with_capacity(n);
+    let mut ps = Vec::with_capacity(n);
+    for i in 0..n {
+        order_id.push(100_000 + i as i64);
+        order_date.push(base + rng.random_range(0..365));
+        region.push(pick(&mut rng, &regions).to_string());
+        product.push(pick(&mut rng, &products).to_string());
+        price.push((rng.random_range(500..20_000) as f64) / 100.0);
+        discount.push(rng.random_range(0..30) as f64 / 100.0);
+        quantity.push(rng.random_range(1i64..20));
+        ps.push(
+            if rng.random_range(0..100) < 85 {
+                "Successful"
+            } else {
+                "Unsuccessful"
+            }
+            .to_string(),
+        );
+    }
+    Table::new(vec![
+        ("order_id", Column::from_ints(order_id)),
+        ("order_date", Column::from_dates(order_date)),
+        ("region", Column::from_strs(region)),
+        ("product", Column::from_strs(product)),
+        ("price", Column::from_floats(price)),
+        ("discount", Column::from_floats(discount)),
+        ("quantity", Column::from_ints(quantity)),
+        ("PurchaseStatus", Column::from_strs(ps)),
+    ])
+    .expect("sales schema is valid")
+}
+
+/// An HR dataset for the §4.1 walkthrough ("Compute the Average Age and
+/// Median Salary for each JobLevel").
+pub fn employees(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = ["junior", "mid", "senior", "staff", "principal"];
+    let mut id = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut salary = Vec::with_capacity(n);
+    let mut level = Vec::with_capacity(n);
+    let mut dept = Vec::with_capacity(n);
+    for i in 0..n {
+        id.push(i as i64 + 1);
+        let li = rng.random_range(0..levels.len());
+        level.push(levels[li].to_string());
+        age.push(rng.random_range(22i64 + 2 * li as i64..60));
+        salary.push(50_000.0 + 30_000.0 * li as f64 + rng.random_range(-5_000.0..15_000.0));
+        dept.push(pick(&mut rng, &["eng", "sales", "finance", "ops"]).to_string());
+    }
+    Table::new(vec![
+        ("employee_id", Column::from_ints(id)),
+        ("Age", Column::from_ints(age)),
+        ("Salary", Column::from_floats(salary)),
+        ("JobLevel", Column::from_strs(level)),
+        ("department", Column::from_strs(dept)),
+    ])
+    .expect("employees schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::ops::{group_by, AggSpec};
+
+    #[test]
+    fn collisions_shape_and_relationships() {
+        let (c, p, v) = california_collisions(500, 1);
+        assert_eq!(c.num_rows(), 500);
+        assert!(p.num_rows() >= 500); // ≥1 party per collision
+        assert!(v.num_rows() <= 500);
+        // Every party's case_id exists in collisions.
+        let joined = dc_engine::ops::join(
+            &p,
+            &c,
+            &["case_id"],
+            &["case_id"],
+            dc_engine::JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(joined.num_rows(), p.num_rows());
+    }
+
+    #[test]
+    fn collisions_deterministic() {
+        let (a, _, _) = california_collisions(100, 7);
+        let (b, _, _) = california_collisions(100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parties_have_nulls_like_the_screenshot() {
+        let (_, p, _) = california_collisions(1000, 2);
+        assert!(p.column("party_age").unwrap().null_count() > 0);
+        assert!(p.column("party_sobriety").unwrap().null_count() > 0);
+    }
+
+    #[test]
+    fn exactly_one_at_fault_per_case() {
+        let (_, p, _) = california_collisions(300, 3);
+        let per_case = group_by(
+            &p,
+            &["case_id"],
+            &[AggSpec::new(dc_engine::AggFunc::Sum, "at_fault", "faults")],
+        )
+        .unwrap();
+        for r in 0..per_case.num_rows() {
+            assert_eq!(
+                per_case.value(r, "faults").unwrap(),
+                dc_engine::Value::Int(1)
+            );
+        }
+    }
+
+    #[test]
+    fn gdp_series_has_2020_shock() {
+        let t = fred_gdp();
+        assert!(t.num_rows() > 130); // 1990..2024 quarterly
+        // Find 2020-04-01 and 2019-10-01 values.
+        let mut v2019q4 = None;
+        let mut v2020q2 = None;
+        for r in 0..t.num_rows() {
+            let d = t.value(r, "DATE").unwrap();
+            let g = t.value(r, "GDPC1").unwrap().as_f64().unwrap();
+            if d == dc_engine::Value::Date(days_from_ymd(2019, 10, 1)) {
+                v2019q4 = Some(g);
+            }
+            if d == dc_engine::Value::Date(days_from_ymd(2020, 4, 1)) {
+                v2020q2 = Some(g);
+            }
+        }
+        let drop = 1.0 - v2020q2.unwrap() / v2019q4.unwrap();
+        assert!(drop > 0.05, "2020 shock too small: {drop}");
+    }
+
+    #[test]
+    fn iot_missing_rate_in_expected_range() {
+        // §3: "the number of missing values in the sample was within the
+        // expected range" — the generator plants ~2% missing.
+        let t = iot_readings(20_000, 4);
+        let nulls = t.column("temperature").unwrap().null_count();
+        let rate = nulls as f64 / t.num_rows() as f64;
+        assert!((0.01..0.04).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn sales_status_domain() {
+        let t = sales(500, 5);
+        for r in 0..t.num_rows() {
+            let s = t.value(r, "PurchaseStatus").unwrap();
+            let s = s.as_str().unwrap().to_string();
+            assert!(s == "Successful" || s == "Unsuccessful");
+        }
+    }
+
+    #[test]
+    fn employees_levels_order_salary() {
+        let t = employees(2000, 6);
+        let by_level = group_by(
+            &t,
+            &["JobLevel"],
+            &[AggSpec::new(dc_engine::AggFunc::Avg, "Salary", "avg")],
+        )
+        .unwrap();
+        let mut junior = 0.0;
+        let mut principal = 0.0;
+        for r in 0..by_level.num_rows() {
+            let lvl = by_level.value(r, "JobLevel").unwrap();
+            let avg = by_level.value(r, "avg").unwrap().as_f64().unwrap();
+            match lvl.as_str().unwrap() {
+                "junior" => junior = avg,
+                "principal" => principal = avg,
+                _ => {}
+            }
+        }
+        assert!(principal > junior + 50_000.0);
+    }
+}

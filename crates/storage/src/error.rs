@@ -1,0 +1,78 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors from the simulated cloud-database and snapshot layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// No such database in the catalog.
+    DatabaseNotFound { name: String },
+    /// No such table in the database.
+    TableNotFound { database: String, name: String },
+    /// A table/snapshot with this name already exists.
+    AlreadyExists { name: String },
+    /// No such snapshot in the local store.
+    SnapshotNotFound { name: String },
+    /// Invalid argument (bad sample rate, zero block size, ...).
+    InvalidArgument { message: String },
+    /// Propagated engine failure.
+    Engine(dc_engine::EngineError),
+}
+
+impl StorageError {
+    /// Convenience constructor for [`StorageError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        StorageError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DatabaseNotFound { name } => write!(f, "database not found: {name:?}"),
+            StorageError::TableNotFound { database, name } => {
+                write!(f, "table not found: {database:?}.{name:?}")
+            }
+            StorageError::AlreadyExists { name } => write!(f, "already exists: {name:?}"),
+            StorageError::SnapshotNotFound { name } => write!(f, "snapshot not found: {name:?}"),
+            StorageError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            StorageError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dc_engine::EngineError> for StorageError {
+    fn from(e: dc_engine::EngineError) -> Self {
+        StorageError::Engine(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StorageError::TableNotFound {
+            database: "MainDatabase".into(),
+            name: "parties".into(),
+        };
+        assert!(e.to_string().contains("parties"));
+        let e: StorageError = dc_engine::EngineError::column_not_found("x").into();
+        assert!(e.to_string().contains("engine error"));
+    }
+}

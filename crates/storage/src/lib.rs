@@ -1,0 +1,31 @@
+//! # dc-storage — simulated cloud database & snapshot store
+//!
+//! Reproduces the storage-facing machinery of §3 of the paper:
+//!
+//! * [`block::BlockTable`] — tables stored in fixed-size row blocks, with
+//!   scans that report exactly what they read
+//! * [`pricing`] — consumption-based vs fixed pricing, and a thread-safe
+//!   [`pricing::CostMeter`] so every experiment can report dollars
+//! * [`catalog`] — named databases and a multi-source catalog
+//! * [`snapshot`] — the fixed-cost local snapshot store, with recipes and
+//!   refresh
+//! * [`demo`] — synthetic stand-ins for the paper's datasets (California
+//!   collisions, FRED GDP, IoT readings, sales, HR)
+//!
+//! The central reproduction target: block-level sampling reads a fraction
+//! of blocks and therefore costs proportionally less, while row-level
+//! sampling reads everything; snapshots move iteration off the metered
+//! cloud path entirely.
+
+pub mod block;
+pub mod catalog;
+pub mod demo;
+pub mod error;
+pub mod pricing;
+pub mod snapshot;
+
+pub use block::{BlockTable, ScanOptions};
+pub use catalog::{Catalog, CloudDatabase, DatasetInfo, DEFAULT_BLOCK_ROWS};
+pub use error::{Result, StorageError};
+pub use pricing::{CostMeter, Pricing, ScanReceipt};
+pub use snapshot::{Snapshot, SnapshotStore};

@@ -1,0 +1,151 @@
+//! Consumption-based and fixed pricing models with a scan-cost meter.
+//!
+//! §3 of the paper: "query costs are generally proportional to the size of
+//! the dataset being scanned" under prevalent consumption-based pricing.
+//! The meter makes that cost observable so the sampling and snapshot
+//! experiments can report dollar figures instead of hand-waving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a storage backend charges for scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pricing {
+    /// Cloud-warehouse style: dollars per terabyte scanned.
+    PerTbScanned { dollars_per_tb: f64 },
+    /// Local-instance style: a fixed monthly fee; marginal scan cost zero.
+    FixedMonthly { dollars_per_month: f64 },
+}
+
+impl Pricing {
+    /// The common on-demand cloud rate ($5/TB, BigQuery-class).
+    pub fn default_cloud() -> Pricing {
+        Pricing::PerTbScanned { dollars_per_tb: 5.0 }
+    }
+
+    /// A small fixed-cost local instance.
+    pub fn default_local() -> Pricing {
+        Pricing::FixedMonthly {
+            dollars_per_month: 50.0,
+        }
+    }
+
+    /// Marginal dollar cost of scanning `bytes`.
+    pub fn scan_cost(&self, bytes: u64) -> f64 {
+        match self {
+            Pricing::PerTbScanned { dollars_per_tb } => {
+                bytes as f64 / 1e12 * dollars_per_tb
+            }
+            Pricing::FixedMonthly { .. } => 0.0,
+        }
+    }
+}
+
+/// Thread-safe accumulator of scan activity for one backend.
+///
+/// Nano-dollars are accumulated as integers so concurrent updates stay
+/// exact even for tiny scans; [`CostMeter::dollars`] converts on read.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    bytes_scanned: AtomicU64,
+    rows_scanned: AtomicU64,
+    blocks_scanned: AtomicU64,
+    queries: AtomicU64,
+    nano_dollars: AtomicU64,
+}
+
+impl CostMeter {
+    /// A fresh meter.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Record one scan.
+    pub fn record(&self, pricing: &Pricing, bytes: u64, rows: u64, blocks: u64) {
+        self.bytes_scanned.fetch_add(bytes, Ordering::Relaxed);
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+        self.blocks_scanned.fetch_add(blocks, Ordering::Relaxed);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let nanos = (pricing.scan_cost(bytes) * 1e9).round() as u64;
+        self.nano_dollars.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total bytes scanned so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Total rows scanned so far.
+    pub fn rows(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks scanned so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Number of scans recorded.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated marginal cost in dollars.
+    pub fn dollars(&self) -> f64 {
+        self.nano_dollars.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Reset all counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.bytes_scanned.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.blocks_scanned.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.nano_dollars.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Receipt describing one scan: what was read and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReceipt {
+    pub bytes_scanned: u64,
+    pub rows_scanned: u64,
+    pub blocks_scanned: u64,
+    pub total_blocks: u64,
+    pub cost_dollars: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tb_cost_proportional() {
+        let p = Pricing::PerTbScanned { dollars_per_tb: 5.0 };
+        assert_eq!(p.scan_cost(1_000_000_000_000), 5.0);
+        assert_eq!(p.scan_cost(100_000_000_000), 0.5);
+        // 10x fewer bytes, 10x lower cost — the §3 claim in miniature.
+        assert!((p.scan_cost(1 << 30) / p.scan_cost((1 << 30) / 10) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_monthly_marginal_zero() {
+        let p = Pricing::default_local();
+        assert_eq!(p.scan_cost(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let m = CostMeter::new();
+        let p = Pricing::PerTbScanned { dollars_per_tb: 5.0 };
+        m.record(&p, 2_000_000_000, 1000, 4);
+        m.record(&p, 2_000_000_000, 1000, 4);
+        assert_eq!(m.bytes(), 4_000_000_000);
+        assert_eq!(m.rows(), 2000);
+        assert_eq!(m.blocks(), 8);
+        assert_eq!(m.queries(), 2);
+        assert!((m.dollars() - 0.02).abs() < 1e-6);
+        m.reset();
+        assert_eq!(m.queries(), 0);
+        assert_eq!(m.dollars(), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the storage layer's invariants.
+
+use dc_engine::{Column, Table};
+use dc_storage::{BlockTable, CloudDatabase, Pricing, ScanOptions, SnapshotStore};
+use proptest::prelude::*;
+
+fn table(n: usize) -> Table {
+    Table::new(vec![
+        ("id", Column::from_ints((0..n as i64).collect())),
+        (
+            "v",
+            Column::from_floats((0..n).map(|i| i as f64 / 3.0).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    /// A full scan reassembles exactly the stored table, for any block
+    /// size.
+    #[test]
+    fn full_scan_is_identity(rows in 0usize..3000, block_rows in 1usize..500) {
+        let t = table(rows);
+        let bt = BlockTable::new(&t, block_rows).unwrap();
+        let (out, receipt) = bt.scan(&ScanOptions::full()).unwrap();
+        prop_assert_eq!(&out, &t);
+        prop_assert_eq!(receipt.rows_scanned as usize, rows);
+        prop_assert_eq!(receipt.blocks_scanned, receipt.total_blocks);
+    }
+
+    /// Block count is ceil(rows / block_rows) (min 1).
+    #[test]
+    fn block_count_formula(rows in 0usize..5000, block_rows in 1usize..700) {
+        let bt = BlockTable::new(&table(rows), block_rows).unwrap();
+        let expected = if rows == 0 { 1 } else { rows.div_ceil(block_rows) };
+        prop_assert_eq!(bt.num_blocks(), expected);
+    }
+
+    /// Block sampling returns a subset of the table's rows (no invented
+    /// data) and scans no more bytes than a full scan.
+    #[test]
+    fn block_sample_is_subset(seed in 0u64..500, rate in 1u32..100) {
+        let t = table(2000);
+        let bt = BlockTable::new(&t, 128).unwrap();
+        let rate = rate as f64 / 100.0;
+        let (sample, receipt) = bt.scan(&ScanOptions::block_sampled(rate, seed)).unwrap();
+        let (_, full) = bt.scan(&ScanOptions::full()).unwrap();
+        prop_assert!(receipt.bytes_scanned <= full.bytes_scanned);
+        prop_assert!(sample.num_rows() <= t.num_rows());
+        // Every sampled id exists in the source (block sampling never
+        // fabricates rows).
+        for r in 0..sample.num_rows() {
+            let id = sample.value(r, "id").unwrap().as_i64().unwrap();
+            prop_assert!((0..2000).contains(&id));
+        }
+        // Determinism.
+        let (again, _) = bt.scan(&ScanOptions::block_sampled(rate, seed)).unwrap();
+        prop_assert_eq!(sample, again);
+    }
+
+    /// Scan cost is linear in bytes under consumption pricing, for any
+    /// rate.
+    #[test]
+    fn cost_linear_in_bytes(dollars_per_tb in 0.1f64..10_000.0, bytes in 0u64..10_000_000_000) {
+        let p = Pricing::PerTbScanned { dollars_per_tb };
+        let unit = p.scan_cost(1_000_000);
+        let cost = p.scan_cost(bytes);
+        prop_assert!((cost - unit * bytes as f64 / 1e6).abs() < 1e-9 * (1.0 + cost.abs()));
+    }
+
+    /// The database meter equals the sum of its receipts.
+    #[test]
+    fn meter_sums_receipts(scans in prop::collection::vec(1u32..100, 1..10)) {
+        let mut db = CloudDatabase::new("d", Pricing::default_cloud());
+        db.create_table_with_blocks("t", &table(1000), 64).unwrap();
+        let mut bytes = 0u64;
+        for (i, rate) in scans.iter().enumerate() {
+            let rate = *rate as f64 / 100.0;
+            let (_, receipt) = db
+                .scan("t", &ScanOptions::block_sampled(rate, i as u64))
+                .unwrap();
+            bytes += receipt.bytes_scanned;
+        }
+        prop_assert_eq!(db.meter().bytes(), bytes);
+        prop_assert_eq!(db.meter().queries(), scans.len() as u64);
+    }
+
+    /// Snapshot store: create/read/refresh/delete lifecycle is total and
+    /// reads are always free.
+    #[test]
+    fn snapshot_lifecycle(sizes in prop::collection::vec(0usize..500, 1..8)) {
+        let mut store = SnapshotStore::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let name = format!("s{i}");
+            store.create(&name, table(n), "src", vec![], None).unwrap();
+            prop_assert_eq!(store.read(&name).unwrap().num_rows(), n);
+            let v = store.refresh(&name, table(n + 1)).unwrap();
+            prop_assert_eq!(v, 2);
+        }
+        prop_assert_eq!(store.meter().dollars(), 0.0);
+        prop_assert_eq!(store.names().len(), sizes.len());
+        for i in 0..sizes.len() {
+            store.delete(&format!("s{i}")).unwrap();
+        }
+        prop_assert!(store.names().is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Automatic chart selection for the `Visualize` skill.
+//!
+//! Figure 1: `Visualize at_fault by party_age, party_sex,
+//! cellphone_in_use` answers with *six* charts — donuts of the KPI,
+//! breakdowns by the categorical groupers, a violin and a histogram for
+//! the numeric grouper, and a bubble chart of two groupers sized by
+//! CountOfRecords and colored by the KPI (with the numeric axis binned,
+//! e.g. `party_ageInt20`). This module reproduces that rule set.
+
+use dc_engine::ops::{group_by, AggSpec};
+use dc_engine::{Column, DataType, Expr, ScalarFunc, Table};
+
+use crate::error::{Result, VizError};
+use crate::spec::{ChartSpec, ChartType};
+
+/// Maximum number of charts a single Visualize answers with (the paper's
+/// transcript shows 6).
+pub const MAX_AUTO_CHARTS: usize = 6;
+
+/// Maximum distinct values for a column to count as categorical.
+pub const CATEGORICAL_LIMIT: usize = 12;
+
+/// How a column participates in auto-charting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRole {
+    Categorical,
+    Numeric,
+    Temporal,
+}
+
+/// Classify a column: strings/bools and low-cardinality ints are
+/// categorical; dates are temporal; everything else numeric.
+pub fn classify(table: &Table, column: &str) -> Result<ColumnRole> {
+    let col = table
+        .column(column)
+        .map_err(|_| VizError::ColumnNotFound {
+            name: column.to_string(),
+        })?;
+    Ok(match col.dtype() {
+        DataType::Str | DataType::Bool => ColumnRole::Categorical,
+        DataType::Date => ColumnRole::Temporal,
+        DataType::Int => {
+            if distinct_count(col) <= CATEGORICAL_LIMIT {
+                ColumnRole::Categorical
+            } else {
+                ColumnRole::Numeric
+            }
+        }
+        DataType::Float => ColumnRole::Numeric,
+    })
+}
+
+fn distinct_count(col: &Column) -> usize {
+    let mut seen: Vec<String> = Vec::new();
+    for i in 0..col.len() {
+        let v = col.get(i);
+        if v.is_null() {
+            continue;
+        }
+        let r = v.render();
+        if !seen.contains(&r) {
+            seen.push(r);
+            if seen.len() > CATEGORICAL_LIMIT {
+                break;
+            }
+        }
+    }
+    seen.len()
+}
+
+/// Choose a bin width giving roughly 5-10 buckets over the column's range
+/// (preferring round widths like 1, 2, 5, 10, 20, 50, ...).
+pub fn choose_bin_width(col: &Column) -> i64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..col.len() {
+        if let Some(v) = col.numeric_at(i) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        return 1;
+    }
+    let span = hi - lo;
+    let raw = span / 7.0;
+    let mut width = 1i64;
+    for candidate in [1i64, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 10000] {
+        width = candidate;
+        if candidate as f64 >= raw {
+            break;
+        }
+    }
+    width
+}
+
+/// Add a binned companion column named `<col>Int<width>` (the
+/// `party_ageInt20` of Figure 1) and return (table, binned name).
+pub fn with_binned(table: &Table, column: &str, width: i64) -> Result<(Table, String)> {
+    let name = format!("{column}Int{width}");
+    let binned = dc_engine::eval::eval(
+        table,
+        &Expr::func(
+            ScalarFunc::Bin,
+            vec![Expr::col(column), Expr::lit(width)],
+        ),
+    )?;
+    Ok((table.with_column(&name, binned)?, name))
+}
+
+/// The `Visualize <kpi> by <groupers>` skill: produce up to
+/// [`MAX_AUTO_CHARTS`] charts exploring the KPI against the groupers.
+pub fn auto_visualize(table: &Table, kpi: &str, by: &[String]) -> Result<Vec<ChartSpec>> {
+    // Validate all columns up front.
+    let kpi_role = classify(table, kpi)?;
+    let mut roles = Vec::with_capacity(by.len());
+    for g in by {
+        roles.push((g.as_str(), classify(table, g)?));
+    }
+
+    let mut charts: Vec<ChartSpec> = Vec::new();
+    let mut name_idx = 0usize;
+    let next_name = |idx: &mut usize| {
+        let letter = (b'A' + (*idx % 26) as u8) as char;
+        *idx += 1;
+        format!("Chart1{letter}")
+    };
+
+    // 1. Distribution of the KPI itself.
+    if kpi_role == ColumnRole::Categorical {
+        let counts = group_by(table, &[kpi], &[AggSpec::count_records("CountOfRecords")])?;
+        charts.push(ChartSpec {
+            name: next_name(&mut name_idx),
+            chart: ChartType::Donut,
+            title: format!("Distribution of {kpi}"),
+            x: Some(kpi.to_string()),
+            y: Some("CountOfRecords".to_string()),
+            color: None,
+            size: None,
+            for_each: None,
+            data: counts,
+        });
+    } else {
+        let (binned_table, bname) = with_binned(table, kpi, choose_bin_width(table.column(kpi)?))?;
+        let counts = group_by(
+            &binned_table,
+            &[&bname],
+            &[AggSpec::count_records("CountOfRecords")],
+        )?;
+        charts.push(ChartSpec {
+            name: next_name(&mut name_idx),
+            chart: ChartType::Histogram,
+            title: format!("Distribution of {kpi}"),
+            x: Some(bname),
+            y: Some("CountOfRecords".to_string()),
+            color: None,
+            size: None,
+            for_each: None,
+            data: counts,
+        });
+    }
+
+    // 2. KPI by each categorical grouper (donut per grouper).
+    for (g, role) in &roles {
+        if charts.len() >= MAX_AUTO_CHARTS {
+            break;
+        }
+        if *role == ColumnRole::Categorical {
+            let counts = group_by(
+                table,
+                &[kpi, g],
+                &[AggSpec::count_records("CountOfRecords")],
+            )?;
+            charts.push(ChartSpec {
+                name: next_name(&mut name_idx),
+                chart: ChartType::Donut,
+                title: format!("{kpi} by {g}"),
+                x: Some(kpi.to_string()),
+                y: Some("CountOfRecords".to_string()),
+                color: Some(g.to_string()),
+                size: None,
+                for_each: None,
+                data: counts,
+            });
+        }
+    }
+
+    // 3. Numeric groupers: violin of the numeric by KPI, then histogram.
+    for (g, role) in &roles {
+        if charts.len() >= MAX_AUTO_CHARTS {
+            break;
+        }
+        if *role == ColumnRole::Numeric {
+            charts.push(ChartSpec {
+                name: next_name(&mut name_idx),
+                chart: ChartType::Violin,
+                title: format!("{g} by {kpi}"),
+                x: Some(g.to_string()),
+                y: None,
+                color: Some(kpi.to_string()),
+                size: None,
+                for_each: None,
+                data: table.select(&[g, kpi])?,
+            });
+            if charts.len() >= MAX_AUTO_CHARTS {
+                break;
+            }
+            let (binned_table, bname) =
+                with_binned(table, g, choose_bin_width(table.column(g)?))?;
+            let counts = group_by(
+                &binned_table,
+                &[bname.as_str(), kpi],
+                &[AggSpec::count_records("CountOfRecords")],
+            )?;
+            charts.push(ChartSpec {
+                name: next_name(&mut name_idx),
+                chart: ChartType::Histogram,
+                title: format!("{kpi} over {bname}"),
+                x: Some(bname),
+                y: Some("CountOfRecords".to_string()),
+                color: Some(kpi.to_string()),
+                size: None,
+                for_each: None,
+                data: counts,
+            });
+        }
+    }
+
+    // 4. Bubble chart of the first grouper pair, sized by record count
+    //    and colored by the KPI (numeric axes binned).
+    'bubble: for i in 0..roles.len() {
+        for j in (i + 1)..roles.len() {
+            if charts.len() >= MAX_AUTO_CHARTS {
+                break 'bubble;
+            }
+            let mut work = table.clone();
+            let mut axis_names: Vec<String> = Vec::new();
+            for (g, role) in [roles[i], roles[j]] {
+                if role == ColumnRole::Numeric {
+                    let width = choose_bin_width(work.column(g)?);
+                    let (t, name) = with_binned(&work, g, width)?;
+                    work = t;
+                    axis_names.push(name);
+                } else {
+                    axis_names.push(g.to_string());
+                }
+            }
+            let keys: Vec<&str> = axis_names
+                .iter()
+                .map(|s| s.as_str())
+                .chain(std::iter::once(kpi))
+                .collect();
+            let counts = group_by(&work, &keys, &[AggSpec::count_records("CountOfRecords")])?;
+            charts.push(ChartSpec {
+                name: next_name(&mut name_idx),
+                chart: ChartType::Bubble,
+                title: format!(
+                    "{} vs. {}, sized using: CountOfRecords, colored using: {kpi}",
+                    axis_names[0], axis_names[1]
+                ),
+                x: Some(axis_names[0].clone()),
+                y: Some(axis_names[1].clone()),
+                color: Some(kpi.to_string()),
+                size: Some("CountOfRecords".to_string()),
+                for_each: None,
+                data: counts,
+            });
+            break 'bubble; // one bubble chart is enough for the answer set
+        }
+    }
+
+    if charts.is_empty() {
+        return Err(VizError::NothingToPlot {
+            message: format!("no chart rules matched kpi {kpi}"),
+        });
+    }
+    Ok(charts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn parties() -> Table {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 500;
+        let mut fault = Vec::new();
+        let mut age: Vec<Option<i64>> = Vec::new();
+        let mut sex: Vec<Option<String>> = Vec::new();
+        let mut cell = Vec::new();
+        for _ in 0..n {
+            fault.push(rng.random_range(0i64..2));
+            age.push((rng.random_range(0..10) > 0).then(|| rng.random_range(16i64..90)));
+            sex.push(
+                (rng.random_range(0..10) > 0)
+                    .then(|| if rng.random_range(0..2) == 0 { "male" } else { "female" }.to_string()),
+            );
+            cell.push(rng.random_range(0i64..2));
+        }
+        Table::new(vec![
+            ("at_fault", Column::from_ints(fault)),
+            ("party_age", Column::from_opt_ints(age)),
+            ("party_sex", Column::from_opt_strs(sex)),
+            ("cellphone_in_use", Column::from_ints(cell)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_visualize_six_charts() {
+        // "Visualize at_fault by party_age, party_sex, cellphone_in_use"
+        let charts = auto_visualize(
+            &parties(),
+            "at_fault",
+            &[
+                "party_age".to_string(),
+                "party_sex".to_string(),
+                "cellphone_in_use".to_string(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(charts.len(), 6, "the paper's transcript shows 6 charts");
+        // First chart: donut of at_fault.
+        assert_eq!(charts[0].chart, ChartType::Donut);
+        assert_eq!(charts[0].x.as_deref(), Some("at_fault"));
+        // A violin and a histogram for the numeric grouper.
+        assert!(charts.iter().any(|c| c.chart == ChartType::Violin));
+        assert!(charts.iter().any(|c| c.chart == ChartType::Histogram));
+        // A bubble chart sized by CountOfRecords with binned ages.
+        let bubble = charts
+            .iter()
+            .find(|c| c.chart == ChartType::Bubble)
+            .expect("bubble chart present");
+        assert_eq!(bubble.size.as_deref(), Some("CountOfRecords"));
+        assert!(bubble.title.contains("sized using: CountOfRecords"));
+        assert!(
+            bubble.x.as_deref().unwrap().contains("Int")
+                || bubble.y.as_deref().unwrap().contains("Int"),
+            "numeric axis should be binned"
+        );
+        // Names follow the Chart1A.. sequence.
+        assert_eq!(charts[0].name, "Chart1A");
+        assert_eq!(charts[1].name, "Chart1B");
+    }
+
+    #[test]
+    fn numeric_kpi_gets_histogram() {
+        let charts = auto_visualize(&parties(), "party_age", &["party_sex".to_string()]).unwrap();
+        assert_eq!(charts[0].chart, ChartType::Histogram);
+        assert!(charts[0].x.as_deref().unwrap().starts_with("party_ageInt"));
+    }
+
+    #[test]
+    fn no_groupers_still_plots_kpi() {
+        let charts = auto_visualize(&parties(), "at_fault", &[]).unwrap();
+        assert_eq!(charts.len(), 1);
+        assert_eq!(charts[0].chart, ChartType::Donut);
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        assert!(auto_visualize(&parties(), "nope", &[]).is_err());
+        assert!(auto_visualize(&parties(), "at_fault", &["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bin_width_choices() {
+        let ages = Column::from_ints((16..90).collect());
+        let w = choose_bin_width(&ages);
+        assert!((5..=20).contains(&w), "width {w}");
+        let tiny = Column::from_ints(vec![1, 2, 3]);
+        assert_eq!(choose_bin_width(&tiny), 1);
+        let constant = Column::from_ints(vec![5; 10]);
+        assert_eq!(choose_bin_width(&constant), 1);
+    }
+
+    #[test]
+    fn with_binned_names_match_figure1() {
+        let (t, name) = with_binned(&parties(), "party_age", 20).unwrap();
+        assert_eq!(name, "party_ageInt20");
+        assert!(t.column("party_ageInt20").is_ok());
+    }
+
+    #[test]
+    fn classify_roles() {
+        let t = parties();
+        assert_eq!(classify(&t, "party_sex").unwrap(), ColumnRole::Categorical);
+        assert_eq!(classify(&t, "party_age").unwrap(), ColumnRole::Numeric);
+        assert_eq!(classify(&t, "at_fault").unwrap(), ColumnRole::Categorical); // 0/1 int
+        let d = Table::new(vec![("d", Column::from_dates(vec![0, 1]))]).unwrap();
+        assert_eq!(classify(&d, "d").unwrap(), ColumnRole::Temporal);
+    }
+}

@@ -1,0 +1,48 @@
+//! Visualization-layer errors.
+
+use std::fmt;
+
+/// Errors from chart preparation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VizError {
+    /// A required column is missing.
+    ColumnNotFound { name: String },
+    /// The chart type cannot use this column.
+    BadColumn { name: String, reason: String },
+    /// No chart can be derived from the request.
+    NothingToPlot { message: String },
+    /// Propagated engine failure.
+    Engine(dc_engine::EngineError),
+}
+
+impl VizError {
+    /// Convenience constructor for [`VizError::BadColumn`].
+    pub fn bad_column(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        VizError::BadColumn {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::ColumnNotFound { name } => write!(f, "column not found: {name:?}"),
+            VizError::BadColumn { name, reason } => write!(f, "bad column {name:?}: {reason}"),
+            VizError::NothingToPlot { message } => write!(f, "nothing to plot: {message}"),
+            VizError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VizError {}
+
+impl From<dc_engine::EngineError> for VizError {
+    fn from(e: dc_engine::EngineError) -> Self {
+        VizError::Engine(e)
+    }
+}
+
+/// Result alias for the viz crate.
+pub type Result<T> = std::result::Result<T, VizError>;

@@ -1,0 +1,18 @@
+//! # dc-viz — chart specs and auto-charting
+//!
+//! Implements the visualization skills of Table 1: [`spec::ChartSpec`] is
+//! the shareable chart artifact; [`auto::auto_visualize`] reproduces the
+//! Figure 1 behavior where `Visualize <kpi> by <columns>` answers with up
+//! to six complementary charts (donut, violin, histogram, bubble sized by
+//! CountOfRecords, numeric axes binned into `<col>Int<width>` columns);
+//! [`render`] draws specs as ASCII for the examples and benches.
+
+pub mod auto;
+pub mod error;
+pub mod render;
+pub mod spec;
+
+pub use auto::{auto_visualize, choose_bin_width, classify, with_binned, ColumnRole, MAX_AUTO_CHARTS};
+pub use error::{Result, VizError};
+pub use render::render_ascii;
+pub use spec::{ChartSpec, ChartType};

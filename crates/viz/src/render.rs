@@ -1,0 +1,422 @@
+//! ASCII rendering of chart specs (the terminal stands in for the
+//! product's browser canvas; the *spec* is the artifact either way).
+
+
+use crate::error::{Result, VizError};
+use crate::spec::{ChartSpec, ChartType};
+
+/// Render a chart spec to multi-line ASCII. Dispatches on chart type;
+/// types without a dedicated renderer fall back to a labeled data preview.
+pub fn render_ascii(spec: &ChartSpec, width: usize) -> Result<String> {
+    let width = width.clamp(30, 200);
+    match spec.chart {
+        ChartType::Line | ChartType::Scatter => render_xy(spec, width),
+        ChartType::Bar | ChartType::Histogram => render_bars(spec, width),
+        ChartType::Donut => render_donut(spec, width),
+        ChartType::Bubble => render_bubble(spec, width),
+        _ => {
+            let mut out = header(spec);
+            out.push_str(&spec.data.render(10));
+            Ok(out)
+        }
+    }
+}
+
+fn header(spec: &ChartSpec) -> String {
+    format!("== {} [{}] ==\n{}\n", spec.name, spec.chart.display_name(), spec.title)
+}
+
+/// Bars: one row per category, bar length proportional to the measure.
+fn render_bars(spec: &ChartSpec, width: usize) -> Result<String> {
+    let x = spec.x.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "bar chart needs an x column".into(),
+    })?;
+    let y = spec.y.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "bar chart needs a y column".into(),
+    })?;
+    let xcol = spec.data.column(x)?;
+    let ycol = spec.data.column(y)?;
+    let n = spec.data.num_rows().min(20);
+    let max = (0..spec.data.num_rows())
+        .filter_map(|i| ycol.numeric_at(i))
+        .fold(0.0f64, f64::max);
+    let mut out = header(spec);
+    let label_w = (0..n).map(|i| xcol.get(i).render().len()).max().unwrap_or(1);
+    let bar_space = width.saturating_sub(label_w + 12).max(10);
+    for i in 0..n {
+        let label = xcol.get(i).render();
+        let v = ycol.numeric_at(i).unwrap_or(0.0);
+        let len = if max > 0.0 {
+            ((v / max) * bar_space as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:>label_w$} | {} {v}\n",
+            "#".repeat(len),
+        ));
+    }
+    Ok(out)
+}
+
+/// Donut: per-category percentage strip.
+fn render_donut(spec: &ChartSpec, _width: usize) -> Result<String> {
+    let x = spec.x.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "donut chart needs a category column".into(),
+    })?;
+    let y = spec.y.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "donut chart needs a measure column".into(),
+    })?;
+    let xcol = spec.data.column(x)?;
+    let ycol = spec.data.column(y)?;
+    let total: f64 = (0..spec.data.num_rows())
+        .filter_map(|i| ycol.numeric_at(i))
+        .sum();
+    let mut out = header(spec);
+    for i in 0..spec.data.num_rows().min(12) {
+        let v = ycol.numeric_at(i).unwrap_or(0.0);
+        let pct = if total > 0.0 { v / total * 100.0 } else { 0.0 };
+        out.push_str(&format!(
+            "  {:<24} {:>6.1}%  ({v})\n",
+            xcol.get(i).render(),
+            pct
+        ));
+    }
+    Ok(out)
+}
+
+/// Bubble: a category/bin grid where each cell's glyph scales with the
+/// size measure, one glyph family per color-group (the Figure 1
+/// "party_sex vs. party_ageInt20, sized using: CountOfRecords" panel).
+fn render_bubble(spec: &ChartSpec, _width: usize) -> Result<String> {
+    let x = spec.x.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "bubble chart needs an x column".into(),
+    })?;
+    let y = spec.y.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "bubble chart needs a y column".into(),
+    })?;
+    let size = spec.size.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "bubble chart needs a size column".into(),
+    })?;
+    let xcol = spec.data.column(x)?;
+    let ycol = spec.data.column(y)?;
+    let scol = spec.data.column(size)?;
+    let ccol = match spec.color.as_deref() {
+        Some(c) => Some(spec.data.column(c)?),
+        None => None,
+    };
+
+    // Axis categories in first-encounter order; size per (x, y, color).
+    let mut xs: Vec<String> = Vec::new();
+    let mut ys: Vec<String> = Vec::new();
+    let mut colors: Vec<String> = Vec::new();
+    let mut cells: std::collections::HashMap<(usize, usize, usize), f64> =
+        std::collections::HashMap::new();
+    let mut max_size = 0.0f64;
+    for r in 0..spec.data.num_rows() {
+        let xv = xcol.get(r).render();
+        let yv = ycol.get(r).render();
+        let cv = ccol.map(|c| c.get(r).render()).unwrap_or_default();
+        let sv = scol.numeric_at(r).unwrap_or(0.0);
+        let xi = index_of(&mut xs, xv);
+        let yi = index_of(&mut ys, yv);
+        let ci = index_of(&mut colors, cv);
+        let slot = cells.entry((xi, yi, ci)).or_insert(0.0);
+        *slot += sv;
+        max_size = max_size.max(*slot);
+    }
+    if max_size <= 0.0 {
+        return Err(VizError::NothingToPlot {
+            message: "no positive sizes".into(),
+        });
+    }
+    // One glyph family per color; glyph index scales with sqrt(size)
+    // (area-proportional, like real bubble charts).
+    const FAMILIES: [[char; 4]; 4] = [
+        ['.', 'o', 'O', '@'],
+        [',', '+', '*', '#'],
+        ['\'', 'x', 'X', '%'],
+        ['`', 's', 'S', '$'],
+    ];
+    let glyph = |ci: usize, v: f64| {
+        let family = FAMILIES[ci % FAMILIES.len()];
+        let t = (v / max_size).sqrt();
+        family[((t * 3.0).round() as usize).min(3)]
+    };
+    let label_w = ys.iter().map(|s| s.len()).max().unwrap_or(1).min(18);
+    let col_w = 2 * colors.len().max(1) + 1;
+    let mut out = header(spec);
+    for (yi, yname) in ys.iter().enumerate() {
+        let mut line = format!("{:<label_w$} |", truncate(yname, label_w));
+        for xi in 0..xs.len() {
+            line.push(' ');
+            for ci in 0..colors.len().max(1) {
+                match cells.get(&(xi, yi, ci)) {
+                    Some(&v) if v > 0.0 => {
+                        line.push(glyph(ci, v));
+                        line.push(' ');
+                    }
+                    _ => line.push_str("  "),
+                }
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<label_w$} +{}\n", "", "-".repeat(xs.len() * col_w)));
+    // X labels, vertical-ish: print first chars.
+    let mut label_line = format!("{:<label_w$}  ", "");
+    for xname in &xs {
+        label_line.push_str(&format!("{:<col_w$}", truncate(xname, col_w - 1)));
+    }
+    out.push_str(label_line.trim_end());
+    out.push('\n');
+    if !colors.is_empty() && colors.iter().any(|c| !c.is_empty()) {
+        out.push_str("legend (glyph family = color group, size = magnitude):\n");
+        for (ci, c) in colors.iter().enumerate() {
+            let fam = FAMILIES[ci % FAMILIES.len()];
+            out.push_str(&format!("  {} {} {} {}  {c}\n", fam[0], fam[1], fam[2], fam[3]));
+        }
+    }
+    Ok(out)
+}
+
+fn index_of(list: &mut Vec<String>, item: String) -> usize {
+    match list.iter().position(|e| *e == item) {
+        Some(i) => i,
+        None => {
+            list.push(item);
+            list.len() - 1
+        }
+    }
+}
+
+fn truncate(s: &str, w: usize) -> String {
+    if s.len() <= w {
+        s.to_string()
+    } else {
+        s.chars().take(w.saturating_sub(1)).collect::<String>() + "~"
+    }
+}
+
+/// Line/scatter: a dot-matrix plot of y over x, with one mark per series
+/// when a color/facet column is present (the Figure 2 actual-vs-predicted
+/// chart uses `for_each RecordType`).
+fn render_xy(spec: &ChartSpec, width: usize) -> Result<String> {
+    let x = spec.x.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "xy chart needs an x column".into(),
+    })?;
+    let y = spec.y.as_deref().ok_or_else(|| VizError::NothingToPlot {
+        message: "xy chart needs a y column".into(),
+    })?;
+    let series_col = spec.for_each.as_deref().or(spec.color.as_deref());
+    let height = 16usize;
+    let xcol = spec.data.column(x)?;
+    let ycol = spec.data.column(y)?;
+    let scol = match series_col {
+        Some(s) => Some(spec.data.column(s)?),
+        None => None,
+    };
+
+    let mut pts: Vec<(f64, f64, usize)> = Vec::new();
+    let mut series_names: Vec<String> = Vec::new();
+    for i in 0..spec.data.num_rows() {
+        let (Some(xv), Some(yv)) = (xcol.numeric_at(i), ycol.numeric_at(i)) else {
+            continue;
+        };
+        let sid = match &scol {
+            Some(c) => {
+                let name = c.get(i).render();
+                match series_names.iter().position(|s| *s == name) {
+                    Some(p) => p,
+                    None => {
+                        series_names.push(name);
+                        series_names.len() - 1
+                    }
+                }
+            }
+            None => 0,
+        };
+        pts.push((xv, yv, sid));
+    }
+    if pts.is_empty() {
+        return Err(VizError::NothingToPlot {
+            message: "no numeric points".into(),
+        });
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(xv, yv, _) in &pts {
+        x0 = x0.min(xv);
+        x1 = x1.max(xv);
+        y0 = y0.min(yv);
+        y1 = y1.max(yv);
+    }
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 == y0 {
+        y1 = y0 + 1.0;
+    }
+    let marks = ['*', '+', 'o', 'x', '@', '%'];
+    let mut grid = vec![vec![' '; width]; height];
+    for &(xv, yv, sid) in &pts {
+        let cx = (((xv - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((yv - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = marks[sid % marks.len()];
+    }
+    let mut out = header(spec);
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    if series_names.len() > 1 || (series_names.len() == 1 && series_col.is_some()) {
+        for (i, name) in series_names.iter().enumerate() {
+            out.push_str(&format!("  {} {name}\n", marks[i % marks.len()]));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{Column, Table};
+
+    fn donut_spec() -> ChartSpec {
+        ChartSpec {
+            name: "Chart1A".into(),
+            chart: ChartType::Donut,
+            title: "Distribution of at_fault".into(),
+            x: Some("at_fault".into()),
+            y: Some("n".into()),
+            color: None,
+            size: None,
+            for_each: None,
+            data: Table::new(vec![
+                ("at_fault", Column::from_strs(vec!["at fault", "not at fault"])),
+                ("n", Column::from_ints(vec![25, 75])),
+            ])
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn donut_shows_percentages() {
+        let s = render_ascii(&donut_spec(), 80).unwrap();
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("Chart1A"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let spec = ChartSpec {
+            chart: ChartType::Bar,
+            ..donut_spec()
+        };
+        let s = render_ascii(&spec, 60).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        let short = lines.iter().find(|l| l.contains("at fault |")).unwrap();
+        let long = lines.iter().find(|l| l.contains("not at fault |")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(count(long) > count(short) * 2);
+    }
+
+    #[test]
+    fn line_chart_with_series_legend() {
+        let spec = ChartSpec {
+            name: "gdp".into(),
+            chart: ChartType::Line,
+            title: "GDP".into(),
+            x: Some("t".into()),
+            y: Some("v".into()),
+            color: None,
+            size: None,
+            for_each: Some("RecordType".into()),
+            data: Table::new(vec![
+                ("t", Column::from_ints((0..10).collect())),
+                ("v", Column::from_floats((0..10).map(|i| i as f64).collect())),
+                (
+                    "RecordType",
+                    Column::from_strs(
+                        (0..10)
+                            .map(|i| if i < 5 { "Actual" } else { "Predicted" })
+                            .collect(),
+                    ),
+                ),
+            ])
+            .unwrap(),
+        };
+        let s = render_ascii(&spec, 60).unwrap();
+        assert!(s.contains("* Actual"));
+        assert!(s.contains("+ Predicted"));
+        assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn missing_roles_error() {
+        let mut spec = donut_spec();
+        spec.y = None;
+        assert!(render_ascii(&spec, 60).is_err());
+    }
+
+    #[test]
+    fn bubble_renders_grid_with_legend() {
+        let spec = ChartSpec {
+            name: "b".into(),
+            chart: ChartType::Bubble,
+            title: "party_sex vs. party_ageInt20".into(),
+            x: Some("age".into()),
+            y: Some("sex".into()),
+            color: Some("fault".into()),
+            size: Some("n".into()),
+            for_each: None,
+            data: Table::new(vec![
+                ("age", Column::from_ints(vec![0, 0, 20, 20, 40])),
+                ("sex", Column::from_strs(vec!["m", "f", "m", "f", "m"])),
+                ("fault", Column::from_ints(vec![0, 1, 0, 1, 0])),
+                ("n", Column::from_ints(vec![5, 50, 100, 2, 9])),
+            ])
+            .unwrap(),
+        };
+        let s = render_ascii(&spec, 60).unwrap();
+        assert!(s.contains("legend"));
+        assert!(s.contains('|'));
+        // The largest bubble uses the largest glyph of its family.
+        assert!(s.contains('@') || s.contains('#'), "{s}");
+    }
+
+    #[test]
+    fn bubble_requires_roles() {
+        let mut spec = donut_spec();
+        spec.chart = ChartType::Bubble;
+        spec.size = None;
+        assert!(render_ascii(&spec, 60).is_err());
+    }
+
+    #[test]
+    fn fallback_renders_preview() {
+        let spec = ChartSpec {
+            chart: ChartType::Violin,
+            ..donut_spec()
+        };
+        let s = render_ascii(&spec, 60).unwrap();
+        assert!(s.contains("violin"));
+        assert!(s.contains("at_fault"));
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        // Tiny and huge widths must not panic.
+        let spec = ChartSpec {
+            chart: ChartType::Bar,
+            ..donut_spec()
+        };
+        render_ascii(&spec, 1).unwrap();
+        render_ascii(&spec, 10_000).unwrap();
+    }
+}

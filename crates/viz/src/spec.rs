@@ -1,0 +1,140 @@
+//! Chart specifications.
+//!
+//! A [`ChartSpec`] is the artifact DataChat's Visualize/Plot skills emit:
+//! a chart type, role-mapped columns, and the already-prepared data table.
+//! Rendering (browser in the product, ASCII here) is downstream of the
+//! spec, so specs are what get saved, shared, and refreshed.
+
+use dc_engine::Table;
+
+/// Chart families supported by the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChartType {
+    Line,
+    Bar,
+    Scatter,
+    Bubble,
+    Histogram,
+    Donut,
+    /// Box-and-whisker (the paper's "violin" renders as a distribution
+    /// summary per category; this spec carries the same roles).
+    Box,
+    Violin,
+    Heatmap,
+}
+
+impl ChartType {
+    /// Display name, matching the paper's chat transcript ("donut chart",
+    /// "violin chart", ...).
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ChartType::Line => "line",
+            ChartType::Bar => "bar",
+            ChartType::Scatter => "scatter",
+            ChartType::Bubble => "bubble",
+            ChartType::Histogram => "histogram",
+            ChartType::Donut => "donut",
+            ChartType::Box => "box",
+            ChartType::Violin => "violin",
+            ChartType::Heatmap => "heatmap",
+        }
+    }
+}
+
+/// A fully prepared chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSpec {
+    /// Artifact name (Chart1A, Chart1B, ... in the Figure 1 transcript).
+    pub name: String,
+    pub chart: ChartType,
+    /// Human title, e.g.
+    /// "party_sex vs. party_ageInt20, sized using: CountOfRecords".
+    pub title: String,
+    /// Column in `data` used for the x axis (or the category for donuts).
+    pub x: Option<String>,
+    /// Column used for the y axis (or the measure for donuts).
+    pub y: Option<String>,
+    /// Column used for color grouping.
+    pub color: Option<String>,
+    /// Column used for mark size (bubble charts).
+    pub size: Option<String>,
+    /// Facet column ("for each RecordType" in Figure 2).
+    pub for_each: Option<String>,
+    /// The prepared (usually aggregated) data behind the chart.
+    pub data: Table,
+}
+
+impl ChartSpec {
+    /// One-line description as shown in the Figure 1 chat reply, e.g.
+    /// "Chart1A (donut chart using the column at_fault)".
+    pub fn chat_line(&self) -> String {
+        let detail = match self.chart {
+            ChartType::Donut => format!(
+                "donut chart using the column {}",
+                self.x.as_deref().unwrap_or("?")
+            ),
+            ChartType::Histogram => format!(
+                "histogram with the x-axis {}",
+                self.x.as_deref().unwrap_or("?")
+            ),
+            ChartType::Violin | ChartType::Box => format!(
+                "{} chart with the x-axis {}",
+                self.chart.display_name(),
+                self.x.as_deref().unwrap_or("?")
+            ),
+            ChartType::Bubble => format!(
+                "bubble chart of {} vs. {}, sized using: {}",
+                self.x.as_deref().unwrap_or("?"),
+                self.y.as_deref().unwrap_or("?"),
+                self.size.as_deref().unwrap_or("?")
+            ),
+            _ => format!(
+                "{} chart with the x-axis {} and the y-axis {}",
+                self.chart.display_name(),
+                self.x.as_deref().unwrap_or("?"),
+                self.y.as_deref().unwrap_or("?")
+            ),
+        };
+        format!("{} ({detail})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Column;
+
+    fn spec(chart: ChartType) -> ChartSpec {
+        ChartSpec {
+            name: "Chart1A".into(),
+            chart,
+            title: "t".into(),
+            x: Some("at_fault".into()),
+            y: Some("n".into()),
+            color: None,
+            size: Some("CountOfRecords".into()),
+            for_each: None,
+            data: Table::new(vec![("at_fault", Column::from_ints(vec![0, 1]))]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn chat_lines_match_transcript_style() {
+        assert_eq!(
+            spec(ChartType::Donut).chat_line(),
+            "Chart1A (donut chart using the column at_fault)"
+        );
+        assert!(spec(ChartType::Histogram)
+            .chat_line()
+            .contains("histogram with the x-axis at_fault"));
+        assert!(spec(ChartType::Bubble).chat_line().contains("sized using: CountOfRecords"));
+        assert!(spec(ChartType::Line).chat_line().contains("line chart"));
+        assert!(spec(ChartType::Violin).chat_line().contains("violin chart"));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ChartType::Donut.display_name(), "donut");
+        assert_eq!(ChartType::Heatmap.display_name(), "heatmap");
+    }
+}

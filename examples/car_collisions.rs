@@ -1,0 +1,72 @@
+//! The Figure 1 session: California car collisions in a cloud database,
+//! the dataset-listing panel, a spreadsheet view of `parties`, and
+//! `Visualize at_fault by party_age, party_sex, cellphone_in_use`
+//! answering with six charts (donuts, violin, histogram, and the bubble
+//! chart sized by CountOfRecords over binned ages).
+//!
+//! Run with: `cargo run --example car_collisions`
+
+use datachat::core::Platform;
+use datachat::storage::{demo, CloudDatabase, Pricing};
+use datachat::viz::render_ascii;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::new();
+
+    // The paper demos on the 9.4M-row SWITRS database; this reproduction
+    // generates a synthetic equivalent with the same schema (DESIGN.md §1).
+    let (collisions, parties, victims) = demo::california_collisions(2_000, 42);
+    let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+    db.create_table("collisions", &collisions)?;
+    db.create_table("parties", &parties)?;
+    db.create_table("victims", &victims)?;
+    platform.add_database(db)?;
+
+    // The dataset listing panel (top-right of Figure 1).
+    let session = platform.open_session("analyst");
+    let listing = session.run_gel("List the datasets")?;
+    if let datachat::skills::SkillOutput::Text(text) = &listing {
+        println!("--- datasets ---");
+        println!("{:<14} {:<12} {:>10}", "Database", "DatasetName", "Rows");
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            let (db, name, rows) = (
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+            );
+            println!("{db:<14} {name:<12} {rows:>10}");
+        }
+    }
+
+    // Spreadsheet view of parties.
+    session.run_gel("Load the table parties from the database MainDatabase")?;
+    let head = session.run_gel("Show the first 8 rows")?;
+    if let datachat::skills::SkillOutput::Text(grid) = &head {
+        println!("\n--- parties (spreadsheet view) ---\n{grid}");
+    }
+
+    // The chat request from Figure 1's bottom-right panel.
+    let reply = platform.chat(
+        &session,
+        "Visualize at_fault by party_age, party_sex, cellphone_in_use",
+    )?;
+    let charts = reply.output.as_charts().expect("visualize answers with charts");
+    println!("--- chat ---");
+    println!("Here are {} charts to visualize the data\n", charts.len());
+    for (i, chart) in charts.iter().enumerate() {
+        println!("{}. {}", i + 1, chart.chat_line());
+    }
+
+    // Render the bubble chart (the big panel in the screenshot).
+    let bubble = charts
+        .iter()
+        .find(|c| c.chart == datachat::viz::ChartType::Bubble)
+        .expect("a bubble chart is part of the answer");
+    println!("\n--- {} ---", bubble.title);
+    println!("{}", render_ascii(bubble, 72)?);
+
+    // And the first donut.
+    println!("{}", render_ascii(&charts[0], 72)?);
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! The Figure 2 recipe: load a quarterly GDP series, keep the pre-2020
+//! window, forecast 12 quarters, label and concatenate actual vs
+//! predicted, and plot the gap — then step through the recipe in the GEL
+//! IDE with a breakpoint, exactly like the paper's editor screenshot.
+//!
+//! Run with: `cargo run --example gdp_forecast`
+
+use datachat::gel::{parse_gel, Recipe, RecipeEditor, RunState};
+use datachat::skills::Env;
+use datachat::storage::demo;
+use datachat::viz::render_ascii;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper pulls GDPC1 from FRED; offline we register a synthetic
+    // quarterly series with the same 2020 shock (DESIGN.md §1).
+    let mut env = Env::new();
+    let gdp_csv = datachat::engine::csv::write_csv(&demo::fred_gdp());
+    env.add_url(
+        "https://fred.stlouisfed.org/graph/fredgraph.csv?id=GDPC1&fq=Quarterly",
+        gdp_csv,
+    );
+
+    // The recipe, line for line from Figure 2a.
+    let mut recipe = Recipe::new();
+    let lines = [
+        "Load data from the URL https://fred.stlouisfed.org/graph/fredgraph.csv?id=GDPC1&fq=Quarterly",
+        "Keep the rows where DATE is between the dates 01-01-2005 to 12-31-2020",
+        "Predict time series with measure columns GDPC1 for the next 12 values of DATE",
+        "Keep the columns DATE, GDPC1, RecordType",
+        "Use the dataset fredgraph, version 1",
+        "Create a new column RecordType with text Actual",
+        "Keep the columns DATE, GDPC1, RecordType",
+        "Concatenate the datasets fredgraph and PredictedTimeSeries_GDPC1 remove all duplicates",
+        "Keep the rows where DATE is after Today - 10 years",
+        "Plot a line chart with the x-axis DATE, the y-axis GDPC1, for each RecordType",
+    ];
+    for line in lines {
+        recipe.push(parse_gel(line)?);
+    }
+    // Name the intermediate results the recipe references.
+    recipe.bind(0, "fredgraph")?;
+    recipe.bind(3, "PredictedTimeSeries_GDPC1")?;
+
+    println!("--- recipe (GEL editor) ---\n{}\n", recipe.to_text());
+
+    // IDE semantics: breakpoint on the forecast step, run, inspect, resume.
+    let mut editor = RecipeEditor::new(recipe);
+    editor.toggle_breakpoint(2)?;
+    let state = editor.run(&mut env)?;
+    assert_eq!(state, RunState::Paused);
+    println!(
+        "paused before step {} (breakpoint); last output has {} rows",
+        editor.position() + 1,
+        editor
+            .last_output()
+            .and_then(|o| o.as_table())
+            .map(|t| t.num_rows())
+            .unwrap_or(0)
+    );
+    editor.resume(&mut env)?;
+    assert_eq!(editor.state(), RunState::Done);
+
+    // The final chart artifact (Figure 2b).
+    let charts = editor
+        .last_output()
+        .and_then(|o| o.as_charts())
+        .expect("the last step plots a chart");
+    let chart = &charts[0];
+    println!("\n--- {} ---", "Real Per Capita GDP over time: Actual vs Prediction");
+    println!("{}", render_ascii(chart, 76)?);
+    println!(
+        "The '+' series projects the pre-2020 trend; the '*' series is actual.\n\
+         The gap between them is the economic-activity shortfall the caption describes."
+    );
+    Ok(())
+}

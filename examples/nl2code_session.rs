@@ -1,0 +1,72 @@
+//! The Figure 6 NL2Code flow, end to end: a natural-language question
+//! runs through semantic retrieval, example retrieval, prompt
+//! composition, (simulated) LLM generation, the program checker, and
+//! polyglot translation — with the full step trace printed, then the
+//! recipe executed against a sales dataset. Also demonstrates §4.8's
+//! deterministic phrase-based translation for `Visualize`.
+//!
+//! Run with: `cargo run --example nl2code_session`
+
+use datachat::gel::RecipeEditor;
+use datachat::nl::{translate_visualize, Nl2Code, SchemaHints, SimulatedLlm};
+use datachat::skills::Env;
+use datachat::storage::demo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sales = demo::sales(400, 7);
+    let schema = SchemaHints::single(
+        "sales",
+        sales.schema().names().iter().map(|s| s.to_string()).collect(),
+    );
+
+    // The default stack with the sales-demo semantic layer. The oracle
+    // model keeps the example deterministic; swap in SimulatedLlm::new(n)
+    // (or a real LanguageModel impl) for the noisy/production setting.
+    let mut system = Nl2Code::with_defaults(42);
+    system.model = Box::new(SimulatedLlm::oracle());
+
+    // The §4.2 walkthrough question.
+    let question = "How many purchases were successful";
+    let result = system.generate(question, &schema)?;
+
+    println!("--- Figure 6 trace ---");
+    for line in &result.trace {
+        println!("{line}");
+    }
+
+    println!("\n--- polyglot output (§4: Python / GEL / SQL) ---");
+    println!("Python:\n  {}", result.python.replace('\n', "\n  "));
+    println!("GEL:");
+    for line in &result.gel {
+        println!("  {line}");
+    }
+    if let Some(sql) = &result.sql {
+        println!("SQL:\n  {sql}");
+    }
+
+    // Step 12-13: execute on the platform.
+    let mut env = Env::new();
+    env.save_table("sales", sales);
+    let recipe = Nl2Code::to_recipe(&result.checked)?;
+    let mut editor = RecipeEditor::new(recipe);
+    editor.run(&mut env)?;
+    let answer = editor
+        .last_output()
+        .and_then(|o| o.as_table())
+        .expect("the program answers with a table");
+    println!("\n--- executed answer ---\n{}", answer.render(5));
+
+    // §4.8: the phrase-based path — deterministic semantic-layer lookups.
+    println!("--- §4.8 phrase-based translation ---");
+    let phrase = "Visualize revenue by region where successful purchases";
+    let translation = translate_visualize(phrase, &system.semantics, &schema)?;
+    println!("input : {phrase}");
+    println!(
+        "phrases matched deterministically: {:?}",
+        translation.matched_phrases
+    );
+    for call in &translation.calls {
+        println!("  -> {}", datachat::gel::format_skill(call));
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: load a CSV, wrangle it with GEL sentences, train a model,
+//! and read the recipe back — the DataChat loop in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use datachat::core::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::new();
+
+    // Register a CSV "file" (this reproduction runs offline; real
+    // deployments connect to databases and object stores).
+    let mut csv = String::from("day,visitors,signups\n");
+    for day in 1..=60 {
+        let visitors = 100 + day * 7 + (day % 5) * 11;
+        let signups = visitors / 9 + day % 4;
+        csv.push_str(&format!("{day},{visitors},{signups}\n"));
+    }
+    platform.add_csv_file("traffic.csv", csv);
+
+    // Open a session and work in GEL — every sentence is one skill.
+    let session = platform.open_session("you");
+    session.run_gel("Load data from the file traffic.csv")?;
+    session.run_gel("Create a new column conversion as signups / visitors")?;
+    session.run_gel("Keep the rows where visitors > 150")?;
+    let out = session.run_gel("Show the first 5 rows")?;
+    if let datachat::skills::SkillOutput::Text(preview) = &out {
+        println!("--- spreadsheet view ---\n{preview}");
+    }
+
+    // Data exploration.
+    let described = session.run_gel("Describe the column conversion")?;
+    if let datachat::skills::SkillOutput::Summaries(summaries) = &described {
+        println!("--- describe ---\n{}\n", summaries[0].to_english());
+    }
+
+    // Machine learning, one sentence.
+    session.run_gel("Train a model named growth to predict signups using day, visitors")?;
+    let predicted = session.run_gel("Predict with the model growth")?;
+    let table = predicted.as_table().expect("prediction table");
+    println!(
+        "--- predictions ---\ntrained on {} rows; first predicted value: {}\n",
+        table.num_rows(),
+        table.value(0, "Predicted_signups")?
+    );
+
+    // Save the result; the artifact carries its sliced recipe.
+    let artifact = platform.save_artifact(&session, "conversion-analysis")?;
+    println!("--- artifact recipe ({} steps) ---", artifact.recipe_gel().len());
+    for (i, line) in artifact.recipe_gel().iter().enumerate() {
+        println!("{:>2}. {line}", i + 1);
+    }
+    Ok(())
+}

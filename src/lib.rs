@@ -1,0 +1,17 @@
+//! # datachat — umbrella crate
+//!
+//! Re-exports every subsystem of the DataChat reproduction so examples and
+//! integration tests can depend on one crate. See `datachat_core` for the
+//! user-facing platform facade and `DESIGN.md` for the system inventory.
+
+pub use datachat_core as core;
+pub use dc_collab as collab;
+pub use dc_engine as engine;
+pub use dc_gel as gel;
+pub use dc_ml as ml;
+pub use dc_nl as nl;
+pub use dc_skills as skills;
+pub use dc_spider as spider;
+pub use dc_sql as sql;
+pub use dc_storage as storage;
+pub use dc_viz as viz;

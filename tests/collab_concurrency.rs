@@ -1,0 +1,118 @@
+//! §2.4's session-level lock under real concurrency: "requests sent
+//! concurrently will fail with a message to the user indicating that
+//! another execution was already running."
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use datachat::collab::{CollabError, Permission, Session};
+use datachat::engine::{Column, Table};
+use datachat::skills::SkillCall;
+
+#[test]
+fn racing_submissions_one_wins_rest_get_busy() {
+    // The session env is thread-local, so give every thread its own data.
+    let make_table = || {
+        Table::new(vec![(
+            "x",
+            Column::from_ints((0..50_000).collect::<Vec<i64>>()),
+        )])
+        .unwrap()
+    };
+
+    let session = Session::new(1, "ann");
+    for u in ["u0", "u1", "u2", "u3"] {
+        session.share_with(u, Permission::Edit);
+    }
+    // Seed each worker thread's env and load the dataset once from the
+    // owner so transforms have an input.
+    datachat::collab::with_env(|env| {
+        env.save_table("big", make_table());
+    });
+    session
+        .submit(
+            "ann",
+            SkillCall::UseDataset {
+                name: "big".into(),
+                version: None,
+            },
+        )
+        .unwrap();
+
+    let threads = 4;
+    let barrier = Arc::new(Barrier::new(threads));
+    let successes = Arc::new(AtomicUsize::new(0));
+    let busies = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for i in 0..threads {
+        let session = Arc::clone(&session);
+        let barrier = Arc::clone(&barrier);
+        let successes = Arc::clone(&successes);
+        let busies = Arc::clone(&busies);
+        handles.push(std::thread::spawn(move || {
+            // Each thread needs the dataset in its own thread-local env
+            // because execution reads files/models from there — the DAG
+            // itself is shared platform-side.
+            datachat::collab::with_env(|env| {
+                env.save_table(
+                    "big",
+                    Table::new(vec![(
+                        "x",
+                        Column::from_ints((0..50_000).collect::<Vec<i64>>()),
+                    )])
+                    .unwrap(),
+                );
+            });
+            barrier.wait();
+            let user = format!("u{i}");
+            match session.submit(
+                &user,
+                SkillCall::Sort {
+                    keys: vec![("x".into(), false)],
+                },
+            ) {
+                Ok(_) => {
+                    successes.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(CollabError::SessionBusy { session: id }) => {
+                    assert_eq!(id, 1);
+                    busies.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ok = successes.load(Ordering::SeqCst);
+    let busy = busies.load(Ordering::SeqCst);
+    assert_eq!(ok + busy, threads);
+    assert!(ok >= 1, "at least one racer must win the lock");
+    // With a 50k-row sort the winner usually holds the lock long enough
+    // to reject at least one racer; tolerate a lucky schedule but verify
+    // serialization via the log either way.
+    assert!(
+        session.log().len() == 1 + ok,
+        "only lock winners may append to the session log"
+    );
+}
+
+#[test]
+fn sequential_retries_succeed_after_busy() {
+    datachat::collab::with_env(|env| {
+        *env = datachat::skills::Env::new();
+        env.add_file("d.csv", "x\n1\n2\n");
+    });
+    let session = Session::new(9, "ann");
+    session
+        .submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+        .unwrap();
+    // After any rejected attempt the lock is free again; a retry works.
+    for _ in 0..3 {
+        session
+            .submit("ann", SkillCall::Limit { n: 1 })
+            .unwrap();
+    }
+    assert_eq!(session.log().len(), 4);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate property tests: the GEL ↔ skill ↔ Python round-trips and
+//! the invariants that hold across the whole stack for randomized inputs.
+
+use datachat::engine::{AggFunc, AggSpec, Expr, Value};
+use datachat::gel::{format_skill, parse_gel};
+use datachat::nl::{format_program, parse_pyapi};
+use datachat::skills::SkillCall;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("keyword-free identifiers", |s| {
+        // Avoid GEL grammar words inside list items and condition slots.
+        ![
+            "and", "or", "by", "to", "as", "for", "each", "with", "where", "the", "of", "is",
+            "not", "null", "rows", "version", "using", "seed", "call",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::CountRecords),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Median),
+    ]
+}
+
+fn simple_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0..100.0f64).prop_map(|f| Value::Float((f * 4.0).round() / 4.0)),
+        ident().prop_map(Value::Str),
+    ]
+}
+
+fn skill_call() -> impl Strategy<Value = SkillCall> {
+    prop_oneof![
+        ident().prop_map(|path| SkillCall::LoadFile { path: format!("{path}.csv") }),
+        (ident(), -1000i64..1000).prop_map(|(c, v)| SkillCall::KeepRows {
+            predicate: Expr::col(c).gt(Expr::lit(v)),
+        }),
+        prop::collection::vec(ident(), 1..4).prop_map(|mut columns| {
+            columns.dedup();
+            SkillCall::KeepColumns { columns }
+        }),
+        (ident(), ident()).prop_filter("distinct names", |(a, b)| a != b).prop_map(
+            |(from, to)| SkillCall::RenameColumn { from, to },
+        ),
+        (agg_func(), ident(), ident()).prop_map(|(func, col, key)| {
+            let column = (func != AggFunc::CountRecords).then_some(col.clone());
+            let output = AggSpec::default_output(func, column.as_deref());
+            SkillCall::Compute {
+                aggs: vec![AggSpec { func, column, output }],
+                for_each: vec![key],
+            }
+        }),
+        (1usize..1000).prop_map(|n| SkillCall::Limit { n }),
+        (ident(), 1usize..100).prop_map(|(column, n)| SkillCall::Top { column, n }),
+        (ident(), simple_value()).prop_map(|(column, value)| SkillCall::FillMissing {
+            column,
+            value,
+        }),
+        (ident(), 1i64..100).prop_map(|(column, width)| SkillCall::BinColumn {
+            column,
+            width,
+            name: None,
+        }),
+        (1u64..100, 0u64..100).prop_map(|(pct, seed)| SkillCall::Sample {
+            // Whole percents round-trip exactly through the GEL text.
+            fraction: pct as f64 / 100.0,
+            seed,
+        }),
+        ident().prop_map(|name| SkillCall::SaveArtifact { name }),
+        (ident(), ident()).prop_map(|(phrase, expansion)| SkillCall::Define {
+            phrase,
+            expansion,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every formatted GEL sentence parses back to the identical call —
+    /// the recipe round-trip §2.3 depends on.
+    #[test]
+    fn gel_roundtrip(call in skill_call()) {
+        let text = format_skill(&call);
+        let parsed = parse_gel(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed: {e}"));
+        prop_assert_eq!(parsed, call);
+    }
+
+    /// The polyglot invariant of §4: GEL and the Python API describe the
+    /// same skill for every call that has a Python form.
+    #[test]
+    fn python_roundtrip_agrees_with_gel(call in skill_call()) {
+        let Ok(python) = format_program("data", std::slice::from_ref(&call)) else {
+            return Ok(()); // ingestion/collab calls have no Python form
+        };
+        let parsed = parse_pyapi(&python)
+            .unwrap_or_else(|e| panic!("{python:?} failed: {e}"));
+        prop_assert_eq!(&parsed.statements[0].calls[0], &call, "python was {}", python);
+    }
+
+    /// Difficulty metrics are total and bounded on arbitrary questions.
+    #[test]
+    fn metrics_total_and_bounded(q in "[ -~]{0,80}") {
+        let schema = datachat::nl::SchemaHints::single(
+            "t",
+            vec!["alpha".into(), "beta_gamma".into()],
+        );
+        let m = datachat::nl::misalignment(&q, &schema, &datachat::nl::SemanticLayer::new());
+        prop_assert!((0.0..=1.0).contains(&m), "m = {m}");
+        let c = datachat::nl::composition(&q);
+        prop_assert!(c >= 0.0);
+    }
+
+    /// Recipes built from random calls render to text and re-parse.
+    #[test]
+    fn recipe_text_roundtrip(calls in prop::collection::vec(skill_call(), 1..6)) {
+        let mut recipe = datachat::gel::Recipe::new();
+        for c in &calls {
+            recipe.push(c.clone());
+        }
+        let text: String = recipe
+            .steps()
+            .iter()
+            .map(|c| format_skill(c))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = datachat::gel::Recipe::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.steps(), recipe.steps());
+    }
+}

@@ -1,0 +1,231 @@
+//! Integration tests spanning the full stack: platform facade → NL2Code →
+//! skills → SQL/engine → storage, exercising the paper's demo scenarios.
+
+use datachat::core::{ChatPath, Platform};
+use datachat::gel::{parse_gel, Recipe, RecipeEditor, RunState};
+use datachat::skills::{Env, SkillOutput};
+use datachat::storage::{demo, CloudDatabase, Pricing};
+
+fn collisions_platform() -> Platform {
+    let p = Platform::new();
+    let (collisions, parties, victims) = demo::california_collisions(800, 5);
+    let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+    db.create_table("collisions", &collisions).unwrap();
+    db.create_table("parties", &parties).unwrap();
+    db.create_table("victims", &victims).unwrap();
+    p.add_database(db).unwrap();
+    p
+}
+
+#[test]
+fn figure1_interactive_session() {
+    let mut p = collisions_platform();
+    let h = p.open_session("analyst");
+
+    // Dataset panel.
+    let listing = h.run_gel("List the datasets").unwrap();
+    match listing {
+        SkillOutput::Text(text) => {
+            assert!(text.contains("parties"));
+            assert!(text.contains("collisions"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Spreadsheet view + the six-chart Visualize.
+    h.run_gel("Load the table parties from the database MainDatabase")
+        .unwrap();
+    let reply = p
+        .chat(&h, "Visualize at_fault by party_age, party_sex, cellphone_in_use")
+        .unwrap();
+    let charts = reply.output.as_charts().unwrap();
+    assert_eq!(charts.len(), 6);
+    assert!(charts
+        .iter()
+        .any(|c| c.chart == datachat::viz::ChartType::Bubble
+            && c.size.as_deref() == Some("CountOfRecords")));
+}
+
+#[test]
+fn figure2_gdp_recipe_replays() {
+    let mut env = Env::new();
+    env.add_url(
+        "https://fred.example/gdp.csv",
+        datachat::engine::csv::write_csv(&demo::fred_gdp()),
+    );
+    let mut recipe = Recipe::new();
+    for line in [
+        "Load data from the URL https://fred.example/gdp.csv",
+        "Keep the rows where DATE is between the dates 01-01-2005 to 12-31-2020",
+        "Predict time series with measure columns GDPC1 for the next 12 values of DATE",
+        "Keep the columns DATE, GDPC1, RecordType",
+        "Use the dataset fredgraph, version 1",
+        "Create a new column RecordType with text Actual",
+        "Keep the columns DATE, GDPC1, RecordType",
+        "Concatenate the datasets fredgraph and PredictedTimeSeries_GDPC1 remove all duplicates",
+        "Keep the rows where DATE is after Today - 10 years",
+        "Plot a line chart with the x-axis DATE, the y-axis GDPC1, for each RecordType",
+    ] {
+        recipe.push(parse_gel(line).unwrap());
+    }
+    recipe.bind(0, "fredgraph").unwrap();
+    recipe.bind(3, "PredictedTimeSeries_GDPC1").unwrap();
+
+    let mut ed = RecipeEditor::new(recipe);
+    assert_eq!(ed.run(&mut env).unwrap(), RunState::Done);
+    let charts = ed.last_output().unwrap().as_charts().unwrap();
+    assert_eq!(charts[0].for_each.as_deref(), Some("RecordType"));
+    // Both series present in the plotted data.
+    let kinds: Vec<String> = charts[0]
+        .data
+        .column("RecordType")
+        .unwrap()
+        .iter_values()
+        .map(|v| v.render())
+        .collect();
+    assert!(kinds.iter().any(|k| k == "Actual"));
+    assert!(kinds.iter().any(|k| k == "Predicted"));
+
+    // Replay is cheap (cached) and deterministic.
+    ed.replay();
+    assert_eq!(ed.run(&mut env).unwrap(), RunState::Done);
+}
+
+#[test]
+fn chat_routes_through_all_three_paths() {
+    let mut p = collisions_platform();
+    p.nl.model = Box::new(datachat::nl::SimulatedLlm::oracle());
+    let h = p.open_session("analyst");
+
+    // GEL path.
+    let r = p
+        .chat(&h, "Load the table parties from the database MainDatabase")
+        .unwrap();
+    assert_eq!(r.path, ChatPath::Gel);
+
+    // Phrase path (needs a filter clause so plain GEL can't parse it).
+    p.nl.semantics
+        .define_phrase("drivers only", "party_type = 'driver'");
+    let r = p
+        .chat(&h, "Visualize party_age by party_sex where drivers only")
+        .unwrap();
+    assert_eq!(r.path, ChatPath::Phrase);
+    assert!(r.output.as_charts().is_some());
+
+    // LLM path.
+    let r = p
+        .chat(&h, "How many parties are there for each party_sobriety")
+        .unwrap();
+    assert_eq!(r.path, ChatPath::Llm);
+    let t = r.output.as_table().unwrap();
+    assert!(t.num_rows() >= 2);
+}
+
+#[test]
+fn artifact_lifecycle_save_share_refresh() {
+    let mut p = collisions_platform();
+    let h = p.open_session("ann");
+    h.run_gel("Load the table victims from the database MainDatabase")
+        .unwrap();
+    h.run_gel("Keep the rows where victim_age is not null").unwrap();
+    h.run_gel("Compute the count of records for each victim_degree_of_injury")
+        .unwrap();
+
+    let a = p.save_artifact(&h, "injury-histogram").unwrap();
+    let rows_v1 = match &a.output {
+        SkillOutput::Table(t) => t.num_rows(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(rows_v1 >= 2);
+    assert!(a.recipe_gel().len() <= 4, "sliced recipe stays small");
+
+    let link = p
+        .share_artifact_link("injury-histogram", datachat::collab::Permission::View)
+        .unwrap();
+    assert_eq!(p.open_shared(&link.key, &link.secret).unwrap().name, "injury-histogram");
+
+    assert_eq!(p.refresh_artifact("injury-histogram").unwrap(), 2);
+}
+
+#[test]
+fn sql_skill_against_catalog_matches_engine_ops() {
+    let mut p = collisions_platform();
+    let h = p.open_session("ann");
+    let via_sql = h
+        .run_gel("Run the SQL query SELECT party_sobriety, COUNT(*) AS n FROM parties GROUP BY party_sobriety")
+        .unwrap();
+    let sql_table = via_sql.as_table().unwrap().clone();
+    h.run_gel("Load the table parties from the database MainDatabase")
+        .unwrap();
+    let via_skills = h
+        .run_gel("Compute the count of records for each party_sobriety and call the computed columns n")
+        .unwrap();
+    let skills_table = via_skills.as_table().unwrap();
+    assert_eq!(sql_table.num_rows(), skills_table.num_rows());
+    // Same group → count mapping.
+    let read = |t: &datachat::engine::Table| {
+        let mut pairs: Vec<(String, String)> = (0..t.num_rows())
+            .map(|r| {
+                (
+                    t.value(r, "party_sobriety").unwrap().render(),
+                    t.value(r, "n").unwrap().render(),
+                )
+            })
+            .collect();
+        pairs.sort();
+        pairs
+    };
+    assert_eq!(read(&sql_table), read(skills_table));
+}
+
+#[test]
+fn snapshot_flow_reduces_cloud_cost() {
+    let p = collisions_platform();
+    let h = {
+        let mut p2 = collisions_platform();
+        p2.open_session("ann")
+    };
+    drop(h);
+    let mut p = p;
+    let h = p.open_session("ann");
+    h.run_gel("Load the table parties from the database MainDatabase")
+        .unwrap();
+    h.run_gel("Snapshot this as parties_snap").unwrap();
+    let before = p.env(|env| env.catalog.database("MainDatabase").unwrap().meter().dollars());
+    // Iterate on the snapshot: no further cloud scans.
+    for _ in 0..5 {
+        h.run_gel("Use the snapshot parties_snap").unwrap();
+        h.run_gel("Keep the first 10 rows").unwrap();
+    }
+    let after = p.env(|env| env.catalog.database("MainDatabase").unwrap().meter().dollars());
+    assert_eq!(before, after, "snapshot iteration must not touch the cloud meter");
+}
+
+#[test]
+fn multi_turn_decomposition_of_a_complex_question() {
+    // §4.6: "users can decide to decompose a complex analytical question
+    // into a sequence of easier, targeted questions, whose responses are
+    // individually editable" — each chat turn extends the same session
+    // chain, so later turns operate on earlier answers.
+    let mut p = collisions_platform();
+    p.nl.model = Box::new(datachat::nl::SimulatedLlm::oracle());
+    let h = p.open_session("analyst");
+    p.chat(&h, "Load the table parties from the database MainDatabase")
+        .unwrap();
+    // Turn 1: narrow.
+    let r1 = p.chat(&h, "Keep the rows where party_age is not null").unwrap();
+    let narrowed = r1.output.as_table().unwrap().num_rows();
+    // Turn 2: aggregate what turn 1 produced.
+    let r2 = p
+        .chat(&h, "Compute the count of records for each party_sobriety")
+        .unwrap();
+    let grouped = r2.output.as_table().unwrap();
+    let total: i64 = (0..grouped.num_rows())
+        .map(|r| grouped.value(r, "CountOfRecords").unwrap().as_i64().unwrap())
+        .sum();
+    assert_eq!(total as usize, narrowed, "turn 2 consumed turn 1's result");
+    // Turn 3: the recipe so far is visible and editable as a DAG.
+    let dot = h.session.dag_snapshot().to_dot();
+    assert!(dot.contains("KeepRows"));
+    assert!(dot.contains("Compute"));
+}

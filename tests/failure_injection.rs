@@ -1,0 +1,145 @@
+//! Failure-injection tests: malformed inputs, corrupted model output,
+//! mid-recipe errors — the platform must degrade with typed errors, never
+//! panics or silent corruption.
+
+use datachat::core::Platform;
+use datachat::gel::{parse_gel, GelError, Recipe, RecipeEditor, RunState};
+use datachat::nl::{check, NlError, SchemaHints};
+use datachat::skills::{Env, SkillError};
+
+#[test]
+fn malformed_csv_fails_typed_and_recoverably() {
+    let mut env = Env::new();
+    env.add_file("bad.csv", "a,b\n1\n"); // ragged row
+    env.add_file("good.csv", "a,b\n1,2\n");
+    let recipe = Recipe::parse(
+        "Load data from the file bad.csv\nKeep the first 1 rows",
+    )
+    .unwrap();
+    let mut ed = RecipeEditor::new(recipe);
+    let err = ed.step(&mut env).unwrap_err();
+    assert!(matches!(err, GelError::Skill(SkillError::Engine(_))));
+    // The editor survives: fix the step and run to completion.
+    ed.edit_step(0, "Load data from the file good.csv").unwrap();
+    assert_eq!(ed.run(&mut env).unwrap(), RunState::Done);
+}
+
+#[test]
+fn unknown_column_mid_recipe_stops_at_the_bad_step() {
+    let mut env = Env::new();
+    env.add_file("d.csv", "x\n1\n2\n3\n");
+    let recipe = Recipe::parse(
+        "Load data from the file d.csv\n\
+         Keep the rows where nope > 1\n\
+         Keep the first 1 rows",
+    )
+    .unwrap();
+    let mut ed = RecipeEditor::new(recipe);
+    ed.step(&mut env).unwrap();
+    let err = ed.step(&mut env).unwrap_err();
+    assert!(err.to_string().contains("nope"));
+    // Position did not advance past the failing step.
+    assert_eq!(ed.position(), 1);
+}
+
+#[test]
+fn corrupted_model_output_is_caught_by_the_checker() {
+    let schema = SchemaHints::single("sales", vec!["price".into(), "region".into()]);
+    // Syntax corruption → hard error.
+    assert!(matches!(
+        check("sales.filter(", &schema),
+        Err(NlError::PySyntax { .. })
+    ));
+    // Reference corruption (the simulated LLM's column-swap failure
+    // mode) → invalid program with a pointed message.
+    let checked = check("sales.filter(\"ghost > 1\")", &schema).unwrap();
+    assert!(!checked.is_valid());
+    assert!(checked.errors()[0].message.contains("ghost"));
+    // Composition corruption: sorting by a column the aggregate consumed.
+    let checked = check(
+        "sales.compute(aggregates = [Count(\"price\")], for_each = [\"region\"]).sort(by = [\"price\"])",
+        &schema,
+    )
+    .unwrap();
+    assert!(!checked.is_valid());
+}
+
+#[test]
+fn chat_surfaces_generation_failures_instead_of_guessing() {
+    let mut p = Platform::new();
+    // No catalog at all: the LLM path has no schema to ground in.
+    let h = p.open_session("ann");
+    let r = p.chat(&h, "summon the quarterly numbers from the void");
+    assert!(r.is_err(), "no dataset → typed error, not a made-up answer");
+}
+
+#[test]
+fn gel_parser_rejects_garbage_without_panicking() {
+    for input in [
+        "",
+        "   ",
+        "Keep the rows where",
+        "Compute the of for each",
+        "Join with the dataset",
+        "Sample % of the rows",
+        "Train a model named to predict",
+        "\u{0}\u{1}\u{2}",
+        "Load data from the file", // empty path is accepted as a name...
+    ] {
+        let _ = parse_gel(input); // Ok or Err, never a panic
+    }
+}
+
+#[test]
+fn engine_expression_errors_are_typed() {
+    use datachat::engine::{Column, Expr, ScalarFunc, Table};
+    let t = Table::new(vec![("s", Column::from_strs(vec!["a"]))]).unwrap();
+    // Numeric function over a string column.
+    let err =
+        datachat::engine::eval::eval(&t, &Expr::func(ScalarFunc::Sqrt, vec![Expr::col("s")]))
+            .unwrap_err();
+    assert!(matches!(
+        err,
+        datachat::engine::EngineError::TypeMismatch { .. }
+    ));
+    // Comparing incomparable types.
+    let err = datachat::engine::eval::eval(
+        &t,
+        &Expr::col("s").gt(Expr::lit(1i64)),
+    )
+    .unwrap_err();
+    assert!(matches!(err, datachat::engine::EngineError::Eval { .. }));
+}
+
+#[test]
+fn snapshot_capacity_failure_leaves_store_unchanged() {
+    let mut store = datachat::storage::SnapshotStore::with_capacity(16);
+    let big = datachat::storage::demo::sales(1000, 1);
+    assert!(store.create("big", big, "src", vec![], None).is_err());
+    assert!(store.names().is_empty());
+    assert_eq!(store.used_bytes(), 0);
+}
+
+#[test]
+fn executor_error_does_not_poison_the_cache() {
+    use datachat::skills::{Executor, SkillCall, SkillDag};
+    let mut env = Env::new();
+    env.add_file("d.csv", "x\n1\n2\n");
+    let mut dag = SkillDag::new();
+    let load = dag
+        .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+        .unwrap();
+    let bad = dag
+        .add(
+            SkillCall::KeepColumns { columns: vec!["ghost".into()] },
+            vec![load],
+        )
+        .unwrap();
+    let good = dag.add(SkillCall::Limit { n: 1 }, vec![load]).unwrap();
+    let mut ex = Executor::new();
+    assert!(ex.run(&dag, bad, &mut env).is_err());
+    // The shared load result is still usable afterwards.
+    let out = ex.run(&dag, good, &mut env).unwrap();
+    assert_eq!(out.as_table().unwrap().num_rows(), 1);
+    assert!(ex.stats.cache_hits >= 1, "load was cached despite the error");
+}
