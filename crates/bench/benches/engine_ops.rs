@@ -1,9 +1,16 @@
 //! Criterion bench for the engine's core kernels — the substrate every
 //! skill bottoms out in. Not a paper figure; a regression guard for the
 //! operators whose cost the §2/§3 experiments depend on.
+//!
+//! Each kernel is measured twice: the dispatching entry point (morsel
+//! path on a default build) against its `*_serial` reference, so the
+//! morsel kernels' advantage is visible side by side.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dc_engine::ops::{filter, group_by, join, sort_by, AggFunc, AggSpec, JoinType, SortKey};
+use dc_engine::ops::{
+    filter, filter_serial, group_by, group_by_serial, join, join_serial, sort_by, sort_by_serial,
+    AggFunc, AggSpec, JoinType, SortKey,
+};
 use dc_engine::{Column, Expr, Table};
 
 fn events(n: usize) -> Table {
@@ -27,28 +34,35 @@ fn bench_engine(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("engine_ops");
     group.sample_size(10);
+    let pred = Expr::col("v").gt(Expr::lit(500.0));
     group.bench_function("filter_200k", |b| {
-        let pred = Expr::col("v").gt(Expr::lit(500.0));
         b.iter(|| filter(&t, &pred).expect("filters"))
     });
-    group.bench_function("group_by_200k_50groups", |b| {
-        b.iter(|| {
-            group_by(
-                &t,
-                &["k"],
-                &[
-                    AggSpec::new(AggFunc::Sum, "v", "s"),
-                    AggSpec::count_records("n"),
-                ],
-            )
-            .expect("groups")
-        })
+    group.bench_function("filter_200k_serial", |b| {
+        b.iter(|| filter_serial(&t, &pred).expect("filters"))
     });
+    let aggs = [
+        AggSpec::new(AggFunc::Sum, "v", "s"),
+        AggSpec::count_records("n"),
+    ];
+    group.bench_function("group_by_200k_50groups", |b| {
+        b.iter(|| group_by(&t, &["k"], &aggs).expect("groups"))
+    });
+    group.bench_function("group_by_200k_50groups_serial", |b| {
+        b.iter(|| group_by_serial(&t, &["k"], &aggs).expect("groups"))
+    });
+    let sort_keys = [SortKey::desc("v"), SortKey::asc("id")];
     group.bench_function("sort_200k", |b| {
-        b.iter(|| sort_by(&t, &[SortKey::desc("v"), SortKey::asc("id")]).expect("sorts"))
+        b.iter(|| sort_by(&t, &sort_keys).expect("sorts"))
+    });
+    group.bench_function("sort_200k_serial", |b| {
+        b.iter(|| sort_by_serial(&t, &sort_keys).expect("sorts"))
     });
     group.bench_function("hash_join_20k_x_20k", |b| {
         b.iter(|| join(&small, &small, &["id"], &["id"], JoinType::Inner).expect("joins"))
+    });
+    group.bench_function("hash_join_20k_x_20k_serial", |b| {
+        b.iter(|| join_serial(&small, &small, &["id"], &["id"], JoinType::Inner).expect("joins"))
     });
     group.bench_function("csv_roundtrip_20k", |b| {
         b.iter(|| {

@@ -14,8 +14,14 @@ fn provider(rows: usize) -> HashMap<String, Table> {
         "base_table".to_string(),
         Table::new(vec![
             ("a", Column::from_ints((0..rows as i64).collect())),
-            ("b", Column::from_ints((0..rows as i64).map(|v| v * 2).collect())),
-            ("c", Column::from_ints((0..rows as i64).map(|v| v * 3).collect())),
+            (
+                "b",
+                Column::from_ints((0..rows as i64).map(|v| v * 2).collect()),
+            ),
+            (
+                "c",
+                Column::from_ints((0..rows as i64).map(|v| v * 3).collect()),
+            ),
         ])
         .expect("table builds"),
     );

@@ -35,7 +35,10 @@ fn system(use_examples: bool, use_semantics: bool) -> Nl2Code {
 /// deltas are the §4.2/§4.3 reproduction target).
 fn print_ablation() {
     let samples: Vec<_> = t_spider(21).into_iter().take(40).collect();
-    println!("\nnl2code_ablation (mean EA over {} samples):", samples.len());
+    println!(
+        "\nnl2code_ablation (mean EA over {} samples):",
+        samples.len()
+    );
     for (label, sys) in [
         ("full prompt            ", system(true, true)),
         ("no examples            ", system(false, true)),
@@ -63,10 +66,16 @@ fn bench_nl2code(c: &mut Criterion) {
     let mut group = c.benchmark_group("nl2code");
     group.sample_size(20);
     group.bench_function("generate_shallow", |b| {
-        b.iter(|| sys.generate(&easy.question, &easy.schema).expect("generates"))
+        b.iter(|| {
+            sys.generate(&easy.question, &easy.schema)
+                .expect("generates")
+        })
     });
     group.bench_function("generate_deep", |b| {
-        b.iter(|| sys.generate(&hard.question, &hard.schema).expect("generates"))
+        b.iter(|| {
+            sys.generate(&hard.question, &hard.schema)
+                .expect("generates")
+        })
     });
     group.bench_function("prompt_compose_only", |b| {
         b.iter(|| {

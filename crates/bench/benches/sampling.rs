@@ -20,13 +20,19 @@ fn bench_sampling(c: &mut Criterion) {
             BenchmarkId::new("block_sample", format!("{}pct", (rate * 100.0) as u32)),
             &rate,
             |b, &rate| {
-                b.iter(|| db.scan("iot", &ScanOptions::block_sampled(rate, 7)).expect("scan"))
+                b.iter(|| {
+                    db.scan("iot", &ScanOptions::block_sampled(rate, 7))
+                        .expect("scan")
+                })
             },
         );
     }
     // Ablation: row-level sampling reads everything.
     group.bench_function("row_sample_10pct", |b| {
-        b.iter(|| db.scan("iot", &ScanOptions::row_sampled(0.10, 7)).expect("scan"))
+        b.iter(|| {
+            db.scan("iot", &ScanOptions::row_sampled(0.10, 7))
+                .expect("scan")
+        })
     });
     group.finish();
 }

@@ -1,25 +1,42 @@
 //! Developer probe for nested-vs-flat equivalence investigations.
-use std::collections::HashMap;
 use dc_engine::{AggFunc, AggSpec, Column, Table};
 use dc_sql::{execute, generate_sql, ExecStats, QueryStep};
+use std::collections::HashMap;
 fn main() {
     let mut provider: HashMap<String, Table> = HashMap::new();
-    provider.insert("base_table".into(), Table::new(vec![
-        ("a", Column::from_ints(vec![1,2,3])),
-        ("b", Column::from_ints(vec![10,20,30])),
-        ("g", Column::from_strs(vec!["x","y","x"])),
-    ]).unwrap());
+    provider.insert(
+        "base_table".into(),
+        Table::new(vec![
+            ("a", Column::from_ints(vec![1, 2, 3])),
+            ("b", Column::from_ints(vec![10, 20, 30])),
+            ("g", Column::from_strs(vec!["x", "y", "x"])),
+        ])
+        .unwrap(),
+    );
     let steps = vec![
-        QueryStep::Scan { table: "base_table".into() },
-        QueryStep::SelectColumns { columns: vec!["a".into(), "g".into()] },
-        QueryStep::SelectColumns { columns: vec!["a".into(), "b".into(), "g".into()] },
-        QueryStep::Compute { keys: vec!["g".into()], aggs: vec![AggSpec::new(AggFunc::Count, "a", "n")] },
+        QueryStep::Scan {
+            table: "base_table".into(),
+        },
+        QueryStep::SelectColumns {
+            columns: vec!["a".into(), "g".into()],
+        },
+        QueryStep::SelectColumns {
+            columns: vec!["a".into(), "b".into(), "g".into()],
+        },
+        QueryStep::Compute {
+            keys: vec!["g".into()],
+            aggs: vec![AggSpec::new(AggFunc::Count, "a", "n")],
+        },
     ];
     for flatten in [false, true] {
         let q = generate_sql(&steps, flatten).unwrap();
         let mut s = ExecStats::default();
         match execute(&q, &provider, &mut s) {
-            Ok(t) => println!("flatten={flatten}: OK {} rows | {}", t.num_rows(), q.to_sql()),
+            Ok(t) => println!(
+                "flatten={flatten}: OK {} rows | {}",
+                t.num_rows(),
+                q.to_sql()
+            ),
             Err(e) => println!("flatten={flatten}: ERR {e} | {}", q.to_sql()),
         }
     }

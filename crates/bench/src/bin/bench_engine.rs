@@ -1,0 +1,156 @@
+//! Morsel-parallel kernel speedups on analytics-scale inputs, emitted as
+//! machine-readable JSON (`BENCH_engine.json`).
+//!
+//! Each kernel runs at 1M rows through the dispatching entry point
+//! (morsel path on a default build) and through its single-threaded
+//! `*_serial` reference; the reported time is the minimum of three
+//! repeats. The morsel kernels win even on one core because their inner
+//! loops are cheaper — dictionary-coded group keys, borrowed join keys,
+//! and decorate-sort instead of per-comparison value extraction.
+
+use std::time::Instant;
+
+use dc_engine::ops::{
+    filter, filter_serial, group_by, group_by_serial, join, join_serial, sort_by, sort_by_serial,
+    AggFunc, AggSpec, JoinType, SortKey,
+};
+use dc_engine::{parallel, Column, Expr, Table};
+
+const ROWS: usize = 1_000_000;
+const REPEATS: usize = 3;
+
+fn events(n: usize) -> Table {
+    Table::new(vec![
+        ("id", Column::from_ints((0..n as i64).collect())),
+        (
+            "k",
+            Column::from_strs((0..n).map(|i| format!("g{}", i % 50)).collect::<Vec<_>>()),
+        ),
+        (
+            "v",
+            Column::from_floats((0..n).map(|i| (i % 997) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("table builds")
+}
+
+/// Minimum wall-clock nanoseconds per run over [`REPEATS`] runs.
+fn min_ns(mut f: impl FnMut() -> Table) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut out_rows = 0;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let t = f();
+        best = best.min(start.elapsed().as_nanos());
+        out_rows = t.num_rows();
+    }
+    (best, out_rows)
+}
+
+struct Record {
+    op: &'static str,
+    rows: usize,
+    mode: &'static str,
+    ns_per_op: u128,
+    out_rows: usize,
+}
+
+fn main() {
+    let t = events(ROWS);
+    let threads = parallel::num_threads();
+    let mut records: Vec<Record> = Vec::new();
+    let mut push = |op: &'static str, mode: &'static str, (ns, out_rows): (u128, usize)| {
+        let pretty_ms = ns as f64 / 1e6;
+        println!("{op:<28} {mode:<8} {pretty_ms:>10.2} ms  ({out_rows} rows out)");
+        records.push(Record {
+            op,
+            rows: ROWS,
+            mode,
+            ns_per_op: ns,
+            out_rows,
+        });
+    };
+
+    let pred = Expr::col("v").gt(Expr::lit(500.0));
+    push(
+        "filter_1m",
+        "parallel",
+        min_ns(|| filter(&t, &pred).expect("filters")),
+    );
+    push(
+        "filter_1m",
+        "serial",
+        min_ns(|| filter_serial(&t, &pred).expect("filters")),
+    );
+
+    let aggs = [
+        AggSpec::new(AggFunc::Sum, "v", "s"),
+        AggSpec::new(AggFunc::Avg, "v", "a"),
+        AggSpec::count_records("n"),
+    ];
+    push(
+        "group_by_1m_50groups",
+        "parallel",
+        min_ns(|| group_by(&t, &["k"], &aggs).expect("groups")),
+    );
+    push(
+        "group_by_1m_50groups",
+        "serial",
+        min_ns(|| group_by_serial(&t, &["k"], &aggs).expect("groups")),
+    );
+
+    push(
+        "hash_join_1m_x_1m",
+        "parallel",
+        min_ns(|| join(&t, &t, &["id"], &["id"], JoinType::Inner).expect("joins")),
+    );
+    push(
+        "hash_join_1m_x_1m",
+        "serial",
+        min_ns(|| join_serial(&t, &t, &["id"], &["id"], JoinType::Inner).expect("joins")),
+    );
+
+    let keys = [SortKey::desc("v"), SortKey::asc("id")];
+    push(
+        "sort_1m",
+        "parallel",
+        min_ns(|| sort_by(&t, &keys).expect("sorts")),
+    );
+    push(
+        "sort_1m",
+        "serial",
+        min_ns(|| sort_by_serial(&t, &keys).expect("sorts")),
+    );
+
+    // Hand-rolled JSON: the workspace deliberately carries no serde.
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}}}{}\n",
+            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, sep
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+
+    println!("\nthreads: {threads}");
+    for op in [
+        "filter_1m",
+        "group_by_1m_50groups",
+        "hash_join_1m_x_1m",
+        "sort_1m",
+    ] {
+        let par = records
+            .iter()
+            .find(|r| r.op == op && r.mode == "parallel")
+            .expect("parallel record");
+        let ser = records
+            .iter()
+            .find(|r| r.op == op && r.mode == "serial")
+            .expect("serial record");
+        let speedup = ser.ns_per_op as f64 / par.ns_per_op as f64;
+        println!("{op:<28} speedup {speedup:>5.2}x");
+    }
+    println!("wrote BENCH_engine.json");
+}

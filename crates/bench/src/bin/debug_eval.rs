@@ -18,7 +18,10 @@ fn main() {
             match r {
                 Ok(r) => {
                     let ok = execution_accuracy(s, &r.python, 80);
-                    println!("Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}", s.question, s.gold_program, r.python);
+                    println!(
+                        "Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}",
+                        s.question, s.gold_program, r.python
+                    );
                 }
                 Err(e) => println!("Q: {}\n  gold: {}\n  ERR : {e}", s.question, s.gold_program),
             }
@@ -31,11 +34,18 @@ fn main() {
         composer: PromptComposer::default(),
         model: Box::new(SimulatedLlm::oracle()),
     };
-    for s in t_custom(42).iter().filter(|s| s.zone == Zone::LowLow).take(3) {
+    for s in t_custom(42)
+        .iter()
+        .filter(|s| s.zone == Zone::LowLow)
+        .take(3)
+    {
         match csys.generate(&s.question, &s.schema) {
             Ok(r) => {
                 let ok = execution_accuracy(s, &r.python, 80);
-                println!("Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}", s.question, s.gold_program, r.python);
+                println!(
+                    "Q: {}\n  gold: {}\n  gen : {}\n  EA={ok}",
+                    s.question, s.gold_program, r.python
+                );
             }
             Err(e) => println!("Q: {}\n  gold: {}\n  ERR : {e}", s.question, s.gold_program),
         }

@@ -23,10 +23,16 @@ fn main() {
     }
     // Show spider high-C failures.
     for s in t_spider(42).iter() {
-        if matches!(s.zone, dc_nl::metrics::Zone::LowHigh | dc_nl::metrics::Zone::HighHigh) {
+        if matches!(
+            s.zone,
+            dc_nl::metrics::Zone::LowHigh | dc_nl::metrics::Zone::HighHigh
+        ) {
             if let Ok(r) = spider_sys.generate(&s.question, &s.schema) {
                 if !dc_spider::execution_accuracy(s, &r.python, 80) {
-                    println!("FAIL Q: {}\n  gold: {}\n  gen : {}", s.question, s.gold_program, r.python);
+                    println!(
+                        "FAIL Q: {}\n  gold: {}\n  gen : {}",
+                        s.question, s.gold_program, r.python
+                    );
                 }
             } else {
                 println!("ERR  Q: {}", s.question);

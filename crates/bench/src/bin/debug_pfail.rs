@@ -34,12 +34,19 @@ fn main() {
             let mut n = 0;
             let mut p_sum = 0.0;
             for s in samples.iter().filter(|s| s.zone == zone) {
-                let prompt = sys.composer.compose(&s.question, &s.schema, &sys.semantics, &sys.library);
+                let prompt =
+                    sys.composer
+                        .compose(&s.question, &s.schema, &sys.semantics, &sys.library);
                 let code = sys.model.complete(&prompt);
                 p_sum += model.failure_probability(&prompt, &code);
                 n += 1;
             }
-            println!("  {} n={} mean_p_fail={:.3}", zone.label(), n, p_sum / n as f64);
+            println!(
+                "  {} n={} mean_p_fail={:.3}",
+                zone.label(),
+                n,
+                p_sum / n as f64
+            );
         }
     }
 }

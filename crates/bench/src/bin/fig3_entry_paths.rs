@@ -34,7 +34,10 @@ fn main() {
         for_each = ["party_sobriety"],
         names = ["NumberOfCases"]
     )"#;
-    let from_python = dc_nl::parse_pyapi(python).expect("python parses").statements[0].calls[0]
+    let from_python = dc_nl::parse_pyapi(python)
+        .expect("python parses")
+        .statements[0]
+        .calls[0]
         .clone();
     println!("(b) Python API     -> {from_python:?}\n");
 

@@ -39,7 +39,10 @@ fn main() {
     println!("  1. user requests a filtered view        (KeepRows)");
     println!("  2. application inserts a row limit      (Limit 100)");
     let tasks = plan(&dag, limit).expect("plan succeeds");
-    println!("  3. platform consolidates into {} execution task(s):", tasks.len());
+    println!(
+        "  3. platform consolidates into {} execution task(s):",
+        tasks.len()
+    );
     for t in &tasks {
         match t {
             ExecutionTask::Sql { query, covers, .. } => println!(
@@ -60,9 +63,18 @@ fn main() {
         "base_table".into(),
         Table::new(vec![
             ("a", Column::from_ints((0..n as i64).collect())),
-            ("b", Column::from_ints((0..n as i64).map(|v| v * 2).collect())),
-            ("c", Column::from_ints((0..n as i64).map(|v| v * 3).collect())),
-            ("d", Column::from_ints((0..n as i64).map(|v| v * 5).collect())),
+            (
+                "b",
+                Column::from_ints((0..n as i64).map(|v| v * 2).collect()),
+            ),
+            (
+                "c",
+                Column::from_ints((0..n as i64).map(|v| v * 3).collect()),
+            ),
+            (
+                "d",
+                Column::from_ints((0..n as i64).map(|v| v * 5).collect()),
+            ),
         ])
         .expect("table builds"),
     );

@@ -9,9 +9,7 @@ use dc_spider::{dev_split, zone_histogram};
 
 fn main() {
     let dev = dev_split(42);
-    println!(
-        "Figure 7: dev split characterized by misalignment (M) and composition (C)"
-    );
+    println!("Figure 7: dev split characterized by misalignment (M) and composition (C)");
     println!(
         "samples = {}, thresholds M = {M_THRESHOLD}, C = {C_THRESHOLD}\n",
         dev.len()
@@ -56,7 +54,11 @@ fn main() {
             println!("{line}");
         }
     }
-    println!("{}^ M = {M_THRESHOLD}{}M ->", " ".repeat(m_col), " ".repeat(W.saturating_sub(m_col + 12)));
+    println!(
+        "{}^ M = {M_THRESHOLD}{}M ->",
+        " ".repeat(m_col),
+        " ".repeat(W.saturating_sub(m_col + 12))
+    );
 
     println!("\nzone counts (paper in parentheses):");
     let paper = [

@@ -27,9 +27,9 @@ fn main() {
     let develop_step = |t: &dc_engine::Table, i: usize| {
         let cleaned = filter(
             t,
-            &Expr::col("temperature").is_not_null().and(
-                Expr::col("temperature").gt(Expr::lit(i as i64 % 10)),
-            ),
+            &Expr::col("temperature")
+                .is_not_null()
+                .and(Expr::col("temperature").gt(Expr::lit(i as i64 % 10))),
         )
         .expect("filter");
         group_by(
@@ -45,7 +45,9 @@ fn main() {
     // Strategy A: hit the cloud every iteration.
     let mut cumulative_cloud = Vec::with_capacity(iterations);
     for i in 0..iterations {
-        let (t, _) = cloud.scan("iot_readings", &ScanOptions::full()).expect("scan");
+        let (t, _) = cloud
+            .scan("iot_readings", &ScanOptions::full())
+            .expect("scan");
         let _ = develop_step(&t, i);
         cumulative_cloud.push(cloud.meter().dollars());
     }
@@ -106,5 +108,8 @@ fn main() {
     // The snapshot is an artifact with a recipe, so it can be refreshed.
     let snap = local.get("iot_snapshot").expect("get");
     assert_eq!(snap.recipe.len(), 3);
-    println!("snapshot carries its recipe ({} steps) and refreshes on demand: OK", snap.recipe.len());
+    println!(
+        "snapshot carries its recipe ({} steps) and refreshes on demand: OK",
+        snap.recipe.len()
+    );
 }

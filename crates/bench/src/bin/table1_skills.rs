@@ -39,5 +39,8 @@ fn main() {
         (45..=60).contains(&skills.len()),
         "the paper says ~50 skills"
     );
-    println!("\nclaim check: ~50 high-level skills -> {} OK", skills.len());
+    println!(
+        "\nclaim check: ~50 high-level skills -> {} OK",
+        skills.len()
+    );
 }

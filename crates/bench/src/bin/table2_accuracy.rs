@@ -64,8 +64,16 @@ fn main() {
     for zone in Zone::all() {
         let s = spider.iter().find(|r| r.zone == zone).expect("zone");
         let c = custom.iter().find(|r| r.zone == zone).expect("zone");
-        let ps = PAPER_SPIDER.iter().find(|(z, _)| *z == zone).expect("zone").1;
-        let pc = PAPER_CUSTOM.iter().find(|(z, _)| *z == zone).expect("zone").1;
+        let ps = PAPER_SPIDER
+            .iter()
+            .find(|(z, _)| *z == zone)
+            .expect("zone")
+            .1;
+        let pc = PAPER_CUSTOM
+            .iter()
+            .find(|(z, _)| *z == zone)
+            .expect("zone")
+            .1;
         println!(
             "{:<14} {:>8} {:>9.2} {:>9.2}   {:>8} {:>9.2} {:>9.2}",
             zone.label(),
@@ -90,7 +98,10 @@ fn main() {
 
     // Shape checks the paper's prose makes explicitly.
     let ea = |rows: &[ZoneAccuracy], z: Zone| {
-        rows.iter().find(|r| r.zone == z).map(|r| r.mean_ea).unwrap_or(0.0)
+        rows.iter()
+            .find(|r| r.zone == z)
+            .map(|r| r.mean_ea)
+            .unwrap_or(0.0)
     };
     println!("\nshape checks:");
     println!(

@@ -78,9 +78,10 @@ impl Artifact {
         env: &mut Env,
     ) -> Result<Artifact> {
         let (sliced, stats) = dc_skills::slice(dag, target)?;
-        let sliced_target = sliced.len().checked_sub(1).ok_or_else(|| {
-            CollabError::invalid("cannot save an artifact from an empty recipe")
-        })?;
+        let sliced_target = sliced
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| CollabError::invalid("cannot save an artifact from an empty recipe"))?;
         let mut ex = Executor::new();
         let output = ex.run(&sliced, sliced_target, env)?;
         Ok(Artifact {
@@ -145,7 +146,12 @@ mod tests {
     fn exploratory_dag() -> (SkillDag, dc_skills::NodeId) {
         let mut dag = SkillDag::new();
         let load = dag
-            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "d.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let _peek = dag.add(SkillCall::ShowHead { n: 2 }, vec![load]).unwrap();
         let _dead = dag
@@ -215,7 +221,12 @@ mod tests {
     fn chart_artifacts_classified() {
         let mut dag = SkillDag::new();
         let load = dag
-            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "d.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let viz = dag
             .add(

@@ -54,12 +54,12 @@ impl HomeScreen {
 
     /// Place an entry in a folder.
     pub fn place(&mut self, folder: &str, entry: FolderEntry) -> Result<()> {
-        let entries = self
-            .folders
-            .get_mut(folder)
-            .ok_or_else(|| CollabError::ContainerNotFound {
-                name: folder.to_string(),
-            })?;
+        let entries =
+            self.folders
+                .get_mut(folder)
+                .ok_or_else(|| CollabError::ContainerNotFound {
+                    name: folder.to_string(),
+                })?;
         if !entries.contains(&entry) {
             entries.push(entry);
         }
@@ -75,9 +75,10 @@ impl HomeScreen {
                 .ok_or_else(|| CollabError::ContainerNotFound {
                     name: from.to_string(),
                 })?;
-            let pos = src.iter().position(|e| e == entry).ok_or_else(|| {
-                CollabError::invalid(format!("{entry:?} is not in {from:?}"))
-            })?;
+            let pos = src
+                .iter()
+                .position(|e| e == entry)
+                .ok_or_else(|| CollabError::invalid(format!("{entry:?} is not in {from:?}")))?;
             src.remove(pos);
         }
         self.place(to, entry.clone())
@@ -86,12 +87,12 @@ impl HomeScreen {
     /// Remove an entry from a folder (deleting a folder entry does not
     /// delete the artifact itself).
     pub fn remove(&mut self, folder: &str, entry: &FolderEntry) -> Result<()> {
-        let entries = self
-            .folders
-            .get_mut(folder)
-            .ok_or_else(|| CollabError::ContainerNotFound {
-                name: folder.to_string(),
-            })?;
+        let entries =
+            self.folders
+                .get_mut(folder)
+                .ok_or_else(|| CollabError::ContainerNotFound {
+                    name: folder.to_string(),
+                })?;
         let pos = entries
             .iter()
             .position(|e| e == entry)
@@ -194,13 +195,11 @@ mod tests {
     fn folders_nest_and_contain() {
         let mut h = HomeScreen::new();
         h.create_folder("home", "q3").unwrap();
-        h.place("q3", FolderEntry::Artifact("chart1".into())).unwrap();
+        h.place("q3", FolderEntry::Artifact("chart1".into()))
+            .unwrap();
         h.place("q3", FolderEntry::Session(7)).unwrap();
         assert_eq!(h.list("q3").unwrap().len(), 2);
-        assert_eq!(
-            h.list("home").unwrap(),
-            &[FolderEntry::Folder("q3".into())]
-        );
+        assert_eq!(h.list("home").unwrap(), &[FolderEntry::Folder("q3".into())]);
     }
 
     #[test]
@@ -220,7 +219,7 @@ mod tests {
         h.place("a", e.clone()).unwrap();
         h.r#move("a", "b", &e).unwrap();
         assert!(h.list("a").unwrap().is_empty());
-        assert_eq!(h.list("b").unwrap(), &[e.clone()]);
+        assert_eq!(h.list("b").unwrap(), std::slice::from_ref(&e));
         assert!(h.r#move("a", "b", &e).is_err()); // no longer in a
     }
 
@@ -242,7 +241,10 @@ mod tests {
         ib.pin_artifact("collision-bubble", 620, 0, 400, 400);
         ib.add_text("Key takeaway: the gap persists.", 0, 420, 1020, 80);
         assert_eq!(ib.elements().len(), 3);
-        assert_eq!(ib.artifact_names(), vec!["gdp-forecast", "collision-bubble"]);
+        assert_eq!(
+            ib.artifact_names(),
+            vec!["gdp-forecast", "collision-bubble"]
+        );
     }
 
     #[test]

@@ -227,8 +227,13 @@ mod tests {
     fn linear_session_flow() {
         seed_env();
         let s = Session::new(1, "ann");
-        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
-            .unwrap();
+        s.submit(
+            "ann",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        )
+        .unwrap();
         let out = s
             .submit(
                 "ann",
@@ -246,7 +251,12 @@ mod tests {
     fn unshared_user_denied() {
         seed_env();
         let s = Session::new(1, "ann");
-        let r = s.submit("bob", SkillCall::LoadFile { path: "d.csv".into() });
+        let r = s.submit(
+            "bob",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        );
         assert!(matches!(r, Err(CollabError::PermissionDenied { .. })));
     }
 
@@ -256,12 +266,22 @@ mod tests {
         let s = Session::new(1, "ann");
         s.share_with("bob", Permission::View);
         assert!(matches!(
-            s.submit("bob", SkillCall::LoadFile { path: "d.csv".into() }),
+            s.submit(
+                "bob",
+                SkillCall::LoadFile {
+                    path: "d.csv".into()
+                }
+            ),
             Err(CollabError::PermissionDenied { .. })
         ));
         s.share_with("bob", Permission::Edit);
         assert!(s
-            .submit("bob", SkillCall::LoadFile { path: "d.csv".into() })
+            .submit(
+                "bob",
+                SkillCall::LoadFile {
+                    path: "d.csv".into()
+                }
+            )
             .is_ok());
         s.revoke("bob");
         assert!(s.permission_of("bob").is_none());
@@ -273,8 +293,13 @@ mod tests {
         seed_env();
         let s = Session::new(1, "ann");
         s.share_with("bob", Permission::Edit);
-        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
-            .unwrap();
+        s.submit(
+            "ann",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        )
+        .unwrap();
         // Claim the lock as if a long request were running; a second
         // submission must fail with the paper's message.
         s.executing.store(true, Ordering::Release);
@@ -295,11 +320,21 @@ mod tests {
     fn named_datasets_enable_two_input_skills() {
         seed_env();
         let s = Session::new(1, "ann");
-        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
-            .unwrap();
+        s.submit(
+            "ann",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        )
+        .unwrap();
         s.name_current("first").unwrap();
-        s.submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
-            .unwrap();
+        s.submit(
+            "ann",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        )
+        .unwrap();
         let out = s
             .submit(
                 "ann",

@@ -82,7 +82,9 @@ impl ComputeForm {
         }
         for g in &self.group_by {
             if schema.index_of(g).is_none() {
-                return Err(SkillError::invalid(format!("unknown grouping column {g:?}")));
+                return Err(SkillError::invalid(format!(
+                    "unknown grouping column {g:?}"
+                )));
             }
         }
         Ok(SkillCall::Compute {
@@ -111,7 +113,10 @@ impl VisualizeForm {
     /// Validate and emit the skill call.
     pub fn submit(&self, schema: &Schema) -> Result<SkillCall, SkillError> {
         if schema.index_of(&self.kpi).is_none() {
-            return Err(SkillError::invalid(format!("unknown KPI column {:?}", self.kpi)));
+            return Err(SkillError::invalid(format!(
+                "unknown KPI column {:?}",
+                self.kpi
+            )));
         }
         for c in &self.by {
             if schema.index_of(c).is_none() {

@@ -167,9 +167,7 @@ impl Platform {
         let schema = self.schema_hints();
         // 2. Phrase-based translation (deterministic, Visualize-driven).
         if text.trim().to_lowercase().starts_with("visualize") {
-            if let Ok(translation) =
-                dc_nl::translate_visualize(text, &self.nl.semantics, &schema)
-            {
+            if let Ok(translation) = dc_nl::translate_visualize(text, &self.nl.semantics, &schema) {
                 return self.execute_calls(handle, translation.calls, ChatPath::Phrase);
             }
         }
@@ -241,7 +239,8 @@ impl Platform {
             .current_node()
             .ok_or("nothing to save in this session")?;
         let dag = handle.session.dag_snapshot();
-        let artifact = with_env(|env| Artifact::save(name.clone(), &handle.user, &dag, target, env))?;
+        let artifact =
+            with_env(|env| Artifact::save(name.clone(), &handle.user, &dag, target, env))?;
         self.home
             .place("home", dc_collab::FolderEntry::Artifact(name.clone()))?;
         self.artifacts.insert(name.clone(), artifact);
@@ -338,7 +337,10 @@ mod tests {
         // GEL handles Visualize directly, so this goes down the Gel path;
         // the phrase layer handles utterances GEL cannot (with filters).
         let reply = p
-            .chat(&h, "Visualize at_fault by party_age, party_sex, cellphone_in_use")
+            .chat(
+                &h,
+                "Visualize at_fault by party_age, party_sex, cellphone_in_use",
+            )
             .unwrap();
         let charts = reply.output.as_charts().expect("charts");
         assert_eq!(charts.len(), 6);
@@ -365,7 +367,8 @@ mod tests {
         let h = p.open_session("ann");
         p.chat(&h, "Load the table parties from the database MainDatabase")
             .unwrap();
-        p.chat(&h, "Keep the rows where party_age is not null").unwrap();
+        p.chat(&h, "Keep the rows where party_age is not null")
+            .unwrap();
         let a = p.save_artifact(&h, "adults").unwrap();
         assert_eq!(a.version, 1);
         assert!(!a.recipe_gel().is_empty());
@@ -394,7 +397,10 @@ mod tests {
         let board = p.create_board("Q3 readout");
         board.pin_artifact("all-parties", 0, 0, 600, 400);
         board.add_text("Findings below.", 0, 420, 600, 60);
-        assert_eq!(p.board("Q3 readout").unwrap().artifact_names(), vec!["all-parties"]);
+        assert_eq!(
+            p.board("Q3 readout").unwrap().artifact_names(),
+            vec!["all-parties"]
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Bitmap {
 
     /// Append a bit.
     pub fn push(&mut self, valid: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

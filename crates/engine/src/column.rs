@@ -297,6 +297,36 @@ impl Column {
         }
     }
 
+    /// Gather rows at `indices`, producing null for `None` entries. This is
+    /// the outer-join materialization primitive: one gather per column
+    /// instead of one `push_value` per cell.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        let n = indices.len();
+        let mut valid = Bitmap::new_null(n);
+        macro_rules! gather {
+            ($v:ident, $b:ident, $variant:ident, $default:expr, $fetch:expr) => {{
+                let mut data = Vec::with_capacity(n);
+                for (out_row, ix) in indices.iter().enumerate() {
+                    match ix {
+                        Some(i) if $b.get(*i) => {
+                            data.push($fetch(&$v[*i]));
+                            valid.set(out_row, true);
+                        }
+                        _ => data.push($default),
+                    }
+                }
+                Column::$variant(data, valid)
+            }};
+        }
+        match self {
+            Column::Bool(v, b) => gather!(v, b, Bool, false, |x: &bool| *x),
+            Column::Int(v, b) => gather!(v, b, Int, 0, |x: &i64| *x),
+            Column::Float(v, b) => gather!(v, b, Float, 0.0, |x: &f64| *x),
+            Column::Str(v, b) => gather!(v, b, Str, String::new(), |x: &String| x.clone()),
+            Column::Date(v, b) => gather!(v, b, Date, 0, |x: &i32| *x),
+        }
+    }
+
     /// Keep rows where `mask[i]` is true. `mask` must match the column
     /// length.
     pub fn filter(&self, mask: &[bool]) -> Column {
@@ -472,7 +502,11 @@ pub fn cast_value(v: &Value, to: DataType) -> Value {
         (Value::Date(x), T::Int) => Value::Int(*x as i64),
         (Value::Date(x), T::Float) => Value::Float(*x as f64),
         (Value::Int(x), T::Date) => i32::try_from(*x).map(Value::Date).unwrap_or(Value::Null),
-        (Value::Str(s), T::Int) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        (Value::Str(s), T::Int) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Null),
         (Value::Str(s), T::Float) => s
             .trim()
             .parse::<f64>()

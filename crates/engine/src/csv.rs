@@ -202,13 +202,7 @@ pub fn write_csv(table: &Table) -> String {
     }
     let mut out = String::new();
     let names = table.schema().names();
-    out.push_str(
-        &names
-            .iter()
-            .map(|n| quote(n))
-            .collect::<Vec<_>>()
-            .join(","),
-    );
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
     out.push('\n');
     for r in 0..table.num_rows() {
         let cells: Vec<String> = table

@@ -16,14 +16,27 @@ use crate::value::Value;
 
 /// Evaluate an expression against a table, producing a column with one row
 /// per table row. Literals broadcast to the table's length.
+///
+/// Large tables are split into row morsels that evaluate concurrently and
+/// are stitched back in order (see [`crate::parallel`]); the result is
+/// bit-identical to the serial path because every expression kernel is
+/// row-local.
 pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
+    if crate::parallel::enabled(table.num_rows()) && morsel_safe(expr) {
+        return eval_morsel(table, expr);
+    }
+    eval_serial(table, expr)
+}
+
+/// Serial expression evaluation (also the per-morsel worker body).
+pub fn eval_serial(table: &Table, expr: &Expr) -> Result<Column> {
     let n = table.num_rows();
     match expr {
         Expr::Column(name) => Ok(table.column(name)?.clone()),
         Expr::Literal(v) => Ok(broadcast(v, n)),
         Expr::Binary { left, op, right } => {
-            let l = eval(table, left)?;
-            let r = eval(table, right)?;
+            let l = eval_serial(table, left)?;
+            let r = eval_serial(table, right)?;
             if op.is_logical() {
                 eval_logical(&l, *op, &r)
             } else if op.is_comparison() {
@@ -33,7 +46,7 @@ pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
             }
         }
         Expr::Unary { op, expr } => {
-            let c = eval(table, expr)?;
+            let c = eval_serial(table, expr)?;
             match op {
                 UnaryOp::Not => eval_not(&c),
                 UnaryOp::Neg => eval_neg(&c),
@@ -55,17 +68,19 @@ pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
             }
             let cols: Vec<Column> = args
                 .iter()
-                .map(|a| eval(table, a))
+                .map(|a| eval_serial(table, a))
                 .collect::<Result<_>>()?;
             eval_func(*func, &cols, n)
         }
-        Expr::Cast { expr, to } => eval(table, expr)?.cast(*to),
+        Expr::Cast { expr, to } => eval_serial(table, expr)?.cast(*to),
         Expr::IsNull(e) => {
-            let c = eval(table, e)?;
-            Ok(Column::from_bools(c.validity().iter().map(|v| !v).collect()))
+            let c = eval_serial(table, e)?;
+            Ok(Column::from_bools(
+                c.validity().iter().map(|v| !v).collect(),
+            ))
         }
         Expr::IsNotNull(e) => {
-            let c = eval(table, e)?;
+            let c = eval_serial(table, e)?;
             Ok(Column::from_bools(c.validity().iter().collect()))
         }
         Expr::InList {
@@ -73,7 +88,7 @@ pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
             list,
             negated,
         } => {
-            let c = eval(table, expr)?;
+            let c = eval_serial(table, expr)?;
             let list_has_null = list.iter().any(|v| v.is_null());
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
@@ -117,7 +132,7 @@ pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
                     (**high).clone(),
                 )),
             };
-            let c = eval(table, &inner)?;
+            let c = eval_serial(table, &inner)?;
             if *negated {
                 eval_not(&c)
             } else {
@@ -127,10 +142,100 @@ pub fn eval(table: &Table, expr: &Expr) -> Result<Column> {
     }
 }
 
+/// Resolve the columns `expr` references, so morsel workers can build
+/// chunks containing only those columns — unreferenced columns (often
+/// wide strings) are never copied. `None` when the expression references
+/// no columns: literal broadcasts need the true row count, which a
+/// zero-column chunk cannot carry.
+fn referenced<'a>(table: &'a Table, expr: &Expr) -> Result<Option<Vec<(String, &'a Column)>>> {
+    let mut names = Vec::new();
+    expr.referenced_columns(&mut names);
+    if names.is_empty() {
+        return Ok(None);
+    }
+    let cols = names
+        .into_iter()
+        .map(|n| {
+            let col = table.column(&n)?;
+            Ok((n, col))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Some(cols))
+}
+
+/// Slice only the referenced columns into a chunk table for one morsel.
+fn pruned_chunk(cols: &[(String, &Column)], r: &std::ops::Range<usize>) -> Result<Table> {
+    Table::new(
+        cols.iter()
+            .map(|(n, c)| (n.as_str(), c.slice(r.start, r.end - r.start)))
+            .collect(),
+    )
+}
+
+/// Evaluate on row morsels and stitch the per-morsel columns in order.
+fn eval_morsel(table: &Table, expr: &Expr) -> Result<Column> {
+    let Some(cols) = referenced(table, expr)? else {
+        return eval_serial(table, expr);
+    };
+    let ranges = crate::parallel::morsels(table.num_rows());
+    let parts =
+        crate::parallel::run_morsels(&ranges, |r| eval_serial(&pruned_chunk(&cols, &r)?, expr));
+    let mut parts = parts.into_iter();
+    let Some(first) = parts.next() else {
+        return eval_serial(table, expr);
+    };
+    let mut out = first?;
+    for part in parts {
+        out.extend(&part?)?;
+    }
+    Ok(out)
+}
+
+/// Whether an expression can be evaluated per-morsel. Everything is
+/// row-local except functions taking a constant-integer argument
+/// (`round` digits, `substring` bounds): their constant-ness check must
+/// see the whole column to reject per-row expressions, so they stay
+/// serial.
+pub(crate) fn morsel_safe(expr: &Expr) -> bool {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Binary { left, right, .. } => morsel_safe(left) && morsel_safe(right),
+        Expr::Unary { expr, .. } => morsel_safe(expr),
+        Expr::Func { func, args } => {
+            !matches!(func, ScalarFunc::Round | ScalarFunc::Substring)
+                && args.iter().all(morsel_safe)
+        }
+        Expr::Cast { expr, .. } => morsel_safe(expr),
+        Expr::IsNull(e) | Expr::IsNotNull(e) => morsel_safe(e),
+        Expr::InList { expr, .. } => morsel_safe(expr),
+        Expr::Between {
+            expr, low, high, ..
+        } => morsel_safe(expr) && morsel_safe(low) && morsel_safe(high),
+    }
+}
+
 /// Evaluate a predicate to a selection mask: null evaluates to "do not
 /// keep", matching SQL `WHERE`.
 pub fn eval_predicate(table: &Table, expr: &Expr) -> Result<Vec<bool>> {
-    let c = eval(table, expr)?;
+    if crate::parallel::enabled(table.num_rows()) && morsel_safe(expr) {
+        if let Some(cols) = referenced(table, expr)? {
+            let ranges = crate::parallel::morsels(table.num_rows());
+            let parts = crate::parallel::run_morsels(&ranges, |r| {
+                eval_predicate_serial(&pruned_chunk(&cols, &r)?, expr)
+            });
+            let mut mask = Vec::with_capacity(table.num_rows());
+            for part in parts {
+                mask.extend(part?);
+            }
+            return Ok(mask);
+        }
+    }
+    eval_predicate_serial(table, expr)
+}
+
+/// Serial predicate evaluation (also the per-morsel worker body).
+pub fn eval_predicate_serial(table: &Table, expr: &Expr) -> Result<Vec<bool>> {
+    let c = eval_serial(table, expr)?;
     match &c {
         Column::Bool(data, valid) => Ok(data
             .iter()
@@ -273,11 +378,7 @@ fn eval_comparison(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
                 }
             }
         }
-        (a, b) => {
-            return Err(EngineError::eval(format!(
-                "cannot compare {a} with {b}"
-            )))
-        }
+        (a, b) => return Err(EngineError::eval(format!("cannot compare {a} with {b}"))),
     }
     Ok(Column::Bool(data, valid))
 }
@@ -560,9 +661,9 @@ fn eval_func(func: ScalarFunc, cols: &[Column], n: usize) -> Result<Column> {
             let len = scalar_int(&cols[2], "substring length")?;
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
-            for i in 0..n {
+            for (i, item) in a.iter().enumerate().take(n) {
                 if av.get(i) {
-                    let chars: Vec<char> = a[i].chars().collect();
+                    let chars: Vec<char> = item.chars().collect();
                     let s = (start.max(1) - 1) as usize;
                     let e = (s + len.max(0) as usize).min(chars.len());
                     data.push(chars.get(s..e).unwrap_or(&[]).iter().collect());
@@ -611,21 +712,18 @@ fn eval_func(func: ScalarFunc, cols: &[Column], n: usize) -> Result<Column> {
             let (cond, cv) = cols[0]
                 .as_bools()
                 .ok_or_else(|| type_err(&cols[0], "if condition"))?;
-            let dtype = cols[1]
-                .dtype()
-                .unify(cols[2].dtype())
-                .ok_or_else(|| {
-                    EngineError::eval(format!(
-                        "if branches have incompatible types {} and {}",
-                        cols[1].dtype(),
-                        cols[2].dtype()
-                    ))
-                })?;
+            let dtype = cols[1].dtype().unify(cols[2].dtype()).ok_or_else(|| {
+                EngineError::eval(format!(
+                    "if branches have incompatible types {} and {}",
+                    cols[1].dtype(),
+                    cols[2].dtype()
+                ))
+            })?;
             let mut out = Column::empty(dtype);
-            for i in 0..n {
+            for (i, &c) in cond.iter().enumerate().take(n) {
                 let v = if !cv.get(i) {
                     Value::Null
-                } else if cond[i] {
+                } else if c {
                     cols[1].get(i)
                 } else {
                     cols[2].get(i)
@@ -685,7 +783,10 @@ fn binary_numeric(
 fn map_str(c: &Column, n: usize, f: impl Fn(&str) -> String) -> Result<Column> {
     let (data, valid) = c.as_strs().ok_or_else(|| type_err(c, "string function"))?;
     debug_assert_eq!(data.len(), n);
-    Ok(Column::Str(data.iter().map(|s| f(s)).collect(), valid.clone()))
+    Ok(Column::Str(
+        data.iter().map(|s| f(s)).collect(),
+        valid.clone(),
+    ))
 }
 
 /// Extract a constant integer from a broadcast column. Function
@@ -737,21 +838,18 @@ mod tests {
 
     fn t() -> Table {
         Table::new(vec![
-            ("a", Column::from_opt_ints(vec![Some(1), Some(2), None, Some(4)])),
+            (
+                "a",
+                Column::from_opt_ints(vec![Some(1), Some(2), None, Some(4)]),
+            ),
             ("b", Column::from_ints(vec![10, 0, 30, 40])),
             ("f", Column::from_floats(vec![1.5, 2.5, 3.5, 4.5])),
             (
                 "s",
                 Column::from_strs(vec!["driver", "pedestrian", "driver", "parked"]),
             ),
-            (
-                "flag",
-                Column::from_bools(vec![true, false, true, false]),
-            ),
-            (
-                "d",
-                Column::from_dates(vec![0, 365, 730, 1095]),
-            ),
+            ("flag", Column::from_bools(vec![true, false, true, false])),
+            ("d", Column::from_dates(vec![0, 365, 730, 1095])),
         ])
         .unwrap()
     }
@@ -863,27 +961,16 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        let c = eval(
-            &t(),
-            &Expr::func(ScalarFunc::Upper, vec![Expr::col("s")]),
-        )
-        .unwrap();
+        let c = eval(&t(), &Expr::func(ScalarFunc::Upper, vec![Expr::col("s")])).unwrap();
         assert_eq!(c.get(0), Value::Str("DRIVER".into()));
         let c = eval(
             &t(),
-            &Expr::func(
-                ScalarFunc::Contains,
-                vec![Expr::col("s"), Expr::lit("ed")],
-            ),
+            &Expr::func(ScalarFunc::Contains, vec![Expr::col("s"), Expr::lit("ed")]),
         )
         .unwrap();
         assert_eq!(c.get(1), Value::Bool(true));
         assert_eq!(c.get(0), Value::Bool(false));
-        let c = eval(
-            &t(),
-            &Expr::func(ScalarFunc::Length, vec![Expr::col("s")]),
-        )
-        .unwrap();
+        let c = eval(&t(), &Expr::func(ScalarFunc::Length, vec![Expr::col("s")])).unwrap();
         assert_eq!(c.get(0), Value::Int(6));
     }
 
@@ -928,10 +1015,7 @@ mod tests {
 
     #[test]
     fn coalesce_first_valid() {
-        let e = Expr::func(
-            ScalarFunc::Coalesce,
-            vec![Expr::col("a"), Expr::lit(-1i64)],
-        );
+        let e = Expr::func(ScalarFunc::Coalesce, vec![Expr::col("a"), Expr::lit(-1i64)]);
         let c = eval(&t(), &e).unwrap();
         assert_eq!(c.get(2), Value::Int(-1));
         assert_eq!(c.get(0), Value::Int(1));

@@ -255,22 +255,27 @@ impl Expr {
         Expr::binary(self, BinaryOp::Or, other)
     }
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)] // builder method, not an operator impl
     pub fn add(self, other: Expr) -> Expr {
         Expr::binary(self, BinaryOp::Add, other)
     }
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)] // builder method, not an operator impl
     pub fn sub(self, other: Expr) -> Expr {
         Expr::binary(self, BinaryOp::Sub, other)
     }
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)] // builder method, not an operator impl
     pub fn mul(self, other: Expr) -> Expr {
         Expr::binary(self, BinaryOp::Mul, other)
     }
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)] // builder method, not an operator impl
     pub fn div(self, other: Expr) -> Expr {
         Expr::binary(self, BinaryOp::Div, other)
     }
     /// Boolean negation.
+    #[allow(clippy::should_implement_trait)] // builder method, not an operator impl
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnaryOp::Not,
@@ -398,9 +403,7 @@ impl Expr {
 /// Quote a SQL identifier.
 pub fn quote_ident(name: &str) -> String {
     let simple = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().unwrap().is_ascii_digit();
     if simple {
         name.to_string()
@@ -439,9 +442,9 @@ mod tests {
 
     #[test]
     fn builder_composition() {
-        let e = Expr::col("age").ge(Expr::lit(18i64)).and(
-            Expr::col("party_type").eq(Expr::lit("driver")),
-        );
+        let e = Expr::col("age")
+            .ge(Expr::lit(18i64))
+            .and(Expr::col("party_type").eq(Expr::lit("driver")));
         assert_eq!(e.to_sql(), "((age >= 18) AND (party_type = 'driver'))");
     }
 

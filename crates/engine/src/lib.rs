@@ -9,6 +9,7 @@
 //! * a vectorized expression language ([`expr::Expr`], [`eval`])
 //! * relational operators (filter/project/group-by/join/sort/sample/... in
 //!   [`ops`])
+//! * morsel-driven parallel kernel dispatch ([`parallel`])
 //! * CSV ingestion with type inference ([`csv`])
 //! * summary statistics for data exploration ([`stats`])
 //!
@@ -25,7 +26,9 @@ pub mod dtype;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod hash;
 pub mod ops;
+pub mod parallel;
 pub mod schema;
 pub mod stats;
 pub mod table;

@@ -3,10 +3,14 @@
 //! Implements the `Compute the <aggregate> of <column> for each <group>`
 //! skill (Table 1's data-wrangling row and the Figure 3 walkthrough).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::column::Column;
 use crate::error::{EngineError, Result};
+use crate::hash::FxHashMap;
+use crate::parallel;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -202,11 +206,26 @@ enum Acc {
     Count(u64),
     CountRecords(u64),
     CountDistinct(Vec<KeyPart>),
-    Sum { sum: f64, seen: bool, int: bool, isum: i64 },
-    Avg { sum: f64, n: u64 },
-    MinMax { best: Option<Value>, is_min: bool },
+    Sum {
+        sum: f64,
+        seen: bool,
+        int: bool,
+        isum: i64,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
     Values(Vec<f64>),
-    Moments { n: u64, mean: f64, m2: f64 },
+    Moments {
+        n: u64,
+        mean: f64,
+        m2: f64,
+    },
     First(Option<Value>),
     Last(Option<Value>),
 }
@@ -264,7 +283,12 @@ impl Acc {
                     }
                 }
             }
-            Acc::Sum { sum, seen, int, isum } => {
+            Acc::Sum {
+                sum,
+                seen,
+                int,
+                isum,
+            } => {
                 if let Some(x) = col.and_then(|c| c.numeric_at(row)) {
                     *sum += x;
                     if *int {
@@ -336,11 +360,108 @@ impl Acc {
         }
     }
 
+    /// Fold a morsel-local accumulator for the same group into this one.
+    /// `other` must come from rows strictly after this accumulator's rows,
+    /// so order-sensitive aggregates (first/last) stay correct.
+    fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(n), Acc::Count(m)) => *n += m,
+            (Acc::CountRecords(n), Acc::CountRecords(m)) => *n += m,
+            (Acc::CountDistinct(seen), Acc::CountDistinct(more)) => {
+                for k in more {
+                    if !seen.contains(&k) {
+                        seen.push(k);
+                    }
+                }
+            }
+            (
+                Acc::Sum {
+                    sum, seen, isum, ..
+                },
+                Acc::Sum {
+                    sum: sum_b,
+                    seen: seen_b,
+                    isum: isum_b,
+                    ..
+                },
+            ) => {
+                *sum += sum_b;
+                *isum = isum.wrapping_add(isum_b);
+                *seen |= seen_b;
+            }
+            (Acc::Avg { sum, n }, Acc::Avg { sum: sum_b, n: n_b }) => {
+                *sum += sum_b;
+                *n += n_b;
+            }
+            (Acc::MinMax { best, is_min }, Acc::MinMax { best: best_b, .. }) => {
+                if let Some(v) = best_b {
+                    let replace = match best {
+                        None => true,
+                        Some(cur) => {
+                            let ord = v.cmp_total(cur);
+                            if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (Acc::Values(vals), Acc::Values(more)) => vals.extend(more),
+            (
+                Acc::Moments { n, mean, m2 },
+                Acc::Moments {
+                    n: n_b,
+                    mean: mean_b,
+                    m2: m2_b,
+                },
+            ) => {
+                // Parallel Welford (Chan et al.): exact in n and mean,
+                // numerically close to the serial update in m2.
+                if n_b == 0 {
+                    // Nothing to fold in.
+                } else if *n == 0 {
+                    *n = n_b;
+                    *mean = mean_b;
+                    *m2 = m2_b;
+                } else {
+                    let na = *n as f64;
+                    let nb = n_b as f64;
+                    let total = na + nb;
+                    let delta = mean_b - *mean;
+                    *mean += delta * nb / total;
+                    *m2 += m2_b + delta * delta * na * nb / total;
+                    *n += n_b;
+                }
+            }
+            (Acc::First(v), Acc::First(w)) => {
+                if v.is_none() {
+                    *v = w;
+                }
+            }
+            (Acc::Last(v), Acc::Last(w)) => {
+                if w.is_some() {
+                    *v = w;
+                }
+            }
+            _ => unreachable!("merging accumulators of different aggregates"),
+        }
+    }
+
     fn finish(self, func: AggFunc) -> Value {
         match self {
             Acc::Count(n) | Acc::CountRecords(n) => Value::Int(n as i64),
             Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
-            Acc::Sum { sum, seen, int, isum } => {
+            Acc::Sum {
+                sum,
+                seen,
+                int,
+                isum,
+            } => {
                 if !seen {
                     Value::Null
                 } else if int {
@@ -386,19 +507,19 @@ impl Acc {
     }
 }
 
-/// Group `table` by `keys` and compute `aggs` within each group.
-///
-/// With an empty key list the whole table forms one group (global
-/// aggregates). Output columns are the keys (original casing) followed by
-/// one column per aggregate. Groups appear in first-encounter order, which
-/// keeps results deterministic.
-pub fn group_by(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table> {
-    if aggs.is_empty() {
-        return Err(EngineError::invalid_argument(
-            "group_by requires at least one aggregate",
-        ));
-    }
-    // Resolve inputs up front.
+/// Resolved group-by inputs: key columns, output key names, and the
+/// argument column (if any) of each aggregate.
+struct GroupInputs<'t> {
+    key_cols: Vec<&'t Column>,
+    key_names: Vec<String>,
+    agg_cols: Vec<Option<&'t Column>>,
+}
+
+fn resolve_inputs<'t>(
+    table: &'t Table,
+    keys: &[&str],
+    aggs: &[AggSpec],
+) -> Result<GroupInputs<'t>> {
     let key_cols: Vec<&Column> = keys
         .iter()
         .map(|k| table.column(k))
@@ -434,53 +555,33 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table>
             ))),
         })
         .collect::<Result<_>>()?;
+    Ok(GroupInputs {
+        key_cols,
+        key_names,
+        agg_cols,
+    })
+}
 
-    let n = table.num_rows();
-    let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
-    let mut group_order: Vec<GroupKey> = Vec::new();
-    let mut accs: Vec<Vec<Acc>> = Vec::new();
-    let new_accs = |agg_cols: &[Option<&Column>]| -> Vec<Acc> {
-        aggs.iter()
-            .zip(agg_cols)
-            .map(|(a, c)| {
-                let int_input = c.is_some_and(|c| c.dtype() == crate::dtype::DataType::Int);
-                Acc::new(a.func, int_input)
-            })
-            .collect()
-    };
+fn new_accs(aggs: &[AggSpec], agg_cols: &[Option<&Column>]) -> Vec<Acc> {
+    aggs.iter()
+        .zip(agg_cols)
+        .map(|(a, c)| {
+            let int_input = c.is_some_and(|c| c.dtype() == crate::dtype::DataType::Int);
+            Acc::new(a.func, int_input)
+        })
+        .collect()
+}
 
-    if keys.is_empty() {
-        accs.push(new_accs(&agg_cols));
-        group_order.push(GroupKey(Vec::new()));
-        group_index.insert(GroupKey(Vec::new()), 0);
-    }
-
-    for row in 0..n {
-        let gid = if keys.is_empty() {
-            0
-        } else {
-            let key = GroupKey(key_cols.iter().map(|c| key_part(&c.get(row))).collect());
-            match group_index.get(&key) {
-                Some(&g) => g,
-                None => {
-                    let g = group_order.len();
-                    group_index.insert(key.clone(), g);
-                    group_order.push(key);
-                    accs.push(new_accs(&agg_cols));
-                    g
-                }
-            }
-        };
-        for (acc, col) in accs[gid].iter_mut().zip(&agg_cols) {
-            acc.update(*col, row);
-        }
-    }
-
-    // Assemble output.
+fn assemble_output(
+    inputs: &GroupInputs<'_>,
+    group_order: &[GroupKey],
+    accs: Vec<Vec<Acc>>,
+    aggs: &[AggSpec],
+) -> Result<Table> {
     let mut out = Table::empty();
-    for (ki, name) in key_names.iter().enumerate() {
-        let mut col = Column::empty(key_cols[ki].dtype());
-        for key in &group_order {
+    for (ki, name) in inputs.key_names.iter().enumerate() {
+        let mut col = Column::empty(inputs.key_cols[ki].dtype());
+        for key in group_order {
             let v = part_to_value(&key.0[ki]);
             col.push_value(&v)?;
         }
@@ -495,6 +596,255 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table>
         out.add_column(&spec.output, col)?;
     }
     Ok(out)
+}
+
+/// Group `table` by `keys` and compute `aggs` within each group.
+///
+/// With an empty key list the whole table forms one group (global
+/// aggregates). Output columns are the keys (original casing) followed by
+/// one column per aggregate. Groups appear in first-encounter order, which
+/// keeps results deterministic.
+///
+/// Large tables take a two-phase morsel path: each worker aggregates its
+/// own row range into morsel-local accumulators which are then folded
+/// together in morsel order, preserving the serial first-encounter group
+/// order exactly (morsels are contiguous ascending ranges).
+pub fn group_by(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table> {
+    if parallel::enabled(table.num_rows()) {
+        group_by_morsel(table, keys, aggs)
+    } else {
+        group_by_serial(table, keys, aggs)
+    }
+}
+
+/// Single-threaded group-by (also the reference for the morsel path).
+pub fn group_by_serial(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table> {
+    if aggs.is_empty() {
+        return Err(EngineError::invalid_argument(
+            "group_by requires at least one aggregate",
+        ));
+    }
+    let inputs = resolve_inputs(table, keys, aggs)?;
+    let n = table.num_rows();
+    let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+
+    if keys.is_empty() {
+        accs.push(new_accs(aggs, &inputs.agg_cols));
+        group_order.push(GroupKey(Vec::new()));
+        group_index.insert(GroupKey(Vec::new()), 0);
+    }
+
+    for row in 0..n {
+        let gid = if keys.is_empty() {
+            0
+        } else {
+            let key = GroupKey(
+                inputs
+                    .key_cols
+                    .iter()
+                    .map(|c| key_part(&c.get(row)))
+                    .collect(),
+            );
+            match group_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = group_order.len();
+                    group_index.insert(key.clone(), g);
+                    group_order.push(key);
+                    accs.push(new_accs(aggs, &inputs.agg_cols));
+                    g
+                }
+            }
+        };
+        for (acc, col) in accs[gid].iter_mut().zip(&inputs.agg_cols) {
+            acc.update(*col, row);
+        }
+    }
+
+    assemble_output(&inputs, &group_order, accs, aggs)
+}
+
+/// Morsel-local phase-1 result: one representative row index per group
+/// (in first-encounter order) plus that group's accumulators.
+struct MorselGroups {
+    reps: Vec<usize>,
+    accs: Vec<Vec<Acc>>,
+}
+
+fn group_by_morsel(table: &Table, keys: &[&str], aggs: &[AggSpec]) -> Result<Table> {
+    if aggs.is_empty() {
+        return Err(EngineError::invalid_argument(
+            "group_by requires at least one aggregate",
+        ));
+    }
+    let inputs = resolve_inputs(table, keys, aggs)?;
+    let ranges = parallel::morsels(table.num_rows());
+
+    // Phase 1: every worker builds dictionary-coded group ids for its row
+    // range (no per-row key materialization) and aggregates locally.
+    let parts: Vec<MorselGroups> = parallel::run_morsels(&ranges, |r| {
+        let start = r.start;
+        let gids = encode_groups(&inputs.key_cols, r);
+        let mut reps: Vec<usize> = Vec::new();
+        for (off, &g) in gids.iter().enumerate() {
+            // Codes are assigned densely in first-encounter order, so a
+            // group's first row is the first row whose gid == reps.len().
+            if g as usize == reps.len() {
+                reps.push(start + off);
+            }
+        }
+        let mut accs: Vec<Vec<Acc>> = (0..reps.len())
+            .map(|_| new_accs(aggs, &inputs.agg_cols))
+            .collect();
+        for (off, &g) in gids.iter().enumerate() {
+            let row = start + off;
+            for (acc, col) in accs[g as usize].iter_mut().zip(&inputs.agg_cols) {
+                acc.update(*col, row);
+            }
+        }
+        MorselGroups { reps, accs }
+    });
+
+    // Phase 2: fold morsel-local groups together in morsel order. Keys are
+    // materialized once per (morsel, group) — never per row.
+    let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    for part in parts {
+        for (local, rep) in part.accs.into_iter().zip(part.reps) {
+            let key = GroupKey(
+                inputs
+                    .key_cols
+                    .iter()
+                    .map(|c| key_part(&c.get(rep)))
+                    .collect(),
+            );
+            match group_index.get(&key) {
+                Some(&g) => {
+                    for (dst, src) in accs[g].iter_mut().zip(local) {
+                        dst.merge(src);
+                    }
+                }
+                None => {
+                    group_index.insert(key.clone(), group_order.len());
+                    group_order.push(key);
+                    accs.push(local);
+                }
+            }
+        }
+    }
+
+    // An empty key list over a non-empty table always yields exactly one
+    // group from phase 1; an empty table never reaches the morsel path.
+    assemble_output(&inputs, &group_order, accs, aggs)
+}
+
+/// Dictionary-code the composite group key of each row in `range` into a
+/// dense id, assigned in first-encounter order.
+fn encode_groups(key_cols: &[&Column], range: Range<usize>) -> Vec<u32> {
+    let len = range.end - range.start;
+    if key_cols.is_empty() {
+        return vec![0; len];
+    }
+    let mut gids = encode_key_column(key_cols[0], range.clone());
+    for col in &key_cols[1..] {
+        let codes = encode_key_column(col, range.clone());
+        let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut next = 0u32;
+        for (g, c) in gids.iter_mut().zip(codes) {
+            let composite = ((*g as u64) << 32) | c as u64;
+            *g = match map.entry(composite) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = next;
+                    next += 1;
+                    *e.insert(id)
+                }
+            };
+        }
+    }
+    gids
+}
+
+/// Dictionary-code one key column over `range` without materializing
+/// values: strings are compared by reference, floats by normalized bits
+/// (matching [`key_part`]), and null gets its own code.
+fn encode_key_column(col: &Column, range: Range<usize>) -> Vec<u32> {
+    let mut codes = Vec::with_capacity(range.end - range.start);
+    let mut null_code: Option<u32> = None;
+    let mut next = 0u32;
+    macro_rules! encode {
+        ($v:ident, $b:ident, $key:expr) => {
+            let mut map = FxHashMap::default();
+            for i in range {
+                let code = if $b.get(i) {
+                    match map.entry($key(&$v[i])) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let id = next;
+                            next += 1;
+                            *e.insert(id)
+                        }
+                    }
+                } else {
+                    *null_code.get_or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                };
+                codes.push(code);
+            }
+        };
+    }
+    match col {
+        Column::Bool(v, b) => {
+            encode!(v, b, |x: &bool| *x);
+        }
+        Column::Int(v, b) => {
+            encode!(v, b, |x: &i64| *x);
+        }
+        Column::Float(v, b) => {
+            encode!(v, b, |x: &f64| {
+                // Same normalization as key_part: -0.0 folds into 0.0 and
+                // every NaN payload groups together.
+                let f = if *x == 0.0 { 0.0 } else { *x };
+                let f = if f.is_nan() { f64::NAN } else { f };
+                f.to_bits()
+            });
+        }
+        Column::Str(v, b) => {
+            // Written out (not via the macro) so the map can key on `&str`
+            // borrowed from the column without cloning.
+            let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+            for i in range {
+                let code = if b.get(i) {
+                    match map.entry(v[i].as_str()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let id = next;
+                            next += 1;
+                            *e.insert(id)
+                        }
+                    }
+                } else {
+                    *null_code.get_or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                };
+                codes.push(code);
+            }
+            return codes;
+        }
+        Column::Date(v, b) => {
+            encode!(v, b, |x: &i32| *x);
+        }
+    }
+    codes
 }
 
 fn part_to_value(p: &KeyPart) -> Value {
@@ -546,7 +896,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 3);
-        assert_eq!(out.schema().names(), vec!["party_sobriety", "NumberOfCases"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["party_sobriety", "NumberOfCases"]
+        );
         // Group order = first encounter: sober, drinking, null.
         assert_eq!(out.value(0, "NumberOfCases").unwrap(), Value::Int(2));
         assert_eq!(out.value(1, "NumberOfCases").unwrap(), Value::Int(1)); // null case_id excluded
@@ -600,8 +953,11 @@ mod tests {
 
     #[test]
     fn stddev_variance_welford() {
-        let t = Table::new(vec![("x", Column::from_floats(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]))])
-            .unwrap();
+        let t = Table::new(vec![(
+            "x",
+            Column::from_floats(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]),
+        )])
+        .unwrap();
         let out = group_by(
             &t,
             &[],
@@ -674,10 +1030,7 @@ mod tests {
 
     #[test]
     fn default_output_names() {
-        assert_eq!(
-            AggSpec::default_output(AggFunc::Avg, Some("Age")),
-            "AvgAge"
-        );
+        assert_eq!(AggSpec::default_output(AggFunc::Avg, Some("Age")), "AvgAge");
         assert_eq!(
             AggSpec::default_output(AggFunc::CountRecords, None),
             "CountOfRecords"
@@ -692,7 +1045,10 @@ mod tests {
     fn agg_func_parse() {
         assert_eq!(AggFunc::from_name("average"), Some(AggFunc::Avg));
         assert_eq!(AggFunc::from_name("Mean"), Some(AggFunc::Avg));
-        assert_eq!(AggFunc::from_name("count of records"), Some(AggFunc::CountRecords));
+        assert_eq!(
+            AggFunc::from_name("count of records"),
+            Some(AggFunc::CountRecords)
+        );
         assert_eq!(AggFunc::from_name("bogus"), None);
     }
 }

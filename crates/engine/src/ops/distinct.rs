@@ -55,7 +55,15 @@ mod tests {
     fn t() -> Table {
         Table::new(vec![
             ("a", Column::from_ints(vec![1, 1, 2, 1])),
-            ("b", Column::from_opt_strs(vec![Some("x".into()), Some("x".into()), None, Some("y".into())])),
+            (
+                "b",
+                Column::from_opt_strs(vec![
+                    Some("x".into()),
+                    Some("x".into()),
+                    None,
+                    Some("y".into()),
+                ]),
+            ),
         ])
         .unwrap()
     }

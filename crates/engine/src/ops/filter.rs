@@ -2,13 +2,24 @@
 
 use crate::column::Column;
 use crate::error::Result;
-use crate::eval::{eval, eval_predicate};
+use crate::eval::{eval, eval_predicate, eval_predicate_serial};
 use crate::expr::Expr;
 use crate::table::Table;
 
 /// Keep rows satisfying the predicate (nulls drop, like SQL `WHERE`).
+///
+/// On large tables the selection mask is computed morsel-parallel over
+/// only the columns the predicate references (see
+/// [`eval_predicate`]); the surviving rows are then materialized in one
+/// pass, so the output matches the serial path exactly.
 pub fn filter(table: &Table, predicate: &Expr) -> Result<Table> {
     let mask = eval_predicate(table, predicate)?;
+    table.filter_mask(&mask)
+}
+
+/// Single-threaded filter (also the reference for the morsel path).
+pub fn filter_serial(table: &Table, predicate: &Expr) -> Result<Table> {
+    let mask = eval_predicate_serial(table, predicate)?;
     table.filter_mask(&mask)
 }
 
@@ -34,7 +45,10 @@ mod tests {
 
     fn t() -> Table {
         Table::new(vec![
-            ("x", Column::from_opt_ints(vec![Some(1), Some(5), None, Some(9)])),
+            (
+                "x",
+                Column::from_opt_ints(vec![Some(1), Some(5), None, Some(9)]),
+            ),
             ("y", Column::from_strs(vec!["a", "b", "c", "d"])),
         ])
         .unwrap()

@@ -1,9 +1,13 @@
 //! Hash joins.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::hash::FxHashMap;
 
 use crate::column::Column;
 use crate::error::{EngineError, Result};
+use crate::parallel;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -58,20 +62,13 @@ fn key_of(cols: &[&Column], row: usize) -> Option<String> {
     Some(out)
 }
 
-/// Hash join of two tables on equally-named key pairs.
-///
-/// `left_on[i]` joins against `right_on[i]`. Non-key right columns that
-/// collide with a left column name are suffixed `_right`. Right key
-/// columns are dropped (they duplicate the left keys on matches); for
-/// right/full joins the left key columns are backfilled from the right
-/// side on unmatched right rows.
-pub fn join(
-    left: &Table,
-    right: &Table,
+/// Resolve and type-check the key columns of both sides.
+fn key_columns<'a>(
+    left: &'a Table,
+    right: &'a Table,
     left_on: &[&str],
     right_on: &[&str],
-    how: JoinType,
-) -> Result<Table> {
+) -> Result<(Vec<&'a Column>, Vec<&'a Column>)> {
     if left_on.len() != right_on.len() || left_on.is_empty() {
         return Err(EngineError::invalid_argument(
             "join requires equal, non-empty key lists",
@@ -94,6 +91,44 @@ pub fn join(
             )));
         }
     }
+    Ok((lcols, rcols))
+}
+
+/// Hash join of two tables on equally-named key pairs.
+///
+/// `left_on[i]` joins against `right_on[i]`. Non-key right columns that
+/// collide with a left column name are suffixed `_right`. Right key
+/// columns are dropped (they duplicate the left keys on matches); for
+/// right/full joins the left key columns are backfilled from the right
+/// side on unmatched right rows.
+///
+/// Large inputs take a morsel path: build and probe run per row range
+/// with typed, borrowed keys (no per-row string rendering) and the output
+/// is materialized with one gather per column. Per-morsel results are
+/// stitched in morsel order, so row order matches the serial join.
+pub fn join(
+    left: &Table,
+    right: &Table,
+    left_on: &[&str],
+    right_on: &[&str],
+    how: JoinType,
+) -> Result<Table> {
+    if parallel::enabled(left.num_rows().max(right.num_rows())) {
+        join_morsel(left, right, left_on, right_on, how)
+    } else {
+        join_serial(left, right, left_on, right_on, how)
+    }
+}
+
+/// Single-threaded join (also the reference for the morsel path).
+pub fn join_serial(
+    left: &Table,
+    right: &Table,
+    left_on: &[&str],
+    right_on: &[&str],
+    how: JoinType,
+) -> Result<Table> {
+    let (lcols, rcols) = key_columns(left, right, left_on, right_on)?;
 
     // Build phase on the right side.
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
@@ -179,6 +214,246 @@ pub fn join(
     Ok(out)
 }
 
+/// One component of a typed join key, borrowing string data from its
+/// column. Variants mirror [`key_of`]'s type tags: values of different
+/// types never compare equal, and floats match on normalized bits
+/// (-0.0 folds into 0.0, NaN payloads kept as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RefPart<'a> {
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(&'a str),
+    Date(i32),
+}
+
+/// A full typed join key. Single-column keys — the common case — carry
+/// no heap allocation at all; the `One`/`Many` split can't alias because
+/// construction is determined by the key-column count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key<'a> {
+    One(RefPart<'a>),
+    Many(Vec<RefPart<'a>>),
+}
+
+// `inline(always)`: called once per row from the build and probe loops;
+// without forced inlining the optimizer keeps the enum construction and
+// hashing behind a call and the loops run ~3x slower.
+#[inline(always)]
+fn ref_part<'a>(col: &'a Column, row: usize) -> Option<RefPart<'a>> {
+    match col {
+        Column::Bool(v, b) => b.get(row).then(|| RefPart::Bool(v[row])),
+        Column::Int(v, b) => b.get(row).then(|| RefPart::Int(v[row])),
+        Column::Float(v, b) => b.get(row).then(|| {
+            let f = if v[row] == 0.0 { 0.0 } else { v[row] };
+            RefPart::Float(f.to_bits())
+        }),
+        Column::Str(v, b) => b.get(row).then(|| RefPart::Str(v[row].as_str())),
+        Column::Date(v, b) => b.get(row).then(|| RefPart::Date(v[row])),
+    }
+}
+
+/// Typed equivalent of [`key_of`]: `None` when any component is null.
+#[inline(always)]
+fn ref_key<'a>(cols: &[&'a Column], row: usize) -> Option<Key<'a>> {
+    if let [col] = cols {
+        return ref_part(col, row).map(Key::One);
+    }
+    let mut parts = Vec::with_capacity(cols.len());
+    for col in cols {
+        parts.push(ref_part(col, row)?);
+    }
+    Some(Key::Many(parts))
+}
+
+fn join_morsel(
+    left: &Table,
+    right: &Table,
+    left_on: &[&str],
+    right_on: &[&str],
+    how: JoinType,
+) -> Result<Table> {
+    let (lcols, rcols) = key_columns(left, right, left_on, right_on)?;
+
+    // Build phase. The index stores, per key, an intrusive chain of right
+    // rows: the map value is the (head, tail) of the chain and `next[row]`
+    // links to the following right row with the same key. Compared to a
+    // `Vec<usize>` per key this needs no per-key heap allocation (mostly-
+    // unique keys would otherwise malloc once per right row) and probing a
+    // unique key touches no memory beyond the map entry itself, because
+    // `head == tail` ends the walk before `next` is ever read.
+    //
+    // Each worker indexes its own right-side row range; the partial chains
+    // splice together in morsel order so every key's chain stays in
+    // ascending right-row order, exactly like the serial build. With a
+    // single worker the index is built directly in one pass instead.
+    let mut next: Vec<u32> = vec![u32::MAX; right.num_rows()];
+    let index: FxHashMap<Key, (u32, u32)> = if parallel::num_threads() == 1 {
+        let mut map: FxHashMap<Key, (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(right.num_rows(), Default::default());
+        for row in 0..right.num_rows() {
+            if let Some(k) = ref_key(&rcols, row) {
+                match map.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let chain = e.get_mut();
+                        next[chain.1 as usize] = row as u32;
+                        chain.1 = row as u32;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((row as u32, row as u32));
+                    }
+                }
+            }
+        }
+        map
+    } else {
+        let rranges = parallel::morsels(right.num_rows());
+        let parts = parallel::run_morsels(&rranges, |r| {
+            let base = r.start;
+            let mut local_next: Vec<u32> = vec![u32::MAX; r.len()];
+            let mut map: FxHashMap<Key, (u32, u32)> = FxHashMap::default();
+            for row in r {
+                if let Some(k) = ref_key(&rcols, row) {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let chain = e.get_mut();
+                            local_next[chain.1 as usize - base] = row as u32;
+                            chain.1 = row as u32;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((row as u32, row as u32));
+                        }
+                    }
+                }
+            }
+            (base, local_next, map)
+        });
+        let mut index: FxHashMap<Key, (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(right.num_rows(), Default::default());
+        for (base, local_next, map) in parts {
+            next[base..base + local_next.len()].copy_from_slice(&local_next);
+            for (k, chain) in map {
+                match index.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let merged = e.get_mut();
+                        next[merged.1 as usize] = chain.0;
+                        merged.1 = chain.1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(chain);
+                    }
+                }
+            }
+        }
+        index
+    };
+
+    // Probe phase: per left morsel, emitting (left, right) row pairs in
+    // serial order. Matched right rows are flagged through atomics so
+    // right/full joins can backfill after all workers finish.
+    let track_matched = matches!(how, JoinType::Right | JoinType::Full);
+    let right_matched: Vec<AtomicBool> = if track_matched {
+        (0..right.num_rows())
+            .map(|_| AtomicBool::new(false))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let lranges = parallel::morsels(left.num_rows());
+    let pairs = parallel::run_morsels(&lranges, |r| {
+        let mut lidx: Vec<Option<usize>> = Vec::with_capacity(r.len());
+        let mut ridx: Vec<Option<usize>> = Vec::with_capacity(r.len());
+        for row in r {
+            let matches = ref_key(&lcols, row).and_then(|k| index.get(&k));
+            match matches {
+                Some(&(head, tail)) => {
+                    let mut rr = head;
+                    loop {
+                        lidx.push(Some(row));
+                        ridx.push(Some(rr as usize));
+                        if track_matched {
+                            right_matched[rr as usize].store(true, Ordering::Relaxed);
+                        }
+                        if rr == tail {
+                            break;
+                        }
+                        rr = next[rr as usize];
+                    }
+                }
+                _ => {
+                    if matches!(how, JoinType::Left | JoinType::Full) {
+                        lidx.push(Some(row));
+                        ridx.push(None);
+                    }
+                }
+            }
+        }
+        (lidx, ridx)
+    });
+    let mut lidx: Vec<Option<usize>> = Vec::new();
+    let mut ridx: Vec<Option<usize>> = Vec::new();
+    lidx.reserve(pairs.iter().map(|(l, _)| l.len()).sum());
+    ridx.reserve(lidx.capacity());
+    for (l, r) in pairs {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
+    if track_matched {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched.load(Ordering::Relaxed) {
+                lidx.push(None);
+                ridx.push(Some(r));
+            }
+        }
+    }
+
+    // Assembly: one gather per column instead of one push per cell. Only
+    // left key columns of right/full joins need the per-row loop, to
+    // backfill key values from the right side on unmatched right rows.
+    let mut out = Table::empty();
+    let key_positions_left: Vec<usize> = left_on
+        .iter()
+        .map(|k| left.schema().index_of(k).unwrap())
+        .collect();
+    for (ci, field) in left.schema().fields().iter().enumerate() {
+        let src = left.column_at(ci);
+        let backfill = key_positions_left
+            .iter()
+            .position(|&p| p == ci)
+            .map(|key_slot| rcols[key_slot]);
+        let col = match backfill {
+            Some(rc) if track_matched => {
+                let mut col = Column::empty(src.dtype());
+                for (l, r) in lidx.iter().zip(&ridx) {
+                    let v = match (l, r) {
+                        (Some(l), _) => src.get(*l),
+                        (None, Some(r)) => rc.get(*r),
+                        _ => Value::Null,
+                    };
+                    let v = crate::column::cast_value(&v, src.dtype());
+                    col.push_value(&v)?;
+                }
+                col
+            }
+            _ => src.take_opt(&lidx),
+        };
+        out.add_column(&field.name, col)?;
+    }
+    for (ci, field) in right.schema().fields().iter().enumerate() {
+        if right_on.iter().any(|k| field.name.eq_ignore_ascii_case(k)) {
+            continue;
+        }
+        let col = right.column_at(ci).take_opt(&ridx);
+        let name = if out.schema().index_of(&field.name).is_some() {
+            format!("{}_right", field.name)
+        } else {
+            field.name.clone()
+        };
+        out.add_column(&name, col)?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,31 +461,55 @@ mod tests {
     fn collisions() -> Table {
         Table::new(vec![
             ("case_id", Column::from_ints(vec![1, 2, 3])),
-            ("severity", Column::from_strs(vec!["minor", "major", "fatal"])),
+            (
+                "severity",
+                Column::from_strs(vec!["minor", "major", "fatal"]),
+            ),
         ])
         .unwrap()
     }
 
     fn parties() -> Table {
         Table::new(vec![
-            ("case_id", Column::from_opt_ints(vec![Some(1), Some(1), Some(2), Some(9), None])),
-            ("party_type", Column::from_strs(vec!["driver", "pedestrian", "driver", "driver", "driver"])),
+            (
+                "case_id",
+                Column::from_opt_ints(vec![Some(1), Some(1), Some(2), Some(9), None]),
+            ),
+            (
+                "party_type",
+                Column::from_strs(vec!["driver", "pedestrian", "driver", "driver", "driver"]),
+            ),
         ])
         .unwrap()
     }
 
     #[test]
     fn inner_join_fanout() {
-        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Inner)
-            .unwrap();
+        let out = join(
+            &collisions(),
+            &parties(),
+            &["case_id"],
+            &["case_id"],
+            JoinType::Inner,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 3); // case 1 matches twice, case 2 once
-        assert_eq!(out.schema().names(), vec!["case_id", "severity", "party_type"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["case_id", "severity", "party_type"]
+        );
     }
 
     #[test]
     fn left_join_keeps_unmatched() {
-        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Left)
-            .unwrap();
+        let out = join(
+            &collisions(),
+            &parties(),
+            &["case_id"],
+            &["case_id"],
+            JoinType::Left,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 4); // case 3 kept with null party_type
         let missing = (0..out.num_rows())
             .find(|&r| out.value(r, "case_id").unwrap() == Value::Int(3))
@@ -220,8 +519,14 @@ mod tests {
 
     #[test]
     fn right_join_backfills_keys() {
-        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Right)
-            .unwrap();
+        let out = join(
+            &collisions(),
+            &parties(),
+            &["case_id"],
+            &["case_id"],
+            JoinType::Right,
+        )
+        .unwrap();
         // Matched: 3 rows; unmatched right rows: case 9 and null key.
         assert_eq!(out.num_rows(), 5);
         let nine = (0..out.num_rows())
@@ -232,15 +537,27 @@ mod tests {
 
     #[test]
     fn full_join_union() {
-        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Full)
-            .unwrap();
+        let out = join(
+            &collisions(),
+            &parties(),
+            &["case_id"],
+            &["case_id"],
+            JoinType::Full,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 6); // 3 matched + case 3 + case 9 + null-key row
     }
 
     #[test]
     fn null_keys_never_match() {
-        let out = join(&collisions(), &parties(), &["case_id"], &["case_id"], JoinType::Inner)
-            .unwrap();
+        let out = join(
+            &collisions(),
+            &parties(),
+            &["case_id"],
+            &["case_id"],
+            JoinType::Inner,
+        )
+        .unwrap();
         for r in 0..out.num_rows() {
             assert_ne!(out.value(r, "case_id").unwrap(), Value::Null);
         }

@@ -14,12 +14,12 @@ pub mod sample;
 pub mod sort;
 pub mod window;
 
-pub use aggregate::{group_by, AggFunc, AggSpec};
+pub use aggregate::{group_by, group_by_serial, AggFunc, AggSpec};
 pub use concat::concat;
 pub use distinct::distinct;
-pub use filter::{filter, limit, project};
-pub use join::{join, JoinType};
+pub use filter::{filter, filter_serial, limit, project};
+pub use join::{join, join_serial, JoinType};
 pub use pivot::pivot;
 pub use sample::{sample_fraction, sample_n};
-pub use sort::{sort_by, top_n, SortKey};
+pub use sort::{sort_by, sort_by_serial, top_n, SortKey};
 pub use window::{add_row_numbers, lag, rolling_mean};

@@ -61,10 +61,7 @@ pub fn pivot(
         .field(index)
         .map(|f| f.name.clone())
         .unwrap_or_else(|| index.to_string());
-    out.add_column(
-        &index_name,
-        crate::column::Column::from_values(&row_keys)?,
-    )?;
+    out.add_column(&index_name, crate::column::Column::from_values(&row_keys)?)?;
     for (ci, header) in headers.iter().enumerate() {
         let col_vals: Vec<Value> = cells.iter().map(|row| row[ci].clone()).collect();
         let name = out.schema().fresh_name(header);
@@ -81,7 +78,10 @@ mod tests {
     fn t() -> Table {
         Table::new(vec![
             ("sex", Column::from_strs(vec!["m", "m", "f", "f", "m"])),
-            ("fault", Column::from_strs(vec!["yes", "no", "yes", "yes", "yes"])),
+            (
+                "fault",
+                Column::from_strs(vec!["yes", "no", "yes", "yes", "yes"]),
+            ),
             ("n", Column::from_ints(vec![1, 1, 1, 1, 1])),
         ])
         .unwrap()

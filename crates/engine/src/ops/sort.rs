@@ -1,7 +1,9 @@
 //! Multi-key stable sort.
 
 use crate::error::Result;
+use crate::parallel;
 use crate::table::Table;
+use crate::value::Value;
 
 /// One sort key: column name plus direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +32,25 @@ impl SortKey {
 
 /// Stable sort by the given keys. Nulls sort first on ascending keys and
 /// last on descending ones (a consequence of the total order on values).
+///
+/// Large tables take a decorate-sort morsel path: key values are extracted
+/// once per row (instead of twice per comparison), contiguous index chunks
+/// sort concurrently, and sorted chunks fold together through a stable
+/// left-biased merge — ties keep earlier-chunk rows first, which are
+/// exactly the earlier input rows, so stability matches the serial sort.
 pub fn sort_by(table: &Table, keys: &[SortKey]) -> Result<Table> {
+    if keys.is_empty() {
+        return Ok(table.clone());
+    }
+    if parallel::enabled(table.num_rows()) {
+        sort_by_morsel(table, keys)
+    } else {
+        sort_by_serial(table, keys)
+    }
+}
+
+/// Single-threaded sort (also the reference for the morsel path).
+pub fn sort_by_serial(table: &Table, keys: &[SortKey]) -> Result<Table> {
     if keys.is_empty() {
         return Ok(table.clone());
     }
@@ -52,6 +72,72 @@ pub fn sort_by(table: &Table, keys: &[SortKey]) -> Result<Table> {
     Ok(table.take(&indices))
 }
 
+fn sort_by_morsel(table: &Table, keys: &[SortKey]) -> Result<Table> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|k| table.column(&k.column))
+        .collect::<Result<Vec<_>>>()?;
+    let n = table.num_rows();
+
+    // Decorate: materialize each key column's values once, in parallel.
+    let decorated: Vec<Vec<Value>> =
+        parallel::run_indexed(cols.len(), |k| (0..n).map(|i| cols[k].get(i)).collect());
+    let cmp = |a: usize, b: usize| -> std::cmp::Ordering {
+        for (key, vals) in keys.iter().zip(&decorated) {
+            let ord = vals[a].cmp_total(&vals[b]);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+
+    // Sort each contiguous index chunk, then merge pairwise until one
+    // run remains. Both stages run on the worker pool.
+    let ranges = parallel::morsels(n);
+    let mut runs: Vec<Vec<usize>> = parallel::run_morsels(&ranges, |r| {
+        let mut idx: Vec<usize> = r.collect();
+        idx.sort_by(|&a, &b| cmp(a, b));
+        idx
+    });
+    while runs.len() > 1 {
+        let pairs = runs.len().div_ceil(2);
+        runs = parallel::run_indexed(pairs, |i| {
+            let a = &runs[2 * i];
+            match runs.get(2 * i + 1) {
+                Some(b) => merge_stable(a, b, &cmp),
+                None => a.clone(),
+            }
+        });
+    }
+    let indices = runs.pop().unwrap_or_default();
+    Ok(table.take(&indices))
+}
+
+/// Merge two sorted runs, taking from `a` on ties. `a` must hold earlier
+/// input rows than `b` for the overall sort to stay stable.
+fn merge_stable(
+    a: &[usize],
+    b: &[usize],
+    cmp: &impl Fn(usize, usize) -> std::cmp::Ordering,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(b[j], a[i]) == std::cmp::Ordering::Less {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// The `n` rows with the largest values of `column` (ties broken by input
 /// order), used by "top N" skills.
 pub fn top_n(table: &Table, column: &str, n: usize) -> Result<Table> {
@@ -68,7 +154,10 @@ mod tests {
     fn t() -> Table {
         Table::new(vec![
             ("g", Column::from_strs(vec!["b", "a", "b", "a"])),
-            ("v", Column::from_opt_ints(vec![Some(2), None, Some(1), Some(3)])),
+            (
+                "v",
+                Column::from_opt_ints(vec![Some(2), None, Some(1), Some(3)]),
+            ),
         ])
         .unwrap()
     }

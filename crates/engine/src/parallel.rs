@@ -1,0 +1,165 @@
+//! Morsel-driven parallel execution.
+//!
+//! Large kernel inputs are split into contiguous row *morsels* which are
+//! processed by a scoped worker pool (one worker per available core) and
+//! re-assembled in morsel order, so every parallel kernel produces exactly
+//! the same table as its serial counterpart. Inputs below
+//! [`min_parallel_rows`] rows stay on the serial path: for small tables the
+//! cost of spawning and stitching dwarfs the work itself.
+//!
+//! With `--no-default-features` (the `parallel` feature off) [`enabled`]
+//! is always `false` and every kernel runs its serial body; the morsel
+//! machinery still compiles so the two builds cannot drift apart.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Upper bound on rows per morsel. Sized so a handful of columns of one
+/// morsel fit comfortably in L2.
+pub const MORSEL_ROWS: usize = 64 * 1024;
+
+/// Default dispatch threshold: inputs smaller than this stay serial.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 32 * 1024;
+
+static MIN_PARALLEL_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_MIN_PARALLEL_ROWS);
+
+/// Current dispatch threshold in rows.
+pub fn min_parallel_rows() -> usize {
+    MIN_PARALLEL_ROWS.load(Ordering::Relaxed)
+}
+
+/// Override the dispatch threshold, returning the previous value.
+///
+/// Process-wide; intended for tests (force the morsel path on tiny inputs)
+/// and benchmarks (pin a kernel to one path). Clamped to at least 1 so an
+/// empty input never dispatches.
+pub fn set_min_parallel_rows(rows: usize) -> usize {
+    MIN_PARALLEL_ROWS.swap(rows.max(1), Ordering::Relaxed)
+}
+
+/// Whether a kernel over `rows` rows should take the morsel path.
+pub fn enabled(rows: usize) -> bool {
+    cfg!(feature = "parallel") && rows >= min_parallel_rows()
+}
+
+/// Number of workers used for morsel execution.
+pub fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Split `rows` into contiguous morsel ranges.
+///
+/// Aims for several morsels per worker (for load balancing) without going
+/// below a quarter of the dispatch threshold or above [`MORSEL_ROWS`].
+pub fn morsels(rows: usize) -> Vec<Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let floor = (min_parallel_rows() / 4).max(1);
+    let size = rows
+        .div_ceil(num_threads() * 4)
+        .clamp(floor.min(MORSEL_ROWS), MORSEL_ROWS);
+    (0..rows)
+        .step_by(size)
+        .map(|start| start..(start + size).min(rows))
+        .collect()
+}
+
+/// Run `f(i)` for `i in 0..n` on the worker pool, returning results in
+/// index order. Falls back to a plain serial loop when a single worker (or
+/// a single task) would not benefit from spawning.
+pub fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run `f` over each morsel range, returning per-morsel results in range
+/// order.
+pub fn run_morsels<R, F>(ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    run_indexed(ranges.len(), |i| f(ranges[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_rows_exactly() {
+        for rows in [0usize, 1, 10, MORSEL_ROWS - 1, MORSEL_ROWS, 1_000_000] {
+            let ranges = morsels(rows);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let out = run_indexed(100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threshold_override_roundtrip() {
+        let prev = set_min_parallel_rows(4);
+        assert_eq!(min_parallel_rows(), 4);
+        assert!(morsels(100).len() > 1);
+        set_min_parallel_rows(prev);
+        assert_eq!(min_parallel_rows(), prev);
+    }
+
+    #[test]
+    fn enabled_respects_feature_and_threshold() {
+        let prev = set_min_parallel_rows(8);
+        assert!(!enabled(7));
+        assert_eq!(enabled(8), cfg!(feature = "parallel"));
+        set_min_parallel_rows(prev);
+    }
+}

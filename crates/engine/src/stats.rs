@@ -55,10 +55,7 @@ fn summarize(name: &str, col: &Column) -> ColumnSummary {
             continue;
         }
         let key = v.render();
-        counts
-            .entry(key)
-            .and_modify(|e| e.1 += 1)
-            .or_insert((v, 1));
+        counts.entry(key).and_modify(|e| e.1 += 1).or_insert((v, 1));
     }
     let distinct = counts.len();
     let mode = counts
@@ -94,7 +91,13 @@ fn summarize(name: &str, col: &Column) -> ColumnSummary {
         } else {
             (vals[mid - 1] + vals[mid]) / 2.0
         };
-        (Some(min), Some(max), Some(mean), Some(var.sqrt()), Some(median))
+        (
+            Some(min),
+            Some(max),
+            Some(mean),
+            Some(var.sqrt()),
+            Some(median),
+        )
     };
 
     ColumnSummary {
@@ -121,11 +124,7 @@ impl ColumnSummary {
             self.dtype,
             self.count,
             self.null_count,
-            if self.count == 0 {
-                0
-            } else {
-                self.null_count * 100 / self.count
-            },
+            (self.null_count * 100).checked_div(self.count).unwrap_or(0),
             self.distinct_count
         );
         if let (Some(min), Some(max), Some(mean)) = (self.min, self.max, self.mean) {
@@ -150,10 +149,7 @@ mod tests {
                 "age",
                 Column::from_opt_ints(vec![Some(20), Some(30), None, Some(30)]),
             ),
-            (
-                "kind",
-                Column::from_strs(vec!["a", "b", "a", "a"]),
-            ),
+            ("kind", Column::from_strs(vec!["a", "b", "a", "a"])),
         ])
         .unwrap()
     }

@@ -156,6 +156,23 @@ impl Table {
         })
     }
 
+    /// Append the rows of `other` in place. Schemas must match by name,
+    /// position and type (used to stitch per-morsel outputs back together).
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema.names() != other.schema.names() {
+            return Err(EngineError::schema_mismatch(format!(
+                "cannot append table with columns {:?} onto {:?}",
+                other.schema.names(),
+                self.schema.names()
+            )));
+        }
+        for (col, more) in self.columns.iter_mut().zip(&other.columns) {
+            col.extend(more)?;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// A contiguous window of rows.
     pub fn slice(&self, start: usize, count: usize) -> Table {
         let start = start.min(self.rows);
@@ -444,7 +461,8 @@ mod tests {
         ])
         .unwrap();
         let mut b = TableBuilder::new(schema);
-        b.push_row(&[Value::Int(1), Value::Str("x".into())]).unwrap();
+        b.push_row(&[Value::Int(1), Value::Str("x".into())])
+            .unwrap();
         b.push_row(&[Value::Null, Value::Str("y".into())]).unwrap();
         let t = b.finish();
         assert_eq!(t.num_rows(), 2);

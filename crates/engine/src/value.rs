@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn total_order_nulls_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.cmp_total(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));
@@ -242,7 +242,7 @@ mod tests {
 
     #[test]
     fn total_order_nan_last() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Int(5)];
+        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0), Value::Int(5)];
         vals.sort_by(|a, b| a.cmp_total(b));
         assert_eq!(vals[0], Value::Float(1.0));
         assert_eq!(vals[1], Value::Int(5));

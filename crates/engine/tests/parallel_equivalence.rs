@@ -1,0 +1,207 @@
+//! Property tests asserting the morsel-parallel kernel paths produce
+//! exactly the same tables as their serial counterparts, including on
+//! null-heavy columns.
+//!
+//! The dispatch threshold is forced down to 1 row so even tiny generated
+//! tables split into several morsels and exercise the merge logic. Under
+//! `--no-default-features` dispatch is disabled and these tests compare
+//! the serial path with itself, which keeps the suite green in both
+//! builds.
+
+use dc_engine::ops::{
+    filter, filter_serial, group_by, group_by_serial, join, join_serial, sort_by, sort_by_serial,
+    AggFunc, AggSpec, JoinType, SortKey,
+};
+use dc_engine::parallel::set_min_parallel_rows;
+use dc_engine::{eval, Column, Expr, Table, Value};
+use proptest::prelude::*;
+
+/// Force every kernel onto the morsel path (when the feature is on).
+fn force_morsels() {
+    set_min_parallel_rows(1);
+}
+
+fn opt_int() -> impl Strategy<Value = Option<i64>> {
+    prop::option::of(-5i64..20)
+}
+
+fn opt_key() -> impl Strategy<Value = Option<String>> {
+    prop::option::of("[a-c]{1,2}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_and_eval_match_serial(
+        rows in prop::collection::vec((opt_int(), opt_key()), 0..300),
+    ) {
+        force_morsels();
+        let t = Table::new(vec![
+            ("x", Column::from_opt_ints(rows.iter().map(|(x, _)| *x).collect())),
+            ("k", Column::from_opt_strs(rows.iter().map(|(_, k)| k.clone()).collect())),
+        ])
+        .unwrap();
+        let pred = Expr::col("x").gt(Expr::lit(3i64)).or(Expr::col("k").is_null());
+        prop_assert_eq!(
+            filter(&t, &pred).unwrap(),
+            filter_serial(&t, &pred).unwrap()
+        );
+        let expr = Expr::col("x").mul(Expr::lit(2i64)).add(Expr::lit(1i64));
+        prop_assert_eq!(
+            eval::eval(&t, &expr).unwrap(),
+            eval::eval_serial(&t, &expr).unwrap()
+        );
+    }
+
+    #[test]
+    fn group_by_matches_serial(
+        rows in prop::collection::vec((opt_key(), opt_int(), opt_int()), 0..300),
+    ) {
+        force_morsels();
+        // Float values are integer-valued so partial sums are exact in
+        // f64 regardless of morsel association.
+        let t = Table::new(vec![
+            ("k", Column::from_opt_strs(rows.iter().map(|(k, _, _)| k.clone()).collect())),
+            ("v", Column::from_opt_ints(rows.iter().map(|(_, v, _)| *v).collect())),
+            (
+                "f",
+                Column::from_opt_floats(
+                    rows.iter().map(|(_, _, f)| f.map(|x| x as f64)).collect(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let aggs = [
+            AggSpec::count_records("n"),
+            AggSpec::new(AggFunc::Count, "v", "cnt"),
+            AggSpec::new(AggFunc::CountDistinct, "v", "dist"),
+            AggSpec::new(AggFunc::Sum, "v", "sum"),
+            AggSpec::new(AggFunc::Sum, "f", "fsum"),
+            AggSpec::new(AggFunc::Avg, "f", "avg"),
+            AggSpec::new(AggFunc::Min, "v", "lo"),
+            AggSpec::new(AggFunc::Max, "v", "hi"),
+            AggSpec::new(AggFunc::Median, "f", "mid"),
+            AggSpec::new(AggFunc::First, "v", "first"),
+            AggSpec::new(AggFunc::Last, "v", "last"),
+        ];
+        prop_assert_eq!(
+            group_by(&t, &["k"], &aggs).unwrap(),
+            group_by_serial(&t, &["k"], &aggs).unwrap()
+        );
+        // Multi-key grouping and the global (empty-key) group.
+        prop_assert_eq!(
+            group_by(&t, &["k", "v"], &aggs[..4]).unwrap(),
+            group_by_serial(&t, &["k", "v"], &aggs[..4]).unwrap()
+        );
+        if !rows.is_empty() {
+            prop_assert_eq!(
+                group_by(&t, &[], &aggs).unwrap(),
+                group_by_serial(&t, &[], &aggs).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn group_by_moments_match_serial_approximately(
+        rows in prop::collection::vec((opt_key(), opt_int()), 0..300),
+    ) {
+        force_morsels();
+        let t = Table::new(vec![
+            ("k", Column::from_opt_strs(rows.iter().map(|(k, _)| k.clone()).collect())),
+            ("v", Column::from_opt_ints(rows.iter().map(|(_, v)| *v).collect())),
+        ])
+        .unwrap();
+        let aggs = [
+            AggSpec::new(AggFunc::Variance, "v", "var"),
+            AggSpec::new(AggFunc::StdDev, "v", "sd"),
+        ];
+        // Parallel Welford merging is not bit-identical to the serial
+        // update, so moments are compared within a tolerance.
+        let par = group_by(&t, &["k"], &aggs).unwrap();
+        let ser = group_by_serial(&t, &["k"], &aggs).unwrap();
+        prop_assert_eq!(par.num_rows(), ser.num_rows());
+        for row in 0..par.num_rows() {
+            prop_assert_eq!(par.value(row, "k").unwrap(), ser.value(row, "k").unwrap());
+            for col in ["var", "sd"] {
+                match (par.value(row, col).unwrap(), ser.value(row, col).unwrap()) {
+                    (Value::Null, Value::Null) => {}
+                    (Value::Float(a), Value::Float(b)) => {
+                        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+                    }
+                    (a, b) => prop_assert!(false, "mismatched moments {:?} vs {:?}", a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_matches_serial(
+        lrows in prop::collection::vec((prop::option::of(0i64..8), 0i64..100), 0..150),
+        rrows in prop::collection::vec((prop::option::of(0i64..8), opt_key()), 0..150),
+    ) {
+        force_morsels();
+        let left = Table::new(vec![
+            ("id", Column::from_opt_ints(lrows.iter().map(|(k, _)| *k).collect())),
+            ("payload", Column::from_ints(lrows.iter().map(|(_, v)| *v).collect())),
+        ])
+        .unwrap();
+        let right = Table::new(vec![
+            ("id", Column::from_opt_ints(rrows.iter().map(|(k, _)| *k).collect())),
+            ("tag", Column::from_opt_strs(rrows.iter().map(|(_, t)| t.clone()).collect())),
+        ])
+        .unwrap();
+        for how in [JoinType::Inner, JoinType::Left, JoinType::Right, JoinType::Full] {
+            prop_assert_eq!(
+                join(&left, &right, &["id"], &["id"], how).unwrap(),
+                join_serial(&left, &right, &["id"], &["id"], how).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_key_join_matches_serial(
+        lrows in prop::collection::vec((opt_key(), prop::option::of(0i64..4)), 0..120),
+        rrows in prop::collection::vec((opt_key(), prop::option::of(0i64..4)), 0..120),
+    ) {
+        force_morsels();
+        let left = Table::new(vec![
+            ("a", Column::from_opt_strs(lrows.iter().map(|(a, _)| a.clone()).collect())),
+            ("b", Column::from_opt_ints(lrows.iter().map(|(_, b)| *b).collect())),
+        ])
+        .unwrap();
+        let right = Table::new(vec![
+            ("a", Column::from_opt_strs(rrows.iter().map(|(a, _)| a.clone()).collect())),
+            ("b", Column::from_opt_ints(rrows.iter().map(|(_, b)| *b).collect())),
+        ])
+        .unwrap();
+        for how in [JoinType::Inner, JoinType::Left, JoinType::Right, JoinType::Full] {
+            prop_assert_eq!(
+                join(&left, &right, &["a", "b"], &["a", "b"], how).unwrap(),
+                join_serial(&left, &right, &["a", "b"], &["a", "b"], how).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sort_matches_serial(
+        rows in prop::collection::vec((opt_key(), opt_int()), 0..300),
+    ) {
+        force_morsels();
+        let t = Table::new(vec![
+            ("k", Column::from_opt_strs(rows.iter().map(|(k, _)| k.clone()).collect())),
+            ("v", Column::from_opt_ints(rows.iter().map(|(_, v)| *v).collect())),
+        ])
+        .unwrap();
+        let keys = [SortKey::asc("k"), SortKey::desc("v")];
+        prop_assert_eq!(
+            sort_by(&t, &keys).unwrap(),
+            sort_by_serial(&t, &keys).unwrap()
+        );
+        let keys = [SortKey::desc("v")];
+        prop_assert_eq!(
+            sort_by(&t, &keys).unwrap(),
+            sort_by_serial(&t, &keys).unwrap()
+        );
+    }
+}

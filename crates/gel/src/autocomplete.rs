@@ -139,7 +139,9 @@ mod tests {
             .filter(|s| s.kind == SuggestionKind::Template)
             .map(|s| s.completion.as_str())
             .collect();
-        assert!(templates.iter().any(|t| t.starts_with("Load data from the file")));
+        assert!(templates
+            .iter()
+            .any(|t| t.starts_with("Load data from the file")));
         assert!(templates.iter().any(|t| t.starts_with("Load the table")));
     }
 

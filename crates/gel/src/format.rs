@@ -16,7 +16,8 @@ pub fn format_value(v: &Value) -> String {
     match v {
         Value::Str(s) => {
             let simple = !s.is_empty()
-                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ' ' || c == '-')
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ' ' || c == '-')
                 && s.trim() == s;
             if simple {
                 s.clone()

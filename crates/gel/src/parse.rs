@@ -50,7 +50,10 @@ fn split_word_ci<'a>(s: &'a str, word: &str) -> Option<(&'a str, &'a str)> {
             || lower.as_bytes()[end].is_ascii_whitespace()
             || lower.as_bytes()[end] == b',';
         if before_ok && after_ok {
-            return Some((s[..at].trim_end().trim_end_matches(','), s[end..].trim_start()));
+            return Some((
+                s[..at].trim_end().trim_end_matches(','),
+                s[end..].trim_start(),
+            ));
         }
         start = at + 1;
     }
@@ -73,12 +76,7 @@ fn rsplit_word_ci<'a>(s: &'a str, word: &str) -> Option<(&'a str, &'a str)> {
         }
         start = at + 1;
     }
-    best.map(|at| {
-        (
-            s[..at].trim_end(),
-            s[at + target.len()..].trim_start(),
-        )
-    })
+    best.map(|at| (s[..at].trim_end(), s[at + target.len()..].trim_start()))
 }
 
 /// Split a GEL column/name list: commas and a final "and".
@@ -161,12 +159,7 @@ fn parse_date_phrase(s: &str) -> Result<i32> {
             "year" => add_years(base, sign * n),
             "month" => add_months(base, sign * n),
             "day" => base + sign * n,
-            other => {
-                return Err(GelError::bad_phrase(
-                    format!("unknown unit {other:?}"),
-                    s,
-                ))
-            }
+            other => return Err(GelError::bad_phrase(format!("unknown unit {other:?}"), s)),
         });
     }
     parse_date(s).map_err(|e| GelError::bad_phrase(e.to_string(), s))
@@ -189,10 +182,9 @@ pub fn parse_condition(s: &str) -> Result<Expr> {
     if let Some((col, rest)) = split_word_ci(s, "is between") {
         let (a, b) = split_word_ci(rest, "and")
             .ok_or_else(|| GelError::bad_phrase("expected <a> and <b>", rest))?;
-        return Ok(Expr::col(col).between(
-            Expr::Literal(parse_value(a)),
-            Expr::Literal(parse_value(b)),
-        ));
+        return Ok(
+            Expr::col(col).between(Expr::Literal(parse_value(a)), Expr::Literal(parse_value(b)))
+        );
     }
     // "<col> is after/before <date-phrase>"
     if let Some((col, rest)) = split_word_ci(s, "is after") {
@@ -297,9 +289,11 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
             let name = name.trim_end_matches(',').trim();
             return Ok(SkillCall::UseDataset {
                 name: name.into(),
-                version: Some(v.trim().parse().map_err(|_| {
-                    GelError::bad_phrase("expected a version number", v)
-                })?),
+                version: Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| GelError::bad_phrase("expected a version number", v))?,
+                ),
             });
         }
         return Ok(SkillCall::UseDataset {
@@ -345,8 +339,7 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
                 sentence: sentence.to_string(),
             });
         }
-        if let Some((kpi, by)) = split_word_ci(rest, "by")
-            .or_else(|| split_word_ci(rest, "using"))
+        if let Some((kpi, by)) = split_word_ci(rest, "by").or_else(|| split_word_ci(rest, "using"))
         {
             return Ok(SkillCall::Visualize {
                 kpi: kpi.into(),
@@ -515,7 +508,8 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
         let (columns, rest) = split_word_ci(rest, "using")
             .ok_or_else(|| GelError::bad_phrase("expected using the <agg> of <values>", rest))?;
         let (func, values) = parse_agg_phrase(rest)?;
-        let values = values.ok_or_else(|| GelError::bad_phrase("pivot needs a values column", rest))?;
+        let values =
+            values.ok_or_else(|| GelError::bad_phrase("pivot needs a values column", rest))?;
         return Ok(SkillCall::Pivot {
             index: index.into(),
             columns: columns.into(),
@@ -674,9 +668,10 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
         };
         return Ok(SkillCall::BinColumn {
             column: col.into(),
-            width: width.trim().parse().map_err(|_| {
-                GelError::bad_phrase("expected a bin width", width)
-            })?,
+            width: width
+                .trim()
+                .parse()
+                .map_err(|_| GelError::bad_phrase("expected a bin width", width))?,
             name,
         });
     }
@@ -704,9 +699,9 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
         let (pct_part, seed) = match split_word_ci(rest, "with seed") {
             Some((p, sd)) => (
                 p,
-                sd.trim().parse().map_err(|_| {
-                    GelError::bad_phrase("expected a seed number", sd)
-                })?,
+                sd.trim()
+                    .parse()
+                    .map_err(|_| GelError::bad_phrase("expected a seed number", sd))?,
             ),
             None => (rest, 42u64),
         };
@@ -725,9 +720,10 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
     }
     if let Some(rest) = strip_ci(s, "shuffle the rows") {
         let seed = match strip_ci(rest, "with seed") {
-            Some(sd) => sd.trim().parse().map_err(|_| {
-                GelError::bad_phrase("expected a seed number", sd)
-            })?,
+            Some(sd) => sd
+                .trim()
+                .parse()
+                .map_err(|_| GelError::bad_phrase("expected a seed number", sd))?,
             None => 42u64,
         };
         return Ok(SkillCall::ShuffleRows { seed });
@@ -743,8 +739,9 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
         return parse_train_tail("", rest);
     }
     if let Some(rest) = strip_ci(s, "predict time series with measure columns") {
-        let (measures, rest2) = split_word_ci(rest, "for the next")
-            .ok_or_else(|| GelError::bad_phrase("expected for the next <n> values of <col>", rest))?;
+        let (measures, rest2) = split_word_ci(rest, "for the next").ok_or_else(|| {
+            GelError::bad_phrase("expected for the next <n> values of <col>", rest)
+        })?;
         let (n, time) = split_word_ci(rest2, "values of")
             .ok_or_else(|| GelError::bad_phrase("expected values of <column>", rest2))?;
         return Ok(SkillCall::PredictTimeSeries {
@@ -934,10 +931,9 @@ mod tests {
 
     #[test]
     fn multi_aggregate_compute() {
-        let call = parse_gel(
-            "Compute the average of Age and the median of Salary for each JobLevel",
-        )
-        .unwrap();
+        let call =
+            parse_gel("Compute the average of Age and the median of Salary for each JobLevel")
+                .unwrap();
         match call {
             SkillCall::Compute { aggs, for_each } => {
                 assert_eq!(aggs.len(), 2);
@@ -993,14 +989,19 @@ mod tests {
     fn roundtrip_canonical_sentences() {
         use dc_engine::Value;
         let calls = vec![
-            SkillCall::LoadFile { path: "cars.csv".into() },
+            SkillCall::LoadFile {
+                path: "cars.csv".into(),
+            },
             SkillCall::KeepRows {
                 predicate: Expr::col("age").ge(Expr::lit(18i64)),
             },
             SkillCall::KeepColumns {
                 columns: vec!["a".into(), "b".into()],
             },
-            SkillCall::RenameColumn { from: "a".into(), to: "b".into() },
+            SkillCall::RenameColumn {
+                from: "a".into(),
+                to: "b".into(),
+            },
             SkillCall::Compute {
                 aggs: vec![AggSpec::new(AggFunc::Count, "case_id", "NumberOfCases")],
                 for_each: vec!["party_sobriety".into()],
@@ -1009,8 +1010,14 @@ mod tests {
                 keys: vec![("x".into(), false), ("y".into(), true)],
             },
             SkillCall::Limit { n: 10 },
-            SkillCall::Top { column: "v".into(), n: 5 },
-            SkillCall::Concat { other: "other_ds".into(), remove_duplicates: true },
+            SkillCall::Top {
+                column: "v".into(),
+                n: 5,
+            },
+            SkillCall::Concat {
+                other: "other_ds".into(),
+                remove_duplicates: true,
+            },
             SkillCall::Join {
                 other: "parties".into(),
                 left_on: vec!["case_id".into()],
@@ -1018,21 +1025,36 @@ mod tests {
                 how: JoinType::Left,
             },
             SkillCall::Distinct { columns: vec![] },
-            SkillCall::DropMissing { columns: vec!["x".into()] },
-            SkillCall::FillMissing { column: "x".into(), value: Value::Int(0) },
+            SkillCall::DropMissing {
+                columns: vec!["x".into()],
+            },
+            SkillCall::FillMissing {
+                column: "x".into(),
+                value: Value::Int(0),
+            },
             SkillCall::ReplaceValues {
                 column: "sex".into(),
                 from: Value::Str("male".into()),
                 to: Value::Str("m".into()),
             },
-            SkillCall::CastColumn { column: "x".into(), to: dc_engine::DataType::Float },
-            SkillCall::BinColumn { column: "age".into(), width: 20, name: None },
+            SkillCall::CastColumn {
+                column: "x".into(),
+                to: dc_engine::DataType::Float,
+            },
+            SkillCall::BinColumn {
+                column: "age".into(),
+                width: 20,
+                name: None,
+            },
             SkillCall::ExtractDatePart {
                 column: "d".into(),
                 part: dc_skills::DatePart::Year,
                 name: Some("yr".into()),
             },
-            SkillCall::Sample { fraction: 0.1, seed: 7 },
+            SkillCall::Sample {
+                fraction: 0.1,
+                seed: 7,
+            },
             SkillCall::ShuffleRows { seed: 3 },
             SkillCall::TrainModel {
                 name: "m1".into(),
@@ -1045,32 +1067,57 @@ mod tests {
                 column: "v".into(),
                 method: OutlierMethod::default_iqr(),
             },
-            SkillCall::Cluster { k: 3, features: vec!["a".into(), "b".into()] },
-            SkillCall::EvaluateModel { model: "m1".into(), target: "y".into() },
-            SkillCall::RunSql { query: "SELECT * FROM t".into() },
+            SkillCall::Cluster {
+                k: 3,
+                features: vec!["a".into(), "b".into()],
+            },
+            SkillCall::EvaluateModel {
+                model: "m1".into(),
+                target: "y".into(),
+            },
+            SkillCall::RunSql {
+                query: "SELECT * FROM t".into(),
+            },
             SkillCall::ExportCsv,
-            SkillCall::SaveArtifact { name: "chart1".into() },
-            SkillCall::Snapshot { name: "snap".into() },
+            SkillCall::SaveArtifact {
+                name: "chart1".into(),
+            },
+            SkillCall::Snapshot {
+                name: "snap".into(),
+            },
             SkillCall::Define {
                 phrase: "revenue".into(),
                 expansion: "sum(price * quantity)".into(),
             },
-            SkillCall::Comment { text: "checkpoint".into() },
-            SkillCall::ShareArtifact { artifact: "c1".into(), with_user: "bob".into() },
-            SkillCall::DescribeColumn { column: "age".into() },
+            SkillCall::Comment {
+                text: "checkpoint".into(),
+            },
+            SkillCall::ShareArtifact {
+                artifact: "c1".into(),
+                with_user: "bob".into(),
+            },
+            SkillCall::DescribeColumn {
+                column: "age".into(),
+            },
             SkillCall::DescribeDataset,
             SkillCall::ListDatasets,
             SkillCall::ShowHead { n: 5 },
             SkillCall::CountRows,
             SkillCall::ProfileMissing,
             SkillCall::UseSnapshot { name: "s1".into() },
-            SkillCall::UseDataset { name: "fredgraph".into(), version: Some(1) },
-            SkillCall::LoadTable { database: "MainDatabase".into(), table: "parties".into() },
+            SkillCall::UseDataset {
+                name: "fredgraph".into(),
+                version: Some(1),
+            },
+            SkillCall::LoadTable {
+                database: "MainDatabase".into(),
+                table: "parties".into(),
+            },
         ];
         for call in calls {
             let text = format_skill(&call);
-            let parsed = parse_gel(&text)
-                .unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
+            let parsed =
+                parse_gel(&text).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
             assert_eq!(parsed, call, "roundtrip failed for {text:?}");
         }
     }
@@ -1115,7 +1162,10 @@ mod tests {
         assert_eq!(parse_value("'two words'"), Value::Str("two words".into()));
         assert_eq!(parse_value("male"), Value::Str("male".into()));
         assert_eq!(parse_value("null"), Value::Null);
-        assert_eq!(parse_value("2020-01-01"), Value::Date(days_from_ymd(2020, 1, 1)));
+        assert_eq!(
+            parse_value("2020-01-01"),
+            Value::Date(days_from_ymd(2020, 1, 1))
+        );
     }
 
     #[test]
@@ -1140,7 +1190,12 @@ mod tests {
     #[test]
     fn train_model_default_name() {
         match parse_gel("Train a model to predict Salary using Age, JobLevel").unwrap() {
-            SkillCall::TrainModel { name, target, features, method } => {
+            SkillCall::TrainModel {
+                name,
+                target,
+                features,
+                method,
+            } => {
                 assert_eq!(name, "model_salary");
                 assert_eq!(target, "Salary");
                 assert_eq!(features, vec!["Age", "JobLevel"]);

@@ -287,11 +287,10 @@ impl RecipeEditor {
     /// semantics; a breakpoint on step i pauses *before* executing i).
     pub fn run(&mut self, env: &mut Env) -> Result<RunState> {
         while self.position < self.recipe.len() {
-            if self.has_breakpoint(self.position)
-                && self.state != RunState::Idle
-                // An Idle run starting exactly on a breakpoint still
-                // executes nothing first: pause immediately unless we've
-                // just paused here.
+            if self.has_breakpoint(self.position) && self.state != RunState::Idle
+            // An Idle run starting exactly on a breakpoint still
+            // executes nothing first: pause immediately unless we've
+            // just paused here.
             {
                 self.state = RunState::Paused;
                 return Ok(self.state);
@@ -357,7 +356,9 @@ mod tests {
     fn parse_recipe_text() {
         let r = recipe();
         assert_eq!(r.len(), 3);
-        assert!(r.to_text().starts_with("1 Load data from the file nums.csv"));
+        assert!(r
+            .to_text()
+            .starts_with("1 Load data from the file nums.csv"));
     }
 
     #[test]
@@ -391,7 +392,7 @@ mod tests {
         let state = ed.run(&mut env).unwrap();
         assert_eq!(state, RunState::Paused);
         assert_eq!(ed.position(), 1); // step 1 not yet executed
-        // The step-0 output is visible.
+                                      // The step-0 output is visible.
         assert_eq!(ed.last_output().unwrap().as_table().unwrap().num_rows(), 4);
         let state = ed.resume(&mut env).unwrap();
         assert_eq!(state, RunState::Done);
@@ -451,7 +452,11 @@ mod tests {
         let mut csv = String::from("DATE,GDPC1\n");
         for q in 0..40 {
             let d = dc_engine::date::add_months(dc_engine::date::days_from_ymd(2005, 1, 1), 3 * q);
-            csv.push_str(&format!("{},{}\n", dc_engine::date::format_date(d), 100 + 2 * q));
+            csv.push_str(&format!(
+                "{},{}\n",
+                dc_engine::date::format_date(d),
+                100 + 2 * q
+            ));
         }
         env.add_url("https://fred.example/gdp.csv", csv);
 

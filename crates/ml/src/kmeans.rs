@@ -28,7 +28,9 @@ pub fn fit_kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansMode
     }
     let dim = points[0].len();
     if dim == 0 || points.iter().any(|p| p.len() != dim) {
-        return Err(MlError::invalid("points must be non-empty and uniform dimension"));
+        return Err(MlError::invalid(
+            "points must be non-empty and uniform dimension",
+        ));
     }
 
     let mut rng = StdRng::seed_from_u64(seed);

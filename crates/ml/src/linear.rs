@@ -32,7 +32,10 @@ pub fn fit_linear(
     }
     let k = feature_names.len();
     if n < k + 1 {
-        return Err(MlError::InsufficientData { needed: k + 1, got: n });
+        return Err(MlError::InsufficientData {
+            needed: k + 1,
+            got: n,
+        });
     }
     if xs.iter().any(|r| r.len() != k) {
         return Err(MlError::invalid("ragged feature rows"));
@@ -72,17 +75,16 @@ pub fn fit_linear(
     let preds: Vec<f64> = xs.iter().map(|r| model.predict_row(r)).collect();
     let mean_y = ys.iter().sum::<f64>() / n as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = ys
-        .iter()
-        .zip(&preds)
-        .map(|(y, p)| (y - p).powi(2))
-        .sum();
+    let ss_res: f64 = ys.iter().zip(&preds).map(|(y, p)| (y - p).powi(2)).sum();
     let r2 = if ss_tot == 0.0 {
         1.0
     } else {
         1.0 - ss_res / ss_tot
     };
-    Ok(LinearModel { r_squared: r2, ..model })
+    Ok(LinearModel {
+        r_squared: r2,
+        ..model
+    })
 }
 
 impl LinearModel {

@@ -44,6 +44,8 @@ impl Matrix {
 /// Solve `A x = b` for symmetric positive-(semi)definite `A` by Gaussian
 /// elimination with partial pivoting. Returns `None` when `A` is singular
 /// to working precision.
+// Indexed loops: elimination reads and writes sibling rows by position.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let n = a.rows();
     debug_assert_eq!(a.cols(), n);

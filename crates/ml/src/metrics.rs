@@ -39,7 +39,11 @@ pub fn r_squared(actual: &[f64], predicted: &[f64]) -> Result<f64> {
         .zip(predicted)
         .map(|(a, p)| (a - p).powi(2))
         .sum();
-    Ok(if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot })
+    Ok(if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    })
 }
 
 /// Classification accuracy.

@@ -83,7 +83,10 @@ fn feature_rows(
                 .column(f)
                 .map_err(|_| MlError::bad_column(f, "not found"))?;
             if !c.dtype().is_numeric() && c.dtype() != dc_engine::DataType::Date {
-                return Err(MlError::bad_column(f, format!("{} is not numeric", c.dtype())));
+                return Err(MlError::bad_column(
+                    f,
+                    format!("{} is not numeric", c.dtype()),
+                ));
             }
             Ok(c)
         })
@@ -163,10 +166,7 @@ pub fn train_model(
             })
         }
         MlMethod::DecisionTree => {
-            let labels: Vec<String> = kept
-                .iter()
-                .map(|&r| target_col.get(r).render())
-                .collect();
+            let labels: Vec<String> = kept.iter().map(|&r| target_col.get(r).render()).collect();
             let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
             let fitted = fit_tree(&xs, &label_refs, 6)?;
             Ok(Model {
@@ -295,7 +295,7 @@ mod tests {
                 "y",
                 Column::from_opt_floats(
                     (0..20)
-                        .map(|i| (i % 4 != 0).then(|| 3.0 * i as f64))
+                        .map(|i| (i % 4 != 0).then_some(3.0 * i as f64))
                         .collect(),
                 ),
             ),

@@ -57,8 +57,8 @@ pub fn fit_time_series(values: &[f64], period: usize) -> Result<TimeSeriesModel>
             row
         })
         .collect();
-    let fitted = fit_linear(&xs, values, &names, 0.0)
-        .or_else(|_| fit_linear(&xs, values, &names, 1e-9))?;
+    let fitted =
+        fit_linear(&xs, values, &names, 0.0).or_else(|_| fit_linear(&xs, values, &names, 1e-9))?;
     // Phase 0 is the dummy baseline; recenter offsets to sum to zero and
     // fold the mean into the intercept.
     let mut seasonal = vec![0.0f64];
@@ -118,7 +118,10 @@ mod tests {
         assert!(m.slope.abs() < 1e-9);
         let f = m.forecast(4);
         for (i, v) in f.iter().enumerate() {
-            assert!((v - (100.0 + pattern[(40 + i) % 4])).abs() < 1e-6, "{i}: {v}");
+            assert!(
+                (v - (100.0 + pattern[(40 + i) % 4])).abs() < 1e-6,
+                "{i}: {v}"
+            );
         }
     }
 

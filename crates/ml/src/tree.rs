@@ -35,11 +35,16 @@ pub fn fit_tree(xs: &[Vec<f64>], ys: &[&str], max_depth: usize) -> Result<Decisi
         return Err(MlError::invalid("features and labels differ in length"));
     }
     if xs.len() < 2 {
-        return Err(MlError::InsufficientData { needed: 2, got: xs.len() });
+        return Err(MlError::InsufficientData {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     let dim = xs[0].len();
     if dim == 0 || xs.iter().any(|r| r.len() != dim) {
-        return Err(MlError::invalid("feature rows must be non-empty and uniform"));
+        return Err(MlError::invalid(
+            "feature rows must be non-empty and uniform",
+        ));
     }
     if max_depth == 0 {
         return Err(MlError::invalid("max_depth must be positive"));
@@ -106,6 +111,8 @@ fn majority_leaf(counts: &[usize]) -> Node {
     }
 }
 
+// Indexed feature loop: `xs[i][f]` double-indexes per candidate split.
+#[allow(clippy::needless_range_loop)]
 fn build(xs: &[Vec<f64>], y: &[usize], n_classes: usize, indices: &[usize], depth: usize) -> Node {
     let counts = class_counts(y, n_classes, indices);
     let impurity = gini(&counts);
@@ -135,8 +142,8 @@ fn build(xs: &[Vec<f64>], y: &[usize], n_classes: usize, indices: &[usize], dept
             if nl == 0 || nr == 0 {
                 continue;
             }
-            let weighted = (nl as f64 * gini(&left) + nr as f64 * gini(&right))
-                / indices.len() as f64;
+            let weighted =
+                (nl as f64 * gini(&left) + nr as f64 * gini(&right)) / indices.len() as f64;
             if best.as_ref().is_none_or(|(_, _, g)| weighted < *g - 1e-12) {
                 best = Some((f, threshold, weighted));
             }
@@ -144,9 +151,8 @@ fn build(xs: &[Vec<f64>], y: &[usize], n_classes: usize, indices: &[usize], dept
     }
     match best {
         Some((feature, threshold, weighted)) if weighted < impurity - 1e-12 => {
-            let (li, ri): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| xs[i][feature] <= threshold);
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| xs[i][feature] <= threshold);
             Node::Split {
                 feature,
                 threshold,
@@ -171,7 +177,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -195,7 +205,10 @@ impl DecisionTree {
             match n {
                 Node::Leaf { .. } => 0,
                 Node::Split {
-                    feature, left, right, ..
+                    feature,
+                    left,
+                    right,
+                    ..
                 } => (*feature + 1).max(max_feat(left)).max(max_feat(right)),
             }
         }

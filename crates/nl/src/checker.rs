@@ -42,10 +42,7 @@ pub struct CheckedProgram {
 impl CheckedProgram {
     /// Whether the program survived with no hard errors.
     pub fn is_valid(&self) -> bool {
-        !self
-            .issues
-            .iter()
-            .any(|i| i.severity == Severity::Error)
+        !self.issues.iter().any(|i| i.severity == Severity::Error)
     }
 
     /// Hard errors only.
@@ -85,26 +82,39 @@ fn call_columns(call: &SkillCall) -> (Vec<String>, Vec<String>) {
             }
             (reads, creates)
         }
-        Pivot { index, columns, values, .. } => {
-            (vec![index.clone(), columns.clone(), values.clone()], vec![])
-        }
+        Pivot {
+            index,
+            columns,
+            values,
+            ..
+        } => (vec![index.clone(), columns.clone(), values.clone()], vec![]),
         Sort { keys } => (keys.iter().map(|(c, _)| c.clone()).collect(), vec![]),
         Top { column, .. } => (vec![column.clone()], vec![]),
         Join { left_on, .. } => (left_on.clone(), vec![]),
         Distinct { columns } | DropMissing { columns } => (columns.clone(), vec![]),
         FillMissing { column, .. } => (vec![column.clone()], vec![]),
-        BinColumn { column, width, name } => (
+        BinColumn {
+            column,
+            width,
+            name,
+        } => (
             vec![column.clone()],
             vec![name
                 .clone()
                 .unwrap_or_else(|| format!("{column}Int{width}"))],
         ),
-        TrainModel { target, features, .. } => {
+        TrainModel {
+            target, features, ..
+        } => {
             let mut reads = vec![target.clone()];
             reads.extend(features.clone());
             (reads, vec![])
         }
-        PredictTimeSeries { measures, time_column, .. } => {
+        PredictTimeSeries {
+            measures,
+            time_column,
+            ..
+        } => {
             let mut reads = measures.clone();
             reads.push(time_column.clone());
             (reads, vec!["RecordType".to_string()])
@@ -118,7 +128,14 @@ fn call_columns(call: &SkillCall) -> (Vec<String>, Vec<String>) {
             reads.extend(by.clone());
             (reads, vec![])
         }
-        Plot { x, y, color, size, for_each, .. } => (
+        Plot {
+            x,
+            y,
+            color,
+            size,
+            for_each,
+            ..
+        } => (
             [x, y, color, size, for_each]
                 .into_iter()
                 .flatten()
@@ -184,9 +201,7 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
         let root_lower = st.root.to_lowercase();
         let mut cols: Vec<String> = if let Some(cols) = var_schemas.get(&root_lower) {
             cols.clone()
-        } else if let Some((_, cols)) = st
-            .schema_lookup(schema)
-        {
+        } else if let Some((_, cols)) = st.schema_lookup(schema) {
             cols
         } else {
             issues.push(CheckIssue {
@@ -235,7 +250,9 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
                     cols.extend(measures.clone());
                     cols.push("RecordType".to_string());
                 }
-                SkillCall::Join { other, right_on, .. } => {
+                SkillCall::Join {
+                    other, right_on, ..
+                } => {
                     if let Some(other_cols) = lookup_table(schema, other)
                         .or_else(|| var_schemas.get(&other.to_lowercase()).cloned())
                     {
@@ -388,10 +405,17 @@ mod tests {
 
     #[test]
     fn projection_narrows_schema() {
-        let bad = check("sales.select([\"region\"]).filter(\"price > 1\")", &schema()).unwrap();
+        let bad = check(
+            "sales.select([\"region\"]).filter(\"price > 1\")",
+            &schema(),
+        )
+        .unwrap();
         assert!(!bad.is_valid());
-        let good = check("sales.select([\"region\", \"price\"]).filter(\"price > 1\")", &schema())
-            .unwrap();
+        let good = check(
+            "sales.select([\"region\", \"price\"]).filter(\"price > 1\")",
+            &schema(),
+        )
+        .unwrap();
         assert!(good.is_valid());
     }
 
@@ -403,11 +427,7 @@ mod tests {
         )
         .unwrap();
         assert!(c.is_valid(), "{:?}", c.issues);
-        let bad = check(
-            "sales.join(\"phantom\", on = [\"order_id\"])",
-            &schema(),
-        )
-        .unwrap();
+        let bad = check("sales.join(\"phantom\", on = [\"order_id\"])", &schema()).unwrap();
         assert!(!bad.is_valid());
     }
 

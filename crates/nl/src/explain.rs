@@ -282,10 +282,20 @@ mod tests {
     fn representative_calls() -> Vec<SkillCall> {
         use SkillCall::*;
         vec![
-            LoadFile { path: "a.csv".into() },
-            LoadUrl { url: "https://x/y.csv".into() },
-            LoadTable { database: "db".into(), table: "t".into() },
-            UseDataset { name: "d".into(), version: None },
+            LoadFile {
+                path: "a.csv".into(),
+            },
+            LoadUrl {
+                url: "https://x/y.csv".into(),
+            },
+            LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            UseDataset {
+                name: "d".into(),
+                version: None,
+            },
             UseSnapshot { name: "s".into() },
             DescribeColumn { column: "c".into() },
             DescribeDataset,
@@ -293,7 +303,10 @@ mod tests {
             ShowHead { n: 5 },
             CountRows,
             ProfileMissing,
-            Visualize { kpi: "k".into(), by: vec!["g".into()] },
+            Visualize {
+                kpi: "k".into(),
+                by: vec!["g".into()],
+            },
             Plot {
                 chart: dc_viz::ChartType::Line,
                 x: Some("a".into()),
@@ -302,13 +315,30 @@ mod tests {
                 size: None,
                 for_each: None,
             },
-            KeepRows { predicate: Expr::col("x").gt(Expr::lit(1i64)) },
-            DropRows { predicate: Expr::col("x").gt(Expr::lit(1i64)) },
-            KeepColumns { columns: vec!["a".into()] },
-            DropColumns { columns: vec!["a".into()] },
-            RenameColumn { from: "a".into(), to: "b".into() },
-            CreateColumn { name: "n".into(), expr: Expr::col("a").add(Expr::lit(1i64)) },
-            CreateConstantColumn { name: "n".into(), value: dc_engine::Value::Int(1) },
+            KeepRows {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
+            DropRows {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
+            KeepColumns {
+                columns: vec!["a".into()],
+            },
+            DropColumns {
+                columns: vec!["a".into()],
+            },
+            RenameColumn {
+                from: "a".into(),
+                to: "b".into(),
+            },
+            CreateColumn {
+                name: "n".into(),
+                expr: Expr::col("a").add(Expr::lit(1i64)),
+            },
+            CreateConstantColumn {
+                name: "n".into(),
+                value: dc_engine::Value::Int(1),
+            },
             Compute {
                 aggs: vec![dc_engine::AggSpec::new(AggFunc::Avg, "v", "a")],
                 for_each: vec!["k".into()],
@@ -319,10 +349,18 @@ mod tests {
                 values: "v".into(),
                 agg: AggFunc::Sum,
             },
-            Sort { keys: vec![("a".into(), false)] },
-            Top { column: "v".into(), n: 3 },
+            Sort {
+                keys: vec![("a".into(), false)],
+            },
+            Top {
+                column: "v".into(),
+                n: 3,
+            },
             Limit { n: 10 },
-            Concat { other: "o".into(), remove_duplicates: true },
+            Concat {
+                other: "o".into(),
+                remove_duplicates: true,
+            },
             Join {
                 other: "o".into(),
                 left_on: vec!["k".into()],
@@ -330,22 +368,37 @@ mod tests {
                 how: dc_engine::JoinType::Left,
             },
             Distinct { columns: vec![] },
-            DropMissing { columns: vec!["a".into()] },
-            FillMissing { column: "a".into(), value: dc_engine::Value::Int(0) },
+            DropMissing {
+                columns: vec!["a".into()],
+            },
+            FillMissing {
+                column: "a".into(),
+                value: dc_engine::Value::Int(0),
+            },
             ReplaceValues {
                 column: "a".into(),
                 from: dc_engine::Value::Int(1),
                 to: dc_engine::Value::Int(2),
             },
-            CastColumn { column: "a".into(), to: dc_engine::DataType::Float },
-            BinColumn { column: "a".into(), width: 10, name: None },
+            CastColumn {
+                column: "a".into(),
+                to: dc_engine::DataType::Float,
+            },
+            BinColumn {
+                column: "a".into(),
+                width: 10,
+                name: None,
+            },
             ExtractDatePart {
                 column: "d".into(),
                 part: dc_skills::DatePart::Year,
                 name: None,
             },
             TrimColumn { column: "s".into() },
-            Sample { fraction: 0.5, seed: 1 },
+            Sample {
+                fraction: 0.5,
+                seed: 1,
+            },
             ShuffleRows { seed: 1 },
             TrainModel {
                 name: "m".into(),
@@ -363,15 +416,29 @@ mod tests {
                 column: "v".into(),
                 method: dc_ml::OutlierMethod::default_zscore(),
             },
-            Cluster { k: 3, features: vec!["a".into(), "b".into()] },
-            EvaluateModel { model: "m".into(), target: "y".into() },
-            RunSql { query: "SELECT 1".into() },
+            Cluster {
+                k: 3,
+                features: vec!["a".into(), "b".into()],
+            },
+            EvaluateModel {
+                model: "m".into(),
+                target: "y".into(),
+            },
+            RunSql {
+                query: "SELECT 1".into(),
+            },
             ExportCsv,
             SaveArtifact { name: "a".into() },
             Snapshot { name: "s".into() },
-            Define { phrase: "p".into(), expansion: "e".into() },
+            Define {
+                phrase: "p".into(),
+                expansion: "e".into(),
+            },
             Comment { text: "t".into() },
-            ShareArtifact { artifact: "a".into(), with_user: "u".into() },
+            ShareArtifact {
+                artifact: "a".into(),
+                with_user: "u".into(),
+            },
         ]
     }
 }

@@ -126,8 +126,7 @@ fn matched_columns(intent: &str, prompt: &Prompt) -> Vec<String> {
                     && lower.as_bytes()[at - 1] != b'_';
             let end = at + needle.len();
             let after_ok = end == lower.len()
-                || !lower.as_bytes()[end].is_ascii_alphanumeric()
-                    && lower.as_bytes()[end] != b'_';
+                || !lower.as_bytes()[end].is_ascii_alphanumeric() && lower.as_bytes()[end] != b'_';
             if before_ok && after_ok {
                 let name = col.to_string();
                 if !exact.contains(&name) {
@@ -157,7 +156,14 @@ fn matched_columns(intent: &str, prompt: &Prompt) -> Vec<String> {
 /// Columns mentioned after a marker phrase ("for each", "by", "per").
 fn group_columns(intent: &str, prompt: &Prompt) -> Vec<String> {
     let lower = intent.to_lowercase();
-    for marker in ["for each ", " in each ", " each ", " per ", " by ", "grouped by "] {
+    for marker in [
+        "for each ",
+        " in each ",
+        " each ",
+        " per ",
+        " by ",
+        "grouped by ",
+    ] {
         if let Some(pos) = lower.find(marker) {
             let tail = &intent[pos + marker.len()..];
             let cols = matched_columns(tail, prompt);
@@ -222,7 +228,11 @@ fn nearest_column_in(window: &str, prompt: &Prompt, from_end: bool) -> Option<St
                     .enumerate()
                     .filter(|(_, t)| t.len() >= 3 && col_tokens.contains(t))
                     .map(|(i, _)| i + 1);
-                let p = if from_end { hits.last() } else { hits.next() };
+                let p = if from_end {
+                    hits.next_back()
+                } else {
+                    hits.next()
+                };
                 (false, p)
             }
         };
@@ -392,14 +402,10 @@ impl LanguageModel for SimulatedLlm {
         //    filters (the §4.2 "successful purchases" walkthrough).
         for sc in &prompt.concepts {
             if let ConceptKind::ValueMapping { predicate } = &sc.concept.kind {
-                let name_tokens: Vec<String> = tokenize(&sc.concept.name)
-                    .iter()
-                    .map(|t| stem(t))
-                    .collect();
-                let intent_tokens: Vec<String> =
-                    tokenize(intent).iter().map(|t| stem(t)).collect();
-                if !name_tokens.is_empty()
-                    && name_tokens.iter().all(|t| intent_tokens.contains(t))
+                let name_tokens: Vec<String> =
+                    tokenize(&sc.concept.name).iter().map(|t| stem(t)).collect();
+                let intent_tokens: Vec<String> = tokenize(intent).iter().map(|t| stem(t)).collect();
+                if !name_tokens.is_empty() && name_tokens.iter().all(|t| intent_tokens.contains(t))
                 {
                     calls.push(format!("filter(\"{}\")", predicate.replace('"', "'")));
                 }
@@ -426,12 +432,9 @@ impl LanguageModel for SimulatedLlm {
         let mut metric_col: Option<String> = None;
         for sc in &prompt.concepts {
             if let ConceptKind::Metric { formula } = &sc.concept.kind {
-                let name_tokens: Vec<String> = tokenize(&sc.concept.name)
-                    .iter()
-                    .map(|t| stem(t))
-                    .collect();
-                let intent_tokens: Vec<String> =
-                    tokenize(intent).iter().map(|t| stem(t)).collect();
+                let name_tokens: Vec<String> =
+                    tokenize(&sc.concept.name).iter().map(|t| stem(t)).collect();
+                let intent_tokens: Vec<String> = tokenize(intent).iter().map(|t| stem(t)).collect();
                 if name_tokens.iter().all(|t| intent_tokens.contains(t)) {
                     // sum(expr) metrics: strip the aggregate wrapper and
                     // compute it after creating the value column.
@@ -455,7 +458,11 @@ impl LanguageModel for SimulatedLlm {
         // 4. Special analytics intents.
         let forecast = has("forecast") || (has("predict") && (has("next") || has("future")));
         let train = !forecast && (has("train") || (has("predict") && !has("next")));
-        let outliers = has("outliers") || has("outlier") || has("unusual") || has("anomalies") || has("anomalous");
+        let outliers = has("outliers")
+            || has("outlier")
+            || has("unusual")
+            || has("anomalies")
+            || has("anomalous");
         // "segment" alone is often a schema column; require a clustering
         // verb form or an explicit cluster/cohort noun.
         let cluster = has("cluster")
@@ -490,8 +497,18 @@ impl LanguageModel for SimulatedLlm {
                 });
             if let Some(other) = other {
                 // Join key: a column both tables share.
-                let left_cols = prompt.schema.tables.get(&dataset).cloned().unwrap_or_default();
-                let right_cols = prompt.schema.tables.get(&other).cloned().unwrap_or_default();
+                let left_cols = prompt
+                    .schema
+                    .tables
+                    .get(&dataset)
+                    .cloned()
+                    .unwrap_or_default();
+                let right_cols = prompt
+                    .schema
+                    .tables
+                    .get(&other)
+                    .cloned()
+                    .unwrap_or_default();
                 let key = left_cols
                     .iter()
                     .find(|c| right_cols.iter().any(|r| r.eq_ignore_ascii_case(c)))
@@ -518,13 +535,15 @@ impl LanguageModel for SimulatedLlm {
                 .find(|c| !c.eq_ignore_ascii_case(&time_col))
                 .cloned()
                 .unwrap_or_else(|| "value".into());
-            let horizon = number_after(intent, &["next "]).map(|v| v as usize).unwrap_or(12);
+            let horizon = number_after(intent, &["next "])
+                .map(|v| v as usize)
+                .unwrap_or(12);
             calls.push(format!(
                 "predict_time_series(measures = [\"{measure}\"], horizon = {horizon}, time_column = \"{time_col}\")"
             ));
         } else if outliers {
             let col = mentioned.first().cloned().unwrap_or_else(|| "value".into());
-            let method = if has("robust") || has("iqr") { "iqr" } else { "iqr" };
+            let method = "iqr";
             calls.push(format!("detect_outliers(\"{col}\", method = \"{method}\")"));
         } else if cluster {
             let k = number_after(intent, &["into "])
@@ -581,8 +600,17 @@ impl LanguageModel for SimulatedLlm {
             // 5. Aggregation: the value column is the one named right
             //    after the aggregate word ("the average quantity ...").
             const AGG_WORDS: [&str; 12] = [
-                "average ", "mean ", "median ", "total ", "sum of ", "sum ",
-                "maximum ", "minimum ", "highest ", "lowest ", "deviation of ",
+                "average ",
+                "mean ",
+                "median ",
+                "total ",
+                "sum of ",
+                "sum ",
+                "maximum ",
+                "minimum ",
+                "highest ",
+                "lowest ",
+                "deviation of ",
                 "count of ",
             ];
             let value_col = metric_col.clone().or_else(|| {
@@ -710,10 +738,7 @@ fn default_output_of(compute_call: &str) -> String {
         "StdDev" => dc_engine::AggFunc::StdDev,
         _ => dc_engine::AggFunc::Count,
     };
-    let col = first
-        .split('"')
-        .nth(1)
-        .or_else(|| first.split('\'').nth(1));
+    let col = first.split('"').nth(1).or_else(|| first.split('\'').nth(1));
     dc_engine::AggSpec::default_output(func, col)
 }
 
@@ -832,12 +857,7 @@ impl SimulatedLlm {
                     let num_len = tail.chars().take_while(|c| c.is_ascii_digit()).count();
                     if num_len > 0 {
                         let n: i64 = tail[..num_len].parse().unwrap_or(0);
-                        return format!(
-                            "{}{}{}",
-                            &program[..pos + 2],
-                            n * 10,
-                            &tail[num_len..]
-                        );
+                        return format!("{}{}{}", &program[..pos + 2], n * 10, &tail[num_len..]);
                     }
                 }
                 format!("{program}.head(3)")
@@ -876,9 +896,8 @@ mod tests {
 
     #[test]
     fn count_per_group() {
-        let code = SimulatedLlm::oracle().complete(&sales_prompt(
-            "How many orders were placed in each region",
-        ));
+        let code = SimulatedLlm::oracle()
+            .complete(&sales_prompt("How many orders were placed in each region"));
         assert!(code.contains("compute"), "{code}");
         assert!(code.contains("Count"), "{code}");
         assert!(code.contains("\"region\""), "{code}");
@@ -889,8 +908,8 @@ mod tests {
     fn semantic_predicate_applied() {
         // The §4.2 walkthrough: "successful purchases" must become the
         // PurchaseStatus filter via the semantic layer.
-        let code = SimulatedLlm::oracle()
-            .complete(&sales_prompt("How many purchases were successful"));
+        let code =
+            SimulatedLlm::oracle().complete(&sales_prompt("How many purchases were successful"));
         assert!(code.contains("PurchaseStatus = 'Successful'"), "{code}");
         assert!(code.contains("Count"), "{code}");
     }
@@ -906,8 +925,9 @@ mod tests {
 
     #[test]
     fn numeric_filter() {
-        let code = SimulatedLlm::oracle()
-            .complete(&sales_prompt("count the orders with price above 100 for each region"));
+        let code = SimulatedLlm::oracle().complete(&sales_prompt(
+            "count the orders with price above 100 for each region",
+        ));
         assert!(code.contains("filter(\"price > 100\")"), "{code}");
     }
 
@@ -923,11 +943,12 @@ mod tests {
 
     #[test]
     fn outlier_and_cluster_intents() {
-        let code = SimulatedLlm::oracle()
-            .complete(&sales_prompt("Find the unusual quantity values"));
+        let code =
+            SimulatedLlm::oracle().complete(&sales_prompt("Find the unusual quantity values"));
         assert!(code.contains("detect_outliers(\"quantity\""), "{code}");
-        let code = SimulatedLlm::oracle()
-            .complete(&sales_prompt("Segment the orders into 4 clusters using price and quantity"));
+        let code = SimulatedLlm::oracle().complete(&sales_prompt(
+            "Segment the orders into 4 clusters using price and quantity",
+        ));
         assert!(code.contains("cluster(k = 4"), "{code}");
     }
 

@@ -65,25 +65,25 @@ impl Zone {
 /// English stopwords + question scaffolding ignored by `s1` (they carry
 /// intent structure, not schema linkage).
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "for", "in", "on", "at", "by", "to", "and", "or", "is", "are",
-    "was", "were", "what", "which", "who", "how", "many", "much", "show", "me", "list", "each",
-    "per", "with", "from", "that", "this", "these", "those", "all", "any", "do", "does", "did",
-    "than", "then", "it", "its", "their", "there", "be", "been", "most", "least", "top",
-    "bottom", "first", "last", "number", "count", "total", "average", "mean", "median", "sum",
-    "minimum", "maximum", "highest", "lowest", "more", "less", "group", "grouped", "sorted",
-    "sort", "order", "ordered", "between", "not", "no", "every",
+    "a", "an", "the", "of", "for", "in", "on", "at", "by", "to", "and", "or", "is", "are", "was",
+    "were", "what", "which", "who", "how", "many", "much", "show", "me", "list", "each", "per",
+    "with", "from", "that", "this", "these", "those", "all", "any", "do", "does", "did", "than",
+    "then", "it", "its", "their", "there", "be", "been", "most", "least", "top", "bottom", "first",
+    "last", "number", "count", "total", "average", "mean", "median", "sum", "minimum", "maximum",
+    "highest", "lowest", "more", "less", "group", "grouped", "sorted", "sort", "order", "ordered",
+    "between", "not", "no", "every",
     // Operation words describe the requested transformation, not schema
     // entities, so they are not evidence of misalignment.
-    "rows", "row", "records", "record", "find", "compute", "computed", "join", "joined",
-    "combine", "combined", "above", "below", "over", "under", "where", "keep", "when",
-    "value", "values", "distinct", "unique",
+    "rows", "row", "records", "record", "find", "compute", "computed", "join", "joined", "combine",
+    "combined", "above", "below", "over", "under", "where", "keep", "when", "value", "values",
+    "distinct", "unique",
 ];
 
 /// Whether a token is question scaffolding / an operation word rather
 /// than a content token (public: the simulated LLM uses the same notion
 /// when estimating its own confidence).
 pub fn is_stopword(token: &str) -> bool {
-    STOPWORDS.iter().any(|s| *s == token)
+    STOPWORDS.contains(&token)
 }
 
 /// Tokens of an identifier: split on `_` and camelCase humps, stemmed.
@@ -139,9 +139,12 @@ pub fn query_mismatch(question: &str, schema: &SchemaHints, semantics: &Semantic
     let linked = content
         .iter()
         .filter(|t| {
-            vocab
-                .iter()
-                .any(|v| v == *t || (v.len() >= 4 && t.len() >= 4 && (v.starts_with(t.as_str()) || t.starts_with(v))))
+            vocab.iter().any(|v| {
+                v == *t
+                    || (v.len() >= 4
+                        && t.len() >= 4
+                        && (v.starts_with(t.as_str()) || t.starts_with(v)))
+            })
         })
         .count();
     1.0 - linked as f64 / content.len() as f64
@@ -322,9 +325,8 @@ mod tests {
     #[test]
     fn composition_ordering() {
         let simple = composition("t.head(5)");
-        let medium = composition(
-            "t.filter(\"x > 1\").compute(aggregates = [Count()], for_each = [\"k\"])",
-        );
+        let medium =
+            composition("t.filter(\"x > 1\").compute(aggregates = [Count()], for_each = [\"k\"])");
         let complex = composition(
             "t.join(\"u\", on = [\"k\"]).filter(\"x > 1\").with_column(\"y\", \"a * b\").compute(aggregates = [Sum(\"y\")], for_each = [\"k\"]).sort(by = [\"SumY\"], ascending = [False]).head(10)",
         );
@@ -356,8 +358,14 @@ mod tests {
 
     #[test]
     fn identifier_tokens_split_variants() {
-        assert_eq!(identifier_tokens("party_sobriety"), vec!["party", "sobriety"]);
-        assert_eq!(identifier_tokens("PurchaseStatus"), vec!["purchase", "statu"]); // stemmed
+        assert_eq!(
+            identifier_tokens("party_sobriety"),
+            vec!["party", "sobriety"]
+        );
+        assert_eq!(
+            identifier_tokens("PurchaseStatus"),
+            vec!["purchase", "statu"]
+        ); // stemmed
         assert_eq!(identifier_tokens("order_id"), vec!["order", "id"]);
     }
 

@@ -78,8 +78,8 @@ pub fn translate_visualize(
                     .strip_prefix("sum(")
                     .and_then(|r| r.strip_suffix(')'))
                     .unwrap_or(formula);
-                let expr = dc_sql::parse_expr(inner)
-                    .map_err(|e| NlError::translation(e.to_string()))?;
+                let expr =
+                    dc_sql::parse_expr(inner).map_err(|e| NlError::translation(e.to_string()))?;
                 let name = concept.name.replace(' ', "_");
                 calls.push(SkillCall::CreateColumn {
                     name: name.clone(),
@@ -216,9 +216,8 @@ fn parse_filter_phrases(
             }
         } else {
             // Raw condition convenience ("price > 100").
-            dc_gel::parse_condition(&phrase).map_err(|_| {
-                NlError::translation(format!("unknown filter phrase {phrase:?}"))
-            })?
+            dc_gel::parse_condition(&phrase)
+                .map_err(|_| NlError::translation(format!("unknown filter phrase {phrase:?}")))?
         };
         expr = Some(match (expr, conn) {
             (None, _) => piece,
@@ -249,8 +248,12 @@ mod tests {
 
     #[test]
     fn kpi_column_with_grouping() {
-        let t = translate_visualize("Visualize price by region, product", &SemanticLayer::sales_demo(), &schema())
-            .unwrap();
+        let t = translate_visualize(
+            "Visualize price by region, product",
+            &SemanticLayer::sales_demo(),
+            &schema(),
+        )
+        .unwrap();
         assert_eq!(t.calls.len(), 1);
         match &t.calls[0] {
             SkillCall::Visualize { kpi, by } => {

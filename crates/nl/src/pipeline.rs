@@ -102,10 +102,7 @@ impl Nl2Code {
         trace.push("7-8. prompts suggested to the user (no edits)".to_string());
 
         let raw_code = self.model.complete(&prompt);
-        trace.push(format!(
-            "9-10. {} generated: {raw_code}",
-            self.model.name()
-        ));
+        trace.push(format!("9-10. {} generated: {raw_code}", self.model.name()));
 
         let checked = check(&raw_code, schema)?;
         trace.push(format!(
@@ -273,13 +270,22 @@ mod tests {
         // same skills.
         let sys = system();
         let r = sys
-            .generate("count the orders with price above 100 for each region", &schema())
+            .generate(
+                "count the orders with price above 100 for each region",
+                &schema(),
+            )
             .unwrap();
         // Python roundtrip.
         let reparsed = crate::pyapi::parse_pyapi(&r.python).unwrap();
-        assert_eq!(reparsed.statements[0].calls, r.checked.program.statements[0].calls);
+        assert_eq!(
+            reparsed.statements[0].calls,
+            r.checked.program.statements[0].calls
+        );
         // GEL roundtrip (skip the Use-dataset header).
-        for (line, call) in r.gel[1..].iter().zip(&r.checked.program.statements[0].calls) {
+        for (line, call) in r.gel[1..]
+            .iter()
+            .zip(&r.checked.program.statements[0].calls)
+        {
             let parsed = dc_gel::parse_gel(line).unwrap();
             assert_eq!(&parsed, call);
         }
@@ -325,12 +331,17 @@ mod tests {
         assert!(render_sql(&checked).is_none());
         // But GEL still covers both statements.
         let gel = render_gel(&checked);
-        assert!(gel.iter().filter(|g| g.starts_with("Use the dataset")).count() == 2);
+        assert!(
+            gel.iter()
+                .filter(|g| g.starts_with("Use the dataset"))
+                .count()
+                == 2
+        );
     }
 
     #[test]
     fn default_stack_constructs() {
         let sys = Nl2Code::with_defaults(7);
-        assert_eq!(format!("{sys:?}").contains("simulated-gpt"), true);
+        assert!(format!("{sys:?}").contains("simulated-gpt"));
     }
 }

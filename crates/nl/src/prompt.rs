@@ -125,10 +125,7 @@ impl PromptComposer {
     /// number of solution steps needed for a task increases").
     pub fn intent_complexity(intent: &str) -> usize {
         let tokens = tokenize(intent).len();
-        let clauses = intent
-            .to_lowercase()
-            .split([',', ';'])
-            .count()
+        let clauses = intent.to_lowercase().split([',', ';']).count()
             + ["for each", "then", "and then", "sorted", "top", "join"]
                 .iter()
                 .filter(|k| intent.to_lowercase().contains(**k))
@@ -147,7 +144,10 @@ impl PromptComposer {
         // Trade-off: complex queries get fewer examples, more concepts.
         let complexity = Self::intent_complexity(intent);
         let (n_examples, n_concepts) = if complexity > 20 {
-            (self.max_examples.saturating_sub(2).max(1), self.max_concepts + 2)
+            (
+                self.max_examples.saturating_sub(2).max(1),
+                self.max_concepts + 2,
+            )
         } else {
             (self.max_examples, self.max_concepts)
         };
@@ -259,7 +259,12 @@ mod tests {
             use_examples: false,
             ..PromptComposer::default()
         };
-        let p = no_ex.compose("count orders", &schema(), &SemanticLayer::sales_demo(), &ExampleLibrary::builtin());
+        let p = no_ex.compose(
+            "count orders",
+            &schema(),
+            &SemanticLayer::sales_demo(),
+            &ExampleLibrary::builtin(),
+        );
         assert!(p.examples.is_empty());
         let no_sem = PromptComposer {
             use_semantics: false,

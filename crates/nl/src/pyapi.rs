@@ -109,16 +109,17 @@ fn lex(src: &str, line_of: &mut Vec<usize>) -> Result<Vec<Tok>> {
                 line_of.push(line);
             }
             c if c.is_ascii_digit()
-                || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) =>
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())) =>
             {
                 let start = i;
                 if c == '-' {
                     i += 1;
                 }
                 let mut is_float = false;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     if bytes[i] == b'.' {
                         is_float = true;
                     }
@@ -130,9 +131,10 @@ fn lex(src: &str, line_of: &mut Vec<usize>) -> Result<Vec<Tok>> {
                         NlError::syntax(format!("bad float {text}"), line)
                     })?));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| {
-                        NlError::syntax(format!("bad int {text}"), line)
-                    })?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|_| NlError::syntax(format!("bad int {text}"), line))?,
+                    ));
                 }
                 line_of.push(line);
             }
@@ -162,12 +164,19 @@ fn lex(src: &str, line_of: &mut Vec<usize>) -> Result<Vec<Tok>> {
 // ---------- argument values ----------
 
 /// A parsed argument value.
+/// Positional and keyword arguments of one parsed call.
+type ParsedArgs = (Vec<Arg>, Vec<(String, Arg)>);
+
 #[derive(Debug, Clone, PartialEq)]
+
 enum Arg {
     Value(Value),
     List(Vec<Arg>),
     /// `Count("case_id")`-style aggregate constructor.
-    AggCall { func: String, column: Option<String> },
+    AggCall {
+        func: String,
+        column: Option<String>,
+    },
     Ident(String),
 }
 
@@ -311,7 +320,7 @@ impl Parser {
     }
 
     /// Parse `( [kw=]arg, ... )`; newlines inside parens are ignored.
-    fn parse_args(&mut self) -> Result<(Vec<Arg>, Vec<(String, Arg)>)> {
+    fn parse_args(&mut self) -> Result<ParsedArgs> {
         self.expect('(')?;
         let mut positional = Vec::new();
         let mut keyword = Vec::new();
@@ -325,7 +334,9 @@ impl Parser {
             let is_kw = matches!(self.peek(), Tok::Ident(_))
                 && self.toks.get(self.pos + 1) == Some(&Tok::Sym('='));
             if is_kw {
-                let Tok::Ident(name) = self.next() else { unreachable!() };
+                let Tok::Ident(name) = self.next() else {
+                    unreachable!()
+                };
                 self.next(); // '='
                 self.skip_newlines();
                 keyword.push((name, self.parse_arg()?));
@@ -455,9 +466,12 @@ fn method_to_skill(
     };
     match method {
         "filter" | "keep_rows" => {
-            let cond = need_str(pos.first().or(kw(kws, &["condition", "where"])), "a condition")?;
-            let predicate = dc_gel::parse_condition(&cond)
-                .map_err(|e| NlError::syntax(e.to_string(), line))?;
+            let cond = need_str(
+                pos.first().or(kw(kws, &["condition", "where"])),
+                "a condition",
+            )?;
+            let predicate =
+                dc_gel::parse_condition(&cond).map_err(|e| NlError::syntax(e.to_string(), line))?;
             Ok(SkillCall::KeepRows { predicate })
         }
         "select" | "keep_columns" => {
@@ -483,9 +497,12 @@ fn method_to_skill(
         }),
         "with_column" | "create_column" => {
             let name = need_str(pos.first().or(kw(kws, &["name"])), "a column name")?;
-            let expr_text = need_str(pos.get(1).or(kw(kws, &["expr", "expression"])), "an expression")?;
-            let expr = dc_sql::parse_expr(&expr_text)
-                .map_err(|e| NlError::syntax(e.to_string(), line))?;
+            let expr_text = need_str(
+                pos.get(1).or(kw(kws, &["expr", "expression"])),
+                "an expression",
+            )?;
+            let expr =
+                dc_sql::parse_expr(&expr_text).map_err(|e| NlError::syntax(e.to_string(), line))?;
             Ok(SkillCall::CreateColumn { name, expr })
         }
         "with_constant" | "create_constant_column" => {
@@ -542,7 +559,11 @@ fn method_to_skill(
                 .into_iter()
                 .enumerate()
                 .map(|(i, c)| {
-                    let asc = ascending.get(i).or(ascending.first()).copied().unwrap_or(true);
+                    let asc = ascending
+                        .get(i)
+                        .or(ascending.first())
+                        .copied()
+                        .unwrap_or(true);
                     (c, asc)
                 })
                 .collect();

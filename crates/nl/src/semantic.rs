@@ -168,10 +168,7 @@ impl SemanticLayer {
                 .flat_map(|k| tokenize(k))
                 .map(|t| stem(&t))
                 .collect();
-            let name_hits = name_tokens
-                .iter()
-                .filter(|t| q_tokens.contains(t))
-                .count();
+            let name_hits = name_tokens.iter().filter(|t| q_tokens.contains(t)).count();
             let kw_hits = kw_tokens.iter().filter(|t| q_tokens.contains(t)).count();
             if name_hits == 0 && kw_hits == 0 {
                 continue;
@@ -300,7 +297,10 @@ mod tests {
         // "How many purchases were successful in the month of April" must
         // surface the PurchaseStatus mapping.
         let sl = SemanticLayer::sales_demo();
-        let hits = sl.retrieve("How many purchases were successful in the month of April", 3);
+        let hits = sl.retrieve(
+            "How many purchases were successful in the month of April",
+            3,
+        );
         assert!(!hits.is_empty());
         assert_eq!(hits[0].concept.name, "successful purchases");
         assert!(hits[0]

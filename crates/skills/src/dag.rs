@@ -85,7 +85,10 @@ impl SkillDag {
         if node >= self.nodes.len() {
             return Err(SkillError::NodeNotFound { id: node });
         }
-        self.names.entry(name.to_lowercase()).or_default().push(node);
+        self.names
+            .entry(name.to_lowercase())
+            .or_default()
+            .push(node);
         Ok(())
     }
 
@@ -102,12 +105,12 @@ impl SkillDag {
 
     /// Resolve a specific 1-based version of a dataset name.
     pub fn resolve_version(&self, name: &str, version: u64) -> Result<NodeId> {
-        let versions = self
-            .names
-            .get(&name.to_lowercase())
-            .ok_or_else(|| SkillError::DatasetNotFound {
-                name: name.to_string(),
-            })?;
+        let versions =
+            self.names
+                .get(&name.to_lowercase())
+                .ok_or_else(|| SkillError::DatasetNotFound {
+                    name: name.to_string(),
+                })?;
         versions
             .get((version.max(1) - 1) as usize)
             .copied()
@@ -154,10 +157,7 @@ impl SkillDag {
     /// The new call must have the same input arity class so edges stay
     /// valid.
     pub fn update_call(&mut self, id: NodeId, call: SkillCall) -> Result<()> {
-        let node = self
-            .nodes
-            .get(id)
-            .ok_or(SkillError::NodeNotFound { id })?;
+        let node = self.nodes.get(id).ok_or(SkillError::NodeNotFound { id })?;
         if call.needs_input() && node.inputs.is_empty() {
             return Err(SkillError::invalid(format!(
                 "skill {} requires an input dataset but node {id} has none",
@@ -256,7 +256,12 @@ mod tests {
     fn sources_need_no_input_but_transforms_do() {
         let mut dag = SkillDag::new();
         assert!(dag
-            .add(SkillCall::LoadFile { path: "a.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "a.csv".into()
+                },
+                vec![]
+            )
             .is_ok());
         assert!(dag.add(SkillCall::Limit { n: 1 }, vec![]).is_err());
     }
@@ -290,7 +295,12 @@ mod tests {
         // Dead branch off the load node.
         let load = 0;
         let dead = dag
-            .add(SkillCall::Sort { keys: vec![("x".into(), true)] }, vec![load])
+            .add(
+                SkillCall::Sort {
+                    keys: vec![("x".into(), true)],
+                },
+                vec![load],
+            )
             .unwrap();
         let anc = dag.ancestors(last).unwrap();
         assert_eq!(anc, vec![0, 1, 2]);
@@ -301,7 +311,12 @@ mod tests {
     fn ancestors_follow_secondary_inputs() {
         let (mut dag, last) = linear_dag();
         let other = dag
-            .add(SkillCall::LoadFile { path: "b.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "b.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let join = dag
             .add(

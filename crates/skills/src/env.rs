@@ -169,8 +169,8 @@ mod tests {
             ),
         ])
         .unwrap();
-        let m = dc_ml::train_model(&t, "m", "y", &["x".to_string()], dc_ml::MlMethod::Auto)
-            .unwrap();
+        let m =
+            dc_ml::train_model(&t, "m", "y", &["x".to_string()], dc_ml::MlMethod::Auto).unwrap();
         env.put_model(m);
         assert!(env.model("m").is_ok());
         assert_eq!(env.model_names(), vec!["m"]);

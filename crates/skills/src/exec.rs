@@ -1,7 +1,15 @@
 //! The skill interpreter: one function per skill semantics, plus the
 //! DAG executor with its sub-DAG cache.
+//!
+//! Execution is split along an environment boundary: most skills are pure
+//! functions of their input tables ([`execute_pure_call`]), while
+//! ingestion, model-registry, SQL, and platform skills need the mutable
+//! [`Env`]. The [`Executor`] exploits the split by running independent
+//! pure nodes of a wave concurrently; environment-dependent nodes always
+//! run serially.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dc_engine::csv::{read_csv, write_csv};
 use dc_engine::ops::{
@@ -16,16 +24,44 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::dag::{NodeId, SkillDag};
+use crate::dag::{NodeId, SkillDag, SkillNode};
 use crate::env::Env;
 use crate::error::{Result, SkillError};
 use crate::output::SkillOutput;
 use crate::skill::{DatePart, SkillCall};
 
+/// Whether `call` must execute against the mutable [`Env`] (catalog,
+/// snapshot store, file/URL fixtures, model registry, definitions).
+///
+/// Everything else is a pure function of its input tables and is safe to
+/// run concurrently with other nodes. `UseDataset` is pure when the DAG
+/// already wired the named node as an input; it only falls back to the
+/// environment's saved artifacts otherwise.
+pub fn needs_env(call: &SkillCall, has_input: bool) -> bool {
+    use SkillCall::*;
+    match call {
+        UseDataset { .. } => !has_input,
+        LoadFile { .. }
+        | LoadUrl { .. }
+        | LoadTable { .. }
+        | UseSnapshot { .. }
+        | ListDatasets
+        | TrainModel { .. }
+        | Predict { .. }
+        | EvaluateModel { .. }
+        | RunSql { .. }
+        | SaveArtifact { .. }
+        | Snapshot { .. }
+        | Define { .. } => true,
+        _ => false,
+    }
+}
+
 /// Execute one skill call against its input tables.
 ///
 /// `inputs[0]` is the primary dataset (when the skill needs one);
-/// `inputs[1]` the secondary for joins and concatenations.
+/// `inputs[1]` the secondary for joins and concatenations. Calls that do
+/// not [`needs_env`] are delegated to [`execute_pure_call`].
 pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Result<SkillOutput> {
     use SkillCall::*;
     let primary = || -> Result<&Table> {
@@ -33,12 +69,6 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             .first()
             .copied()
             .ok_or_else(|| SkillError::invalid(format!("{} needs an input dataset", call.name())))
-    };
-    let secondary = || -> Result<&Table> {
-        inputs
-            .get(1)
-            .copied()
-            .ok_or_else(|| SkillError::invalid(format!("{} needs a second dataset", call.name())))
     };
     match call {
         // ----- ingestion -----
@@ -49,20 +79,10 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             let (data, _receipt) = db.scan(table, &ScanOptions::full())?;
             Ok(SkillOutput::Table(data))
         }
-        UseDataset { name, .. } => match inputs.first() {
-            // The DAG wires the named node as input; pass it through.
-            Some(t) => Ok(SkillOutput::Table((*t).clone())),
-            None => Ok(SkillOutput::Table(env.saved_table(name)?.clone())),
-        },
+        UseDataset { name, .. } if inputs.is_empty() => {
+            Ok(SkillOutput::Table(env.saved_table(name)?.clone()))
+        }
         UseSnapshot { name } => Ok(SkillOutput::Table(env.snapshots.read(name)?.clone())),
-
-        // ----- exploration (pass-through artifacts) -----
-        DescribeColumn { column } => Ok(SkillOutput::Summaries(vec![
-            dc_engine::stats::describe_column(primary()?, column)?,
-        ])),
-        DescribeDataset => Ok(SkillOutput::Summaries(dc_engine::stats::describe_table(
-            primary()?,
-        ))),
         ListDatasets => {
             let mut lines = Vec::new();
             for db_name in env.catalog.database_names() {
@@ -80,6 +100,148 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             }
             Ok(SkillOutput::Text(lines.join("\n")))
         }
+
+        // ----- machine learning against the model registry -----
+        TrainModel {
+            name,
+            target,
+            features,
+            method,
+        } => {
+            let t = primary()?;
+            let features = if features.is_empty() {
+                // Default: every numeric column except the target.
+                t.schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| f.dtype.is_numeric() && !f.name.eq_ignore_ascii_case(target))
+                    .map(|f| f.name.clone())
+                    .collect()
+            } else {
+                features.clone()
+            };
+            let model = train_model(t, name.clone(), target, &features, *method)
+                .map_err(|e| SkillError::Ml(e.to_string()))?;
+            env.put_model(model.clone());
+            Ok(SkillOutput::Model(model))
+        }
+        Predict { model } => {
+            let t = primary()?;
+            let m = env.model(model)?.clone();
+            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let name = format!("Predicted_{}", m.target);
+            let name = t.schema().fresh_name(&name);
+            Ok(SkillOutput::Table(t.with_column(&name, preds)?))
+        }
+        EvaluateModel { model, target } => {
+            let t = primary()?;
+            let m = env.model(model)?.clone();
+            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let actual_col = t.column(target)?;
+            match m.kind {
+                ModelKind::Regression(_) => {
+                    let mut a = Vec::new();
+                    let mut p = Vec::new();
+                    for i in 0..t.num_rows() {
+                        if let (Some(av), Some(pv)) =
+                            (actual_col.numeric_at(i), preds.numeric_at(i))
+                        {
+                            a.push(av);
+                            p.push(pv);
+                        }
+                    }
+                    let rmse =
+                        dc_ml::metrics::rmse(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let mae =
+                        dc_ml::metrics::mae(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let r2 = dc_ml::metrics::r_squared(&a, &p)
+                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    Ok(SkillOutput::Table(Table::new(vec![
+                        (
+                            "metric",
+                            Column::from_strs(vec!["rmse", "mae", "r_squared"]),
+                        ),
+                        ("value", Column::from_floats(vec![rmse, mae, r2])),
+                    ])?))
+                }
+                ModelKind::Classification(_) => {
+                    let mut a = Vec::new();
+                    let mut p = Vec::new();
+                    for i in 0..t.num_rows() {
+                        let av = actual_col.get(i);
+                        let pv = preds.get(i);
+                        if !av.is_null() && !pv.is_null() {
+                            a.push(av.render());
+                            p.push(pv.render());
+                        }
+                    }
+                    let acc = dc_ml::metrics::accuracy(&a, &p)
+                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    Ok(SkillOutput::Table(Table::new(vec![
+                        ("metric", Column::from_strs(vec!["accuracy"])),
+                        ("value", Column::from_floats(vec![acc])),
+                    ])?))
+                }
+            }
+        }
+
+        // ----- SQL -----
+        RunSql { query } => {
+            let provider = CatalogProvider { env };
+            let (out, _stats) = dc_sql::run_sql(query, &provider)?;
+            Ok(SkillOutput::Table(out))
+        }
+
+        // ----- collaboration / platform -----
+        SaveArtifact { name } => {
+            let t = primary()?.clone();
+            env.save_table(name.clone(), t);
+            Ok(SkillOutput::Text(format!("Saved artifact {name}")))
+        }
+        Snapshot { name } => {
+            let t = primary()?.clone();
+            env.snapshots
+                .create(name.clone(), t, "session", Vec::new(), None)?;
+            Ok(SkillOutput::Text(format!("Created snapshot {name}")))
+        }
+        Define { phrase, expansion } => {
+            env.define(phrase.clone(), expansion.clone());
+            Ok(SkillOutput::Text(format!("Defined {phrase:?}")))
+        }
+
+        other => execute_pure_call(other, inputs),
+    }
+}
+
+/// Execute one environment-free skill call against its input tables.
+///
+/// These skills are pure functions of `inputs`, which is what lets the
+/// executor's wave scheduler run them on worker threads.
+pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOutput> {
+    use SkillCall::*;
+    let primary = || -> Result<&Table> {
+        inputs
+            .first()
+            .copied()
+            .ok_or_else(|| SkillError::invalid(format!("{} needs an input dataset", call.name())))
+    };
+    let secondary = || -> Result<&Table> {
+        inputs
+            .get(1)
+            .copied()
+            .ok_or_else(|| SkillError::invalid(format!("{} needs a second dataset", call.name())))
+    };
+    match call {
+        // The DAG wired the named dataset's node as our input.
+        UseDataset { .. } => Ok(SkillOutput::Table(primary()?.clone())),
+
+        // ----- exploration (pass-through artifacts) -----
+        DescribeColumn { column } => Ok(SkillOutput::Summaries(vec![
+            dc_engine::stats::describe_column(primary()?, column)?,
+        ])),
+        DescribeDataset => Ok(SkillOutput::Summaries(dc_engine::stats::describe_table(
+            primary()?,
+        ))),
         ShowHead { n } => Ok(SkillOutput::Text(primary()?.render(*n))),
         CountRows => Ok(SkillOutput::Text(primary()?.num_rows().to_string())),
         ProfileMissing => {
@@ -105,8 +267,8 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
 
         // ----- visualization -----
         Visualize { kpi, by } => {
-            let charts = auto_visualize(primary()?, kpi, by)
-                .map_err(|e| SkillError::Viz(e.to_string()))?;
+            let charts =
+                auto_visualize(primary()?, kpi, by).map_err(|e| SkillError::Viz(e.to_string()))?;
             Ok(SkillOutput::Charts(charts))
         }
         Plot {
@@ -125,7 +287,11 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
                     cols.push(c);
                 }
             }
-            let data = if cols.is_empty() { t.clone() } else { t.select(&cols)? };
+            let data = if cols.is_empty() {
+                t.clone()
+            } else {
+                t.select(&cols)?
+            };
             let title = match (x, y) {
                 (Some(x), Some(y)) => format!("{y} over {x}"),
                 (Some(x), None) => format!("Distribution of {x}"),
@@ -326,39 +492,6 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
         }
 
         // ----- machine learning -----
-        TrainModel {
-            name,
-            target,
-            features,
-            method,
-        } => {
-            let t = primary()?;
-            let features = if features.is_empty() {
-                // Default: every numeric column except the target.
-                t.schema()
-                    .fields()
-                    .iter()
-                    .filter(|f| {
-                        f.dtype.is_numeric() && !f.name.eq_ignore_ascii_case(target)
-                    })
-                    .map(|f| f.name.clone())
-                    .collect()
-            } else {
-                features.clone()
-            };
-            let model = train_model(t, name.clone(), target, &features, *method)
-                .map_err(|e| SkillError::Ml(e.to_string()))?;
-            env.put_model(model.clone());
-            Ok(SkillOutput::Model(model))
-        }
-        Predict { model } => {
-            let t = primary()?;
-            let m = env.model(model)?.clone();
-            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
-            let name = format!("Predicted_{}", m.target);
-            let name = t.schema().fresh_name(&name);
-            Ok(SkillOutput::Table(t.with_column(&name, preds)?))
-        }
         PredictTimeSeries {
             measures,
             horizon,
@@ -399,8 +532,7 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
                 points.push(p);
                 kept.push(r);
             }
-            let model =
-                fit_kmeans(&points, *k, 42).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let model = fit_kmeans(&points, *k, 42).map_err(|e| SkillError::Ml(e.to_string()))?;
             let labels = model
                 .predict(&points)
                 .map_err(|e| SkillError::Ml(e.to_string()))?;
@@ -413,90 +545,20 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
                 t.with_column(&name, Column::from_opt_ints(col_vals))?,
             ))
         }
-        EvaluateModel { model, target } => {
-            let t = primary()?;
-            let m = env.model(model)?.clone();
-            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
-            let actual_col = t.column(target)?;
-            match m.kind {
-                ModelKind::Regression(_) => {
-                    let mut a = Vec::new();
-                    let mut p = Vec::new();
-                    for i in 0..t.num_rows() {
-                        if let (Some(av), Some(pv)) =
-                            (actual_col.numeric_at(i), preds.numeric_at(i))
-                        {
-                            a.push(av);
-                            p.push(pv);
-                        }
-                    }
-                    let rmse =
-                        dc_ml::metrics::rmse(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
-                    let mae =
-                        dc_ml::metrics::mae(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
-                    let r2 = dc_ml::metrics::r_squared(&a, &p)
-                        .map_err(|e| SkillError::Ml(e.to_string()))?;
-                    Ok(SkillOutput::Table(Table::new(vec![
-                        ("metric", Column::from_strs(vec!["rmse", "mae", "r_squared"])),
-                        ("value", Column::from_floats(vec![rmse, mae, r2])),
-                    ])?))
-                }
-                ModelKind::Classification(_) => {
-                    let mut a = Vec::new();
-                    let mut p = Vec::new();
-                    for i in 0..t.num_rows() {
-                        let av = actual_col.get(i);
-                        let pv = preds.get(i);
-                        if !av.is_null() && !pv.is_null() {
-                            a.push(av.render());
-                            p.push(pv.render());
-                        }
-                    }
-                    let acc = dc_ml::metrics::accuracy(&a, &p)
-                        .map_err(|e| SkillError::Ml(e.to_string()))?;
-                    Ok(SkillOutput::Table(Table::new(vec![
-                        ("metric", Column::from_strs(vec!["accuracy"])),
-                        ("value", Column::from_floats(vec![acc])),
-                    ])?))
-                }
-            }
-        }
-
-        // ----- SQL -----
-        RunSql { query } => {
-            let provider = CatalogProvider { env };
-            let (out, _stats) = dc_sql::run_sql(query, &provider)?;
-            Ok(SkillOutput::Table(out))
-        }
         ExportCsv => Ok(SkillOutput::Text(write_csv(primary()?))),
 
         // ----- collaboration / platform -----
-        SaveArtifact { name } => {
-            let t = primary()?.clone();
-            env.save_table(name.clone(), t);
-            Ok(SkillOutput::Text(format!("Saved artifact {name}")))
-        }
-        Snapshot { name } => {
-            let t = primary()?.clone();
-            env.snapshots.create(
-                name.clone(),
-                t,
-                "session",
-                Vec::new(),
-                None,
-            )?;
-            Ok(SkillOutput::Text(format!("Created snapshot {name}")))
-        }
-        Define { phrase, expansion } => {
-            env.define(phrase.clone(), expansion.clone());
-            Ok(SkillOutput::Text(format!("Defined {phrase:?}")))
-        }
         Comment { text } => Ok(SkillOutput::Text(text.clone())),
         ShareArtifact {
             artifact,
             with_user,
         } => Ok(SkillOutput::Text(format!(
             "Shared {artifact} with {with_user}"
+        ))),
+
+        other => Err(SkillError::invalid(format!(
+            "{} requires the execution environment",
+            other.name()
         ))),
     }
 }
@@ -595,15 +657,11 @@ fn predict_time_series(
             })
             .collect();
         let period = if series.len() > 2 * period { period } else { 1 };
-        let model =
-            fit_time_series(&series, period).map_err(|e| SkillError::Ml(e.to_string()))?;
+        let model = fit_time_series(&series, period).map_err(|e| SkillError::Ml(e.to_string()))?;
         let preds = model.forecast(horizon);
         out.add_column(m, Column::from_floats(preds))?;
     }
-    out.add_column(
-        "RecordType",
-        Column::from_strs(vec!["Predicted"; horizon]),
-    )?;
+    out.add_column("RecordType", Column::from_strs(vec!["Predicted"; horizon]))?;
     Ok(out)
 }
 
@@ -617,7 +675,11 @@ impl dc_sql::TableProvider for CatalogProvider<'_> {
     fn get_table(&self, name: &str) -> dc_sql::Result<Table> {
         for db_name in self.env.catalog.database_names() {
             if let Ok(db) = self.env.catalog.database(db_name) {
-                if db.table_names().iter().any(|t| t.eq_ignore_ascii_case(name)) {
+                if db
+                    .table_names()
+                    .iter()
+                    .any(|t| t.eq_ignore_ascii_case(name))
+                {
                     let (t, _) = db
                         .scan(name, &ScanOptions::full())
                         .map_err(|e| dc_sql::SqlError::plan(e.to_string()))?;
@@ -638,14 +700,56 @@ pub struct ExecutorStats {
     pub cache_hits: u64,
 }
 
+/// Interned identity of one sub-DAG (a call plus the identities of the
+/// sub-DAGs feeding it).
+type SubDagId = u64;
+
+/// Structural cache-key signature: the canonical call description plus
+/// the interned ids of the input sub-DAGs.
+///
+/// Unlike the flat `"{call}|{input_keys}"` string this replaced, input
+/// identity is a *list of ids*, not a joined substring, so different
+/// input groupings can never alias — `T(M(p, q))` and `T(M(p), q)`
+/// render to the same legacy string but intern to different signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct KeySig {
+    call: String,
+    inputs: Vec<SubDagId>,
+}
+
+/// Instrumentation callback invoked just before a node executes.
+type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
+
 /// Executes DAG nodes with a sub-DAG result cache (§2.2: "the conversion
 /// of skill calls to execution tasks is also aware of a caching layer
 /// that can execute directly on previous results based on a shared skill
 /// sub-DAG").
-#[derive(Debug, Default)]
+///
+/// Nodes run in topological *waves*: every uncached node whose inputs are
+/// materialized belongs to the current wave, and the wave's pure nodes
+/// ([`needs_env`] = false) execute concurrently on scoped threads when
+/// the `parallel` feature is on. Cached tables are held behind
+/// [`Arc`], so cache hits and fan-out reuse are pointer copies, never
+/// deep clones.
+#[derive(Default)]
 pub struct Executor {
-    cache: HashMap<String, (SkillOutput, Table)>,
+    /// Structural signature → interned sub-DAG id.
+    interner: HashMap<KeySig, SubDagId>,
+    /// Interned id → (output, downstream-facing table).
+    cache: HashMap<SubDagId, (SkillOutput, Arc<Table>)>,
     pub stats: ExecutorStats,
+    /// Test instrumentation (e.g. to make specific nodes slow and assert
+    /// that independent nodes overlap).
+    before_execute: Option<BeforeExecuteHook>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("cache_len", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl Executor {
@@ -658,53 +762,171 @@ impl Executor {
     /// output. Non-transforming skills pass their input table through to
     /// downstream consumers.
     pub fn run(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SkillOutput> {
-        let order = dag.ancestors(target)?;
-        let mut keys: HashMap<NodeId, String> = HashMap::new();
-        for &id in &order {
-            let node = dag.node(id)?;
-            let input_keys: Vec<&str> = node
-                .inputs
-                .iter()
-                .map(|i| keys[i].as_str())
-                .collect();
-            let key = format!("{}|{}", node.call.cache_key(), input_keys.join("|"));
-            keys.insert(id, key.clone());
-            if self.cache.contains_key(&key) {
-                self.stats.cache_hits += 1;
-                continue;
-            }
-            let input_tables: Vec<Table> = node
-                .inputs
-                .iter()
-                .map(|i| self.cache[&keys[i]].1.clone())
-                .collect();
-            let input_refs: Vec<&Table> = input_tables.iter().collect();
-            let output = execute_call(&node.call, &input_refs, env)?;
-            self.stats.nodes_executed += 1;
-            let flow_table = match output.as_table() {
-                Some(t) if node.call.transforms_data() => t.clone(),
-                _ => input_tables.into_iter().next().unwrap_or_else(Table::empty),
-            };
-            self.cache.insert(key, (output, flow_table));
-        }
-        let key = &keys[&target];
-        Ok(self.cache[key].0.clone())
+        let id = self.materialize(dag, target, env)?;
+        Ok(self.cache[&id].0.clone())
     }
 
-    /// The downstream-facing table of a node executed by [`Executor::run`].
-    pub fn table_of(&mut self, dag: &SkillDag, node: NodeId, env: &mut Env) -> Result<Table> {
-        self.run(dag, node, env)?;
-        let n = dag.node(node)?;
-        let mut keys: HashMap<NodeId, String> = HashMap::new();
-        for &id in &dag.ancestors(node)? {
-            let nd = dag.node(id)?;
-            let input_keys: Vec<&str> = nd.inputs.iter().map(|i| keys[i].as_str()).collect();
-            keys.insert(
-                id,
-                format!("{}|{}", nd.call.cache_key(), input_keys.join("|")),
-            );
+    /// The downstream-facing table of a node executed by
+    /// [`Executor::run`]. The table is shared with the cache: on a warm
+    /// cache this is a pointer copy, not a deep clone.
+    pub fn table_of(&mut self, dag: &SkillDag, node: NodeId, env: &mut Env) -> Result<Arc<Table>> {
+        let id = self.materialize(dag, node, env)?;
+        Ok(Arc::clone(&self.cache[&id].1))
+    }
+
+    #[cfg(all(test, feature = "parallel"))]
+    fn set_before_execute(&mut self, hook: impl Fn(&SkillCall) + Send + Sync + 'static) {
+        self.before_execute = Some(Arc::new(hook));
+    }
+
+    /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
+    fn materialize(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SubDagId> {
+        let order = dag.ancestors(target)?;
+
+        // Intern a structural id for every node in the slice. Insertion
+        // order is topological, so input ids are always present.
+        let mut ids: HashMap<NodeId, SubDagId> = HashMap::with_capacity(order.len());
+        for &nid in &order {
+            let node = dag.node(nid)?;
+            let sig = KeySig {
+                call: node.call.cache_key(),
+                inputs: node.inputs.iter().map(|i| ids[i]).collect(),
+            };
+            let next = self.interner.len() as SubDagId;
+            ids.insert(nid, *self.interner.entry(sig).or_insert(next));
         }
-        Ok(self.cache[&keys[&n.id]].1.clone())
+
+        // Nodes whose sub-DAG result is not cached yet. Structurally
+        // identical duplicates execute once; the rest count as hits.
+        let mut pending: Vec<NodeId> = Vec::new();
+        for &nid in &order {
+            let id = ids[&nid];
+            if self.cache.contains_key(&id) || pending.iter().any(|p| ids[p] == id) {
+                self.stats.cache_hits += 1;
+            } else {
+                pending.push(nid);
+            }
+        }
+
+        // Wave scheduler: repeatedly execute every pending node whose
+        // inputs are all materialized.
+        while !pending.is_empty() {
+            let mut wave = Vec::new();
+            let mut rest = Vec::new();
+            for nid in pending {
+                let node = dag.node(nid)?;
+                if node.inputs.iter().all(|i| self.cache.contains_key(&ids[i])) {
+                    wave.push(nid);
+                } else {
+                    rest.push(nid);
+                }
+            }
+            debug_assert!(!wave.is_empty(), "ancestors are topologically ordered");
+            pending = rest;
+            self.run_wave(dag, &wave, &ids, env)?;
+        }
+        Ok(ids[&target])
+    }
+
+    /// Execute one wave. Environment-dependent nodes run serially (they
+    /// need `&mut Env`); the pure remainder runs concurrently, one scoped
+    /// thread per node, when the `parallel` feature is on.
+    fn run_wave(
+        &mut self,
+        dag: &SkillDag,
+        wave: &[NodeId],
+        ids: &HashMap<NodeId, SubDagId>,
+        env: &mut Env,
+    ) -> Result<()> {
+        let mut pure: Vec<&SkillNode> = Vec::new();
+        for &nid in wave {
+            let node = dag.node(nid)?;
+            if needs_env(&node.call, !node.inputs.is_empty()) {
+                let inputs = self.input_tables(node, ids);
+                let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+                if let Some(hook) = &self.before_execute {
+                    hook(&node.call);
+                }
+                let output = execute_call(&node.call, &refs, env)?;
+                self.finish(node, ids, inputs, output);
+            } else {
+                pure.push(node);
+            }
+        }
+
+        let jobs: Vec<(&SkillNode, Vec<Arc<Table>>)> = pure
+            .into_iter()
+            .map(|node| (node, self.input_tables(node, ids)))
+            .collect();
+        type JobResult<'d> = (&'d SkillNode, Vec<Arc<Table>>, Result<SkillOutput>);
+        let results: Vec<JobResult<'_>> = if cfg!(feature = "parallel") && jobs.len() > 1 {
+            let hook = self.before_execute.clone();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(node, inputs)| {
+                        let hook = hook.clone();
+                        scope.spawn(move || {
+                            if let Some(hook) = &hook {
+                                hook(&node.call);
+                            }
+                            let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+                            let out = execute_pure_call(&node.call, &refs);
+                            (node, inputs, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            })
+        } else {
+            jobs.into_iter()
+                .map(|(node, inputs)| {
+                    if let Some(hook) = &self.before_execute {
+                        hook(&node.call);
+                    }
+                    let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+                    let out = execute_pure_call(&node.call, &refs);
+                    (node, inputs, out)
+                })
+                .collect()
+        };
+
+        // Commit in DAG order so the first error (by node id) wins, like
+        // the serial walk this replaced.
+        for (node, inputs, out) in results {
+            self.finish(node, ids, inputs, out?);
+        }
+        Ok(())
+    }
+
+    /// A node's input tables as shared handles (pointer copies).
+    fn input_tables(&self, node: &SkillNode, ids: &HashMap<NodeId, SubDagId>) -> Vec<Arc<Table>> {
+        node.inputs
+            .iter()
+            .map(|i| Arc::clone(&self.cache[&ids[i]].1))
+            .collect()
+    }
+
+    /// Record one executed node's output and downstream-facing table.
+    fn finish(
+        &mut self,
+        node: &SkillNode,
+        ids: &HashMap<NodeId, SubDagId>,
+        inputs: Vec<Arc<Table>>,
+        output: SkillOutput,
+    ) {
+        self.stats.nodes_executed += 1;
+        let flow = match output.as_table() {
+            Some(t) if node.call.transforms_data() => Arc::new(t.clone()),
+            _ => inputs
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| Arc::new(Table::empty())),
+        };
+        self.cache.insert(ids[&node.id], (output, flow));
     }
 
     /// Drop all cached results.
@@ -730,7 +952,11 @@ mod tests {
             ("x", Column::from_ints((0..100).collect())),
             (
                 "category",
-                Column::from_strs((0..100).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect()),
+                Column::from_strs(
+                    (0..100)
+                        .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+                        .collect(),
+                ),
             ),
         ])
         .unwrap();
@@ -804,7 +1030,11 @@ mod tests {
         assert_eq!(ex.stats.cache_hits, 2);
         // The cloud table was scanned exactly once.
         assert_eq!(
-            env.catalog.database("MainDatabase").unwrap().meter().queries(),
+            env.catalog
+                .database("MainDatabase")
+                .unwrap()
+                .meter()
+                .queries(),
             1
         );
     }
@@ -851,19 +1081,21 @@ mod tests {
     #[test]
     fn train_and_predict_roundtrip() {
         let mut env = Env::new();
-        env.add_file(
-            "train.csv",
-            &{
-                let mut s = String::from("x,y\n");
-                for i in 0..50 {
-                    s.push_str(&format!("{i},{}\n", 2 * i + 1));
-                }
-                s
-            },
-        );
+        env.add_file("train.csv", &{
+            let mut s = String::from("x,y\n");
+            for i in 0..50 {
+                s.push_str(&format!("{i},{}\n", 2 * i + 1));
+            }
+            s
+        });
         let mut dag = SkillDag::new();
         let load = dag
-            .add(SkillCall::LoadFile { path: "train.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "train.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let train = dag
             .add(
@@ -939,7 +1171,12 @@ mod tests {
         let mut env = env_with_table();
         let (mut dag, load) = load_dag();
         let snap = dag
-            .add(SkillCall::Snapshot { name: "snap1".into() }, vec![load])
+            .add(
+                SkillCall::Snapshot {
+                    name: "snap1".into(),
+                },
+                vec![load],
+            )
             .unwrap();
         let mut ex = Executor::new();
         ex.run(&dag, snap, &mut env).unwrap();
@@ -947,7 +1184,12 @@ mod tests {
         // UseSnapshot reads it back.
         let mut dag2 = SkillDag::new();
         let use_snap = dag2
-            .add(SkillCall::UseSnapshot { name: "snap1".into() }, vec![])
+            .add(
+                SkillCall::UseSnapshot {
+                    name: "snap1".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let out = ex
             .run(&dag2, use_snap, &mut env)
@@ -962,7 +1204,12 @@ mod tests {
         let mut env = Env::new();
         let mut dag = SkillDag::new();
         let load = dag
-            .add(SkillCall::LoadFile { path: "none.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "none.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let mut ex = Executor::new();
         assert!(matches!(
@@ -977,7 +1224,12 @@ mod tests {
         env.add_file("d.csv", "v\n1\n\n3\n");
         let mut dag = SkillDag::new();
         let load = dag
-            .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "d.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let fill = dag
             .add(
@@ -1006,5 +1258,113 @@ mod tests {
             .unwrap();
         assert_eq!(out.value(1, "v").unwrap(), Value::Int(0));
         assert_eq!(out.value(2, "v").unwrap(), Value::Int(30));
+    }
+
+    /// Regression test for the flat-string cache keys this executor
+    /// replaced: `"{call}|{inputs.join(\"|\")}"` loses input grouping, so
+    /// `T(M(p, q))` and `T(M(p), q)` aliased to one key and the second
+    /// target was served the first target's cached result. The
+    /// structural interner must keep them distinct.
+    #[test]
+    fn structural_keys_distinguish_input_groupings() {
+        let mut env = Env::new();
+        let mut dag = SkillDag::new();
+        let c = |text: &str| SkillCall::Comment { text: text.into() };
+        let p = dag.add(c("p"), vec![]).unwrap();
+        let q = dag.add(c("q"), vec![]).unwrap();
+        let m_pq = dag.add(c("m"), vec![p, q]).unwrap();
+        let t_of_m_pq = dag.add(c("t"), vec![m_pq]).unwrap();
+        let m_p = dag.add(c("m"), vec![p]).unwrap();
+        let t_of_m_p_q = dag.add(c("t"), vec![m_p, q]).unwrap();
+
+        // Demonstrate that the two targets collide under the old scheme.
+        let legacy_key = |dag: &SkillDag, target: NodeId| -> String {
+            let mut keys: HashMap<NodeId, String> = HashMap::new();
+            for &id in &dag.ancestors(target).unwrap() {
+                let node = dag.node(id).unwrap();
+                let input_keys: Vec<&str> = node.inputs.iter().map(|i| keys[i].as_str()).collect();
+                let key = format!("{}|{}", node.call.cache_key(), input_keys.join("|"));
+                keys.insert(id, key);
+            }
+            keys.remove(&target).unwrap()
+        };
+        assert_eq!(legacy_key(&dag, t_of_m_pq), legacy_key(&dag, t_of_m_p_q));
+
+        let mut ex = Executor::new();
+        ex.run(&dag, t_of_m_pq, &mut env).unwrap();
+        assert_eq!(ex.stats.nodes_executed, 4);
+        // The second target shares only p and q with the first; m and t
+        // have different input sub-DAGs and must execute again.
+        ex.run(&dag, t_of_m_p_q, &mut env).unwrap();
+        assert_eq!(ex.stats.nodes_executed, 6);
+        assert_eq!(ex.stats.cache_hits, 2);
+        assert_eq!(ex.cache_len(), 6);
+    }
+
+    /// Two independent slow branches of a diamond must overlap: total
+    /// latency stays near one branch's latency, not the sum.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn diamond_waves_overlap_slow_branches() {
+        use std::time::{Duration, Instant};
+
+        let mut env = env_with_table();
+        let (mut dag, load) = load_dag();
+        let left = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").lt(Expr::lit(50i64)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let right = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").ge(Expr::lit(50i64)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let both = dag
+            .add(
+                SkillCall::Concat {
+                    other: "right".into(),
+                    remove_duplicates: false,
+                },
+                vec![left, right],
+            )
+            .unwrap();
+
+        let mut ex = Executor::new();
+        ex.set_before_execute(|call| {
+            if matches!(call, SkillCall::KeepRows { .. }) {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+        });
+        let start = Instant::now();
+        let out = ex.run(&dag, both, &mut env).unwrap().into_table().unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(out.num_rows(), 100);
+        assert!(elapsed >= Duration::from_millis(120));
+        // Serial execution would take >= 240ms; allow generous headroom
+        // for the surrounding (fast) load and concat work.
+        assert!(
+            elapsed < Duration::from_millis(220),
+            "branches did not overlap: {elapsed:?}"
+        );
+    }
+
+    /// Warm `table_of` calls share one allocation with the cache — a
+    /// pointer copy, not a deep clone.
+    #[test]
+    fn warm_table_of_is_zero_copy() {
+        let mut env = env_with_table();
+        let (dag, load) = load_dag();
+        let mut ex = Executor::new();
+        let first = ex.table_of(&dag, load, &mut env).unwrap();
+        let second = ex.table_of(&dag, load, &mut env).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(ex.stats.nodes_executed, 1);
     }
 }

@@ -46,11 +46,11 @@ impl TableProvider for DatabaseProvider<'_> {
             .catalog
             .database(&self.database)
             .map_err(|e| dc_sql::SqlError::plan(e.to_string()))?;
-        let (t, _) = db
-            .scan(name, &ScanOptions::full())
-            .map_err(|_| dc_sql::SqlError::TableNotFound {
-                name: name.to_string(),
-            })?;
+        let (t, _) =
+            db.scan(name, &ScanOptions::full())
+                .map_err(|_| dc_sql::SqlError::TableNotFound {
+                    name: name.to_string(),
+                })?;
         Ok(t)
     }
 }
@@ -98,7 +98,7 @@ pub fn run_planned(
             ExecutionTask::Skill { node } => {
                 let node = dag.node(*node)?;
                 // Secondary inputs (joins/concats) run node-by-node.
-                let mut input_tables: Vec<Table> = Vec::new();
+                let mut input_tables: Vec<std::sync::Arc<Table>> = Vec::new();
                 if node.call.needs_input() {
                     let first = current.clone().ok_or_else(|| {
                         SkillError::invalid(format!(
@@ -106,13 +106,13 @@ pub fn run_planned(
                             node.call.name()
                         ))
                     })?;
-                    input_tables.push(first);
+                    input_tables.push(std::sync::Arc::new(first));
                 }
                 for &extra in node.inputs.iter().skip(1) {
                     let mut ex = crate::exec::Executor::new();
                     input_tables.push(ex.table_of(dag, extra, env)?);
                 }
-                let refs: Vec<&Table> = input_tables.iter().collect();
+                let refs: Vec<&Table> = input_tables.iter().map(|t| t.as_ref()).collect();
                 let out = execute_call(&node.call, &refs, env)?;
                 if let Some(t) = out.as_table() {
                     if node.call.transforms_data() {

@@ -242,24 +242,53 @@ impl SkillCall {
     pub fn category(&self) -> Category {
         use SkillCall::*;
         match self {
-            LoadFile { .. } | LoadUrl { .. } | LoadTable { .. } | UseDataset { .. }
+            LoadFile { .. }
+            | LoadUrl { .. }
+            | LoadTable { .. }
+            | UseDataset { .. }
             | UseSnapshot { .. } => Category::DataIngestion,
-            DescribeColumn { .. } | DescribeDataset | ListDatasets | ShowHead { .. }
-            | CountRows | ProfileMissing => Category::DataExploration,
+            DescribeColumn { .. }
+            | DescribeDataset
+            | ListDatasets
+            | ShowHead { .. }
+            | CountRows
+            | ProfileMissing => Category::DataExploration,
             Visualize { .. } | Plot { .. } => Category::DataVisualization,
-            KeepRows { .. } | DropRows { .. } | KeepColumns { .. } | DropColumns { .. }
-            | RenameColumn { .. } | CreateColumn { .. } | CreateConstantColumn { .. }
-            | Compute { .. } | Pivot { .. } | Sort { .. } | Top { .. } | Limit { .. }
-            | Concat { .. } | Join { .. } | Distinct { .. } | DropMissing { .. }
-            | FillMissing { .. } | ReplaceValues { .. } | CastColumn { .. }
-            | BinColumn { .. } | ExtractDatePart { .. } | TrimColumn { .. } | Sample { .. }
+            KeepRows { .. }
+            | DropRows { .. }
+            | KeepColumns { .. }
+            | DropColumns { .. }
+            | RenameColumn { .. }
+            | CreateColumn { .. }
+            | CreateConstantColumn { .. }
+            | Compute { .. }
+            | Pivot { .. }
+            | Sort { .. }
+            | Top { .. }
+            | Limit { .. }
+            | Concat { .. }
+            | Join { .. }
+            | Distinct { .. }
+            | DropMissing { .. }
+            | FillMissing { .. }
+            | ReplaceValues { .. }
+            | CastColumn { .. }
+            | BinColumn { .. }
+            | ExtractDatePart { .. }
+            | TrimColumn { .. }
+            | Sample { .. }
             | ShuffleRows { .. } => Category::DataWrangling,
-            TrainModel { .. } | Predict { .. } | PredictTimeSeries { .. }
-            | DetectOutliers { .. } | Cluster { .. } | EvaluateModel { .. } => {
-                Category::MachineLearning
-            }
+            TrainModel { .. }
+            | Predict { .. }
+            | PredictTimeSeries { .. }
+            | DetectOutliers { .. }
+            | Cluster { .. }
+            | EvaluateModel { .. } => Category::MachineLearning,
             RunSql { .. } | ExportCsv => Category::Sql,
-            SaveArtifact { .. } | Snapshot { .. } | Define { .. } | Comment { .. }
+            SaveArtifact { .. }
+            | Snapshot { .. }
+            | Define { .. }
+            | Comment { .. }
             | ShareArtifact { .. } => Category::Collaboration,
         }
     }

@@ -5,7 +5,6 @@
 //! removed prior to saving. Additionally ... some skill calls might be
 //! merged if they can be represented by a single skill call."
 
-
 use crate::dag::{NodeId, SkillDag};
 use crate::error::Result;
 use crate::skill::SkillCall;
@@ -91,16 +90,21 @@ pub fn slice(dag: &SkillDag, target: NodeId) -> Result<(SkillDag, SliceStats)> {
             kept.iter()
                 .filter(|&&k| {
                     dag.node(k)
-                        .map(|n| n.inputs.iter().any(|&i| resolve(i).unwrap_or(usize::MAX) == inp))
+                        .map(|n| {
+                            n.inputs
+                                .iter()
+                                .any(|&i| resolve(i).unwrap_or(usize::MAX) == inp)
+                        })
                         .unwrap_or(false)
                 })
                 .count()
         };
         let merged = if let Some(&first) = inputs.first() {
             if consumers_of_input(first) == 1 {
-                where_is.get(&first).copied().and_then(|pi| {
-                    merge_calls(&pending[pi].call, &node.call).map(|m| (pi, m))
-                })
+                where_is
+                    .get(&first)
+                    .copied()
+                    .and_then(|pi| merge_calls(&pending[pi].call, &node.call).map(|m| (pi, m)))
             } else {
                 None
             }
@@ -164,20 +168,18 @@ fn merge_calls(first: &SkillCall, second: &SkillCall) -> Option<SkillCall> {
         // A later sort supersedes an earlier one.
         (Sort { .. }, Sort { keys }) => Some(Sort { keys: keys.clone() }),
         // Distinct twice is Distinct once (same column set only).
-        (Distinct { columns: a }, Distinct { columns: b }) if a == b => Some(Distinct {
-            columns: a.clone(),
-        }),
+        (Distinct { columns: a }, Distinct { columns: b }) if a == b => {
+            Some(Distinct { columns: a.clone() })
+        }
         // Fill-missing twice on the same column: later value wins.
-        (
-            FillMissing { column: c1, .. },
-            FillMissing {
-                column: c2,
-                value,
-            },
-        ) if c1.eq_ignore_ascii_case(c2) => Some(FillMissing {
-            column: c2.clone(),
-            value: value.clone(),
-        }),
+        (FillMissing { column: c1, .. }, FillMissing { column: c2, value })
+            if c1.eq_ignore_ascii_case(c2) =>
+        {
+            Some(FillMissing {
+                column: c2.clone(),
+                value: value.clone(),
+            })
+        }
         // Rename chains collapse a→b, b→c into a→c.
         (RenameColumn { from, to }, RenameColumn { from: f2, to: t2 })
             if to.eq_ignore_ascii_case(f2) =>
@@ -188,13 +190,14 @@ fn merge_calls(first: &SkillCall, second: &SkillCall) -> Option<SkillCall> {
             })
         }
         // Constant column overwritten by another constant of the same name.
-        (
-            CreateConstantColumn { name: n1, .. },
-            CreateConstantColumn { name: n2, value },
-        ) if n1.eq_ignore_ascii_case(n2) => Some(CreateConstantColumn {
-            name: n2.clone(),
-            value: value.clone(),
-        }),
+        (CreateConstantColumn { name: n1, .. }, CreateConstantColumn { name: n2, value })
+            if n1.eq_ignore_ascii_case(n2) =>
+        {
+            Some(CreateConstantColumn {
+                name: n2.clone(),
+                value: value.clone(),
+            })
+        }
         _ => None,
     }
 }
@@ -223,9 +226,7 @@ mod tests {
         // filter, peek, filter again, limit — saved artifact at the end.
         let mut dag = SkillDag::new();
         let l = dag.add(load(), vec![]).unwrap();
-        let _describe = dag
-            .add(SkillCall::DescribeDataset, vec![l])
-            .unwrap();
+        let _describe = dag.add(SkillCall::DescribeDataset, vec![l]).unwrap();
         let dead = dag
             .add(
                 SkillCall::Sort {
@@ -410,7 +411,12 @@ mod tests {
         let mut dag = SkillDag::new();
         let l = dag.add(load(), vec![]).unwrap();
         let r = dag
-            .add(SkillCall::LoadFile { path: "o.csv".into() }, vec![])
+            .add(
+                SkillCall::LoadFile {
+                    path: "o.csv".into(),
+                },
+                vec![],
+            )
             .unwrap();
         let rf = dag
             .add(

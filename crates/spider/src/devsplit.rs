@@ -67,7 +67,9 @@ pub fn generate_with_counts(
                     break;
                 }
             }
-            attempt_seed = attempt_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            attempt_seed = attempt_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match sample {
                 Some(s) => {
                     out.push(s);
@@ -137,11 +139,7 @@ mod tests {
         assert_eq!(dev.len(), 1040);
         let hist = zone_histogram(&dev);
         for (zone, n) in hist {
-            let expected = DEV_ZONE_COUNTS
-                .iter()
-                .find(|(z, _)| *z == zone)
-                .unwrap()
-                .1;
+            let expected = DEV_ZONE_COUNTS.iter().find(|(z, _)| *z == zone).unwrap().1;
             assert_eq!(n, expected, "zone {zone:?}");
         }
     }

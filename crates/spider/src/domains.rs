@@ -66,17 +66,17 @@ impl Domain {
             for col in &spec.columns {
                 let c = match &col.kind {
                     ColumnKind::Id => Column::from_ints((0..rows as i64).collect()),
-                    ColumnKind::Key { fanout } => Column::from_ints(
-                        (0..rows).map(|_| rng.random_range(0..*fanout)).collect(),
-                    ),
+                    ColumnKind::Key { fanout } => {
+                        Column::from_ints((0..rows).map(|_| rng.random_range(0..*fanout)).collect())
+                    }
                     ColumnKind::Category(values) => Column::from_strs(
                         (0..rows)
                             .map(|_| values[rng.random_range(0..values.len())].to_string())
                             .collect(),
                     ),
-                    ColumnKind::Int { lo, hi } => Column::from_ints(
-                        (0..rows).map(|_| rng.random_range(*lo..*hi)).collect(),
-                    ),
+                    ColumnKind::Int { lo, hi } => {
+                        Column::from_ints((0..rows).map(|_| rng.random_range(*lo..*hi)).collect())
+                    }
                     ColumnKind::Float { lo, hi } => Column::from_floats(
                         (0..rows)
                             .map(|_| (rng.random_range(*lo..*hi) * 100.0).round() / 100.0)
@@ -173,25 +173,78 @@ pub fn spider_domains() -> Vec<Domain> {
         Domain {
             name: "sales",
             is_custom: false,
-            vague_fillers: &["honestly", "roughly", "folks", "overall", "figures", "numbers"],
+            vague_fillers: &[
+                "honestly", "roughly", "folks", "overall", "figures", "numbers",
+            ],
             tables: vec![
                 TableSpec {
                     name: "orders",
                     columns: vec![
-                        ColumnSpec { name: "order_id", phrase: "orders", kind: ColumnKind::Id },
-                        ColumnSpec { name: "customer_id", phrase: "customer", kind: ColumnKind::Key { fanout: 40 } },
-                        ColumnSpec { name: "region", phrase: "region", kind: ColumnKind::Category(&["north", "south", "east", "west"]) },
-                        ColumnSpec { name: "product", phrase: "product", kind: ColumnKind::Category(&["widget", "gadget", "gizmo", "sprocket", "doohickey"]) },
-                        ColumnSpec { name: "price", phrase: "price", kind: ColumnKind::Float { lo: 5.0, hi: 200.0 } },
-                        ColumnSpec { name: "quantity", phrase: "quantity", kind: ColumnKind::Int { lo: 1, hi: 20 } },
+                        ColumnSpec {
+                            name: "order_id",
+                            phrase: "orders",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "customer_id",
+                            phrase: "customer",
+                            kind: ColumnKind::Key { fanout: 40 },
+                        },
+                        ColumnSpec {
+                            name: "region",
+                            phrase: "region",
+                            kind: ColumnKind::Category(&["north", "south", "east", "west"]),
+                        },
+                        ColumnSpec {
+                            name: "product",
+                            phrase: "product",
+                            kind: ColumnKind::Category(&[
+                                "widget",
+                                "gadget",
+                                "gizmo",
+                                "sprocket",
+                                "doohickey",
+                            ]),
+                        },
+                        ColumnSpec {
+                            name: "price",
+                            phrase: "price",
+                            kind: ColumnKind::Float { lo: 5.0, hi: 200.0 },
+                        },
+                        ColumnSpec {
+                            name: "quantity",
+                            phrase: "quantity",
+                            kind: ColumnKind::Int { lo: 1, hi: 20 },
+                        },
                     ],
                 },
                 TableSpec {
                     name: "customers",
                     columns: vec![
-                        ColumnSpec { name: "customer_id", phrase: "customer", kind: ColumnKind::Id },
-                        ColumnSpec { name: "city", phrase: "city", kind: ColumnKind::Category(&["springfield", "riverton", "lakeside", "hillcrest"]) },
-                        ColumnSpec { name: "segment", phrase: "segment", kind: ColumnKind::Category(&["consumer", "corporate", "small business"]) },
+                        ColumnSpec {
+                            name: "customer_id",
+                            phrase: "customer",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "city",
+                            phrase: "city",
+                            kind: ColumnKind::Category(&[
+                                "springfield",
+                                "riverton",
+                                "lakeside",
+                                "hillcrest",
+                            ]),
+                        },
+                        ColumnSpec {
+                            name: "segment",
+                            phrase: "segment",
+                            kind: ColumnKind::Category(&[
+                                "consumer",
+                                "corporate",
+                                "small business",
+                            ]),
+                        },
                     ],
                 },
             ],
@@ -204,19 +257,56 @@ pub fn spider_domains() -> Vec<Domain> {
                 TableSpec {
                     name: "transactions",
                     columns: vec![
-                        ColumnSpec { name: "txn_id", phrase: "transactions", kind: ColumnKind::Id },
-                        ColumnSpec { name: "account_id", phrase: "account", kind: ColumnKind::Key { fanout: 30 } },
-                        ColumnSpec { name: "channel", phrase: "channel", kind: ColumnKind::Category(&["branch", "online", "mobile", "atm"]) },
-                        ColumnSpec { name: "amount", phrase: "amount", kind: ColumnKind::Float { lo: 1.0, hi: 5000.0 } },
-                        ColumnSpec { name: "fee", phrase: "fee", kind: ColumnKind::Float { lo: 0.0, hi: 30.0 } },
+                        ColumnSpec {
+                            name: "txn_id",
+                            phrase: "transactions",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "account_id",
+                            phrase: "account",
+                            kind: ColumnKind::Key { fanout: 30 },
+                        },
+                        ColumnSpec {
+                            name: "channel",
+                            phrase: "channel",
+                            kind: ColumnKind::Category(&["branch", "online", "mobile", "atm"]),
+                        },
+                        ColumnSpec {
+                            name: "amount",
+                            phrase: "amount",
+                            kind: ColumnKind::Float {
+                                lo: 1.0,
+                                hi: 5000.0,
+                            },
+                        },
+                        ColumnSpec {
+                            name: "fee",
+                            phrase: "fee",
+                            kind: ColumnKind::Float { lo: 0.0, hi: 30.0 },
+                        },
                     ],
                 },
                 TableSpec {
                     name: "accounts",
                     columns: vec![
-                        ColumnSpec { name: "account_id", phrase: "account", kind: ColumnKind::Id },
-                        ColumnSpec { name: "branch", phrase: "branch", kind: ColumnKind::Category(&["downtown", "uptown", "harbor", "airport"]) },
-                        ColumnSpec { name: "tier", phrase: "tier", kind: ColumnKind::Category(&["basic", "silver", "gold"]) },
+                        ColumnSpec {
+                            name: "account_id",
+                            phrase: "account",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "branch",
+                            phrase: "branch",
+                            kind: ColumnKind::Category(&[
+                                "downtown", "uptown", "harbor", "airport",
+                            ]),
+                        },
+                        ColumnSpec {
+                            name: "tier",
+                            phrase: "tier",
+                            kind: ColumnKind::Category(&["basic", "silver", "gold"]),
+                        },
                     ],
                 },
             ],
@@ -229,20 +319,64 @@ pub fn spider_domains() -> Vec<Domain> {
                 TableSpec {
                     name: "admissions",
                     columns: vec![
-                        ColumnSpec { name: "admission_id", phrase: "admissions", kind: ColumnKind::Id },
-                        ColumnSpec { name: "patient_id", phrase: "patient", kind: ColumnKind::Key { fanout: 50 } },
-                        ColumnSpec { name: "department", phrase: "department", kind: ColumnKind::Category(&["cardiology", "oncology", "pediatrics", "orthopedics"]) },
-                        ColumnSpec { name: "severity", phrase: "severity", kind: ColumnKind::Category(&["routine", "urgent", "critical"]) },
-                        ColumnSpec { name: "length_of_stay", phrase: "length of stay", kind: ColumnKind::Int { lo: 1, hi: 30 } },
-                        ColumnSpec { name: "cost", phrase: "cost", kind: ColumnKind::Float { lo: 200.0, hi: 20000.0 } },
+                        ColumnSpec {
+                            name: "admission_id",
+                            phrase: "admissions",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "patient_id",
+                            phrase: "patient",
+                            kind: ColumnKind::Key { fanout: 50 },
+                        },
+                        ColumnSpec {
+                            name: "department",
+                            phrase: "department",
+                            kind: ColumnKind::Category(&[
+                                "cardiology",
+                                "oncology",
+                                "pediatrics",
+                                "orthopedics",
+                            ]),
+                        },
+                        ColumnSpec {
+                            name: "severity",
+                            phrase: "severity",
+                            kind: ColumnKind::Category(&["routine", "urgent", "critical"]),
+                        },
+                        ColumnSpec {
+                            name: "length_of_stay",
+                            phrase: "length of stay",
+                            kind: ColumnKind::Int { lo: 1, hi: 30 },
+                        },
+                        ColumnSpec {
+                            name: "cost",
+                            phrase: "cost",
+                            kind: ColumnKind::Float {
+                                lo: 200.0,
+                                hi: 20000.0,
+                            },
+                        },
                     ],
                 },
                 TableSpec {
                     name: "patients",
                     columns: vec![
-                        ColumnSpec { name: "patient_id", phrase: "patient", kind: ColumnKind::Id },
-                        ColumnSpec { name: "age_group", phrase: "age group", kind: ColumnKind::Category(&["child", "adult", "senior"]) },
-                        ColumnSpec { name: "insurance", phrase: "insurance", kind: ColumnKind::Category(&["public", "private", "none"]) },
+                        ColumnSpec {
+                            name: "patient_id",
+                            phrase: "patient",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "age_group",
+                            phrase: "age group",
+                            kind: ColumnKind::Category(&["child", "adult", "senior"]),
+                        },
+                        ColumnSpec {
+                            name: "insurance",
+                            phrase: "insurance",
+                            kind: ColumnKind::Category(&["public", "private", "none"]),
+                        },
                     ],
                 },
             ],
@@ -261,19 +395,51 @@ pub fn custom_domains() -> Vec<Domain> {
                 TableSpec {
                     name: "chg_sess",
                     columns: vec![
-                        ColumnSpec { name: "sess_id", phrase: "sessions", kind: ColumnKind::Id },
-                        ColumnSpec { name: "stn_id", phrase: "station", kind: ColumnKind::Key { fanout: 25 } },
-                        ColumnSpec { name: "conn_typ", phrase: "connector", kind: ColumnKind::Category(&["ccs", "chademo", "type2"]) },
-                        ColumnSpec { name: "kwh_dlv", phrase: "energy", kind: ColumnKind::Float { lo: 2.0, hi: 90.0 } },
-                        ColumnSpec { name: "dur_min", phrase: "duration", kind: ColumnKind::Int { lo: 5, hi: 240 } },
+                        ColumnSpec {
+                            name: "sess_id",
+                            phrase: "sessions",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "stn_id",
+                            phrase: "station",
+                            kind: ColumnKind::Key { fanout: 25 },
+                        },
+                        ColumnSpec {
+                            name: "conn_typ",
+                            phrase: "connector",
+                            kind: ColumnKind::Category(&["ccs", "chademo", "type2"]),
+                        },
+                        ColumnSpec {
+                            name: "kwh_dlv",
+                            phrase: "energy",
+                            kind: ColumnKind::Float { lo: 2.0, hi: 90.0 },
+                        },
+                        ColumnSpec {
+                            name: "dur_min",
+                            phrase: "duration",
+                            kind: ColumnKind::Int { lo: 5, hi: 240 },
+                        },
                     ],
                 },
                 TableSpec {
                     name: "chg_stn",
                     columns: vec![
-                        ColumnSpec { name: "stn_id", phrase: "station", kind: ColumnKind::Id },
-                        ColumnSpec { name: "opr_cd", phrase: "operator", kind: ColumnKind::Category(&["op_a", "op_b", "op_c"]) },
-                        ColumnSpec { name: "pwr_cls", phrase: "power class", kind: ColumnKind::Category(&["l2", "dcfc", "hpc"]) },
+                        ColumnSpec {
+                            name: "stn_id",
+                            phrase: "station",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "opr_cd",
+                            phrase: "operator",
+                            kind: ColumnKind::Category(&["op_a", "op_b", "op_c"]),
+                        },
+                        ColumnSpec {
+                            name: "pwr_cls",
+                            phrase: "power class",
+                            kind: ColumnKind::Category(&["l2", "dcfc", "hpc"]),
+                        },
                     ],
                 },
             ],
@@ -286,19 +452,54 @@ pub fn custom_domains() -> Vec<Domain> {
                 TableSpec {
                     name: "mtch_rslt",
                     columns: vec![
-                        ColumnSpec { name: "mtch_id", phrase: "matches", kind: ColumnKind::Id },
-                        ColumnSpec { name: "tm_id", phrase: "team", kind: ColumnKind::Key { fanout: 16 } },
-                        ColumnSpec { name: "map_nm", phrase: "map", kind: ColumnKind::Category(&["dust", "mirage", "nuke", "inferno"]) },
-                        ColumnSpec { name: "rounds_w", phrase: "rounds won", kind: ColumnKind::Int { lo: 0, hi: 16 } },
-                        ColumnSpec { name: "dmg_avg", phrase: "damage", kind: ColumnKind::Float { lo: 40.0, hi: 120.0 } },
+                        ColumnSpec {
+                            name: "mtch_id",
+                            phrase: "matches",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "tm_id",
+                            phrase: "team",
+                            kind: ColumnKind::Key { fanout: 16 },
+                        },
+                        ColumnSpec {
+                            name: "map_nm",
+                            phrase: "map",
+                            kind: ColumnKind::Category(&["dust", "mirage", "nuke", "inferno"]),
+                        },
+                        ColumnSpec {
+                            name: "rounds_w",
+                            phrase: "rounds won",
+                            kind: ColumnKind::Int { lo: 0, hi: 16 },
+                        },
+                        ColumnSpec {
+                            name: "dmg_avg",
+                            phrase: "damage",
+                            kind: ColumnKind::Float {
+                                lo: 40.0,
+                                hi: 120.0,
+                            },
+                        },
                     ],
                 },
                 TableSpec {
                     name: "tm_rstr",
                     columns: vec![
-                        ColumnSpec { name: "tm_id", phrase: "team", kind: ColumnKind::Id },
-                        ColumnSpec { name: "rgn_cd", phrase: "region", kind: ColumnKind::Category(&["na", "eu", "apac"]) },
-                        ColumnSpec { name: "div_cd", phrase: "division", kind: ColumnKind::Category(&["d1", "d2"]) },
+                        ColumnSpec {
+                            name: "tm_id",
+                            phrase: "team",
+                            kind: ColumnKind::Id,
+                        },
+                        ColumnSpec {
+                            name: "rgn_cd",
+                            phrase: "region",
+                            kind: ColumnKind::Category(&["na", "eu", "apac"]),
+                        },
+                        ColumnSpec {
+                            name: "div_cd",
+                            phrase: "division",
+                            kind: ColumnKind::Category(&["d1", "d2"]),
+                        },
                     ],
                 },
             ],

@@ -118,7 +118,9 @@ pub fn evaluate(samples: &[Sample], system: &Nl2Code, rows: usize) -> Vec<ZoneAc
             .map(|r| r.python)
             .unwrap_or_default();
         let ok = !generated.is_empty() && execution_accuracy(sample, &generated, rows);
-        let entry = per_zone.get_mut(sample.zone.label()).expect("all zones present");
+        let entry = per_zone
+            .get_mut(sample.zone.label())
+            .expect("all zones present");
         entry.1 += 1;
         entry.2 += ok as usize;
     }
@@ -165,7 +167,11 @@ mod tests {
 
     #[test]
     fn gold_programs_always_execute() {
-        for s in t_spider(5).iter().take(12).chain(t_custom(5).iter().take(8)) {
+        for s in t_spider(5)
+            .iter()
+            .take(12)
+            .chain(t_custom(5).iter().take(8))
+        {
             assert!(
                 run_program(&s.gold_program, s, 80).is_some(),
                 "gold failed for {}: {}",
@@ -222,10 +228,6 @@ mod tests {
             .collect();
         let result = evaluate(&samples, &sys, 60);
         let ll = result.iter().find(|z| z.zone == Zone::LowLow).unwrap();
-        assert!(
-            ll.mean_ea >= 0.8,
-            "oracle EA on (low,low) = {}",
-            ll.mean_ea
-        );
+        assert!(ll.mean_ea >= 0.8, "oracle EA on (low,low) = {}", ll.mean_ea);
     }
 }

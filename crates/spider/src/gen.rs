@@ -118,7 +118,12 @@ pub fn make_sample(
         let what = *pick(&mut rng, &["What is", "Show", "List", "Show me"]);
         let howmany = *pick(
             &mut rng,
-            &["How many", "Count how many", "Show how many", "List how many"],
+            &[
+                "How many",
+                "Count how many",
+                "Show how many",
+                "List how many",
+            ],
         );
         match rng.random_range(0..4u32) {
             0 => {
@@ -208,7 +213,9 @@ pub fn make_sample(
 
 fn threshold_for(kind: &ColumnKind, rng: &mut StdRng) -> i64 {
     match kind {
-        ColumnKind::Int { lo, hi } => (lo + (hi - lo) / 3) + rng.random_range(0..((hi - lo) / 4).max(1)),
+        ColumnKind::Int { lo, hi } => {
+            (lo + (hi - lo) / 3) + rng.random_range(0..((hi - lo) / 4).max(1))
+        }
         ColumnKind::Float { lo, hi } => {
             ((lo + (hi - lo) / 3.0) as i64) + rng.random_range(0..(((hi - lo) / 4.0) as i64).max(1))
         }

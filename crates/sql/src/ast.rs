@@ -153,17 +153,16 @@ impl Select {
             s.push(' ');
             s.push_str(&table_ref_sql(&j.table));
             s.push_str(" ON ");
-            let conds: Vec<String> = j
-                .on
-                .iter()
-                .map(|(l, r)| {
-                    format!(
-                        "{} = {}",
-                        dc_engine::expr::quote_ident(l),
-                        dc_engine::expr::quote_ident(r)
-                    )
-                })
-                .collect();
+            let conds: Vec<String> =
+                j.on.iter()
+                    .map(|(l, r)| {
+                        format!(
+                            "{} = {}",
+                            dc_engine::expr::quote_ident(l),
+                            dc_engine::expr::quote_ident(r)
+                        )
+                    })
+                    .collect();
             s.push_str(&conds.join(" AND "));
         }
         if let Some(w) = &self.where_clause {

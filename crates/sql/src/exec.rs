@@ -55,7 +55,11 @@ pub struct ExecStats {
 }
 
 /// Execute a parsed SELECT, accumulating stats.
-pub fn execute(select: &Select, provider: &dyn TableProvider, stats: &mut ExecStats) -> Result<Table> {
+pub fn execute(
+    select: &Select,
+    provider: &dyn TableProvider,
+    stats: &mut ExecStats,
+) -> Result<Table> {
     stats.query_blocks += 1;
 
     // FROM
@@ -63,10 +67,7 @@ pub fn execute(select: &Select, provider: &dyn TableProvider, stats: &mut ExecSt
         Some(t) => resolve_table_ref(t, provider, stats)?,
         None => {
             // SELECT without FROM: evaluate items against a 1-row dummy.
-            dc_engine::Table::new(vec![(
-                "__dummy",
-                dc_engine::Column::from_ints(vec![0]),
-            )])?
+            dc_engine::Table::new(vec![("__dummy", dc_engine::Column::from_ints(vec![0]))])?
         }
     };
 
@@ -187,10 +188,7 @@ fn run_aggregation(select: &Select, input: &Table) -> Result<Table> {
             }
             SelectItem::Expr { expr, .. } => match expr {
                 Expr::Column(c) => {
-                    let is_key = select
-                        .group_by
-                        .iter()
-                        .any(|g| g.eq_ignore_ascii_case(c));
+                    let is_key = select.group_by.iter().any(|g| g.eq_ignore_ascii_case(c));
                     if !is_key {
                         return Err(SqlError::plan(format!(
                             "column {c} must appear in GROUP BY or an aggregate"
@@ -206,7 +204,9 @@ fn run_aggregation(select: &Select, input: &Table) -> Result<Table> {
                 }
             },
             SelectItem::Wildcard => {
-                return Err(SqlError::plan("SELECT * cannot be combined with aggregates"))
+                return Err(SqlError::plan(
+                    "SELECT * cannot be combined with aggregates",
+                ))
             }
         }
     }
@@ -256,7 +256,10 @@ mod tests {
                         None,
                     ]),
                 ),
-                ("party_age", Column::from_opt_ints(vec![Some(20), Some(45), Some(31), None])),
+                (
+                    "party_age",
+                    Column::from_opt_ints(vec![Some(20), Some(45), Some(31), None]),
+                ),
             ])
             .unwrap(),
         );
@@ -264,7 +267,10 @@ mod tests {
             "collisions".to_string(),
             Table::new(vec![
                 ("case_id", Column::from_ints(vec![1, 2, 3, 4])),
-                ("severity", Column::from_strs(vec!["minor", "major", "fatal", "minor"])),
+                (
+                    "severity",
+                    Column::from_strs(vec!["minor", "major", "fatal", "minor"]),
+                ),
             ])
             .unwrap(),
         );
@@ -304,7 +310,8 @@ mod tests {
 
     #[test]
     fn global_aggregate() {
-        let (out, _) = run_sql("SELECT COUNT(*), AVG(party_age) FROM parties", &provider()).unwrap();
+        let (out, _) =
+            run_sql("SELECT COUNT(*), AVG(party_age) FROM parties", &provider()).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, "CountOfRecords").unwrap(), Value::Int(4));
         assert_eq!(out.value(0, "AvgParty_age").unwrap(), Value::Float(32.0));
@@ -317,7 +324,10 @@ mod tests {
             &provider(),
         )
         .unwrap();
-        assert_eq!(out.value(0, "severity").unwrap(), Value::Str("minor".into()));
+        assert_eq!(
+            out.value(0, "severity").unwrap(),
+            Value::Str("minor".into())
+        );
         assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
         assert_eq!(stats.base_scans, 2);
     }
@@ -375,7 +385,11 @@ mod tests {
         assert!(run_sql("SELECT party_age, COUNT(*) FROM parties", &provider()).is_err());
         assert!(run_sql("SELECT * , COUNT(*) FROM parties", &provider()).is_err());
         assert!(run_sql("SELECT a FROM nope", &provider()).is_err());
-        assert!(run_sql("SELECT case_id FROM parties HAVING case_id > 1", &provider()).is_err());
+        assert!(run_sql(
+            "SELECT case_id FROM parties HAVING case_id > 1",
+            &provider()
+        )
+        .is_err());
     }
 
     #[test]

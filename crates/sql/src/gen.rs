@@ -26,7 +26,10 @@ pub enum QueryStep {
     /// Create a computed column.
     WithColumn { name: String, expr: Expr },
     /// Group-by aggregation.
-    Compute { keys: Vec<String>, aggs: Vec<AggSpec> },
+    Compute {
+        keys: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
     /// Sort by `(column, ascending)` keys.
     Sort { keys: Vec<(String, bool)> },
     /// Keep the first `n` rows.
@@ -187,10 +190,14 @@ fn base_visible(current: &Select, name: &str) -> bool {
 /// Whether a name is visible in the block's output (includes aggregate
 /// output names; used for ORDER BY merging).
 fn output_visible(current: &Select, name: &str) -> bool {
-    current.items.iter().enumerate().any(|(i, item)| match item {
-        SelectItem::Wildcard => true,
-        other => other.output_name(i).eq_ignore_ascii_case(name),
-    })
+    current
+        .items
+        .iter()
+        .enumerate()
+        .any(|(i, item)| match item {
+            SelectItem::Wildcard => true,
+            other => other.output_name(i).eq_ignore_ascii_case(name),
+        })
 }
 
 /// Merge a step into the current block (caller has verified legality or
@@ -402,7 +409,11 @@ mod tests {
 
     #[test]
     fn limits_take_minimum() {
-        let steps = vec![scan(), QueryStep::Limit { n: 100 }, QueryStep::Limit { n: 10 }];
+        let steps = vec![
+            scan(),
+            QueryStep::Limit { n: 100 },
+            QueryStep::Limit { n: 10 },
+        ];
         let flat = generate_sql(&steps, true).unwrap();
         assert_eq!(flat.limit, Some(10));
         assert_eq!(flat.nesting_depth(), 1);
@@ -496,11 +507,8 @@ mod tests {
         let mut provider: HashMap<String, dc_engine::Table> = HashMap::new();
         provider.insert(
             "base_table".into(),
-            dc_engine::Table::new(vec![(
-                "a",
-                dc_engine::Column::from_ints(vec![1, 5, 9]),
-            )])
-            .unwrap(),
+            dc_engine::Table::new(vec![("a", dc_engine::Column::from_ints(vec![1, 5, 9]))])
+                .unwrap(),
         );
         for steps in [
             vec![
@@ -553,7 +561,10 @@ mod tests {
             dc_engine::Table::new(vec![
                 ("a", dc_engine::Column::from_ints(vec![3, 1, 2, 5, 4])),
                 ("b", dc_engine::Column::from_ints(vec![30, 10, 20, 50, 40])),
-                ("c", dc_engine::Column::from_strs(vec!["x", "y", "z", "w", "v"])),
+                (
+                    "c",
+                    dc_engine::Column::from_strs(vec!["x", "y", "z", "w", "v"]),
+                ),
             ])
             .unwrap(),
         );

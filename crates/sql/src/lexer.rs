@@ -164,7 +164,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let mut is_float = false;
                 if i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;

@@ -101,7 +101,10 @@ impl Parser {
         if self.peek() == &Token::Eof {
             Ok(())
         } else {
-            Err(SqlError::parse("unexpected trailing input", self.peek().describe()))
+            Err(SqlError::parse(
+                "unexpected trailing input",
+                self.peek().describe(),
+            ))
         }
     }
 
@@ -480,8 +483,7 @@ impl Parser {
                     // Fall through: a column literally named "date".
                 }
                 // CAST(expr AS type)
-                if name.eq_ignore_ascii_case("cast") && self.peek() == &Token::Symbol(Sym::LParen)
-                {
+                if name.eq_ignore_ascii_case("cast") && self.peek() == &Token::Symbol(Sym::LParen) {
                     self.advance();
                     let e = self.parse_or()?;
                     self.expect_kw("as")?;
@@ -526,9 +528,7 @@ impl Parser {
             Token::Str(s) if !negate => Ok(Value::Str(s)),
             Token::Ident(s) if !negate && s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Token::Ident(s) if !negate && s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
-            Token::Ident(s) if !negate && s.eq_ignore_ascii_case("false") => {
-                Ok(Value::Bool(false))
-            }
+            Token::Ident(s) if !negate && s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
             Token::Ident(s) if !negate && s.eq_ignore_ascii_case("date") => {
                 if let Token::Str(d) = self.advance() {
                     let days = parse_date(&d).map_err(|e| SqlError::plan(e.to_string()))?;
@@ -613,7 +613,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.joins[0].how, JoinType::Left);
-        assert_eq!(q.joins[0].on, vec![("case_id".to_string(), "case_id".to_string())]);
+        assert_eq!(
+            q.joins[0].on,
+            vec![("case_id".to_string(), "case_id".to_string())]
+        );
     }
 
     #[test]

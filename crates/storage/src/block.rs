@@ -6,6 +6,9 @@
 //! a real mechanism: sampling 10% of *blocks* scans ~10% of the bytes,
 //! whereas row-level Bernoulli sampling still scans everything.
 
+use std::borrow::Cow;
+use std::sync::Arc;
+
 use dc_engine::ops::sample_fraction;
 use dc_engine::Table;
 use rand::rngs::StdRng;
@@ -16,9 +19,13 @@ use crate::error::{Result, StorageError};
 use crate::pricing::ScanReceipt;
 
 /// A stored table split into fixed-size row blocks.
+///
+/// Blocks are immutable and held behind [`Arc`], so cloning a
+/// `BlockTable` (snapshots, catalog copies) shares the block data instead
+/// of duplicating it.
 #[derive(Debug, Clone)]
 pub struct BlockTable {
-    blocks: Vec<Table>,
+    blocks: Vec<Arc<Table>>,
     block_bytes: Vec<u64>,
     rows: usize,
     schema_names: Vec<String>,
@@ -74,11 +81,11 @@ impl BlockTable {
         let rows = table.num_rows();
         let mut blocks = Vec::with_capacity(rows.div_ceil(block_rows).max(1));
         if rows == 0 {
-            blocks.push(table.clone());
+            blocks.push(Arc::new(table.clone()));
         } else {
             let mut start = 0;
             while start < rows {
-                blocks.push(table.slice(start, block_rows));
+                blocks.push(Arc::new(table.slice(start, block_rows)));
                 start += block_rows;
             }
         }
@@ -116,6 +123,11 @@ impl BlockTable {
         &self.schema_names
     }
 
+    /// Shared handle to block `i`'s data — a pointer copy, not a clone.
+    pub fn block(&self, i: usize) -> Option<Arc<Table>> {
+        self.blocks.get(i).map(Arc::clone)
+    }
+
     /// Scan under `opts`, returning the data plus a receipt of what was
     /// actually read.
     pub fn scan(&self, opts: &ScanOptions) -> Result<(Table, ScanReceipt)> {
@@ -148,26 +160,31 @@ impl BlockTable {
             .as_ref()
             .map(|cols| cols.iter().map(|s| s.as_str()).collect());
 
-        let mut parts: Vec<Table> = Vec::with_capacity(chosen.len());
+        // Unprojected, unsampled blocks are borrowed as-is — a full scan
+        // never deep-clones block data, it only concatenates borrowed
+        // parts into the output table.
+        let mut parts: Vec<Cow<'_, Table>> = Vec::with_capacity(chosen.len());
         let mut bytes = 0u64;
         let mut rows_scanned = 0u64;
         for &bi in &chosen {
             let block = &self.blocks[bi];
             let part = match &projected {
-                Some(cols) => block.select(cols)?,
-                None => block.clone(),
+                Some(cols) => Cow::Owned(block.select(cols)?),
+                None => Cow::Borrowed(block.as_ref()),
             };
             bytes += part.byte_size() as u64;
             rows_scanned += block.num_rows() as u64;
             let part = match opts.row_sample {
-                Some(f) => {
-                    sample_fraction(&part, f, opts.seed.wrapping_add(bi as u64))?
-                }
+                Some(f) => Cow::Owned(sample_fraction(
+                    &part,
+                    f,
+                    opts.seed.wrapping_add(bi as u64),
+                )?),
                 None => part,
             };
             parts.push(part);
         }
-        let refs: Vec<&Table> = parts.iter().collect();
+        let refs: Vec<&Table> = parts.iter().map(|p| p.as_ref()).collect();
         let out = dc_engine::ops::concat(&refs, false)?;
         Ok((
             out,
@@ -190,7 +207,10 @@ mod tests {
     fn t(n: usize) -> Table {
         Table::new(vec![
             ("x", Column::from_ints((0..n as i64).collect())),
-            ("y", Column::from_ints((0..n as i64).map(|v| v * 2).collect())),
+            (
+                "y",
+                Column::from_ints((0..n as i64).map(|v| v * 2).collect()),
+            ),
         ])
         .unwrap()
     }
@@ -273,6 +293,16 @@ mod tests {
         let bt = BlockTable::new(&t(100), 10).unwrap();
         assert!(bt.scan(&ScanOptions::block_sampled(0.0, 1)).is_err());
         assert!(bt.scan(&ScanOptions::block_sampled(1.5, 1)).is_err());
+    }
+
+    #[test]
+    fn clone_shares_block_allocations() {
+        let bt = BlockTable::new(&t(1000), 100).unwrap();
+        let copy = bt.clone();
+        for i in 0..bt.num_blocks() {
+            assert!(Arc::ptr_eq(&bt.block(i).unwrap(), &copy.block(i).unwrap()));
+        }
+        assert!(bt.block(bt.num_blocks()).is_none());
     }
 
     #[test]

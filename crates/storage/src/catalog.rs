@@ -65,7 +65,8 @@ impl CloudDatabase {
         if self.tables.contains_key(&name) {
             return Err(StorageError::AlreadyExists { name });
         }
-        self.tables.insert(name, BlockTable::new(table, block_rows)?);
+        self.tables
+            .insert(name, BlockTable::new(table, block_rows)?);
         Ok(())
     }
 

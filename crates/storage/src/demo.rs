@@ -29,7 +29,13 @@ pub fn california_collisions(n_collisions: usize, seed: u64) -> (Table, Table, T
         "not applicable",
         "impairment unknown",
     ];
-    let party_types = ["driver", "pedestrian", "parked vehicle", "bicyclist", "other"];
+    let party_types = [
+        "driver",
+        "pedestrian",
+        "parked vehicle",
+        "bicyclist",
+        "other",
+    ];
     let sexes = ["male", "female"];
     let safety = [
         "air bag not deployed",
@@ -117,8 +123,11 @@ pub fn california_collisions(n_collisions: usize, seed: u64) -> (Table, Table, T
             } else {
                 (rng.random_range(0..100) < 92).then(|| pick(&mut rng, &sobriety).to_string())
             });
-            p_dir.push((rng.random_range(0..100) < 80).then(|| pick(&mut rng, &directions).to_string()));
-            p_safety.push((rng.random_range(0..100) < 90).then(|| pick(&mut rng, &safety).to_string()));
+            p_dir.push(
+                (rng.random_range(0..100) < 80).then(|| pick(&mut rng, &directions).to_string()),
+            );
+            p_safety
+                .push((rng.random_range(0..100) < 90).then(|| pick(&mut rng, &safety).to_string()));
             p_cell.push((rng.random_range(0..100) < 7) as i64);
         }
         let _ = ci;
@@ -190,7 +199,7 @@ pub fn fred_gdp() -> Table {
         let (y, m, _) = dc_engine::date::ymd_from_days(day);
         // 2020 shock: Q2 2020 drops ~9%, recovering over 6 quarters.
         let shock_q0 = (2020 - 1990) * 4 + 1; // index of 2020 Q2
-        let qi = ((y - 1990) * 4 + (m as i64 - 1) / 3) as i64;
+        let qi = (y - 1990) * 4 + (m as i64 - 1) / 3;
         if qi >= shock_q0 {
             let since = (qi - shock_q0) as f64;
             let recovery = (since / 6.0).min(1.0);
@@ -224,9 +233,7 @@ pub fn iot_readings(n: usize, seed: u64) -> Table {
         ts.push(base + rng.random_range(0..730));
         temp.push((rng.random_range(0..100) >= 2).then(|| rng.random_range(-10.0..45.0)));
         hum.push((rng.random_range(0..100) >= 2).then(|| rng.random_range(5.0..100.0)));
-        status.push(
-            pick(&mut rng, &["ok", "ok", "ok", "ok", "degraded", "offline"]).to_string(),
-        );
+        status.push(pick(&mut rng, &["ok", "ok", "ok", "ok", "degraded", "offline"]).to_string());
     }
     Table::new(vec![
         ("device_id", Column::from_ints(device)),
@@ -370,7 +377,7 @@ mod tests {
     fn gdp_series_has_2020_shock() {
         let t = fred_gdp();
         assert!(t.num_rows() > 130); // 1990..2024 quarterly
-        // Find 2020-04-01 and 2019-10-01 values.
+                                     // Find 2020-04-01 and 2019-10-01 values.
         let mut v2019q4 = None;
         let mut v2020q2 = None;
         for r in 0..t.num_rows() {

@@ -19,7 +19,9 @@ pub enum Pricing {
 impl Pricing {
     /// The common on-demand cloud rate ($5/TB, BigQuery-class).
     pub fn default_cloud() -> Pricing {
-        Pricing::PerTbScanned { dollars_per_tb: 5.0 }
+        Pricing::PerTbScanned {
+            dollars_per_tb: 5.0,
+        }
     }
 
     /// A small fixed-cost local instance.
@@ -32,9 +34,7 @@ impl Pricing {
     /// Marginal dollar cost of scanning `bytes`.
     pub fn scan_cost(&self, bytes: u64) -> f64 {
         match self {
-            Pricing::PerTbScanned { dollars_per_tb } => {
-                bytes as f64 / 1e12 * dollars_per_tb
-            }
+            Pricing::PerTbScanned { dollars_per_tb } => bytes as f64 / 1e12 * dollars_per_tb,
             Pricing::FixedMonthly { .. } => 0.0,
         }
     }
@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn per_tb_cost_proportional() {
-        let p = Pricing::PerTbScanned { dollars_per_tb: 5.0 };
+        let p = Pricing::PerTbScanned {
+            dollars_per_tb: 5.0,
+        };
         assert_eq!(p.scan_cost(1_000_000_000_000), 5.0);
         assert_eq!(p.scan_cost(100_000_000_000), 0.5);
         // 10x fewer bytes, 10x lower cost — the §3 claim in miniature.
@@ -136,7 +138,9 @@ mod tests {
     #[test]
     fn meter_accumulates() {
         let m = CostMeter::new();
-        let p = Pricing::PerTbScanned { dollars_per_tb: 5.0 };
+        let p = Pricing::PerTbScanned {
+            dollars_per_tb: 5.0,
+        };
         m.record(&p, 2_000_000_000, 1000, 4);
         m.record(&p, 2_000_000_000, 1000, 4);
         assert_eq!(m.bytes(), 4_000_000_000);

@@ -187,7 +187,10 @@ mod tests {
             "iot_sample",
             table(100),
             "MainDatabase.readings",
-            vec!["Use the dataset readings".into(), "Sample 10% of the rows".into()],
+            vec![
+                "Use the dataset readings".into(),
+                "Sample 10% of the rows".into(),
+            ],
             Some(0.1),
         )
         .unwrap();
@@ -215,9 +218,7 @@ mod tests {
     #[test]
     fn duplicate_rejected() {
         let mut s = store_with_snap();
-        assert!(s
-            .create("iot_sample", table(1), "x", vec![], None)
-            .is_err());
+        assert!(s.create("iot_sample", table(1), "x", vec![], None).is_err());
     }
 
     #[test]

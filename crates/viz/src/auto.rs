@@ -31,11 +31,9 @@ pub enum ColumnRole {
 /// Classify a column: strings/bools and low-cardinality ints are
 /// categorical; dates are temporal; everything else numeric.
 pub fn classify(table: &Table, column: &str) -> Result<ColumnRole> {
-    let col = table
-        .column(column)
-        .map_err(|_| VizError::ColumnNotFound {
-            name: column.to_string(),
-        })?;
+    let col = table.column(column).map_err(|_| VizError::ColumnNotFound {
+        name: column.to_string(),
+    })?;
     Ok(match col.dtype() {
         DataType::Str | DataType::Bool => ColumnRole::Categorical,
         DataType::Date => ColumnRole::Temporal,
@@ -100,10 +98,7 @@ pub fn with_binned(table: &Table, column: &str, width: i64) -> Result<(Table, St
     let name = format!("{column}Int{width}");
     let binned = dc_engine::eval::eval(
         table,
-        &Expr::func(
-            ScalarFunc::Bin,
-            vec![Expr::col(column), Expr::lit(width)],
-        ),
+        &Expr::func(ScalarFunc::Bin, vec![Expr::col(column), Expr::lit(width)]),
     )?;
     Ok((table.with_column(&name, binned)?, name))
 }
@@ -205,8 +200,7 @@ pub fn auto_visualize(table: &Table, kpi: &str, by: &[String]) -> Result<Vec<Cha
             if charts.len() >= MAX_AUTO_CHARTS {
                 break;
             }
-            let (binned_table, bname) =
-                with_binned(table, g, choose_bin_width(table.column(g)?))?;
+            let (binned_table, bname) = with_binned(table, g, choose_bin_width(table.column(g)?))?;
             let counts = group_by(
                 &binned_table,
                 &[bname.as_str(), kpi],
@@ -228,14 +222,13 @@ pub fn auto_visualize(table: &Table, kpi: &str, by: &[String]) -> Result<Vec<Cha
 
     // 4. Bubble chart of the first grouper pair, sized by record count
     //    and colored by the KPI (numeric axes binned).
-    'bubble: for i in 0..roles.len() {
-        for j in (i + 1)..roles.len() {
-            if charts.len() >= MAX_AUTO_CHARTS {
-                break 'bubble;
-            }
+    // One bubble chart is enough for the answer set, so only the first
+    // pair is charted.
+    if let [first, second, ..] = roles[..] {
+        if charts.len() < MAX_AUTO_CHARTS {
             let mut work = table.clone();
             let mut axis_names: Vec<String> = Vec::new();
-            for (g, role) in [roles[i], roles[j]] {
+            for (g, role) in [first, second] {
                 if role == ColumnRole::Numeric {
                     let width = choose_bin_width(work.column(g)?);
                     let (t, name) = with_binned(&work, g, width)?;
@@ -265,7 +258,6 @@ pub fn auto_visualize(table: &Table, kpi: &str, by: &[String]) -> Result<Vec<Cha
                 for_each: None,
                 data: counts,
             });
-            break 'bubble; // one bubble chart is enough for the answer set
         }
     }
 
@@ -294,10 +286,14 @@ mod tests {
         for _ in 0..n {
             fault.push(rng.random_range(0i64..2));
             age.push((rng.random_range(0..10) > 0).then(|| rng.random_range(16i64..90)));
-            sex.push(
-                (rng.random_range(0..10) > 0)
-                    .then(|| if rng.random_range(0..2) == 0 { "male" } else { "female" }.to_string()),
-            );
+            sex.push((rng.random_range(0..10) > 0).then(|| {
+                if rng.random_range(0..2) == 0 {
+                    "male"
+                } else {
+                    "female"
+                }
+                .to_string()
+            }));
             cell.push(rng.random_range(0i64..2));
         }
         Table::new(vec![

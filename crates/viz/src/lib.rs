@@ -12,7 +12,9 @@ pub mod error;
 pub mod render;
 pub mod spec;
 
-pub use auto::{auto_visualize, choose_bin_width, classify, with_binned, ColumnRole, MAX_AUTO_CHARTS};
+pub use auto::{
+    auto_visualize, choose_bin_width, classify, with_binned, ColumnRole, MAX_AUTO_CHARTS,
+};
 pub use error::{Result, VizError};
 pub use render::render_ascii;
 pub use spec::{ChartSpec, ChartType};

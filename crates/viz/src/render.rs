@@ -1,7 +1,6 @@
 //! ASCII rendering of chart specs (the terminal stands in for the
 //! product's browser canvas; the *spec* is the artifact either way).
 
-
 use crate::error::{Result, VizError};
 use crate::spec::{ChartSpec, ChartType};
 
@@ -23,7 +22,12 @@ pub fn render_ascii(spec: &ChartSpec, width: usize) -> Result<String> {
 }
 
 fn header(spec: &ChartSpec) -> String {
-    format!("== {} [{}] ==\n{}\n", spec.name, spec.chart.display_name(), spec.title)
+    format!(
+        "== {} [{}] ==\n{}\n",
+        spec.name,
+        spec.chart.display_name(),
+        spec.title
+    )
 }
 
 /// Bars: one row per category, bar length proportional to the measure.
@@ -41,7 +45,10 @@ fn render_bars(spec: &ChartSpec, width: usize) -> Result<String> {
         .filter_map(|i| ycol.numeric_at(i))
         .fold(0.0f64, f64::max);
     let mut out = header(spec);
-    let label_w = (0..n).map(|i| xcol.get(i).render().len()).max().unwrap_or(1);
+    let label_w = (0..n)
+        .map(|i| xcol.get(i).render().len())
+        .max()
+        .unwrap_or(1);
     let bar_space = width.saturating_sub(label_w + 12).max(10);
     for i in 0..n {
         let label = xcol.get(i).render();
@@ -51,10 +58,7 @@ fn render_bars(spec: &ChartSpec, width: usize) -> Result<String> {
         } else {
             0
         };
-        out.push_str(&format!(
-            "{label:>label_w$} | {} {v}\n",
-            "#".repeat(len),
-        ));
+        out.push_str(&format!("{label:>label_w$} | {} {v}\n", "#".repeat(len),));
     }
     Ok(out)
 }
@@ -95,9 +99,12 @@ fn render_bubble(spec: &ChartSpec, _width: usize) -> Result<String> {
     let y = spec.y.as_deref().ok_or_else(|| VizError::NothingToPlot {
         message: "bubble chart needs a y column".into(),
     })?;
-    let size = spec.size.as_deref().ok_or_else(|| VizError::NothingToPlot {
-        message: "bubble chart needs a size column".into(),
-    })?;
+    let size = spec
+        .size
+        .as_deref()
+        .ok_or_else(|| VizError::NothingToPlot {
+            message: "bubble chart needs a size column".into(),
+        })?;
     let xcol = spec.data.column(x)?;
     let ycol = spec.data.column(y)?;
     let scol = spec.data.column(size)?;
@@ -163,7 +170,11 @@ fn render_bubble(spec: &ChartSpec, _width: usize) -> Result<String> {
         out.push_str(line.trim_end());
         out.push('\n');
     }
-    out.push_str(&format!("{:<label_w$} +{}\n", "", "-".repeat(xs.len() * col_w)));
+    out.push_str(&format!(
+        "{:<label_w$} +{}\n",
+        "",
+        "-".repeat(xs.len() * col_w)
+    ));
     // X labels, vertical-ish: print first chars.
     let mut label_line = format!("{:<label_w$}  ", "");
     for xname in &xs {
@@ -175,7 +186,10 @@ fn render_bubble(spec: &ChartSpec, _width: usize) -> Result<String> {
         out.push_str("legend (glyph family = color group, size = magnitude):\n");
         for (ci, c) in colors.iter().enumerate() {
             let fam = FAMILIES[ci % FAMILIES.len()];
-            out.push_str(&format!("  {} {} {} {}  {c}\n", fam[0], fam[1], fam[2], fam[3]));
+            out.push_str(&format!(
+                "  {} {} {} {}  {c}\n",
+                fam[0], fam[1], fam[2], fam[3]
+            ));
         }
     }
     Ok(out)
@@ -297,7 +311,10 @@ mod tests {
             size: None,
             for_each: None,
             data: Table::new(vec![
-                ("at_fault", Column::from_strs(vec!["at fault", "not at fault"])),
+                (
+                    "at_fault",
+                    Column::from_strs(vec!["at fault", "not at fault"]),
+                ),
                 ("n", Column::from_ints(vec![25, 75])),
             ])
             .unwrap(),
@@ -339,7 +356,10 @@ mod tests {
             for_each: Some("RecordType".into()),
             data: Table::new(vec![
                 ("t", Column::from_ints((0..10).collect())),
-                ("v", Column::from_floats((0..10).map(|i| i as f64).collect())),
+                (
+                    "v",
+                    Column::from_floats((0..10).map(|i| i as f64).collect()),
+                ),
                 (
                     "RecordType",
                     Column::from_strs(

@@ -127,7 +127,9 @@ mod tests {
         assert!(spec(ChartType::Histogram)
             .chat_line()
             .contains("histogram with the x-axis at_fault"));
-        assert!(spec(ChartType::Bubble).chat_line().contains("sized using: CountOfRecords"));
+        assert!(spec(ChartType::Bubble)
+            .chat_line()
+            .contains("sized using: CountOfRecords"));
         assert!(spec(ChartType::Line).chat_line().contains("line chart"));
         assert!(spec(ChartType::Violin).chat_line().contains("violin chart"));
     }

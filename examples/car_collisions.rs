@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &session,
         "Visualize at_fault by party_age, party_sex, cellphone_in_use",
     )?;
-    let charts = reply.output.as_charts().expect("visualize answers with charts");
+    let charts = reply
+        .output
+        .as_charts()
+        .expect("visualize answers with charts");
     println!("--- chat ---");
     println!("Here are {} charts to visualize the data\n", charts.len());
     for (i, chart) in charts.iter().enumerate() {

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Simulate carol racing bob by locking manually via a skill that
         // can't run (no permission path exists to hold the lock from
         // here), so demonstrate the error type directly:
-        datachat::collab::CollabError::SessionBusy { session: ann.session.id }
+        datachat::collab::CollabError::SessionBusy {
+            session: ann.session.id,
+        }
     };
     println!("\nconcurrent request answer: \"{carol_err}\"");
 
@@ -66,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         datachat::collab::LinkIssuer::url(&link)
     );
     let shared = platform.open_shared(&link.key, &link.secret)?;
-    println!("link opens artifact {:?} with its recipe attached", shared.name);
+    println!(
+        "link opens artifact {:?} with its recipe attached",
+        shared.name
+    );
     assert!(platform.open_shared(&link.key, "wrong-secret").is_err());
 
     // 5. Present on an Insights Board.

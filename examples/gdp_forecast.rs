@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|o| o.as_charts())
         .expect("the last step plots a chart");
     let chart = &charts[0];
-    println!("\n--- {} ---", "Real Per Capita GDP over time: Actual vs Prediction");
+    println!("\n--- Real Per Capita GDP over time: Actual vs Prediction ---");
     println!("{}", render_ascii(chart, 76)?);
     println!(
         "The '+' series projects the pre-2020 trend; the '*' series is actual.\n\

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sales = demo::sales(400, 7);
     let schema = SchemaHints::single(
         "sales",
-        sales.schema().names().iter().map(|s| s.to_string()).collect(),
+        sales
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
 
     // The default stack with the sales-demo semantic layer. The oracle

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Save the result; the artifact carries its sliced recipe.
     let artifact = platform.save_artifact(&session, "conversion-analysis")?;
-    println!("--- artifact recipe ({} steps) ---", artifact.recipe_gel().len());
+    println!(
+        "--- artifact recipe ({} steps) ---",
+        artifact.recipe_gel().len()
+    );
     for (i, line) in artifact.recipe_gel().iter().enumerate() {
         println!("{:>2}. {line}", i + 1);
     }

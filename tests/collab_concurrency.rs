@@ -106,13 +106,16 @@ fn sequential_retries_succeed_after_busy() {
     });
     let session = Session::new(9, "ann");
     session
-        .submit("ann", SkillCall::LoadFile { path: "d.csv".into() })
+        .submit(
+            "ann",
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+        )
         .unwrap();
     // After any rejected attempt the lock is free again; a retry works.
     for _ in 0..3 {
-        session
-            .submit("ann", SkillCall::Limit { n: 1 })
-            .unwrap();
+        session.submit("ann", SkillCall::Limit { n: 1 }).unwrap();
     }
     assert_eq!(session.log().len(), 4);
 }

@@ -40,7 +40,9 @@ fn simple_value() -> impl Strategy<Value = Value> {
 
 fn skill_call() -> impl Strategy<Value = SkillCall> {
     prop_oneof![
-        ident().prop_map(|path| SkillCall::LoadFile { path: format!("{path}.csv") }),
+        ident().prop_map(|path| SkillCall::LoadFile {
+            path: format!("{path}.csv")
+        }),
         (ident(), -1000i64..1000).prop_map(|(c, v)| SkillCall::KeepRows {
             predicate: Expr::col(c).gt(Expr::lit(v)),
         }),
@@ -48,23 +50,25 @@ fn skill_call() -> impl Strategy<Value = SkillCall> {
             columns.dedup();
             SkillCall::KeepColumns { columns }
         }),
-        (ident(), ident()).prop_filter("distinct names", |(a, b)| a != b).prop_map(
-            |(from, to)| SkillCall::RenameColumn { from, to },
-        ),
+        (ident(), ident())
+            .prop_filter("distinct names", |(a, b)| a != b)
+            .prop_map(|(from, to)| SkillCall::RenameColumn { from, to },),
         (agg_func(), ident(), ident()).prop_map(|(func, col, key)| {
             let column = (func != AggFunc::CountRecords).then_some(col.clone());
             let output = AggSpec::default_output(func, column.as_deref());
             SkillCall::Compute {
-                aggs: vec![AggSpec { func, column, output }],
+                aggs: vec![AggSpec {
+                    func,
+                    column,
+                    output,
+                }],
                 for_each: vec![key],
             }
         }),
         (1usize..1000).prop_map(|n| SkillCall::Limit { n }),
         (ident(), 1usize..100).prop_map(|(column, n)| SkillCall::Top { column, n }),
-        (ident(), simple_value()).prop_map(|(column, value)| SkillCall::FillMissing {
-            column,
-            value,
-        }),
+        (ident(), simple_value())
+            .prop_map(|(column, value)| SkillCall::FillMissing { column, value }),
         (ident(), 1i64..100).prop_map(|(column, width)| SkillCall::BinColumn {
             column,
             width,
@@ -76,10 +80,7 @@ fn skill_call() -> impl Strategy<Value = SkillCall> {
             seed,
         }),
         ident().prop_map(|name| SkillCall::SaveArtifact { name }),
-        (ident(), ident()).prop_map(|(phrase, expansion)| SkillCall::Define {
-            phrase,
-            expansion,
-        }),
+        (ident(), ident()).prop_map(|(phrase, expansion)| SkillCall::Define { phrase, expansion }),
     ]
 }
 
@@ -131,7 +132,7 @@ proptest! {
         let text: String = recipe
             .steps()
             .iter()
-            .map(|c| format_skill(c))
+            .map(format_skill)
             .collect::<Vec<_>>()
             .join("\n");
         let reparsed = datachat::gel::Recipe::parse(&text).unwrap();

@@ -36,7 +36,10 @@ fn figure1_interactive_session() {
     h.run_gel("Load the table parties from the database MainDatabase")
         .unwrap();
     let reply = p
-        .chat(&h, "Visualize at_fault by party_age, party_sex, cellphone_in_use")
+        .chat(
+            &h,
+            "Visualize at_fault by party_age, party_sex, cellphone_in_use",
+        )
         .unwrap();
     let charts = reply.output.as_charts().unwrap();
     assert_eq!(charts.len(), 6);
@@ -127,7 +130,8 @@ fn artifact_lifecycle_save_share_refresh() {
     let h = p.open_session("ann");
     h.run_gel("Load the table victims from the database MainDatabase")
         .unwrap();
-    h.run_gel("Keep the rows where victim_age is not null").unwrap();
+    h.run_gel("Keep the rows where victim_age is not null")
+        .unwrap();
     h.run_gel("Compute the count of records for each victim_degree_of_injury")
         .unwrap();
 
@@ -142,7 +146,10 @@ fn artifact_lifecycle_save_share_refresh() {
     let link = p
         .share_artifact_link("injury-histogram", datachat::collab::Permission::View)
         .unwrap();
-    assert_eq!(p.open_shared(&link.key, &link.secret).unwrap().name, "injury-histogram");
+    assert_eq!(
+        p.open_shared(&link.key, &link.secret).unwrap().name,
+        "injury-histogram"
+    );
 
     assert_eq!(p.refresh_artifact("injury-histogram").unwrap(), 2);
 }
@@ -158,7 +165,9 @@ fn sql_skill_against_catalog_matches_engine_ops() {
     h.run_gel("Load the table parties from the database MainDatabase")
         .unwrap();
     let via_skills = h
-        .run_gel("Compute the count of records for each party_sobriety and call the computed columns n")
+        .run_gel(
+            "Compute the count of records for each party_sobriety and call the computed columns n",
+        )
         .unwrap();
     let skills_table = via_skills.as_table().unwrap();
     assert_eq!(sql_table.num_rows(), skills_table.num_rows());
@@ -191,14 +200,29 @@ fn snapshot_flow_reduces_cloud_cost() {
     h.run_gel("Load the table parties from the database MainDatabase")
         .unwrap();
     h.run_gel("Snapshot this as parties_snap").unwrap();
-    let before = p.env(|env| env.catalog.database("MainDatabase").unwrap().meter().dollars());
+    let before = p.env(|env| {
+        env.catalog
+            .database("MainDatabase")
+            .unwrap()
+            .meter()
+            .dollars()
+    });
     // Iterate on the snapshot: no further cloud scans.
     for _ in 0..5 {
         h.run_gel("Use the snapshot parties_snap").unwrap();
         h.run_gel("Keep the first 10 rows").unwrap();
     }
-    let after = p.env(|env| env.catalog.database("MainDatabase").unwrap().meter().dollars());
-    assert_eq!(before, after, "snapshot iteration must not touch the cloud meter");
+    let after = p.env(|env| {
+        env.catalog
+            .database("MainDatabase")
+            .unwrap()
+            .meter()
+            .dollars()
+    });
+    assert_eq!(
+        before, after,
+        "snapshot iteration must not touch the cloud meter"
+    );
 }
 
 #[test]
@@ -213,7 +237,9 @@ fn multi_turn_decomposition_of_a_complex_question() {
     p.chat(&h, "Load the table parties from the database MainDatabase")
         .unwrap();
     // Turn 1: narrow.
-    let r1 = p.chat(&h, "Keep the rows where party_age is not null").unwrap();
+    let r1 = p
+        .chat(&h, "Keep the rows where party_age is not null")
+        .unwrap();
     let narrowed = r1.output.as_table().unwrap().num_rows();
     // Turn 2: aggregate what turn 1 produced.
     let r2 = p
@@ -221,7 +247,13 @@ fn multi_turn_decomposition_of_a_complex_question() {
         .unwrap();
     let grouped = r2.output.as_table().unwrap();
     let total: i64 = (0..grouped.num_rows())
-        .map(|r| grouped.value(r, "CountOfRecords").unwrap().as_i64().unwrap())
+        .map(|r| {
+            grouped
+                .value(r, "CountOfRecords")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        })
         .sum();
     assert_eq!(total as usize, narrowed, "turn 2 consumed turn 1's result");
     // Turn 3: the recipe so far is visible and editable as a DAG.

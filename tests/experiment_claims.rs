@@ -11,11 +11,15 @@ use datachat::storage::{demo, CloudDatabase, Pricing, ScanOptions};
 #[test]
 fn sec3_block_sampling_cost_proportionality() {
     let mut db = CloudDatabase::new("c", Pricing::default_cloud());
-    db.create_table("iot", &demo::iot_readings(100_000, 3)).unwrap();
+    db.create_table("iot", &demo::iot_readings(100_000, 3))
+        .unwrap();
     let (_, full) = db.scan("iot", &ScanOptions::full()).unwrap();
     let (_, sampled) = db.scan("iot", &ScanOptions::block_sampled(0.1, 5)).unwrap();
     let ratio = full.bytes_scanned as f64 / sampled.bytes_scanned as f64;
-    assert!((5.0..20.0).contains(&ratio), "10% sample ratio = {ratio:.1}");
+    assert!(
+        (5.0..20.0).contains(&ratio),
+        "10% sample ratio = {ratio:.1}"
+    );
     // Row sampling scans everything (the §3 contrast).
     let (_, rowwise) = db.scan("iot", &ScanOptions::row_sampled(0.1, 5)).unwrap();
     assert_eq!(rowwise.bytes_scanned, full.bytes_scanned);
@@ -34,10 +38,18 @@ fn sec22_flattening_reduces_blocks_and_rows() {
         .unwrap(),
     );
     let steps = vec![
-        QueryStep::Scan { table: "base_table".into() },
-        QueryStep::SelectColumns { columns: vec!["a".into(), "b".into(), "c".into()] },
-        QueryStep::SelectColumns { columns: vec!["a".into(), "b".into()] },
-        QueryStep::SelectColumns { columns: vec!["a".into()] },
+        QueryStep::Scan {
+            table: "base_table".into(),
+        },
+        QueryStep::SelectColumns {
+            columns: vec!["a".into(), "b".into(), "c".into()],
+        },
+        QueryStep::SelectColumns {
+            columns: vec!["a".into(), "b".into()],
+        },
+        QueryStep::SelectColumns {
+            columns: vec!["a".into()],
+        },
     ];
     let nested = generate_sql(&steps, false).unwrap();
     let flat = generate_sql(&steps, true).unwrap();
@@ -56,13 +68,18 @@ fn fig4_three_skills_one_task() {
     let mut dag = SkillDag::new();
     let l = dag
         .add(
-            SkillCall::LoadTable { database: "db".into(), table: "t".into() },
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
             vec![],
         )
         .unwrap();
     let f = dag
         .add(
-            SkillCall::KeepRows { predicate: Expr::col("x").gt(Expr::lit(1i64)) },
+            SkillCall::KeepRows {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
             vec![l],
         )
         .unwrap();
@@ -77,24 +94,36 @@ fn fig5_slicing_shrinks_exploratory_dags() {
     let mut dag = SkillDag::new();
     let l = dag
         .add(
-            SkillCall::LoadTable { database: "db".into(), table: "t".into() },
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
             vec![],
         )
         .unwrap();
     let _peek = dag.add(SkillCall::DescribeDataset, vec![l]).unwrap();
     let dead = dag
-        .add(SkillCall::Sort { keys: vec![("x".into(), true)] }, vec![l])
+        .add(
+            SkillCall::Sort {
+                keys: vec![("x".into(), true)],
+            },
+            vec![l],
+        )
         .unwrap();
     let _dead2 = dag.add(SkillCall::Limit { n: 5 }, vec![dead]).unwrap();
     let f1 = dag
         .add(
-            SkillCall::KeepRows { predicate: Expr::col("x").gt(Expr::lit(1i64)) },
+            SkillCall::KeepRows {
+                predicate: Expr::col("x").gt(Expr::lit(1i64)),
+            },
             vec![l],
         )
         .unwrap();
     let f2 = dag
         .add(
-            SkillCall::KeepRows { predicate: Expr::col("y").lt(Expr::lit(5i64)) },
+            SkillCall::KeepRows {
+                predicate: Expr::col("y").lt(Expr::lit(5i64)),
+            },
             vec![f1],
         )
         .unwrap();
@@ -116,7 +145,12 @@ fn fig7_zone_marginals_and_table2_stratification() {
     let hist = zone_histogram(&custom);
     let count = |z: Zone| hist.iter().find(|(h, _)| *h == z).unwrap().1;
     assert_eq!(
-        (count(Zone::LowLow), count(Zone::LowHigh), count(Zone::HighLow), count(Zone::HighHigh)),
+        (
+            count(Zone::LowLow),
+            count(Zone::LowHigh),
+            count(Zone::HighLow),
+            count(Zone::HighHigh)
+        ),
         (20, 22, 26, 22)
     );
 }
@@ -146,7 +180,13 @@ fn snapshots_make_iteration_free() {
     let mut store = datachat::storage::SnapshotStore::new();
     let data = demo::sales(1_000, 1);
     store
-        .create("s", data, "cloud.sales", vec!["Use the dataset sales".into()], None)
+        .create(
+            "s",
+            data,
+            "cloud.sales",
+            vec!["Use the dataset sales".into()],
+            None,
+        )
         .unwrap();
     for _ in 0..10 {
         store.read("s").unwrap();

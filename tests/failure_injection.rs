@@ -12,10 +12,7 @@ fn malformed_csv_fails_typed_and_recoverably() {
     let mut env = Env::new();
     env.add_file("bad.csv", "a,b\n1\n"); // ragged row
     env.add_file("good.csv", "a,b\n1,2\n");
-    let recipe = Recipe::parse(
-        "Load data from the file bad.csv\nKeep the first 1 rows",
-    )
-    .unwrap();
+    let recipe = Recipe::parse("Load data from the file bad.csv\nKeep the first 1 rows").unwrap();
     let mut ed = RecipeEditor::new(recipe);
     let err = ed.step(&mut env).unwrap_err();
     assert!(matches!(err, GelError::Skill(SkillError::Engine(_))));
@@ -95,19 +92,14 @@ fn engine_expression_errors_are_typed() {
     use datachat::engine::{Column, Expr, ScalarFunc, Table};
     let t = Table::new(vec![("s", Column::from_strs(vec!["a"]))]).unwrap();
     // Numeric function over a string column.
-    let err =
-        datachat::engine::eval::eval(&t, &Expr::func(ScalarFunc::Sqrt, vec![Expr::col("s")]))
-            .unwrap_err();
+    let err = datachat::engine::eval::eval(&t, &Expr::func(ScalarFunc::Sqrt, vec![Expr::col("s")]))
+        .unwrap_err();
     assert!(matches!(
         err,
         datachat::engine::EngineError::TypeMismatch { .. }
     ));
     // Comparing incomparable types.
-    let err = datachat::engine::eval::eval(
-        &t,
-        &Expr::col("s").gt(Expr::lit(1i64)),
-    )
-    .unwrap_err();
+    let err = datachat::engine::eval::eval(&t, &Expr::col("s").gt(Expr::lit(1i64))).unwrap_err();
     assert!(matches!(err, datachat::engine::EngineError::Eval { .. }));
 }
 
@@ -127,11 +119,18 @@ fn executor_error_does_not_poison_the_cache() {
     env.add_file("d.csv", "x\n1\n2\n");
     let mut dag = SkillDag::new();
     let load = dag
-        .add(SkillCall::LoadFile { path: "d.csv".into() }, vec![])
+        .add(
+            SkillCall::LoadFile {
+                path: "d.csv".into(),
+            },
+            vec![],
+        )
         .unwrap();
     let bad = dag
         .add(
-            SkillCall::KeepColumns { columns: vec!["ghost".into()] },
+            SkillCall::KeepColumns {
+                columns: vec!["ghost".into()],
+            },
             vec![load],
         )
         .unwrap();
@@ -141,5 +140,8 @@ fn executor_error_does_not_poison_the_cache() {
     // The shared load result is still usable afterwards.
     let out = ex.run(&dag, good, &mut env).unwrap();
     assert_eq!(out.as_table().unwrap().num_rows(), 1);
-    assert!(ex.stats.cache_hits >= 1, "load was cached despite the error");
+    assert!(
+        ex.stats.cache_hits >= 1,
+        "load was cached despite the error"
+    );
 }

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace benches use — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock measurement loop (warmup + N samples,
+//! reporting the median per-iteration time). Statistical rigor is traded for
+//! zero dependencies; trends across runs are still meaningful.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported inhibitor so `criterion::black_box` call sites compile.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+/// Benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_samples(self.sample_size, &mut f);
+        report(&self.name, id, &stats);
+        self
+    }
+
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let stats = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        report(&self.name, &id.id, &stats);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Vec<Duration> {
+    // Warmup run, also used to size the inner iteration count so fast
+    // closures are measured over enough iterations to rise above timer noise.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(10);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        out.push(b.elapsed / iters as u32);
+    }
+    out.sort_unstable();
+    out
+}
+
+fn report(group: &str, id: &str, sorted: &[Duration]) {
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{group}/{id}: median {median:?} (min {lo:?}, max {hi:?}, {} samples)",
+        sorted.len()
+    );
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sized", 5usize), &5usize, |b, &n| {
+            b.iter(|| (0..n).count())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
