@@ -128,6 +128,31 @@ impl Platform {
         Ok(())
     }
 
+    /// Enable deterministic fault injection across every catalog database
+    /// and the snapshot store, returning the shared injector handle (for
+    /// [`dc_storage::FaultInjector::stats`]). Call after the databases
+    /// under test are attached — later additions are not covered.
+    pub fn enable_fault_injection(
+        &self,
+        config: dc_storage::FaultConfig,
+    ) -> std::sync::Arc<dc_storage::FaultInjector> {
+        let injector = std::sync::Arc::new(dc_storage::FaultInjector::new(config));
+        with_env(|env| {
+            env.catalog.set_fault_injector(&injector);
+            env.snapshots
+                .set_fault_injector(std::sync::Arc::clone(&injector));
+        });
+        injector
+    }
+
+    /// Disable fault injection everywhere.
+    pub fn disable_fault_injection(&self) {
+        with_env(|env| {
+            env.catalog.clear_fault_injector();
+            env.snapshots.clear_fault_injector();
+        });
+    }
+
     /// Open a session for a user.
     pub fn open_session(&mut self, user: impl Into<String>) -> SessionHandle {
         let user = user.into();
@@ -401,6 +426,24 @@ mod tests {
             p.board("Q3 readout").unwrap().artifact_names(),
             vec!["all-parties"]
         );
+    }
+
+    #[test]
+    fn fault_injection_covers_catalog_and_snapshots() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        let inj = p.enable_fault_injection(dc_storage::FaultConfig {
+            scan_transient_p: 1.0,
+            ..dc_storage::FaultConfig::disabled()
+        });
+        let err = p
+            .chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap_err();
+        assert!(err.to_string().contains("transient"), "got: {err}");
+        assert!(inj.stats().transient_injected >= 1);
+        p.disable_fault_injection();
+        p.chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
     }
 
     #[test]

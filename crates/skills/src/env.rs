@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use dc_engine::Table;
 use dc_ml::Model;
-use dc_storage::{Catalog, SnapshotStore};
+use dc_storage::{CancelToken, Catalog, SnapshotStore};
 
 use crate::error::{Result, SkillError};
 
@@ -21,6 +21,10 @@ pub struct Env {
     pub catalog: Catalog,
     /// The fixed-cost local snapshot store.
     pub snapshots: SnapshotStore,
+    /// Cooperative-cancellation handle threaded into storage scans. The
+    /// resilient executor arms it with each node's wall-clock budget;
+    /// unarmed it never fires.
+    pub cancel: CancelToken,
     /// Virtual filesystem: path → CSV text.
     files: HashMap<String, String>,
     /// Virtual network: URL → CSV text.

@@ -17,6 +17,13 @@ pub enum SkillError {
     InvalidArgument { message: String },
     /// A skill produced the wrong kind of output for its consumer.
     WrongOutputKind { expected: String, actual: String },
+    /// A node exceeded its wall-clock budget. Retryable: slow attempts
+    /// are usually transient (a stalled block, a throttled scan).
+    Timeout { skill: String, budget_ms: u64 },
+    /// A skill panicked; the panic was caught at the node boundary so it
+    /// poisons only this node, never the scheduler. Not retryable — a
+    /// panic is a bug, not weather.
+    Panic { skill: String, message: String },
     /// Propagated engine failure.
     Engine(dc_engine::EngineError),
     /// Propagated storage failure.
@@ -24,9 +31,9 @@ pub enum SkillError {
     /// Propagated SQL failure.
     Sql(dc_sql::SqlError),
     /// Propagated ML failure.
-    Ml(String),
+    Ml(dc_ml::MlError),
     /// Propagated visualization failure.
-    Viz(String),
+    Viz(dc_viz::VizError),
 }
 
 impl SkillError {
@@ -34,6 +41,19 @@ impl SkillError {
     pub fn invalid(message: impl Into<String>) -> Self {
         SkillError::InvalidArgument {
             message: message.into(),
+        }
+    }
+
+    /// Whether retrying the failed node can plausibly succeed. The
+    /// taxonomy threads up from the storage layer: transient storage
+    /// faults (directly or via SQL) and timeouts are retryable; logic
+    /// errors, panics, and hard outages are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SkillError::Storage(e) => e.is_retryable(),
+            SkillError::Sql(e) => e.is_retryable(),
+            SkillError::Timeout { .. } => true,
+            _ => false,
         }
     }
 }
@@ -49,16 +69,33 @@ impl fmt::Display for SkillError {
             SkillError::WrongOutputKind { expected, actual } => {
                 write!(f, "expected {expected} output, got {actual}")
             }
+            SkillError::Timeout { skill, budget_ms } => {
+                write!(f, "skill {skill} exceeded its {budget_ms}ms budget")
+            }
+            SkillError::Panic { skill, message } => {
+                write!(f, "skill {skill} panicked: {message}")
+            }
             SkillError::Engine(e) => write!(f, "engine error: {e}"),
             SkillError::Storage(e) => write!(f, "storage error: {e}"),
             SkillError::Sql(e) => write!(f, "sql error: {e}"),
-            SkillError::Ml(m) => write!(f, "ml error: {m}"),
-            SkillError::Viz(m) => write!(f, "viz error: {m}"),
+            SkillError::Ml(e) => write!(f, "ml error: {e}"),
+            SkillError::Viz(e) => write!(f, "viz error: {e}"),
         }
     }
 }
 
-impl std::error::Error for SkillError {}
+impl std::error::Error for SkillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SkillError::Engine(e) => Some(e),
+            SkillError::Storage(e) => Some(e),
+            SkillError::Sql(e) => Some(e),
+            SkillError::Ml(e) => Some(e),
+            SkillError::Viz(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<dc_engine::EngineError> for SkillError {
     fn from(e: dc_engine::EngineError) -> Self {
@@ -75,6 +112,16 @@ impl From<dc_sql::SqlError> for SkillError {
         SkillError::Sql(e)
     }
 }
+impl From<dc_ml::MlError> for SkillError {
+    fn from(e: dc_ml::MlError) -> Self {
+        SkillError::Ml(e)
+    }
+}
+impl From<dc_viz::VizError> for SkillError {
+    fn from(e: dc_viz::VizError) -> Self {
+        SkillError::Viz(e)
+    }
+}
 
 /// Result alias for the skills crate.
 pub type Result<T> = std::result::Result<T, SkillError>;
@@ -82,6 +129,7 @@ pub type Result<T> = std::result::Result<T, SkillError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_variants() {
@@ -91,5 +139,63 @@ mod tests {
             .contains("d"));
         let e: SkillError = dc_engine::EngineError::column_not_found("c").into();
         assert!(e.to_string().contains("engine"));
+    }
+
+    #[test]
+    fn source_chain_is_preserved() {
+        // Storage → skill keeps the storage error reachable via source().
+        let e: SkillError = dc_storage::StorageError::SnapshotNotFound { name: "s".into() }.into();
+        let src = e.source().expect("storage source");
+        assert!(src.to_string().contains("snapshot not found"));
+        // ML and viz errors are structured, not flattened strings.
+        let e: SkillError = dc_ml::MlError::invalid("bad k").into();
+        assert!(e.source().unwrap().to_string().contains("bad k"));
+        let e: SkillError = dc_viz::VizError::ColumnNotFound { name: "x".into() }.into();
+        assert!(e.source().unwrap().to_string().contains("x"));
+        // SQL provider errors chain two levels deep: skill → sql → cause.
+        let e: SkillError =
+            dc_sql::SqlError::provider(dc_engine::EngineError::column_not_found("c"), true).into();
+        let sql_src = e.source().expect("sql source");
+        assert!(sql_src
+            .source()
+            .expect("provider source")
+            .to_string()
+            .contains("c"));
+    }
+
+    #[test]
+    fn retryable_taxonomy_threads_through() {
+        let transient: SkillError = dc_storage::StorageError::Transient {
+            operation: "scan".into(),
+            message: "flaky".into(),
+        }
+        .into();
+        assert!(transient.is_retryable());
+        let outage: SkillError = dc_storage::StorageError::Unavailable {
+            operation: "scan".into(),
+            message: "down".into(),
+        }
+        .into();
+        assert!(!outage.is_retryable());
+        let via_sql: SkillError = dc_sql::SqlError::provider(
+            dc_storage::StorageError::Transient {
+                operation: "scan".into(),
+                message: "flaky".into(),
+            },
+            true,
+        )
+        .into();
+        assert!(via_sql.is_retryable());
+        assert!(SkillError::Timeout {
+            skill: "KeepRows".into(),
+            budget_ms: 50
+        }
+        .is_retryable());
+        assert!(!SkillError::Panic {
+            skill: "KeepRows".into(),
+            message: "boom".into()
+        }
+        .is_retryable());
+        assert!(!SkillError::invalid("x").is_retryable());
     }
 }

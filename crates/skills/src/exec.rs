@@ -76,7 +76,9 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
         LoadUrl { url } => Ok(SkillOutput::Table(read_csv(env.url(url)?)?)),
         LoadTable { database, table } => {
             let db = env.catalog.database(database)?;
-            let (data, _receipt) = db.scan(table, &ScanOptions::full())?;
+            let mut opts = ScanOptions::full();
+            opts.cancel = Some(env.cancel.clone());
+            let (data, _receipt) = db.scan(table, &opts)?;
             Ok(SkillOutput::Table(data))
         }
         UseDataset { name, .. } if inputs.is_empty() => {
@@ -120,15 +122,14 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             } else {
                 features.clone()
             };
-            let model = train_model(t, name.clone(), target, &features, *method)
-                .map_err(|e| SkillError::Ml(e.to_string()))?;
+            let model = train_model(t, name.clone(), target, &features, *method)?;
             env.put_model(model.clone());
             Ok(SkillOutput::Model(model))
         }
         Predict { model } => {
             let t = primary()?;
             let m = env.model(model)?.clone();
-            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let preds = predict(&m, t)?;
             let name = format!("Predicted_{}", m.target);
             let name = t.schema().fresh_name(&name);
             Ok(SkillOutput::Table(t.with_column(&name, preds)?))
@@ -136,7 +137,7 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
         EvaluateModel { model, target } => {
             let t = primary()?;
             let m = env.model(model)?.clone();
-            let preds = predict(&m, t).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let preds = predict(&m, t)?;
             let actual_col = t.column(target)?;
             match m.kind {
                 ModelKind::Regression(_) => {
@@ -150,12 +151,9 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
                             p.push(pv);
                         }
                     }
-                    let rmse =
-                        dc_ml::metrics::rmse(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
-                    let mae =
-                        dc_ml::metrics::mae(&a, &p).map_err(|e| SkillError::Ml(e.to_string()))?;
-                    let r2 = dc_ml::metrics::r_squared(&a, &p)
-                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let rmse = dc_ml::metrics::rmse(&a, &p)?;
+                    let mae = dc_ml::metrics::mae(&a, &p)?;
+                    let r2 = dc_ml::metrics::r_squared(&a, &p)?;
                     Ok(SkillOutput::Table(Table::new(vec![
                         (
                             "metric",
@@ -175,8 +173,7 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
                             p.push(pv.render());
                         }
                     }
-                    let acc = dc_ml::metrics::accuracy(&a, &p)
-                        .map_err(|e| SkillError::Ml(e.to_string()))?;
+                    let acc = dc_ml::metrics::accuracy(&a, &p)?;
                     Ok(SkillOutput::Table(Table::new(vec![
                         ("metric", Column::from_strs(vec!["accuracy"])),
                         ("value", Column::from_floats(vec![acc])),
@@ -267,8 +264,7 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
 
         // ----- visualization -----
         Visualize { kpi, by } => {
-            let charts =
-                auto_visualize(primary()?, kpi, by).map_err(|e| SkillError::Viz(e.to_string()))?;
+            let charts = auto_visualize(primary()?, kpi, by)?;
             Ok(SkillOutput::Charts(charts))
         }
         Plot {
@@ -506,8 +502,7 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
             let t = primary()?;
             let col = t.column(column)?;
             let vals: Vec<Option<f64>> = (0..col.len()).map(|i| col.numeric_at(i)).collect();
-            let flags =
-                detect_outliers(&vals, *method).map_err(|e| SkillError::Ml(e.to_string()))?;
+            let flags = detect_outliers(&vals, *method)?;
             let name = t.schema().fresh_name(&format!("IsOutlier_{column}"));
             Ok(SkillOutput::Table(
                 t.with_column(&name, Column::from_bools(flags))?,
@@ -532,10 +527,8 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
                 points.push(p);
                 kept.push(r);
             }
-            let model = fit_kmeans(&points, *k, 42).map_err(|e| SkillError::Ml(e.to_string()))?;
-            let labels = model
-                .predict(&points)
-                .map_err(|e| SkillError::Ml(e.to_string()))?;
+            let model = fit_kmeans(&points, *k, 42)?;
+            let labels = model.predict(&points)?;
             let mut col_vals: Vec<Option<i64>> = vec![None; t.num_rows()];
             for (&r, &l) in kept.iter().zip(&labels) {
                 col_vals[r] = Some(l as i64);
@@ -589,7 +582,10 @@ fn predict_time_series(
         .filter_map(|i| time_col.numeric_at(i))
         .collect();
     if times.len() < 3 {
-        return Err(SkillError::Ml("need at least 3 time points".into()));
+        return Err(SkillError::Ml(dc_ml::MlError::InsufficientData {
+            needed: 3,
+            got: times.len(),
+        }));
     }
     // Median spacing.
     let mut deltas: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
@@ -657,7 +653,7 @@ fn predict_time_series(
             })
             .collect();
         let period = if series.len() > 2 * period { period } else { 1 };
-        let model = fit_time_series(&series, period).map_err(|e| SkillError::Ml(e.to_string()))?;
+        let model = fit_time_series(&series, period)?;
         let preds = model.forecast(horizon);
         out.add_column(m, Column::from_floats(preds))?;
     }
@@ -680,9 +676,10 @@ impl dc_sql::TableProvider for CatalogProvider<'_> {
                     .iter()
                     .any(|t| t.eq_ignore_ascii_case(name))
                 {
-                    let (t, _) = db
-                        .scan(name, &ScanOptions::full())
-                        .map_err(|e| dc_sql::SqlError::plan(e.to_string()))?;
+                    let (t, _) = db.scan(name, &ScanOptions::full()).map_err(|e| {
+                        let retryable = e.is_retryable();
+                        dc_sql::SqlError::provider(e, retryable)
+                    })?;
                     return Ok(t);
                 }
             }
@@ -698,11 +695,14 @@ impl dc_sql::TableProvider for CatalogProvider<'_> {
 pub struct ExecutorStats {
     pub nodes_executed: u64,
     pub cache_hits: u64,
+    /// Extra attempts spent absorbing retryable failures (resilient
+    /// execution only; [`Executor::run`] never retries).
+    pub retries: u64,
 }
 
 /// Interned identity of one sub-DAG (a call plus the identities of the
 /// sub-DAGs feeding it).
-type SubDagId = u64;
+pub(crate) type SubDagId = u64;
 
 /// Structural cache-key signature: the canonical call description plus
 /// the interned ids of the input sub-DAGs.
@@ -712,13 +712,13 @@ type SubDagId = u64;
 /// input groupings can never alias — `T(M(p, q))` and `T(M(p), q)`
 /// render to the same legacy string but intern to different signatures.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct KeySig {
-    call: String,
-    inputs: Vec<SubDagId>,
+pub(crate) struct KeySig {
+    pub(crate) call: String,
+    pub(crate) inputs: Vec<SubDagId>,
 }
 
 /// Instrumentation callback invoked just before a node executes.
-type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
+pub(crate) type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
 
 /// Executes DAG nodes with a sub-DAG result cache (§2.2: "the conversion
 /// of skill calls to execution tasks is also aware of a caching layer
@@ -734,13 +734,13 @@ type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
 #[derive(Default)]
 pub struct Executor {
     /// Structural signature → interned sub-DAG id.
-    interner: HashMap<KeySig, SubDagId>,
+    pub(crate) interner: HashMap<KeySig, SubDagId>,
     /// Interned id → (output, downstream-facing table).
-    cache: HashMap<SubDagId, (SkillOutput, Arc<Table>)>,
+    pub(crate) cache: HashMap<SubDagId, (SkillOutput, Arc<Table>)>,
     pub stats: ExecutorStats,
-    /// Test instrumentation (e.g. to make specific nodes slow and assert
-    /// that independent nodes overlap).
-    before_execute: Option<BeforeExecuteHook>,
+    /// Test/chaos instrumentation (e.g. to make specific nodes slow or
+    /// panic on demand).
+    pub(crate) before_execute: Option<BeforeExecuteHook>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -774,19 +774,22 @@ impl Executor {
         Ok(Arc::clone(&self.cache[&id].1))
     }
 
-    #[cfg(all(test, feature = "parallel"))]
-    fn set_before_execute(&mut self, hook: impl Fn(&SkillCall) + Send + Sync + 'static) {
+    /// Install an instrumentation hook invoked just before every node
+    /// executes (on whichever thread runs the node). Tests use it to make
+    /// nodes slow; the chaos harness uses it to make nodes panic.
+    pub fn set_before_execute(&mut self, hook: impl Fn(&SkillCall) + Send + Sync + 'static) {
         self.before_execute = Some(Arc::new(hook));
     }
 
-    /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
-    fn materialize(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SubDagId> {
-        let order = dag.ancestors(target)?;
-
-        // Intern a structural id for every node in the slice. Insertion
-        // order is topological, so input ids are always present.
+    /// Intern a structural id for every node in the topologically ordered
+    /// slice `order`. Insertion order guarantees input ids are present.
+    pub(crate) fn intern_ids(
+        &mut self,
+        dag: &SkillDag,
+        order: &[NodeId],
+    ) -> Result<HashMap<NodeId, SubDagId>> {
         let mut ids: HashMap<NodeId, SubDagId> = HashMap::with_capacity(order.len());
-        for &nid in &order {
+        for &nid in order {
             let node = dag.node(nid)?;
             let sig = KeySig {
                 call: node.call.cache_key(),
@@ -795,6 +798,13 @@ impl Executor {
             let next = self.interner.len() as SubDagId;
             ids.insert(nid, *self.interner.entry(sig).or_insert(next));
         }
+        Ok(ids)
+    }
+
+    /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
+    fn materialize(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SubDagId> {
+        let order = dag.ancestors(target)?;
+        let ids = self.intern_ids(dag, &order)?;
 
         // Nodes whose sub-DAG result is not cached yet. Structurally
         // identical duplicates execute once; the rest count as hits.
@@ -903,7 +913,11 @@ impl Executor {
     }
 
     /// A node's input tables as shared handles (pointer copies).
-    fn input_tables(&self, node: &SkillNode, ids: &HashMap<NodeId, SubDagId>) -> Vec<Arc<Table>> {
+    pub(crate) fn input_tables(
+        &self,
+        node: &SkillNode,
+        ids: &HashMap<NodeId, SubDagId>,
+    ) -> Vec<Arc<Table>> {
         node.inputs
             .iter()
             .map(|i| Arc::clone(&self.cache[&ids[i]].1))
@@ -911,7 +925,7 @@ impl Executor {
     }
 
     /// Record one executed node's output and downstream-facing table.
-    fn finish(
+    pub(crate) fn finish(
         &mut self,
         node: &SkillNode,
         ids: &HashMap<NodeId, SubDagId>,

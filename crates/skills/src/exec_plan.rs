@@ -45,12 +45,20 @@ impl TableProvider for DatabaseProvider<'_> {
             .env
             .catalog
             .database(&self.database)
-            .map_err(|e| dc_sql::SqlError::plan(e.to_string()))?;
-        let (t, _) =
-            db.scan(name, &ScanOptions::full())
-                .map_err(|_| dc_sql::SqlError::TableNotFound {
+            .map_err(|e| dc_sql::SqlError::provider(e, false))?;
+        let (t, _) = db.scan(name, &ScanOptions::full()).map_err(|e| {
+            // Keep the not-found shape the planner tests rely on, but
+            // preserve every other failure (including transients) as a
+            // live source instead of a flattened string.
+            if matches!(e, dc_storage::StorageError::TableNotFound { .. }) {
+                dc_sql::SqlError::TableNotFound {
                     name: name.to_string(),
-                })?;
+                }
+            } else {
+                let retryable = e.is_retryable();
+                dc_sql::SqlError::provider(e, retryable)
+            }
+        })?;
         Ok(t)
     }
 }

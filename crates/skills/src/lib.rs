@@ -12,7 +12,10 @@
 //! * [`slicing`] — dead-step elimination plus adjacent-call merging, so
 //!   saved artifacts carry minimal recipes (Figure 5);
 //! * [`env`] — the world skills run against (catalog, snapshots, virtual
-//!   files/URLs, models, phrase definitions).
+//!   files/URLs, models, phrase definitions);
+//! * [`resilient`] — fault-tolerant execution: retry with backoff,
+//!   per-node budgets, panic isolation, degraded scans, and
+//!   checkpointed resume over the same wave scheduler.
 
 pub mod dag;
 pub mod env;
@@ -21,6 +24,7 @@ pub mod exec;
 pub mod exec_plan;
 pub mod output;
 pub mod planner;
+pub mod resilient;
 pub mod skill;
 pub mod slicing;
 
@@ -31,5 +35,6 @@ pub use exec::{execute_call, execute_pure_call, needs_env, Executor, ExecutorSta
 pub use exec_plan::{run_planned, PlannedStats};
 pub use output::SkillOutput;
 pub use planner::{plan, ExecutionTask};
+pub use resilient::{ExecPolicy, ExecReport, NodeOutcome, NodeReport, RetryPolicy};
 pub use skill::{registry, Category, DatePart, SkillCall, SkillInfo};
 pub use slicing::{slice, sliced_recipe, SliceStats};

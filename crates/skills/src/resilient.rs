@@ -1,0 +1,594 @@
+//! Resilient DAG execution: retry, timeouts, panic isolation, degraded
+//! scans, and checkpointed resume.
+//!
+//! [`Executor::run`] assumes every node either succeeds or is fatally
+//! wrong — one transient storage fault kills the whole recipe.
+//! [`Executor::run_resilient`] executes the same waves under an
+//! [`ExecPolicy`]:
+//!
+//! * **retry** — nodes failing with a retryable error (see
+//!   [`SkillError::is_retryable`]) re-execute with exponential backoff
+//!   plus deterministic jitter;
+//! * **budget** — each attempt gets a wall-clock budget; storage scans
+//!   observe it cooperatively through the environment's
+//!   [`dc_storage::CancelToken`], pure compute is timed post-hoc; either
+//!   way an over-budget attempt becomes a retryable timeout;
+//! * **panic isolation** — every attempt runs under `catch_unwind`, so a
+//!   panicking skill poisons its node (and dependents), never the
+//!   scheduler or sibling nodes in the same wave;
+//! * **degraded scans** — after `degrade_after` failed full-scan
+//!   attempts, a `LoadTable` node falls back to a block-sampled scan
+//!   (§3's cheap path) and its result is flagged `degraded`;
+//! * **checkpointed resume** — completed results stay in the structural
+//!   sub-DAG cache, so calling [`Executor::resume`] after a failure
+//!   re-executes exactly the failed frontier and its dependents.
+//!
+//! The whole run is summarized in an [`ExecReport`]: per-node attempts,
+//! faults absorbed, degraded flags, and wall time.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dc_engine::Table;
+use dc_storage::{CancelToken, ScanOptions};
+
+use crate::dag::{NodeId, SkillDag};
+use crate::env::Env;
+use crate::error::{Result, SkillError};
+use crate::exec::{
+    execute_call, execute_pure_call, needs_env, BeforeExecuteHook, Executor, SubDagId,
+};
+use crate::output::SkillOutput;
+use crate::skill::SkillCall;
+
+/// Retry schedule for retryable node failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per node (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter mixed into each backoff.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(16),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (the attempt that just
+    /// failed, 1-based) of `node`: `base * 2^(attempt-1)` capped at
+    /// `max_backoff`, plus up to +50% deterministic jitter derived from
+    /// `(jitter_seed, node, attempt)` — identical inputs always sleep
+    /// identically, so chaos runs replay exactly.
+    pub fn backoff(&self, node: NodeId, attempt: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+        let capped = doubled.min(self.max_backoff);
+        let half = (capped.as_nanos() as u64) / 2;
+        if half == 0 {
+            return capped;
+        }
+        let h = splitmix64(self.jitter_seed ^ (node as u64) ^ ((attempt as u64) << 32));
+        capped + Duration::from_nanos(h % (half + 1))
+    }
+}
+
+/// Everything the resilient executor is allowed to do about failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPolicy {
+    /// Retry schedule for retryable errors.
+    pub retry: RetryPolicy,
+    /// Per-attempt wall-clock budget. `None` = unbounded.
+    pub node_budget: Option<Duration>,
+    /// After this many failed full-scan attempts, a `LoadTable` node
+    /// retries as a block-sampled scan and marks its result degraded.
+    /// `None` disables degradation.
+    pub degrade_after: Option<u32>,
+    /// Block fraction for degraded scans.
+    pub degraded_fraction: f64,
+    /// Seed for degraded-scan block choices.
+    pub degraded_seed: u64,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            retry: RetryPolicy::default(),
+            node_budget: None,
+            degrade_after: None,
+            degraded_fraction: 0.2,
+            degraded_seed: 7,
+        }
+    }
+}
+
+/// How one node ended up.
+#[derive(Debug, Clone)]
+pub enum NodeOutcome {
+    /// Executed successfully (possibly after retries).
+    Ok,
+    /// Served from the structural sub-DAG cache (includes results
+    /// checkpointed by an earlier, partially failed run).
+    CacheHit,
+    /// All attempts exhausted (or a non-retryable error/panic).
+    Failed(SkillError),
+    /// Not attempted because an input node failed or was skipped.
+    Skipped { blocked_on: NodeId },
+}
+
+/// Per-node resilience accounting.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    pub node: NodeId,
+    /// Skill name, for human-readable summaries.
+    pub skill: String,
+    pub outcome: NodeOutcome,
+    /// Execution attempts made (0 for cache hits and skips).
+    pub attempts: u32,
+    /// Retryable failures absorbed by retry/degradation instead of
+    /// surfacing to the user.
+    pub faults_absorbed: u32,
+    /// Whether the result came from a degraded (block-sampled) scan.
+    pub degraded: bool,
+    /// Wall time spent on this node across all attempts and backoffs.
+    pub wall: Duration,
+}
+
+impl NodeReport {
+    fn new(node: NodeId, skill: &str, outcome: NodeOutcome) -> NodeReport {
+        NodeReport {
+            node,
+            skill: skill.to_string(),
+            outcome,
+            attempts: 0,
+            faults_absorbed: 0,
+            degraded: false,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// The observable summary of one resilient run.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// The requested node.
+    pub target: NodeId,
+    /// The target's output, when the run reached it.
+    pub output: Option<SkillOutput>,
+    /// Per-node reports, in topological order of the executed slice.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl ExecReport {
+    /// Whether the target produced an output.
+    pub fn succeeded(&self) -> bool {
+        self.output.is_some()
+    }
+
+    /// The report for one node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeReport> {
+        self.nodes.iter().find(|n| n.node == id)
+    }
+
+    /// Nodes that exhausted their attempts.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.outcome, NodeOutcome::Failed(_)))
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Nodes skipped because an ancestor failed.
+    pub fn skipped_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.outcome, NodeOutcome::Skipped { .. }))
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Nodes whose result came from a degraded scan.
+    pub fn degraded_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.degraded)
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Total attempts across all nodes.
+    pub fn total_attempts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.attempts as u64).sum()
+    }
+
+    /// Total retryable faults absorbed across all nodes.
+    pub fn faults_absorbed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.faults_absorbed as u64).sum()
+    }
+
+    /// The first failure in topological order, if any.
+    pub fn first_error(&self) -> Option<&SkillError> {
+        self.nodes.iter().find_map(|n| match &n.outcome {
+            NodeOutcome::Failed(e) => Some(e),
+            _ => None,
+        })
+    }
+}
+
+/// What one node's attempt loop produced.
+struct AttemptOutcome {
+    result: Result<SkillOutput>,
+    attempts: u32,
+    faults_absorbed: u32,
+    degraded: bool,
+    wall: Duration,
+}
+
+/// Run one node's attempt loop. `exec(degraded)` performs a single
+/// attempt; `token` (when present) is armed with the budget around each
+/// attempt so storage scans can cancel cooperatively.
+fn run_attempts<F>(
+    policy: &ExecPolicy,
+    node: NodeId,
+    call: &SkillCall,
+    token: Option<&CancelToken>,
+    mut exec: F,
+) -> AttemptOutcome
+where
+    F: FnMut(bool) -> Result<SkillOutput>,
+{
+    let can_degrade = matches!(call, SkillCall::LoadTable { .. });
+    let started = Instant::now();
+    let mut faults_absorbed = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let degraded = can_degrade && policy.degrade_after.is_some_and(|n| attempt > n);
+        if let (Some(t), Some(budget)) = (token, policy.node_budget) {
+            t.arm(budget);
+        }
+        let attempt_start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| exec(degraded))).unwrap_or_else(|payload| {
+            Err(SkillError::Panic {
+                skill: call.name().to_string(),
+                message: panic_message(payload),
+            })
+        });
+        if let Some(t) = token {
+            t.disarm();
+        }
+        // Post-hoc budget enforcement for work that cannot observe the
+        // token (pure compute): a late success still missed its budget.
+        let result = match (result, policy.node_budget) {
+            (Ok(_), Some(budget)) if attempt_start.elapsed() > budget => Err(SkillError::Timeout {
+                skill: call.name().to_string(),
+                budget_ms: budget.as_millis() as u64,
+            }),
+            (r, _) => r,
+        };
+        match result {
+            Ok(out) => {
+                return AttemptOutcome {
+                    result: Ok(out),
+                    attempts: attempt,
+                    faults_absorbed,
+                    degraded,
+                    wall: started.elapsed(),
+                }
+            }
+            Err(e) if e.is_retryable() && attempt < policy.retry.max_attempts => {
+                faults_absorbed += 1;
+                std::thread::sleep(policy.retry.backoff(node, attempt));
+            }
+            Err(e) => {
+                return AttemptOutcome {
+                    result: Err(e),
+                    attempts: attempt,
+                    faults_absorbed,
+                    degraded: false,
+                    wall: started.elapsed(),
+                }
+            }
+        }
+    }
+}
+
+/// Render a panic payload for the node error.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+type PureJobResult = (NodeId, Vec<Arc<Table>>, AttemptOutcome);
+
+/// One pure node's whole attempt loop, suitable for a worker thread.
+/// Pure compute cannot observe a cancel token, so its budget is enforced
+/// post-hoc inside [`run_attempts`].
+fn run_pure_job(
+    policy: &ExecPolicy,
+    nid: NodeId,
+    inputs: Vec<Arc<Table>>,
+    hook: Option<BeforeExecuteHook>,
+    call: &SkillCall,
+) -> PureJobResult {
+    let att = run_attempts(policy, nid, call, None, |_| {
+        if let Some(h) = &hook {
+            h(call);
+        }
+        let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+        execute_pure_call(call, &refs)
+    });
+    (nid, inputs, att)
+}
+
+/// Degraded `LoadTable`: a block-sampled scan instead of the full scan.
+/// The cost meter naturally records the cheaper path — only the blocks
+/// actually read are charged.
+fn degraded_load(call: &SkillCall, env: &mut Env, policy: &ExecPolicy) -> Result<SkillOutput> {
+    let SkillCall::LoadTable { database, table } = call else {
+        unreachable!("degradation only applies to LoadTable nodes");
+    };
+    let db = env.catalog.database(database)?;
+    let mut opts = ScanOptions::block_sampled(policy.degraded_fraction, policy.degraded_seed);
+    opts.cancel = Some(env.cancel.clone());
+    let (data, _receipt) = db.scan(table, &opts)?;
+    Ok(SkillOutput::Table(data))
+}
+
+impl Executor {
+    /// Execute `target` under `policy`, absorbing retryable faults,
+    /// isolating panics, and degrading scans as configured. Never aborts
+    /// the whole run for a node failure: the failure poisons exactly the
+    /// dependent sub-DAG, everything else completes and is checkpointed
+    /// in the cache. Structural errors (unknown node ids) still return
+    /// `Err`.
+    ///
+    /// With the default policy, no injected faults, and no panics, the
+    /// result is identical to [`Executor::run`].
+    pub fn run_resilient(
+        &mut self,
+        dag: &SkillDag,
+        target: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+    ) -> Result<ExecReport> {
+        let order = dag.ancestors(target)?;
+        let ids = self.intern_ids(dag, &order)?;
+
+        let mut reports: HashMap<NodeId, NodeReport> = HashMap::with_capacity(order.len());
+        // Structurally identical duplicates execute once; the aliases are
+        // resolved against the cache after the run.
+        let mut pending: Vec<NodeId> = Vec::new();
+        let mut aliases: Vec<(NodeId, NodeId)> = Vec::new();
+        for &nid in &order {
+            let id = ids[&nid];
+            let skill = dag.node(nid)?.call.name();
+            if self.cache.contains_key(&id) {
+                self.stats.cache_hits += 1;
+                reports.insert(nid, NodeReport::new(nid, skill, NodeOutcome::CacheHit));
+            } else if let Some(&rep) = pending.iter().find(|p| ids[p] == id) {
+                self.stats.cache_hits += 1;
+                aliases.push((nid, rep));
+            } else {
+                pending.push(nid);
+            }
+        }
+
+        // Wave loop: execute every ready node, skip nodes blocked on a
+        // failure, repeat. Topological order guarantees progress.
+        // Unusability is tracked by sub-DAG id, not node id, so a failed
+        // representative also poisons its structural duplicates.
+        let mut unusable: HashSet<SubDagId> = HashSet::new();
+        while !pending.is_empty() {
+            let mut wave = Vec::new();
+            let mut rest = Vec::new();
+            let mut progressed = false;
+            for nid in pending {
+                let node = dag.node(nid)?;
+                if let Some(&blocked_on) = node.inputs.iter().find(|i| unusable.contains(&ids[i])) {
+                    let skill = node.call.name();
+                    reports.insert(
+                        nid,
+                        NodeReport::new(nid, skill, NodeOutcome::Skipped { blocked_on }),
+                    );
+                    unusable.insert(ids[&nid]);
+                    progressed = true;
+                } else if node.inputs.iter().all(|i| self.cache.contains_key(&ids[i])) {
+                    wave.push(nid);
+                } else {
+                    rest.push(nid);
+                }
+            }
+            pending = rest;
+            if !wave.is_empty() {
+                progressed = true;
+                self.run_wave_resilient(
+                    dag,
+                    &wave,
+                    &ids,
+                    env,
+                    policy,
+                    &mut reports,
+                    &mut unusable,
+                )?;
+            }
+            debug_assert!(
+                progressed,
+                "wave loop must make progress (topological order)"
+            );
+            if !progressed {
+                break;
+            }
+        }
+
+        // Aliases inherit their representative's fate.
+        for (nid, rep) in aliases {
+            let skill = dag.node(nid)?.call.name();
+            let outcome = if self.cache.contains_key(&ids[&nid]) {
+                NodeOutcome::CacheHit
+            } else {
+                NodeOutcome::Skipped { blocked_on: rep }
+            };
+            reports.insert(nid, NodeReport::new(nid, skill, outcome));
+        }
+
+        let output = self.cache.get(&ids[&target]).map(|(out, _)| out.clone());
+        let mut nodes: Vec<NodeReport> = Vec::with_capacity(order.len());
+        for &nid in &order {
+            if let Some(r) = reports.remove(&nid) {
+                nodes.push(r);
+            }
+        }
+        Ok(ExecReport {
+            target,
+            output,
+            nodes,
+        })
+    }
+
+    /// Re-run `target` after a partial failure. Completed sub-DAG results
+    /// were checkpointed in the structural cache by the failed run, so
+    /// only the failed frontier (and its skipped dependents) re-executes.
+    pub fn resume(
+        &mut self,
+        dag: &SkillDag,
+        target: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+    ) -> Result<ExecReport> {
+        self.run_resilient(dag, target, env, policy)
+    }
+
+    /// Execute one wave under the policy. Environment-dependent nodes run
+    /// serially; pure nodes run concurrently (with the `parallel`
+    /// feature), each worker owning its node's whole attempt loop.
+    #[allow(clippy::too_many_arguments)]
+    fn run_wave_resilient(
+        &mut self,
+        dag: &SkillDag,
+        wave: &[NodeId],
+        ids: &HashMap<NodeId, SubDagId>,
+        env: &mut Env,
+        policy: &ExecPolicy,
+        reports: &mut HashMap<NodeId, NodeReport>,
+        unusable: &mut HashSet<SubDagId>,
+    ) -> Result<()> {
+        let mut pure: Vec<NodeId> = Vec::new();
+        for &nid in wave {
+            let node = dag.node(nid)?;
+            if !needs_env(&node.call, !node.inputs.is_empty()) {
+                pure.push(nid);
+                continue;
+            }
+            let inputs = self.input_tables(node, ids);
+            let hook = self.before_execute.clone();
+            let token = env.cancel.clone();
+            let att = run_attempts(policy, nid, &node.call, Some(&token), |degraded| {
+                if let Some(h) = &hook {
+                    h(&node.call);
+                }
+                if degraded {
+                    degraded_load(&node.call, env, policy)
+                } else {
+                    let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+                    execute_call(&node.call, &refs, env)
+                }
+            });
+            self.commit_attempt(dag, nid, ids, inputs, att, reports, unusable)?;
+        }
+
+        let jobs: Vec<(NodeId, Vec<Arc<Table>>)> = pure
+            .iter()
+            .map(|&nid| (nid, self.input_tables(dag.node(nid).expect("checked"), ids)))
+            .collect();
+        let hook = self.before_execute.clone();
+        let results: Vec<PureJobResult> = if cfg!(feature = "parallel") && jobs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(nid, inputs)| {
+                        let hook = hook.clone();
+                        let call = &dag.node(nid).expect("checked").call;
+                        scope.spawn(move || run_pure_job(policy, nid, inputs, hook, call))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    // Worker panics cannot reach here: every attempt runs
+                    // under catch_unwind inside run_attempts.
+                    .map(|h| h.join().expect("attempt loop catches panics"))
+                    .collect()
+            })
+        } else {
+            jobs.into_iter()
+                .map(|(nid, inputs)| {
+                    let call = &dag.node(nid).expect("checked").call;
+                    run_pure_job(policy, nid, inputs, hook.clone(), call)
+                })
+                .collect()
+        };
+        for (nid, inputs, att) in results {
+            self.commit_attempt(dag, nid, ids, inputs, att, reports, unusable)?;
+        }
+        Ok(())
+    }
+
+    /// Fold one node's attempt outcome into cache, stats, and reports.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_attempt(
+        &mut self,
+        dag: &SkillDag,
+        nid: NodeId,
+        ids: &HashMap<NodeId, SubDagId>,
+        inputs: Vec<Arc<Table>>,
+        att: AttemptOutcome,
+        reports: &mut HashMap<NodeId, NodeReport>,
+        unusable: &mut HashSet<SubDagId>,
+    ) -> Result<()> {
+        let node = dag.node(nid)?;
+        self.stats.retries += (att.attempts.saturating_sub(1)) as u64;
+        let mut report = NodeReport::new(nid, node.call.name(), NodeOutcome::Ok);
+        report.attempts = att.attempts;
+        report.faults_absorbed = att.faults_absorbed;
+        report.degraded = att.degraded;
+        report.wall = att.wall;
+        match att.result {
+            Ok(output) => {
+                self.finish(node, ids, inputs, output);
+            }
+            Err(e) => {
+                report.outcome = NodeOutcome::Failed(e);
+                unusable.insert(ids[&nid]);
+            }
+        }
+        reports.insert(nid, report);
+        Ok(())
+    }
+}

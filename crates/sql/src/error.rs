@@ -1,9 +1,10 @@
 //! SQL-layer errors.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from lexing, parsing, planning or executing SQL.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum SqlError {
     /// Lexical error with byte offset.
     Lex { message: String, position: usize },
@@ -13,6 +14,15 @@ pub enum SqlError {
     TableNotFound { name: String },
     /// Semantic error (unknown column, bad aggregate use, ...).
     Plan { message: String },
+    /// A table provider failed. Keeps the provider's error as a live
+    /// `source()` (instead of flattening it to a string) and records
+    /// whether the failure is worth retrying, since this crate cannot
+    /// name the provider's concrete error type without a dependency
+    /// cycle.
+    Provider {
+        retryable: bool,
+        source: Arc<dyn std::error::Error + Send + Sync>,
+    },
     /// Propagated engine failure.
     Engine(dc_engine::EngineError),
 }
@@ -32,6 +42,73 @@ impl SqlError {
             token: token.into(),
         }
     }
+
+    /// Wrap a table-provider failure, preserving it as `source()`.
+    pub fn provider(
+        source: impl std::error::Error + Send + Sync + 'static,
+        retryable: bool,
+    ) -> Self {
+        SqlError::Provider {
+            retryable,
+            source: Arc::new(source),
+        }
+    }
+
+    /// Whether retrying the query can plausibly succeed. Only provider
+    /// failures flagged retryable (e.g. a transient storage fault)
+    /// qualify; syntax and planning errors never do.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SqlError::Provider {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+impl PartialEq for SqlError {
+    fn eq(&self, other: &Self) -> bool {
+        use SqlError::*;
+        match (self, other) {
+            (
+                Lex {
+                    message: m1,
+                    position: p1,
+                },
+                Lex {
+                    message: m2,
+                    position: p2,
+                },
+            ) => m1 == m2 && p1 == p2,
+            (
+                Parse {
+                    message: m1,
+                    token: t1,
+                },
+                Parse {
+                    message: m2,
+                    token: t2,
+                },
+            ) => m1 == m2 && t1 == t2,
+            (TableNotFound { name: n1 }, TableNotFound { name: n2 }) => n1 == n2,
+            (Plan { message: m1 }, Plan { message: m2 }) => m1 == m2,
+            // Provider sources are type-erased; compare by effect.
+            (
+                Provider {
+                    retryable: r1,
+                    source: s1,
+                },
+                Provider {
+                    retryable: r2,
+                    source: s2,
+                },
+            ) => r1 == r2 && s1.to_string() == s2.to_string(),
+            (Engine(e1), Engine(e2)) => e1 == e2,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -45,6 +122,7 @@ impl fmt::Display for SqlError {
             }
             SqlError::TableNotFound { name } => write!(f, "table not found: {name:?}"),
             SqlError::Plan { message } => write!(f, "planning error: {message}"),
+            SqlError::Provider { source, .. } => write!(f, "table provider error: {source}"),
             SqlError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -54,6 +132,7 @@ impl std::error::Error for SqlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SqlError::Engine(e) => Some(e),
+            SqlError::Provider { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -71,6 +150,7 @@ pub type Result<T> = std::result::Result<T, SqlError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_all_variants() {
@@ -83,5 +163,28 @@ mod tests {
             position: 3,
         };
         assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn provider_preserves_source_and_retryability() {
+        let inner = dc_engine::EngineError::column_not_found("c");
+        let e = SqlError::provider(inner.clone(), true);
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("table provider error"));
+        // The source chain survives instead of being flattened.
+        let src = e.source().expect("provider keeps its source");
+        assert_eq!(src.to_string(), inner.to_string());
+        assert!(!SqlError::provider(inner, false).is_retryable());
+        assert!(!SqlError::plan("x").is_retryable());
+    }
+
+    #[test]
+    fn provider_equality_by_effect() {
+        let a = SqlError::provider(dc_engine::EngineError::column_not_found("c"), true);
+        let b = SqlError::provider(dc_engine::EngineError::column_not_found("c"), true);
+        let c = SqlError::provider(dc_engine::EngineError::column_not_found("d"), true);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, SqlError::plan("x"));
     }
 }

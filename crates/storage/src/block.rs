@@ -16,6 +16,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::error::{Result, StorageError};
+use crate::fault::{CancelToken, FaultInjector};
 use crate::pricing::ScanReceipt;
 
 /// A stored table split into fixed-size row blocks.
@@ -45,6 +46,10 @@ pub struct ScanOptions {
     pub row_sample: Option<f64>,
     /// Seed for the sampling choices.
     pub seed: u64,
+    /// Cooperative-cancellation handle: the scan checks it at block
+    /// boundaries (and inside injected stalls) and aborts with a
+    /// retryable [`StorageError::Transient`] once it fires.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ScanOptions {
@@ -131,6 +136,21 @@ impl BlockTable {
     /// Scan under `opts`, returning the data plus a receipt of what was
     /// actually read.
     pub fn scan(&self, opts: &ScanOptions) -> Result<(Table, ScanReceipt)> {
+        self.scan_with(opts, None)
+    }
+
+    /// [`BlockTable::scan`] with an optional fault injector in the path:
+    /// the injector sees the scan start plus every block read, which is
+    /// where transient failures and slow blocks strike.
+    pub fn scan_with(
+        &self,
+        opts: &ScanOptions,
+        injector: Option<&FaultInjector>,
+    ) -> Result<(Table, ScanReceipt)> {
+        let cancel = opts.cancel.as_ref();
+        if let Some(inj) = injector {
+            inj.on_scan(opts.block_sample.is_some(), cancel)?;
+        }
         // Choose blocks.
         let chosen: Vec<usize> = match opts.block_sample {
             Some(f) => {
@@ -167,6 +187,17 @@ impl BlockTable {
         let mut bytes = 0u64;
         let mut rows_scanned = 0u64;
         for &bi in &chosen {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(StorageError::Transient {
+                        operation: "scan".to_string(),
+                        message: "cancelled: node budget exhausted".to_string(),
+                    });
+                }
+            }
+            if let Some(inj) = injector {
+                inj.on_block_read(cancel)?;
+            }
             let block = &self.blocks[bi];
             let part = match &projected {
                 Some(cols) => Cow::Owned(block.select(cols)?),

@@ -8,6 +8,7 @@ use dc_engine::Table;
 
 use crate::block::{BlockTable, ScanOptions};
 use crate::error::{Result, StorageError};
+use crate::fault::FaultInjector;
 use crate::pricing::{CostMeter, Pricing, ScanReceipt};
 
 /// Default rows per storage block (small enough that modest demo tables
@@ -21,6 +22,7 @@ pub struct CloudDatabase {
     pricing: Pricing,
     tables: BTreeMap<String, BlockTable>,
     meter: Arc<CostMeter>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl CloudDatabase {
@@ -31,7 +33,24 @@ impl CloudDatabase {
             pricing,
             tables: BTreeMap::new(),
             meter: Arc::new(CostMeter::new()),
+            injector: None,
         }
+    }
+
+    /// Route every scan through `injector` (chaos testing). Pass the same
+    /// handle to several databases/stores to share one fault schedule.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Remove the fault injector, restoring fault-free scans.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     /// Database name.
@@ -100,7 +119,7 @@ impl CloudDatabase {
     /// the receipt.
     pub fn scan(&self, table: &str, opts: &ScanOptions) -> Result<(Table, ScanReceipt)> {
         let bt = self.table(table)?;
-        let (data, mut receipt) = bt.scan(opts)?;
+        let (data, mut receipt) = bt.scan_with(opts, self.injector.as_deref())?;
         receipt.cost_dollars = self.pricing.scan_cost(receipt.bytes_scanned);
         self.meter.record(
             &self.pricing,
@@ -182,6 +201,21 @@ impl Catalog {
     /// Database names in sorted order.
     pub fn database_names(&self) -> Vec<&str> {
         self.databases.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Install one shared fault injector on every database in the
+    /// catalog (newly added databases are NOT retroactively covered).
+    pub fn set_fault_injector(&mut self, injector: &Arc<FaultInjector>) {
+        for db in self.databases.values_mut() {
+            db.set_fault_injector(Arc::clone(injector));
+        }
+    }
+
+    /// Remove fault injectors from every database.
+    pub fn clear_fault_injector(&mut self) {
+        for db in self.databases.values_mut() {
+            db.clear_fault_injector();
+        }
     }
 }
 

@@ -15,6 +15,13 @@ pub enum StorageError {
     SnapshotNotFound { name: String },
     /// Invalid argument (bad sample rate, zero block size, ...).
     InvalidArgument { message: String },
+    /// A transient infrastructure failure (flaky connection, throttled
+    /// scan, interrupted write). Retrying the same operation is expected
+    /// to succeed.
+    Transient { operation: String, message: String },
+    /// The backing service is down. Retrying within a request's budget
+    /// will not help; callers should fail the dependent work instead.
+    Unavailable { operation: String, message: String },
     /// Propagated engine failure.
     Engine(dc_engine::EngineError),
 }
@@ -25,6 +32,13 @@ impl StorageError {
         StorageError::InvalidArgument {
             message: message.into(),
         }
+    }
+
+    /// Whether retrying the failed operation can plausibly succeed.
+    /// Only [`StorageError::Transient`] qualifies: everything else is
+    /// either a logic error (wrong name, bad argument) or a hard outage.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
     }
 }
 
@@ -38,6 +52,12 @@ impl fmt::Display for StorageError {
             StorageError::AlreadyExists { name } => write!(f, "already exists: {name:?}"),
             StorageError::SnapshotNotFound { name } => write!(f, "snapshot not found: {name:?}"),
             StorageError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            StorageError::Transient { operation, message } => {
+                write!(f, "transient {operation} failure: {message}")
+            }
+            StorageError::Unavailable { operation, message } => {
+                write!(f, "{operation} unavailable: {message}")
+            }
             StorageError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -74,5 +94,23 @@ mod tests {
         assert!(e.to_string().contains("parties"));
         let e: StorageError = dc_engine::EngineError::column_not_found("x").into();
         assert!(e.to_string().contains("engine error"));
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        let t = StorageError::Transient {
+            operation: "scan".into(),
+            message: "throttled".into(),
+        };
+        assert!(t.is_retryable());
+        assert!(t.to_string().contains("transient scan failure"));
+        let u = StorageError::Unavailable {
+            operation: "scan".into(),
+            message: "down".into(),
+        };
+        assert!(!u.is_retryable());
+        assert!(u.to_string().contains("unavailable"));
+        assert!(!StorageError::invalid("x").is_retryable());
+        assert!(!StorageError::SnapshotNotFound { name: "s".into() }.is_retryable());
     }
 }

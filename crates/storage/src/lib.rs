@@ -11,6 +11,9 @@
 //!   refresh
 //! * [`demo`] — synthetic stand-ins for the paper's datasets (California
 //!   collisions, FRED GDP, IoT readings, sales, HR)
+//! * [`fault`] — seeded deterministic fault injection (transient scan
+//!   failures, slow blocks, snapshot-write failures) plus cooperative
+//!   cancellation, feeding the resilient executor in `dc-skills`
 //!
 //! The central reproduction target: block-level sampling reads a fraction
 //! of blocks and therefore costs proportionally less, while row-level
@@ -21,11 +24,15 @@ pub mod block;
 pub mod catalog;
 pub mod demo;
 pub mod error;
+pub mod fault;
 pub mod pricing;
 pub mod snapshot;
 
 pub use block::{BlockTable, ScanOptions};
 pub use catalog::{Catalog, CloudDatabase, DatasetInfo, DEFAULT_BLOCK_ROWS};
 pub use error::{Result, StorageError};
+pub use fault::{
+    CancelToken, FaultConfig, FaultInjector, FaultOp, FaultStats, InjectedFault, ScheduledFault,
+};
 pub use pricing::{CostMeter, Pricing, ScanReceipt};
 pub use snapshot::{Snapshot, SnapshotStore};

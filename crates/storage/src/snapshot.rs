@@ -12,6 +12,7 @@ use std::sync::Arc;
 use dc_engine::Table;
 
 use crate::error::{Result, StorageError};
+use crate::fault::FaultInjector;
 use crate::pricing::{CostMeter, Pricing};
 
 /// A cached local copy of a (possibly sampled, possibly derived) cloud
@@ -39,6 +40,7 @@ pub struct SnapshotStore {
     /// Soft capacity in bytes (the paper notes snapshots are "often small,
     /// less than 100GB" and live on a fixed-cost instance).
     capacity_bytes: u64,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl SnapshotStore {
@@ -54,7 +56,18 @@ impl SnapshotStore {
             snapshots: BTreeMap::new(),
             meter: Arc::new(CostMeter::new()),
             capacity_bytes,
+            injector: None,
         }
+    }
+
+    /// Route snapshot writes through `injector` (chaos testing).
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Remove the fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
     }
 
     /// The store's meter (marginal dollars are always zero; bytes/queries
@@ -98,6 +111,12 @@ impl SnapshotStore {
             sample_fraction,
             version: 1,
         };
+        // Crash-consistency: the write can fail right up to the commit
+        // point, after which the snapshot becomes visible atomically. A
+        // failed write must leave no trace in the store.
+        if let Some(inj) = &self.injector {
+            inj.on_snapshot_write()?;
+        }
         self.snapshots.insert(name.clone(), snap);
         Ok(&self.snapshots[&name])
     }
@@ -131,12 +150,17 @@ impl SnapshotStore {
     /// Replace a snapshot's data with fresh results (a "refresh"),
     /// bumping its version.
     pub fn refresh(&mut self, name: &str, data: Table) -> Result<u64> {
-        let snap = self
-            .snapshots
-            .get_mut(name)
-            .ok_or_else(|| StorageError::SnapshotNotFound {
+        if !self.snapshots.contains_key(name) {
+            return Err(StorageError::SnapshotNotFound {
                 name: name.to_string(),
-            })?;
+            });
+        }
+        // As in `create`, a failed write commits nothing: the old data
+        // and version stay visible.
+        if let Some(inj) = &self.injector {
+            inj.on_snapshot_write()?;
+        }
+        let snap = self.snapshots.get_mut(name).expect("checked above");
         snap.data = data;
         snap.version += 1;
         Ok(snap.version)
@@ -249,5 +273,51 @@ mod tests {
     fn monthly_cost_is_fixed() {
         let s = store_with_snap();
         assert_eq!(s.monthly_cost(), 50.0);
+    }
+
+    #[test]
+    fn failed_create_leaves_no_partial_snapshot() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultOp, InjectedFault};
+        let mut s = SnapshotStore::new();
+        // First write fails, second succeeds.
+        s.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultConfig::disabled().schedule(FaultOp::SnapshotWrite, 0, InjectedFault::Transient),
+        )));
+        let err = s
+            .create("snap", table(50), "src", vec!["step".into()], None)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // Nothing is visible: no name, no bytes, no readable data.
+        assert!(s.names().is_empty());
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.read("snap").is_err());
+        // The retry (same name!) succeeds — the failed write reserved
+        // nothing, so it does not collide with itself.
+        let snap = s
+            .create("snap", table(50), "src", vec!["step".into()], None)
+            .unwrap();
+        assert_eq!(snap.version, 1);
+    }
+
+    #[test]
+    fn failed_refresh_preserves_old_data_and_version() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultOp, InjectedFault};
+        let mut s = store_with_snap();
+        s.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultConfig::disabled().schedule(FaultOp::SnapshotWrite, 0, InjectedFault::Transient),
+        )));
+        assert!(s.refresh("iot_sample", table(999)).is_err());
+        let snap = s.get("iot_sample").unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.data.num_rows(), 100);
+        // Retry succeeds and bumps the version exactly once.
+        assert_eq!(s.refresh("iot_sample", table(999)).unwrap(), 2);
+        assert_eq!(s.get("iot_sample").unwrap().data.num_rows(), 999);
+        // A refresh of a missing snapshot still reports not-found, not a
+        // fault, even with the injector installed.
+        assert!(matches!(
+            s.refresh("missing", table(1)),
+            Err(StorageError::SnapshotNotFound { .. })
+        ));
     }
 }
