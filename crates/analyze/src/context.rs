@@ -1,0 +1,280 @@
+//! What the analyzer knows about the world: catalog table schemas and
+//! block stats, saved artifacts, snapshots, registered models, and
+//! file/URL fixtures.
+//!
+//! The context is a *pure snapshot* — building it from an [`Env`] reads
+//! schemas from stored block metadata, never scans data — so analysis is
+//! free under the §3 bytes-scanned cost model.
+//!
+//! Lookup case-sensitivity mirrors execution exactly: catalog, snapshot,
+//! saved-artifact, model, and fixture lookups are exact-match (they back
+//! `BTreeMap`/`HashMap` stores at runtime), while bare-name catalog
+//! resolution ([`AnalysisContext::any_table`]) is case-insensitive, like
+//! the platform's `UseDataset` → `LoadTable` rewrite.
+
+use std::collections::BTreeMap;
+
+use dc_engine::{DataType, Schema};
+use dc_skills::Env;
+
+/// Storage-layer statistics for one catalog table, lifted from
+/// `dc-storage` block metadata. This is what the cost lints price scans
+/// with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Rows stored.
+    pub rows: usize,
+    /// Immutable blocks (micro-partitions); block sampling reads a
+    /// fraction of these.
+    pub blocks: usize,
+    /// Total stored bytes — the full-scan price.
+    pub bytes: u64,
+}
+
+/// A registered model's statically known surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The column the model predicts.
+    pub target: String,
+    /// Feature columns the model reads at prediction time.
+    pub features: Vec<String>,
+    /// Dtype of the predicted column: `Float` for regressions, `Str` for
+    /// classifiers (predicted class labels are rendered).
+    pub output: DataType,
+}
+
+/// The analyzer's view of the execution environment.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisContext {
+    /// Catalog tables: (database, table) → typed schema + stats.
+    tables: BTreeMap<(String, String), (Schema, TableStats)>,
+    /// Saved artifact tables by name.
+    saved: BTreeMap<String, Schema>,
+    /// Snapshots by name.
+    snapshots: BTreeMap<String, Schema>,
+    /// Registered models by name.
+    models: BTreeMap<String, ModelInfo>,
+    /// File fixtures: path → schema (parsed from the CSV header the same
+    /// way `LoadFile` will).
+    files: BTreeMap<String, Schema>,
+    /// URL fixtures: URL → schema.
+    urls: BTreeMap<String, Schema>,
+}
+
+impl AnalysisContext {
+    /// An empty context (nothing resolves).
+    pub fn new() -> AnalysisContext {
+        AnalysisContext::default()
+    }
+
+    /// Snapshot an execution environment: catalog schemas and block
+    /// stats, saved artifacts, snapshots, models, and CSV fixtures.
+    pub fn from_env(env: &Env) -> AnalysisContext {
+        let mut ctx = AnalysisContext::new();
+        for db_name in env.catalog.database_names() {
+            let Ok(db) = env.catalog.database(db_name) else {
+                continue;
+            };
+            for table_name in db.table_names() {
+                let Ok(bt) = db.table(table_name) else {
+                    continue;
+                };
+                let stats = TableStats {
+                    rows: bt.num_rows(),
+                    blocks: bt.num_blocks(),
+                    bytes: bt.total_bytes(),
+                };
+                ctx.add_table(db_name, table_name, bt.schema().clone(), stats);
+            }
+        }
+        for (name, table) in env.saved_tables() {
+            ctx.add_saved(name, table.schema().clone());
+        }
+        // `get` (not `read`) so building the context never meters a
+        // snapshot read.
+        for name in env.snapshots.names() {
+            if let Ok(snap) = env.snapshots.get(name) {
+                ctx.add_snapshot(name, snap.data.schema().clone());
+            }
+        }
+        for model in env.models() {
+            let output = match model.kind {
+                dc_ml::ModelKind::Regression(_) => DataType::Float,
+                dc_ml::ModelKind::Classification(_) => DataType::Str,
+            };
+            ctx.add_model(&model.name, &model.target, model.features.clone(), output);
+        }
+        // Fixture schemas come from the same CSV reader `LoadFile`/
+        // `LoadUrl` use, so inferred dtypes match execution exactly.
+        for (path, text) in env.files() {
+            if let Ok(t) = dc_engine::csv::read_csv(text) {
+                ctx.files.insert(path.to_string(), t.schema().clone());
+            }
+        }
+        for (url, text) in env.urls() {
+            if let Ok(t) = dc_engine::csv::read_csv(text) {
+                ctx.urls.insert(url.to_string(), t.schema().clone());
+            }
+        }
+        ctx
+    }
+
+    /// Register a catalog table.
+    pub fn add_table(
+        &mut self,
+        database: &str,
+        table: &str,
+        schema: Schema,
+        stats: TableStats,
+    ) -> &mut Self {
+        self.tables
+            .insert((database.to_string(), table.to_string()), (schema, stats));
+        self
+    }
+
+    /// Register a saved artifact table.
+    pub fn add_saved(&mut self, name: &str, schema: Schema) -> &mut Self {
+        self.saved.insert(name.to_string(), schema);
+        self
+    }
+
+    /// Register a snapshot.
+    pub fn add_snapshot(&mut self, name: &str, schema: Schema) -> &mut Self {
+        self.snapshots.insert(name.to_string(), schema);
+        self
+    }
+
+    /// Register a model.
+    pub fn add_model(
+        &mut self,
+        name: &str,
+        target: &str,
+        features: Vec<String>,
+        output: DataType,
+    ) -> &mut Self {
+        self.models.insert(
+            name.to_string(),
+            ModelInfo {
+                target: target.to_string(),
+                features,
+                output,
+            },
+        );
+        self
+    }
+
+    /// Register a file fixture by its (exact) path.
+    pub fn add_file(&mut self, path: &str, schema: Schema) -> &mut Self {
+        self.files.insert(path.to_string(), schema);
+        self
+    }
+
+    /// Register a URL fixture by its (exact) URL.
+    pub fn add_url(&mut self, url: &str, schema: Schema) -> &mut Self {
+        self.urls.insert(url.to_string(), schema);
+        self
+    }
+
+    /// Look up a catalog table (exact names, like the catalog itself).
+    pub fn table(&self, database: &str, table: &str) -> Option<&(Schema, TableStats)> {
+        self.tables.get(&(database.to_string(), table.to_string()))
+    }
+
+    /// Look up a catalog table by bare name across all databases,
+    /// case-insensitively (the platform resolves `Use the dataset X`
+    /// against the catalog when no binding or artifact matches).
+    pub fn any_table(&self, table: &str) -> Option<&(Schema, TableStats)> {
+        self.tables
+            .iter()
+            .find(|((_, t), _)| t.eq_ignore_ascii_case(table))
+            .map(|(_, v)| v)
+    }
+
+    /// Look up a saved artifact (exact name, like `Env::saved_table`).
+    pub fn saved(&self, name: &str) -> Option<&Schema> {
+        self.saved.get(name)
+    }
+
+    /// Look up a snapshot (exact name, like the snapshot store).
+    pub fn snapshot(&self, name: &str) -> Option<&Schema> {
+        self.snapshots.get(name)
+    }
+
+    /// The exact name of a snapshot matching `name` case-insensitively,
+    /// if one exists — used by the could-read-a-snapshot cost lint.
+    pub fn snapshot_like(&self, name: &str) -> Option<&str> {
+        self.snapshots
+            .keys()
+            .find(|k| k.eq_ignore_ascii_case(name))
+            .map(|k| k.as_str())
+    }
+
+    /// Look up a model (exact name, like the model registry).
+    pub fn model(&self, name: &str) -> Option<&ModelInfo> {
+        self.models.get(name)
+    }
+
+    /// Look up a file fixture schema.
+    pub fn file(&self, path: &str) -> Option<&Schema> {
+        self.files.get(path)
+    }
+
+    /// Look up a URL fixture schema.
+    pub fn url(&self, url: &str) -> Option<&Schema> {
+        self.urls.get(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{DataType, Field};
+    use dc_storage::{CloudDatabase, Pricing};
+
+    #[test]
+    fn from_env_snapshots_catalog_and_fixtures() {
+        let mut env = Env::new();
+        let t = dc_engine::csv::read_csv("region,price\nwest,1.5\neast,2.0\n").unwrap();
+        let mut db = CloudDatabase::new("Main", Pricing::default_cloud());
+        db.create_table_with_blocks("sales", &t, 1).unwrap();
+        env.catalog.add_database(db).unwrap();
+        env.add_file("nums.csv", "x,y\n1,2\n");
+        env.snapshots
+            .create("snap", t.clone(), "test", vec![], None)
+            .unwrap();
+        env.save_table("kept", t.clone());
+
+        let ctx = AnalysisContext::from_env(&env);
+        let (schema, stats) = ctx.table("Main", "sales").expect("exact lookup");
+        assert_eq!(schema.field("price").unwrap().dtype, DataType::Float);
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.blocks, 2);
+        assert!(stats.bytes > 0);
+        // Exact-match mirrors the catalog; bare-name resolution is the
+        // case-insensitive platform path.
+        assert!(ctx.table("main", "SALES").is_none());
+        assert!(ctx.any_table("SALES").is_some());
+        assert_eq!(
+            ctx.file("nums.csv").unwrap().field("x").unwrap().dtype,
+            DataType::Int
+        );
+        assert!(ctx.snapshot("snap").is_some());
+        assert!(ctx.snapshot("SNAP").is_none());
+        assert_eq!(ctx.snapshot_like("SNAP"), Some("snap"));
+        assert!(ctx.saved("kept").is_some());
+        assert!(ctx.saved("other").is_none());
+    }
+
+    #[test]
+    fn builders_roundtrip() {
+        let mut ctx = AnalysisContext::new();
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]).unwrap();
+        ctx.add_saved("Art", schema.clone())
+            .add_model("m", "a", vec![], DataType::Float)
+            .add_url("http://x/y.csv", schema);
+        assert!(ctx.saved("Art").is_some());
+        assert_eq!(ctx.model("m").unwrap().target, "a");
+        assert!(ctx.url("http://x/y.csv").is_some());
+        assert!(ctx.url("http://other").is_none());
+    }
+}

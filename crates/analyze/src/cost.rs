@@ -1,0 +1,99 @@
+//! Pass 3: cost lints, priced with `dc-storage` block statistics.
+//!
+//! §3's consumption meter charges recipes by bytes scanned. Two shapes
+//! waste scan budget without changing results, and both are visible
+//! statically:
+//!
+//! * **DC0201** — a full `LoadTable` scan that only feeds a `Sample`
+//!   node. Block sampling reads `ceil(fraction × blocks)` blocks instead
+//!   of all of them; the full scan pays for rows the sampler discards.
+//! * **DC0202** — a `LoadTable` of a table that already has a same-named
+//!   snapshot. Snapshot reads are priced at a fixed per-read cost, so
+//!   re-scanning the live table re-pays the full byte price every run.
+
+use dc_skills::{NodeId, SkillCall, SkillDag};
+
+use crate::context::AnalysisContext;
+use crate::diag::{Code, Diagnostic, Fix, Span};
+use crate::schema_pass::ancestor_sets;
+
+/// Estimated scan price of one node, from block statistics. Only nodes
+/// that touch storage appear; pure transforms are free under the §3
+/// meter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCost {
+    pub node: NodeId,
+    /// Bytes a full scan of the node's source reads.
+    pub bytes: u64,
+    /// Blocks backing the source (granularity of block sampling).
+    pub blocks: usize,
+}
+
+/// Run the cost lints; returns the per-node scan estimates.
+pub fn cost_pass(
+    dag: &SkillDag,
+    ctx: &AnalysisContext,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<NodeCost> {
+    let mut costs = Vec::new();
+    for node in dag.nodes() {
+        if let SkillCall::LoadTable { database, table } = &node.call {
+            let Some((_, stats)) = ctx.table(database, table) else {
+                continue; // unknown table: the schema pass already errored
+            };
+            costs.push(NodeCost {
+                node: node.id,
+                bytes: stats.bytes,
+                blocks: stats.blocks,
+            });
+            if let Some(snap) = ctx.snapshot_like(table) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::FullScanCouldSnapshot,
+                        format!(
+                            "full scan of {database:?}.{table:?} (~{} bytes) re-reads a \
+                             table that snapshot {snap:?} already captures",
+                            stats.bytes
+                        ),
+                    )
+                    .with_span(Span::node(node.id, node.call.name()))
+                    .with_fix(Fix::replace(
+                        format!("read the fixed-cost snapshot {snap:?} instead"),
+                        format!("Use the snapshot {snap}"),
+                    )),
+                );
+            }
+        }
+    }
+
+    // DC0201: a Sample node downstream of a multi-block full scan.
+    let ancestors = ancestor_sets(dag);
+    for node in dag.nodes() {
+        let SkillCall::Sample { fraction, .. } = &node.call else {
+            continue;
+        };
+        for cost in &costs {
+            let upstream = ancestors
+                .get(node.id)
+                .is_some_and(|set| set.get(cost.node).copied().unwrap_or(false));
+            if upstream && cost.blocks >= 2 {
+                let sampled = ((cost.blocks as f64) * fraction).ceil() as usize;
+                diags.push(
+                    Diagnostic::new(
+                        Code::FullScanCouldSample,
+                        format!(
+                            "sampling {fraction} of a full scan (step {}, {} blocks, \
+                             ~{} bytes); a block-sampled scan would read ~{} block(s)",
+                            cost.node,
+                            cost.blocks,
+                            cost.bytes,
+                            sampled.max(1)
+                        ),
+                    )
+                    .with_span(Span::node(node.id, node.call.name())),
+                );
+            }
+        }
+    }
+    costs
+}

@@ -1,0 +1,76 @@
+//! Pass 2: dataflow lints — dead nodes and duplicate sub-DAGs.
+//!
+//! Use-before-define (DC0103) lives in the schema pass, where dataset
+//! resolution already happens; this module covers the whole-graph
+//! properties that need the final node set: which nodes feed no target
+//! (the serial executor would never run them, the parallel engines run
+//! them for nothing) and which nodes recompute a sub-DAG that an
+//! earlier node already computes (the structural cache deduplicates the
+//! work, but the recipe carries redundant steps).
+
+use std::collections::HashMap;
+
+use dc_skills::{structural_ids, NodeId, SkillDag};
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Run the dataflow lints for a DAG analyzed against `targets` (the
+/// nodes whose results the pipeline actually delivers).
+pub fn dataflow_pass(dag: &SkillDag, targets: &[NodeId], diags: &mut Vec<Diagnostic>) {
+    dead_nodes(dag, targets, diags);
+    duplicate_subdags(dag, diags);
+}
+
+/// DC0101: nodes outside the ancestor cone of every target.
+fn dead_nodes(dag: &SkillDag, targets: &[NodeId], diags: &mut Vec<Diagnostic>) {
+    let mut live = vec![false; dag.len()];
+    for &t in targets {
+        let Ok(ancestors) = dag.ancestors(t) else {
+            continue; // bogus target id; nothing to mark
+        };
+        for id in ancestors {
+            live[id] = true;
+        }
+    }
+    for node in dag.nodes() {
+        if !live[node.id] {
+            diags.push(
+                Diagnostic::new(
+                    Code::DeadNode,
+                    "step does not feed any analysis target and would never execute",
+                )
+                .with_span(Span::node(node.id, node.call.name())),
+            );
+        }
+    }
+}
+
+/// DC0102: nodes whose (call, inputs) sub-DAG is structurally identical
+/// to an earlier node's. The earliest node of each group is the
+/// representative; later ones are flagged.
+fn duplicate_subdags(dag: &SkillDag, diags: &mut Vec<Diagnostic>) {
+    let ids = structural_ids(dag);
+    let mut first: HashMap<u64, NodeId> = HashMap::new();
+    for node in dag.nodes() {
+        let Some(&sid) = ids.get(&node.id) else {
+            continue;
+        };
+        match first.get(&sid) {
+            None => {
+                first.insert(sid, node.id);
+            }
+            Some(&original) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::DuplicateSubDag,
+                        format!(
+                            "step recomputes the same sub-DAG as step {original}; the \
+                             structural cache will reuse that result"
+                        ),
+                    )
+                    .with_span(Span::node(node.id, node.call.name())),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The shared diagnostics framework: stable codes, severities, source
+//! spans, and optional structured fixes.
+//!
+//! Every static check in the platform — the DAG analyzer in this crate,
+//! the GEL recipe validator, and the NL2Code program checker (§4.5) —
+//! reports through [`Diagnostic`], so callers see one uniform shape with
+//! a stable machine-readable code (`DC0xxx`) regardless of which layer
+//! found the problem.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+///
+/// Ordered: `Fixed < Warning < Error`, so `max()` over a report gives
+/// the overall status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Repaired automatically (e.g. a removed print statement). Fixed
+    /// findings are informational: the pipeline already healed them, and
+    /// they are excluded from misalignment error tallies.
+    Fixed,
+    /// Suspicious but runnable.
+    Warning,
+    /// The pipeline cannot run as written.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Fixed => write!(f, "fixed"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// The numeric ranges group by pass: `DC00xx` schema/type/composition,
+/// `DC01xx` dataflow, `DC02xx` cost, `DC03xx` NL2Code streamlining,
+/// `DC04xx` GEL parsing. Codes are append-only — tooling (golden tests,
+/// the `analyze_corpus` gate) keys on them, so they never get renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `DC0001` — a dataset name resolves to nothing: not a DAG binding,
+    /// not a saved artifact, not a catalog table.
+    UnknownDataset,
+    /// `DC0002` — a referenced column is absent from the inferred schema.
+    UnknownColumn,
+    /// `DC0003` — a column has the wrong type for the operation (numeric
+    /// aggregate over text, date-part extraction from a non-date, ...).
+    TypeMismatch,
+    /// `DC0004` — two inputs cannot be composed (concat with incompatible
+    /// schemas, join keys that do not unify or differ in arity).
+    BadComposition,
+    /// `DC0005` — a skill that needs an input dataset has none wired.
+    MissingInput,
+    /// `DC0006` — a file, URL, or catalog table source does not exist.
+    UnknownSource,
+    /// `DC0007` — `UseSnapshot` names a snapshot that was never created.
+    UnknownSnapshot,
+    /// `DC0008` — `Predict`/`EvaluateModel` names a model that is neither
+    /// registered nor trained earlier in the DAG.
+    UnknownModel,
+    /// `DC0009` — a parameter is statically invalid (sample fraction out
+    /// of (0, 1], zero forecast horizon, zero clusters, non-positive bin
+    /// width).
+    InvalidArgument,
+    /// `DC0101` — the node feeds no analysis target; `slice()` would drop
+    /// it and it only wastes compute (and scan budget) if executed.
+    DeadNode,
+    /// `DC0102` — the node is structurally identical to an earlier
+    /// sub-DAG. The executor's structural cache runs it once, but the
+    /// duplication usually means redundant recipe steps.
+    DuplicateSubDag,
+    /// `DC0103` — `UseDataset` references a name that is only bound by a
+    /// *later* node, so at execution time it falls through to the
+    /// environment and will not see the intended dataset.
+    UseBeforeDefine,
+    /// `DC0201` — a full catalog scan feeds a `Sample` node; a
+    /// block-sampled scan (§3) would read a fraction of the bytes.
+    FullScanCouldSample,
+    /// `DC0202` — a full catalog scan re-reads a table that already has a
+    /// same-named snapshot; reading the snapshot is fixed-cost.
+    FullScanCouldSnapshot,
+    /// `DC0301` — the NL2Code checker removed a print statement.
+    RemovedPrint,
+    /// `DC0302` — the NL2Code checker removed an assignment whose target
+    /// is never used.
+    RemovedUnusedCode,
+    /// `DC0401` — a GEL sentence failed to parse, or a recipe does not
+    /// lower to a DAG.
+    GelParse,
+}
+
+impl Code {
+    /// The stable `DC0xxx` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnknownDataset => "DC0001",
+            Code::UnknownColumn => "DC0002",
+            Code::TypeMismatch => "DC0003",
+            Code::BadComposition => "DC0004",
+            Code::MissingInput => "DC0005",
+            Code::UnknownSource => "DC0006",
+            Code::UnknownSnapshot => "DC0007",
+            Code::UnknownModel => "DC0008",
+            Code::InvalidArgument => "DC0009",
+            Code::DeadNode => "DC0101",
+            Code::DuplicateSubDag => "DC0102",
+            Code::UseBeforeDefine => "DC0103",
+            Code::FullScanCouldSample => "DC0201",
+            Code::FullScanCouldSnapshot => "DC0202",
+            Code::RemovedPrint => "DC0301",
+            Code::RemovedUnusedCode => "DC0302",
+            Code::GelParse => "DC0401",
+        }
+    }
+
+    /// Short human title for registries and docs.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnknownDataset => "unknown dataset",
+            Code::UnknownColumn => "unknown column",
+            Code::TypeMismatch => "type mismatch",
+            Code::BadComposition => "invalid composition",
+            Code::MissingInput => "missing input",
+            Code::UnknownSource => "unknown source",
+            Code::UnknownSnapshot => "unknown snapshot",
+            Code::UnknownModel => "unknown model",
+            Code::InvalidArgument => "invalid argument",
+            Code::DeadNode => "dead node",
+            Code::DuplicateSubDag => "duplicate sub-DAG",
+            Code::UseBeforeDefine => "use before define",
+            Code::FullScanCouldSample => "full scan could be sampled",
+            Code::FullScanCouldSnapshot => "full scan could read a snapshot",
+            Code::RemovedPrint => "removed print statement",
+            Code::RemovedUnusedCode => "removed unused code",
+            Code::GelParse => "GEL parse error",
+        }
+    }
+
+    /// The severity this code carries unless a pass overrides it.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::RemovedPrint | Code::RemovedUnusedCode => Severity::Fixed,
+            Code::DeadNode
+            | Code::DuplicateSubDag
+            | Code::FullScanCouldSample
+            | Code::FullScanCouldSnapshot => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Every registered code, in `DC0xxx` order.
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::UnknownDataset,
+            Code::UnknownColumn,
+            Code::TypeMismatch,
+            Code::BadComposition,
+            Code::MissingInput,
+            Code::UnknownSource,
+            Code::UnknownSnapshot,
+            Code::UnknownModel,
+            Code::InvalidArgument,
+            Code::DeadNode,
+            Code::DuplicateSubDag,
+            Code::UseBeforeDefine,
+            Code::FullScanCouldSample,
+            Code::FullScanCouldSnapshot,
+            Code::RemovedPrint,
+            Code::RemovedUnusedCode,
+            Code::GelParse,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Where a diagnostic points. Layers fill what they know: the DAG
+/// analyzer sets `node`, the GEL validator remaps nodes to recipe
+/// `step`s and source `line`s, the NL checker sets program statement
+/// `step`s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// DAG node id.
+    pub node: Option<usize>,
+    /// 1-based recipe step / program statement.
+    pub step: Option<usize>,
+    /// 1-based source line.
+    pub line: Option<usize>,
+    /// The skill name or source excerpt the span covers.
+    pub fragment: String,
+}
+
+impl Span {
+    /// A span with no position (whole-pipeline findings).
+    pub fn none() -> Span {
+        Span::default()
+    }
+
+    /// A span anchored to a DAG node.
+    pub fn node(id: usize, fragment: impl Into<String>) -> Span {
+        Span {
+            node: Some(id),
+            fragment: fragment.into(),
+            ..Span::default()
+        }
+    }
+
+    /// A span anchored to a 1-based program statement / recipe step.
+    pub fn step(step: usize, fragment: impl Into<String>) -> Span {
+        Span {
+            step: Some(step),
+            fragment: fragment.into(),
+            ..Span::default()
+        }
+    }
+
+    /// A span anchored to a 1-based source line.
+    pub fn line(line: usize, fragment: impl Into<String>) -> Span {
+        Span {
+            line: Some(line),
+            fragment: fragment.into(),
+            ..Span::default()
+        }
+    }
+
+    /// Whether the span carries any position at all.
+    pub fn is_none(&self) -> bool {
+        self.node.is_none() && self.step.is_none() && self.line.is_none()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(s) = self.step {
+            write!(f, "step {s}")?;
+            wrote = true;
+        } else if let Some(n) = self.node {
+            write!(f, "node {n}")?;
+            wrote = true;
+        }
+        if let Some(l) = self.line {
+            if wrote {
+                write!(f, ", ")?;
+            }
+            write!(f, "line {l}")?;
+            wrote = true;
+        }
+        if !self.fragment.is_empty() {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "({})", self.fragment)?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "pipeline")?;
+        }
+        Ok(())
+    }
+}
+
+/// A structured, machine-applicable suggestion attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// What the fix does, in one sentence.
+    pub summary: String,
+    /// Replacement source for the spanned fragment, when one exists.
+    pub replacement: Option<String>,
+}
+
+impl Fix {
+    /// A fix with a summary only.
+    pub fn new(summary: impl Into<String>) -> Fix {
+        Fix {
+            summary: summary.into(),
+            replacement: None,
+        }
+    }
+
+    /// A fix that rewrites the spanned fragment.
+    pub fn replace(summary: impl Into<String>, replacement: impl Into<String>) -> Fix {
+        Fix {
+            summary: summary.into(),
+            replacement: Some(replacement.into()),
+        }
+    }
+}
+
+/// One finding from any static check in the platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+    pub fix: Option<Fix>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity with no span.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span: Span::none(),
+            fix: None,
+        }
+    }
+
+    /// Attach a span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Attach a structured fix.
+    pub fn with_fix(mut self, fix: Fix) -> Diagnostic {
+        self.fix = Some(fix);
+        self
+    }
+
+    /// Override the default severity.
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Whether this diagnostic blocks execution.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        write!(f, " — at {}", self.span)?;
+        if let Some(fix) = &self.fix {
+            write!(f, " (fix: {})", fix.summary)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = Code::all();
+        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len(), "duplicate DC codes");
+        assert!(strs.iter().all(|s| s.starts_with("DC0") && s.len() == 6));
+        assert_eq!(Code::UnknownColumn.as_str(), "DC0002");
+        assert_eq!(Code::DeadNode.as_str(), "DC0101");
+        assert_eq!(Code::FullScanCouldSample.as_str(), "DC0201");
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Fixed < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_renders_code_span_and_fix() {
+        let d = Diagnostic::new(Code::UnknownColumn, "column \"bogus\" not found")
+            .with_span(Span::step(3, "KeepRows"))
+            .with_fix(Fix::new("did you mean \"bonus\"?"));
+        let s = d.to_string();
+        assert!(s.contains("error[DC0002]"), "{s}");
+        assert!(s.contains("step 3"), "{s}");
+        assert!(s.contains("did you mean"), "{s}");
+        let none = Diagnostic::new(Code::GelParse, "oops");
+        assert!(none.to_string().contains("pipeline"));
+    }
+
+    #[test]
+    fn default_severities() {
+        assert_eq!(Code::RemovedPrint.default_severity(), Severity::Fixed);
+        assert_eq!(Code::DeadNode.default_severity(), Severity::Warning);
+        assert_eq!(Code::UnknownColumn.default_severity(), Severity::Error);
+    }
+}

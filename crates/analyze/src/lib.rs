@@ -1,0 +1,262 @@
+//! # dc-analyze — whole-pipeline static analysis (§2.2, §3, §4.5)
+//!
+//! DataChat plans an entire skill DAG before executing any of it, which
+//! makes the platform unusually amenable to static analysis: every
+//! dataset, column, model, and scan is named in the plan. This crate
+//! analyzes a planned [`SkillDag`] *before* `Executor::run`, in three
+//! passes over one shared [`Diagnostic`] framework:
+//!
+//! 1. **Schema & type propagation** ([`schema_pass`]) — infers each
+//!    node's output schema from skill signatures and catalog metadata,
+//!    rejecting unknown columns (`DC0002`), dtype mismatches (`DC0003`),
+//!    and invalid composition (`DC0004`) with node-level provenance.
+//! 2. **Dataflow lints** ([`dataflow`]) — dead nodes (`DC0101`),
+//!    duplicate sub-DAGs (`DC0102`) via the executor's own structural
+//!    interning, use-before-define (`DC0103`).
+//! 3. **Cost lints** ([`cost`]) — bytes-scanned estimates from
+//!    `dc-storage` block stats, flagging full scans that could be block
+//!    samples (`DC0201`) or snapshot reads (`DC0202`).
+//!
+//! The same [`Diagnostic`] type is emitted by the GEL recipe validator
+//! (`dc-gel`) and the NL2Code program checker (`dc-nl`), so every layer
+//! of the platform reports findings in one shape with stable codes.
+//!
+//! The analyzer is *sound for accepted pipelines*: anything it models it
+//! checks exactly the way the interpreter does (same case sensitivity,
+//! same dtype rules, same naming), so an accepted DAG only fails at run
+//! time for data-dependent reasons no schema can see. When semantics are
+//! data-dependent (`Pivot` headers, `RunSql`), the schema becomes
+//! unknown and downstream checking disables rather than guessing.
+
+pub mod context;
+pub mod cost;
+pub mod dataflow;
+pub mod diag;
+pub mod schema_pass;
+
+use std::collections::HashMap;
+
+use dc_skills::{NodeId, SkillDag};
+
+pub use context::{AnalysisContext, ModelInfo, TableStats};
+pub use cost::{cost_pass, NodeCost};
+pub use dataflow::dataflow_pass;
+pub use diag::{Code, Diagnostic, Fix, Severity, Span};
+pub use schema_pass::{schema_pass, FlowSchemas};
+
+/// What the platform does with analyzer findings before executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AnalysisPolicy {
+    /// Report diagnostics but execute anyway (errors surface at run
+    /// time, as before the analyzer existed).
+    #[default]
+    Warn,
+    /// Refuse to execute a pipeline with `Error`-severity diagnostics.
+    Deny,
+}
+
+/// The result of analyzing one pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// All findings, in pass order (schema, dataflow, cost).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Inferred output schema per node (`None` = statically unknown).
+    pub schemas: HashMap<NodeId, Option<dc_engine::Schema>>,
+    /// Scan-cost estimates for storage-touching nodes.
+    pub costs: Vec<NodeCost>,
+}
+
+impl Analysis {
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any finding blocks execution.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.is_error())
+    }
+
+    /// The highest severity present, or `None` for a clean report.
+    pub fn status(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Error findings grouped by the DAG node they reject, for the
+    /// resilient executor's preflight: each entry is a node that must
+    /// not run, with its (first) reason.
+    pub fn rejections(&self) -> Vec<(NodeId, String)> {
+        let mut seen: Vec<NodeId> = Vec::new();
+        let mut out = Vec::new();
+        for d in self.errors() {
+            if let Some(node) = d.span.node {
+                if !seen.contains(&node) {
+                    seen.push(node);
+                    out.push((node, format!("{}: {}", d.code, d.message)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Findings with a given code, for tests and tooling.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Render the report as stable, line-oriented text (one diagnostic
+    /// per line, then a summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        let fixed = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Fixed)
+            .count();
+        out.push_str(&format!(
+            "analysis: {errors} error(s), {warnings} warning(s), {fixed} auto-fixed\n"
+        ));
+        out
+    }
+}
+
+/// Analyze a planned DAG against `targets` — the nodes whose results the
+/// pipeline delivers (for a linear recipe, the last node). All three
+/// passes run; the report is never short-circuited, so one call yields
+/// every finding the analyzer can make.
+pub fn analyze_dag(dag: &SkillDag, targets: &[NodeId], ctx: &AnalysisContext) -> Analysis {
+    let mut diagnostics = Vec::new();
+    let schemas = schema_pass::schema_pass(dag, ctx, &mut diagnostics);
+    dataflow::dataflow_pass(dag, targets, &mut diagnostics);
+    let costs = cost::cost_pass(dag, ctx, &mut diagnostics);
+    Analysis {
+        diagnostics,
+        schemas,
+        costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{AggFunc, AggSpec, DataType, Expr, Field, Schema};
+    use dc_skills::SkillCall;
+
+    fn sales_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("order_id", DataType::Int),
+            Field::new("region", DataType::Str),
+            Field::new("price", DataType::Float),
+            Field::new("quantity", DataType::Int),
+            Field::new("order_date", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn ctx() -> AnalysisContext {
+        let mut ctx = AnalysisContext::new();
+        ctx.add_table(
+            "Main",
+            "sales",
+            sales_schema(),
+            TableStats {
+                rows: 100,
+                blocks: 4,
+                bytes: 4096,
+            },
+        );
+        ctx
+    }
+
+    fn load(dag: &mut SkillDag) -> NodeId {
+        dag.add(
+            SkillCall::LoadTable {
+                database: "Main".into(),
+                table: "sales".into(),
+            },
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_pipeline_reports_nothing() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("price").gt(Expr::lit(1.0)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let g = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![AggSpec {
+                        func: AggFunc::Sum,
+                        column: Some("price".into()),
+                        output: "total".into(),
+                    }],
+                    for_each: vec!["region".into()],
+                },
+                vec![f],
+            )
+            .unwrap();
+        let report = analyze_dag(&dag, &[g], &ctx());
+        assert!(report.diagnostics.is_empty(), "{}", report.render());
+        let schema = report.schemas[&g].as_ref().unwrap();
+        assert_eq!(schema.names(), vec!["region", "total"]);
+        assert_eq!(schema.field("total").unwrap().dtype, DataType::Float);
+        assert_eq!(report.costs.len(), 1);
+        assert_eq!(report.costs[0].bytes, 4096);
+    }
+
+    #[test]
+    fn unknown_column_and_dead_node_and_costs() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let bad = dag
+            .add(
+                SkillCall::DescribeColumn {
+                    column: "bogus".into(),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let dead = dag.add(SkillCall::CountRows, vec![l]).unwrap();
+        let report = analyze_dag(&dag, &[bad], &ctx());
+        assert!(report.has_errors());
+        assert_eq!(report.with_code(Code::UnknownColumn).len(), 1);
+        let dn = report.with_code(Code::DeadNode);
+        assert_eq!(dn.len(), 1);
+        assert_eq!(dn[0].span.node, Some(dead));
+        let rejections = report.rejections();
+        assert_eq!(rejections.len(), 1);
+        assert_eq!(rejections[0].0, bad);
+        assert!(
+            rejections[0].1.starts_with("DC0002:"),
+            "{}",
+            rejections[0].1
+        );
+    }
+
+    #[test]
+    fn policy_default_is_warn() {
+        assert_eq!(AnalysisPolicy::default(), AnalysisPolicy::Warn);
+    }
+}

@@ -1,0 +1,61 @@
+//! Static-analysis CI gate: analyze every example recipe in
+//! `examples/recipes/` against the demo catalog and exit non-zero on any
+//! Error-severity diagnostic. Warnings are reported but do not fail the
+//! gate (they are advisory cost/structure lints).
+
+use dc_analyze::AnalysisContext;
+use dc_skills::Env;
+use dc_storage::{CloudDatabase, Pricing};
+
+fn corpus_env() -> Env {
+    let mut env = Env::new();
+    let (collisions, parties, victims) = dc_storage::demo::california_collisions(200, 1);
+    let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+    db.create_table("collisions", &collisions).unwrap();
+    db.create_table("parties", &parties).unwrap();
+    db.create_table("victims", &victims).unwrap();
+    db.create_table("sales", &dc_storage::demo::sales(200, 1))
+        .unwrap();
+    env.catalog.add_database(db).unwrap();
+    env
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/recipes");
+    let ctx = AnalysisContext::from_env(&corpus_env());
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("gel"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no .gel recipes in {}", dir.display());
+
+    let mut failed = 0usize;
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let text = std::fs::read_to_string(path).expect("readable recipe");
+        let analysis = dc_gel::analyze_gel(&text, &ctx);
+        let errors = analysis.errors().count();
+        let warnings = analysis.warnings().count();
+        if errors > 0 {
+            failed += 1;
+            println!("FAIL {name}: {errors} error(s)");
+            for line in analysis.render().lines() {
+                println!("     {line}");
+            }
+        } else if warnings > 0 {
+            println!("ok   {name} ({warnings} warning(s))");
+        } else {
+            println!("ok   {name}");
+        }
+    }
+    println!(
+        "analyze_corpus: {}/{} recipes clean",
+        paths.len() - failed,
+        paths.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

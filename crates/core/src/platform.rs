@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use dc_analyze::{Analysis, AnalysisContext, AnalysisPolicy, Diagnostic};
 use dc_collab::{
     with_env, Artifact, HomeScreen, InsightsBoard, LinkIssuer, Permission, SessionRef,
     SessionRegistry, ShareLink,
@@ -28,13 +29,17 @@ pub enum ChatPath {
     Llm,
 }
 
-/// A chat answer: the final output, the executed GEL steps, and which
-/// path produced them.
+/// A chat answer: the final output, the executed GEL steps, which path
+/// produced them, and any static-analysis findings for the program.
 #[derive(Debug)]
 pub struct ChatReply {
     pub output: SkillOutput,
     pub steps_gel: Vec<String>,
     pub path: ChatPath,
+    /// Diagnostics from the pre-execution analyzer (empty when the
+    /// program was clean or continued session state the analyzer cannot
+    /// see).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// A user's handle on an open session.
@@ -86,6 +91,7 @@ pub struct Platform {
     pub home: HomeScreen,
     links: LinkIssuer,
     pub nl: Nl2Code,
+    analysis_policy: AnalysisPolicy,
 }
 
 impl std::fmt::Debug for Platform {
@@ -109,7 +115,35 @@ impl Platform {
             home: HomeScreen::new(),
             links: LinkIssuer::new(),
             nl: Nl2Code::with_defaults(42),
+            analysis_policy: AnalysisPolicy::default(),
         }
+    }
+
+    /// Snapshot the environment into an [`AnalysisContext`]: catalog
+    /// schemas and block stats, saved artifacts, snapshots, models, and
+    /// CSV fixtures. Pure metadata — nothing is scanned.
+    pub fn analysis_context(&self) -> AnalysisContext {
+        with_env(|env| AnalysisContext::from_env(env))
+    }
+
+    /// Statically analyze a GEL program against the current environment
+    /// without executing anything. Parse failures, schema/type errors,
+    /// dataflow lints, and cost lints all land in one [`Analysis`].
+    pub fn analyze(&self, gel_text: &str) -> Analysis {
+        dc_gel::analyze_gel(gel_text, &self.analysis_context())
+    }
+
+    /// How chat programs respond to analyzer findings:
+    /// [`AnalysisPolicy::Warn`] (the default) attaches diagnostics to the
+    /// reply; [`AnalysisPolicy::Deny`] refuses to execute a program with
+    /// Error-severity findings.
+    pub fn set_analysis_policy(&mut self, policy: AnalysisPolicy) {
+        self.analysis_policy = policy;
+    }
+
+    /// The current analysis policy.
+    pub fn analysis_policy(&self) -> AnalysisPolicy {
+        self.analysis_policy
     }
 
     /// Access the environment (catalog, snapshot store, virtual files).
@@ -181,13 +215,7 @@ impl Platform {
     pub fn chat(&mut self, handle: &SessionHandle, text: &str) -> Result<ChatReply, PlatformError> {
         // 1. Direct GEL.
         if let Ok(call) = dc_gel::parse_gel(text) {
-            let gel = dc_gel::format_skill(&call);
-            let output = handle.session.submit(&handle.user, call)?;
-            return Ok(ChatReply {
-                output,
-                steps_gel: vec![gel],
-                path: ChatPath::Gel,
-            });
+            return self.execute_calls(handle, vec![call], ChatPath::Gel);
         }
         let schema = self.schema_hints();
         // 2. Phrase-based translation (deterministic, Visualize-driven).
@@ -208,33 +236,11 @@ impl Platform {
         calls: Vec<SkillCall>,
         path: ChatPath,
     ) -> Result<ChatReply, PlatformError> {
+        let calls: Vec<SkillCall> = calls.into_iter().map(rewrite_use_dataset).collect();
+        let diagnostics = self.preflight(&calls)?;
         let mut last: Option<SkillOutput> = None;
         let mut steps_gel = Vec::with_capacity(calls.len());
         for call in calls {
-            // `Use the dataset X` over a catalog table becomes a load.
-            let call = match call {
-                SkillCall::UseDataset { name, version } => {
-                    let in_catalog: Option<String> = with_env(|env| {
-                        env.catalog.database_names().iter().find_map(|db| {
-                            env.catalog
-                                .database(db)
-                                .ok()?
-                                .table_names()
-                                .iter()
-                                .any(|t| t.eq_ignore_ascii_case(&name))
-                                .then(|| db.to_string())
-                        })
-                    });
-                    match in_catalog {
-                        Some(db) => SkillCall::LoadTable {
-                            database: db,
-                            table: name,
-                        },
-                        None => SkillCall::UseDataset { name, version },
-                    }
-                }
-                other => other,
-            };
             steps_gel.push(dc_gel::format_skill(&call));
             last = Some(handle.session.submit(&handle.user, call)?);
         }
@@ -242,7 +248,37 @@ impl Platform {
             output: last.ok_or("empty program")?,
             steps_gel,
             path,
+            diagnostics,
         })
+    }
+
+    /// Statically analyze a chat program before execution. Programs that
+    /// open with a transform continue the session's current result —
+    /// state the recipe-level analyzer cannot see — so those skip
+    /// analysis rather than guess. Under [`AnalysisPolicy::Deny`], an
+    /// Error-severity finding refuses execution (the session DAG is left
+    /// untouched); under [`AnalysisPolicy::Warn`], findings ride along on
+    /// the reply.
+    fn preflight(&self, calls: &[SkillCall]) -> Result<Vec<Diagnostic>, PlatformError> {
+        match calls.first() {
+            None => return Ok(Vec::new()),
+            Some(first) if first.needs_input() => return Ok(Vec::new()),
+            Some(_) => {}
+        }
+        let mut recipe = dc_gel::Recipe::new();
+        for call in calls {
+            recipe.push(call.clone());
+        }
+        let analysis = dc_gel::validate_recipe(&recipe, &self.analysis_context());
+        if self.analysis_policy == AnalysisPolicy::Deny && analysis.has_errors() {
+            let lines: Vec<String> = analysis.errors().map(|d| d.to_string()).collect();
+            return Err(format!(
+                "static analysis rejected the program:\n{}",
+                lines.join("\n")
+            )
+            .into());
+        }
+        Ok(analysis.diagnostics)
     }
 
     /// Save the session's current result as an artifact (sliced recipe,
@@ -323,6 +359,33 @@ impl Platform {
 impl Default for Platform {
     fn default() -> Self {
         Platform::new()
+    }
+}
+
+/// `Use the dataset X` over a catalog table becomes a load. Resolution is
+/// case-insensitive (chat is forgiving) but the rewritten call carries
+/// the catalog's *exact* table name, because the storage lookup the load
+/// performs is exact-match.
+fn rewrite_use_dataset(call: SkillCall) -> SkillCall {
+    let SkillCall::UseDataset { name, version } = call else {
+        return call;
+    };
+    let in_catalog: Option<(String, String)> = with_env(|env| {
+        env.catalog.database_names().iter().find_map(|db| {
+            let table = env
+                .catalog
+                .database(db)
+                .ok()?
+                .table_names()
+                .iter()
+                .find(|t| t.eq_ignore_ascii_case(&name))?
+                .to_string();
+            Some((db.to_string(), table))
+        })
+    });
+    match in_catalog {
+        Some((database, table)) => SkillCall::LoadTable { database, table },
+        None => SkillCall::UseDataset { name, version },
     }
 }
 
@@ -444,6 +507,75 @@ mod tests {
         p.disable_fault_injection();
         p.chat(&h, "Load the table parties from the database MainDatabase")
             .unwrap();
+    }
+
+    #[test]
+    fn analyze_reports_bad_recipe_without_executing() {
+        let p = platform_with_collisions();
+        let a = p.analyze(
+            "Load the table parties from the database MainDatabase\n\
+             Keep the rows where bogus > 1\n",
+        );
+        assert!(a.has_errors());
+        let d = &a.with_code(dc_analyze::Code::UnknownColumn)[0];
+        assert_eq!(d.span.line, Some(2));
+        // A clean program analyzes clean.
+        let a = p.analyze("Load the table parties from the database MainDatabase");
+        assert!(a.diagnostics.is_empty(), "{}", a.render());
+    }
+
+    #[test]
+    fn deny_policy_refuses_before_execution() {
+        let mut p = platform_with_collisions();
+        p.set_analysis_policy(dc_analyze::AnalysisPolicy::Deny);
+        assert_eq!(p.analysis_policy(), dc_analyze::AnalysisPolicy::Deny);
+        let h = p.open_session("ann");
+        let err = p
+            .chat(&h, "Load the table ghost from the database MainDatabase")
+            .unwrap_err();
+        assert!(err.to_string().contains("DC0001"), "{err}");
+        // The refusal happened before any node entered the session DAG.
+        assert!(h.session.current_node().is_none());
+        // Clean programs still execute under Deny.
+        p.chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        assert!(h.session.current_node().is_some());
+    }
+
+    #[test]
+    fn warn_policy_attaches_diagnostics_but_executes() {
+        let mut p = platform_with_collisions();
+        // A snapshot shadowing the table name triggers the §3 cost lint:
+        // the full scan could be a fixed-cost snapshot read.
+        p.env(|env| {
+            let t = dc_storage::demo::california_collisions(50, 1).1;
+            env.snapshots
+                .create("parties", t, "test", vec![], None)
+                .unwrap();
+        });
+        let h = p.open_session("ann");
+        let reply = p
+            .chat(&h, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        assert!(reply
+            .diagnostics
+            .iter()
+            .any(|d| d.code == dc_analyze::Code::FullScanCouldSnapshot));
+        assert!(reply.output.as_table().is_some());
+    }
+
+    #[test]
+    fn use_dataset_rewrite_carries_exact_catalog_name() {
+        let mut p = platform_with_collisions();
+        let h = p.open_session("ann");
+        // Case-insensitive resolution, exact-cased load.
+        let reply = p.chat(&h, "Use the dataset PARTIES").unwrap();
+        assert!(
+            reply.steps_gel[0].contains("parties from the database MainDatabase"),
+            "{:?}",
+            reply.steps_gel
+        );
+        assert!(reply.output.as_table().unwrap().num_rows() >= 300);
     }
 
     #[test]

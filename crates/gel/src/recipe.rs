@@ -27,12 +27,30 @@ impl Recipe {
         Recipe::default()
     }
 
-    /// Build from GEL text, one sentence per line (blank lines and `--`
-    /// comment lines are skipped).
+    /// Build from GEL text, one sentence per line. Blank lines and `--`
+    /// comment lines are skipped, except the `-- bind: <name>` directive,
+    /// which binds the preceding step's result to a dataset name (the
+    /// textual form of [`Recipe::bind`], so `.gel` files can express the
+    /// branching recipes of Figure 2).
     pub fn parse(text: &str) -> Result<Recipe> {
         let mut r = Recipe::new();
         for line in text.lines() {
             let line = line.trim();
+            if let Some(name) = line.strip_prefix("-- bind:") {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(GelError::Editor {
+                        message: "-- bind: directive needs a dataset name".into(),
+                    });
+                }
+                let Some(last) = r.steps.len().checked_sub(1) else {
+                    return Err(GelError::Editor {
+                        message: "-- bind: directive before any step".into(),
+                    });
+                };
+                r.bind(last, name)?;
+                continue;
+            }
             if line.is_empty() || line.starts_with("--") {
                 continue;
             }

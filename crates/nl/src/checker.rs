@@ -14,23 +14,13 @@ use crate::error::{NlError, Result};
 use crate::pyapi::{parse_pyapi, PyProgram, PyStatement};
 use crate::semantic::SchemaHints;
 
-/// Severity of a checker finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Severity {
-    /// Repaired automatically (e.g. removed a print statement).
-    Fixed,
-    /// Suspicious but runnable.
-    Warning,
-    /// The program cannot run as written.
-    Error,
-}
+// The checker reports through the platform-wide diagnostics framework:
+// stable `DC0xxx` codes, shared severities, and statement-level spans,
+// uniform with the DAG analyzer and the GEL validator.
+pub use dc_analyze::{Code, Diagnostic, Severity, Span};
 
-/// One checker finding.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CheckIssue {
-    pub severity: Severity,
-    pub message: String,
-}
+/// One checker finding — an alias for the shared diagnostic type.
+pub type CheckIssue = Diagnostic;
 
 /// A validated (and streamlined) program.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +41,24 @@ impl CheckedProgram {
             .iter()
             .filter(|i| i.severity == Severity::Error)
             .collect()
+    }
+
+    /// Findings that still need attention — everything except the
+    /// auto-repaired [`Severity::Fixed`] ones, which the pipeline
+    /// already healed.
+    pub fn unresolved(&self) -> Vec<&CheckIssue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity != Severity::Fixed)
+            .collect()
+    }
+
+    /// Number of findings the checker repaired automatically.
+    pub fn fixed_count(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Fixed)
+            .count()
     }
 }
 
@@ -163,14 +171,15 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
     let parsed = parse_pyapi(source)?;
     let mut issues: Vec<CheckIssue> = Vec::new();
 
-    // 2a. Strip prints.
+    // 2a. Strip prints. Spans are 1-based statement ordinals in the
+    // *generated* program, which is what the user sees in the trace.
     let mut statements: Vec<PyStatement> = Vec::new();
-    for st in parsed.statements {
+    for (i, st) in parsed.statements.into_iter().enumerate() {
         if st.is_print {
-            issues.push(CheckIssue {
-                severity: Severity::Fixed,
-                message: "removed print statement".into(),
-            });
+            issues.push(
+                Diagnostic::new(Code::RemovedPrint, "removed print statement")
+                    .with_span(Span::step(i + 1, "print")),
+            );
         } else {
             statements.push(st);
         }
@@ -185,10 +194,13 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
                 .any(|r| r.eq_ignore_ascii_case(target));
             let is_last = i == statements.len() - 1;
             if !used_later && !is_last {
-                issues.push(CheckIssue {
-                    severity: Severity::Fixed,
-                    message: format!("removed unused assignment to {target}"),
-                });
+                issues.push(
+                    Diagnostic::new(
+                        Code::RemovedUnusedCode,
+                        format!("removed unused assignment to {target}"),
+                    )
+                    .with_span(Span::step(i + 1, target.clone())),
+                );
                 continue;
             }
         }
@@ -197,31 +209,37 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
 
     // 3 + 4. Reference and composition checks with schema evolution.
     let mut var_schemas: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    for st in &kept {
+    for (si, st) in kept.iter().enumerate() {
         let root_lower = st.root.to_lowercase();
         let mut cols: Vec<String> = if let Some(cols) = var_schemas.get(&root_lower) {
             cols.clone()
         } else if let Some((_, cols)) = st.schema_lookup(schema) {
             cols
         } else {
-            issues.push(CheckIssue {
-                severity: Severity::Error,
-                message: format!("unknown dataset {:?}", st.root),
-            });
+            issues.push(
+                Diagnostic::new(
+                    Code::UnknownDataset,
+                    format!("unknown dataset {:?}", st.root),
+                )
+                .with_span(Span::step(si + 1, st.root.clone())),
+            );
             continue;
         };
         for call in &st.calls {
             let (reads, creates) = call_columns(call);
             for r in &reads {
                 if !cols.iter().any(|c| c.eq_ignore_ascii_case(r)) {
-                    issues.push(CheckIssue {
-                        severity: Severity::Error,
-                        message: format!(
-                            "column {r:?} is not available at step {} (have: {})",
-                            call.name(),
-                            cols.join(", ")
-                        ),
-                    });
+                    issues.push(
+                        Diagnostic::new(
+                            Code::UnknownColumn,
+                            format!(
+                                "column {r:?} is not available at step {} (have: {})",
+                                call.name(),
+                                cols.join(", ")
+                            ),
+                        )
+                        .with_span(Span::step(si + 1, call.name())),
+                    );
                 }
             }
             // Evolve the schema.
@@ -263,10 +281,13 @@ pub fn check(source: &str, schema: &SchemaHints) -> Result<CheckedProgram> {
                             }
                         }
                     } else {
-                        issues.push(CheckIssue {
-                            severity: Severity::Error,
-                            message: format!("unknown join dataset {other:?}"),
-                        });
+                        issues.push(
+                            Diagnostic::new(
+                                Code::UnknownDataset,
+                                format!("unknown join dataset {other:?}"),
+                            )
+                            .with_span(Span::step(si + 1, call.name())),
+                        );
                     }
                 }
                 _ => {

@@ -105,9 +105,12 @@ impl Nl2Code {
         trace.push(format!("9-10. {} generated: {raw_code}", self.model.name()));
 
         let checked = check(&raw_code, schema)?;
+        // Auto-repaired (Fixed) findings are healed, not errors — only
+        // unresolved issues count against the program.
         trace.push(format!(
-            "11. program checker: {} issue(s), valid = {}",
-            checked.issues.len(),
+            "11. program checker: {} unresolved issue(s), {} auto-fixed, valid = {}",
+            checked.unresolved().len(),
+            checked.fixed_count(),
             checked.is_valid()
         ));
 

@@ -64,6 +64,28 @@ impl Env {
             })
     }
 
+    /// All registered file fixtures, sorted by path.
+    pub fn files(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .files
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All registered URL fixtures, sorted by URL.
+    pub fn urls(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .urls
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Fetch a URL fixture.
     pub fn url(&self, url: &str) -> Result<&str> {
         self.urls
@@ -95,6 +117,13 @@ impl Env {
         v
     }
 
+    /// All trained models, sorted by name.
+    pub fn models(&self) -> Vec<&Model> {
+        let mut v: Vec<&Model> = self.models.values().collect();
+        v.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
     /// Record a `Define` phrase.
     pub fn define(&mut self, phrase: impl Into<String>, expansion: impl Into<String>) {
         self.definitions
@@ -122,6 +151,13 @@ impl Env {
     /// Persist a saved artifact's table payload.
     pub fn save_table(&mut self, name: impl Into<String>, table: Table) {
         self.saved.insert(name.into(), table);
+    }
+
+    /// All saved artifact tables, sorted by name.
+    pub fn saved_tables(&self) -> Vec<(&str, &Table)> {
+        let mut v: Vec<(&str, &Table)> = self.saved.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
     }
 
     /// Fetch a saved artifact's table payload.

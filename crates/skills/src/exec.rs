@@ -702,7 +702,7 @@ pub struct ExecutorStats {
 
 /// Interned identity of one sub-DAG (a call plus the identities of the
 /// sub-DAGs feeding it).
-pub(crate) type SubDagId = u64;
+pub type SubDagId = u64;
 
 /// Structural cache-key signature: the canonical call description plus
 /// the interned ids of the input sub-DAGs.
@@ -715,6 +715,28 @@ pub(crate) type SubDagId = u64;
 pub(crate) struct KeySig {
     pub(crate) call: String,
     pub(crate) inputs: Vec<SubDagId>,
+}
+
+/// Structural sub-DAG ids for every node of `dag`, computed with the
+/// same interning the executor's cache keys use, but against a fresh
+/// interner that touches no executor state. Structurally identical
+/// sub-DAGs (same canonical call, same interned input ids) share an id —
+/// the property the resilient scheduler's alias tracking and the static
+/// analyzer's duplicate-sub-DAG pass are both built on.
+pub fn structural_ids(dag: &SkillDag) -> HashMap<NodeId, SubDagId> {
+    let mut interner: HashMap<KeySig, SubDagId> = HashMap::new();
+    let mut ids: HashMap<NodeId, SubDagId> = HashMap::with_capacity(dag.len());
+    // Nodes are append-only, so insertion order is topological and every
+    // input id is already interned when its consumer is reached.
+    for node in dag.nodes() {
+        let sig = KeySig {
+            call: node.call.cache_key(),
+            inputs: node.inputs.iter().map(|i| ids[i]).collect(),
+        };
+        let next = interner.len() as SubDagId;
+        ids.insert(node.id, *interner.entry(sig).or_insert(next));
+    }
+    ids
 }
 
 /// Instrumentation callback invoked just before a node executes.

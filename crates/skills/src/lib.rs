@@ -31,7 +31,9 @@ pub mod slicing;
 pub use dag::{NodeId, SkillDag, SkillNode};
 pub use env::Env;
 pub use error::{Result, SkillError};
-pub use exec::{execute_call, execute_pure_call, needs_env, Executor, ExecutorStats};
+pub use exec::{
+    execute_call, execute_pure_call, needs_env, structural_ids, Executor, ExecutorStats, SubDagId,
+};
 pub use exec_plan::{run_planned, PlannedStats};
 pub use output::SkillOutput;
 pub use planner::{plan, ExecutionTask};

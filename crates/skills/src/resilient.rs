@@ -379,18 +379,73 @@ impl Executor {
         env: &mut Env,
         policy: &ExecPolicy,
     ) -> Result<ExecReport> {
+        self.run_resilient_with_rejections(dag, target, env, policy, &[])
+    }
+
+    /// [`Executor::run_resilient`] with an analyzer preflight folded in:
+    /// `rejections` lists nodes a static analysis pass refused (with the
+    /// reason rendered as text, so this crate stays independent of the
+    /// analyzer). Rejected nodes are classified as permanently failed
+    /// with **zero attempts** — no retry budget, no backoff sleeps, no
+    /// execution — and poison their dependents (and structural
+    /// duplicates) exactly like a runtime failure would.
+    pub fn run_resilient_with_rejections(
+        &mut self,
+        dag: &SkillDag,
+        target: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+        rejections: &[(NodeId, String)],
+    ) -> Result<ExecReport> {
         let order = dag.ancestors(target)?;
         let ids = self.intern_ids(dag, &order)?;
 
         let mut reports: HashMap<NodeId, NodeReport> = HashMap::with_capacity(order.len());
+        // Unusability is tracked by sub-DAG id, not node id, so a failed
+        // (or rejected) representative also poisons its structural
+        // duplicates.
+        let mut unusable: HashSet<SubDagId> = HashSet::new();
         // Structurally identical duplicates execute once; the aliases are
-        // resolved against the cache after the run.
+        // resolved against the cache after the run. Rejection trumps the
+        // cache: a statically invalid node must not serve a stale result.
         let mut pending: Vec<NodeId> = Vec::new();
         let mut aliases: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut rejected_reps: HashMap<SubDagId, NodeId> = HashMap::new();
         for &nid in &order {
             let id = ids[&nid];
-            let skill = dag.node(nid)?.call.name();
-            if self.cache.contains_key(&id) {
+            let node = dag.node(nid)?;
+            let skill = node.call.name();
+            if let Some((_, reason)) = rejections.iter().find(|(r, _)| *r == nid) {
+                reports.insert(
+                    nid,
+                    NodeReport::new(
+                        nid,
+                        skill,
+                        NodeOutcome::Failed(SkillError::invalid(format!(
+                            "rejected by static analysis: {reason}"
+                        ))),
+                    ),
+                );
+                unusable.insert(id);
+                rejected_reps.entry(id).or_insert(nid);
+            } else if let Some(&blocked_on) =
+                node.inputs.iter().find(|i| unusable.contains(&ids[i]))
+            {
+                // Downstream of a rejection: even a checkpointed result
+                // derives from the rejected computation, so skip it.
+                reports.insert(
+                    nid,
+                    NodeReport::new(nid, skill, NodeOutcome::Skipped { blocked_on }),
+                );
+                unusable.insert(id);
+            } else if let Some(&rep) = rejected_reps.get(&id) {
+                // Structural duplicate of a rejected node: the same
+                // computation is equally invalid, so it never runs.
+                reports.insert(
+                    nid,
+                    NodeReport::new(nid, skill, NodeOutcome::Skipped { blocked_on: rep }),
+                );
+            } else if self.cache.contains_key(&id) {
                 self.stats.cache_hits += 1;
                 reports.insert(nid, NodeReport::new(nid, skill, NodeOutcome::CacheHit));
             } else if let Some(&rep) = pending.iter().find(|p| ids[p] == id) {
@@ -403,9 +458,6 @@ impl Executor {
 
         // Wave loop: execute every ready node, skip nodes blocked on a
         // failure, repeat. Topological order guarantees progress.
-        // Unusability is tracked by sub-DAG id, not node id, so a failed
-        // representative also poisons its structural duplicates.
-        let mut unusable: HashSet<SubDagId> = HashSet::new();
         while !pending.is_empty() {
             let mut wave = Vec::new();
             let mut rest = Vec::new();
@@ -459,7 +511,13 @@ impl Executor {
             reports.insert(nid, NodeReport::new(nid, skill, outcome));
         }
 
-        let output = self.cache.get(&ids[&target]).map(|(out, _)| out.clone());
+        // A rejected (or failed) target never yields an output, even when
+        // an earlier run checkpointed a result for its sub-DAG.
+        let output = if unusable.contains(&ids[&target]) {
+            None
+        } else {
+            self.cache.get(&ids[&target]).map(|(out, _)| out.clone())
+        };
         let mut nodes: Vec<NodeReport> = Vec::with_capacity(order.len());
         for &nid in &order {
             if let Some(r) = reports.remove(&nid) {

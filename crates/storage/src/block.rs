@@ -128,6 +128,13 @@ impl BlockTable {
         &self.schema_names
     }
 
+    /// The stored table's typed schema. Constructors always push at
+    /// least one block (an empty table is stored as one empty block), so
+    /// the first block's schema is the table's schema.
+    pub fn schema(&self) -> &dc_engine::Schema {
+        self.blocks[0].schema()
+    }
+
     /// Shared handle to block `i`'s data — a pointer copy, not a clone.
     pub fn block(&self, i: usize) -> Option<Arc<Table>> {
         self.blocks.get(i).map(Arc::clone)

@@ -5,6 +5,7 @@
 //! user-facing platform facade and `DESIGN.md` for the system inventory.
 
 pub use datachat_core as core;
+pub use dc_analyze as analyze;
 pub use dc_collab as collab;
 pub use dc_engine as engine;
 pub use dc_gel as gel;

@@ -1,0 +1,205 @@
+//! Golden-file diagnostics tests for the static analyzer.
+//!
+//! Each `tests/golden/*.gel` file is a recipe annotated with the exact
+//! diagnostics the analyzer must produce, one `-- expect:` comment per
+//! finding:
+//!
+//! ```text
+//! -- expect: DC0002 @ step 2      (code anchored to a 1-based recipe step)
+//! -- expect: DC0401 @ line 3      (code anchored to a 1-based source line)
+//! -- expect: DC0101               (code with no span constraint)
+//! ```
+//!
+//! A file with no `-- expect:` lines asserts the recipe analyzes clean.
+//! The harness requires the *multiset* of emitted codes to equal the
+//! expected one — extra or missing findings both fail — and every
+//! anchored expectation to match at least one finding at that span.
+
+use std::fs;
+use std::path::PathBuf;
+
+use datachat::analyze::{AnalysisContext, TableStats};
+use datachat::engine::{DataType, Field, Schema};
+
+fn schema(fields: &[(&str, DataType)]) -> Schema {
+    Schema::new(
+        fields
+            .iter()
+            .map(|(n, t)| Field::new(*n, *t))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+/// The world every golden scenario is analyzed against.
+fn golden_context() -> AnalysisContext {
+    let sales = schema(&[
+        ("order_id", DataType::Int),
+        ("order_date", DataType::Date),
+        ("region", DataType::Str),
+        ("product", DataType::Str),
+        ("price", DataType::Float),
+        ("discount", DataType::Float),
+        ("quantity", DataType::Int),
+        ("PurchaseStatus", DataType::Str),
+    ]);
+    let events = schema(&[
+        ("event_id", DataType::Int),
+        ("region", DataType::Str),
+        ("ts", DataType::Date),
+    ]);
+    let big_log = schema(&[("line", DataType::Str)]);
+    let mut ctx = AnalysisContext::new();
+    ctx.add_table(
+        "MainDatabase",
+        "sales",
+        sales.clone(),
+        TableStats {
+            rows: 1000,
+            blocks: 4,
+            bytes: 65_536,
+        },
+    )
+    .add_table(
+        "MainDatabase",
+        "events",
+        events,
+        TableStats {
+            rows: 100,
+            blocks: 1,
+            bytes: 4_096,
+        },
+    )
+    .add_table(
+        "MainDatabase",
+        "big_log",
+        big_log.clone(),
+        TableStats {
+            rows: 100_000,
+            blocks: 16,
+            bytes: 1_048_576,
+        },
+    )
+    // A snapshot shadowing big_log: scanning the table triggers DC0202.
+    .add_snapshot("big_log", big_log)
+    .add_snapshot(
+        "archived",
+        schema(&[("region", DataType::Str), ("total", DataType::Int)]),
+    )
+    .add_saved("sales_backup", sales)
+    .add_saved(
+        "other3col",
+        schema(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ]),
+    )
+    .add_model(
+        "pricer",
+        "price",
+        vec!["quantity".into(), "discount".into()],
+        DataType::Float,
+    )
+    .add_file(
+        "nums.csv",
+        schema(&[("x", DataType::Int), ("y", DataType::Int)]),
+    );
+    ctx
+}
+
+/// One `-- expect:` annotation.
+struct Expect {
+    code: String,
+    /// `Some((true, n))` = step n; `Some((false, n))` = line n.
+    anchor: Option<(bool, usize)>,
+}
+
+fn parse_expects(text: &str) -> Vec<Expect> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("-- expect:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (code, anchor) = match rest.split_once('@') {
+            None => (rest.to_string(), None),
+            Some((code, at)) => {
+                let mut words = at.split_whitespace();
+                let kind = words.next().expect("anchor kind");
+                let n: usize = words
+                    .next()
+                    .expect("anchor number")
+                    .parse()
+                    .expect("anchor number parses");
+                let is_step = match kind {
+                    "step" => true,
+                    "line" => false,
+                    other => panic!("unknown anchor kind {other:?}"),
+                };
+                (code.trim().to_string(), Some((is_step, n)))
+            }
+        };
+        out.push(Expect { code, anchor });
+    }
+    out
+}
+
+#[test]
+fn golden_corpus_matches_expected_diagnostics() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let ctx = golden_context();
+    let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/golden exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("gel"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 15,
+        "golden corpus has only {} scenarios",
+        names.len()
+    );
+    for path in names {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = fs::read_to_string(&path).unwrap();
+        let expects = parse_expects(&text);
+        let analysis = datachat::gel::analyze_gel(&text, &ctx);
+
+        let mut actual: Vec<&str> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect();
+        let mut wanted: Vec<&str> = expects.iter().map(|e| e.code.as_str()).collect();
+        actual.sort_unstable();
+        wanted.sort_unstable();
+        assert_eq!(
+            actual,
+            wanted,
+            "{name}: diagnostic codes mismatch; analyzer said:\n{}",
+            analysis.render()
+        );
+
+        for e in &expects {
+            let Some((is_step, n)) = e.anchor else {
+                continue;
+            };
+            let hit = analysis.diagnostics.iter().any(|d| {
+                d.code.as_str() == e.code
+                    && if is_step {
+                        d.span.step == Some(n)
+                    } else {
+                        d.span.line == Some(n)
+                    }
+            });
+            assert!(
+                hit,
+                "{name}: no {} anchored at {} {n}; analyzer said:\n{}",
+                e.code,
+                if is_step { "step" } else { "line" },
+                analysis.render()
+            );
+        }
+    }
+}
