@@ -20,7 +20,7 @@ use dc_skills::Env;
 /// Storage-layer statistics for one catalog table, lifted from
 /// `dc-storage` block metadata. This is what the cost lints price scans
 /// with.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Rows stored.
     pub rows: usize,
@@ -29,6 +29,10 @@ pub struct TableStats {
     pub blocks: usize,
     /// Total stored bytes — the full-scan price.
     pub bytes: u64,
+    /// Dictionary cardinality of each dictionary-encoded string column.
+    /// High cardinality (≈ row count) means the encoding buys nothing;
+    /// the DC0203 lint flags it.
+    pub dict_sizes: Vec<(String, usize)>,
 }
 
 /// A registered model's statically known surface.
@@ -83,6 +87,7 @@ impl AnalysisContext {
                     rows: bt.num_rows(),
                     blocks: bt.num_blocks(),
                     bytes: bt.total_bytes(),
+                    dict_sizes: bt.dict_sizes(),
                 };
                 ctx.add_table(db_name, table_name, bt.schema().clone(), stats);
             }
@@ -250,6 +255,7 @@ mod tests {
         assert_eq!(stats.rows, 2);
         assert_eq!(stats.blocks, 2);
         assert!(stats.bytes > 0);
+        assert_eq!(stats.dict_sizes, vec![("region".to_string(), 2)]);
         // Exact-match mirrors the catalog; bare-name resolution is the
         // case-insensitive platform path.
         assert!(ctx.table("main", "SALES").is_none());

@@ -10,6 +10,11 @@
 //! * **DC0202** — a `LoadTable` of a table that already has a same-named
 //!   snapshot. Snapshot reads are priced at a fixed per-read cost, so
 //!   re-scanning the live table re-pays the full byte price every run.
+//! * **DC0203** — a scanned table has a string column whose dictionary is
+//!   nearly as large as the table itself. Dictionary encoding only pays
+//!   off when values repeat; at ≈ one distinct value per row the table
+//!   stores every string *plus* a 4-byte code per row, and dict-aware
+//!   kernels degenerate to per-row string work.
 
 use dc_skills::{NodeId, SkillCall, SkillDag};
 
@@ -62,6 +67,29 @@ pub fn cost_pass(
                         format!("Use the snapshot {snap}"),
                     )),
                 );
+            }
+            // DC0203: a dictionary that covers ≥90% of the rows never
+            // deduplicates; the 100-row floor keeps tiny fixtures quiet.
+            for (column, dict_len) in &stats.dict_sizes {
+                if stats.rows >= 100 && dict_len * 10 >= stats.rows * 9 {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::HighCardinalityDict,
+                            format!(
+                                "column {column:?} of {database:?}.{table:?} has {dict_len} \
+                                 distinct values over {} rows; its dictionary deduplicates \
+                                 almost nothing, so encoding adds 4 bytes/row of codes on \
+                                 top of the full string payload",
+                                stats.rows
+                            ),
+                        )
+                        .with_span(Span::node(node.id, node.call.name()))
+                        .with_fix(Fix::new(format!(
+                            "treat {column:?} as an identifier: avoid grouping or joining \
+                             on it, or project it away before wide scans"
+                        ))),
+                    );
+                }
             }
         }
     }

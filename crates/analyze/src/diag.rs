@@ -84,6 +84,11 @@ pub enum Code {
     /// `DC0202` — a full catalog scan re-reads a table that already has a
     /// same-named snapshot; reading the snapshot is fixed-cost.
     FullScanCouldSnapshot,
+    /// `DC0203` — a scanned table has a string column whose dictionary is
+    /// nearly as large as the table (≈ one distinct value per row), so
+    /// dictionary encoding stores the payload *and* a code per row
+    /// without ever deduplicating anything.
+    HighCardinalityDict,
     /// `DC0301` — the NL2Code checker removed a print statement.
     RemovedPrint,
     /// `DC0302` — the NL2Code checker removed an assignment whose target
@@ -112,6 +117,7 @@ impl Code {
             Code::UseBeforeDefine => "DC0103",
             Code::FullScanCouldSample => "DC0201",
             Code::FullScanCouldSnapshot => "DC0202",
+            Code::HighCardinalityDict => "DC0203",
             Code::RemovedPrint => "DC0301",
             Code::RemovedUnusedCode => "DC0302",
             Code::GelParse => "DC0401",
@@ -135,6 +141,7 @@ impl Code {
             Code::UseBeforeDefine => "use before define",
             Code::FullScanCouldSample => "full scan could be sampled",
             Code::FullScanCouldSnapshot => "full scan could read a snapshot",
+            Code::HighCardinalityDict => "high-cardinality dictionary column",
             Code::RemovedPrint => "removed print statement",
             Code::RemovedUnusedCode => "removed unused code",
             Code::GelParse => "GEL parse error",
@@ -148,7 +155,8 @@ impl Code {
             Code::DeadNode
             | Code::DuplicateSubDag
             | Code::FullScanCouldSample
-            | Code::FullScanCouldSnapshot => Severity::Warning,
+            | Code::FullScanCouldSnapshot
+            | Code::HighCardinalityDict => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -170,6 +178,7 @@ impl Code {
             Code::UseBeforeDefine,
             Code::FullScanCouldSample,
             Code::FullScanCouldSnapshot,
+            Code::HighCardinalityDict,
             Code::RemovedPrint,
             Code::RemovedUnusedCode,
             Code::GelParse,

@@ -15,7 +15,8 @@
 //!    interning, use-before-define (`DC0103`).
 //! 3. **Cost lints** ([`cost`]) — bytes-scanned estimates from
 //!    `dc-storage` block stats, flagging full scans that could be block
-//!    samples (`DC0201`) or snapshot reads (`DC0202`).
+//!    samples (`DC0201`), snapshot reads (`DC0202`), and string columns
+//!    whose dictionaries deduplicate nothing (`DC0203`).
 //!
 //! The same [`Diagnostic`] type is emitted by the GEL recipe validator
 //! (`dc-gel`) and the NL2Code program checker (`dc-nl`), so every layer
@@ -176,6 +177,7 @@ mod tests {
                 rows: 100,
                 blocks: 4,
                 bytes: 4096,
+                ..TableStats::default()
             },
         );
         ctx
@@ -258,5 +260,46 @@ mod tests {
     #[test]
     fn policy_default_is_warn() {
         assert_eq!(AnalysisPolicy::default(), AnalysisPolicy::Warn);
+    }
+
+    #[test]
+    fn high_cardinality_dict_flagged() {
+        let mut ctx = AnalysisContext::new();
+        ctx.add_table(
+            "Main",
+            "sales",
+            sales_schema(),
+            TableStats {
+                rows: 1000,
+                blocks: 4,
+                bytes: 65_536,
+                // order_id-like column: ~one distinct string per row.
+                dict_sizes: vec![("region".into(), 950), ("product".into(), 12)],
+            },
+        );
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let c = dag.add(SkillCall::CountRows, vec![l]).unwrap();
+        let report = analyze_dag(&dag, &[c], &ctx);
+        let hits = report.with_code(Code::HighCardinalityDict);
+        assert_eq!(hits.len(), 1, "{}", report.render());
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert_eq!(hits[0].span.node, Some(l));
+        assert!(hits[0].message.contains("region"), "{}", hits[0].message);
+        // Under the 100-row floor nothing fires even at full cardinality.
+        let mut small = AnalysisContext::new();
+        small.add_table(
+            "Main",
+            "sales",
+            sales_schema(),
+            TableStats {
+                rows: 50,
+                blocks: 1,
+                bytes: 512,
+                dict_sizes: vec![("region".into(), 50)],
+            },
+        );
+        let report = analyze_dag(&dag, &[c], &small);
+        assert!(report.with_code(Code::HighCardinalityDict).is_empty());
     }
 }

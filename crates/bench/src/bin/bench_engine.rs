@@ -1,5 +1,6 @@
-//! Morsel-parallel kernel speedups on analytics-scale inputs, emitted as
-//! machine-readable JSON (`BENCH_engine.json`).
+//! Morsel-parallel and dictionary-encoding kernel speedups on
+//! analytics-scale inputs, emitted as machine-readable JSON
+//! (`BENCH_engine.json`).
 //!
 //! Each kernel runs at 1M rows through the dispatching entry point
 //! (morsel path on a default build) and through its single-threaded
@@ -7,6 +8,15 @@
 //! repeats. The morsel kernels win even on one core because their inner
 //! loops are cheaper — dictionary-coded group keys, borrowed join keys,
 //! and decorate-sort instead of per-comparison value extraction.
+//!
+//! String-keyed variants run twice more: `plain` is the serial kernel
+//! over `Column::Str` data (the pre-encoding baseline) and `dict` is the
+//! dispatching kernel over the same table dictionary-encoded, so the
+//! pair prices the end-to-end win of keeping strings encoded.
+//!
+//! `--smoke` skips all timing: it runs every string-keyed op at a small
+//! row count in both encodings and exits nonzero if any pair of results
+//! diverges — a cheap CI gate that the dict kernels stay equivalent.
 
 use std::time::Instant;
 
@@ -34,6 +44,48 @@ fn events(n: usize) -> Table {
     .expect("table builds")
 }
 
+const STR_KEYS: usize = 1000;
+
+/// A fact table with a medium-cardinality string key (plain `Str`
+/// encoding; callers encode it for the `dict` variants).
+fn str_events(n: usize) -> Table {
+    Table::new(vec![
+        ("id", Column::from_ints((0..n as i64).collect())),
+        (
+            "s",
+            Column::from_strs(
+                (0..n)
+                    .map(|i| format!("city_{:04}", (i * 7919) % STR_KEYS))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "v",
+            Column::from_floats((0..n).map(|i| (i % 997) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("table builds")
+}
+
+/// One row per distinct string key — the join dimension side.
+fn str_dim() -> Table {
+    Table::new(vec![
+        (
+            "s",
+            Column::from_strs(
+                (0..STR_KEYS)
+                    .map(|i| format!("city_{i:04}"))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "weight",
+            Column::from_floats((0..STR_KEYS).map(|i| i as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("dim builds")
+}
+
 /// Minimum wall-clock nanoseconds per run over [`REPEATS`] runs.
 fn min_ns(mut f: impl FnMut() -> Table) -> (u128, usize) {
     let mut best = u128::MAX;
@@ -55,7 +107,95 @@ struct Record {
     out_rows: usize,
 }
 
+/// Run every string-keyed op on `plain` (serial kernels) and on its
+/// dict-encoded twin (dispatching kernels) and compare results.
+/// Returns the names of diverging ops.
+fn dict_divergences(plain: &Table, dim: &Table) -> Vec<&'static str> {
+    let enc = plain.encode_strings();
+    let enc_dim = dim.encode_strings();
+    let mut bad = Vec::new();
+    let pred = Expr::col("s").eq(Expr::lit("city_0042"));
+    if filter(&enc, &pred).expect("filters") != filter_serial(plain, &pred).expect("filters") {
+        bad.push("filter_str_eq");
+    }
+    let aggs = [
+        AggSpec::new(AggFunc::Sum, "v", "sum"),
+        AggSpec::count_records("n"),
+    ];
+    if group_by(&enc, &["s"], &aggs).expect("groups")
+        != group_by_serial(plain, &["s"], &aggs).expect("groups")
+    {
+        bad.push("group_by_str_keys");
+    }
+    if join(&enc, &enc_dim, &["s"], &["s"], JoinType::Inner).expect("joins")
+        != join_serial(plain, dim, &["s"], &["s"], JoinType::Inner).expect("joins")
+    {
+        bad.push("hash_join_str");
+    }
+    let keys = [SortKey::asc("s"), SortKey::asc("id")];
+    if sort_by(&enc, &keys).expect("sorts") != sort_by_serial(plain, &keys).expect("sorts") {
+        bad.push("sort_str");
+    }
+    bad
+}
+
+/// Satellite guard: gathering 1M strings through `Column::take` must not
+/// regress to per-row `get`/`push_value` costs, and the dict gather
+/// (code copy + `Arc` bump) must beat the plain string gather soundly.
+fn assert_gather_fast(t: &Table) {
+    let plain_col = t.column("s").expect("s").materialize();
+    let dict_col = plain_col.dict_encode();
+    let n = plain_col.len();
+    let indices: Vec<usize> = (0..n).map(|i| (i * 7919) % n).collect();
+
+    let time = |f: &dyn Fn() -> Column| {
+        let mut best = u128::MAX;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed().as_nanos());
+        }
+        best
+    };
+    let naive_ns = time(&|| {
+        let mut out = Column::empty(plain_col.dtype());
+        for &i in &indices {
+            out.push_value(&plain_col.get(i)).expect("pushes");
+        }
+        out
+    });
+    let take_ns = time(&|| plain_col.take(&indices));
+    let dict_ns = time(&|| dict_col.take(&indices));
+    println!(
+        "gather_1m_str                naive {:>8.2} ms  take {:>8.2} ms  dict {:>8.2} ms",
+        naive_ns as f64 / 1e6,
+        take_ns as f64 / 1e6,
+        dict_ns as f64 / 1e6
+    );
+    assert!(
+        take_ns <= naive_ns,
+        "string gather regressed: take {take_ns}ns vs naive loop {naive_ns}ns"
+    );
+    assert!(
+        dict_ns * 2 <= take_ns,
+        "dict gather should be >=2x plain: dict {dict_ns}ns vs take {take_ns}ns"
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI gate: small input, no timing, no JSON — just dict/plain
+        // agreement across every string-keyed kernel.
+        let plain = str_events(20_000);
+        let bad = dict_divergences(&plain, &str_dim());
+        if bad.is_empty() {
+            println!("smoke ok: dict and plain kernels agree on all string ops");
+            return;
+        }
+        eprintln!("smoke FAILED: dict/plain divergence in {bad:?}");
+        std::process::exit(1);
+    }
+
     let t = events(ROWS);
     let threads = parallel::num_threads();
     let mut records: Vec<Record> = Vec::new();
@@ -122,6 +262,64 @@ fn main() {
         min_ns(|| sort_by_serial(&t, &keys).expect("sorts")),
     );
 
+    // String-keyed kernels, plain `Str` vs dictionary-encoded.
+    let plain = str_events(ROWS).materialize_strings();
+    let enc = plain.encode_strings();
+    let dim = str_dim();
+    let enc_dim = dim.encode_strings();
+
+    let spred = Expr::col("s").eq(Expr::lit("city_0042"));
+    push(
+        "filter_1m_str_eq",
+        "dict",
+        min_ns(|| filter(&enc, &spred).expect("filters")),
+    );
+    push(
+        "filter_1m_str_eq",
+        "plain",
+        min_ns(|| filter_serial(&plain, &spred).expect("filters")),
+    );
+
+    let saggs = [
+        AggSpec::new(AggFunc::Sum, "v", "sum"),
+        AggSpec::count_records("n"),
+    ];
+    push(
+        "group_by_1m_str_keys",
+        "dict",
+        min_ns(|| group_by(&enc, &["s"], &saggs).expect("groups")),
+    );
+    push(
+        "group_by_1m_str_keys",
+        "plain",
+        min_ns(|| group_by_serial(&plain, &["s"], &saggs).expect("groups")),
+    );
+
+    push(
+        "hash_join_1m_str",
+        "dict",
+        min_ns(|| join(&enc, &enc_dim, &["s"], &["s"], JoinType::Inner).expect("joins")),
+    );
+    push(
+        "hash_join_1m_str",
+        "plain",
+        min_ns(|| join_serial(&plain, &dim, &["s"], &["s"], JoinType::Inner).expect("joins")),
+    );
+
+    let skeys = [SortKey::asc("s"), SortKey::asc("id")];
+    push(
+        "sort_1m_str",
+        "dict",
+        min_ns(|| sort_by(&enc, &skeys).expect("sorts")),
+    );
+    push(
+        "sort_1m_str",
+        "plain",
+        min_ns(|| sort_by_serial(&plain, &skeys).expect("sorts")),
+    );
+
+    assert_gather_fast(&plain);
+
     // Hand-rolled JSON: the workspace deliberately carries no serde.
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
@@ -135,22 +333,35 @@ fn main() {
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
 
     println!("\nthreads: {threads}");
+    let ratio = |op: &str, fast: &str, slow: &str| -> f64 {
+        let f = records
+            .iter()
+            .find(|r| r.op == op && r.mode == fast)
+            .expect("fast record");
+        let s = records
+            .iter()
+            .find(|r| r.op == op && r.mode == slow)
+            .expect("slow record");
+        s.ns_per_op as f64 / f.ns_per_op as f64
+    };
     for op in [
         "filter_1m",
         "group_by_1m_50groups",
         "hash_join_1m_x_1m",
         "sort_1m",
     ] {
-        let par = records
-            .iter()
-            .find(|r| r.op == op && r.mode == "parallel")
-            .expect("parallel record");
-        let ser = records
-            .iter()
-            .find(|r| r.op == op && r.mode == "serial")
-            .expect("serial record");
-        let speedup = ser.ns_per_op as f64 / par.ns_per_op as f64;
-        println!("{op:<28} speedup {speedup:>5.2}x");
+        println!("{op:<28} speedup {:>5.2}x", ratio(op, "parallel", "serial"));
+    }
+    for op in [
+        "filter_1m_str_eq",
+        "group_by_1m_str_keys",
+        "hash_join_1m_str",
+        "sort_1m_str",
+    ] {
+        println!(
+            "{op:<28} dict vs plain {:>5.2}x",
+            ratio(op, "dict", "plain")
+        );
     }
     println!("wrote BENCH_engine.json");
 }

@@ -180,6 +180,9 @@ pub fn read_csv(text: &str) -> Result<Table> {
         for r in rows {
             col.push_value(&parse_cell(&r[c], dtype))?;
         }
+        // String columns leave ingest dictionary-encoded so every
+        // downstream kernel starts from the cheap representation.
+        let col = col.dict_encode();
         let name = if raw_name.trim().is_empty() {
             format!("column_{}", c + 1)
         } else {

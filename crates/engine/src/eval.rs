@@ -5,6 +5,8 @@
 //! `IS NULL` / `COALESCE` are the only constructs that observe nullness
 //! directly.
 
+use std::sync::Arc;
+
 use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::date::{days_from_ymd, ymd_from_days};
@@ -92,6 +94,34 @@ pub fn eval_serial(table: &Table, expr: &Expr) -> Result<Column> {
             let list_has_null = list.iter().any(|v| v.is_null());
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
+            if let Some((codes, dict, cv)) = c.as_dict() {
+                // Test membership once per distinct string, then fan the
+                // verdicts out by code.
+                let found_of: Vec<bool> = dict
+                    .iter()
+                    .map(|s| {
+                        let v = Value::Str(s.clone());
+                        list.iter().any(|item| v.eq_sql(item) == Some(true))
+                    })
+                    .collect();
+                for (i, &code) in codes.iter().enumerate() {
+                    if !cv.get(i) {
+                        data.push(false);
+                        continue;
+                    }
+                    let found = found_of.get(code as usize).copied().unwrap_or(false);
+                    if found {
+                        data.push(!*negated);
+                        valid.set(i, true);
+                    } else if list_has_null {
+                        data.push(false);
+                    } else {
+                        data.push(*negated);
+                        valid.set(i, true);
+                    }
+                }
+                return Ok(Column::Bool(data, valid));
+            }
             for i in 0..n {
                 let v = c.get(i);
                 if v.is_null() {
@@ -256,7 +286,10 @@ fn broadcast(v: &Value, n: usize) -> Column {
         Value::Bool(x) => Column::from_bools(vec![*x; n]),
         Value::Int(x) => Column::from_ints(vec![*x; n]),
         Value::Float(x) => Column::from_floats(vec![*x; n]),
-        Value::Str(x) => Column::from_strs(vec![x.clone(); n]),
+        // A broadcast string literal is a one-entry dictionary: O(1) heap
+        // for the payload, and comparisons against a dict column reduce to
+        // a single dictionary lookup plus integer compares.
+        Value::Str(x) => Column::Dict(vec![0; n], Arc::new(vec![x.clone()]), Bitmap::new_valid(n)),
         Value::Date(x) => Column::from_dates(vec![*x; n]),
     }
 }
@@ -356,14 +389,51 @@ fn eval_comparison(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
             }
         }
         (T::Str, T::Str) => {
-            let (a, av) = l.as_strs().unwrap();
-            let (b, bv) = r.as_strs().unwrap();
+            if let (Some((ca, da, av)), Some((cb, db, bv))) = (l.as_dict(), r.as_dict()) {
+                if matches!(op, BinaryOp::Eq | BinaryOp::Neq) {
+                    // Dict × dict equality: remap the right dictionary into
+                    // the left's code space once (identity when shared),
+                    // then compare integers per row.
+                    let eq_wanted = op == BinaryOp::Eq;
+                    let remap: Vec<i64> = if Arc::ptr_eq(da, db) {
+                        (0..db.len() as i64).collect()
+                    } else {
+                        db.iter()
+                            .map(|s| da.binary_search(s).map(|c| c as i64).unwrap_or(-1))
+                            .collect()
+                    };
+                    for i in 0..n {
+                        if av.get(i) && bv.get(i) {
+                            let rc = remap.get(cb[i] as usize).copied().unwrap_or(-1);
+                            data.push((ca[i] as i64 == rc) == eq_wanted);
+                            valid.set(i, true);
+                        } else {
+                            data.push(false);
+                        }
+                    }
+                    return Ok(Column::Bool(data, valid));
+                }
+                if Arc::ptr_eq(da, db) {
+                    // Sorted dictionary: code order is lexicographic order,
+                    // so ordering comparisons stay on the codes.
+                    for i in 0..n {
+                        if av.get(i) && bv.get(i) {
+                            data.push(cmp_ok(ca[i].cmp(&cb[i])));
+                            valid.set(i, true);
+                        } else {
+                            data.push(false);
+                        }
+                    }
+                    return Ok(Column::Bool(data, valid));
+                }
+            }
             for i in 0..n {
-                if av.get(i) && bv.get(i) {
-                    data.push(cmp_ok(a[i].cmp(&b[i])));
-                    valid.set(i, true);
-                } else {
-                    data.push(false);
+                match (l.str_at(i), r.str_at(i)) {
+                    (Some(a), Some(b)) => {
+                        data.push(cmp_ok(a.cmp(b)));
+                        valid.set(i, true);
+                    }
+                    _ => data.push(false),
                 }
             }
         }
@@ -461,19 +531,18 @@ fn eval_arith(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
         }
         // String concatenation via `+`.
         (T::Str, T::Str) if op == BinaryOp::Add => {
-            let (a, av) = l.as_strs().unwrap();
-            let (b, bv) = r.as_strs().unwrap();
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
             for i in 0..n {
-                if av.get(i) && bv.get(i) {
-                    let mut s = String::with_capacity(a[i].len() + b[i].len());
-                    s.push_str(&a[i]);
-                    s.push_str(&b[i]);
-                    data.push(s);
-                    valid.set(i, true);
-                } else {
-                    data.push(String::new());
+                match (l.str_at(i), r.str_at(i)) {
+                    (Some(a), Some(b)) => {
+                        let mut s = String::with_capacity(a.len() + b.len());
+                        s.push_str(a);
+                        s.push_str(b);
+                        data.push(s);
+                        valid.set(i, true);
+                    }
+                    _ => data.push(String::new()),
                 }
             }
             Ok(Column::Str(data, valid))
@@ -582,9 +651,19 @@ fn eval_func(func: ScalarFunc, cols: &[Column], n: usize) -> Result<Column> {
             _ => unreachable!(),
         }),
         Length => {
-            let (data, valid) = cols[0]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[0], "length"))?;
+            let c = &cols[0];
+            if let Some((codes, dict, valid)) = c.as_dict() {
+                // Count each distinct string's chars once, then fan out.
+                let lens: Vec<i64> = dict.iter().map(|s| s.chars().count() as i64).collect();
+                return Ok(Column::Int(
+                    codes
+                        .iter()
+                        .map(|&cd| lens.get(cd as usize).copied().unwrap_or(0))
+                        .collect(),
+                    valid.clone(),
+                ));
+            }
+            let (data, valid) = c.as_strs().ok_or_else(|| type_err(c, "length"))?;
             Ok(Column::Int(
                 data.iter().map(|s| s.chars().count() as i64).collect(),
                 valid.clone(),
@@ -595,81 +674,77 @@ fn eval_func(func: ScalarFunc, cols: &[Column], n: usize) -> Result<Column> {
             let mut valid = Bitmap::new_valid(n);
             for c in cols {
                 let rendered = c.cast(DataType::Str)?;
-                let (vals, vb) = rendered.as_strs().unwrap();
-                for i in 0..n {
-                    if vb.get(i) {
-                        data[i].push_str(&vals[i]);
-                    } else {
-                        valid.set(i, false);
+                for (i, slot) in data.iter_mut().enumerate().take(n) {
+                    match rendered.str_at(i) {
+                        Some(s) => slot.push_str(s),
+                        None => valid.set(i, false),
                     }
                 }
             }
             Ok(Column::Str(data, valid))
         }
         Contains | StartsWith | EndsWith => {
-            let (a, av) = cols[0]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[0], func.name()))?;
-            let (b, bv) = cols[1]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[1], func.name()))?;
+            for c in &cols[..2] {
+                if c.dtype() != DataType::Str {
+                    return Err(type_err(c, func.name()));
+                }
+            }
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
             for i in 0..n {
-                if av.get(i) && bv.get(i) {
-                    data.push(match func {
-                        Contains => a[i].contains(b[i].as_str()),
-                        StartsWith => a[i].starts_with(b[i].as_str()),
-                        EndsWith => a[i].ends_with(b[i].as_str()),
-                        _ => unreachable!(),
-                    });
-                    valid.set(i, true);
-                } else {
-                    data.push(false);
+                match (cols[0].str_at(i), cols[1].str_at(i)) {
+                    (Some(a), Some(b)) => {
+                        data.push(match func {
+                            Contains => a.contains(b),
+                            StartsWith => a.starts_with(b),
+                            EndsWith => a.ends_with(b),
+                            _ => unreachable!(),
+                        });
+                        valid.set(i, true);
+                    }
+                    _ => data.push(false),
                 }
             }
             Ok(Column::Bool(data, valid))
         }
         Replace => {
-            let (a, av) = cols[0]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[0], "replace"))?;
-            let (from, fv) = cols[1]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[1], "replace"))?;
-            let (to, tv) = cols[2]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[2], "replace"))?;
+            for c in &cols[..3] {
+                if c.dtype() != DataType::Str {
+                    return Err(type_err(c, "replace"));
+                }
+            }
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
             for i in 0..n {
-                if av.get(i) && fv.get(i) && tv.get(i) {
-                    data.push(a[i].replace(from[i].as_str(), &to[i]));
-                    valid.set(i, true);
-                } else {
-                    data.push(String::new());
+                match (cols[0].str_at(i), cols[1].str_at(i), cols[2].str_at(i)) {
+                    (Some(a), Some(from), Some(to)) => {
+                        data.push(a.replace(from, to));
+                        valid.set(i, true);
+                    }
+                    _ => data.push(String::new()),
                 }
             }
             Ok(Column::Str(data, valid))
         }
         Substring => {
             // substring(s, start_1_based, len)
-            let (a, av) = cols[0]
-                .as_strs()
-                .ok_or_else(|| type_err(&cols[0], "substring"))?;
+            if cols[0].dtype() != DataType::Str {
+                return Err(type_err(&cols[0], "substring"));
+            }
             let start = scalar_int(&cols[1], "substring start")?;
             let len = scalar_int(&cols[2], "substring length")?;
             let mut data = Vec::with_capacity(n);
             let mut valid = Bitmap::new_null(n);
-            for (i, item) in a.iter().enumerate().take(n) {
-                if av.get(i) {
-                    let chars: Vec<char> = item.chars().collect();
-                    let s = (start.max(1) - 1) as usize;
-                    let e = (s + len.max(0) as usize).min(chars.len());
-                    data.push(chars.get(s..e).unwrap_or(&[]).iter().collect());
-                    valid.set(i, true);
-                } else {
-                    data.push(String::new());
+            for i in 0..n {
+                match cols[0].str_at(i) {
+                    Some(item) => {
+                        let chars: Vec<char> = item.chars().collect();
+                        let s = (start.max(1) - 1) as usize;
+                        let e = (s + len.max(0) as usize).min(chars.len());
+                        data.push(chars.get(s..e).unwrap_or(&[]).iter().collect());
+                        valid.set(i, true);
+                    }
+                    None => data.push(String::new()),
                 }
             }
             Ok(Column::Str(data, valid))
@@ -781,6 +856,25 @@ fn binary_numeric(
 }
 
 fn map_str(c: &Column, n: usize, f: impl Fn(&str) -> String) -> Result<Column> {
+    if let Some((codes, dict, valid)) = c.as_dict() {
+        // Transform each distinct string once. The transform can collapse
+        // or reorder entries (e.g. lower-casing "A" and "a"), so rebuild a
+        // sorted-unique dictionary and remap the codes.
+        let transformed: Vec<String> = dict.iter().map(|s| f(s)).collect();
+        let mut uniq: Vec<&String> = transformed.iter().collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let new_dict: Vec<String> = uniq.iter().map(|s| (*s).clone()).collect();
+        let remap: Vec<u32> = transformed
+            .iter()
+            .map(|s| new_dict.binary_search(s).unwrap_or(0) as u32)
+            .collect();
+        let new_codes: Vec<u32> = codes
+            .iter()
+            .map(|&cd| remap.get(cd as usize).copied().unwrap_or(0))
+            .collect();
+        return Ok(Column::Dict(new_codes, Arc::new(new_dict), valid.clone()));
+    }
     let (data, valid) = c.as_strs().ok_or_else(|| type_err(c, "string function"))?;
     debug_assert_eq!(data.len(), n);
     Ok(Column::Str(

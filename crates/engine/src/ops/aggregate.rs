@@ -840,6 +840,30 @@ fn encode_key_column(col: &Column, range: Range<usize>) -> Vec<u32> {
             }
             return codes;
         }
+        Column::Dict(dict_codes, dict, b) => {
+            // The column is already dictionary-coded; remap its (dense,
+            // bounded) codes to first-encounter group ids with a flat
+            // array instead of a hash map. Slot `dict.len()` is null.
+            const UNSEEN: u32 = u32::MAX;
+            let mut remap = vec![UNSEEN; dict.len() + 1];
+            for i in range {
+                let slot = if b.get(i) {
+                    dict_codes[i] as usize
+                } else {
+                    dict.len()
+                };
+                let code = if remap[slot] == UNSEEN {
+                    let id = next;
+                    next += 1;
+                    remap[slot] = id;
+                    id
+                } else {
+                    remap[slot]
+                };
+                codes.push(code);
+            }
+            return codes;
+        }
         Column::Date(v, b) => {
             encode!(v, b, |x: &i32| *x);
         }

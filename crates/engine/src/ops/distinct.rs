@@ -18,6 +18,35 @@ pub fn distinct(table: &Table, columns: &[&str]) -> Result<Table> {
             .map(|c| table.column(c))
             .collect::<Result<_>>()?
     };
+    // Fast path: every key column dictionary-encoded → rows compare by
+    // `u32` codes (0 reserved for null), never touching string payloads.
+    if !cols.is_empty() && cols.iter().all(|c| c.as_dict().is_some()) {
+        let n = table.num_rows();
+        let dicts: Vec<_> = cols.iter().map(|c| c.as_dict().unwrap()).collect();
+        let mut keep = Vec::with_capacity(n);
+        if let [(codes, dict, valid)] = dicts.as_slice() {
+            // Single column: a flat bitset over the dictionary suffices.
+            let mut seen = vec![false; dict.len() + 1];
+            for row in 0..n {
+                let slot = if valid.get(row) {
+                    codes[row] as usize + 1
+                } else {
+                    0
+                };
+                keep.push(!std::mem::replace(&mut seen[slot], true));
+            }
+        } else {
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            for row in 0..n {
+                let key: Vec<u32> = dicts
+                    .iter()
+                    .map(|(codes, _, valid)| if valid.get(row) { codes[row] + 1 } else { 0 })
+                    .collect();
+                keep.push(seen.insert(key));
+            }
+        }
+        return table.filter_mask(&keep);
+    }
     let mut seen: HashSet<String> = HashSet::new();
     let mut keep = Vec::with_capacity(table.num_rows());
     let mut key = String::new();

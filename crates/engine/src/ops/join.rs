@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::hash::FxHashMap;
 
@@ -249,7 +250,75 @@ fn ref_part<'a>(col: &'a Column, row: usize) -> Option<RefPart<'a>> {
             RefPart::Float(f.to_bits())
         }),
         Column::Str(v, b) => b.get(row).then(|| RefPart::Str(v[row].as_str())),
+        Column::Dict(codes, dict, b) => b
+            .get(row)
+            .then(|| RefPart::Str(dict[codes[row] as usize].as_str())),
         Column::Date(v, b) => b.get(row).then(|| RefPart::Date(v[row])),
+    }
+}
+
+/// When either side of a key-column pair is dictionary-encoded, translate
+/// both sides into one shared integer code space so the hash join builds
+/// and probes on `i64` codes instead of hashing string payloads per row.
+/// The left dictionary is the base space; right-side strings it doesn't
+/// contain get fresh codes past it (distinct per string, so composite
+/// keys still distinguish unmatched values). Returns `None` when neither
+/// side is a dictionary — the plain path has nothing to gain.
+fn dict_code_keys(l: &Column, r: &Column) -> Option<(Column, Column)> {
+    match (l, r) {
+        (Column::Dict(lc, ld, lb), Column::Dict(rc, rd, rb)) => {
+            let remap: Vec<i64> = if Arc::ptr_eq(ld, rd) {
+                (0..rd.len() as i64).collect()
+            } else {
+                rd.iter()
+                    .enumerate()
+                    .map(|(i, s)| match ld.binary_search(s) {
+                        Ok(c) => c as i64,
+                        Err(_) => (ld.len() + i) as i64,
+                    })
+                    .collect()
+            };
+            let lvals: Vec<i64> = lc.iter().map(|&c| c as i64).collect();
+            let rvals: Vec<i64> = rc
+                .iter()
+                .map(|&c| remap.get(c as usize).copied().unwrap_or(-1))
+                .collect();
+            Some((
+                Column::Int(lvals, lb.clone()),
+                Column::Int(rvals, rb.clone()),
+            ))
+        }
+        (Column::Dict(lc, ld, lb), Column::Str(rv, rb)) => {
+            let mut fresh: FxHashMap<&str, i64> = FxHashMap::default();
+            let mut next = ld.len() as i64;
+            let rvals: Vec<i64> = rv
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if !rb.get(i) {
+                        return 0;
+                    }
+                    match ld.binary_search_by(|d| d.as_str().cmp(s.as_str())) {
+                        Ok(c) => c as i64,
+                        Err(_) => *fresh.entry(s.as_str()).or_insert_with(|| {
+                            let c = next;
+                            next += 1;
+                            c
+                        }),
+                    }
+                })
+                .collect();
+            let lvals: Vec<i64> = lc.iter().map(|&c| c as i64).collect();
+            Some((
+                Column::Int(lvals, lb.clone()),
+                Column::Int(rvals, rb.clone()),
+            ))
+        }
+        (Column::Str(..), Column::Dict(..)) => {
+            let (r2, l2) = dict_code_keys(r, l)?;
+            Some((l2, r2))
+        }
+        _ => None,
     }
 }
 
@@ -275,6 +344,26 @@ fn join_morsel(
 ) -> Result<Table> {
     let (lcols, rcols) = key_columns(left, right, left_on, right_on)?;
 
+    // Dictionary-encoded key pairs are remapped into a shared integer
+    // code space once, so build and probe hash `i64`s instead of strings.
+    // Assembly below still reads the original `rcols` (the converted
+    // columns exist only for key hashing).
+    let converted: Vec<Option<(Column, Column)>> = lcols
+        .iter()
+        .zip(&rcols)
+        .map(|(l, r)| dict_code_keys(l, r))
+        .collect();
+    let lkey: Vec<&Column> = lcols
+        .iter()
+        .zip(&converted)
+        .map(|(&c, conv)| conv.as_ref().map_or(c, |(l, _)| l))
+        .collect();
+    let rkey: Vec<&Column> = rcols
+        .iter()
+        .zip(&converted)
+        .map(|(&c, conv)| conv.as_ref().map_or(c, |(_, r)| r))
+        .collect();
+
     // Build phase. The index stores, per key, an intrusive chain of right
     // rows: the map value is the (head, tail) of the chain and `next[row]`
     // links to the following right row with the same key. Compared to a
@@ -292,7 +381,7 @@ fn join_morsel(
         let mut map: FxHashMap<Key, (u32, u32)> =
             FxHashMap::with_capacity_and_hasher(right.num_rows(), Default::default());
         for row in 0..right.num_rows() {
-            if let Some(k) = ref_key(&rcols, row) {
+            if let Some(k) = ref_key(&rkey, row) {
                 match map.entry(k) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         let chain = e.get_mut();
@@ -313,7 +402,7 @@ fn join_morsel(
             let mut local_next: Vec<u32> = vec![u32::MAX; r.len()];
             let mut map: FxHashMap<Key, (u32, u32)> = FxHashMap::default();
             for row in r {
-                if let Some(k) = ref_key(&rcols, row) {
+                if let Some(k) = ref_key(&rkey, row) {
                     match map.entry(k) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
                             let chain = e.get_mut();
@@ -364,7 +453,7 @@ fn join_morsel(
         let mut lidx: Vec<Option<usize>> = Vec::with_capacity(r.len());
         let mut ridx: Vec<Option<usize>> = Vec::with_capacity(r.len());
         for row in r {
-            let matches = ref_key(&lcols, row).and_then(|k| index.get(&k));
+            let matches = ref_key(&lkey, row).and_then(|k| index.get(&k));
             match matches {
                 Some(&(head, tail)) => {
                     let mut rr = head;

@@ -79,12 +79,30 @@ fn sort_by_morsel(table: &Table, keys: &[SortKey]) -> Result<Table> {
         .collect::<Result<Vec<_>>>()?;
     let n = table.num_rows();
 
-    // Decorate: materialize each key column's values once, in parallel.
-    let decorated: Vec<Vec<Value>> =
-        parallel::run_indexed(cols.len(), |k| (0..n).map(|i| cols[k].get(i)).collect());
+    // Decorate: materialize each key column's sort keys once, in parallel.
+    // Dictionary columns never touch their string payloads — the
+    // dictionary is sorted, so comparing (validity, code) pairs is
+    // exactly the total order on the strings (nulls first ascending,
+    // like `Value::cmp_total`).
+    enum SortCol {
+        Vals(Vec<Value>),
+        Codes(Vec<Option<u32>>),
+    }
+    let decorated: Vec<SortCol> = parallel::run_indexed(cols.len(), |k| {
+        if let Some((codes, _, valid)) = cols[k].as_dict() {
+            SortCol::Codes((0..n).map(|i| valid.get(i).then(|| codes[i])).collect())
+        } else {
+            SortCol::Vals((0..n).map(|i| cols[k].get(i)).collect())
+        }
+    });
     let cmp = |a: usize, b: usize| -> std::cmp::Ordering {
-        for (key, vals) in keys.iter().zip(&decorated) {
-            let ord = vals[a].cmp_total(&vals[b]);
+        for (key, col) in keys.iter().zip(&decorated) {
+            let ord = match col {
+                SortCol::Vals(vals) => vals[a].cmp_total(&vals[b]),
+                // `None` (null) < `Some(code)`: nulls first, matching the
+                // total order on values.
+                SortCol::Codes(codes) => codes[a].cmp(&codes[b]),
+            };
             let ord = if key.ascending { ord } else { ord.reverse() };
             if ord != std::cmp::Ordering::Equal {
                 return ord;

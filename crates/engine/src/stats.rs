@@ -46,21 +46,46 @@ fn summarize(name: &str, col: &Column) -> ColumnSummary {
     let n = col.len();
     let nulls = col.null_count();
 
-    // Distinct + mode in one pass over rendered keys.
-    let mut counts: std::collections::HashMap<String, (Value, usize)> =
-        std::collections::HashMap::new();
-    for i in 0..n {
-        let v = col.get(i);
-        if v.is_null() {
-            continue;
+    // Distinct + mode. Dictionary columns count per code into a flat
+    // array — no hashing, no rendering; distinct counts only codes that
+    // actually occur (a gathered column can retain unused dictionary
+    // entries, so the dictionary length alone would overcount).
+    let (distinct, mode) = if let Some((codes, dict, valid)) = col.as_dict() {
+        let mut counts = vec![0usize; dict.len()];
+        for i in 0..n {
+            if valid.get(i) {
+                counts[codes[i] as usize] += 1;
+            }
         }
-        let key = v.render();
-        counts.entry(key).and_modify(|e| e.1 += 1).or_insert((v, 1));
-    }
-    let distinct = counts.len();
-    let mode = counts
-        .into_values()
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp_total(&a.0)));
+        let distinct = counts.iter().filter(|&&c| c > 0).count();
+        // Ascending code order is ascending value order, so keeping only
+        // strictly larger counts leaves the smallest value on ties —
+        // matching the rendered-key path's tie-break.
+        let mut mode: Option<(Value, usize)> = None;
+        for (code, &c) in counts.iter().enumerate() {
+            if c > 0 && mode.as_ref().is_none_or(|m| c > m.1) {
+                mode = Some((Value::Str(dict[code].clone()), c));
+            }
+        }
+        (distinct, mode)
+    } else {
+        // One pass over rendered keys.
+        let mut counts: std::collections::HashMap<String, (Value, usize)> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            let v = col.get(i);
+            if v.is_null() {
+                continue;
+            }
+            let key = v.render();
+            counts.entry(key).and_modify(|e| e.1 += 1).or_insert((v, 1));
+        }
+        let distinct = counts.len();
+        let mode = counts
+            .into_values()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp_total(&a.0)));
+        (distinct, mode)
+    };
 
     // Numeric moments.
     let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);

@@ -273,6 +273,31 @@ impl Table {
         self.columns.iter().map(|c| c.byte_size()).sum()
     }
 
+    /// A copy of the table with every plain string column
+    /// dictionary-encoded ([`Column::dict_encode`]). Already-encoded and
+    /// non-string columns are untouched; the schema is unchanged.
+    pub fn encode_strings(&self) -> Table {
+        let mut out = self.clone();
+        for col in out.columns.iter_mut() {
+            if matches!(col, Column::Str(..)) {
+                *col = col.dict_encode();
+            }
+        }
+        out
+    }
+
+    /// A copy of the table with every dictionary-encoded column
+    /// materialized back to plain strings ([`Column::materialize`]).
+    pub fn materialize_strings(&self) -> Table {
+        let mut out = self.clone();
+        for col in out.columns.iter_mut() {
+            if matches!(col, Column::Dict(..)) {
+                *col = col.materialize();
+            }
+        }
+        out
+    }
+
     /// Render the first `limit` rows as an aligned text grid (the
     /// spreadsheet view of the paper's UI, in terminal form).
     pub fn render(&self, limit: usize) -> String {

@@ -148,6 +148,7 @@ mod tests {
                 rows: 10,
                 blocks: 2,
                 bytes: 100,
+                ..TableStats::default()
             },
         );
         ctx

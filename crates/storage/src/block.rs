@@ -7,6 +7,7 @@
 //! whereas row-level Bernoulli sampling still scans everything.
 
 use std::borrow::Cow;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use dc_engine::ops::sample_fraction;
@@ -77,12 +78,32 @@ impl ScanOptions {
     }
 }
 
+/// Bytes charged for one table part, counting each string dictionary
+/// once across parts. Blocks sliced from one stored table share their
+/// dictionaries behind [`Arc`], so a scan that touches many blocks reads
+/// each dictionary's payload from storage a single time; only the first
+/// part holding a given dictionary pays for it.
+fn charged_bytes(part: &Table, seen_dicts: &mut HashSet<usize>) -> u64 {
+    let mut bytes = part.byte_size() as u64;
+    for col in part.columns() {
+        if let Some((_, dict, _)) = col.as_dict() {
+            if !seen_dicts.insert(Arc::as_ptr(dict) as usize) {
+                bytes -= col.dict_heap_bytes() as u64;
+            }
+        }
+    }
+    bytes
+}
+
 impl BlockTable {
-    /// Split `table` into blocks of `block_rows` rows.
+    /// Split `table` into blocks of `block_rows` rows. String columns are
+    /// dictionary-encoded first, so every block carries `u32` codes and
+    /// shares one table-wide dictionary allocation.
     pub fn new(table: &Table, block_rows: usize) -> Result<BlockTable> {
         if block_rows == 0 {
             return Err(StorageError::invalid("block_rows must be positive"));
         }
+        let table = table.encode_strings();
         let rows = table.num_rows();
         let mut blocks = Vec::with_capacity(rows.div_ceil(block_rows).max(1));
         if rows == 0 {
@@ -94,7 +115,11 @@ impl BlockTable {
                 start += block_rows;
             }
         }
-        let block_bytes = blocks.iter().map(|b| b.byte_size() as u64).collect();
+        let mut seen_dicts = HashSet::new();
+        let block_bytes = blocks
+            .iter()
+            .map(|b| charged_bytes(b, &mut seen_dicts))
+            .collect();
         Ok(BlockTable {
             block_bytes,
             rows,
@@ -138,6 +163,17 @@ impl BlockTable {
     /// Shared handle to block `i`'s data — a pointer copy, not a clone.
     pub fn block(&self, i: usize) -> Option<Arc<Table>> {
         self.blocks.get(i).map(Arc::clone)
+    }
+
+    /// Name and dictionary cardinality of each dictionary-encoded column.
+    /// Blocks share one table-wide dictionary per string column, so the
+    /// first block's dictionaries describe the whole table.
+    pub fn dict_sizes(&self) -> Vec<(String, usize)> {
+        self.schema_names
+            .iter()
+            .zip(self.blocks[0].columns())
+            .filter_map(|(name, col)| col.as_dict().map(|(_, dict, _)| (name.clone(), dict.len())))
+            .collect()
     }
 
     /// Scan under `opts`, returning the data plus a receipt of what was
@@ -193,6 +229,7 @@ impl BlockTable {
         let mut parts: Vec<Cow<'_, Table>> = Vec::with_capacity(chosen.len());
         let mut bytes = 0u64;
         let mut rows_scanned = 0u64;
+        let mut seen_dicts = HashSet::new();
         for &bi in &chosen {
             if let Some(token) = cancel {
                 if token.is_cancelled() {
@@ -210,7 +247,7 @@ impl BlockTable {
                 Some(cols) => Cow::Owned(block.select(cols)?),
                 None => Cow::Borrowed(block.as_ref()),
             };
-            bytes += part.byte_size() as u64;
+            bytes += charged_bytes(&part, &mut seen_dicts);
             rows_scanned += block.num_rows() as u64;
             let part = match opts.row_sample {
                 Some(f) => Cow::Owned(sample_fraction(
@@ -341,6 +378,54 @@ mod tests {
             assert!(Arc::ptr_eq(&bt.block(i).unwrap(), &copy.block(i).unwrap()));
         }
         assert!(bt.block(bt.num_blocks()).is_none());
+    }
+
+    fn str_table(n: usize) -> Table {
+        Table::new(vec![
+            ("id", Column::from_ints((0..n as i64).collect())),
+            (
+                "region",
+                Column::from_strs(
+                    (0..n)
+                        .map(|i| format!("region_{:02}", i % 8))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn string_blocks_are_dictionary_encoded_and_cheaper() {
+        let t = str_table(10_000);
+        let bt = BlockTable::new(&t, 500).unwrap();
+        // Every block's string column is encoded and shares block 0's dict.
+        let first = bt.block(0).unwrap();
+        let (_, first_dict, _) = first.column("region").unwrap().as_dict().unwrap();
+        for i in 0..bt.num_blocks() {
+            let block = bt.block(i).unwrap();
+            let (_, dict, _) = block.column("region").unwrap().as_dict().unwrap();
+            assert!(Arc::ptr_eq(first_dict, dict), "block {i} has its own dict");
+        }
+        assert_eq!(bt.dict_sizes(), vec![("region".to_string(), 8)]);
+        // Charging the shared dictionary once makes the stored footprint
+        // smaller than the plain-string encoding of the same data.
+        let plain_bytes = t.materialize_strings().byte_size() as u64;
+        assert!(
+            bt.total_bytes() < plain_bytes,
+            "dict {} vs plain {plain_bytes}",
+            bt.total_bytes()
+        );
+        // And a full scan returns the same logical rows.
+        let (out, receipt) = bt.scan(&ScanOptions::full()).unwrap();
+        assert_eq!(out, t.encode_strings());
+        assert_eq!(receipt.bytes_scanned, bt.total_bytes());
+    }
+
+    #[test]
+    fn dict_sizes_empty_without_string_columns() {
+        let bt = BlockTable::new(&t(100), 10).unwrap();
+        assert!(bt.dict_sizes().is_empty());
     }
 
     #[test]

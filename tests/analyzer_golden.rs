@@ -58,6 +58,7 @@ fn golden_context() -> AnalysisContext {
             rows: 1000,
             blocks: 4,
             bytes: 65_536,
+            ..TableStats::default()
         },
     )
     .add_table(
@@ -68,6 +69,7 @@ fn golden_context() -> AnalysisContext {
             rows: 100,
             blocks: 1,
             bytes: 4_096,
+            ..TableStats::default()
         },
     )
     .add_table(
@@ -78,6 +80,20 @@ fn golden_context() -> AnalysisContext {
             rows: 100_000,
             blocks: 16,
             bytes: 1_048_576,
+            ..TableStats::default()
+        },
+    )
+    // session_id is one-distinct-value-per-row: its dictionary is ~99% of
+    // the row count, which is what DC0203 flags. url dedups fine.
+    .add_table(
+        "MainDatabase",
+        "clickstream",
+        schema(&[("session_id", DataType::Str), ("url", DataType::Str)]),
+        TableStats {
+            rows: 50_000,
+            blocks: 8,
+            bytes: 2_097_152,
+            dict_sizes: vec![("session_id".to_string(), 49_500), ("url".to_string(), 120)],
         },
     )
     // A snapshot shadowing big_log: scanning the table triggers DC0202.
