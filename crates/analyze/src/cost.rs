@@ -15,7 +15,14 @@
 //!   off when values repeat; at ≈ one distinct value per row the table
 //!   stores every string *plus* a 4-byte code per row, and dict-aware
 //!   kernels degenerate to per-row string work.
+//! * **DC0204** — a `KeepRows` directly above a `LoadTable` whose
+//!   predicate has no prunable conjunct. The planner pushes prunable
+//!   conjuncts into the scan, where zone maps skip whole blocks; a
+//!   predicate with none (e.g. `NOT (price <= 10)` or `x + 1 > 5`)
+//!   forces a full scan even when an equivalent column-vs-literal form
+//!   would prune.
 
+use dc_engine::expr::prune::{nnf, prunable_conjuncts};
 use dc_skills::{NodeId, SkillCall, SkillDag};
 
 use crate::context::AnalysisContext;
@@ -92,6 +99,40 @@ pub fn cost_pass(
                 }
             }
         }
+    }
+
+    // DC0204: a filter directly above a scan that pushdown cannot use.
+    // The pushdown planner takes KeepRows predicates verbatim, so only
+    // conjuncts already in column-vs-literal form reach the zone maps.
+    for node in dag.nodes() {
+        let SkillCall::KeepRows { predicate } = &node.call else {
+            continue;
+        };
+        let [input] = node.inputs[..] else { continue };
+        let feeds_scan = dag
+            .node(input)
+            .is_ok_and(|n| matches!(n.call, SkillCall::LoadTable { .. }));
+        if !feeds_scan || !prunable_conjuncts(predicate).is_empty() {
+            continue;
+        }
+        let mut diag = Diagnostic::new(
+            Code::UnprunablePredicate,
+            format!(
+                "the filter above the scan at step {input} has no prunable conjunct, \
+                 so predicate pushdown cannot skip any blocks and the scan stays full"
+            ),
+        )
+        .with_span(Span::node(node.id, node.call.name()));
+        // Suggest the normalized form only when it actually unlocks
+        // pruning (e.g. `NOT (price <= 10)` → `price > 10`).
+        let normalized = nnf(predicate.clone());
+        if !prunable_conjuncts(&normalized).is_empty() {
+            diag = diag.with_fix(Fix::replace(
+                "rewrite the predicate in prunable column-vs-literal form".to_string(),
+                format!("Keep the rows where {}", normalized.to_sql()),
+            ));
+        }
+        diags.push(diag);
     }
 
     // DC0201: a Sample node downstream of a multi-block full scan.

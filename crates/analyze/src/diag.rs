@@ -89,6 +89,10 @@ pub enum Code {
     /// dictionary encoding stores the payload *and* a code per row
     /// without ever deduplicating anything.
     HighCardinalityDict,
+    /// `DC0204` — a `KeepRows` sits directly above a `LoadTable` but its
+    /// predicate has no prunable conjunct, so predicate pushdown cannot
+    /// skip any blocks; an equivalent column-vs-literal form would.
+    UnprunablePredicate,
     /// `DC0301` — the NL2Code checker removed a print statement.
     RemovedPrint,
     /// `DC0302` — the NL2Code checker removed an assignment whose target
@@ -118,6 +122,7 @@ impl Code {
             Code::FullScanCouldSample => "DC0201",
             Code::FullScanCouldSnapshot => "DC0202",
             Code::HighCardinalityDict => "DC0203",
+            Code::UnprunablePredicate => "DC0204",
             Code::RemovedPrint => "DC0301",
             Code::RemovedUnusedCode => "DC0302",
             Code::GelParse => "DC0401",
@@ -142,6 +147,7 @@ impl Code {
             Code::FullScanCouldSample => "full scan could be sampled",
             Code::FullScanCouldSnapshot => "full scan could read a snapshot",
             Code::HighCardinalityDict => "high-cardinality dictionary column",
+            Code::UnprunablePredicate => "filter above a scan cannot be pushed down",
             Code::RemovedPrint => "removed print statement",
             Code::RemovedUnusedCode => "removed unused code",
             Code::GelParse => "GEL parse error",
@@ -156,7 +162,8 @@ impl Code {
             | Code::DuplicateSubDag
             | Code::FullScanCouldSample
             | Code::FullScanCouldSnapshot
-            | Code::HighCardinalityDict => Severity::Warning,
+            | Code::HighCardinalityDict
+            | Code::UnprunablePredicate => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -179,6 +186,7 @@ impl Code {
             Code::FullScanCouldSample,
             Code::FullScanCouldSnapshot,
             Code::HighCardinalityDict,
+            Code::UnprunablePredicate,
             Code::RemovedPrint,
             Code::RemovedUnusedCode,
             Code::GelParse,

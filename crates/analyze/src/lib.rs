@@ -258,6 +258,67 @@ mod tests {
     }
 
     #[test]
+    fn unprunable_filter_warns_with_a_prunable_rewrite() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        // `NOT (price <= 1)` defeats verbatim pushdown, but its
+        // negation-normal-form `price > 1` would prune.
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("price").le(Expr::lit(1.0)).not(),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let c = dag.add(SkillCall::CountRows, vec![f]).unwrap();
+        let report = analyze_dag(&dag, &[c], &ctx());
+        let hits = report.with_code(Code::UnprunablePredicate);
+        assert_eq!(hits.len(), 1, "{}", report.render());
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert_eq!(hits[0].span.node, Some(f));
+        let fix = hits[0].fix.as_ref().expect("rewrite exists");
+        let replacement = fix.replacement.as_ref().unwrap();
+        assert!(replacement.contains("price"), "{replacement}");
+        assert!(replacement.contains('>'), "{replacement}");
+
+        // A genuinely unprunable predicate still warns, but without a
+        // suggested rewrite — there is no equivalent prunable form.
+        let mut dag2 = SkillDag::new();
+        let l2 = load(&mut dag2);
+        let f2 = dag2
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("price")
+                        .add(Expr::col("quantity"))
+                        .gt(Expr::lit(1.0)),
+                },
+                vec![l2],
+            )
+            .unwrap();
+        let c2 = dag2.add(SkillCall::CountRows, vec![f2]).unwrap();
+        let report = analyze_dag(&dag2, &[c2], &ctx());
+        let hits = report.with_code(Code::UnprunablePredicate);
+        assert_eq!(hits.len(), 1, "{}", report.render());
+        assert!(hits[0].fix.is_none());
+
+        // A prunable filter above a scan is exactly what pushdown wants.
+        let mut dag3 = SkillDag::new();
+        let l3 = load(&mut dag3);
+        let f3 = dag3
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("price").gt(Expr::lit(1.0)),
+                },
+                vec![l3],
+            )
+            .unwrap();
+        let c3 = dag3.add(SkillCall::CountRows, vec![f3]).unwrap();
+        let report = analyze_dag(&dag3, &[c3], &ctx());
+        assert!(report.with_code(Code::UnprunablePredicate).is_empty());
+    }
+
+    #[test]
     fn policy_default_is_warn() {
         assert_eq!(AnalysisPolicy::default(), AnalysisPolicy::Warn);
     }

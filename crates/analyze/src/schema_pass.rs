@@ -177,7 +177,10 @@ impl Pass<'_> {
                     None
                 }
             },
-            LoadTable { database, table } => match self.ctx.table(database, table) {
+            LoadTable { database, table }
+            | LoadTableFiltered {
+                database, table, ..
+            } => match self.ctx.table(database, table) {
                 Some((schema, _stats)) => Some(schema.clone()),
                 None => {
                     diags.push(

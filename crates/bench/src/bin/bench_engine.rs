@@ -24,7 +24,8 @@ use dc_engine::ops::{
     filter, filter_serial, group_by, group_by_serial, join, join_serial, sort_by, sort_by_serial,
     AggFunc, AggSpec, JoinType, SortKey,
 };
-use dc_engine::{parallel, Column, Expr, Table};
+use dc_engine::{parallel, Column, Expr, Table, Value};
+use dc_storage::{BlockTable, ScanOptions};
 
 const ROWS: usize = 1_000_000;
 const REPEATS: usize = 3;
@@ -105,6 +106,87 @@ struct Record {
     mode: &'static str,
     ns_per_op: u128,
     out_rows: usize,
+    /// Bytes the storage scan charged (0 for pure in-memory kernels).
+    bytes_scanned: u64,
+    /// Bytes the zone maps skipped (0 when no predicate was pushed).
+    bytes_pruned: u64,
+}
+
+/// 1M rows clustered on both keys: `id` ascending and `key` changing
+/// every 1 000 rows, so zone maps get tight per-block ranges. This is
+/// the layout warehouse tables converge to after any sort or ingest by
+/// time — selective predicates touch a handful of blocks.
+fn clustered(n: usize) -> Table {
+    Table::new(vec![
+        ("id", Column::from_ints((0..n as i64).collect())),
+        (
+            "key",
+            Column::from_strs(
+                (0..n)
+                    .map(|i| format!("key_{:06}", i / 1000))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "v",
+            Column::from_floats((0..n).map(|i| (i % 997) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("table builds")
+}
+
+fn str_lit(s: String) -> Expr {
+    Expr::lit(Value::Str(s))
+}
+
+/// The three selectivity tiers per key type: (suffix, int predicate,
+/// dict-string predicate), each matching the same row count.
+fn pruning_cases(n: usize) -> Vec<(&'static str, Expr, Expr)> {
+    let tier = |frac: usize| {
+        let rows = n / frac;
+        let keys = rows / 1000;
+        (
+            Expr::col("id").lt(Expr::lit(rows as i64)),
+            Expr::col("key").between(
+                str_lit("key_000000".to_string()),
+                str_lit(format!("key_{:06}", keys.saturating_sub(1))),
+            ),
+        )
+    };
+    let (i1, s1) = tier(1000);
+    let (i2, s2) = tier(100);
+    let (i3, s3) = tier(10);
+    vec![("0.1pct", i1, s1), ("1pct", i2, s2), ("10pct", i3, s3)]
+}
+
+/// `--smoke` half 2: a selective pushed predicate must scan strictly
+/// fewer bytes than the full scan while returning identical rows.
+fn pruning_divergences() -> Vec<String> {
+    let t = clustered(20_000);
+    let bt = BlockTable::new(&t, 1024).expect("block table");
+    let (full, full_receipt) = bt.scan(&ScanOptions::full()).expect("full scan");
+    let mut bad = Vec::new();
+    for (name, int_pred, str_pred) in pruning_cases(20_000) {
+        for (key, pred) in [("int", int_pred), ("dict", str_pred)] {
+            let expected = filter(&full, &pred).expect("filters");
+            let mut opts = ScanOptions::full();
+            opts.predicate = Some(pred);
+            let (out, receipt) = bt.scan(&opts).expect("pruned scan");
+            if out != expected {
+                bad.push(format!("{key}_{name}: pruned rows diverge"));
+            }
+            if receipt.bytes_scanned >= full_receipt.bytes_scanned {
+                bad.push(format!(
+                    "{key}_{name}: pruned scan charged {} bytes, full scan {}",
+                    receipt.bytes_scanned, full_receipt.bytes_scanned
+                ));
+            }
+            if receipt.bytes_scanned + receipt.bytes_pruned != full_receipt.bytes_scanned {
+                bad.push(format!("{key}_{name}: scanned + pruned != full footprint"));
+            }
+        }
+    }
+    bad
 }
 
 /// Run every string-keyed op on `plain` (serial kernels) and on its
@@ -188,12 +270,17 @@ fn main() {
         // agreement across every string-keyed kernel.
         let plain = str_events(20_000);
         let bad = dict_divergences(&plain, &str_dim());
-        if bad.is_empty() {
-            println!("smoke ok: dict and plain kernels agree on all string ops");
-            return;
+        if !bad.is_empty() {
+            eprintln!("smoke FAILED: dict/plain divergence in {bad:?}");
+            std::process::exit(1);
         }
-        eprintln!("smoke FAILED: dict/plain divergence in {bad:?}");
-        std::process::exit(1);
+        let bad = pruning_divergences();
+        if !bad.is_empty() {
+            eprintln!("smoke FAILED: zone-map pruning violations: {bad:?}");
+            std::process::exit(1);
+        }
+        println!("smoke ok: dict kernels agree and pruned scans are cheaper + identical");
+        return;
     }
 
     let t = events(ROWS);
@@ -208,6 +295,8 @@ fn main() {
             mode,
             ns_per_op: ns,
             out_rows,
+            bytes_scanned: 0,
+            bytes_pruned: 0,
         });
     };
 
@@ -320,13 +409,70 @@ fn main() {
 
     assert_gather_fast(&plain);
 
+    // Zone-map pruning: pushed selective predicates vs full-scan-then-
+    // filter over the same BlockTable, at three selectivities per key.
+    let ct = clustered(ROWS);
+    let bt = BlockTable::new(&ct, 8192).expect("block table");
+    let (full, full_receipt) = bt.scan(&ScanOptions::full()).expect("full scan");
+    let pruning_ops: Vec<(String, Expr)> = pruning_cases(ROWS)
+        .into_iter()
+        .flat_map(|(name, int_pred, str_pred)| {
+            [
+                (format!("scan_filter_1m_int_{name}"), int_pred),
+                (format!("scan_filter_1m_dict_{name}"), str_pred),
+            ]
+        })
+        .collect();
+    for (op, pred) in &pruning_ops {
+        let mut opts = ScanOptions::full();
+        opts.predicate = Some(pred.clone());
+        let (check, receipt) = bt.scan(&opts).expect("pruned scan");
+        assert_eq!(
+            check,
+            filter(&full, pred).expect("filters"),
+            "pruned scan must match full-scan-then-filter for {op}"
+        );
+        let op: &'static str = Box::leak(op.clone().into_boxed_str());
+        let (ns, out_rows) = min_ns(|| bt.scan(&opts).expect("pruned scan").0);
+        println!(
+            "{op:<28} pruned   {:>10.2} ms  ({out_rows} rows out)",
+            ns as f64 / 1e6
+        );
+        records.push(Record {
+            op,
+            rows: ROWS,
+            mode: "pruned",
+            ns_per_op: ns,
+            out_rows,
+            bytes_scanned: receipt.bytes_scanned,
+            bytes_pruned: receipt.bytes_pruned,
+        });
+        let (ns, out_rows) = min_ns(|| {
+            let (t, _) = bt.scan(&ScanOptions::full()).expect("full scan");
+            filter(&t, pred).expect("filters")
+        });
+        println!(
+            "{op:<28} unpruned {:>10.2} ms  ({out_rows} rows out)",
+            ns as f64 / 1e6
+        );
+        records.push(Record {
+            op,
+            rows: ROWS,
+            mode: "unpruned",
+            ns_per_op: ns,
+            out_rows,
+            bytes_scanned: full_receipt.bytes_scanned,
+            bytes_pruned: 0,
+        });
+    }
+
     // Hand-rolled JSON: the workspace deliberately carries no serde.
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         json.push_str(&format!(
-            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}}}{}\n",
-            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, sep
+            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}, \"bytes_scanned\": {}, \"bytes_pruned\": {}}}{}\n",
+            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, r.bytes_scanned, r.bytes_pruned, sep
         ));
     }
     json.push_str("]\n");
@@ -361,6 +507,18 @@ fn main() {
         println!(
             "{op:<28} dict vs plain {:>5.2}x",
             ratio(op, "dict", "plain")
+        );
+    }
+    for (op, _) in &pruning_ops {
+        let r = records
+            .iter()
+            .find(|r| r.op == op.as_str() && r.mode == "pruned")
+            .expect("pruned record");
+        println!(
+            "{op:<28} pruning speedup {:>5.2}x  ({} of {} bytes pruned)",
+            ratio(op, "pruned", "unpruned"),
+            r.bytes_pruned,
+            r.bytes_pruned + r.bytes_scanned,
         );
     }
     println!("wrote BENCH_engine.json");

@@ -10,6 +10,8 @@ use std::fmt;
 use crate::dtype::DataType;
 use crate::value::Value;
 
+pub mod prune;
+
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinaryOp {

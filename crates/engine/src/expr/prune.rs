@@ -1,0 +1,731 @@
+//! Tri-state zone-map evaluation of predicates over per-block statistics.
+//!
+//! A *zone map* summarizes one block of one column: the min/max of its
+//! valid values plus a null count. Given those summaries, a predicate can
+//! often be decided for the whole block without reading a single row:
+//!
+//! * [`Tri::AllFalse`] — no row of the block can satisfy the predicate
+//!   (every row evaluates to FALSE or NULL, both of which a filter
+//!   drops), so the scan may skip the block entirely;
+//! * [`Tri::AllTrue`] — every row satisfies it (requires proving no row
+//!   evaluates to NULL), so the scan may keep the block without
+//!   row-level filtering;
+//! * [`Tri::Unknown`] — the statistics are inconclusive; scan and filter.
+//!
+//! The evaluator is deliberately conservative under SQL's three-valued
+//! logic: claims are only made when they hold for *every possible* block
+//! matching the statistics. Anything it cannot reason about — scalar
+//! functions, casts, arithmetic, column-vs-column comparisons,
+//! cross-type comparisons (which the engine reports as errors and
+//! pruning must not silence) — degrades to [`Tri::Unknown`].
+//!
+//! This module lives in `dc-engine` so both the storage scan and the
+//! static analyzer (lint DC0204) share one definition of "prunable".
+
+use crate::dtype::DataType;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Verdict of a zone-map check for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Every row satisfies the predicate (and none evaluates to NULL).
+    AllTrue,
+    /// No row satisfies the predicate.
+    AllFalse,
+    /// Cannot decide from statistics alone.
+    Unknown,
+}
+
+impl Tri {
+    /// Kleene AND over whole-block claims.
+    pub fn and(self, other: Tri) -> Tri {
+        use Tri::*;
+        match (self, other) {
+            (AllFalse, _) | (_, AllFalse) => AllFalse,
+            (AllTrue, AllTrue) => AllTrue,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene OR over whole-block claims.
+    pub fn or(self, other: Tri) -> Tri {
+        use Tri::*;
+        match (self, other) {
+            (AllTrue, _) | (_, AllTrue) => AllTrue,
+            (AllFalse, AllFalse) => AllFalse,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene NOT. `AllFalse` means "every row is FALSE *or NULL*", and
+    /// NOT NULL is still NULL, so only `AllTrue` flips decisively.
+    #[allow(clippy::should_implement_trait)] // mirrors Expr::not, not an operator impl
+    pub fn not(self) -> Tri {
+        match self {
+            Tri::AllTrue => Tri::AllFalse,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+/// Per-block statistics for one column, as seen by the evaluator.
+///
+/// `min`/`max` cover the *valid* (non-null) values only; `None` means no
+/// bounds are available (all-null block, unsupported dtype, or a float
+/// block containing NaN). Dictionary-coded columns translate their code
+/// range to the corresponding strings before reaching this struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Declared column type (used to rule out comparisons the engine
+    /// would reject at runtime).
+    pub dtype: DataType,
+    /// Smallest valid value in the block, if known.
+    pub min: Option<Value>,
+    /// Largest valid value in the block, if known.
+    pub max: Option<Value>,
+    /// Number of null rows in the block.
+    pub null_count: u64,
+    /// Total rows in the block.
+    pub row_count: u64,
+}
+
+impl ColumnStats {
+    fn all_null(&self) -> bool {
+        self.null_count >= self.row_count
+    }
+}
+
+/// Source of per-column statistics for the block under consideration.
+/// Returning `None` for a column makes every claim about it `Unknown`.
+pub type StatsLookup<'a> = dyn Fn(&str) -> Option<ColumnStats> + 'a;
+
+/// Evaluate `expr` against one block's statistics.
+///
+/// The contract is directional soundness: `AllFalse` is only returned
+/// when no row of the block can evaluate to TRUE, and `AllTrue` only
+/// when every row evaluates to TRUE. `Unknown` is always safe.
+pub fn prune_predicate(expr: &Expr, stats: &StatsLookup) -> Tri {
+    match expr {
+        Expr::Literal(Value::Bool(true)) => Tri::AllTrue,
+        Expr::Literal(Value::Bool(false)) => Tri::AllFalse,
+        // A NULL predicate keeps no rows. (Non-bool literals would be a
+        // runtime type error, which pruning must preserve: Unknown.)
+        Expr::Literal(Value::Null) => Tri::AllFalse,
+        Expr::Binary { left, op, right } if op.is_logical() => {
+            let l = prune_predicate(left, stats);
+            let r = prune_predicate(right, stats);
+            match op {
+                BinaryOp::And => l.and(r),
+                _ => l.or(r),
+            }
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            prune_comparison(left, *op, right, stats)
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => prune_predicate(expr, stats).not(),
+        Expr::IsNull(inner) => match column_stats(inner, stats) {
+            Some(s) if s.all_null() => Tri::AllTrue,
+            Some(s) if s.null_count == 0 && s.row_count > 0 => Tri::AllFalse,
+            _ => Tri::Unknown,
+        },
+        Expr::IsNotNull(inner) => match column_stats(inner, stats) {
+            Some(s) if s.null_count == 0 => Tri::AllTrue,
+            Some(s) if s.all_null() && s.row_count > 0 => Tri::AllFalse,
+            _ => Tri::Unknown,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            // x BETWEEN a AND b  ==  x >= a AND x <= b; the negation is
+            // its Kleene NOT, equivalent to x < a OR x > b.
+            let ge = prune_comparison(expr, BinaryOp::Ge, low, stats);
+            let le = prune_comparison(expr, BinaryOp::Le, high, stats);
+            if *negated {
+                let lt = prune_comparison(expr, BinaryOp::Lt, low, stats);
+                let gt = prune_comparison(expr, BinaryOp::Gt, high, stats);
+                lt.or(gt)
+            } else {
+                ge.and(le)
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => prune_in_list(expr, list, *negated, stats),
+        _ => Tri::Unknown,
+    }
+}
+
+/// Stats for an expression, but only when it is a bare column reference.
+fn column_stats(expr: &Expr, stats: &StatsLookup) -> Option<ColumnStats> {
+    match expr {
+        Expr::Column(name) => stats(name),
+        _ => None,
+    }
+}
+
+/// Whether the engine's comparison kernels accept `col_dtype ⚬ lit`
+/// without erroring (same type, or both numeric). Pruning a comparison
+/// the engine would reject would silently swallow the error.
+fn comparable(col_dtype: DataType, lit: &Value) -> bool {
+    let Some(lit_dtype) = lit.dtype() else {
+        return false;
+    };
+    col_dtype.unify(lit_dtype).is_some() || (col_dtype.is_numeric() && lit_dtype.is_numeric())
+}
+
+/// Tri-state for `left ⚬ right` where one side is a column and the
+/// other a non-null literal (flipped operators handle `lit ⚬ col`).
+/// Everything else — including NULL literals, whose broadcast dtype the
+/// engine may still type-check — is `Unknown`.
+fn prune_comparison(left: &Expr, op: BinaryOp, right: &Expr, stats: &StatsLookup) -> Tri {
+    let (col, lit, op) = match (left, right) {
+        (Expr::Column(c), Expr::Literal(v)) => (c, v, op),
+        (Expr::Literal(v), Expr::Column(c)) => (c, v, flip(op)),
+        _ => return Tri::Unknown,
+    };
+    if lit.is_null() {
+        return Tri::Unknown;
+    }
+    let Some(s) = stats(col) else {
+        return Tri::Unknown;
+    };
+    if !comparable(s.dtype, lit) {
+        return Tri::Unknown;
+    }
+    // All-null block: every comparison row evaluates to NULL → dropped.
+    if s.all_null() {
+        return Tri::AllFalse;
+    }
+    let (Some(min), Some(max)) = (&s.min, &s.max) else {
+        return Tri::Unknown;
+    };
+    let (Some(min_lit), Some(max_lit)) = (min.partial_cmp_sql(lit), max.partial_cmp_sql(lit))
+    else {
+        return Tri::Unknown;
+    };
+    use Ordering::*;
+    // `holds_none`: no valid row can satisfy the comparison.
+    // `holds_all`: every valid row satisfies it (AllTrue additionally
+    // requires the block to have no nulls).
+    let (holds_none, holds_all) = match op {
+        BinaryOp::Eq => (
+            min_lit == Greater || max_lit == Less,
+            min_lit == Equal && max_lit == Equal,
+        ),
+        BinaryOp::Neq => (
+            min_lit == Equal && max_lit == Equal,
+            min_lit == Greater || max_lit == Less,
+        ),
+        BinaryOp::Lt => (min_lit != Less, max_lit == Less),
+        BinaryOp::Le => (min_lit == Greater, max_lit != Greater),
+        BinaryOp::Gt => (max_lit != Greater, min_lit == Greater),
+        BinaryOp::Ge => (max_lit == Less, min_lit != Less),
+        _ => (false, false),
+    };
+    if holds_none {
+        Tri::AllFalse
+    } else if holds_all && s.null_count == 0 {
+        Tri::AllTrue
+    } else {
+        Tri::Unknown
+    }
+}
+
+/// Mirror an operator across its operands: `lit ⚬ col` → `col ⚬' lit`.
+fn flip(op: BinaryOp) -> BinaryOp {
+    use BinaryOp::*;
+    match op {
+        Lt => Gt,
+        Le => Ge,
+        Gt => Lt,
+        Ge => Le,
+        other => other,
+    }
+}
+
+/// Tri-state for `col [NOT] IN (list)` under the engine's semantics: a
+/// match yields TRUE/FALSE by `negated`; a non-match with a NULL element
+/// in the list yields NULL; a NULL row yields NULL.
+fn prune_in_list(expr: &Expr, list: &[Value], negated: bool, stats: &StatsLookup) -> Tri {
+    let Some(s) = column_stats(expr, stats) else {
+        return Tri::Unknown;
+    };
+    if s.all_null() && s.row_count > 0 {
+        return Tri::AllFalse;
+    }
+    let list_has_null = list.iter().any(|v| v.is_null());
+    let (Some(min), Some(max)) = (&s.min, &s.max) else {
+        return Tri::Unknown;
+    };
+    // An element can only match a row if it is non-null, comparable with
+    // the column, and inside the block's [min, max] envelope.
+    let may_match = |v: &Value| -> bool {
+        if v.is_null() || !comparable(s.dtype, v) {
+            return false;
+        }
+        match (min.partial_cmp_sql(v), max.partial_cmp_sql(v)) {
+            (Some(lo), Some(hi)) => lo != Ordering::Greater && hi != Ordering::Less,
+            _ => true, // can't bound it: assume it may match
+        }
+    };
+    let any_may_match = list.iter().any(may_match);
+    if !negated {
+        // IN: TRUE requires a match; no candidate element → AllFalse.
+        if !any_may_match {
+            return Tri::AllFalse;
+        }
+        // Single-valued block fully contained in the list.
+        if s.null_count == 0
+            && min.partial_cmp_sql(max) == Some(Ordering::Equal)
+            && list
+                .iter()
+                .any(|v| !v.is_null() && min.partial_cmp_sql(v) == Some(Ordering::Equal))
+        {
+            return Tri::AllTrue;
+        }
+        Tri::Unknown
+    } else {
+        // NOT IN: a NULL element means no row is ever TRUE.
+        if list_has_null {
+            return Tri::AllFalse;
+        }
+        // Every valid row matches the single list value → all FALSE.
+        if min.partial_cmp_sql(max) == Some(Ordering::Equal)
+            && list
+                .iter()
+                .any(|v| !v.is_null() && min.partial_cmp_sql(v) == Some(Ordering::Equal))
+        {
+            return Tri::AllFalse;
+        }
+        // TRUE for every row needs: no nulls anywhere and no element
+        // that could match any row.
+        if s.null_count == 0 && !any_may_match {
+            return Tri::AllTrue;
+        }
+        Tri::Unknown
+    }
+}
+
+/// Flatten nested `AND`s into their conjunct list.
+pub fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
+/// Re-assemble conjuncts into a single `AND` tree (None when empty).
+pub fn conjoin(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let first = if conjuncts.is_empty() {
+        return None;
+    } else {
+        conjuncts.remove(0)
+    };
+    Some(conjuncts.into_iter().fold(first, |acc, c| acc.and(c)))
+}
+
+/// Negation normal form under Kleene three-valued logic: pushes `NOT`
+/// through AND/OR (De Morgan), flips comparisons (`NOT (a < b)` ≡
+/// `a >= b`, identical even when either side is NULL), and toggles the
+/// `negated` flags of BETWEEN / IN / IS NULL. Sub-expressions it cannot
+/// rewrite keep their `NOT`.
+pub fn nnf(expr: Expr) -> Expr {
+    match expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: inner,
+        } => negate(*inner),
+        Expr::Binary { left, op, right } if op.is_logical() => Expr::Binary {
+            left: Box::new(nnf(*left)),
+            op,
+            right: Box::new(nnf(*right)),
+        },
+        other => other,
+    }
+}
+
+fn negate(expr: Expr) -> Expr {
+    use BinaryOp::*;
+    match expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: inner,
+        } => nnf(*inner),
+        Expr::Binary { left, op, right } if op.is_logical() => {
+            let flipped = if op == And { Or } else { And };
+            Expr::Binary {
+                left: Box::new(negate(*left)),
+                op: flipped,
+                right: Box::new(negate(*right)),
+            }
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let neg = match op {
+                Eq => Neq,
+                Neq => Eq,
+                Lt => Ge,
+                Le => Gt,
+                Gt => Le,
+                Ge => Lt,
+                other => other,
+            };
+            Expr::Binary {
+                left,
+                op: neg,
+                right,
+            }
+        }
+        Expr::IsNull(e) => Expr::IsNotNull(e),
+        Expr::IsNotNull(e) => Expr::IsNull(e),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr,
+            low,
+            high,
+            negated: !negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr,
+            list,
+            negated: !negated,
+        },
+        Expr::Literal(Value::Bool(b)) => Expr::Literal(Value::Bool(!b)),
+        other => other.not(),
+    }
+}
+
+/// Whether a conjunct has a *form* zone maps can ever act on: a
+/// column-vs-literal comparison (non-null literal), BETWEEN / IN / IS
+/// NULL on a bare column, a boolean literal, or AND/OR of prunable
+/// parts (OR needs both arms, since a verdict requires both).
+pub fn is_prunable(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(Value::Bool(_)) => true,
+        Expr::Binary { left, op, right } if op.is_comparison() => matches!(
+            (left.as_ref(), right.as_ref()),
+            (Expr::Column(_), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(_))
+                if !v.is_null()
+        ),
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => is_prunable(left) || is_prunable(right),
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => is_prunable(left) && is_prunable(right),
+        Expr::IsNull(inner) | Expr::IsNotNull(inner) => matches!(inner.as_ref(), Expr::Column(_)),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            matches!(expr.as_ref(), Expr::Column(_))
+                && matches!(low.as_ref(), Expr::Literal(v) if !v.is_null())
+                && matches!(high.as_ref(), Expr::Literal(v) if !v.is_null())
+        }
+        Expr::InList { expr, .. } => matches!(expr.as_ref(), Expr::Column(_)),
+        _ => false,
+    }
+}
+
+/// The conjuncts of `expr` a zone-mapped scan could act on, in order.
+pub fn prunable_conjuncts(expr: &Expr) -> Vec<Expr> {
+    split_conjuncts(expr)
+        .into_iter()
+        .filter(|c| is_prunable(c))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr as E;
+
+    fn int_stats(min: i64, max: i64, nulls: u64, rows: u64) -> ColumnStats {
+        ColumnStats {
+            dtype: DataType::Int,
+            min: Some(Value::Int(min)),
+            max: Some(Value::Int(max)),
+            null_count: nulls,
+            row_count: rows,
+        }
+    }
+
+    fn lookup(stats: ColumnStats) -> impl Fn(&str) -> Option<ColumnStats> {
+        move |name: &str| {
+            if name.eq_ignore_ascii_case("x") {
+                Some(stats.clone())
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_verdicts() {
+        let s = lookup(int_stats(10, 20, 0, 100));
+        let cases = [
+            (E::col("x").lt(E::lit(10)), Tri::AllFalse),
+            (E::col("x").lt(E::lit(21)), Tri::AllTrue),
+            (E::col("x").lt(E::lit(15)), Tri::Unknown),
+            (E::col("x").ge(E::lit(10)), Tri::AllTrue),
+            (E::col("x").gt(E::lit(20)), Tri::AllFalse),
+            (E::col("x").eq(E::lit(25)), Tri::AllFalse),
+            (E::col("x").eq(E::lit(15)), Tri::Unknown),
+            (E::col("x").neq(E::lit(25)), Tri::AllTrue),
+            // flipped literal side
+            (E::lit(21).gt(E::col("x")), Tri::AllTrue),
+            (E::lit(9).ge(E::col("x")), Tri::AllFalse),
+        ];
+        for (e, want) in cases {
+            assert_eq!(prune_predicate(&e, &s), want, "{}", e.to_sql());
+        }
+    }
+
+    #[test]
+    fn nulls_block_all_true_but_not_all_false() {
+        let s = lookup(int_stats(10, 20, 5, 100));
+        // Every valid row passes, but 5 nulls would be dropped by the
+        // filter, so the block cannot be passed through unfiltered.
+        assert_eq!(
+            prune_predicate(&E::col("x").ge(E::lit(0)), &s),
+            Tri::Unknown
+        );
+        // AllFalse is unaffected by nulls: null rows never pass anyway.
+        assert_eq!(
+            prune_predicate(&E::col("x").gt(E::lit(100)), &s),
+            Tri::AllFalse
+        );
+    }
+
+    #[test]
+    fn all_null_blocks_fail_everything_except_is_null() {
+        let s = lookup(ColumnStats {
+            dtype: DataType::Int,
+            min: None,
+            max: None,
+            null_count: 7,
+            row_count: 7,
+        });
+        assert_eq!(
+            prune_predicate(&E::col("x").eq(E::lit(1)), &s),
+            Tri::AllFalse
+        );
+        assert_eq!(prune_predicate(&E::col("x").is_null(), &s), Tri::AllTrue);
+        assert_eq!(
+            prune_predicate(&E::col("x").is_not_null(), &s),
+            Tri::AllFalse
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_stays_unknown() {
+        // Str column vs Int literal errors at runtime; pruning must not
+        // swallow that error by claiming AllFalse.
+        let s = lookup(ColumnStats {
+            dtype: DataType::Str,
+            min: Some(Value::Str("a".into())),
+            max: Some(Value::Str("z".into())),
+            null_count: 0,
+            row_count: 10,
+        });
+        assert_eq!(
+            prune_predicate(&E::col("x").gt(E::lit(5)), &s),
+            Tri::Unknown
+        );
+    }
+
+    #[test]
+    fn null_literal_stays_unknown() {
+        let s = lookup(int_stats(1, 2, 0, 3));
+        assert_eq!(
+            prune_predicate(&E::col("x").eq(E::Literal(Value::Null)), &s),
+            Tri::Unknown
+        );
+    }
+
+    #[test]
+    fn logic_combinators() {
+        let s = lookup(int_stats(10, 20, 0, 100));
+        let t = E::col("x").ge(E::lit(10)); // AllTrue
+        let f = E::col("x").gt(E::lit(20)); // AllFalse
+        let u = E::col("x").gt(E::lit(15)); // Unknown
+        assert_eq!(
+            prune_predicate(&t.clone().and(f.clone()), &s),
+            Tri::AllFalse
+        );
+        assert_eq!(
+            prune_predicate(&u.clone().and(f.clone()), &s),
+            Tri::AllFalse
+        );
+        assert_eq!(prune_predicate(&t.clone().and(t.clone()), &s), Tri::AllTrue);
+        assert_eq!(prune_predicate(&t.clone().or(u.clone()), &s), Tri::AllTrue);
+        assert_eq!(prune_predicate(&f.clone().or(f.clone()), &s), Tri::AllFalse);
+        assert_eq!(prune_predicate(&f.clone().or(u.clone()), &s), Tri::Unknown);
+        assert_eq!(prune_predicate(&t.clone().not(), &s), Tri::AllFalse);
+        // NOT AllFalse is *not* AllTrue: null rows would stay null.
+        assert_eq!(prune_predicate(&f.not(), &s), Tri::Unknown);
+        let _ = u;
+    }
+
+    fn not_in(col: &str, list: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(E::col(col)),
+            list,
+            negated: true,
+        }
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let s = lookup(int_stats(10, 20, 0, 100));
+        assert_eq!(
+            prune_predicate(&E::col("x").between(E::lit(30), E::lit(40)), &s),
+            Tri::AllFalse
+        );
+        assert_eq!(
+            prune_predicate(&E::col("x").between(E::lit(0), E::lit(50)), &s),
+            Tri::AllTrue
+        );
+        assert_eq!(
+            prune_predicate(&E::col("x").in_list(vec![Value::Int(1), Value::Int(2)]), &s),
+            Tri::AllFalse
+        );
+        // NOT IN with a NULL element is never TRUE.
+        assert_eq!(
+            prune_predicate(&not_in("x", vec![Value::Int(1), Value::Null]), &s),
+            Tri::AllFalse
+        );
+        // NOT IN over values entirely outside the block, no nulls: TRUE.
+        assert_eq!(
+            prune_predicate(&not_in("x", vec![Value::Int(1), Value::Int(2)]), &s),
+            Tri::AllTrue
+        );
+    }
+
+    #[test]
+    fn single_valued_block_in_list() {
+        let s = lookup(int_stats(5, 5, 0, 10));
+        assert_eq!(
+            prune_predicate(&E::col("x").in_list(vec![Value::Int(5)]), &s),
+            Tri::AllTrue
+        );
+        assert_eq!(
+            prune_predicate(&not_in("x", vec![Value::Int(5)]), &s),
+            Tri::AllFalse
+        );
+    }
+
+    #[test]
+    fn nnf_flips_through_not() {
+        let e = E::col("x").le(E::lit(10)).not();
+        assert_eq!(nnf(e), E::col("x").gt(E::lit(10)));
+        let e = E::col("x")
+            .eq(E::lit(1))
+            .and(E::col("y").lt(E::lit(2)))
+            .not();
+        assert_eq!(
+            nnf(e),
+            E::col("x").neq(E::lit(1)).or(E::col("y").ge(E::lit(2)))
+        );
+        let e = E::col("x").is_null().not().not();
+        assert_eq!(nnf(e), E::col("x").is_null());
+        let e = E::col("x").between(E::lit(1), E::lit(2)).not();
+        let want = Expr::Between {
+            expr: Box::new(E::col("x")),
+            low: Box::new(E::lit(1)),
+            high: Box::new(E::lit(2)),
+            negated: true,
+        };
+        assert_eq!(nnf(e), want);
+    }
+
+    #[test]
+    fn prunable_forms() {
+        assert!(is_prunable(&E::col("x").lt(E::lit(5))));
+        assert!(is_prunable(&E::lit(5).lt(E::col("x"))));
+        assert!(is_prunable(&E::col("x").is_null()));
+        assert!(is_prunable(&E::col("x").between(E::lit(1), E::lit(2))));
+        // Arithmetic left-hand sides defeat zone maps.
+        assert!(!is_prunable(&E::col("x").add(E::lit(1)).gt(E::lit(5))));
+        assert!(!is_prunable(&E::col("x").le(E::lit(10)).not()));
+        // OR requires both arms prunable.
+        assert!(is_prunable(
+            &E::col("x").lt(E::lit(1)).or(E::col("x").gt(E::lit(9)))
+        ));
+        assert!(!is_prunable(
+            &E::col("x")
+                .lt(E::lit(1))
+                .or(E::col("x").add(E::lit(1)).gt(E::lit(9)))
+        ));
+        // NULL literals are not prunable (evaluator returns Unknown).
+        assert!(!is_prunable(&E::col("x").eq(E::Literal(Value::Null))));
+    }
+
+    #[test]
+    fn conjunct_split_and_join() {
+        let e = E::col("a")
+            .lt(E::lit(1))
+            .and(E::col("b").gt(E::lit(2)).and(E::col("c").eq(E::lit(3))));
+        let parts = split_conjuncts(&e);
+        assert_eq!(parts.len(), 3);
+        let rejoined = conjoin(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(split_conjuncts(&rejoined).len(), 3);
+        assert!(conjoin(vec![]).is_none());
+        let only = prunable_conjuncts(
+            &E::col("a")
+                .lt(E::lit(1))
+                .and(E::col("b").add(E::lit(1)).gt(E::lit(2))),
+        );
+        assert_eq!(only, vec![E::col("a").lt(E::lit(1))]);
+    }
+
+    #[test]
+    fn empty_block_claims_nothing_positive() {
+        let s = lookup(ColumnStats {
+            dtype: DataType::Int,
+            min: None,
+            max: None,
+            null_count: 0,
+            row_count: 0,
+        });
+        // 0 == row_count means "all null" vacuously: AllFalse is sound
+        // (there are no rows to keep).
+        assert_eq!(
+            prune_predicate(&E::col("x").eq(E::lit(1)), &s),
+            Tri::AllFalse
+        );
+    }
+}

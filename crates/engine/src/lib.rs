@@ -37,6 +37,7 @@ pub mod value;
 pub use column::Column;
 pub use dtype::DataType;
 pub use error::{EngineError, Result};
+pub use expr::prune::{ColumnStats, Tri};
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use ops::{AggFunc, AggSpec, JoinType, SortKey};
 pub use schema::{Field, Schema};

@@ -60,6 +60,14 @@ pub fn format_skill(call: &SkillCall) -> String {
         LoadTable { database, table } => {
             format!("Load the table {table} from the database {database}")
         }
+        LoadTableFiltered {
+            database,
+            table,
+            predicate,
+        } => format!(
+            "Load the table {table} from the database {database} where {}",
+            format_condition(predicate)
+        ),
         UseDataset { name, version } => match version {
             Some(v) => format!("Use the dataset {name}, version {v}"),
             None => format!("Use the dataset {name}"),

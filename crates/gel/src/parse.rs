@@ -279,6 +279,14 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
     if let Some(rest) = strip_ci(s, "load the table") {
         let (table, db) = split_word_ci(rest, "from the database")
             .ok_or_else(|| GelError::bad_phrase("expected from the database <db>", rest))?;
+        // Optional pushed-down filter: "... where <condition>".
+        if let Some((db, cond)) = split_word_ci(db, "where") {
+            return Ok(SkillCall::LoadTableFiltered {
+                database: db.into(),
+                table: table.into(),
+                predicate: parse_condition(cond)?,
+            });
+        }
         return Ok(SkillCall::LoadTable {
             database: db.into(),
             table: table.into(),
@@ -943,6 +951,37 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn load_table_with_where_roundtrips() {
+        let call =
+            parse_gel("Load the table sales from the database MainDatabase where price > 10")
+                .unwrap();
+        match &call {
+            SkillCall::LoadTableFiltered {
+                database,
+                table,
+                predicate,
+            } => {
+                assert_eq!(database, "MainDatabase");
+                assert_eq!(table, "sales");
+                assert!(
+                    predicate.to_sql().contains("price"),
+                    "{}",
+                    predicate.to_sql()
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The formatter emits a sentence the parser accepts back.
+        let sentence = format_skill(&call);
+        assert_eq!(parse_gel(&sentence).unwrap(), call);
+        // Without a where clause the plain load is unchanged.
+        assert!(matches!(
+            parse_gel("Load the table sales from the database MainDatabase").unwrap(),
+            SkillCall::LoadTable { .. }
+        ));
     }
 
     #[test]

@@ -10,9 +10,38 @@ use std::collections::HashMap;
 
 use dc_engine::Table;
 use dc_ml::Model;
-use dc_storage::{CancelToken, Catalog, SnapshotStore};
+use dc_storage::{CancelToken, Catalog, ScanReceipt, SnapshotStore};
 
 use crate::error::{Result, SkillError};
+
+/// Running totals of storage-scan traffic for one environment.
+///
+/// Every table scan a skill performs adds its receipt here; the
+/// resilient executor snapshots the tally around each node to attribute
+/// bytes (scanned and zone-map-pruned) per node in its report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanTally {
+    /// Bytes charged by scans so far.
+    pub bytes_scanned: u64,
+    /// Bytes zone-map pruning avoided charging so far.
+    pub bytes_pruned: u64,
+}
+
+impl ScanTally {
+    /// Fold one scan receipt into the totals.
+    pub fn record(&mut self, receipt: &ScanReceipt) {
+        self.bytes_scanned += receipt.bytes_scanned;
+        self.bytes_pruned += receipt.bytes_pruned;
+    }
+
+    /// The traffic that happened after `earlier` was captured.
+    pub fn delta_since(&self, earlier: ScanTally) -> ScanTally {
+        ScanTally {
+            bytes_scanned: self.bytes_scanned.saturating_sub(earlier.bytes_scanned),
+            bytes_pruned: self.bytes_pruned.saturating_sub(earlier.bytes_pruned),
+        }
+    }
+}
 
 /// Mutable world state for skill execution.
 #[derive(Debug, Default)]
@@ -25,6 +54,8 @@ pub struct Env {
     /// resilient executor arms it with each node's wall-clock budget;
     /// unarmed it never fires.
     pub cancel: CancelToken,
+    /// Scan-traffic totals across every table load this environment ran.
+    pub scan_tally: ScanTally,
     /// Virtual filesystem: path → CSV text.
     files: HashMap<String, String>,
     /// Virtual network: URL → CSV text.

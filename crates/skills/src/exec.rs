@@ -44,6 +44,7 @@ pub fn needs_env(call: &SkillCall, has_input: bool) -> bool {
         LoadFile { .. }
         | LoadUrl { .. }
         | LoadTable { .. }
+        | LoadTableFiltered { .. }
         | UseSnapshot { .. }
         | ListDatasets
         | TrainModel { .. }
@@ -78,7 +79,21 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             let db = env.catalog.database(database)?;
             let mut opts = ScanOptions::full();
             opts.cancel = Some(env.cancel.clone());
-            let (data, _receipt) = db.scan(table, &opts)?;
+            let (data, receipt) = db.scan(table, &opts)?;
+            env.scan_tally.record(&receipt);
+            Ok(SkillOutput::Table(data))
+        }
+        LoadTableFiltered {
+            database,
+            table,
+            predicate,
+        } => {
+            let db = env.catalog.database(database)?;
+            let mut opts = ScanOptions::full();
+            opts.predicate = Some(predicate.clone());
+            opts.cancel = Some(env.cancel.clone());
+            let (data, receipt) = db.scan(table, &opts)?;
+            env.scan_tally.record(&receipt);
             Ok(SkillOutput::Table(data))
         }
         UseDataset { name, .. } if inputs.is_empty() => {
@@ -825,6 +840,11 @@ impl Executor {
 
     /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
     fn materialize(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SubDagId> {
+        // Fuse single-consumer filters into their scans so zone maps can
+        // prune blocks. The rewrite preserves node ids and filter nodes,
+        // so caching, reporting, and error attribution are unaffected.
+        let planned = crate::pushdown::plan_pushdown(dag, &[target], &[]);
+        let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;
         let ids = self.intern_ids(dag, &order)?;
 

@@ -24,12 +24,13 @@ pub mod exec;
 pub mod exec_plan;
 pub mod output;
 pub mod planner;
+pub mod pushdown;
 pub mod resilient;
 pub mod skill;
 pub mod slicing;
 
 pub use dag::{NodeId, SkillDag, SkillNode};
-pub use env::Env;
+pub use env::{Env, ScanTally};
 pub use error::{Result, SkillError};
 pub use exec::{
     execute_call, execute_pure_call, needs_env, structural_ids, Executor, ExecutorStats, SubDagId,
@@ -37,6 +38,7 @@ pub use exec::{
 pub use exec_plan::{run_planned, PlannedStats};
 pub use output::SkillOutput;
 pub use planner::{plan, ExecutionTask};
+pub use pushdown::plan_pushdown;
 pub use resilient::{ExecPolicy, ExecReport, NodeOutcome, NodeReport, RetryPolicy};
 pub use skill::{registry, Category, DatePart, SkillCall, SkillInfo};
 pub use slicing::{slice, sliced_recipe, SliceStats};

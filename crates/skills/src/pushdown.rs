@@ -1,0 +1,218 @@
+//! Predicate pushdown: plan-time rewrite that fuses filters into scans.
+//!
+//! When a `LoadTable` node's only consumer is a `KeepRows` or `DropRows`
+//! directly above it, the prunable conjuncts of that filter's predicate
+//! can be evaluated *inside* the storage scan, where per-block zone maps
+//! skip blocks that cannot contain a matching row. The rewrite swaps the
+//! load's call for [`SkillCall::LoadTableFiltered`] in place — same node
+//! id, same (empty) inputs — and leaves the filter node untouched: it
+//! re-evaluates its full predicate over the already-reduced scan output,
+//! which costs next to nothing and keeps semantics (including error
+//! attribution for bad predicates) byte-identical to the unpushed plan.
+//!
+//! `DropRows` keeps rows where the predicate is FALSE, so its pushable
+//! form is the Kleene negation-normal-form of `NOT predicate`.
+
+use dc_engine::expr::prune::{conjoin, nnf, prunable_conjuncts};
+
+use crate::dag::{NodeId, SkillDag};
+use crate::skill::SkillCall;
+
+/// Rewrite every eligible `LoadTable` under a filter into a
+/// `LoadTableFiltered`. Returns `None` when nothing is eligible (the
+/// caller keeps using the original DAG, uncloned).
+///
+/// `protected` loads are never rewritten — the materialization target's
+/// observable output must stay the raw table. `vetoed` nodes neither
+/// get rewritten nor push their predicate: the resilient executor lists
+/// analyzer-rejected nodes here, since a predicate that never earned
+/// the right to run must not sneak into a scan either.
+pub fn plan_pushdown(dag: &SkillDag, protected: &[NodeId], vetoed: &[NodeId]) -> Option<SkillDag> {
+    let mut rewritten: Option<SkillDag> = None;
+    let named: Vec<NodeId> = dag.dataset_names().iter().map(|&(_, id)| id).collect();
+    for node in dag.nodes() {
+        let SkillCall::LoadTable { database, table } = &node.call else {
+            continue;
+        };
+        // A target or name-bound load is observable as-is.
+        if protected.contains(&node.id) || vetoed.contains(&node.id) || named.contains(&node.id) {
+            continue;
+        }
+        // Exactly one consumer, and it is a filter directly above us.
+        let mut consumers = dag.nodes().iter().filter(|n| n.inputs.contains(&node.id));
+        let (Some(consumer), None) = (consumers.next(), consumers.next()) else {
+            continue;
+        };
+        if vetoed.contains(&consumer.id) {
+            continue;
+        }
+        let candidate = match &consumer.call {
+            SkillCall::KeepRows { predicate } => predicate.clone(),
+            SkillCall::DropRows { predicate } => nnf(predicate.clone().not()),
+            _ => continue,
+        };
+        let Some(pushed) = conjoin(prunable_conjuncts(&candidate)) else {
+            continue;
+        };
+        let out = rewritten.get_or_insert_with(|| dag.clone());
+        out.update_call(
+            node.id,
+            SkillCall::LoadTableFiltered {
+                database: database.clone(),
+                table: table.clone(),
+                predicate: pushed,
+            },
+        )
+        .expect("LoadTableFiltered takes no inputs");
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Expr;
+
+    fn load(dag: &mut SkillDag) -> NodeId {
+        dag.add(
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn pushed_predicate(dag: &SkillDag, id: NodeId) -> Option<&Expr> {
+        match &dag.node(id).unwrap().call {
+            SkillCall::LoadTableFiltered { predicate, .. } => Some(predicate),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn keep_rows_predicate_is_pushed_verbatim() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let pred = Expr::col("x").gt(Expr::lit(5));
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: pred.clone(),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let planned = plan_pushdown(&dag, &[f], &[]).unwrap();
+        assert_eq!(pushed_predicate(&planned, l), Some(&pred));
+        // The filter node itself is untouched.
+        assert_eq!(planned.node(f).unwrap().call, dag.node(f).unwrap().call);
+    }
+
+    #[test]
+    fn drop_rows_pushes_the_negation() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::DropRows {
+                    predicate: Expr::col("x").le(Expr::lit(5)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let planned = plan_pushdown(&dag, &[f], &[]).unwrap();
+        assert_eq!(
+            pushed_predicate(&planned, l),
+            Some(&Expr::col("x").gt(Expr::lit(5)))
+        );
+    }
+
+    #[test]
+    fn only_prunable_conjuncts_are_pushed() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let pred = Expr::col("x")
+            .gt(Expr::lit(5))
+            .and(Expr::col("x").add(Expr::col("y")).lt(Expr::lit(10)));
+        let f = dag
+            .add(SkillCall::KeepRows { predicate: pred }, vec![l])
+            .unwrap();
+        let planned = plan_pushdown(&dag, &[f], &[]).unwrap();
+        assert_eq!(
+            pushed_predicate(&planned, l),
+            Some(&Expr::col("x").gt(Expr::lit(5)))
+        );
+    }
+
+    #[test]
+    fn no_rewrite_without_prunable_form() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").add(Expr::lit(1)).gt(Expr::lit(5)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        assert!(plan_pushdown(&dag, &[f], &[]).is_none());
+    }
+
+    #[test]
+    fn shared_load_is_not_rewritten() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").gt(Expr::lit(5)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        // A second consumer needs the unfiltered rows.
+        let _head = dag.add(SkillCall::ShowHead { n: 3 }, vec![l]).unwrap();
+        assert!(plan_pushdown(&dag, &[f], &[]).is_none());
+    }
+
+    #[test]
+    fn target_and_named_loads_are_protected() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").gt(Expr::lit(5)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        // Materializing the load itself must return unfiltered rows.
+        assert!(plan_pushdown(&dag, &[l, f], &[]).is_none());
+        // A name binding makes the load addressable later.
+        dag.bind_name("raw", l).unwrap();
+        assert!(plan_pushdown(&dag, &[f], &[]).is_none());
+    }
+
+    #[test]
+    fn rejected_filter_blocks_the_rewrite() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("x").gt(Expr::lit(5)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let t = dag.add(SkillCall::ShowHead { n: 3 }, vec![f]).unwrap();
+        // Normally pushable...
+        assert!(plan_pushdown(&dag, &[t], &[]).is_some());
+        // ...but not when the filter node is protected (e.g. rejected).
+        assert!(plan_pushdown(&dag, &[t], &[f]).is_none());
+    }
+}

@@ -153,6 +153,10 @@ pub struct NodeReport {
     pub degraded: bool,
     /// Wall time spent on this node across all attempts and backoffs.
     pub wall: Duration,
+    /// Storage bytes this node's scans charged (all attempts).
+    pub bytes_scanned: u64,
+    /// Storage bytes zone-map pruning saved this node's scans.
+    pub bytes_pruned: u64,
 }
 
 impl NodeReport {
@@ -165,6 +169,8 @@ impl NodeReport {
             faults_absorbed: 0,
             degraded: false,
             wall: Duration::ZERO,
+            bytes_scanned: 0,
+            bytes_pruned: 0,
         }
     }
 }
@@ -228,6 +234,16 @@ impl ExecReport {
         self.nodes.iter().map(|n| n.faults_absorbed as u64).sum()
     }
 
+    /// Total storage bytes scanned across all nodes.
+    pub fn bytes_scanned(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_scanned).sum()
+    }
+
+    /// Total storage bytes zone-map pruning saved across all nodes.
+    pub fn bytes_pruned(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_pruned).sum()
+    }
+
     /// The first failure in topological order, if any.
     pub fn first_error(&self) -> Option<&SkillError> {
         self.nodes.iter().find_map(|n| match &n.outcome {
@@ -259,7 +275,10 @@ fn run_attempts<F>(
 where
     F: FnMut(bool) -> Result<SkillOutput>,
 {
-    let can_degrade = matches!(call, SkillCall::LoadTable { .. });
+    let can_degrade = matches!(
+        call,
+        SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. }
+    );
     let started = Instant::now();
     let mut faults_absorbed = 0u32;
     let mut attempt = 0u32;
@@ -352,13 +371,21 @@ fn run_pure_job(
 /// The cost meter naturally records the cheaper path — only the blocks
 /// actually read are charged.
 fn degraded_load(call: &SkillCall, env: &mut Env, policy: &ExecPolicy) -> Result<SkillOutput> {
-    let SkillCall::LoadTable { database, table } = call else {
-        unreachable!("degradation only applies to LoadTable nodes");
+    let (database, table, predicate) = match call {
+        SkillCall::LoadTable { database, table } => (database, table, None),
+        SkillCall::LoadTableFiltered {
+            database,
+            table,
+            predicate,
+        } => (database, table, Some(predicate)),
+        _ => unreachable!("degradation only applies to table-load nodes"),
     };
     let db = env.catalog.database(database)?;
     let mut opts = ScanOptions::block_sampled(policy.degraded_fraction, policy.degraded_seed);
+    opts.predicate = predicate.cloned();
     opts.cancel = Some(env.cancel.clone());
-    let (data, _receipt) = db.scan(table, &opts)?;
+    let (data, receipt) = db.scan(table, &opts)?;
+    env.scan_tally.record(&receipt);
     Ok(SkillOutput::Table(data))
 }
 
@@ -397,6 +424,12 @@ impl Executor {
         policy: &ExecPolicy,
         rejections: &[(NodeId, String)],
     ) -> Result<ExecReport> {
+        // Same pushdown rewrite as the fast path, with one extra guard:
+        // a rejected filter must keep its load un-fused, since its
+        // predicate never earned the right to run anywhere.
+        let vetoed: Vec<NodeId> = rejections.iter().map(|(n, _)| *n).collect();
+        let planned = crate::pushdown::plan_pushdown(dag, &[target], &vetoed);
+        let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;
         let ids = self.intern_ids(dag, &order)?;
 
@@ -568,6 +601,7 @@ impl Executor {
             let inputs = self.input_tables(node, ids);
             let hook = self.before_execute.clone();
             let token = env.cancel.clone();
+            let tally_before = env.scan_tally;
             let att = run_attempts(policy, nid, &node.call, Some(&token), |degraded| {
                 if let Some(h) = &hook {
                     h(&node.call);
@@ -579,7 +613,12 @@ impl Executor {
                     execute_call(&node.call, &refs, env)
                 }
             });
+            let scan = env.scan_tally.delta_since(tally_before);
             self.commit_attempt(dag, nid, ids, inputs, att, reports, unusable)?;
+            if let Some(r) = reports.get_mut(&nid) {
+                r.bytes_scanned = scan.bytes_scanned;
+                r.bytes_pruned = scan.bytes_pruned;
+            }
         }
 
         let jobs: Vec<(NodeId, Vec<Arc<Table>>)> = pure

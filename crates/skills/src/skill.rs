@@ -79,6 +79,17 @@ pub enum SkillCall {
     LoadUrl { url: String },
     /// `Load the table <table> from the database <database>`.
     LoadTable { database: String, table: String },
+    /// `Load the table <table> from the database <database> where
+    /// <predicate>` — a [`SkillCall::LoadTable`] with a filter pushed
+    /// into the storage scan so zone maps can skip blocks. Produced by
+    /// the executor's pushdown rewrite (it is not in the user-facing
+    /// registry); the downstream filter still evaluates its full
+    /// predicate, so pushing is purely an optimization.
+    LoadTableFiltered {
+        database: String,
+        table: String,
+        predicate: Expr,
+    },
     /// `Use the dataset <name>, version <v>` (Figure 2 step 5).
     UseDataset { name: String, version: Option<u64> },
     /// `Use the snapshot <name>` (§3).
@@ -245,6 +256,7 @@ impl SkillCall {
             LoadFile { .. }
             | LoadUrl { .. }
             | LoadTable { .. }
+            | LoadTableFiltered { .. }
             | UseDataset { .. }
             | UseSnapshot { .. } => Category::DataIngestion,
             DescribeColumn { .. }
@@ -300,6 +312,7 @@ impl SkillCall {
             LoadFile { .. } => "LoadFile",
             LoadUrl { .. } => "LoadUrl",
             LoadTable { .. } => "LoadTable",
+            LoadTableFiltered { .. } => "LoadTableFiltered",
             UseDataset { .. } => "UseDataset",
             UseSnapshot { .. } => "UseSnapshot",
             DescribeColumn { .. } => "DescribeColumn",
@@ -359,6 +372,7 @@ impl SkillCall {
             LoadFile { .. }
                 | LoadUrl { .. }
                 | LoadTable { .. }
+                | LoadTableFiltered { .. }
                 | UseDataset { .. }
                 | UseSnapshot { .. }
                 | ListDatasets

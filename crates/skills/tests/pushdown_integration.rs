@@ -1,0 +1,147 @@
+//! End-to-end predicate pushdown: a `LoadTable → KeepRows` chain must
+//! produce byte-identical output whether or not the planner fuses the
+//! filter into the scan, while the fused plan scans strictly fewer
+//! bytes. Also covers the per-node scan accounting surfaced through
+//! `ExecReport` by the resilient executor.
+
+use dc_engine::ops::filter;
+use dc_engine::{Column, Expr, Table};
+use dc_skills::resilient::ExecPolicy;
+use dc_skills::{Env, Executor, SkillCall, SkillDag};
+use dc_storage::{CloudDatabase, Pricing};
+
+/// 4 000 rows clustered on `x` (ascending), split into 256-row blocks,
+/// so a selective range predicate can prove most blocks empty.
+fn clustered_table() -> Table {
+    let n = 4_000usize;
+    Table::new(vec![
+        ("x", Column::from_ints((0..n as i64).collect())),
+        (
+            "k",
+            Column::from_strs((0..n).map(|i| format!("g{}", i % 5)).collect::<Vec<_>>()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn env() -> Env {
+    let mut env = Env::new();
+    let mut db = CloudDatabase::new("db", Pricing::default_cloud());
+    db.create_table_with_blocks("events", &clustered_table(), 256)
+        .unwrap();
+    env.catalog.add_database(db).unwrap();
+    env
+}
+
+fn chain(pred: Expr) -> (SkillDag, usize, usize) {
+    let mut dag = SkillDag::new();
+    let l = dag
+        .add(
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "events".into(),
+            },
+            vec![],
+        )
+        .unwrap();
+    let f = dag
+        .add(SkillCall::KeepRows { predicate: pred }, vec![l])
+        .unwrap();
+    (dag, l, f)
+}
+
+#[test]
+fn pushed_run_matches_filter_over_full_scan_and_prunes_bytes() {
+    let pred = Expr::col("x").lt(Expr::lit(100i64));
+    let (dag, l, f) = chain(pred.clone());
+
+    // Reference: materialize the raw load (targets are never rewritten),
+    // then filter with the engine directly.
+    let mut env_ref = env();
+    let raw = Executor::new().run(&dag, l, &mut env_ref).unwrap();
+    let expected = filter(raw.as_table().unwrap(), &pred).unwrap();
+    assert_eq!(
+        env_ref.scan_tally.bytes_pruned, 0,
+        "a raw load must not be rewritten"
+    );
+
+    let mut env = env();
+    let out = Executor::new().run(&dag, f, &mut env).unwrap();
+    assert_eq!(out.as_table().unwrap(), &expected);
+    assert_eq!(out.as_table().unwrap().num_rows(), 100);
+    assert!(
+        env.scan_tally.bytes_pruned > 0,
+        "selective predicate over a clustered column must prune blocks"
+    );
+    assert!(
+        env.scan_tally.bytes_scanned < env_ref.scan_tally.bytes_scanned,
+        "pushed scan must be charged fewer bytes than the full scan"
+    );
+}
+
+#[test]
+fn drop_rows_chain_is_pushed_and_equivalent() {
+    let pred = Expr::col("x").ge(Expr::lit(100i64));
+    let mut dag = SkillDag::new();
+    let l = dag
+        .add(
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "events".into(),
+            },
+            vec![],
+        )
+        .unwrap();
+    let f = dag
+        .add(
+            SkillCall::DropRows {
+                predicate: pred.clone(),
+            },
+            vec![l],
+        )
+        .unwrap();
+
+    let mut env_ref = env();
+    let raw = Executor::new().run(&dag, l, &mut env_ref).unwrap();
+    let keep = Expr::col("x").lt(Expr::lit(100i64));
+    let expected = filter(raw.as_table().unwrap(), &keep).unwrap();
+
+    let mut env = env();
+    let out = Executor::new().run(&dag, f, &mut env).unwrap();
+    assert_eq!(out.as_table().unwrap(), &expected);
+    assert!(env.scan_tally.bytes_pruned > 0);
+}
+
+#[test]
+fn resilient_report_carries_per_node_scan_bytes() {
+    let pred = Expr::col("x").lt(Expr::lit(100i64));
+    let (dag, l, f) = chain(pred.clone());
+
+    let mut env_ref = env();
+    let raw = Executor::new().run(&dag, l, &mut env_ref).unwrap();
+    let expected = filter(raw.as_table().unwrap(), &pred).unwrap();
+
+    let mut env = env();
+    let report = Executor::new()
+        .run_resilient(&dag, f, &mut env, &ExecPolicy::default())
+        .unwrap();
+    assert!(report.succeeded());
+    assert_eq!(
+        report.output.as_ref().unwrap().as_table().unwrap(),
+        &expected
+    );
+
+    let lr = report.node(l).unwrap();
+    assert!(lr.bytes_scanned > 0, "the load node scans real bytes");
+    assert!(lr.bytes_pruned > 0, "the pushed predicate prunes blocks");
+    let fr = report.node(f).unwrap();
+    assert_eq!(fr.bytes_scanned, 0, "pure nodes touch no storage");
+    assert_eq!(fr.bytes_pruned, 0);
+    assert_eq!(report.bytes_scanned(), lr.bytes_scanned);
+    assert_eq!(report.bytes_pruned(), lr.bytes_pruned);
+    assert_eq!(
+        lr.bytes_scanned + lr.bytes_pruned,
+        env_ref.scan_tally.bytes_scanned,
+        "scanned + pruned must add up to the full-scan footprint"
+    );
+}

@@ -7,11 +7,11 @@
 //! whereas row-level Bernoulli sampling still scans everything.
 
 use std::borrow::Cow;
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use dc_engine::ops::sample_fraction;
-use dc_engine::Table;
+use dc_engine::expr::prune::{self, ColumnStats, Tri};
+use dc_engine::ops::{filter_serial, sample_fraction};
+use dc_engine::{Column, DataType, Expr, Table, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -19,6 +19,88 @@ use rand::SeedableRng;
 use crate::error::{Result, StorageError};
 use crate::fault::{CancelToken, FaultInjector};
 use crate::pricing::ScanReceipt;
+
+/// Zone-map bounds for one block of one column, computed once at
+/// construction. Bounds cover *valid* (non-null) slots only.
+#[derive(Debug, Clone, PartialEq)]
+enum ZoneBounds {
+    /// No usable bounds: all-null block, a float block containing NaN,
+    /// or a dtype zone maps do not summarize (Bool, plain Str).
+    None,
+    /// Value bounds for numeric / date columns.
+    Values { min: Value, max: Value },
+    /// Bounds as codes into the column's shared *sorted* dictionary, so
+    /// code order is string order and translation is two array reads.
+    DictCodes { min: u32, max: u32 },
+}
+
+/// Zone map for one block of one column.
+#[derive(Debug, Clone, PartialEq)]
+struct ColumnZone {
+    bounds: ZoneBounds,
+    null_count: u64,
+}
+
+fn compute_zone(col: &Column) -> ColumnZone {
+    let null_count = col.null_count() as u64;
+    let n = col.len();
+    if null_count as usize >= n {
+        return ColumnZone {
+            bounds: ZoneBounds::None,
+            null_count,
+        };
+    }
+    let bounds = if let Some((codes, _, validity)) = col.as_dict() {
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for (i, &c) in codes.iter().enumerate() {
+            if validity.get(i) {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+        }
+        ZoneBounds::DictCodes { min: lo, max: hi }
+    } else {
+        match col.dtype() {
+            DataType::Int | DataType::Float | DataType::Date => {
+                let mut min: Option<Value> = None;
+                let mut max: Option<Value> = None;
+                let mut usable = true;
+                for i in 0..n {
+                    let v = col.get(i);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if matches!(&v, Value::Float(f) if f.is_nan()) {
+                        // NaN breaks interval reasoning; publish nothing.
+                        usable = false;
+                        break;
+                    }
+                    let lower = match &min {
+                        None => true,
+                        Some(m) => v.partial_cmp_sql(m) == Some(std::cmp::Ordering::Less),
+                    };
+                    if lower {
+                        min = Some(v.clone());
+                    }
+                    let higher = match &max {
+                        None => true,
+                        Some(m) => v.partial_cmp_sql(m) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if higher {
+                        max = Some(v);
+                    }
+                }
+                match (usable, min, max) {
+                    (true, Some(min), Some(max)) => ZoneBounds::Values { min, max },
+                    _ => ZoneBounds::None,
+                }
+            }
+            _ => ZoneBounds::None,
+        }
+    };
+    ColumnZone { bounds, null_count }
+}
 
 /// A stored table split into fixed-size row blocks.
 ///
@@ -28,7 +110,15 @@ use crate::pricing::ScanReceipt;
 #[derive(Debug, Clone)]
 pub struct BlockTable {
     blocks: Vec<Arc<Table>>,
-    block_bytes: Vec<u64>,
+    /// Per block, per column: payload bytes excluding dictionary heap
+    /// (codes + validity for dict columns). Dictionaries are accounted
+    /// separately in `dict_bytes` because blocks share them.
+    data_bytes: Vec<Vec<u64>>,
+    /// Per column: heap bytes of its shared dictionary (0 for non-dict
+    /// columns), charged at most once per scan that reads the column.
+    dict_bytes: Vec<u64>,
+    /// Per block, per column: zone maps for predicate pruning.
+    zones: Vec<Vec<ColumnZone>>,
     rows: usize,
     schema_names: Vec<String>,
 }
@@ -45,6 +135,16 @@ pub struct ScanOptions {
     /// does NOT reduce scan cost — the contrast with `block_sample` is the
     /// point of the §3 experiment.
     pub row_sample: Option<f64>,
+    /// Filter predicate pushed into the scan. Blocks whose zone maps
+    /// prove no row can match are skipped and charged zero bytes; blocks
+    /// proven all-matching skip row-level filtering; the rest are read
+    /// and filtered. The output equals scanning without the predicate
+    /// and filtering afterwards, with two caveats: a predicate naming a
+    /// column absent from the table is ignored (no pruning, no
+    /// filtering), and a block where row-level evaluation errors is
+    /// passed through unfiltered — so the caller's own filter, not the
+    /// scan, surfaces predicate errors.
+    pub predicate: Option<Expr>,
     /// Seed for the sampling choices.
     pub seed: u64,
     /// Cooperative-cancellation handle: the scan checks it at block
@@ -78,27 +178,12 @@ impl ScanOptions {
     }
 }
 
-/// Bytes charged for one table part, counting each string dictionary
-/// once across parts. Blocks sliced from one stored table share their
-/// dictionaries behind [`Arc`], so a scan that touches many blocks reads
-/// each dictionary's payload from storage a single time; only the first
-/// part holding a given dictionary pays for it.
-fn charged_bytes(part: &Table, seen_dicts: &mut HashSet<usize>) -> u64 {
-    let mut bytes = part.byte_size() as u64;
-    for col in part.columns() {
-        if let Some((_, dict, _)) = col.as_dict() {
-            if !seen_dicts.insert(Arc::as_ptr(dict) as usize) {
-                bytes -= col.dict_heap_bytes() as u64;
-            }
-        }
-    }
-    bytes
-}
-
 impl BlockTable {
     /// Split `table` into blocks of `block_rows` rows. String columns are
     /// dictionary-encoded first, so every block carries `u32` codes and
-    /// shares one table-wide dictionary allocation.
+    /// shares one table-wide dictionary allocation. Zone maps (per-block
+    /// min/max, null counts) are computed here, once, so scans can prune
+    /// blocks with metadata alone.
     pub fn new(table: &Table, block_rows: usize) -> Result<BlockTable> {
         if block_rows == 0 {
             return Err(StorageError::invalid("block_rows must be positive"));
@@ -115,13 +200,30 @@ impl BlockTable {
                 start += block_rows;
             }
         }
-        let mut seen_dicts = HashSet::new();
-        let block_bytes = blocks
+        let data_bytes = blocks
             .iter()
-            .map(|b| charged_bytes(b, &mut seen_dicts))
+            .map(|b| {
+                b.columns()
+                    .iter()
+                    .map(|c| (c.byte_size() - c.dict_heap_bytes()) as u64)
+                    .collect()
+            })
+            .collect();
+        // All blocks share one dictionary per string column, so block 0
+        // describes the whole table's dictionary footprint.
+        let dict_bytes = blocks[0]
+            .columns()
+            .iter()
+            .map(|c| c.dict_heap_bytes() as u64)
+            .collect();
+        let zones = blocks
+            .iter()
+            .map(|b| b.columns().iter().map(compute_zone).collect())
             .collect();
         Ok(BlockTable {
-            block_bytes,
+            data_bytes,
+            dict_bytes,
+            zones,
             rows,
             schema_names: table
                 .schema()
@@ -143,9 +245,38 @@ impl BlockTable {
         self.blocks.len()
     }
 
-    /// Total stored bytes.
+    /// Total stored bytes: every block's payload plus each shared
+    /// dictionary once.
     pub fn total_bytes(&self) -> u64 {
-        self.block_bytes.iter().sum()
+        self.data_bytes.iter().flatten().sum::<u64>() + self.dict_bytes.iter().sum::<u64>()
+    }
+
+    /// Zone-map statistics for block `bi`, column `ci`, in the form the
+    /// tri-state evaluator consumes. Dictionary code bounds translate to
+    /// their strings here (the dictionary is sorted, so the code range
+    /// *is* the string range).
+    fn column_stats(&self, bi: usize, ci: usize) -> ColumnStats {
+        let zone = &self.zones[bi][ci];
+        let block = &self.blocks[bi];
+        let col = &block.columns()[ci];
+        let (min, max) = match &zone.bounds {
+            ZoneBounds::None => (None, None),
+            ZoneBounds::Values { min, max } => (Some(min.clone()), Some(max.clone())),
+            ZoneBounds::DictCodes { min, max } => {
+                let (_, dict, _) = col.as_dict().expect("DictCodes zone on non-dict column");
+                (
+                    Some(Value::Str(dict[*min as usize].clone())),
+                    Some(Value::Str(dict[*max as usize].clone())),
+                )
+            }
+        };
+        ColumnStats {
+            dtype: block.schema().fields()[ci].dtype,
+            min,
+            max,
+            null_count: zone.null_count,
+            row_count: block.num_rows() as u64,
+        }
     }
 
     /// Column names.
@@ -223,13 +354,45 @@ impl BlockTable {
             .as_ref()
             .map(|cols| cols.iter().map(|s| s.as_str()).collect());
 
+        let schema = self.schema();
+        // A predicate naming a column the table does not have would error
+        // differently here than in the caller's own filter; ignore it and
+        // let the caller surface the problem.
+        let predicate: Option<&Expr> = opts.predicate.as_ref().filter(|p| {
+            let mut cols = Vec::new();
+            p.referenced_columns(&mut cols);
+            cols.iter().all(|c| schema.index_of(c).is_some())
+        });
+
+        // Columns the scan must read: the projection (all columns when
+        // absent) plus every column the pushed predicate consults.
+        let mut read_cols: Vec<usize> = match &opts.columns {
+            Some(cols) => cols.iter().filter_map(|c| schema.index_of(c)).collect(),
+            None => (0..schema.fields().len()).collect(),
+        };
+        if let Some(p) = predicate {
+            let mut pred_cols = Vec::new();
+            p.referenced_columns(&mut pred_cols);
+            for c in &pred_cols {
+                if let Some(i) = schema.index_of(c) {
+                    if !read_cols.contains(&i) {
+                        read_cols.push(i);
+                    }
+                }
+            }
+        }
+        let read_data_bytes =
+            |bi: usize| -> u64 { read_cols.iter().map(|&ci| self.data_bytes[bi][ci]).sum() };
+
         // Unprojected, unsampled blocks are borrowed as-is — a full scan
         // never deep-clones block data, it only concatenates borrowed
         // parts into the output table.
         let mut parts: Vec<Cow<'_, Table>> = Vec::with_capacity(chosen.len());
         let mut bytes = 0u64;
         let mut rows_scanned = 0u64;
-        let mut seen_dicts = HashSet::new();
+        let mut blocks_scanned = 0u64;
+        let mut blocks_pruned = 0u64;
+        let mut bytes_pruned = 0u64;
         for &bi in &chosen {
             if let Some(token) = cancel {
                 if token.is_cancelled() {
@@ -239,35 +402,81 @@ impl BlockTable {
                     });
                 }
             }
+            let block = &self.blocks[bi];
+            // Zone-map check: a metadata-only decision made before the
+            // block is read, so pruned blocks cost nothing and never see
+            // injected block-read faults.
+            let verdict = match predicate {
+                Some(_) if block.num_rows() == 0 => Tri::AllFalse,
+                Some(p) => {
+                    let lookup =
+                        |name: &str| schema.index_of(name).map(|ci| self.column_stats(bi, ci));
+                    prune::prune_predicate(p, &lookup)
+                }
+                None => Tri::Unknown,
+            };
+            if predicate.is_some() && verdict == Tri::AllFalse {
+                blocks_pruned += 1;
+                bytes_pruned += read_data_bytes(bi);
+                continue;
+            }
             if let Some(inj) = injector {
                 inj.on_block_read(cancel)?;
             }
-            let block = &self.blocks[bi];
-            let part = match &projected {
-                Some(cols) => Cow::Owned(block.select(cols)?),
-                None => Cow::Borrowed(block.as_ref()),
-            };
-            bytes += charged_bytes(&part, &mut seen_dicts);
+            bytes += read_data_bytes(bi);
             rows_scanned += block.num_rows() as u64;
-            let part = match opts.row_sample {
-                Some(f) => Cow::Owned(sample_fraction(
+            blocks_scanned += 1;
+            let mut part = Cow::Borrowed(block.as_ref());
+            if let Some(f) = opts.row_sample {
+                part = Cow::Owned(sample_fraction(
                     &part,
                     f,
                     opts.seed.wrapping_add(bi as u64),
-                )?),
-                None => part,
-            };
+                )?);
+            }
+            if let Some(p) = predicate {
+                if verdict != Tri::AllTrue {
+                    // Row-level evaluation errors (e.g. cross-type
+                    // comparisons) must surface from the caller's own
+                    // filter for correct attribution; pass the block
+                    // through unfiltered in that case.
+                    if let Ok(kept) = filter_serial(&part, p) {
+                        part = Cow::Owned(kept);
+                    }
+                }
+            }
+            if let Some(cols) = &projected {
+                part = Cow::Owned(part.select(cols)?);
+            }
             parts.push(part);
         }
-        let refs: Vec<&Table> = parts.iter().map(|p| p.as_ref()).collect();
-        let out = dc_engine::ops::concat(&refs, false)?;
+        // Each shared dictionary is read once per scan that touches any
+        // block of its column; a fully pruned column never loads it.
+        let read_dict_bytes: u64 = read_cols.iter().map(|&ci| self.dict_bytes[ci]).sum();
+        if blocks_scanned > 0 {
+            bytes += read_dict_bytes;
+        } else if blocks_pruned > 0 {
+            bytes_pruned += read_dict_bytes;
+        }
+        let out = if parts.is_empty() {
+            let mut empty = self.blocks[0].slice(0, 0);
+            if let Some(cols) = &projected {
+                empty = empty.select(cols)?;
+            }
+            empty
+        } else {
+            let refs: Vec<&Table> = parts.iter().map(|p| p.as_ref()).collect();
+            dc_engine::ops::concat(&refs, false)?
+        };
         Ok((
             out,
             ScanReceipt {
                 bytes_scanned: bytes,
                 rows_scanned,
-                blocks_scanned: chosen.len() as u64,
+                blocks_scanned,
                 total_blocks: self.blocks.len() as u64,
+                blocks_pruned,
+                bytes_pruned,
                 cost_dollars: 0.0, // filled in by the database, which knows pricing
             },
         ))
@@ -420,6 +629,178 @@ mod tests {
         let (out, receipt) = bt.scan(&ScanOptions::full()).unwrap();
         assert_eq!(out, t.encode_strings());
         assert_eq!(receipt.bytes_scanned, bt.total_bytes());
+    }
+
+    fn with_predicate(p: Expr) -> ScanOptions {
+        ScanOptions {
+            predicate: Some(p),
+            ..ScanOptions::default()
+        }
+    }
+
+    #[test]
+    fn selective_predicate_prunes_blocks_and_charges_zero_for_them() {
+        // x is sorted, so zone maps are tight: x BETWEEN 500 AND 509
+        // lives entirely in one 100-row block.
+        let bt = BlockTable::new(&t(1000), 100).unwrap();
+        let pred = Expr::col("x").between(Expr::lit(500), Expr::lit(509));
+        let (out, receipt) = bt.scan(&with_predicate(pred.clone())).unwrap();
+        assert_eq!(out.num_rows(), 10);
+        assert_eq!(receipt.blocks_scanned, 1);
+        assert_eq!(receipt.blocks_pruned, 9);
+        assert_eq!(receipt.rows_scanned, 100);
+        // Pruned + scanned accounts for exactly the unpruned cost.
+        let (_, full) = bt.scan(&ScanOptions::full()).unwrap();
+        assert_eq!(
+            receipt.bytes_scanned + receipt.bytes_pruned,
+            full.bytes_scanned
+        );
+        assert!(receipt.bytes_scanned < full.bytes_scanned / 5);
+        // Same rows as filtering after a full, unpruned scan.
+        let (all, _) = bt.scan(&ScanOptions::full()).unwrap();
+        let expect = filter_serial(&all, &pred).unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn all_blocks_pruned_yields_empty_table_and_zero_bytes() {
+        let bt = BlockTable::new(&t(1000), 100).unwrap();
+        let (out, receipt) = bt
+            .scan(&with_predicate(Expr::col("x").gt(Expr::lit(10_000))))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+        assert_eq!(receipt.blocks_scanned, 0);
+        assert_eq!(receipt.blocks_pruned, receipt.total_blocks);
+        assert_eq!(receipt.bytes_scanned, 0);
+        assert_eq!(receipt.bytes_pruned, bt.total_bytes());
+    }
+
+    #[test]
+    fn dict_predicate_prunes_via_code_ranges() {
+        // Clustered keys: each 100-row block covers one key, so an
+        // equality predicate prunes every other block via dictionary
+        // code ranges without touching block data.
+        let t = Table::new(vec![(
+            "k",
+            Column::from_strs(
+                (0..1000)
+                    .map(|i| format!("key_{:02}", i / 100))
+                    .collect::<Vec<_>>(),
+            ),
+        )])
+        .unwrap();
+        let bt = BlockTable::new(&t, 100).unwrap();
+        let pred = Expr::col("k").eq(Expr::lit(Value::Str("key_03".into())));
+        let (out, receipt) = bt.scan(&with_predicate(pred.clone())).unwrap();
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(receipt.blocks_pruned, 9);
+        let (all, full) = bt.scan(&ScanOptions::full()).unwrap();
+        assert_eq!(out, filter_serial(&all, &pred).unwrap());
+        assert!(receipt.bytes_scanned < full.bytes_scanned);
+    }
+
+    #[test]
+    fn predicate_on_unknown_column_is_ignored() {
+        let bt = BlockTable::new(&t(500), 100).unwrap();
+        let (out, receipt) = bt
+            .scan(&with_predicate(Expr::col("bogus").gt(Expr::lit(3))))
+            .unwrap();
+        assert_eq!(out.num_rows(), 500);
+        assert_eq!(receipt.blocks_pruned, 0);
+        assert_eq!(receipt.bytes_scanned, bt.total_bytes());
+    }
+
+    #[test]
+    fn erroring_predicate_passes_blocks_through_unfiltered() {
+        // Str column vs Int literal errors in the engine; the scan must
+        // neither prune nor filter, leaving the error to the caller.
+        let bt = BlockTable::new(&str_table(300), 100).unwrap();
+        let pred = Expr::col("region").gt(Expr::lit(5));
+        let (out, receipt) = bt.scan(&with_predicate(pred)).unwrap();
+        assert_eq!(out.num_rows(), 300);
+        assert_eq!(receipt.blocks_pruned, 0);
+    }
+
+    #[test]
+    fn null_blocks_prune_conservatively() {
+        // Rows 0..200 have values, 200..300 are all null: x > 1000 can
+        // prune everything (null rows never match), IS NULL keeps only
+        // the null block.
+        let vals: Vec<Option<i64>> = (0..300)
+            .map(|i| if i < 200 { Some(i) } else { None })
+            .collect();
+        let t = Table::new(vec![("x", Column::from_opt_ints(vals))]).unwrap();
+        let bt = BlockTable::new(&t, 100).unwrap();
+        let (out, receipt) = bt
+            .scan(&with_predicate(Expr::col("x").gt(Expr::lit(1000))))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(receipt.blocks_pruned, 3);
+        let (out, receipt) = bt.scan(&with_predicate(Expr::col("x").is_null())).unwrap();
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(receipt.blocks_pruned, 2);
+    }
+
+    #[test]
+    fn predicate_composes_with_row_sampling() {
+        // Sampling happens before the pushed filter, so the result is
+        // identical to sampling without a predicate and filtering after.
+        let bt = BlockTable::new(&t(10_000), 500).unwrap();
+        let pred = Expr::col("x").lt(Expr::lit(1000));
+        let mut opts = ScanOptions::row_sampled(0.2, 3);
+        opts.predicate = Some(pred.clone());
+        let (out, receipt) = bt.scan(&opts).unwrap();
+        let (all, _) = bt.scan(&ScanOptions::row_sampled(0.2, 3)).unwrap();
+        assert_eq!(out, filter_serial(&all, &pred).unwrap());
+        assert!(receipt.blocks_pruned > 0);
+    }
+
+    #[test]
+    fn dictionaries_charged_only_for_columns_actually_read() {
+        let t = str_table(10_000);
+        let bt = BlockTable::new(&t, 500).unwrap();
+        let dict_heap = bt
+            .block(0)
+            .unwrap()
+            .column("region")
+            .unwrap()
+            .dict_heap_bytes() as u64;
+        assert!(dict_heap > 0);
+        // Projecting the int column away from the dict column must not
+        // charge the dictionary.
+        let opts = ScanOptions {
+            columns: Some(vec!["id".into()]),
+            ..ScanOptions::default()
+        };
+        let (_, ints_only) = bt.scan(&opts).unwrap();
+        let opts = ScanOptions {
+            columns: Some(vec!["region".into()]),
+            ..ScanOptions::default()
+        };
+        let (_, strs_only) = bt.scan(&opts).unwrap();
+        let (_, full) = bt.scan(&ScanOptions::full()).unwrap();
+        assert_eq!(
+            ints_only.bytes_scanned + strs_only.bytes_scanned,
+            full.bytes_scanned
+        );
+        // The dictionary is part of the string column's charge only.
+        assert!(strs_only.bytes_scanned > dict_heap);
+        assert_eq!(
+            full.bytes_scanned - ints_only.bytes_scanned,
+            strs_only.bytes_scanned
+        );
+        // A predicate over the dict column forces its read (and its
+        // dictionary charge) even when the projection excludes it.
+        let opts = ScanOptions {
+            columns: Some(vec!["id".into()]),
+            predicate: Some(Expr::col("region").eq(Expr::lit(Value::Str("region_03".into())))),
+            ..ScanOptions::default()
+        };
+        let (out, with_pred) = bt.scan(&opts).unwrap();
+        assert_eq!(out.num_columns(), 1);
+        assert_eq!(with_pred.bytes_scanned, full.bytes_scanned);
+        assert_eq!(out.num_rows(), 10_000 / 8);
     }
 
     #[test]

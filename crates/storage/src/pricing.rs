@@ -111,6 +111,13 @@ pub struct ScanReceipt {
     pub rows_scanned: u64,
     pub blocks_scanned: u64,
     pub total_blocks: u64,
+    /// Blocks the zone maps proved could not contain a matching row.
+    /// They are skipped outright and charge zero bytes.
+    pub blocks_pruned: u64,
+    /// Bytes the same scan would have charged without pruning, minus
+    /// what it actually charged (includes dictionary payloads when every
+    /// block of a dictionary column was pruned).
+    pub bytes_pruned: u64,
     pub cost_dollars: f64,
 }
 
