@@ -21,9 +21,16 @@
 //!   predicate with none (e.g. `NOT (price <= 10)` or `x + 1 > 5`)
 //!   forces a full scan even when an equivalent column-vs-literal form
 //!   would prune.
+//! * **DC0205** — a step re-derives, through live table scans, the exact
+//!   sub-DAG an earlier `Snapshot` step materializes. The snapshot holds
+//!   that result at a fixed per-read price (and the shared materialized
+//!   cache holds it at zero), so the recomputation re-pays the scan
+//!   bytes for a result that already exists.
+
+use std::collections::HashMap;
 
 use dc_engine::expr::prune::{nnf, prunable_conjuncts};
-use dc_skills::{NodeId, SkillCall, SkillDag};
+use dc_skills::{structural_ids, NodeId, SkillCall, SkillDag};
 
 use crate::context::AnalysisContext;
 use crate::diag::{Code, Diagnostic, Fix, Span};
@@ -137,6 +144,11 @@ pub fn cost_pass(
 
     // DC0201: a Sample node downstream of a multi-block full scan.
     let ancestors = ancestor_sets(dag);
+    let upstream_of = |node: NodeId, candidate: NodeId| {
+        ancestors
+            .get(node)
+            .is_some_and(|set| set.get(candidate).copied().unwrap_or(false))
+    };
     for node in dag.nodes() {
         let SkillCall::Sample { fraction, .. } = &node.call else {
             continue;
@@ -162,6 +174,67 @@ pub fn cost_pass(
                     .with_span(Span::node(node.id, node.call.name())),
                 );
             }
+        }
+    }
+
+    // DC0205: a step downstream of fresh scans recomputes the exact
+    // sub-DAG a Snapshot step already materializes. Keyed on the same
+    // structural ids the executor's cache uses; only re-derivations that
+    // actually touch storage are flagged (a pure duplicate is DC0102's
+    // business and costs nothing under the §3 meter).
+    let sids = structural_ids(dag);
+    let mut materialized: HashMap<u64, (NodeId, &str)> = HashMap::new();
+    for node in dag.nodes() {
+        let SkillCall::Snapshot { name } = &node.call else {
+            continue;
+        };
+        let [input] = node.inputs[..] else { continue };
+        if let Some(&sid) = sids.get(&input) {
+            materialized.entry(sid).or_insert((node.id, name.as_str()));
+        }
+    }
+    if !materialized.is_empty() {
+        let load_ids: Vec<NodeId> = dag
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.call,
+                    SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. }
+                )
+            })
+            .map(|n| n.id)
+            .collect();
+        for node in dag.nodes() {
+            let Some(&sid) = sids.get(&node.id) else {
+                continue;
+            };
+            let Some(&(snap, name)) = materialized.get(&sid) else {
+                continue;
+            };
+            if node.id <= snap {
+                continue; // the materialized prefix itself
+            }
+            let rescans = load_ids
+                .iter()
+                .any(|&l| l == node.id || upstream_of(node.id, l));
+            if !rescans {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::SnapshotPrefixReload,
+                    format!(
+                        "step re-loads and recomputes the exact sub-DAG that snapshot \
+                         {name:?} (step {snap}) already materializes at fixed read cost"
+                    ),
+                )
+                .with_span(Span::node(node.id, node.call.name()))
+                .with_fix(Fix::replace(
+                    format!("read the materialized snapshot {name:?} instead of re-scanning"),
+                    format!("Use the snapshot {name}"),
+                )),
+            );
         }
     }
     costs

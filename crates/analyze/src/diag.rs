@@ -93,6 +93,11 @@ pub enum Code {
     /// predicate has no prunable conjunct, so predicate pushdown cannot
     /// skip any blocks; an equivalent column-vs-literal form would.
     UnprunablePredicate,
+    /// `DC0205` — a step re-derives, from live table scans, the exact
+    /// sub-DAG that an earlier `Snapshot` step already materializes;
+    /// reading the snapshot is fixed-cost while the re-derivation re-pays
+    /// the scan bytes every run.
+    SnapshotPrefixReload,
     /// `DC0301` — the NL2Code checker removed a print statement.
     RemovedPrint,
     /// `DC0302` — the NL2Code checker removed an assignment whose target
@@ -123,6 +128,7 @@ impl Code {
             Code::FullScanCouldSnapshot => "DC0202",
             Code::HighCardinalityDict => "DC0203",
             Code::UnprunablePredicate => "DC0204",
+            Code::SnapshotPrefixReload => "DC0205",
             Code::RemovedPrint => "DC0301",
             Code::RemovedUnusedCode => "DC0302",
             Code::GelParse => "DC0401",
@@ -148,6 +154,7 @@ impl Code {
             Code::FullScanCouldSnapshot => "full scan could read a snapshot",
             Code::HighCardinalityDict => "high-cardinality dictionary column",
             Code::UnprunablePredicate => "filter above a scan cannot be pushed down",
+            Code::SnapshotPrefixReload => "re-derives a snapshot-materialized sub-DAG",
             Code::RemovedPrint => "removed print statement",
             Code::RemovedUnusedCode => "removed unused code",
             Code::GelParse => "GEL parse error",
@@ -163,7 +170,8 @@ impl Code {
             | Code::FullScanCouldSample
             | Code::FullScanCouldSnapshot
             | Code::HighCardinalityDict
-            | Code::UnprunablePredicate => Severity::Warning,
+            | Code::UnprunablePredicate
+            | Code::SnapshotPrefixReload => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -187,6 +195,7 @@ impl Code {
             Code::FullScanCouldSnapshot,
             Code::HighCardinalityDict,
             Code::UnprunablePredicate,
+            Code::SnapshotPrefixReload,
             Code::RemovedPrint,
             Code::RemovedUnusedCode,
             Code::GelParse,

@@ -319,6 +319,44 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_prefix_reload_flagged_on_rescanning_duplicate() {
+        let mut dag = SkillDag::new();
+        let l = load(&mut dag);
+        let pred = Expr::col("price").gt(Expr::lit(1.0));
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: pred.clone(),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let snap = dag
+            .add(
+                SkillCall::Snapshot {
+                    name: "pricey".into(),
+                },
+                vec![f],
+            )
+            .unwrap();
+        // The same prefix rebuilt from a fresh scan after the snapshot.
+        let l2 = load(&mut dag);
+        let f2 = dag
+            .add(SkillCall::KeepRows { predicate: pred }, vec![l2])
+            .unwrap();
+        let c = dag.add(SkillCall::CountRows, vec![f2]).unwrap();
+        let report = analyze_dag(&dag, &[snap, c], &ctx());
+        let hits = report.with_code(Code::SnapshotPrefixReload);
+        assert_eq!(hits.len(), 1, "{}", report.render());
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert_eq!(hits[0].span.node, Some(f2));
+        let fix = hits[0].fix.as_ref().expect("snapshot rewrite");
+        assert_eq!(fix.replacement.as_deref(), Some("Use the snapshot pricey"));
+        // The duplicates themselves stay DC0102's findings.
+        assert_eq!(report.with_code(Code::DuplicateSubDag).len(), 2);
+    }
+
+    #[test]
     fn policy_default_is_warn() {
         assert_eq!(AnalysisPolicy::default(), AnalysisPolicy::Warn);
     }

@@ -110,6 +110,10 @@ struct Record {
     bytes_scanned: u64,
     /// Bytes the zone maps skipped (0 when no predicate was pushed).
     bytes_pruned: u64,
+    /// Sub-DAG cache hits the run was served from (executor records).
+    cache_hits: u64,
+    /// Scan bytes those hits avoided re-charging (executor records).
+    bytes_saved: u64,
 }
 
 /// 1M rows clustered on both keys: `id` ascending and `key` changing
@@ -297,6 +301,8 @@ fn main() {
             out_rows,
             bytes_scanned: 0,
             bytes_pruned: 0,
+            cache_hits: 0,
+            bytes_saved: 0,
         });
     };
 
@@ -446,6 +452,8 @@ fn main() {
             out_rows,
             bytes_scanned: receipt.bytes_scanned,
             bytes_pruned: receipt.bytes_pruned,
+            cache_hits: 0,
+            bytes_saved: 0,
         });
         let (ns, out_rows) = min_ns(|| {
             let (t, _) = bt.scan(&ScanOptions::full()).expect("full scan");
@@ -463,7 +471,78 @@ fn main() {
             out_rows,
             bytes_scanned: full_receipt.bytes_scanned,
             bytes_pruned: 0,
+            cache_hits: 0,
+            bytes_saved: 0,
         });
+    }
+
+    // Executor sub-DAG caching: the same load→filter→aggregate pipeline
+    // through one executor, cold then cached. The cached run reports how
+    // many nodes were served from cache and the scan bytes that saved.
+    {
+        use dc_skills::resilient::ExecPolicy;
+        use dc_skills::{Env, Executor, SkillCall, SkillDag};
+        use dc_storage::{CloudDatabase, Pricing};
+
+        let mut env = Env::new();
+        let mut db = CloudDatabase::new("bench", Pricing::default_cloud());
+        db.create_table_with_blocks("events", &ct, 8192)
+            .expect("create events");
+        env.catalog.add_database(db).expect("add db");
+        let mut dag = SkillDag::new();
+        let l = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "bench".into(),
+                    table: "events".into(),
+                },
+                vec![],
+            )
+            .expect("load node");
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("v").gt(Expr::lit(500.0)),
+                },
+                vec![l],
+            )
+            .expect("filter node");
+        let g = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec::new(AggFunc::Sum, "v", "total")],
+                    for_each: vec!["key".into()],
+                },
+                vec![f],
+            )
+            .expect("compute node");
+        let mut ex = Executor::new();
+        let policy = ExecPolicy::default();
+        for mode in ["cold", "cached"] {
+            let start = Instant::now();
+            let report = ex
+                .run_resilient(&dag, g, &mut env, &policy)
+                .expect("pipeline runs");
+            let ns = start.elapsed().as_nanos();
+            assert!(report.succeeded());
+            println!(
+                "exec_pipeline_1m             {mode:<8} {:>10.2} ms  ({} cache hits, {} bytes saved)",
+                ns as f64 / 1e6,
+                report.cache_hits,
+                report.bytes_saved
+            );
+            records.push(Record {
+                op: "exec_pipeline_1m",
+                rows: ROWS,
+                mode,
+                ns_per_op: ns,
+                out_rows: 0,
+                bytes_scanned: 0,
+                bytes_pruned: 0,
+                cache_hits: report.cache_hits,
+                bytes_saved: report.bytes_saved,
+            });
+        }
     }
 
     // Hand-rolled JSON: the workspace deliberately carries no serde.
@@ -471,8 +550,8 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         json.push_str(&format!(
-            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}, \"bytes_scanned\": {}, \"bytes_pruned\": {}}}{}\n",
-            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, r.bytes_scanned, r.bytes_pruned, sep
+            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}, \"bytes_scanned\": {}, \"bytes_pruned\": {}, \"cache_hits\": {}, \"bytes_saved\": {}}}{}\n",
+            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, r.bytes_scanned, r.bytes_pruned, r.cache_hits, r.bytes_saved, sep
         ));
     }
     json.push_str("]\n");

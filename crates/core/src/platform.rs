@@ -92,6 +92,9 @@ pub struct Platform {
     links: LinkIssuer,
     pub nl: Nl2Code,
     analysis_policy: AnalysisPolicy,
+    /// Cross-session materialized sub-DAG cache, installed into the
+    /// environment so every session this platform hosts shares it.
+    materialized: std::sync::Arc<dc_skills::MaterializedCache>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -105,9 +108,21 @@ impl std::fmt::Debug for Platform {
 }
 
 impl Platform {
-    /// A fresh platform with an empty environment.
+    /// A fresh platform with an empty environment and a default-sized
+    /// cross-session materialized cache.
     pub fn new() -> Platform {
-        with_env(|env| *env = Env::new());
+        Platform::with_cache_capacity(dc_skills::MaterializedCache::DEFAULT_CAPACITY)
+    }
+
+    /// A fresh platform whose cross-session cache holds at most
+    /// `capacity_bytes` of materialized results (0 disables admission
+    /// entirely while keeping the handle live).
+    pub fn with_cache_capacity(capacity_bytes: u64) -> Platform {
+        let materialized = std::sync::Arc::new(dc_skills::MaterializedCache::new(capacity_bytes));
+        with_env(|env| {
+            *env = Env::new();
+            env.shared_cache = Some(std::sync::Arc::clone(&materialized));
+        });
         Platform {
             registry: SessionRegistry::new(),
             artifacts: BTreeMap::new(),
@@ -116,7 +131,18 @@ impl Platform {
             links: LinkIssuer::new(),
             nl: Nl2Code::with_defaults(42),
             analysis_policy: AnalysisPolicy::default(),
+            materialized,
         }
+    }
+
+    /// The platform's cross-session materialized cache handle.
+    pub fn materialized_cache(&self) -> std::sync::Arc<dc_skills::MaterializedCache> {
+        std::sync::Arc::clone(&self.materialized)
+    }
+
+    /// Counters of the cross-session materialized cache.
+    pub fn materialized_cache_stats(&self) -> dc_skills::CacheStats {
+        self.materialized.stats()
     }
 
     /// Snapshot the environment into an [`AnalysisContext`]: catalog
@@ -576,6 +602,38 @@ mod tests {
             reply.steps_gel
         );
         assert!(reply.output.as_table().unwrap().num_rows() >= 300);
+    }
+
+    #[test]
+    fn sessions_share_materialized_results() {
+        let mut p = platform_with_collisions();
+        let a = p.open_session("ann");
+        let b = p.open_session("bob");
+        p.chat(&a, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        assert!(p.materialized_cache_stats().insertions >= 1);
+        let queries_before = p.env(|env| {
+            env.catalog
+                .database("MainDatabase")
+                .unwrap()
+                .meter()
+                .queries()
+        });
+        // A different session's executor has a cold local cache, but the
+        // shared tier serves the load without touching the catalog.
+        let reply = p
+            .chat(&b, "Load the table parties from the database MainDatabase")
+            .unwrap();
+        assert!(reply.output.as_table().unwrap().num_rows() >= 300);
+        let queries_after = p.env(|env| {
+            env.catalog
+                .database("MainDatabase")
+                .unwrap()
+                .meter()
+                .queries()
+        });
+        assert_eq!(queries_before, queries_after, "warm load must not scan");
+        assert!(p.materialized_cache_stats().hits >= 1);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Cross-session materialized sub-DAG cache.
+//!
+//! Every [`crate::exec::Executor`] keeps a per-run structural cache, but
+//! that cache is born empty and dies with the executor — N collaborators
+//! asking overlapping questions against the same catalog recompute the
+//! shared plan prefixes N times. The [`MaterializedCache`] is the
+//! cross-session tier: a size-bounded, thread-safe store of materialized
+//! sub-DAG results, keyed by a *version-addressable* structural hash and
+//! handed to executors through [`crate::env::Env::shared_cache`].
+//!
+//! ## Keying and invalidation
+//!
+//! Executors only publish (and probe) entries whose whole ancestor cone
+//! is version-addressable: pure transforms over `LoadTable` /
+//! `LoadTableFiltered` / `UseSnapshot` leaves. Each leaf's call
+//! signature is salted with the source's current storage version
+//! (`CloudDatabase::table_version`, `SnapshotStore::snapshot_version`),
+//! and a node's [`SharedKey`] hashes its salted call together with its
+//! inputs' keys — so a `create_table`, `drop_table`, or snapshot write
+//! changes the leaf key and every ancestor key with it. Stale entries
+//! are never *served*; they simply stop being reachable and age out
+//! under eviction pressure.
+//!
+//! Side-effecting or environment-reading nodes (model training, SQL,
+//! artifact saves, file/URL loads...) are never shared: replaying their
+//! result from a cache would skip the side effect that other sessions
+//! rely on. Degraded (block-sampled) results are excluded by the
+//! executor before admission — see `Executor::finish`.
+//!
+//! ## Eviction
+//!
+//! Cost-aware: each entry records the scan footprint
+//! (`bytes_scanned + bytes_pruned`) its recomputation would charge, and
+//! eviction drops the entry with the lowest footprint **per resident
+//! byte** first (ties broken LRU). A small aggregate that took a
+//! terabyte of scans to produce is the last thing to go; a huge raw
+//! load that was cheap per byte goes first.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use dc_engine::Table;
+
+use crate::output::SkillOutput;
+
+/// Globally stable structural identity of a version-addressable sub-DAG.
+///
+/// Unlike [`crate::exec::SubDagId`] (dense ids local to one executor's
+/// interner), a `SharedKey` is a 128-bit structural hash that two
+/// independent executors compute identically for the same sub-DAG over
+/// the same storage versions — which is what lets them meet in this
+/// cache.
+pub type SharedKey = u128;
+
+/// One cache hit: the node output, the downstream-facing table (shared,
+/// zero-copy), and the scan footprint the hit avoided recomputing.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    pub output: SkillOutput,
+    pub table: Arc<Table>,
+    /// `bytes_scanned + bytes_pruned` recomputing this sub-DAG would
+    /// have charged.
+    pub footprint_bytes: u64,
+}
+
+/// Aggregate counters, snapshotted by [`MaterializedCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that found a live entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Entries admitted (including replacements).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Admissions refused because the entry alone exceeds capacity.
+    pub rejected: u64,
+    /// Total scan footprint served from hits — bytes of storage traffic
+    /// the cache absorbed instead of the catalog.
+    pub bytes_saved: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    output: SkillOutput,
+    table: Arc<Table>,
+    footprint: u64,
+    resident: u64,
+    last_used: u64,
+}
+
+impl Entry {
+    /// Eviction value: recompute footprint per resident byte. Compared
+    /// via `f64` — precision loss only matters when two scores are
+    /// within rounding of each other, where either victim is fine.
+    fn score(&self) -> f64 {
+        self.footprint as f64 / self.resident.max(1) as f64
+    }
+}
+
+struct Inner {
+    entries: HashMap<SharedKey, Entry>,
+    used: u64,
+    /// Logical clock for LRU tie-breaking.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    rejected: u64,
+    bytes_saved: u64,
+}
+
+/// The shared, size-bounded, thread-safe materialized-result store.
+pub struct MaterializedCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: u64,
+}
+
+impl std::fmt::Debug for MaterializedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("MaterializedCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl Default for MaterializedCache {
+    fn default() -> Self {
+        MaterializedCache::new(MaterializedCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl MaterializedCache {
+    /// Default capacity: 256 MiB of materialized results.
+    pub const DEFAULT_CAPACITY: u64 = 256 * 1024 * 1024;
+
+    /// A cache bounded at `capacity_bytes` of resident results.
+    pub fn new(capacity_bytes: u64) -> MaterializedCache {
+        MaterializedCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                used: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                rejected: 0,
+                bytes_saved: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means some thread panicked mid-update of
+        // the counters; the map itself is always left consistent.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Probe for `key`. A hit hands back the stored output plus the
+    /// downstream-facing table as a shared `Arc` — a pointer copy of the
+    /// resident allocation, never a data copy.
+    pub fn get(&self, key: SharedKey) -> Option<CacheHit> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = clock;
+                let hit = CacheHit {
+                    output: e.output.clone(),
+                    table: Arc::clone(&e.table),
+                    footprint_bytes: e.footprint,
+                };
+                inner.hits += 1;
+                inner.bytes_saved += hit.footprint_bytes;
+                Some(hit)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admit a result under `key`, evicting lowest-value entries
+    /// (footprint per resident byte, LRU tie-break) until it fits. An
+    /// entry larger than the whole capacity is refused. Re-admitting an
+    /// existing key replaces it.
+    ///
+    /// Callers are responsible for only admitting authoritative results:
+    /// the executor never calls this for degraded (block-sampled)
+    /// outputs or for non-version-addressable sub-DAGs.
+    pub fn admit(&self, key: SharedKey, output: SkillOutput, table: Arc<Table>, footprint: u64) {
+        let resident = (table.byte_size() as u64)
+            + match &output {
+                // The flow table usually aliases the output table's data
+                // shape; counting both is deliberately conservative.
+                SkillOutput::Table(t) => t.byte_size() as u64,
+                _ => 64,
+            };
+        if resident > self.capacity_bytes {
+            self.lock().rejected += 1;
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.used -= old.resident;
+        }
+        while inner.used + resident > self.capacity_bytes {
+            // Victim: lowest footprint-per-byte; oldest on ties.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    a.score()
+                        .partial_cmp(&b.score())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.used -= e.resident;
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        inner.used += resident;
+        inner.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                output,
+                table,
+                footprint,
+                resident,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.used = 0;
+    }
+
+    /// Snapshot the aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            rejected: inner.rejected,
+            bytes_saved: inner.bytes_saved,
+            resident_bytes: inner.used,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::Column;
+
+    fn table(n: usize) -> Arc<Table> {
+        Arc::new(Table::new(vec![("v", Column::from_ints((0..n as i64).collect()))]).unwrap())
+    }
+
+    fn entry(n: usize) -> (SkillOutput, Arc<Table>) {
+        let t = table(n);
+        (SkillOutput::Table(t.as_ref().clone()), t)
+    }
+
+    #[test]
+    fn get_after_admit_is_zero_copy() {
+        let cache = MaterializedCache::new(1 << 20);
+        let (out, t) = entry(100);
+        cache.admit(1, out, Arc::clone(&t), 800);
+        let hit = cache.get(1).expect("hit");
+        assert!(Arc::ptr_eq(&hit.table, &t));
+        assert_eq!(hit.footprint_bytes, 800);
+        assert!(cache.get(2).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.bytes_saved, 800);
+    }
+
+    #[test]
+    fn eviction_prefers_high_footprint_per_byte() {
+        // Capacity fits roughly two of the three entries.
+        let (out, t) = entry(1000);
+        let resident = 2 * t.byte_size() as u64;
+        let cache = MaterializedCache::new(resident * 2 + resident / 2);
+        // Entry 1: huge footprint per byte (expensive to recompute).
+        cache.admit(1, out, t, 1 << 40);
+        // Entry 2: cheap per byte.
+        let (out, t) = entry(1000);
+        cache.admit(2, out, t, 1);
+        // Entry 3 forces one eviction; the cheap entry 2 must go.
+        let (out, t) = entry(1000);
+        cache.admit(3, out, t, 1 << 30);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_breaks_footprint_ties() {
+        let (out, t) = entry(1000);
+        let resident = 2 * t.byte_size() as u64;
+        let cache = MaterializedCache::new(resident * 2 + resident / 2);
+        cache.admit(1, out, t, 500);
+        let (out, t) = entry(1000);
+        cache.admit(2, out, t, 500);
+        // Touch 1 so 2 becomes the LRU victim among equal scores.
+        cache.get(1);
+        let (out, t) = entry(1000);
+        cache.admit(3, out, t, 500);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let cache = MaterializedCache::new(16);
+        let (out, t) = entry(10_000);
+        cache.admit(1, out, t, 999);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn readmit_replaces_without_leaking_bytes() {
+        let cache = MaterializedCache::new(1 << 20);
+        let (out, t) = entry(100);
+        cache.admit(1, out, t, 10);
+        let used = cache.stats().resident_bytes;
+        let (out, t) = entry(100);
+        cache.admit(1, out, t, 20);
+        assert_eq!(cache.stats().resident_bytes, used);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1).unwrap().footprint_bytes, 20);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = MaterializedCache::new(1 << 20);
+        let (out, t) = entry(10);
+        cache.admit(7, out, t, 5);
+        cache.get(7);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.get(7).is_none());
+    }
+}

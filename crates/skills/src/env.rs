@@ -7,11 +7,13 @@
 //! created by the `Define` skill.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dc_engine::Table;
 use dc_ml::Model;
 use dc_storage::{CancelToken, Catalog, ScanReceipt, SnapshotStore};
 
+use crate::cache::MaterializedCache;
 use crate::error::{Result, SkillError};
 
 /// Running totals of storage-scan traffic for one environment.
@@ -56,6 +58,12 @@ pub struct Env {
     pub cancel: CancelToken,
     /// Scan-traffic totals across every table load this environment ran.
     pub scan_tally: ScanTally,
+    /// Cross-session materialized sub-DAG cache (tier two above each
+    /// executor's per-run cache). `None` (the default) disables sharing;
+    /// the platform installs one handle here for every session it hosts.
+    /// All environments sharing a handle must view the same logical
+    /// catalog — version-salted keys handle mutation, not divergence.
+    pub shared_cache: Option<Arc<MaterializedCache>>,
     /// Virtual filesystem: path → CSV text.
     files: HashMap<String, String>,
     /// Virtual network: URL → CSV text.

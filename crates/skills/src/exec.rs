@@ -8,7 +8,7 @@
 //! pure nodes of a wave concurrently; environment-dependent nodes always
 //! run serially.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use dc_engine::csv::{read_csv, write_csv};
@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::cache::{MaterializedCache, SharedKey};
 use crate::dag::{NodeId, SkillDag, SkillNode};
 use crate::env::Env;
 use crate::error::{Result, SkillError};
@@ -709,10 +710,24 @@ impl dc_sql::TableProvider for CatalogProvider<'_> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutorStats {
     pub nodes_executed: u64,
+    /// Sub-DAG results served without executing, from either cache tier.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` served by the cross-session
+    /// [`MaterializedCache`] rather than this executor's own cache.
+    pub shared_hits: u64,
+    /// Scan footprint (`bytes_scanned + bytes_pruned`) that cache hits
+    /// avoided re-charging against storage.
+    pub bytes_saved: u64,
     /// Extra attempts spent absorbing retryable failures (resilient
     /// execution only; [`Executor::run`] never retries).
     pub retries: u64,
+}
+
+impl ExecutorStats {
+    /// Zero every counter (between benchmark phases).
+    pub fn reset(&mut self) {
+        *self = ExecutorStats::default();
+    }
 }
 
 /// Interned identity of one sub-DAG (a call plus the identities of the
@@ -754,6 +769,75 @@ pub fn structural_ids(dag: &SkillDag) -> HashMap<NodeId, SubDagId> {
     ids
 }
 
+/// Version-salted canonical call signature, plus whether the salt was
+/// applied. Catalog- and snapshot-reading calls fold the source's
+/// current storage version into the signature, so `create_table` /
+/// `drop_table` / snapshot writes change the key of the load — and,
+/// because input ids feed every consumer's [`KeySig`], the key of every
+/// ancestor with it. A missing source gets no salt (`false`): the run
+/// errors before anything is cached under that signature, and the
+/// unsalted key is never shareable.
+fn versioned_call_sig(call: &SkillCall, env: &Env) -> (String, bool) {
+    let base = call.cache_key();
+    match call {
+        SkillCall::LoadTable { database, table }
+        | SkillCall::LoadTableFiltered {
+            database, table, ..
+        } => {
+            let version = env
+                .catalog
+                .database(database)
+                .ok()
+                .and_then(|db| db.table_version(table));
+            match version {
+                Some(v) => (format!("{base}@v{v}"), true),
+                None => (base, false),
+            }
+        }
+        SkillCall::UseSnapshot { name } => match env.snapshots.snapshot_version(name) {
+            Some(v) => (format!("{base}@v{v}"), true),
+            None => (base, false),
+        },
+        _ => (base, false),
+    }
+}
+
+/// 128-bit FNV-1a, the mixer behind [`SharedKey`]s. Two independent
+/// executors hashing the same version-salted sub-DAG structure land on
+/// the same key without sharing an interner.
+fn fnv128(h: u128, bytes: &[u8]) -> u128 {
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// The result of interning one run's node slice: executor-local ids plus
+/// the globally stable [`SharedKey`]s of every shareable sub-DAG.
+pub(crate) struct Interned {
+    pub(crate) ids: HashMap<NodeId, SubDagId>,
+    /// Present only for version-addressable cones: pure transforms over
+    /// versioned loads. Environment-reading or side-effecting nodes (and
+    /// anything downstream of them) never get a shared key.
+    pub(crate) shared: HashMap<SubDagId, SharedKey>,
+}
+
+impl Interned {
+    pub(crate) fn id(&self, nid: NodeId) -> SubDagId {
+        self.ids[&nid]
+    }
+
+    pub(crate) fn shared_key(&self, id: SubDagId) -> Option<SharedKey> {
+        self.shared.get(&id).copied()
+    }
+}
+
 /// Instrumentation callback invoked just before a node executes.
 pub(crate) type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
 
@@ -774,6 +858,13 @@ pub struct Executor {
     pub(crate) interner: HashMap<KeySig, SubDagId>,
     /// Interned id → (output, downstream-facing table).
     pub(crate) cache: HashMap<SubDagId, (SkillOutput, Arc<Table>)>,
+    /// Interned id → scan footprint (`bytes_scanned + bytes_pruned`) of
+    /// the whole sub-DAG, the recompute cost a cache hit saves.
+    pub(crate) costs: HashMap<SubDagId, u64>,
+    /// Sub-DAGs whose cached result is degraded (block-sampled) or
+    /// derived from one. They stay resumable in the local cache but are
+    /// never admitted to the shared [`MaterializedCache`].
+    pub(crate) tainted: HashSet<SubDagId>,
     pub stats: ExecutorStats,
     /// Test/chaos instrumentation (e.g. to make specific nodes slow or
     /// panic on demand).
@@ -819,23 +910,70 @@ impl Executor {
     }
 
     /// Intern a structural id for every node in the topologically ordered
-    /// slice `order`. Insertion order guarantees input ids are present.
+    /// slice `order` (insertion order guarantees input ids are present),
+    /// and compute the globally stable [`SharedKey`] of every
+    /// version-addressable sub-DAG. Signatures are salted with current
+    /// storage versions, so the same recipe interns to *different* ids
+    /// after a catalog or snapshot mutation — stale local entries simply
+    /// stop being addressed.
     pub(crate) fn intern_ids(
         &mut self,
         dag: &SkillDag,
         order: &[NodeId],
-    ) -> Result<HashMap<NodeId, SubDagId>> {
+        env: &Env,
+    ) -> Result<Interned> {
         let mut ids: HashMap<NodeId, SubDagId> = HashMap::with_capacity(order.len());
+        let mut shared: HashMap<SubDagId, SharedKey> = HashMap::new();
         for &nid in order {
             let node = dag.node(nid)?;
+            let (call_sig, salted) = versioned_call_sig(&node.call, env);
             let sig = KeySig {
-                call: node.call.cache_key(),
+                call: call_sig.clone(),
                 inputs: node.inputs.iter().map(|i| ids[i]).collect(),
             };
             let next = self.interner.len() as SubDagId;
-            ids.insert(nid, *self.interner.entry(sig).or_insert(next));
+            let id = *self.interner.entry(sig).or_insert(next);
+            ids.insert(nid, id);
+
+            // A sub-DAG is shareable when its own call is pure or reads
+            // version-addressable storage, and every input sub-DAG is
+            // shareable too.
+            let own_shareable = salted || !needs_env(&node.call, !node.inputs.is_empty());
+            let input_keys: Option<Vec<SharedKey>> = node
+                .inputs
+                .iter()
+                .map(|i| shared.get(&ids[i]).copied())
+                .collect();
+            if let (true, Some(input_keys)) = (own_shareable, input_keys) {
+                let mut key = fnv128(FNV128_OFFSET, call_sig.as_bytes());
+                for ik in input_keys {
+                    key = fnv128(key, &ik.to_le_bytes());
+                }
+                shared.insert(id, key);
+            }
         }
-        Ok(ids)
+        Ok(Interned { ids, shared })
+    }
+
+    /// Probe the cross-session cache for sub-DAG `id`, installing a hit
+    /// into the local cache (zero-copy table, inherited footprint) and
+    /// counting it. Returns whether the probe hit.
+    pub(crate) fn probe_shared(&mut self, env: &Env, interned: &Interned, id: SubDagId) -> bool {
+        let Some(shared) = env.shared_cache.as_deref() else {
+            return false;
+        };
+        let Some(key) = interned.shared_key(id) else {
+            return false;
+        };
+        let Some(hit) = shared.get(key) else {
+            return false;
+        };
+        self.stats.cache_hits += 1;
+        self.stats.shared_hits += 1;
+        self.stats.bytes_saved += hit.footprint_bytes;
+        self.costs.insert(id, hit.footprint_bytes);
+        self.cache.insert(id, (hit.output, hit.table));
+        true
     }
 
     /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
@@ -846,15 +984,22 @@ impl Executor {
         let planned = crate::pushdown::plan_pushdown(dag, &[target], &[]);
         let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;
-        let ids = self.intern_ids(dag, &order)?;
+        let interned = self.intern_ids(dag, &order, env)?;
+        let ids = &interned.ids;
 
         // Nodes whose sub-DAG result is not cached yet. Structurally
-        // identical duplicates execute once; the rest count as hits.
+        // identical duplicates execute once; the rest count as hits. The
+        // local cache is probed first, then the cross-session tier.
         let mut pending: Vec<NodeId> = Vec::new();
         for &nid in &order {
             let id = ids[&nid];
-            if self.cache.contains_key(&id) || pending.iter().any(|p| ids[p] == id) {
+            if self.cache.contains_key(&id) {
                 self.stats.cache_hits += 1;
+                self.stats.bytes_saved += self.costs.get(&id).copied().unwrap_or(0);
+            } else if pending.iter().any(|p| ids[p] == id) {
+                self.stats.cache_hits += 1;
+            } else if self.probe_shared(env, &interned, id) {
+                // Installed into the local cache by the probe.
             } else {
                 pending.push(nid);
             }
@@ -875,9 +1020,9 @@ impl Executor {
             }
             debug_assert!(!wave.is_empty(), "ancestors are topologically ordered");
             pending = rest;
-            self.run_wave(dag, &wave, &ids, env)?;
+            self.run_wave(dag, &wave, &interned, env)?;
         }
-        Ok(ids[&target])
+        Ok(interned.id(target))
     }
 
     /// Execute one wave. Environment-dependent nodes run serially (they
@@ -887,9 +1032,10 @@ impl Executor {
         &mut self,
         dag: &SkillDag,
         wave: &[NodeId],
-        ids: &HashMap<NodeId, SubDagId>,
+        interned: &Interned,
         env: &mut Env,
     ) -> Result<()> {
+        let ids = &interned.ids;
         let mut pure: Vec<&SkillNode> = Vec::new();
         for &nid in wave {
             let node = dag.node(nid)?;
@@ -899,8 +1045,18 @@ impl Executor {
                 if let Some(hook) = &self.before_execute {
                     hook(&node.call);
                 }
+                let tally_before = env.scan_tally;
                 let output = execute_call(&node.call, &refs, env)?;
-                self.finish(node, ids, inputs, output);
+                let scan = env.scan_tally.delta_since(tally_before);
+                self.finish(
+                    node,
+                    interned,
+                    inputs,
+                    output,
+                    scan.bytes_scanned + scan.bytes_pruned,
+                    false,
+                    env.shared_cache.as_deref(),
+                );
             } else {
                 pure.push(node);
             }
@@ -949,7 +1105,15 @@ impl Executor {
         // Commit in DAG order so the first error (by node id) wins, like
         // the serial walk this replaced.
         for (node, inputs, out) in results {
-            self.finish(node, ids, inputs, out?);
+            self.finish(
+                node,
+                interned,
+                inputs,
+                out?,
+                0,
+                false,
+                env.shared_cache.as_deref(),
+            );
         }
         Ok(())
     }
@@ -966,15 +1130,40 @@ impl Executor {
             .collect()
     }
 
-    /// Record one executed node's output and downstream-facing table.
+    /// Record one executed node's output and downstream-facing table,
+    /// accumulate its sub-DAG scan footprint, and — for authoritative
+    /// results of version-addressable sub-DAGs — publish it to the
+    /// cross-session cache. `degraded` results (and everything computed
+    /// from one) are tainted: they stay in the local cache so resume
+    /// semantics hold, but are never shared as authoritative.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish(
         &mut self,
         node: &SkillNode,
-        ids: &HashMap<NodeId, SubDagId>,
+        interned: &Interned,
         inputs: Vec<Arc<Table>>,
         output: SkillOutput,
+        own_scan_bytes: u64,
+        degraded: bool,
+        shared: Option<&MaterializedCache>,
     ) {
         self.stats.nodes_executed += 1;
+        let id = interned.id(node.id);
+        let footprint = own_scan_bytes
+            + node
+                .inputs
+                .iter()
+                .map(|i| self.costs.get(&interned.ids[i]).copied().unwrap_or(0))
+                .sum::<u64>();
+        self.costs.insert(id, footprint);
+        let tainted = degraded
+            || node
+                .inputs
+                .iter()
+                .any(|i| self.tainted.contains(&interned.ids[i]));
+        if tainted {
+            self.tainted.insert(id);
+        }
         let flow = match output.as_table() {
             Some(t) if node.call.transforms_data() => Arc::new(t.clone()),
             _ => inputs
@@ -982,12 +1171,29 @@ impl Executor {
                 .next()
                 .unwrap_or_else(|| Arc::new(Table::empty())),
         };
-        self.cache.insert(ids[&node.id], (output, flow));
+        if !tainted && footprint > 0 {
+            if let (Some(shared), Some(key)) = (shared, interned.shared_key(id)) {
+                shared.admit(key, output.clone(), Arc::clone(&flow), footprint);
+            }
+        }
+        self.cache.insert(id, (output, flow));
     }
 
-    /// Drop all cached results.
+    /// Drop all cached results, the interner that keys them, and the
+    /// per-sub-DAG bookkeeping. (The interner must go with the cache:
+    /// signatures are only ever looked up to reach cached results, so a
+    /// cleared executor keeping them would leak arbitrarily many
+    /// signatures across cleared runs.)
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.interner.clear();
+        self.costs.clear();
+        self.tainted.clear();
+    }
+
+    /// Zero the stats counters without touching cached results.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Number of cached sub-DAG results.

@@ -17,6 +17,7 @@
 //!   per-node budgets, panic isolation, degraded scans, and
 //!   checkpointed resume over the same wave scheduler.
 
+pub mod cache;
 pub mod dag;
 pub mod env;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod resilient;
 pub mod skill;
 pub mod slicing;
 
+pub use cache::{CacheHit, CacheStats, MaterializedCache, SharedKey};
 pub use dag::{NodeId, SkillDag, SkillNode};
 pub use env::{Env, ScanTally};
 pub use error::{Result, SkillError};

@@ -34,11 +34,12 @@ use std::time::{Duration, Instant};
 use dc_engine::Table;
 use dc_storage::{CancelToken, ScanOptions};
 
+use crate::cache::MaterializedCache;
 use crate::dag::{NodeId, SkillDag};
 use crate::env::Env;
 use crate::error::{Result, SkillError};
 use crate::exec::{
-    execute_call, execute_pure_call, needs_env, BeforeExecuteHook, Executor, SubDagId,
+    execute_call, execute_pure_call, needs_env, BeforeExecuteHook, Executor, Interned, SubDagId,
 };
 use crate::output::SkillOutput;
 use crate::skill::SkillCall;
@@ -184,6 +185,12 @@ pub struct ExecReport {
     pub output: Option<SkillOutput>,
     /// Per-node reports, in topological order of the executed slice.
     pub nodes: Vec<NodeReport>,
+    /// Sub-DAG results this run served from a cache tier (local or
+    /// cross-session) instead of executing.
+    pub cache_hits: u64,
+    /// Scan footprint (`bytes_scanned + bytes_pruned`) those hits
+    /// avoided re-charging against storage.
+    pub bytes_saved: u64,
 }
 
 impl ExecReport {
@@ -431,7 +438,10 @@ impl Executor {
         let planned = crate::pushdown::plan_pushdown(dag, &[target], &vetoed);
         let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;
-        let ids = self.intern_ids(dag, &order)?;
+        let interned = self.intern_ids(dag, &order, env)?;
+        let ids = &interned.ids;
+        let hits_before = self.stats.cache_hits;
+        let saved_before = self.stats.bytes_saved;
 
         let mut reports: HashMap<NodeId, NodeReport> = HashMap::with_capacity(order.len());
         // Unusability is tracked by sub-DAG id, not node id, so a failed
@@ -480,10 +490,13 @@ impl Executor {
                 );
             } else if self.cache.contains_key(&id) {
                 self.stats.cache_hits += 1;
+                self.stats.bytes_saved += self.costs.get(&id).copied().unwrap_or(0);
                 reports.insert(nid, NodeReport::new(nid, skill, NodeOutcome::CacheHit));
             } else if let Some(&rep) = pending.iter().find(|p| ids[p] == id) {
                 self.stats.cache_hits += 1;
                 aliases.push((nid, rep));
+            } else if self.probe_shared(env, &interned, id) {
+                reports.insert(nid, NodeReport::new(nid, skill, NodeOutcome::CacheHit));
             } else {
                 pending.push(nid);
             }
@@ -517,7 +530,7 @@ impl Executor {
                 self.run_wave_resilient(
                     dag,
                     &wave,
-                    &ids,
+                    &interned,
                     env,
                     policy,
                     &mut reports,
@@ -543,6 +556,8 @@ impl Executor {
             };
             reports.insert(nid, NodeReport::new(nid, skill, outcome));
         }
+        let cache_hits = self.stats.cache_hits - hits_before;
+        let bytes_saved = self.stats.bytes_saved - saved_before;
 
         // A rejected (or failed) target never yields an output, even when
         // an earlier run checkpointed a result for its sub-DAG.
@@ -561,6 +576,8 @@ impl Executor {
             target,
             output,
             nodes,
+            cache_hits,
+            bytes_saved,
         })
     }
 
@@ -585,12 +602,13 @@ impl Executor {
         &mut self,
         dag: &SkillDag,
         wave: &[NodeId],
-        ids: &HashMap<NodeId, SubDagId>,
+        interned: &Interned,
         env: &mut Env,
         policy: &ExecPolicy,
         reports: &mut HashMap<NodeId, NodeReport>,
         unusable: &mut HashSet<SubDagId>,
     ) -> Result<()> {
+        let ids = &interned.ids;
         let mut pure: Vec<NodeId> = Vec::new();
         for &nid in wave {
             let node = dag.node(nid)?;
@@ -614,7 +632,17 @@ impl Executor {
                 }
             });
             let scan = env.scan_tally.delta_since(tally_before);
-            self.commit_attempt(dag, nid, ids, inputs, att, reports, unusable)?;
+            self.commit_attempt(
+                dag,
+                nid,
+                interned,
+                inputs,
+                att,
+                scan.bytes_scanned + scan.bytes_pruned,
+                env.shared_cache.as_deref(),
+                reports,
+                unusable,
+            )?;
             if let Some(r) = reports.get_mut(&nid) {
                 r.bytes_scanned = scan.bytes_scanned;
                 r.bytes_pruned = scan.bytes_pruned;
@@ -652,20 +680,36 @@ impl Executor {
                 .collect()
         };
         for (nid, inputs, att) in results {
-            self.commit_attempt(dag, nid, ids, inputs, att, reports, unusable)?;
+            self.commit_attempt(
+                dag,
+                nid,
+                interned,
+                inputs,
+                att,
+                0,
+                env.shared_cache.as_deref(),
+                reports,
+                unusable,
+            )?;
         }
         Ok(())
     }
 
-    /// Fold one node's attempt outcome into cache, stats, and reports.
+    /// Fold one node's attempt outcome into cache, stats, and reports. A
+    /// degraded result is committed to the *local* cache only (so resume
+    /// and downstream nodes keep working on the sampled data) and marked
+    /// tainted — `finish` never admits it, or anything derived from it,
+    /// to the shared cross-session cache as authoritative.
     #[allow(clippy::too_many_arguments)]
     fn commit_attempt(
         &mut self,
         dag: &SkillDag,
         nid: NodeId,
-        ids: &HashMap<NodeId, SubDagId>,
+        interned: &Interned,
         inputs: Vec<Arc<Table>>,
         att: AttemptOutcome,
+        own_scan_bytes: u64,
+        shared: Option<&MaterializedCache>,
         reports: &mut HashMap<NodeId, NodeReport>,
         unusable: &mut HashSet<SubDagId>,
     ) -> Result<()> {
@@ -678,11 +722,19 @@ impl Executor {
         report.wall = att.wall;
         match att.result {
             Ok(output) => {
-                self.finish(node, ids, inputs, output);
+                self.finish(
+                    node,
+                    interned,
+                    inputs,
+                    output,
+                    own_scan_bytes,
+                    att.degraded,
+                    shared,
+                );
             }
             Err(e) => {
                 report.outcome = NodeOutcome::Failed(e);
-                unusable.insert(ids[&nid]);
+                unusable.insert(interned.id(nid));
             }
         }
         reports.insert(nid, report);

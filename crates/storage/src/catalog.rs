@@ -23,6 +23,12 @@ pub struct CloudDatabase {
     tables: BTreeMap<String, BlockTable>,
     meter: Arc<CostMeter>,
     injector: Option<Arc<FaultInjector>>,
+    /// Monotonic counter driving per-table versions. Never reused, so a
+    /// dropped-and-recreated table gets a strictly newer version than any
+    /// earlier incarnation.
+    version_counter: u64,
+    /// Current version of each live table (absent once dropped).
+    versions: BTreeMap<String, u64>,
 }
 
 impl CloudDatabase {
@@ -34,6 +40,8 @@ impl CloudDatabase {
             tables: BTreeMap::new(),
             meter: Arc::new(CostMeter::new()),
             injector: None,
+            version_counter: 0,
+            versions: BTreeMap::new(),
         }
     }
 
@@ -85,19 +93,37 @@ impl CloudDatabase {
             return Err(StorageError::AlreadyExists { name });
         }
         self.tables
-            .insert(name, BlockTable::new(table, block_rows)?);
+            .insert(name.clone(), BlockTable::new(table, block_rows)?);
+        self.version_counter += 1;
+        self.versions.insert(name, self.version_counter);
         Ok(())
     }
 
     /// Drop a table.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
-        self.tables
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| StorageError::TableNotFound {
+        match self.tables.remove(name) {
+            Some(_) => {
+                // Bump the counter so any future recreation under the same
+                // name is distinguishable from the dropped incarnation.
+                self.version_counter += 1;
+                self.versions.remove(name);
+                Ok(())
+            }
+            None => Err(StorageError::TableNotFound {
                 database: self.name.clone(),
                 name: name.to_string(),
-            })
+            }),
+        }
+    }
+
+    /// Current version of a live table, if it exists. Versions are
+    /// monotonic across the whole database: every `create_table` /
+    /// `drop_table` advances an internal counter, so a version uniquely
+    /// identifies one incarnation of a table's contents. Cache keys built
+    /// from `(name, version)` therefore go stale exactly when the data
+    /// could have changed.
+    pub fn table_version(&self, name: &str) -> Option<u64> {
+        self.versions.get(name).copied()
     }
 
     /// Table names in sorted order.
@@ -290,6 +316,23 @@ mod tests {
         db.drop_table("readings").unwrap();
         assert!(db.table("readings").is_err());
         assert!(db.drop_table("readings").is_err());
+    }
+
+    #[test]
+    fn table_versions_are_monotonic_across_recreation() {
+        let mut db = db();
+        let v1 = db.table_version("readings").unwrap();
+        assert_eq!(db.table_version("nope"), None);
+        db.create_table("other", &table(10)).unwrap();
+        let v_other = db.table_version("other").unwrap();
+        assert!(v_other > v1);
+        db.drop_table("readings").unwrap();
+        assert_eq!(db.table_version("readings"), None);
+        db.create_table("readings", &table(5)).unwrap();
+        let v2 = db.table_version("readings").unwrap();
+        // Recreated table is a new incarnation, never a version reuse.
+        assert!(v2 > v_other);
+        assert!(v2 > v1);
     }
 
     #[test]

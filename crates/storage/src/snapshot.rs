@@ -41,6 +41,13 @@ pub struct SnapshotStore {
     /// less than 100GB" and live on a fixed-cost instance).
     capacity_bytes: u64,
     injector: Option<Arc<FaultInjector>>,
+    /// Monotonic counter driving store-wide snapshot versions: every
+    /// committed write (create or refresh) advances it, so a
+    /// `(name, store version)` pair identifies one immutable snapshot
+    /// state even across delete-and-recreate.
+    version_counter: u64,
+    /// Current store version of each live snapshot (absent once deleted).
+    versions: BTreeMap<String, u64>,
 }
 
 impl SnapshotStore {
@@ -57,6 +64,8 @@ impl SnapshotStore {
             meter: Arc::new(CostMeter::new()),
             capacity_bytes,
             injector: None,
+            version_counter: 0,
+            versions: BTreeMap::new(),
         }
     }
 
@@ -118,6 +127,8 @@ impl SnapshotStore {
             inj.on_snapshot_write()?;
         }
         self.snapshots.insert(name.clone(), snap);
+        self.version_counter += 1;
+        self.versions.insert(name.clone(), self.version_counter);
         Ok(&self.snapshots[&name])
     }
 
@@ -163,17 +174,32 @@ impl SnapshotStore {
         let snap = self.snapshots.get_mut(name).expect("checked above");
         snap.data = data;
         snap.version += 1;
+        self.version_counter += 1;
+        self.versions.insert(name.to_string(), self.version_counter);
         Ok(snap.version)
     }
 
     /// Delete a snapshot.
     pub fn delete(&mut self, name: &str) -> Result<()> {
-        self.snapshots
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| StorageError::SnapshotNotFound {
+        match self.snapshots.remove(name) {
+            Some(_) => {
+                self.versions.remove(name);
+                Ok(())
+            }
+            None => Err(StorageError::SnapshotNotFound {
                 name: name.to_string(),
-            })
+            }),
+        }
+    }
+
+    /// Store-wide version of a live snapshot: advances on every committed
+    /// write anywhere in the store, so (unlike [`Snapshot::version`], the
+    /// per-snapshot refresh count) it never repeats after a
+    /// delete-and-recreate under the same name. Cache keys built from
+    /// `(name, store version)` go stale exactly when the data could have
+    /// changed.
+    pub fn snapshot_version(&self, name: &str) -> Option<u64> {
+        self.versions.get(name).copied()
     }
 
     /// Names of stored snapshots.
@@ -260,6 +286,29 @@ mod tests {
         s.delete("iot_sample").unwrap();
         assert!(s.read("iot_sample").is_err());
         assert!(s.delete("iot_sample").is_err());
+    }
+
+    #[test]
+    fn store_versions_monotonic_across_recreation() {
+        let mut s = store_with_snap();
+        let v1 = s.snapshot_version("iot_sample").unwrap();
+        s.refresh("iot_sample", table(50)).unwrap();
+        let v2 = s.snapshot_version("iot_sample").unwrap();
+        assert!(v2 > v1);
+        s.delete("iot_sample").unwrap();
+        assert_eq!(s.snapshot_version("iot_sample"), None);
+        s.create("iot_sample", table(10), "src", vec![], None)
+            .unwrap();
+        let v3 = s.snapshot_version("iot_sample").unwrap();
+        // Recreation never reuses an earlier version number.
+        assert!(v3 > v2);
+        // A failed (injected) write does not advance the visible version.
+        use crate::fault::{FaultConfig, FaultInjector, FaultOp, InjectedFault};
+        s.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultConfig::disabled().schedule(FaultOp::SnapshotWrite, 0, InjectedFault::Transient),
+        )));
+        assert!(s.refresh("iot_sample", table(5)).is_err());
+        assert_eq!(s.snapshot_version("iot_sample"), Some(v3));
     }
 
     #[test]
