@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dc_skills::resilient::{ExecPolicy, ExecReport, NodeOutcome};
 use dc_skills::{Env, Executor, NodeId, SkillCall, SkillDag, SkillOutput};
 use parking_lot::Mutex;
 
@@ -33,6 +34,11 @@ pub struct Session {
     /// Log of executed requests (user, GEL sentence), the synchronized
     /// view collaborators see.
     log: Mutex<Vec<(String, String)>>,
+    /// When set, submissions run through the resilient executor under
+    /// this policy (retry, per-node budgets, and the per-session
+    /// wall-clock deadline `run_budget` carries). `None` uses the plain
+    /// fail-fast path.
+    policy: Mutex<Option<ExecPolicy>>,
 }
 
 /// Handle type: sessions are shared between collaborators.
@@ -52,7 +58,21 @@ impl Session {
             executing: AtomicBool::new(false),
             acl: Mutex::new(Shareable::owned_by(owner)),
             log: Mutex::new(Vec::new()),
+            policy: Mutex::new(None),
         })
+    }
+
+    /// Install (or clear) the execution policy every later submission
+    /// runs under. The platform threads the per-session deadline through
+    /// here; a serving layer installs time-sliced policies per quantum
+    /// instead via [`Session::execute_staged`].
+    pub fn set_exec_policy(&self, policy: Option<ExecPolicy>) {
+        *self.policy.lock() = policy;
+    }
+
+    /// The currently installed execution policy.
+    pub fn exec_policy(&self) -> Option<ExecPolicy> {
+        self.policy.lock().clone()
     }
 
     /// Grant a collaborator access.
@@ -76,6 +96,17 @@ impl Session {
     /// mid-flight, and with [`CollabError::PermissionDenied`] when the
     /// user cannot act in this session.
     pub fn submit(&self, user: &str, call: SkillCall) -> Result<SkillOutput> {
+        self.check_can_act(user)?;
+        // Session-level lock: atomically claim execution.
+        if self.executing.swap(true, Ordering::AcqRel) {
+            return Err(CollabError::SessionBusy { session: self.id });
+        }
+        let result = self.run_locked(user, call);
+        self.executing.store(false, Ordering::Release);
+        result
+    }
+
+    fn check_can_act(&self, user: &str) -> Result<()> {
         let perm = self
             .permission_of(user)
             .ok_or_else(|| CollabError::PermissionDenied {
@@ -88,42 +119,92 @@ impl Session {
                 needed: "act".into(),
             });
         }
-        // Session-level lock: atomically claim execution.
+        Ok(())
+    }
+
+    /// Add `call` to the session DAG with its inputs resolved against the
+    /// current dataset and named datasets, without executing anything.
+    fn stage_locked(&self, call: SkillCall) -> Result<NodeId> {
+        let mut dag = self.dag.lock();
+        let inputs: Vec<NodeId> = match &call {
+            SkillCall::UseDataset { name, .. } => match dag.resolve_name(name) {
+                Ok(n) => vec![n],
+                Err(_) => vec![],
+            },
+            SkillCall::Concat { other, .. } | SkillCall::Join { other, .. } => {
+                let second = dag.resolve_name(other)?;
+                let first = self.current_node().ok_or_else(|| {
+                    CollabError::invalid("no current dataset for a two-input skill")
+                })?;
+                vec![first, second]
+            }
+            c if c.needs_input() => vec![self.current_node().ok_or_else(|| {
+                CollabError::invalid(format!("{} needs a dataset; load one first", c.name()))
+            })?],
+            _ => vec![],
+        };
+        Ok(dag.add(call, inputs)?)
+    }
+
+    /// Stage one call for later execution: permission check + DAG
+    /// insertion, no execution, no session lock. The serving layer stages
+    /// a job's steps as they come due, then drives each through
+    /// [`Session::execute_staged`] — possibly across several time slices.
+    pub fn stage(&self, user: &str, call: SkillCall) -> Result<NodeId> {
+        self.check_can_act(user)?;
+        self.stage_locked(call)
+    }
+
+    /// Execute a previously staged node against a caller-provided
+    /// environment under an explicit policy, returning the full
+    /// [`ExecReport`]. Claims the §2.4 session lock for the duration.
+    ///
+    /// The session's current dataset and log advance only when the run
+    /// produced the target's output — a preempted or failed slice leaves
+    /// the session state untouched (completed sub-DAG results stay
+    /// checkpointed in the session's executor, so re-running the same
+    /// node resumes from the failed frontier).
+    pub fn execute_staged(
+        &self,
+        user: &str,
+        node: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+    ) -> Result<ExecReport> {
+        self.check_can_act(user)?;
         if self.executing.swap(true, Ordering::AcqRel) {
             return Err(CollabError::SessionBusy { session: self.id });
         }
-        let result = self.run_locked(user, call);
+        let result = (|| {
+            let mut ex = self.executor.lock();
+            let dag = self.dag.lock();
+            let report = ex.run_resilient(&dag, node, env, policy)?;
+            if report.succeeded() {
+                let gel = dc_gel::format_skill(&dag.node(node)?.call);
+                self.current.store(node as u64, Ordering::Release);
+                self.has_current.store(true, Ordering::Release);
+                self.log.lock().push((user.to_string(), gel));
+            }
+            Ok(report)
+        })();
         self.executing.store(false, Ordering::Release);
         result
     }
 
     fn run_locked(&self, user: &str, call: SkillCall) -> Result<SkillOutput> {
         let gel = dc_gel::format_skill(&call);
-        let node = {
-            let mut dag = self.dag.lock();
-            let inputs: Vec<NodeId> = match &call {
-                SkillCall::UseDataset { name, .. } => match dag.resolve_name(name) {
-                    Ok(n) => vec![n],
-                    Err(_) => vec![],
-                },
-                SkillCall::Concat { other, .. } | SkillCall::Join { other, .. } => {
-                    let second = dag.resolve_name(other)?;
-                    let first = self.current_node().ok_or_else(|| {
-                        CollabError::invalid("no current dataset for a two-input skill")
-                    })?;
-                    vec![first, second]
-                }
-                c if c.needs_input() => vec![self.current_node().ok_or_else(|| {
-                    CollabError::invalid(format!("{} needs a dataset; load one first", c.name()))
-                })?],
-                _ => vec![],
-            };
-            dag.add(call, inputs)?
-        };
+        let node = self.stage_locked(call)?;
+        let policy = self.policy.lock().clone();
         let out = {
             let mut ex = self.executor.lock();
             let dag = self.dag.lock();
-            ENV.with(|env| ex.run(&dag, node, &mut env.borrow_mut()))?
+            match &policy {
+                None => with_env(|env| ex.run(&dag, node, env))?,
+                Some(p) => {
+                    let report = with_env(|env| ex.run_resilient(&dag, node, env, p))?;
+                    report_output(report)?
+                }
+            }
         };
         self.current.store(node as u64, Ordering::Release);
         self.has_current.store(true, Ordering::Release);
@@ -147,6 +228,20 @@ impl Session {
         Ok(())
     }
 
+    /// Approximate heap bytes of the session executor's checkpointed
+    /// results. A serving layer polls this to bound per-session memory.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.executor.lock().cache_bytes()
+    }
+
+    /// Drop the session executor's checkpointed results. The DAG and log
+    /// are untouched — later requests re-execute evicted sub-DAGs from
+    /// their recorded calls, so this trades warmth (and re-charged cloud
+    /// scans) for memory, never correctness.
+    pub fn clear_checkpoints(&self) {
+        self.executor.lock().clear_cache();
+    }
+
     /// Snapshot of the session's DAG (for saving artifacts).
     pub fn dag_snapshot(&self) -> SkillDag {
         self.dag.lock().clone()
@@ -158,16 +253,77 @@ impl Session {
     }
 }
 
-// The environment lives in thread-local storage for session execution so
-// Session::submit keeps a simple signature; the platform facade installs
-// the environment for the duration of a call.
-thread_local! {
-    static ENV: std::cell::RefCell<Env> = std::cell::RefCell::new(Env::new());
+/// A shareable handle on one execution environment: the world state
+/// (catalog, snapshots, fixtures, models) behind an `Arc<Mutex>`, so many
+/// threads — a platform facade plus a pool of serve workers — can run
+/// sessions against the same logical world. The mutex is the
+/// "single-writer world lock": skills take `&mut Env`, so execution
+/// against one world is serialized here; fairness across tenants is the
+/// serving layer's job (time slices bound how long one job may hold it).
+#[derive(Debug, Clone, Default)]
+pub struct EnvHandle(Arc<Mutex<Env>>);
+
+impl EnvHandle {
+    /// Wrap an environment in a shareable handle.
+    pub fn new(env: Env) -> EnvHandle {
+        EnvHandle(Arc::new(Mutex::new(env)))
+    }
+
+    /// Run `f` with exclusive access to the environment. Do not nest —
+    /// the lock is not reentrant.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Env) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// Whether two handles view the same environment.
+    pub fn same_env(&self, other: &EnvHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
-/// Run `f` with access to the session environment of the current thread.
+// Each thread holds a handle on its *current* environment so
+// Session::submit keeps a simple signature. The platform facade installs
+// its environment's handle at construction; serve workers install the
+// service's shared handle once at thread start. Two threads holding the
+// same handle share one world.
+thread_local! {
+    static ENV: std::cell::RefCell<EnvHandle> = std::cell::RefCell::new(EnvHandle::default());
+}
+
+/// Run `f` with access to the current thread's session environment.
+/// Must not be nested inside itself (the environment lock is not
+/// reentrant).
 pub fn with_env<R>(f: impl FnOnce(&mut Env) -> R) -> R {
-    ENV.with(|env| f(&mut env.borrow_mut()))
+    // Clone the handle out of the thread-local first so `f` may call
+    // `install_env`/`current_env` without re-borrowing the RefCell.
+    let handle = ENV.with(|h| h.borrow().clone());
+    handle.with(f)
+}
+
+/// Make `handle` the current thread's environment. Later [`with_env`]
+/// calls (and every session submission on this thread) run against it.
+pub fn install_env(handle: &EnvHandle) {
+    ENV.with(|h| *h.borrow_mut() = handle.clone());
+}
+
+/// The current thread's environment handle.
+pub fn current_env() -> EnvHandle {
+    ENV.with(|h| h.borrow().clone())
+}
+
+/// The target's output, or the run's first node failure as the
+/// submission error.
+fn report_output(report: ExecReport) -> Result<SkillOutput> {
+    let ExecReport { output, nodes, .. } = report;
+    if let Some(out) = output {
+        return Ok(out);
+    }
+    for n in nodes {
+        if let NodeOutcome::Failed(e) = n.outcome {
+            return Err(CollabError::Skill(e));
+        }
+    }
+    Err(CollabError::invalid("execution produced no output"))
 }
 
 /// Registry of sessions (the platform's server-side tracking).

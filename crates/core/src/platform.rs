@@ -2,10 +2,12 @@
 
 use std::collections::BTreeMap;
 
+use std::time::Duration;
+
 use dc_analyze::{Analysis, AnalysisContext, AnalysisPolicy, Diagnostic};
 use dc_collab::{
-    with_env, Artifact, HomeScreen, InsightsBoard, LinkIssuer, Permission, SessionRef,
-    SessionRegistry, ShareLink,
+    install_env, with_env, Artifact, EnvHandle, HomeScreen, InsightsBoard, LinkIssuer, Permission,
+    SessionRef, SessionRegistry, ShareLink,
 };
 use dc_nl::{Nl2Code, SchemaHints};
 use dc_skills::{Env, SkillCall, SkillOutput};
@@ -95,6 +97,16 @@ pub struct Platform {
     /// Cross-session materialized sub-DAG cache, installed into the
     /// environment so every session this platform hosts shares it.
     materialized: std::sync::Arc<dc_skills::MaterializedCache>,
+    /// The platform's world state, behind an `Arc`-shareable handle so a
+    /// serving layer can drive this platform's sessions from a worker
+    /// pool. The constructor also installs it as the current thread's
+    /// environment.
+    env: EnvHandle,
+    /// Default wall-clock deadline for interactive sessions, threaded
+    /// into every session [`Platform::open_session`] opens as a resilient
+    /// `run_budget`/`node_budget`. `None` = unbounded (the pre-deadline
+    /// behavior).
+    session_deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -119,10 +131,12 @@ impl Platform {
     /// entirely while keeping the handle live).
     pub fn with_cache_capacity(capacity_bytes: u64) -> Platform {
         let materialized = std::sync::Arc::new(dc_skills::MaterializedCache::new(capacity_bytes));
-        with_env(|env| {
-            *env = Env::new();
-            env.shared_cache = Some(std::sync::Arc::clone(&materialized));
-        });
+        let mut env = Env::new();
+        env.shared_cache = Some(std::sync::Arc::clone(&materialized));
+        let env = EnvHandle::new(env);
+        // Make this platform's world the constructing thread's current
+        // environment, so session submissions on this thread find it.
+        install_env(&env);
         Platform {
             registry: SessionRegistry::new(),
             artifacts: BTreeMap::new(),
@@ -132,7 +146,32 @@ impl Platform {
             nl: Nl2Code::with_defaults(42),
             analysis_policy: AnalysisPolicy::default(),
             materialized,
+            env,
+            session_deadline: Some(Platform::DEFAULT_SESSION_DEADLINE),
         }
+    }
+
+    /// Default per-session wall-clock deadline: generous for interactive
+    /// work, but bounded — a runaway query cannot hold a session forever.
+    pub const DEFAULT_SESSION_DEADLINE: Duration = Duration::from_secs(30);
+
+    /// The `Arc`-shareable handle on this platform's world state. A
+    /// serving layer clones this into its worker pool so thousands of
+    /// sessions execute against one catalog/snapshot-store/cache world.
+    pub fn env_handle(&self) -> EnvHandle {
+        self.env.clone()
+    }
+
+    /// Set the wall-clock deadline sessions opened from now on run
+    /// under (`None` = unbounded). Existing sessions keep the policy
+    /// they were opened with.
+    pub fn set_session_deadline(&mut self, deadline: Option<Duration>) {
+        self.session_deadline = deadline;
+    }
+
+    /// The current per-session deadline default.
+    pub fn session_deadline(&self) -> Option<Duration> {
+        self.session_deadline
     }
 
     /// The platform's cross-session materialized cache handle.
@@ -143,6 +182,13 @@ impl Platform {
     /// Counters of the cross-session materialized cache.
     pub fn materialized_cache_stats(&self) -> dc_skills::CacheStats {
         self.materialized.stats()
+    }
+
+    /// Per-tenant slices of the cross-session cache counters (tenants
+    /// are attributed via [`Env::attribution`], which serving layers set
+    /// per job).
+    pub fn materialized_tenant_stats(&self) -> Vec<(String, dc_skills::TenantCacheStats)> {
+        self.materialized.tenant_stats()
     }
 
     /// Snapshot the environment into an [`AnalysisContext`]: catalog
@@ -174,7 +220,7 @@ impl Platform {
 
     /// Access the environment (catalog, snapshot store, virtual files).
     pub fn env<R>(&self, f: impl FnOnce(&mut Env) -> R) -> R {
-        with_env(f)
+        self.env.with(f)
     }
 
     /// Register a CSV fixture.
@@ -213,10 +259,29 @@ impl Platform {
         });
     }
 
-    /// Open a session for a user.
+    /// Open a session for a user. When the platform carries a session
+    /// deadline (the default), the session's submissions run through the
+    /// resilient executor with that deadline as both the whole-run slice
+    /// and the per-node budget — storage scans cancel cooperatively at
+    /// block boundaries, pure compute is timed post-hoc, and the
+    /// over-deadline submission fails with a typed timeout instead of
+    /// hanging the session.
     pub fn open_session(&mut self, user: impl Into<String>) -> SessionHandle {
         let user = user.into();
         let session = self.registry.open(user.clone());
+        if let Some(deadline) = self.session_deadline {
+            session.set_exec_policy(Some(dc_skills::ExecPolicy {
+                // Interactive sessions keep fail-fast error semantics:
+                // the deadline bounds time, retries stay opt-in.
+                retry: dc_skills::RetryPolicy {
+                    max_attempts: 1,
+                    ..Default::default()
+                },
+                node_budget: Some(deadline),
+                run_budget: Some(deadline),
+                ..Default::default()
+            }));
+        }
         SessionHandle { session, user }
     }
 

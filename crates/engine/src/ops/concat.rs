@@ -18,37 +18,26 @@ pub fn concat(tables: &[&Table], remove_duplicates: bool) -> Result<Table> {
     for t in &tables[1..] {
         schema = schema.concat_compatible(t.schema())?;
     }
-    let mut out = Table::empty_with_schema(&schema);
+    // One casted accumulator per column, extended in place across all
+    // inputs — linear in total rows. (Rebuilding the accumulated table
+    // per input would copy everything already gathered each time, i.e.
+    // quadratic in the number of parts; block scans concatenate hundreds
+    // of parts, where that collapse matters.)
     let names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
-    for t in tables {
-        // Cast each column to the unified type, then append.
-        let mut cols = Vec::with_capacity(names.len());
-        for name in &names {
-            let field = schema.field(name).expect("unified schema has field");
-            let col = t.column(name)?.cast(field.dtype)?;
-            cols.push(col);
+    let mut out = Table::empty();
+    for name in &names {
+        let field = schema.field(name).expect("unified schema has field");
+        let mut acc = first.column(name)?.cast(field.dtype)?;
+        for t in &tables[1..] {
+            acc.extend(&t.column(name)?.cast(field.dtype)?)?;
         }
-        let mut part = Table::empty();
-        for (name, col) in names.iter().zip(cols) {
-            part.add_column(name, col)?;
-        }
-        out = append_rows(&out, &part)?;
+        out.add_column(name, acc)?;
     }
     if remove_duplicates {
         distinct(&out, &[])
     } else {
         Ok(out)
     }
-}
-
-fn append_rows(a: &Table, b: &Table) -> Result<Table> {
-    let mut out = Table::empty();
-    for (i, field) in a.schema().fields().iter().enumerate() {
-        let mut col = a.column_at(i).clone();
-        col.extend(b.column_at(i))?;
-        out.add_column(&field.name, col)?;
-    }
-    Ok(out)
 }
 
 #[cfg(test)]

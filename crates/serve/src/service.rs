@@ -1,0 +1,483 @@
+//! The multi-tenant session service: a worker pool driving thousands of
+//! chat sessions against one shared world.
+//!
+//! ## Execution model
+//!
+//! Skills take `&mut Env`, so execution against one world is serialized
+//! by the [`EnvHandle`] world lock. What the pool buys is *scheduling*:
+//! who gets the lock next, for how long, and what happens to everyone
+//! else's latency while a heavy job holds it. Each dispatch runs one
+//! **time slice** (`quantum`): the worker locks the world, sets scan
+//! attribution to the tenant, and drives the job's steps under an
+//! [`ExecPolicy`] whose `run_budget` is the slice remainder. A job that
+//! outruns its slice is preempted mid-DAG — completed sub-results stay
+//! checkpointed in the session's executor — and re-queued at the front
+//! of its tenant's queue with a doubled (capped) quantum; re-dispatch
+//! **resumes** from the checkpointed frontier rather than starting over.
+//!
+//! ## Overload state machine
+//!
+//! ```text
+//!   Healthy ──queues grow──▶ Backpressure ──depth limit──▶ Shedding
+//!      ▲                        │                             │
+//!      └──── queues drain ◀─────┴── typed Rejected answers ◀──┘
+//! ```
+//!
+//! Under light load every submission is admitted and dispatched in
+//! weighted fair order. As the pool saturates, jobs queue (backpressure) —
+//! latency grows but nothing is lost. Past the per-tenant or global
+//! depth limits, admission answers [`ServeError::Rejected`] with a
+//! `retry_after` hint instead of queueing — load is shed at the door,
+//! never by dropping an admitted job. Shutdown drains every queue with
+//! typed `ShuttingDown` answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dc_collab::{EnvHandle, SessionRef, SessionRegistry};
+use dc_skills::resilient::{ExecPolicy, RetryPolicy};
+use dc_skills::{Env, SkillCall};
+
+use crate::error::{Result, ServeError};
+use crate::job::{Job, JobCell, JobHandle, Request};
+use crate::scheduler::{Dispatch, JobEnd, Scheduler};
+use crate::tenant::{TenantConfig, TenantStats};
+
+/// Pool-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. 0 is allowed (nothing executes until shutdown —
+    /// useful for tests that inspect queue behavior deterministically).
+    pub workers: usize,
+    /// Service-wide queued-job ceiling; admissions beyond it are shed.
+    pub global_queue_limit: usize,
+    /// First time slice a job gets.
+    pub initial_quantum: Duration,
+    /// Ceiling for the doubling quantum of repeatedly preempted jobs.
+    pub max_quantum: Duration,
+    /// Preemptions after which a job is evicted instead of re-queued.
+    pub max_preemptions: u32,
+    /// Per-node retry policy applied inside each slice (transient storage
+    /// faults absorbed by the resilient executor).
+    pub retry: RetryPolicy,
+    /// Per-session checkpoint-memory ceiling. After a job is answered,
+    /// if its session's executor holds more than this many bytes of
+    /// checkpointed results, they are dropped (the DAG survives, so
+    /// continuity is re-computed, not lost). `None` = unbounded.
+    pub session_cache_limit: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            global_queue_limit: 1024,
+            initial_quantum: Duration::from_millis(25),
+            max_quantum: Duration::from_millis(400),
+            max_preemptions: 12,
+            retry: RetryPolicy::default(),
+            session_cache_limit: Some(256 << 20),
+        }
+    }
+}
+
+/// Service-wide counter snapshot (sums of the per-tenant stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    pub admitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub rejected_queue: u64,
+    pub rejected_budget: u64,
+    pub shed_at_shutdown: u64,
+    pub preemptions: u64,
+}
+
+impl ServiceStats {
+    /// Every admitted job owes exactly one answer: completed, failed, or
+    /// shed. True once the service is idle or shut down.
+    pub fn answered(&self) -> u64 {
+        self.completed + self.failed + self.shed_at_shutdown
+    }
+}
+
+struct Inner {
+    env: EnvHandle,
+    sched: Scheduler,
+    config: ServeConfig,
+    registry: SessionRegistry,
+    next_job: AtomicU64,
+}
+
+/// The multi-tenant session service. See the module docs for the
+/// execution model; see [`crate`] docs for the invariants.
+pub struct SessionService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionService {
+    /// Start a worker pool serving jobs against the world behind `env`.
+    pub fn start(env: EnvHandle, config: ServeConfig) -> SessionService {
+        let inner = Arc::new(Inner {
+            sched: Scheduler::new(
+                config.global_queue_limit,
+                config.workers,
+                config.initial_quantum,
+            ),
+            env,
+            config: config.clone(),
+            registry: SessionRegistry::new(),
+            next_job: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dc-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(dispatch) = inner.sched.next() {
+                            drive(&inner, dispatch);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        SessionService { inner, workers }
+    }
+
+    /// Register a tenant: opens a dedicated session owned by the tenant
+    /// and installs its queue, weight, and budget.
+    pub fn register_tenant(&self, name: &str, config: TenantConfig) -> Result<()> {
+        let session = self.inner.registry.open(name);
+        self.inner.sched.register(name, config, session)
+    }
+
+    /// Submit a request for `tenant`. Returns a handle immediately; the
+    /// job runs asynchronously on the pool. Every admission failure is a
+    /// typed error — over-capacity and over-budget submissions get
+    /// [`ServeError::Rejected`] with a `retry_after` hint.
+    pub fn submit(&self, tenant: &str, request: Request) -> Result<JobHandle> {
+        if request.steps.is_empty() {
+            return Err(ServeError::BadRequest {
+                message: "empty program".to_string(),
+            });
+        }
+        let metered =
+            self.inner
+                .sched
+                .has_budget(tenant)
+                .ok_or_else(|| ServeError::UnknownTenant {
+                    tenant: tenant.to_string(),
+                })?;
+        // Reservation estimate: the full bytes of every table the program
+        // loads (scans can only read less — pruning, pushdown, cache
+        // hits). Unmetered tenants skip this so their submissions never
+        // touch the world lock.
+        let reserved = if metered {
+            self.inner
+                .env
+                .with(|env| estimate_scan_bytes(env, &request.steps))
+        } else {
+            0
+        };
+        let cell = Arc::new(JobCell::default());
+        let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let handle = JobHandle {
+            cell: Arc::clone(&cell),
+            id,
+            tenant: tenant.to_string(),
+        };
+        let job = Job {
+            id,
+            tenant: tenant.to_string(),
+            steps: request.steps,
+            name_result: request.name_result,
+            next_step: 0,
+            staged: None,
+            quantum: self.inner.config.initial_quantum,
+            preemptions: 0,
+            reserved,
+            charged: 0,
+            cache_hits: 0,
+            bytes_saved: 0,
+            exec: Duration::ZERO,
+            submitted: Instant::now(),
+            first_dispatch: None,
+            last_output: None,
+            cell,
+        };
+        self.inner.sched.admit(job)?;
+        Ok(handle)
+    }
+
+    /// Submit and block for the answer — the synchronous convenience
+    /// used by tests and closed-loop load generators.
+    pub fn run(&self, tenant: &str, request: Request) -> crate::job::JobResult {
+        match self.submit(tenant, request) {
+            Ok(handle) => handle.wait(),
+            Err(err) => crate::job::JobResult {
+                id: u64::MAX,
+                tenant: tenant.to_string(),
+                outcome: Err(err),
+                queued: Duration::ZERO,
+                wall: Duration::ZERO,
+                exec: Duration::ZERO,
+                preemptions: 0,
+                bytes_reserved: 0,
+                bytes_charged: 0,
+                cache_hits: 0,
+                bytes_saved: 0,
+            },
+        }
+    }
+
+    /// The serving counters for one tenant.
+    pub fn tenant_stats(&self, name: &str) -> Option<TenantStats> {
+        self.inner.sched.tenant_stats(name)
+    }
+
+    /// All tenants' counters, in registration order.
+    pub fn all_tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        self.inner.sched.all_stats()
+    }
+
+    /// `(available, deposited, charged)` bytes of a metered tenant's
+    /// budget bucket; `None` for unknown or unmetered tenants.
+    pub fn budget_state(&self, name: &str) -> Option<(u64, u64, u64)> {
+        self.inner.sched.budget_state(name)
+    }
+
+    /// Service-wide counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for (_, t) in self.inner.sched.all_stats() {
+            total.admitted += t.admitted;
+            total.completed += t.completed;
+            total.failed += t.failed;
+            total.rejected_queue += t.rejected_queue;
+            total.rejected_budget += t.rejected_budget;
+            total.shed_at_shutdown += t.shed_at_shutdown;
+            total.preemptions += t.preemptions;
+        }
+        total
+    }
+
+    /// Jobs currently queued (excluding in-flight).
+    pub fn queued(&self) -> usize {
+        self.inner.sched.queued()
+    }
+
+    /// Stop accepting work, answer every queued job `ShuttingDown`, and
+    /// join the pool (in-flight slices finish first).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for job in self.inner.sched.shutdown() {
+            job.finish(Err(ServeError::ShuttingDown));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SessionService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Upper bound on the scan bytes `steps` could charge: the total stored
+/// bytes of every cloud table the program loads. Snapshots and datasets
+/// already in the session are off the metered path and count zero.
+fn estimate_scan_bytes(env: &Env, steps: &[SkillCall]) -> u64 {
+    steps
+        .iter()
+        .map(|call| match call {
+            SkillCall::LoadTable { database, table }
+            | SkillCall::LoadTableFiltered {
+                database, table, ..
+            } => env
+                .catalog
+                .database(database)
+                .ok()
+                .and_then(|db| db.table(table).ok())
+                .map_or(0, |t| t.total_bytes()),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// How a time slice ended.
+enum SliceEnd {
+    /// Every step committed; the job is done.
+    Done,
+    /// Out of slice (or a retryable failure): resume later.
+    Preempted,
+    /// A permanent failure: answer it.
+    Fail(ServeError),
+}
+
+/// Run one dispatched job for one time slice, then route the outcome:
+/// answer it, evict it, or re-queue it for resumption.
+fn drive(inner: &Inner, dispatch: Dispatch) {
+    let Dispatch {
+        mut job,
+        session,
+        tenant,
+    } = dispatch;
+    if job.first_dispatch.is_none() {
+        job.first_dispatch = Some(Instant::now());
+    }
+    // The slice clock starts only once the world lock is held: waiting
+    // behind another worker's slice must not eat this job's quantum (it
+    // would preempt jobs that never got to run a step) nor be charged
+    // against the tenant's fair share.
+    let (end, spent) = inner.env.with(|env| {
+        let started = Instant::now();
+        env.attribution = Some(job.tenant.clone());
+        let end = run_slice(inner, &mut job, &session, env, started);
+        env.attribution = None;
+        (end, started.elapsed())
+    });
+    if std::env::var_os("DC_SERVE_TRACE").is_some() && spent.as_millis() > 30 {
+        eprintln!(
+            "[trace] tenant={} slice={}ms quantum={}ms step={}/{}",
+            job.tenant,
+            spent.as_millis(),
+            job.quantum.as_millis(),
+            job.next_step,
+            job.steps.len()
+        );
+    }
+    job.exec += spent;
+    // Memory bound: compact the session's checkpoints while the tenant
+    // is still gated in-flight (no concurrent run can be mid-write).
+    if !matches!(end, SliceEnd::Preempted) {
+        if let Some(limit) = inner.config.session_cache_limit {
+            if session.checkpoint_bytes() > limit {
+                session.clear_checkpoints();
+            }
+        }
+    }
+    match end {
+        SliceEnd::Done => {
+            if let Some(name) = &job.name_result {
+                let _ = session.name_current(name.clone());
+            }
+            inner
+                .sched
+                .release(tenant, job.reserved, job.charged, spent, JobEnd::Completed);
+            let output = job
+                .last_output
+                .take()
+                .expect("completed non-empty program has an output");
+            job.finish(Ok(output));
+        }
+        SliceEnd::Preempted => {
+            job.preemptions += 1;
+            if job.preemptions > inner.config.max_preemptions {
+                inner
+                    .sched
+                    .release(tenant, job.reserved, job.charged, spent, JobEnd::Failed);
+                let preemptions = job.preemptions;
+                job.finish(Err(ServeError::Evicted { preemptions }));
+                return;
+            }
+            job.quantum = (job.quantum * 2).min(inner.config.max_quantum);
+            if let Err(job) = inner.sched.preempt(tenant, job, spent) {
+                // The pool is draining; answer instead of re-queueing.
+                inner
+                    .sched
+                    .release(tenant, job.reserved, job.charged, spent, JobEnd::Shed);
+                job.finish(Err(ServeError::ShuttingDown));
+            }
+        }
+        SliceEnd::Fail(err) => {
+            inner
+                .sched
+                .release(tenant, job.reserved, job.charged, spent, JobEnd::Failed);
+            job.finish(Err(err));
+        }
+    }
+}
+
+/// Drive `job`'s remaining steps until the slice expires, a step fails,
+/// or the program completes. Holds the world lock for at most roughly
+/// `job.quantum` — the slice remainder is threaded into the resilient
+/// executor as `run_budget`, which arms scan cancellation and preempts
+/// unstarted DAG nodes, so even a single huge step respects the slice.
+fn run_slice(
+    inner: &Inner,
+    job: &mut Job,
+    session: &SessionRef,
+    env: &mut Env,
+    started: Instant,
+) -> SliceEnd {
+    while job.next_step < job.steps.len() {
+        let elapsed = started.elapsed();
+        if elapsed >= job.quantum {
+            return SliceEnd::Preempted;
+        }
+        let node = match job.staged {
+            Some(node) => node,
+            None => match session.stage(&job.tenant, job.steps[job.next_step].clone()) {
+                Ok(node) => {
+                    job.staged = Some(node);
+                    node
+                }
+                Err(err) => {
+                    return SliceEnd::Fail(ServeError::Failed {
+                        message: err.to_string(),
+                        retryable: false,
+                    })
+                }
+            },
+        };
+        let policy = ExecPolicy {
+            retry: inner.config.retry.clone(),
+            run_budget: Some(job.quantum - elapsed),
+            ..ExecPolicy::default()
+        };
+        let report = match session.execute_staged(&job.tenant, node, env, &policy) {
+            Ok(report) => report,
+            // Structural errors (permissions, session lock) — the
+            // in-flight gate makes these unreachable in practice, but
+            // answer typed rather than trust that.
+            Err(err) => {
+                return SliceEnd::Fail(ServeError::Failed {
+                    message: err.to_string(),
+                    retryable: false,
+                })
+            }
+        };
+        job.charged += report.bytes_scanned();
+        job.cache_hits += report.cache_hits;
+        job.bytes_saved += report.bytes_saved;
+        if report.succeeded() {
+            job.last_output = report.output;
+            job.staged = None;
+            job.next_step += 1;
+        } else if report.first_error().is_some_and(|err| err.is_retryable()) {
+            // Slice expiry surfaces as a retryable `Timeout` on the
+            // unfinished frontier; exhausted transient-fault retries are
+            // retryable too. Either way the checkpointed sub-results
+            // make re-dispatch a resume, not a restart.
+            return SliceEnd::Preempted;
+        } else {
+            let message = report
+                .first_error()
+                .map_or_else(|| "execution failed".to_string(), |err| err.to_string());
+            return SliceEnd::Fail(ServeError::Failed {
+                message,
+                retryable: false,
+            });
+        }
+    }
+    SliceEnd::Done
+}

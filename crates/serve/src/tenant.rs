@@ -1,0 +1,77 @@
+//! Per-tenant configuration and serving statistics.
+
+use dc_storage::BudgetConfig;
+
+/// How one tenant is admitted, scheduled, and metered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Fair-share weight over *execution time*: under contention a
+    /// tenant with weight 3 is scheduled roughly three seconds of slice
+    /// time for every one a weight-1 tenant gets, regardless of how the
+    /// time is cut into slices. Clamped to at least 1.
+    pub weight: u32,
+    /// Depth limit on the tenant's own submission queue; submissions
+    /// beyond it are load-shed with a typed rejection.
+    pub queue_limit: usize,
+    /// Scan-byte budget. `None` = unmetered.
+    pub budget: Option<BudgetConfig>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> TenantConfig {
+        TenantConfig {
+            weight: 1,
+            queue_limit: 64,
+            budget: None,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// An unmetered weight-1 tenant.
+    pub fn new() -> TenantConfig {
+        TenantConfig::default()
+    }
+
+    /// Set the scheduling weight.
+    pub fn weight(mut self, weight: u32) -> TenantConfig {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the queue depth limit.
+    pub fn queue_limit(mut self, limit: usize) -> TenantConfig {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Meter the tenant's scans against a token-bucket budget.
+    pub fn budget(mut self, budget: BudgetConfig) -> TenantConfig {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Counters the service keeps per tenant. Snapshot via
+/// [`crate::SessionService::tenant_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Jobs admitted into the tenant's queue.
+    pub admitted: u64,
+    /// Jobs answered with a successful output.
+    pub completed: u64,
+    /// Jobs answered with a typed execution failure or eviction.
+    pub failed: u64,
+    /// Submissions rejected for queue depth (tenant or global).
+    pub rejected_queue: u64,
+    /// Submissions rejected for budget exhaustion.
+    pub rejected_budget: u64,
+    /// Queued jobs answered `ShuttingDown` at service shutdown.
+    pub shed_at_shutdown: u64,
+    /// Preempt-and-resume cycles across all of the tenant's jobs.
+    pub preemptions: u64,
+    /// Scan bytes the tenant's receipts actually charged.
+    pub bytes_charged: u64,
+    /// Scan bytes reserved at admission (upper bounds, mostly refunded).
+    pub bytes_reserved: u64,
+}

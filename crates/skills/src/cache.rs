@@ -36,7 +36,7 @@
 //! terabyte of scans to produce is the last thing to go; a huge raw
 //! load that was cheap per byte goes first.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use dc_engine::Table;
@@ -51,6 +51,22 @@ use crate::output::SkillOutput;
 /// the same storage versions — which is what lets them meet in this
 /// cache.
 pub type SharedKey = u128;
+
+/// Per-tenant slice of the cache counters, keyed by the attribution
+/// string executors carry in [`crate::env::Env::attribution`]. Lets a
+/// serving layer answer "whose queries is this cache actually helping"
+/// without guessing from aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Probes by this tenant that found a live entry.
+    pub hits: u64,
+    /// Probes by this tenant that found nothing.
+    pub misses: u64,
+    /// Entries this tenant's executions admitted.
+    pub insertions: u64,
+    /// Scan footprint this tenant's hits avoided re-charging.
+    pub bytes_saved: u64,
+}
 
 /// One cache hit: the node output, the downstream-facing table (shared,
 /// zero-copy), and the scan footprint the hit avoided recomputing.
@@ -113,6 +129,15 @@ struct Inner {
     evictions: u64,
     rejected: u64,
     bytes_saved: u64,
+    /// Attributed counters, one slice per tenant that ever probed or
+    /// admitted with an attribution set.
+    per_tenant: BTreeMap<String, TenantCacheStats>,
+}
+
+impl Inner {
+    fn tenant(&mut self, who: &str) -> &mut TenantCacheStats {
+        self.per_tenant.entry(who.to_string()).or_default()
+    }
 }
 
 /// The shared, size-bounded, thread-safe materialized-result store.
@@ -154,6 +179,7 @@ impl MaterializedCache {
                 evictions: 0,
                 rejected: 0,
                 bytes_saved: 0,
+                per_tenant: BTreeMap::new(),
             }),
             capacity_bytes,
         }
@@ -174,6 +200,13 @@ impl MaterializedCache {
     /// downstream-facing table as a shared `Arc` — a pointer copy of the
     /// resident allocation, never a data copy.
     pub fn get(&self, key: SharedKey) -> Option<CacheHit> {
+        self.get_as(key, None)
+    }
+
+    /// [`MaterializedCache::get`] with the probe attributed to a tenant,
+    /// so [`MaterializedCache::tenant_stats`] can report per-tenant hit
+    /// rates and bytes saved.
+    pub fn get_as(&self, key: SharedKey, who: Option<&str>) -> Option<CacheHit> {
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -187,10 +220,18 @@ impl MaterializedCache {
                 };
                 inner.hits += 1;
                 inner.bytes_saved += hit.footprint_bytes;
+                if let Some(who) = who {
+                    let t = inner.tenant(who);
+                    t.hits += 1;
+                    t.bytes_saved += hit.footprint_bytes;
+                }
                 Some(hit)
             }
             None => {
                 inner.misses += 1;
+                if let Some(who) = who {
+                    inner.tenant(who).misses += 1;
+                }
                 None
             }
         }
@@ -205,6 +246,19 @@ impl MaterializedCache {
     /// the executor never calls this for degraded (block-sampled)
     /// outputs or for non-version-addressable sub-DAGs.
     pub fn admit(&self, key: SharedKey, output: SkillOutput, table: Arc<Table>, footprint: u64) {
+        self.admit_as(key, output, table, footprint, None)
+    }
+
+    /// [`MaterializedCache::admit`] with the insertion attributed to a
+    /// tenant for [`MaterializedCache::tenant_stats`].
+    pub fn admit_as(
+        &self,
+        key: SharedKey,
+        output: SkillOutput,
+        table: Arc<Table>,
+        footprint: u64,
+        who: Option<&str>,
+    ) {
         let resident = (table.byte_size() as u64)
             + match &output {
                 // The flow table usually aliases the output table's data
@@ -245,6 +299,9 @@ impl MaterializedCache {
         }
         inner.used += resident;
         inner.insertions += 1;
+        if let Some(who) = who {
+            inner.tenant(who).insertions += 1;
+        }
         inner.entries.insert(
             key,
             Entry {
@@ -272,6 +329,22 @@ impl MaterializedCache {
         let mut inner = self.lock();
         inner.entries.clear();
         inner.used = 0;
+    }
+
+    /// Snapshot the attributed counters: one slice per tenant that ever
+    /// probed or admitted with an attribution set, sorted by tenant name.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantCacheStats)> {
+        self.lock()
+            .per_tenant
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// One tenant's attributed counters (zeroes when the tenant never
+    /// touched the cache).
+    pub fn stats_for(&self, who: &str) -> TenantCacheStats {
+        self.lock().per_tenant.get(who).copied().unwrap_or_default()
     }
 
     /// Snapshot the aggregate counters.
@@ -375,6 +448,29 @@ mod tests {
         assert_eq!(cache.stats().resident_bytes, used);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(1).unwrap().footprint_bytes, 20);
+    }
+
+    #[test]
+    fn per_tenant_attribution_splits_counters() {
+        let cache = MaterializedCache::new(1 << 20);
+        let (out, t) = entry(100);
+        cache.admit_as(1, out, t, 640, Some("ann"));
+        assert!(cache.get_as(1, Some("bob")).is_some());
+        assert!(cache.get_as(2, Some("bob")).is_none());
+        assert!(cache.get_as(1, Some("ann")).is_some());
+        // Unattributed traffic lands only in the aggregate counters.
+        assert!(cache.get(1).is_some());
+        let ann = cache.stats_for("ann");
+        let bob = cache.stats_for("bob");
+        assert_eq!((ann.hits, ann.misses, ann.insertions), (1, 0, 1));
+        assert_eq!(ann.bytes_saved, 640);
+        assert_eq!((bob.hits, bob.misses, bob.insertions), (1, 1, 0));
+        assert_eq!(bob.bytes_saved, 640);
+        assert_eq!(cache.stats_for("carol"), TenantCacheStats::default());
+        let all = cache.stats();
+        assert_eq!((all.hits, all.misses), (3, 1));
+        let names: Vec<String> = cache.tenant_stats().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["ann", "bob"]);
     }
 
     #[test]

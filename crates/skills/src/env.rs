@@ -64,6 +64,12 @@ pub struct Env {
     /// All environments sharing a handle must view the same logical
     /// catalog — version-salted keys handle mutation, not divergence.
     pub shared_cache: Option<Arc<MaterializedCache>>,
+    /// Who shared-cache traffic is attributed to. A serving layer sets
+    /// this to the tenant name before running a job so
+    /// [`MaterializedCache`] per-tenant stats know which tenant's probes
+    /// hit and how many scan bytes each hit saved. `None` (the default)
+    /// books traffic under the aggregate counters only.
+    pub attribution: Option<String>,
     /// Virtual filesystem: path → CSV text.
     files: HashMap<String, String>,
     /// Virtual network: URL → CSV text.

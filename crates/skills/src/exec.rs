@@ -886,6 +886,16 @@ impl Executor {
         Executor::default()
     }
 
+    /// Approximate heap bytes held by checkpointed sub-DAG results. The
+    /// serving layer polls this to keep long-lived session executors
+    /// memory-bounded.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache
+            .values()
+            .map(|(_, table)| table.byte_size() as u64)
+            .sum()
+    }
+
     /// Execute `target` (and any un-cached ancestors), returning its
     /// output. Non-transforming skills pass their input table through to
     /// downstream consumers.
@@ -965,7 +975,7 @@ impl Executor {
         let Some(key) = interned.shared_key(id) else {
             return false;
         };
-        let Some(hit) = shared.get(key) else {
+        let Some(hit) = shared.get_as(key, env.attribution.as_deref()) else {
             return false;
         };
         self.stats.cache_hits += 1;
@@ -1056,6 +1066,7 @@ impl Executor {
                     scan.bytes_scanned + scan.bytes_pruned,
                     false,
                     env.shared_cache.as_deref(),
+                    env.attribution.as_deref(),
                 );
             } else {
                 pure.push(node);
@@ -1113,6 +1124,7 @@ impl Executor {
                 0,
                 false,
                 env.shared_cache.as_deref(),
+                env.attribution.as_deref(),
             );
         }
         Ok(())
@@ -1146,6 +1158,7 @@ impl Executor {
         own_scan_bytes: u64,
         degraded: bool,
         shared: Option<&MaterializedCache>,
+        who: Option<&str>,
     ) {
         self.stats.nodes_executed += 1;
         let id = interned.id(node.id);
@@ -1173,7 +1186,7 @@ impl Executor {
         };
         if !tainted && footprint > 0 {
             if let (Some(shared), Some(key)) = (shared, interned.shared_key(id)) {
-                shared.admit(key, output.clone(), Arc::clone(&flow), footprint);
+                shared.admit_as(key, output.clone(), Arc::clone(&flow), footprint, who);
             }
         }
         self.cache.insert(id, (output, flow));

@@ -30,7 +30,7 @@ pub mod resilient;
 pub mod skill;
 pub mod slicing;
 
-pub use cache::{CacheHit, CacheStats, MaterializedCache, SharedKey};
+pub use cache::{CacheHit, CacheStats, MaterializedCache, SharedKey, TenantCacheStats};
 pub use dag::{NodeId, SkillDag, SkillNode};
 pub use env::{Env, ScanTally};
 pub use error::{Result, SkillError};

@@ -102,6 +102,17 @@ pub struct ExecPolicy {
     pub retry: RetryPolicy,
     /// Per-attempt wall-clock budget. `None` = unbounded.
     pub node_budget: Option<Duration>,
+    /// Whole-run wall-clock slice. Once it expires mid-run, nodes that
+    /// have not started yet fail fast with a retryable
+    /// [`SkillError::Timeout`] at **zero attempts**, while everything
+    /// that already completed stays checkpointed in the cache — so
+    /// [`Executor::resume`] picks up exactly where the slice ended.
+    /// Scans started inside the slice are armed with the remaining time
+    /// and cancel cooperatively at block boundaries; pure compute that
+    /// already started is allowed to finish and commit (work is never
+    /// thrown away retroactively). This is the preemption hook a serving
+    /// layer uses for time-sliced fair scheduling. `None` = unbounded.
+    pub run_budget: Option<Duration>,
     /// After this many failed full-scan attempts, a `LoadTable` node
     /// retries as a block-sampled scan and marks its result degraded.
     /// `None` disables degradation.
@@ -117,6 +128,7 @@ impl Default for ExecPolicy {
         ExecPolicy {
             retry: RetryPolicy::default(),
             node_budget: None,
+            run_budget: None,
             degrade_after: None,
             degraded_fraction: 0.2,
             degraded_seed: 7,
@@ -277,6 +289,7 @@ fn run_attempts<F>(
     node: NodeId,
     call: &SkillCall,
     token: Option<&CancelToken>,
+    run_deadline: Option<Instant>,
     mut exec: F,
 ) -> AttemptOutcome
 where
@@ -292,7 +305,15 @@ where
     loop {
         attempt += 1;
         let degraded = can_degrade && policy.degrade_after.is_some_and(|n| attempt > n);
-        if let (Some(t), Some(budget)) = (token, policy.node_budget) {
+        // The token is armed with the tighter of the per-node budget and
+        // what remains of the whole-run slice, so a scan started near the
+        // end of a time slice yields at the next block boundary.
+        let mut arm = policy.node_budget;
+        if let Some(d) = run_deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            arm = Some(arm.map_or(remaining, |b| b.min(remaining)));
+        }
+        if let (Some(t), Some(budget)) = (token, arm) {
             t.arm(budget);
         }
         let attempt_start = Instant::now();
@@ -324,7 +345,14 @@ where
                     wall: started.elapsed(),
                 }
             }
-            Err(e) if e.is_retryable() && attempt < policy.retry.max_attempts => {
+            // Retrying past the run slice would burn backoff sleeps on a
+            // job that is about to be preempted anyway; surface the
+            // (retryable) error instead so resume can finish the node.
+            Err(e)
+                if e.is_retryable()
+                    && attempt < policy.retry.max_attempts
+                    && run_deadline.is_none_or(|d| Instant::now() < d) =>
+            {
                 faults_absorbed += 1;
                 std::thread::sleep(policy.retry.backoff(node, attempt));
             }
@@ -364,7 +392,7 @@ fn run_pure_job(
     hook: Option<BeforeExecuteHook>,
     call: &SkillCall,
 ) -> PureJobResult {
-    let att = run_attempts(policy, nid, call, None, |_| {
+    let att = run_attempts(policy, nid, call, None, None, |_| {
         if let Some(h) = &hook {
             h(call);
         }
@@ -431,6 +459,9 @@ impl Executor {
         policy: &ExecPolicy,
         rejections: &[(NodeId, String)],
     ) -> Result<ExecReport> {
+        // The whole-run slice starts now: planning, interning, and every
+        // wave all count against it.
+        let run_deadline = policy.run_budget.map(|b| Instant::now() + b);
         // Same pushdown rewrite as the fast path, with one extra guard:
         // a rejected filter must keep its load un-fused, since its
         // predicate never earned the right to run anywhere.
@@ -533,6 +564,7 @@ impl Executor {
                     &interned,
                     env,
                     policy,
+                    run_deadline,
                     &mut reports,
                     &mut unusable,
                 )?;
@@ -605,10 +637,25 @@ impl Executor {
         interned: &Interned,
         env: &mut Env,
         policy: &ExecPolicy,
+        run_deadline: Option<Instant>,
         reports: &mut HashMap<NodeId, NodeReport>,
         unusable: &mut HashSet<SubDagId>,
     ) -> Result<()> {
         let ids = &interned.ids;
+        // A node the expired run slice preempted before it started: a
+        // retryable timeout at zero attempts, so a later resume() call
+        // picks it up as the frontier without any retry budget spent.
+        let preempt = |nid: NodeId, skill: &str| {
+            NodeReport::new(
+                nid,
+                skill,
+                NodeOutcome::Failed(SkillError::Timeout {
+                    skill: skill.to_string(),
+                    budget_ms: policy.run_budget.unwrap_or_default().as_millis() as u64,
+                }),
+            )
+        };
+        let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
         let mut pure: Vec<NodeId> = Vec::new();
         for &nid in wave {
             let node = dag.node(nid)?;
@@ -616,21 +663,33 @@ impl Executor {
                 pure.push(nid);
                 continue;
             }
+            if expired(run_deadline) {
+                reports.insert(nid, preempt(nid, node.call.name()));
+                unusable.insert(ids[&nid]);
+                continue;
+            }
             let inputs = self.input_tables(node, ids);
             let hook = self.before_execute.clone();
             let token = env.cancel.clone();
             let tally_before = env.scan_tally;
-            let att = run_attempts(policy, nid, &node.call, Some(&token), |degraded| {
-                if let Some(h) = &hook {
-                    h(&node.call);
-                }
-                if degraded {
-                    degraded_load(&node.call, env, policy)
-                } else {
-                    let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
-                    execute_call(&node.call, &refs, env)
-                }
-            });
+            let att = run_attempts(
+                policy,
+                nid,
+                &node.call,
+                Some(&token),
+                run_deadline,
+                |degraded| {
+                    if let Some(h) = &hook {
+                        h(&node.call);
+                    }
+                    if degraded {
+                        degraded_load(&node.call, env, policy)
+                    } else {
+                        let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
+                        execute_call(&node.call, &refs, env)
+                    }
+                },
+            );
             let scan = env.scan_tally.delta_since(tally_before);
             self.commit_attempt(
                 dag,
@@ -640,6 +699,7 @@ impl Executor {
                 att,
                 scan.bytes_scanned + scan.bytes_pruned,
                 env.shared_cache.as_deref(),
+                env.attribution.as_deref(),
                 reports,
                 unusable,
             )?;
@@ -649,6 +709,17 @@ impl Executor {
             }
         }
 
+        // Pure nodes are gated on the slice as a batch: once dispatched
+        // they run to completion and commit (post-hoc node budgets aside),
+        // so an expired slice preempts only work that has not started.
+        if expired(run_deadline) {
+            for nid in pure {
+                let node = dag.node(nid)?;
+                reports.insert(nid, preempt(nid, node.call.name()));
+                unusable.insert(ids[&nid]);
+            }
+            return Ok(());
+        }
         let jobs: Vec<(NodeId, Vec<Arc<Table>>)> = pure
             .iter()
             .map(|&nid| (nid, self.input_tables(dag.node(nid).expect("checked"), ids)))
@@ -688,6 +759,7 @@ impl Executor {
                 att,
                 0,
                 env.shared_cache.as_deref(),
+                env.attribution.as_deref(),
                 reports,
                 unusable,
             )?;
@@ -710,6 +782,7 @@ impl Executor {
         att: AttemptOutcome,
         own_scan_bytes: u64,
         shared: Option<&MaterializedCache>,
+        who: Option<&str>,
         reports: &mut HashMap<NodeId, NodeReport>,
         unusable: &mut HashSet<SubDagId>,
     ) -> Result<()> {
@@ -730,6 +803,7 @@ impl Executor {
                     own_scan_bytes,
                     att.degraded,
                     shared,
+                    who,
                 );
             }
             Err(e) => {

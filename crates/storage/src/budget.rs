@@ -1,0 +1,234 @@
+//! Per-tenant scan-byte budgets: a token bucket denominated in the same
+//! bytes every [`crate::pricing::ScanReceipt`] charges.
+//!
+//! The serving layer fronts the catalog with one [`ByteBudget`] per
+//! tenant. Admission is **reservation-based**: before a job runs, the
+//! caller reserves an upper bound on the bytes its scans could charge
+//! (e.g. [`crate::block::BlockTable::total_bytes`] per staged load);
+//! after the job, [`ByteBudget::settle`] books the bytes the receipts
+//! actually charged and refunds the rest. Because every charge passes
+//! through a prior reservation and a reservation only succeeds when the
+//! bucket holds it, total charged bytes can never exceed total deposits
+//! (initial capacity + token-bucket refill) — the budget invariant the
+//! serve-layer proptests assert.
+//!
+//! The bucket refills continuously at `refill_bytes_per_sec`, capped at
+//! `capacity_bytes`. A failed reservation reports how long the caller
+//! should wait for enough tokens ([`ByteBudget::retry_after`]) so an
+//! over-budget request can be answered with a typed rejection instead of
+//! a panic or an unbounded stall.
+
+use std::time::{Duration, Instant};
+
+/// Sizing for one tenant's scan-byte token bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetConfig {
+    /// Bucket capacity: the largest burst of scan bytes the tenant can
+    /// spend at once (also the initial balance).
+    pub capacity_bytes: u64,
+    /// Continuous refill rate. 0 = a fixed, non-renewing allowance.
+    pub refill_bytes_per_sec: u64,
+}
+
+impl BudgetConfig {
+    /// A fixed allowance that never refills.
+    pub fn fixed(capacity_bytes: u64) -> BudgetConfig {
+        BudgetConfig {
+            capacity_bytes,
+            refill_bytes_per_sec: 0,
+        }
+    }
+}
+
+/// One tenant's scan-byte token bucket. Not internally synchronized —
+/// callers own the locking (the serve layer keeps one behind each
+/// tenant's queue lock).
+#[derive(Debug)]
+pub struct ByteBudget {
+    config: BudgetConfig,
+    /// Bytes currently reservable.
+    available: u64,
+    /// When the continuous refill was last folded into `available`.
+    last_refill: Instant,
+    /// Total bytes ever deposited (initial capacity + refills).
+    deposited: u64,
+    /// Total bytes settle() booked as actually charged.
+    charged: u64,
+}
+
+impl ByteBudget {
+    /// A full bucket.
+    pub fn new(config: BudgetConfig) -> ByteBudget {
+        ByteBudget {
+            config,
+            available: config.capacity_bytes,
+            last_refill: Instant::now(),
+            deposited: config.capacity_bytes,
+            charged: 0,
+        }
+    }
+
+    /// The bucket's sizing.
+    pub fn config(&self) -> BudgetConfig {
+        self.config
+    }
+
+    /// Fold elapsed refill into the balance. Advances `last_refill` only
+    /// by the time worth of whole bytes credited, so fractional tokens
+    /// are never dropped across calls.
+    fn refill(&mut self) {
+        if self.config.refill_bytes_per_sec == 0 {
+            return;
+        }
+        let elapsed = self.last_refill.elapsed();
+        let earned =
+            (elapsed.as_nanos() * self.config.refill_bytes_per_sec as u128 / 1_000_000_000) as u64;
+        if earned == 0 {
+            return;
+        }
+        let credited = earned.min(self.config.capacity_bytes.saturating_sub(self.available));
+        self.available += credited;
+        self.deposited += credited;
+        // Time corresponding to the earned tokens (credited or not —
+        // tokens beyond capacity are forfeited, not banked).
+        let consumed_ns = earned as u128 * 1_000_000_000 / self.config.refill_bytes_per_sec as u128;
+        self.last_refill += Duration::from_nanos(consumed_ns as u64);
+    }
+
+    /// Bytes currently reservable.
+    pub fn available(&mut self) -> u64 {
+        self.refill();
+        self.available
+    }
+
+    /// Reserve `bytes` ahead of execution. Returns whether the bucket
+    /// held them; a successful reservation debits the balance until
+    /// [`ByteBudget::settle`] books the actual charge.
+    pub fn try_reserve(&mut self, bytes: u64) -> bool {
+        self.refill();
+        if self.available >= bytes {
+            self.available -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Book the bytes a reserved job actually charged, refunding the
+    /// unused remainder of the reservation. When retries or resumed scans
+    /// pushed the actual charge past the reservation (possible only under
+    /// fault injection), the excess is debited from whatever balance
+    /// remains — the balance floors at zero, so total debits can still
+    /// never exceed total deposits.
+    pub fn settle(&mut self, reserved: u64, actual: u64) {
+        self.charged += actual;
+        if actual >= reserved {
+            self.available = self.available.saturating_sub(actual - reserved);
+        } else {
+            self.available = (self.available + (reserved - actual)).min(self.config.capacity_bytes);
+        }
+    }
+
+    /// How long until `bytes` could be reserved, for typed
+    /// budget-exhausted rejections. `None` when the request can never
+    /// succeed (larger than capacity with no refill, or no refill at
+    /// all while short).
+    pub fn retry_after(&mut self, bytes: u64) -> Option<Duration> {
+        self.refill();
+        if self.available >= bytes {
+            return Some(Duration::ZERO);
+        }
+        if bytes > self.config.capacity_bytes || self.config.refill_bytes_per_sec == 0 {
+            return None;
+        }
+        let missing = bytes - self.available;
+        let ns = missing as u128 * 1_000_000_000 / self.config.refill_bytes_per_sec as u128;
+        // Round up so a caller sleeping exactly this long finds the
+        // tokens there.
+        Some(Duration::from_nanos(ns as u64) + Duration::from_nanos(1))
+    }
+
+    /// Total bytes ever deposited (initial capacity + refill credits).
+    pub fn deposited(&self) -> u64 {
+        self.deposited
+    }
+
+    /// Total bytes ever booked as charged by [`ByteBudget::settle`].
+    pub fn charged(&self) -> u64 {
+        self.charged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_budget_reserve_and_settle() {
+        let mut b = ByteBudget::new(BudgetConfig::fixed(1000));
+        assert_eq!(b.available(), 1000);
+        assert!(b.try_reserve(600));
+        assert_eq!(b.available(), 400);
+        assert!(!b.try_reserve(600));
+        // Job actually charged 100 of the 600 reserved: 500 refunds.
+        b.settle(600, 100);
+        assert_eq!(b.available(), 900);
+        assert_eq!(b.charged(), 100);
+        assert_eq!(b.deposited(), 1000);
+    }
+
+    #[test]
+    fn charged_never_exceeds_deposits() {
+        let mut b = ByteBudget::new(BudgetConfig::fixed(100));
+        let mut charged_total = 0u64;
+        for want in [40u64, 40, 40, 40] {
+            if b.try_reserve(want) {
+                b.settle(want, want);
+                charged_total += want;
+            }
+        }
+        assert_eq!(charged_total, 80, "third and fourth reservations bounce");
+        assert!(b.charged() <= b.deposited());
+    }
+
+    #[test]
+    fn overdraft_floors_at_zero() {
+        let mut b = ByteBudget::new(BudgetConfig::fixed(100));
+        assert!(b.try_reserve(50));
+        // A retried scan charged double the reservation.
+        b.settle(50, 100);
+        assert_eq!(b.available(), 0);
+        // The balance floored instead of going negative.
+        assert!(!b.try_reserve(1));
+    }
+
+    #[test]
+    fn retry_after_reflects_refill_rate() {
+        let mut b = ByteBudget::new(BudgetConfig {
+            capacity_bytes: 1000,
+            refill_bytes_per_sec: 1000,
+        });
+        assert!(b.try_reserve(1000));
+        let wait = b.retry_after(500).expect("refill makes it reachable");
+        assert!(wait > Duration::from_millis(400), "{wait:?}");
+        assert!(wait < Duration::from_millis(700), "{wait:?}");
+        // Unreachable asks are typed as such, not as a huge wait.
+        assert_eq!(b.retry_after(2000), None);
+        let mut fixed = ByteBudget::new(BudgetConfig::fixed(100));
+        assert!(fixed.try_reserve(100));
+        assert_eq!(fixed.retry_after(10), None);
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = ByteBudget::new(BudgetConfig {
+            capacity_bytes: 500,
+            // Absurd rate so one test-time instant refills everything.
+            refill_bytes_per_sec: u32::MAX as u64,
+        });
+        assert!(b.try_reserve(500));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.available(), 500, "refill caps at capacity");
+        assert!(b.deposited() >= 1000);
+    }
+}

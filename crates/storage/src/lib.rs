@@ -14,6 +14,8 @@
 //! * [`fault`] — seeded deterministic fault injection (transient scan
 //!   failures, slow blocks, snapshot-write failures) plus cooperative
 //!   cancellation, feeding the resilient executor in `dc-skills`
+//! * [`budget`] — per-tenant scan-byte token buckets, denominated in
+//!   receipt bytes, that the serving layer meters admission against
 //!
 //! The central reproduction target: block-level sampling reads a fraction
 //! of blocks and therefore costs proportionally less, while row-level
@@ -21,6 +23,7 @@
 //! cloud path entirely.
 
 pub mod block;
+pub mod budget;
 pub mod catalog;
 pub mod demo;
 pub mod error;
@@ -29,6 +32,7 @@ pub mod pricing;
 pub mod snapshot;
 
 pub use block::{BlockTable, ScanOptions};
+pub use budget::{BudgetConfig, ByteBudget};
 pub use catalog::{Catalog, CloudDatabase, DatasetInfo, DEFAULT_BLOCK_ROWS};
 pub use error::{Result, StorageError};
 pub use fault::{

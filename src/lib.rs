@@ -11,6 +11,7 @@ pub use dc_engine as engine;
 pub use dc_gel as gel;
 pub use dc_ml as ml;
 pub use dc_nl as nl;
+pub use dc_serve as serve;
 pub use dc_skills as skills;
 pub use dc_spider as spider;
 pub use dc_sql as sql;

@@ -8,8 +8,10 @@
 //! enough to inspect).
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
+use std::time::Duration;
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(StdMutex<T>);
@@ -39,6 +41,67 @@ impl<T: ?Sized> Mutex<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Whether a timed wait returned because the timeout elapsed (mirrors
+/// `parking_lot::WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable with `parking_lot`'s in-place guard API: `wait`
+/// borrows the guard mutably instead of consuming it. Internally the
+/// std guard is moved out and back with `ptr::read`/`ptr::write`; the
+/// window between them performs no call that can unwind (poisoning is
+/// recovered, as everywhere in this stand-in), so the guard is never
+/// double-dropped.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let owned = self.0.wait(owned).unwrap_or_else(|p| p.into_inner());
+            std::ptr::write(guard, owned);
+        }
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let (owned, result) = match self.0.wait_timeout(owned, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    (g, r)
+                }
+            };
+            std::ptr::write(guard, owned);
+            WaitTimeoutResult(result.timed_out())
+        }
     }
 }
 
@@ -84,5 +147,36 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cond) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cond.wait(&mut ready);
+                }
+            })
+        };
+        {
+            let (lock, cond) = &*pair;
+            *lock.lock() = true;
+            cond.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cond = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cond.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 }
