@@ -14,13 +14,27 @@
 
 use std::collections::BTreeMap;
 
-use dc_engine::{DataType, Schema};
+use dc_engine::{ColumnStats, DataType, Schema};
 use dc_skills::Env;
+use dc_storage::BlockTable;
+
+/// Zone-map statistics for one stored block: the per-column stats the
+/// tri-state prune evaluator consumes, plus the block's payload bytes.
+/// Columns follow the table's schema order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockStats {
+    /// Rows stored in the block.
+    pub rows: u64,
+    /// Per-column payload bytes (shared dictionaries excluded).
+    pub data_bytes: Vec<u64>,
+    /// Per-column zone-map stats, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
 
 /// Storage-layer statistics for one catalog table, lifted from
 /// `dc-storage` block metadata. This is what the cost lints price scans
 /// with.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableStats {
     /// Rows stored.
     pub rows: usize,
@@ -33,6 +47,37 @@ pub struct TableStats {
     /// High cardinality (≈ row count) means the encoding buys nothing;
     /// the DC0203 lint flags it.
     pub dict_sizes: Vec<(String, usize)>,
+    /// Per-block zone-map detail, in block order. Empty when unknown
+    /// (builder-made contexts); the estimator then degrades to the
+    /// whole-table bound instead of pruning.
+    pub block_stats: Vec<BlockStats>,
+    /// Per-column shared-dictionary bytes, in schema order (zero for
+    /// non-dict columns). Empty when unknown.
+    pub dict_bytes: Vec<u64>,
+}
+
+impl TableStats {
+    /// Lift the full statistics of a stored [`BlockTable`] — whole-table
+    /// counters plus the per-block zone maps the estimator prices scans
+    /// with. Reads only metadata, never block payloads.
+    pub fn from_block_table(bt: &BlockTable) -> TableStats {
+        let cols = bt.column_names().len();
+        let block_stats = (0..bt.num_blocks())
+            .map(|bi| BlockStats {
+                rows: bt.block_rows(bi) as u64,
+                data_bytes: bt.block_data_bytes(bi).to_vec(),
+                columns: (0..cols).map(|ci| bt.column_stats(bi, ci)).collect(),
+            })
+            .collect();
+        TableStats {
+            rows: bt.num_rows(),
+            blocks: bt.num_blocks(),
+            bytes: bt.total_bytes(),
+            dict_sizes: bt.dict_sizes(),
+            block_stats,
+            dict_bytes: bt.dict_byte_sizes().to_vec(),
+        }
+    }
 }
 
 /// A registered model's statically known surface.
@@ -63,6 +108,12 @@ pub struct AnalysisContext {
     files: BTreeMap<String, Schema>,
     /// URL fixtures: URL → schema.
     urls: BTreeMap<String, Schema>,
+    /// The submitting tenant's remaining `ByteBudget`, when known. Gates
+    /// the DC0301 predicted-budget-exhaustion lint; `None` disables it.
+    remaining_budget: Option<u64>,
+    /// Capacity of the shared materialized cache, when known. Gates the
+    /// DC0303 uncacheable-result lint; `None` disables it.
+    cache_capacity: Option<u64>,
 }
 
 impl AnalysisContext {
@@ -83,12 +134,7 @@ impl AnalysisContext {
                 let Ok(bt) = db.table(table_name) else {
                     continue;
                 };
-                let stats = TableStats {
-                    rows: bt.num_rows(),
-                    blocks: bt.num_blocks(),
-                    bytes: bt.total_bytes(),
-                    dict_sizes: bt.dict_sizes(),
-                };
+                let stats = TableStats::from_block_table(bt);
                 ctx.add_table(db_name, table_name, bt.schema().clone(), stats);
             }
         }
@@ -121,7 +167,35 @@ impl AnalysisContext {
                 ctx.urls.insert(url.to_string(), t.schema().clone());
             }
         }
+        if let Some(cache) = &env.shared_cache {
+            ctx.cache_capacity = Some(cache.capacity_bytes());
+        }
         ctx
+    }
+
+    /// Declare how many budget bytes the submitting tenant has left.
+    /// Enables the DC0301 predicted-budget-exhaustion lint.
+    pub fn set_remaining_budget(&mut self, bytes: u64) -> &mut Self {
+        self.remaining_budget = Some(bytes);
+        self
+    }
+
+    /// Declare the shared materialized-cache capacity. Enables the
+    /// DC0303 uncacheable-result lint. (`from_env` fills this
+    /// automatically when the environment carries a shared cache.)
+    pub fn set_cache_capacity(&mut self, bytes: u64) -> &mut Self {
+        self.cache_capacity = Some(bytes);
+        self
+    }
+
+    /// The tenant's remaining budget bytes, when declared.
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.remaining_budget
+    }
+
+    /// The materialized-cache capacity, when known.
+    pub fn cache_capacity(&self) -> Option<u64> {
+        self.cache_capacity
     }
 
     /// Register a catalog table.
@@ -256,6 +330,20 @@ mod tests {
         assert_eq!(stats.blocks, 2);
         assert!(stats.bytes > 0);
         assert_eq!(stats.dict_sizes, vec![("region".to_string(), 2)]);
+        // Per-block zone detail rides along for the estimator.
+        assert_eq!(stats.block_stats.len(), 2);
+        assert_eq!(stats.block_stats[0].rows, 1);
+        assert_eq!(stats.block_stats[0].columns.len(), 2);
+        assert_eq!(stats.dict_bytes.len(), 2);
+        assert_eq!(
+            stats.bytes,
+            stats
+                .block_stats
+                .iter()
+                .flat_map(|b| &b.data_bytes)
+                .sum::<u64>()
+                + stats.dict_bytes.iter().sum::<u64>()
+        );
         // Exact-match mirrors the catalog; bare-name resolution is the
         // case-insensitive platform path.
         assert!(ctx.table("main", "SALES").is_none());

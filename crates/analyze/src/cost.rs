@@ -56,7 +56,14 @@ pub fn cost_pass(
 ) -> Vec<NodeCost> {
     let mut costs = Vec::new();
     for node in dag.nodes() {
-        if let SkillCall::LoadTable { database, table } = &node.call {
+        // Filtered loads are scans too: they carry the same full-scan
+        // worst case (an unselective predicate prunes nothing), so they
+        // get a NodeCost and the same lints as plain loads.
+        if let SkillCall::LoadTable { database, table }
+        | SkillCall::LoadTableFiltered {
+            database, table, ..
+        } = &node.call
+        {
             let Some((_, stats)) = ctx.table(database, table) else {
                 continue; // unknown table: the schema pass already errored
             };

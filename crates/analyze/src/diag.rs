@@ -38,9 +38,12 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// The numeric ranges group by pass: `DC00xx` schema/type/composition,
-/// `DC01xx` dataflow, `DC02xx` cost, `DC03xx` NL2Code streamlining,
-/// `DC04xx` GEL parsing. Codes are append-only — tooling (golden tests,
-/// the `analyze_corpus` gate) keys on them, so they never get renumbered.
+/// `DC01xx` dataflow, `DC02xx` cost, `DC03xx` cost/cardinality
+/// estimation, `DC04xx` GEL parsing, `DC05xx` NL2Code streamlining.
+/// Codes are append-only — tooling (golden tests, the `analyze_corpus`
+/// gate) keys on them. (Historical exception: the NL2Code pair shipped
+/// as `DC0301`/`DC0302` before any external tooling existed and moved to
+/// `DC05xx` when the estimation family claimed `DC03xx`.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `DC0001` — a dataset name resolves to nothing: not a DAG binding,
@@ -98,14 +101,29 @@ pub enum Code {
     /// reading the snapshot is fixed-cost while the re-derivation re-pays
     /// the scan bytes every run.
     SnapshotPrefixReload,
-    /// `DC0301` — the NL2Code checker removed a print statement.
-    RemovedPrint,
-    /// `DC0302` — the NL2Code checker removed an assignment whose target
-    /// is never used.
-    RemovedUnusedCode,
+    /// `DC0301` — the pipeline's *guaranteed-lower-bound* scan cost
+    /// already exceeds the tenant's remaining byte budget, so execution
+    /// is certain to be evicted mid-run with `BudgetExhausted`. Fires
+    /// preflight, before any scan is charged.
+    PredictedBudgetExhaustion,
+    /// `DC0302` — a join is statically guaranteed to explode: its output
+    /// cardinality lower bound is ≥ k× *both* inputs (an accidental
+    /// cross join — empty key list, or key columns that are constant on
+    /// both sides).
+    ExplosiveJoin,
+    /// `DC0303` — a node's estimated output footprint exceeds the
+    /// materialized cache's capacity, so its result can never be
+    /// admitted to the shared cache and every re-run re-pays the full
+    /// derivation.
+    UncacheableResult,
     /// `DC0401` — a GEL sentence failed to parse, or a recipe does not
     /// lower to a DAG.
     GelParse,
+    /// `DC0501` — the NL2Code checker removed a print statement.
+    RemovedPrint,
+    /// `DC0502` — the NL2Code checker removed an assignment whose target
+    /// is never used.
+    RemovedUnusedCode,
 }
 
 impl Code {
@@ -129,9 +147,12 @@ impl Code {
             Code::HighCardinalityDict => "DC0203",
             Code::UnprunablePredicate => "DC0204",
             Code::SnapshotPrefixReload => "DC0205",
-            Code::RemovedPrint => "DC0301",
-            Code::RemovedUnusedCode => "DC0302",
+            Code::PredictedBudgetExhaustion => "DC0301",
+            Code::ExplosiveJoin => "DC0302",
+            Code::UncacheableResult => "DC0303",
             Code::GelParse => "DC0401",
+            Code::RemovedPrint => "DC0501",
+            Code::RemovedUnusedCode => "DC0502",
         }
     }
 
@@ -155,9 +176,12 @@ impl Code {
             Code::HighCardinalityDict => "high-cardinality dictionary column",
             Code::UnprunablePredicate => "filter above a scan cannot be pushed down",
             Code::SnapshotPrefixReload => "re-derives a snapshot-materialized sub-DAG",
+            Code::PredictedBudgetExhaustion => "predicted budget exhaustion",
+            Code::ExplosiveJoin => "join output guaranteed to explode",
+            Code::UncacheableResult => "estimated result exceeds cache capacity",
+            Code::GelParse => "GEL parse error",
             Code::RemovedPrint => "removed print statement",
             Code::RemovedUnusedCode => "removed unused code",
-            Code::GelParse => "GEL parse error",
         }
     }
 
@@ -171,7 +195,9 @@ impl Code {
             | Code::FullScanCouldSnapshot
             | Code::HighCardinalityDict
             | Code::UnprunablePredicate
-            | Code::SnapshotPrefixReload => Severity::Warning,
+            | Code::SnapshotPrefixReload
+            | Code::ExplosiveJoin
+            | Code::UncacheableResult => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -196,9 +222,12 @@ impl Code {
             Code::HighCardinalityDict,
             Code::UnprunablePredicate,
             Code::SnapshotPrefixReload,
+            Code::PredictedBudgetExhaustion,
+            Code::ExplosiveJoin,
+            Code::UncacheableResult,
+            Code::GelParse,
             Code::RemovedPrint,
             Code::RemovedUnusedCode,
-            Code::GelParse,
         ]
     }
 }
@@ -394,6 +423,10 @@ mod tests {
         assert_eq!(Code::UnknownColumn.as_str(), "DC0002");
         assert_eq!(Code::DeadNode.as_str(), "DC0101");
         assert_eq!(Code::FullScanCouldSample.as_str(), "DC0201");
+        assert_eq!(Code::PredictedBudgetExhaustion.as_str(), "DC0301");
+        assert_eq!(Code::ExplosiveJoin.as_str(), "DC0302");
+        assert_eq!(Code::UncacheableResult.as_str(), "DC0303");
+        assert_eq!(Code::RemovedPrint.as_str(), "DC0501");
     }
 
     #[test]
@@ -419,6 +452,15 @@ mod tests {
     fn default_severities() {
         assert_eq!(Code::RemovedPrint.default_severity(), Severity::Fixed);
         assert_eq!(Code::DeadNode.default_severity(), Severity::Warning);
+        assert_eq!(Code::ExplosiveJoin.default_severity(), Severity::Warning);
+        assert_eq!(
+            Code::UncacheableResult.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            Code::PredictedBudgetExhaustion.default_severity(),
+            Severity::Error
+        );
         assert_eq!(Code::UnknownColumn.default_severity(), Severity::Error);
     }
 }

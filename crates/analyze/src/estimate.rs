@@ -1,0 +1,1210 @@
+//! Pass 4: static cost & cardinality estimation (the DC03xx family).
+//!
+//! Propagates **row-count intervals** and **scan-byte bounds** through
+//! the whole planned DAG, priced with the same per-block `ColumnStats`
+//! the storage scan prunes by. The pass mirrors the executor's plan
+//! exactly: predicate pushdown is applied first (so a filter directly
+//! above a load is priced as the fused `LoadTableFiltered` scan the
+//! executor actually runs), block verdicts come from the same tri-state
+//! evaluator `BlockTable::scan_with` consults, and totals are deduped by
+//! the executor's own structural sub-DAG ids (a repeated sub-DAG runs —
+//! and charges — once).
+//!
+//! ## Soundness contract
+//!
+//! Estimates are two-sided intervals with a *directional* guarantee,
+//! mirroring the schema pass ("anything modeled is checked exactly the
+//! way the interpreter does it; anything data-dependent degrades"):
+//!
+//! * `rows_hi` / `bytes_hi` are **upper bounds**: cold-cache, non-faulty
+//!   execution never produces more rows or charges more scan bytes than
+//!   estimated. Data-dependent cardinalities (joins, `RunSql`, `Pivot`
+//!   headers) degrade *up* — to the cross-product, or to "unknown".
+//! * `rows_lo` / `bytes_lo` are **guaranteed lower bounds** under the
+//!   same cold-cache assumption: a warm materialized cache (or a
+//!   degraded fault-injected scan) can only reduce the actual cost, so
+//!   the DC0301 budget lint — which fires on the lower bound — is
+//!   phrased as "executing this against storage must exhaust the
+//!   budget", never the other way around.
+//!
+//! Retried scans under fault injection charge per attempt and can exceed
+//! `bytes_hi`; the serve layer's budget settlement absorbs that overdraft
+//! (see DESIGN.md §12 for the full degradation table).
+
+use std::collections::{BTreeSet, HashMap};
+
+use dc_engine::expr::prune::{nnf, prune_predicate, Tri};
+use dc_engine::{ColumnStats, DataType, Expr, Schema, Value};
+use dc_skills::{plan_pushdown, structural_ids, NodeId, SkillCall, SkillDag};
+
+use crate::context::{AnalysisContext, TableStats};
+use crate::diag::{Code, Diagnostic, Fix, Span};
+
+/// DC0302 fires when a join's *guaranteed* output cardinality is at
+/// least this many times both inputs' upper bounds.
+pub const EXPLOSIVE_JOIN_FACTOR: u64 = 4;
+
+/// Statically derived bounds for one node of the planned DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEstimate {
+    pub node: NodeId,
+    /// Guaranteed minimum output rows (cold cache, no faults).
+    pub rows_lo: u64,
+    /// Maximum possible output rows; `None` = statically unknown
+    /// (data-dependent, e.g. `RunSql`).
+    pub rows_hi: Option<u64>,
+    /// Guaranteed scan bytes this node charges the §3 meter when it
+    /// executes against storage (zero for pure transforms).
+    pub bytes_lo: u64,
+    /// Upper bound on the node's scan charge.
+    pub bytes_hi: u64,
+    /// Heuristic output footprint in bytes (drives DC0303); `None` when
+    /// rows or schema are unknown.
+    pub out_bytes: Option<u64>,
+}
+
+/// The whole-DAG estimate: per-node bounds plus structurally deduped
+/// pipeline totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DagEstimates {
+    /// Estimates for every node reachable from the analysis targets, in
+    /// topological (id) order.
+    pub nodes: Vec<NodeEstimate>,
+    /// Guaranteed pipeline scan bytes, with each structural sub-DAG
+    /// priced once (the executor's cache runs duplicates once).
+    pub scan_bytes_lo: u64,
+    /// Upper bound on pipeline scan bytes, deduped the same way.
+    pub scan_bytes_hi: u64,
+}
+
+impl DagEstimates {
+    /// The estimate for one node, if it was reachable.
+    pub fn get(&self, node: NodeId) -> Option<&NodeEstimate> {
+        self.nodes.iter().find(|e| e.node == node)
+    }
+}
+
+/// Rows interval carried during propagation.
+#[derive(Debug, Clone, Copy)]
+struct RowBounds {
+    lo: u64,
+    hi: Option<u64>,
+}
+
+impl RowBounds {
+    fn exact(n: u64) -> RowBounds {
+        RowBounds { lo: n, hi: Some(n) }
+    }
+    fn unknown() -> RowBounds {
+        RowBounds { lo: 0, hi: None }
+    }
+    /// `[0, input_hi]` — a filter-shaped op with unknown selectivity.
+    fn filtered(self) -> RowBounds {
+        RowBounds { lo: 0, hi: self.hi }
+    }
+    fn capped(self, n: u64) -> RowBounds {
+        RowBounds {
+            lo: self.lo.min(n),
+            hi: Some(self.hi.map_or(n, |h| h.min(n))),
+        }
+    }
+}
+
+/// What a catalog scan will read and return, derived from per-block
+/// statistics with the same verdicts `BlockTable::scan_with` computes.
+#[derive(Debug, Clone, Copy)]
+struct ScanEstimate {
+    /// Bytes the scan charges. Exact when block detail is available
+    /// (pruning decisions are deterministic functions of stored stats):
+    /// `lo == hi`. Without detail, a filtered scan is `[0, full]`.
+    bytes_lo: u64,
+    bytes_hi: u64,
+    rows: RowBounds,
+}
+
+/// Price one catalog scan. Replicates `scan_with` exactly: a predicate
+/// naming any column absent from the schema is ignored wholesale; empty
+/// blocks count as pruned under a predicate; every scanned block pays
+/// all column payloads (loads never project), and each shared dictionary
+/// is paid once if any block is read.
+fn scan_estimate(schema: &Schema, stats: &TableStats, predicate: Option<&Expr>) -> ScanEstimate {
+    let predicate = predicate.filter(|p| {
+        let mut cols = Vec::new();
+        p.referenced_columns(&mut cols);
+        cols.iter().all(|c| schema.index_of(c).is_some())
+    });
+    let detail = !stats.block_stats.is_empty() && stats.block_stats.len() == stats.blocks && {
+        let cols = schema.fields().len();
+        stats
+            .block_stats
+            .iter()
+            .all(|b| b.columns.len() == cols && b.data_bytes.len() == cols)
+    };
+    match predicate {
+        // No (usable) predicate: the scan reads everything and filters
+        // nothing — exact on whole-table counters alone.
+        None => ScanEstimate {
+            bytes_lo: stats.bytes,
+            bytes_hi: stats.bytes,
+            rows: RowBounds::exact(stats.rows as u64),
+        },
+        Some(p) if detail => {
+            let mut bytes = 0u64;
+            let mut scanned = 0usize;
+            let mut rows_lo = 0u64;
+            let mut rows_hi = 0u64;
+            for block in &stats.block_stats {
+                let verdict = if block.rows == 0 {
+                    Tri::AllFalse
+                } else {
+                    let lookup =
+                        |name: &str| schema.index_of(name).map(|ci| block.columns[ci].clone());
+                    prune_predicate(p, &lookup)
+                };
+                match verdict {
+                    Tri::AllFalse => {}
+                    Tri::AllTrue => {
+                        scanned += 1;
+                        bytes += block.data_bytes.iter().sum::<u64>();
+                        rows_lo += block.rows;
+                        rows_hi += block.rows;
+                    }
+                    Tri::Unknown => {
+                        scanned += 1;
+                        bytes += block.data_bytes.iter().sum::<u64>();
+                        rows_hi += block.rows;
+                    }
+                }
+            }
+            if scanned > 0 {
+                bytes += stats.dict_bytes.iter().sum::<u64>();
+            }
+            ScanEstimate {
+                bytes_lo: bytes,
+                bytes_hi: bytes,
+                rows: RowBounds {
+                    lo: rows_lo,
+                    hi: Some(rows_hi),
+                },
+            }
+        }
+        // Predicate but no block detail (builder-made context): degrade
+        // to the conservative two-sided bound — the scan may prune
+        // everything or nothing.
+        Some(_) => ScanEstimate {
+            bytes_lo: 0,
+            bytes_hi: stats.bytes,
+            rows: RowBounds {
+                lo: 0,
+                hi: Some(stats.rows as u64),
+            },
+        },
+    }
+}
+
+/// Fold per-block stats into one whole-table [`ColumnStats`] for `col`,
+/// when block detail is available.
+fn table_column_stats(schema: &Schema, stats: &TableStats, col: &str) -> Option<ColumnStats> {
+    let ci = schema.index_of(col)?;
+    let mut blocks = stats
+        .block_stats
+        .iter()
+        .filter(|b| b.columns.len() > ci && b.rows > 0);
+    let first = blocks.next()?.columns[ci].clone();
+    let mut folded = first;
+    for b in blocks {
+        let s = &b.columns[ci];
+        folded.null_count += s.null_count;
+        folded.row_count += s.row_count;
+        folded.min = match (folded.min.take(), s.min.clone()) {
+            (Some(a), Some(b)) => Some(
+                if a.partial_cmp_sql(&b) == Some(std::cmp::Ordering::Greater) {
+                    b
+                } else {
+                    a
+                },
+            ),
+            _ => None,
+        };
+        folded.max = match (folded.max.take(), s.max.clone()) {
+            (Some(a), Some(b)) => {
+                Some(if a.partial_cmp_sql(&b) == Some(std::cmp::Ordering::Less) {
+                    b
+                } else {
+                    a
+                })
+            }
+            _ => None,
+        };
+    }
+    Some(folded)
+}
+
+/// Upper bound on the number of distinct values (including a null
+/// group) a grouping key can take, from dictionary cardinality or
+/// zone-map ranges. `None` = unbounded by statistics.
+fn key_cardinality(schema: &Schema, stats: &TableStats, col: &str) -> Option<u64> {
+    let null_group = |s: &ColumnStats| u64::from(s.null_count > 0);
+    // Dictionary columns: the table-wide dictionary bounds distinct
+    // values no matter how the rows were filtered downstream.
+    if let Some(&(_, len)) = stats
+        .dict_sizes
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case(col))
+    {
+        let nulls = table_column_stats(schema, stats, col).map_or(1, |s| null_group(&s));
+        return Some(len as u64 + nulls);
+    }
+    let s = table_column_stats(schema, stats, col)?;
+    match s.dtype {
+        DataType::Bool => Some(2 + null_group(&s)),
+        DataType::Int | DataType::Date => match (&s.min, &s.max) {
+            (Some(Value::Int(lo)), Some(Value::Int(hi))) => {
+                Some((hi - lo).unsigned_abs().saturating_add(1) + null_group(&s))
+            }
+            (Some(Value::Date(lo)), Some(Value::Date(hi))) => Some(
+                (i64::from(*hi) - i64::from(*lo))
+                    .unsigned_abs()
+                    .saturating_add(1)
+                    + null_group(&s),
+            ),
+            _ => None,
+        },
+        _ => {
+            // A provably constant column has exactly one distinct value.
+            match (&s.min, &s.max) {
+                (Some(a), Some(b)) if a.partial_cmp_sql(b) == Some(std::cmp::Ordering::Equal) => {
+                    Some(1 + null_group(&s))
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Whether `col` provably holds one single non-null value across the
+/// whole table (the degenerate join key that turns a join into a cross
+/// product), and that value.
+fn constant_key(schema: &Schema, stats: &TableStats, col: &str) -> Option<Value> {
+    let s = table_column_stats(schema, stats, col)?;
+    if s.null_count > 0 {
+        return None;
+    }
+    match (&s.min, &s.max) {
+        (Some(a), Some(b)) if a.partial_cmp_sql(b) == Some(std::cmp::Ordering::Equal) => {
+            Some(a.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Heuristic bytes-per-row of a schema, mirroring `Column::byte_size`'s
+/// per-dtype costs (validity bitmap amortized in; strings priced at the
+/// 24-byte header plus a nominal 8-byte payload).
+fn row_width(schema: &Schema) -> u64 {
+    let w: u64 = schema
+        .fields()
+        .iter()
+        .map(|f| match f.dtype {
+            DataType::Bool => 2u64,
+            DataType::Int | DataType::Float => 9,
+            DataType::Date => 5,
+            DataType::Str => 32,
+        })
+        .sum();
+    w.max(1)
+}
+
+/// The `(schema, stats)` of a load node's table, when known.
+fn load_table<'a>(ctx: &'a AnalysisContext, call: &SkillCall) -> Option<&'a (Schema, TableStats)> {
+    match call {
+        SkillCall::LoadTable { database, table }
+        | SkillCall::LoadTableFiltered {
+            database, table, ..
+        } => ctx.table(database, table),
+        _ => None,
+    }
+}
+
+/// The load predicate already fused into a node's scan, if any.
+fn load_predicate(call: &SkillCall) -> Option<&Expr> {
+    match call {
+        SkillCall::LoadTableFiltered { predicate, .. } => Some(predicate),
+        _ => None,
+    }
+}
+
+/// Refine a filter node's row bounds when its input is a catalog scan
+/// with block detail: evaluate the filter's keep-condition per block with
+/// the same tri-state verdicts the scan uses.
+fn filter_over_scan(
+    keep: &Expr,
+    schema: &Schema,
+    stats: &TableStats,
+    scan_pred: Option<&Expr>,
+) -> Option<RowBounds> {
+    if stats.block_stats.is_empty() || stats.block_stats.len() != stats.blocks {
+        return None;
+    }
+    let cols = schema.fields().len();
+    if !stats.block_stats.iter().all(|b| b.columns.len() == cols) {
+        return None;
+    }
+    // The scan ignores a predicate naming unknown columns; mirror that.
+    let scan_pred = scan_pred.filter(|p| {
+        let mut c = Vec::new();
+        p.referenced_columns(&mut c);
+        c.iter().all(|c| schema.index_of(c).is_some())
+    });
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for block in &stats.block_stats {
+        if block.rows == 0 {
+            continue;
+        }
+        let lookup = |name: &str| schema.index_of(name).map(|ci| block.columns[ci].clone());
+        let scan_v = match scan_pred {
+            Some(p) => prune_predicate(p, &lookup),
+            None => Tri::AllTrue,
+        };
+        if scan_pred.is_some() && scan_v == Tri::AllFalse {
+            continue; // block never reaches the filter
+        }
+        let filter_v = prune_predicate(keep, &lookup);
+        match filter_v {
+            Tri::AllFalse => {}
+            Tri::AllTrue => {
+                hi += block.rows;
+                // Every block row reaches the filter only when the scan
+                // provably kept them all.
+                if scan_v == Tri::AllTrue {
+                    lo += block.rows;
+                }
+            }
+            Tri::Unknown => hi += block.rows,
+        }
+    }
+    Some(RowBounds { lo, hi: Some(hi) })
+}
+
+/// Run the estimation pass over the planned DAG and emit the DC03xx
+/// lints. `schemas` is the schema pass's per-node result (used for the
+/// footprint model); `targets` scope reachability (empty = whole DAG).
+pub fn estimate_pass(
+    dag: &SkillDag,
+    targets: &[NodeId],
+    ctx: &AnalysisContext,
+    schemas: &HashMap<NodeId, Option<Schema>>,
+    diags: &mut Vec<Diagnostic>,
+) -> DagEstimates {
+    // Price the plan the executor actually runs: filters fused into
+    // scans exactly as `run_resilient` will fuse them.
+    let planned = plan_pushdown(dag, targets, &[]);
+    let dag = planned.as_ref().unwrap_or(dag);
+
+    // Reachability: union of the targets' ancestor chains (node ids are
+    // topological — inputs always precede consumers).
+    let reachable: BTreeSet<NodeId> = if targets.is_empty() {
+        dag.nodes().iter().map(|n| n.id).collect()
+    } else {
+        let mut set = BTreeSet::new();
+        for &t in targets {
+            if let Ok(order) = dag.ancestors(t) {
+                set.extend(order);
+            }
+        }
+        set
+    };
+
+    let mut rows: HashMap<NodeId, RowBounds> = HashMap::new();
+    let mut estimates: Vec<NodeEstimate> = Vec::new();
+    for node in dag.nodes() {
+        if !reachable.contains(&node.id) {
+            continue;
+        }
+        let input = node.inputs.first().and_then(|i| rows.get(i)).copied();
+        let second = node.inputs.get(1).and_then(|i| rows.get(i)).copied();
+        let in_rows = input.unwrap_or_else(RowBounds::unknown);
+        let other_rows = second.unwrap_or_else(RowBounds::unknown);
+
+        let mut bytes_lo = 0u64;
+        let mut bytes_hi = 0u64;
+        let mut out_bytes_override: Option<u64> = None;
+        let bounds = match &node.call {
+            SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. } => {
+                match load_table(ctx, &node.call) {
+                    Some((schema, stats)) => {
+                        let est = scan_estimate(schema, stats, load_predicate(&node.call));
+                        bytes_lo = est.bytes_lo;
+                        bytes_hi = est.bytes_hi;
+                        // Loads re-emit stored rows: scale the stored
+                        // footprint instead of the width model.
+                        if stats.rows > 0 {
+                            out_bytes_override = est.rows.hi.map(|h| {
+                                (stats.bytes as u128 * u128::from(h) / stats.rows as u128) as u64
+                            });
+                        }
+                        est.rows
+                    }
+                    None => RowBounds::unknown(),
+                }
+            }
+            // A bound `UseDataset` re-reads its producer; unbound falls
+            // through to the environment (unknown to the analyzer).
+            SkillCall::UseDataset { .. } => {
+                if node.inputs.is_empty() {
+                    RowBounds::unknown()
+                } else {
+                    in_rows
+                }
+            }
+            SkillCall::UseSnapshot { .. }
+            | SkillCall::LoadFile { .. }
+            | SkillCall::LoadUrl { .. }
+            | SkillCall::RunSql { .. }
+            | SkillCall::ListDatasets => RowBounds::unknown(),
+
+            SkillCall::KeepRows { predicate } | SkillCall::DropRows { predicate } => {
+                let keep = match &node.call {
+                    SkillCall::KeepRows { .. } => predicate.clone(),
+                    _ => nnf(predicate.clone().not()),
+                };
+                let refined = node
+                    .inputs
+                    .first()
+                    .and_then(|&i| dag.node(i).ok())
+                    .and_then(|load| {
+                        let (schema, stats) = load_table(ctx, &load.call)?;
+                        filter_over_scan(&keep, schema, stats, load_predicate(&load.call))
+                    });
+                refined.unwrap_or_else(|| in_rows.filtered())
+            }
+            SkillCall::DropMissing { .. } => in_rows.filtered(),
+
+            // Row-preserving transforms.
+            SkillCall::KeepColumns { .. }
+            | SkillCall::DropColumns { .. }
+            | SkillCall::RenameColumn { .. }
+            | SkillCall::CreateColumn { .. }
+            | SkillCall::CreateConstantColumn { .. }
+            | SkillCall::Sort { .. }
+            | SkillCall::FillMissing { .. }
+            | SkillCall::ReplaceValues { .. }
+            | SkillCall::CastColumn { .. }
+            | SkillCall::BinColumn { .. }
+            | SkillCall::ExtractDatePart { .. }
+            | SkillCall::TrimColumn { .. }
+            | SkillCall::ShuffleRows { .. }
+            | SkillCall::Predict { .. }
+            | SkillCall::Cluster { .. } => in_rows,
+
+            SkillCall::Limit { n } | SkillCall::Top { n, .. } => in_rows.capped(*n as u64),
+            SkillCall::Sample { .. } => in_rows.filtered(),
+            SkillCall::DetectOutliers { .. } => in_rows.filtered(),
+
+            SkillCall::Compute { for_each, .. } => {
+                if for_each.is_empty() {
+                    // A global aggregate yields exactly one row (zero
+                    // only if the aggregation itself fails).
+                    RowBounds { lo: 0, hi: Some(1) }
+                } else {
+                    let card = group_cardinality(dag, ctx, node.inputs.first(), for_each);
+                    let hi = match (in_rows.hi, card) {
+                        (Some(r), Some(c)) => Some(r.min(c)),
+                        (Some(r), None) => Some(r),
+                        (None, Some(c)) => Some(c),
+                        (None, None) => None,
+                    };
+                    RowBounds {
+                        lo: u64::from(in_rows.lo > 0).min(1),
+                        hi,
+                    }
+                }
+            }
+            SkillCall::Pivot { index, .. } => {
+                let card =
+                    group_cardinality(dag, ctx, node.inputs.first(), std::slice::from_ref(index));
+                let hi = match (in_rows.hi, card) {
+                    (Some(r), Some(c)) => Some(r.min(c)),
+                    (Some(r), None) => Some(r),
+                    (None, Some(c)) => Some(c),
+                    (None, None) => None,
+                };
+                RowBounds { lo: 0, hi }
+            }
+            SkillCall::Distinct { columns } => {
+                let card = if columns.is_empty() {
+                    None
+                } else {
+                    group_cardinality(dag, ctx, node.inputs.first(), columns)
+                };
+                let hi = match (in_rows.hi, card) {
+                    (Some(r), Some(c)) => Some(r.min(c)),
+                    (Some(r), None) => Some(r),
+                    (None, Some(c)) => Some(c),
+                    (None, None) => None,
+                };
+                RowBounds {
+                    lo: in_rows.lo.min(1),
+                    hi,
+                }
+            }
+            SkillCall::Concat {
+                remove_duplicates, ..
+            } => {
+                let lo = in_rows.lo.saturating_add(other_rows.lo);
+                RowBounds {
+                    lo: if *remove_duplicates { lo.min(1) } else { lo },
+                    hi: match (in_rows.hi, other_rows.hi) {
+                        (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                        _ => None,
+                    },
+                }
+            }
+            SkillCall::Join { left_on, how, .. } => {
+                let est = join_bounds(dag, ctx, node, in_rows, other_rows, left_on, how);
+                // DC0302: the blow-up is *guaranteed* (lower bound ≥ k×
+                // both inputs' upper bounds), i.e. an accidental cross
+                // join, not a skew possibility.
+                if let (Some(lh), Some(rh)) = (in_rows.hi, other_rows.hi) {
+                    let k = EXPLOSIVE_JOIN_FACTOR;
+                    if est.lo > 0
+                        && est.lo >= lh.saturating_mul(k)
+                        && est.lo >= rh.saturating_mul(k)
+                    {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::ExplosiveJoin,
+                                format!(
+                                    "join output is guaranteed to reach {} rows — at least \
+                                     {k}× both inputs (≤{lh} and ≤{rh} rows); the join keys \
+                                     do not discriminate (empty or constant on both sides), \
+                                     so this is effectively a cross join",
+                                    est.lo
+                                ),
+                            )
+                            .with_span(Span::node(node.id, node.call.name()))
+                            .with_fix(Fix::new(
+                                "join on a key that actually distinguishes rows, or filter \
+                                 both sides before joining",
+                            )),
+                        );
+                    }
+                }
+                est
+            }
+            SkillCall::PredictTimeSeries { horizon, .. } => RowBounds {
+                lo: in_rows.lo,
+                hi: in_rows.hi.map(|h| h.saturating_add(*horizon as u64)),
+            },
+            SkillCall::TrainModel { .. } => RowBounds::unknown(),
+
+            // Non-transforming skills pass their input through.
+            c if !c.transforms_data() => in_rows,
+            // Anything else: degrade to fully unknown rather than guess.
+            _ => RowBounds::unknown(),
+        };
+
+        let out_bytes = out_bytes_override.or_else(|| {
+            let schema = schemas.get(&node.id).and_then(|s| s.as_ref())?;
+            bounds.hi.map(|h| h.saturating_mul(row_width(schema)))
+        });
+        rows.insert(node.id, bounds);
+        estimates.push(NodeEstimate {
+            node: node.id,
+            rows_lo: bounds.lo,
+            rows_hi: bounds.hi,
+            bytes_lo,
+            bytes_hi,
+            out_bytes,
+        });
+    }
+
+    // Pipeline totals, priced once per structural sub-DAG — the
+    // executor's cache (and the cross-session materialized cache) runs
+    // each unique sub-DAG at most once per session.
+    let sids = structural_ids(dag);
+    let mut priced: BTreeSet<u64> = BTreeSet::new();
+    let mut scan_bytes_lo = 0u64;
+    let mut scan_bytes_hi = 0u64;
+    for est in &estimates {
+        let fresh = match sids.get(&est.node) {
+            Some(&sid) => priced.insert(sid),
+            None => true,
+        };
+        if fresh {
+            scan_bytes_lo = scan_bytes_lo.saturating_add(est.bytes_lo);
+            scan_bytes_hi = scan_bytes_hi.saturating_add(est.bytes_hi);
+        }
+    }
+
+    // DC0301: even the guaranteed-lower-bound cost exceeds the tenant's
+    // remaining byte budget — execution *must* be evicted mid-run, so
+    // reject preflight, before any scan is charged.
+    if let Some(budget) = ctx.remaining_budget() {
+        if scan_bytes_lo > budget {
+            let worst = estimates
+                .iter()
+                .filter(|e| e.bytes_lo > 0)
+                .max_by_key(|e| e.bytes_lo);
+            let span = worst
+                .and_then(|e| dag.node(e.node).ok().map(|n| (e.node, n.call.name())))
+                .map(|(id, name)| Span::node(id, name))
+                .unwrap_or_else(Span::none);
+            diags.push(
+                Diagnostic::new(
+                    Code::PredictedBudgetExhaustion,
+                    format!(
+                        "this pipeline is guaranteed to scan at least {scan_bytes_lo} \
+                         bytes, but the tenant's remaining byte budget is {budget}; \
+                         execution would be evicted mid-run with BudgetExhausted"
+                    ),
+                )
+                .with_span(span)
+                .with_fix(Fix::new(
+                    "filter or sample the scans to fit the budget, read a snapshot, \
+                     or wait for the budget to refill",
+                )),
+            );
+        }
+    }
+
+    // DC0303: the node's estimated output can never be admitted to the
+    // shared materialized cache (residency double-counts the table), so
+    // the sub-DAG is re-derived on every run. Reported once at the node
+    // that first crosses the capacity line.
+    if let Some(capacity) = ctx.cache_capacity() {
+        let exceeds = |id: NodeId| {
+            estimates
+                .iter()
+                .find(|e| e.node == id)
+                .and_then(|e| e.out_bytes)
+                .is_some_and(|b| b.saturating_mul(2) > capacity)
+        };
+        for est in &estimates {
+            let Some(out) = est.out_bytes else { continue };
+            if out.saturating_mul(2) <= capacity {
+                continue;
+            }
+            let Ok(node) = dag.node(est.node) else {
+                continue;
+            };
+            if !node.call.transforms_data() || node.inputs.iter().any(|&i| exceeds(i)) {
+                continue; // pass-throughs and already-flagged lineage
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::UncacheableResult,
+                    format!(
+                        "estimated output footprint (~{out} bytes, doubled for cache \
+                         residency) exceeds the materialized cache capacity \
+                         ({capacity} bytes); this result can never be shared and \
+                         every re-run re-pays the full derivation"
+                    ),
+                )
+                .with_span(Span::node(est.node, node.call.name()))
+                .with_fix(Fix::new(
+                    "reduce the result (filter, aggregate, or project) before the \
+                     expensive step, or snapshot it instead of relying on the cache",
+                )),
+            );
+        }
+    }
+
+    DagEstimates {
+        nodes: estimates,
+        scan_bytes_lo,
+        scan_bytes_hi,
+    }
+}
+
+/// Upper bound on the distinct combinations of `keys`, traced to the
+/// nearest upstream catalog scan through value-preserving operators.
+fn group_cardinality(
+    dag: &SkillDag,
+    ctx: &AnalysisContext,
+    input: Option<&NodeId>,
+    keys: &[String],
+) -> Option<u64> {
+    let (schema, stats) = source_table(dag, ctx, *input?)?;
+    let mut product = 1u64;
+    for key in keys {
+        let card = key_cardinality(schema, stats, key)?;
+        product = product.saturating_mul(card.max(1));
+    }
+    Some(product)
+}
+
+/// Walk up a single-input chain of operators that cannot introduce new
+/// values into existing columns (filters, sorts, caps, projections,
+/// samples, non-transforms) until a catalog scan is found.
+fn source_table<'a>(
+    dag: &SkillDag,
+    ctx: &'a AnalysisContext,
+    mut node: NodeId,
+) -> Option<&'a (Schema, TableStats)> {
+    for _ in 0..dag.nodes().len() {
+        let n = dag.node(node).ok()?;
+        if let Some(found) = load_table(ctx, &n.call) {
+            return Some(found);
+        }
+        let safe = matches!(
+            n.call,
+            SkillCall::KeepRows { .. }
+                | SkillCall::DropRows { .. }
+                | SkillCall::DropMissing { .. }
+                | SkillCall::KeepColumns { .. }
+                | SkillCall::DropColumns { .. }
+                | SkillCall::Sort { .. }
+                | SkillCall::Limit { .. }
+                | SkillCall::Top { .. }
+                | SkillCall::Sample { .. }
+                | SkillCall::ShuffleRows { .. }
+                | SkillCall::Distinct { .. }
+        ) || !n.call.transforms_data();
+        if !safe {
+            return None;
+        }
+        node = *n.inputs.first()?;
+    }
+    None
+}
+
+/// Output-cardinality interval of a join, degrading to the
+/// cross-product upper bound whenever statistics cannot do better.
+fn join_bounds(
+    dag: &SkillDag,
+    ctx: &AnalysisContext,
+    node: &dc_skills::SkillNode,
+    left: RowBounds,
+    right: RowBounds,
+    left_on: &[String],
+    how: &dc_engine::JoinType,
+) -> RowBounds {
+    use dc_engine::JoinType;
+    let hi = match (left.hi, right.hi) {
+        (Some(l), Some(r)) => Some(l.saturating_mul(r)),
+        _ => None,
+    };
+    // A join degenerates to a cross product when it has no keys, or when
+    // every key column provably holds one identical constant on both
+    // sides — then every left row matches every right row.
+    let cross = left_on.is_empty() || {
+        let keys = join_key_constants(dag, ctx, node);
+        keys.is_some_and(|pairs| {
+            !pairs.is_empty()
+                && pairs
+                    .iter()
+                    .all(|(l, r)| l.partial_cmp_sql(r) == Some(std::cmp::Ordering::Equal))
+        })
+    };
+    let lo = if cross {
+        left.lo.saturating_mul(right.lo)
+    } else {
+        match how {
+            JoinType::Inner => 0,
+            JoinType::Left => left.lo,
+            JoinType::Right => right.lo,
+            JoinType::Full => left.lo.max(right.lo),
+        }
+    };
+    RowBounds { lo, hi }
+}
+
+/// When both join inputs are catalog scans with block detail, the
+/// provably constant value of every key pair (`None` if any key is not
+/// provably constant on either side).
+fn join_key_constants(
+    dag: &SkillDag,
+    ctx: &AnalysisContext,
+    node: &dc_skills::SkillNode,
+) -> Option<Vec<(Value, Value)>> {
+    let SkillCall::Join {
+        left_on, right_on, ..
+    } = &node.call
+    else {
+        return None;
+    };
+    let &[li, ri] = &node.inputs[..] else {
+        return None;
+    };
+    let (ls, lstats) = load_table(ctx, &dag.node(li).ok()?.call)?;
+    let (rs, rstats) = load_table(ctx, &dag.node(ri).ok()?.call)?;
+    left_on
+        .iter()
+        .zip(right_on)
+        .map(|(l, r)| Some((constant_key(ls, lstats, l)?, constant_key(rs, rstats, r)?)))
+        .collect()
+}
+
+/// Per-step admission estimates for a linear chat program (`dc-serve`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepEstimates {
+    /// Scan-byte upper bound per step (zero for non-scanning steps).
+    pub per_step: Vec<u64>,
+    /// Total reservation: per-step bounds deduped by load identity, the
+    /// same dedup the executor's structural cache applies (a program
+    /// loading one table twice scans it once).
+    pub reserve: u64,
+}
+
+/// Price a serve request's steps directly against the live environment,
+/// reading only block *metadata* (free under the §3 meter). The steps
+/// are priced as submitted — run them through
+/// `dc_skills::pushdown::plan_linear_pushdown` first to price the fused
+/// plan the service will execute.
+pub fn estimate_steps(env: &dc_skills::Env, steps: &[SkillCall]) -> StepEstimates {
+    let mut cache: HashMap<(String, String), Option<(Schema, TableStats)>> = HashMap::new();
+    let mut priced: BTreeSet<String> = BTreeSet::new();
+    let mut per_step = Vec::with_capacity(steps.len());
+    let mut reserve = 0u64;
+    for step in steps {
+        let (database, table) = match step {
+            SkillCall::LoadTable { database, table }
+            | SkillCall::LoadTableFiltered {
+                database, table, ..
+            } => (database.clone(), table.clone()),
+            _ => {
+                per_step.push(0);
+                continue;
+            }
+        };
+        let entry = cache
+            .entry((database.clone(), table.clone()))
+            .or_insert_with(|| {
+                env.catalog
+                    .database(&database)
+                    .ok()
+                    .and_then(|db| db.table(&table).ok())
+                    .map(|bt| (bt.schema().clone(), TableStats::from_block_table(bt)))
+            });
+        let bytes = match entry {
+            Some((schema, stats)) => scan_estimate(schema, stats, load_predicate(step)).bytes_hi,
+            None => 0, // unknown table: the step will fail before scanning
+        };
+        per_step.push(bytes);
+        // Structural identity of a zero-input load is its call; identical
+        // loads hit the session cache and charge once.
+        if priced.insert(step.cache_key()) {
+            reserve = reserve.saturating_add(bytes);
+        }
+    }
+    StepEstimates { per_step, reserve }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_dag;
+    use dc_engine::Field;
+    use dc_storage::BlockTable;
+
+    /// A table whose `day` column is monotone (0,0,1,1,2,2,...), split
+    /// into 2-row blocks so zone maps genuinely prune.
+    fn clustered_table(rows: usize) -> (Schema, TableStats) {
+        let mut csv = String::from("day,label\n");
+        for i in 0..rows {
+            csv.push_str(&format!("{},r{}\n", i / 2, i % 3));
+        }
+        let t = dc_engine::csv::read_csv(&csv).unwrap().encode_strings();
+        let bt = BlockTable::new(&t, 2).unwrap();
+        (bt.schema().clone(), TableStats::from_block_table(&bt))
+    }
+
+    fn ctx_with(rows: usize) -> AnalysisContext {
+        let (schema, stats) = clustered_table(rows);
+        let mut ctx = AnalysisContext::new();
+        ctx.add_table("db", "history", schema, stats);
+        ctx
+    }
+
+    fn load() -> SkillCall {
+        SkillCall::LoadTable {
+            database: "db".into(),
+            table: "history".into(),
+        }
+    }
+
+    #[test]
+    fn filtered_scan_prunes_blocks_statically() {
+        let ctx = ctx_with(20);
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let f = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("day").ge(Expr::lit(8i64)),
+                },
+                vec![l],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[f], &ctx);
+        let full = ctx.table("db", "history").unwrap().1.bytes;
+        let scan = a.estimates.get(l).unwrap();
+        // Blocks with day < 8 are pruned: the bound is far below full
+        // scan but still nonzero (tail blocks + dictionary).
+        assert!(
+            scan.bytes_hi > 0 && scan.bytes_hi < full,
+            "{scan:?} vs {full}"
+        );
+        assert_eq!(scan.bytes_lo, scan.bytes_hi);
+        // day ∈ [8, 9] → exactly 4 rows, and the pruned blocks make the
+        // bound tight: rows_lo = rows_hi = 4 (every kept block is AllTrue).
+        assert_eq!(a.estimates.get(f).unwrap().rows_hi, Some(4));
+        assert_eq!(a.estimates.get(f).unwrap().rows_lo, 4);
+    }
+
+    #[test]
+    fn unfiltered_load_is_exact() {
+        let ctx = ctx_with(10);
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let a = analyze_dag(&dag, &[l], &ctx);
+        let stats = &ctx.table("db", "history").unwrap().1;
+        let e = a.estimates.get(l).unwrap();
+        assert_eq!(e.bytes_lo, stats.bytes);
+        assert_eq!(e.bytes_hi, stats.bytes);
+        assert_eq!(e.rows_hi, Some(stats.rows as u64));
+        assert_eq!(e.rows_lo, stats.rows as u64);
+    }
+
+    #[test]
+    fn duplicate_loads_priced_once() {
+        let ctx = ctx_with(10);
+        let mut dag = SkillDag::new();
+        let a1 = dag.add(load(), vec![]).unwrap();
+        let a2 = dag.add(load(), vec![]).unwrap();
+        let c = dag
+            .add(
+                SkillCall::Concat {
+                    other: "x".into(),
+                    remove_duplicates: false,
+                },
+                vec![a1, a2],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[c], &ctx);
+        let full = ctx.table("db", "history").unwrap().1.bytes;
+        assert_eq!(a.estimates.scan_bytes_hi, full, "structural dedup");
+        // Concat output doubles the rows.
+        assert_eq!(a.estimates.get(c).unwrap().rows_hi, Some(20));
+    }
+
+    #[test]
+    fn group_by_bounded_by_dictionary_cardinality() {
+        let ctx = ctx_with(60); // label has 3 distinct values
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let g = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec::count_records("n")],
+                    for_each: vec!["label".into()],
+                },
+                vec![l],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[g], &ctx);
+        assert_eq!(a.estimates.get(g).unwrap().rows_hi, Some(3));
+    }
+
+    #[test]
+    fn budget_lint_fires_on_guaranteed_overrun() {
+        let mut ctx = ctx_with(20);
+        ctx.set_remaining_budget(1); // far below any full scan
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let a = analyze_dag(&dag, &[l], &ctx);
+        let hits = a.with_code(Code::PredictedBudgetExhaustion);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_error());
+        assert_eq!(hits[0].span.node, Some(l));
+    }
+
+    #[test]
+    fn budget_lint_respects_lower_bound() {
+        // A filtered load's guaranteed cost without block detail is 0 —
+        // the lint must not fire on an upper bound.
+        let mut ctx = AnalysisContext::new();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        ctx.add_table(
+            "db",
+            "t",
+            schema,
+            TableStats {
+                rows: 1000,
+                blocks: 4,
+                bytes: 1 << 20,
+                ..TableStats::default()
+            },
+        );
+        ctx.set_remaining_budget(1);
+        let mut dag = SkillDag::new();
+        let l = dag
+            .add(
+                SkillCall::LoadTableFiltered {
+                    database: "db".into(),
+                    table: "t".into(),
+                    predicate: Expr::col("x").gt(Expr::lit(5i64)),
+                },
+                vec![],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[l], &ctx);
+        assert!(a.with_code(Code::PredictedBudgetExhaustion).is_empty());
+        let e = a.estimates.get(l).unwrap();
+        assert_eq!(e.bytes_lo, 0);
+        assert_eq!(e.bytes_hi, 1 << 20);
+    }
+
+    #[test]
+    fn constant_key_join_flagged_explosive() {
+        // Both sides' `k` column is the constant 7.
+        let mut csv = String::from("k,v\n");
+        for i in 0..40 {
+            csv.push_str(&format!("7,{i}\n"));
+        }
+        let t = dc_engine::csv::read_csv(&csv).unwrap();
+        let bt = BlockTable::new(&t, 8).unwrap();
+        let mut ctx = AnalysisContext::new();
+        ctx.add_table(
+            "db",
+            "pairs",
+            bt.schema().clone(),
+            TableStats::from_block_table(&bt),
+        );
+        let mut dag = SkillDag::new();
+        let a1 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "db".into(),
+                    table: "pairs".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let a2 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "db".into(),
+                    table: "pairs".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let j = dag
+            .add(
+                SkillCall::Join {
+                    other: "x".into(),
+                    left_on: vec!["k".into()],
+                    right_on: vec!["k".into()],
+                    how: dc_engine::JoinType::Inner,
+                },
+                vec![a1, a2],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[j], &ctx);
+        let hits = a.with_code(Code::ExplosiveJoin);
+        assert_eq!(hits.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(hits[0].span.node, Some(j));
+        // 40×40 guaranteed.
+        assert_eq!(a.estimates.get(j).unwrap().rows_lo, 1600);
+    }
+
+    #[test]
+    fn discriminating_join_not_flagged() {
+        let ctx = ctx_with(20);
+        let mut dag = SkillDag::new();
+        let a1 = dag.add(load(), vec![]).unwrap();
+        let a2 = dag.add(load(), vec![]).unwrap();
+        let j = dag
+            .add(
+                SkillCall::Join {
+                    other: "x".into(),
+                    left_on: vec!["day".into()],
+                    right_on: vec!["day".into()],
+                    how: dc_engine::JoinType::Inner,
+                },
+                vec![a1, a2],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[j], &ctx);
+        assert!(a.with_code(Code::ExplosiveJoin).is_empty());
+    }
+
+    #[test]
+    fn uncacheable_result_flagged_once_at_entry() {
+        let mut ctx = ctx_with(40);
+        ctx.set_cache_capacity(64); // tiny: any real table exceeds it
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let s = dag
+            .add(
+                SkillCall::Sort {
+                    keys: vec![("day".into(), true)],
+                },
+                vec![l],
+            )
+            .unwrap();
+        let a = analyze_dag(&dag, &[s], &ctx);
+        let hits = a.with_code(Code::UncacheableResult);
+        // Fires at the load (the first node over capacity), not again at
+        // the sort whose input already exceeded.
+        assert_eq!(hits.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(hits[0].span.node, Some(l));
+        assert_eq!(hits[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn estimate_steps_dedupes_and_prunes() {
+        let mut env = dc_skills::Env::new();
+        let mut csv = String::from("day,label\n");
+        for i in 0..40 {
+            csv.push_str(&format!("{},r{}\n", i / 2, i % 3));
+        }
+        let t = dc_engine::csv::read_csv(&csv).unwrap();
+        let mut db = dc_storage::CloudDatabase::new("db", dc_storage::Pricing::default_cloud());
+        db.create_table_with_blocks("history", &t, 4).unwrap();
+        env.catalog.add_database(db).unwrap();
+
+        let full = env
+            .catalog
+            .database("db")
+            .unwrap()
+            .table("history")
+            .unwrap()
+            .total_bytes();
+        // Duplicate full loads reserve once.
+        let est = estimate_steps(&env, &[load(), load()]);
+        assert_eq!(est.per_step, vec![full, full]);
+        assert_eq!(est.reserve, full);
+        // A selective fused load reserves far less than full.
+        let fused = SkillCall::LoadTableFiltered {
+            database: "db".into(),
+            table: "history".into(),
+            predicate: Expr::col("day").ge(Expr::lit(18i64)),
+        };
+        let est = estimate_steps(&env, &[fused]);
+        assert!(est.reserve > 0 && est.reserve < full, "{est:?} vs {full}");
+    }
+
+    #[test]
+    fn limits_and_unknowns_degrade_conservatively() {
+        let ctx = ctx_with(20);
+        let mut dag = SkillDag::new();
+        let l = dag.add(load(), vec![]).unwrap();
+        let sql = dag
+            .add(
+                SkillCall::RunSql {
+                    query: "select 1".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let lim = dag.add(SkillCall::Limit { n: 5 }, vec![l]).unwrap();
+        let a = analyze_dag(&dag, &[lim, sql], &ctx);
+        assert_eq!(a.estimates.get(lim).unwrap().rows_hi, Some(5));
+        assert_eq!(a.estimates.get(lim).unwrap().rows_lo, 5);
+        assert_eq!(a.estimates.get(sql).unwrap().rows_hi, None);
+    }
+}

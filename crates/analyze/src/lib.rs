@@ -17,6 +17,14 @@
 //!    `dc-storage` block stats, flagging full scans that could be block
 //!    samples (`DC0201`), snapshot reads (`DC0202`), and string columns
 //!    whose dictionaries deduplicate nothing (`DC0203`).
+//! 4. **Cost & cardinality estimation** ([`estimate`]) — propagates
+//!    row-count intervals and scan-byte bounds through the planned DAG
+//!    using the storage layer's own per-block zone maps and tri-state
+//!    prune verdicts, deduped by structural sub-DAG identity. Emits
+//!    `DC0301` (guaranteed budget exhaustion), `DC0302` (join output
+//!    guaranteed to explode), and `DC0303` (result too large for the
+//!    shared materialized cache). `dc-serve` admission reserves the
+//!    estimator's byte bound instead of full table bytes.
 //!
 //! The same [`Diagnostic`] type is emitted by the GEL recipe validator
 //! (`dc-gel`) and the NL2Code program checker (`dc-nl`), so every layer
@@ -33,16 +41,18 @@ pub mod context;
 pub mod cost;
 pub mod dataflow;
 pub mod diag;
+pub mod estimate;
 pub mod schema_pass;
 
 use std::collections::HashMap;
 
 use dc_skills::{NodeId, SkillDag};
 
-pub use context::{AnalysisContext, ModelInfo, TableStats};
+pub use context::{AnalysisContext, BlockStats, ModelInfo, TableStats};
 pub use cost::{cost_pass, NodeCost};
 pub use dataflow::dataflow_pass;
 pub use diag::{Code, Diagnostic, Fix, Severity, Span};
+pub use estimate::{estimate_pass, estimate_steps, DagEstimates, NodeEstimate, StepEstimates};
 pub use schema_pass::{schema_pass, FlowSchemas};
 
 /// What the platform does with analyzer findings before executing.
@@ -59,12 +69,15 @@ pub enum AnalysisPolicy {
 /// The result of analyzing one pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Analysis {
-    /// All findings, in pass order (schema, dataflow, cost).
+    /// All findings, in pass order (schema, dataflow, cost, estimate).
     pub diagnostics: Vec<Diagnostic>,
     /// Inferred output schema per node (`None` = statically unknown).
     pub schemas: HashMap<NodeId, Option<dc_engine::Schema>>,
     /// Scan-cost estimates for storage-touching nodes.
     pub costs: Vec<NodeCost>,
+    /// Row-count and scan-byte bounds per reachable node, with
+    /// structurally deduped pipeline totals.
+    pub estimates: DagEstimates,
 }
 
 impl Analysis {
@@ -143,10 +156,12 @@ pub fn analyze_dag(dag: &SkillDag, targets: &[NodeId], ctx: &AnalysisContext) ->
     let schemas = schema_pass::schema_pass(dag, ctx, &mut diagnostics);
     dataflow::dataflow_pass(dag, targets, &mut diagnostics);
     let costs = cost::cost_pass(dag, ctx, &mut diagnostics);
+    let estimates = estimate::estimate_pass(dag, targets, ctx, &schemas, &mut diagnostics);
     Analysis {
         diagnostics,
         schemas,
         costs,
+        estimates,
     }
 }
 
@@ -374,6 +389,7 @@ mod tests {
                 bytes: 65_536,
                 // order_id-like column: ~one distinct string per row.
                 dict_sizes: vec![("region".into(), 950), ("product".into(), 12)],
+                ..TableStats::default()
             },
         );
         let mut dag = SkillDag::new();
@@ -396,6 +412,7 @@ mod tests {
                 blocks: 1,
                 bytes: 512,
                 dict_sizes: vec![("region".into(), 50)],
+                ..TableStats::default()
             },
         );
         let report = analyze_dag(&dag, &[c], &small);

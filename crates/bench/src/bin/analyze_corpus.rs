@@ -2,9 +2,22 @@
 //! `examples/recipes/` against the demo catalog and exit non-zero on any
 //! Error-severity diagnostic. Warnings are reported but do not fail the
 //! gate (they are advisory cost/structure lints).
+//!
+//! The gate also smoke-tests the estimation pass's soundness contract:
+//! every clean recipe is executed against a fresh demo environment and
+//! the actual scan tally must fall inside the estimator's
+//! `[scan_bytes_lo, scan_bytes_hi]` envelope. A single unsound estimate
+//! fails the gate.
 
-use dc_analyze::AnalysisContext;
-use dc_skills::Env;
+//! `--qerror` instead runs the estimate-vs-actual selectivity sweep
+//! behind the EXPERIMENTS.md q-error table: a 1M-row day-clustered
+//! table filtered at 0.1/1/10% selectivity, priced twice — once with
+//! full per-block zone detail and once from summary stats only (the
+//! degraded path) — then executed for ground truth.
+
+use dc_analyze::{AnalysisContext, TableStats};
+use dc_engine::{Column, Expr, Table};
+use dc_skills::{Env, Executor, SkillCall, SkillDag};
 use dc_storage::{CloudDatabase, Pricing};
 
 fn corpus_env() -> Env {
@@ -21,6 +34,10 @@ fn corpus_env() -> Env {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--qerror") {
+        qerror_sweep();
+        return;
+    }
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/recipes");
     let ctx = AnalysisContext::from_env(&corpus_env());
     let mut paths: Vec<_> = std::fs::read_dir(&dir)
@@ -32,6 +49,8 @@ fn main() {
     assert!(!paths.is_empty(), "no .gel recipes in {}", dir.display());
 
     let mut failed = 0usize;
+    let mut unsound = 0usize;
+    let mut checked = 0usize;
     for path in &paths {
         let name = path.file_name().unwrap().to_string_lossy();
         let text = std::fs::read_to_string(path).expect("readable recipe");
@@ -44,18 +63,151 @@ fn main() {
             for line in analysis.render().lines() {
                 println!("     {line}");
             }
-        } else if warnings > 0 {
+            continue;
+        }
+        if warnings > 0 {
             println!("ok   {name} ({warnings} warning(s))");
         } else {
             println!("ok   {name}");
         }
+        if let Some(msg) = estimate_violation(&text, &ctx) {
+            unsound += 1;
+            println!("UNSOUND {name}: {msg}");
+        } else {
+            checked += 1;
+        }
     }
     println!(
-        "analyze_corpus: {}/{} recipes clean",
+        "analyze_corpus: {}/{} recipes clean, {checked} estimator-sound, {unsound} unsound",
         paths.len() - failed,
         paths.len()
     );
-    if failed > 0 {
+    if failed > 0 || unsound > 0 {
         std::process::exit(1);
     }
+}
+
+/// Execute one clean recipe cold and compare the actual scan tally with
+/// the static estimate. `Some(message)` on an unsound estimate; `None`
+/// when the estimate bounds the run (or the recipe cannot execute
+/// against the demo world — runtime coverage belongs to other gates).
+///
+/// Both sides target the recipe's *final* step: the executor re-plans
+/// pushdown around whatever node it is asked for, so pricing the DAG
+/// with every intermediate step as a target and then executing each one
+/// would measure a different (step-debugger) plan than the one priced.
+fn estimate_violation(text: &str, ctx: &AnalysisContext) -> Option<String> {
+    let recipe = dc_gel::Recipe::parse(text).ok()?;
+    let (dag, targets) = recipe.to_dag().ok()?;
+    let target = *targets.last()?;
+    let analysis = dc_analyze::analyze_dag(&dag, &[target], ctx);
+    let mut env = corpus_env();
+    let mut ex = Executor::new();
+    ex.run(&dag, target, &mut env).ok()?;
+    let actual = env.scan_tally.bytes_scanned;
+    let hi = analysis.estimates.scan_bytes_hi;
+    let lo = analysis.estimates.scan_bytes_lo;
+    if actual > hi {
+        return Some(format!(
+            "scanned {actual} bytes > estimated upper bound {hi}"
+        ));
+    }
+    if lo > actual {
+        return Some(format!(
+            "guaranteed lower bound {lo} > scanned {actual} bytes"
+        ));
+    }
+    None
+}
+
+/// Estimate-vs-actual q-error sweep (`max(est/actual, actual/est)`) for
+/// scan bytes at three selectivities, with and without per-block zone
+/// detail. Exits non-zero on any unsound (under-)estimate.
+fn qerror_sweep() {
+    const ROWS: usize = 1_000_000;
+    const BLOCK_ROWS: usize = 8_192;
+    let table = Table::new(vec![
+        ("id", Column::from_ints((0..ROWS as i64).collect())),
+        (
+            "v",
+            Column::from_floats((0..ROWS).map(|i| (i % 997) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("sweep table");
+    let build_env = || {
+        let mut env = Env::new();
+        let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+        db.create_table_with_blocks("big", &table, BLOCK_ROWS)
+            .unwrap();
+        env.catalog.add_database(db).unwrap();
+        env
+    };
+    let ctx_detail = AnalysisContext::from_env(&build_env());
+    let (schema, full) = ctx_detail.table("MainDatabase", "big").expect("big table");
+    // The degraded path: same row/block/byte totals, no zone detail.
+    let mut ctx_plain = AnalysisContext::new();
+    ctx_plain.add_table(
+        "MainDatabase",
+        "big",
+        schema.clone(),
+        TableStats {
+            rows: full.rows,
+            blocks: full.blocks,
+            bytes: full.bytes,
+            ..TableStats::default()
+        },
+    );
+
+    let qerr = |est: u64, actual: u64| -> f64 {
+        let (est, actual) = (est.max(1) as f64, actual.max(1) as f64);
+        (est / actual).max(actual / est)
+    };
+    println!(
+        "{:<12} {:>12} {:>14} {:>9} {:>14} {:>9}",
+        "selectivity", "actual B", "est B (zones)", "q-error", "est B (plain)", "q-error"
+    );
+    let mut unsound = false;
+    for pct in [0.1f64, 1.0, 10.0] {
+        let cut = (ROWS as f64 * (1.0 - pct / 100.0)) as i64;
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "MainDatabase".into(),
+                    table: "big".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let keep = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("id").ge(Expr::lit(cut)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let detail = dc_analyze::analyze_dag(&dag, &[keep], &ctx_detail).estimates;
+        let plain = dc_analyze::analyze_dag(&dag, &[keep], &ctx_plain).estimates;
+        let mut env = build_env();
+        Executor::new()
+            .run(&dag, keep, &mut env)
+            .expect("sweep run");
+        let actual = env.scan_tally.bytes_scanned;
+        unsound |= actual > detail.scan_bytes_hi || actual > plain.scan_bytes_hi;
+        println!(
+            "{:<12} {:>12} {:>14} {:>9.3} {:>14} {:>9.3}",
+            format!("{pct}%"),
+            actual,
+            detail.scan_bytes_hi,
+            qerr(detail.scan_bytes_hi, actual),
+            plain.scan_bytes_hi,
+            qerr(plain.scan_bytes_hi, actual),
+        );
+    }
+    if unsound {
+        eprintln!("qerror sweep FAILED: an estimate under-bounded an actual scan");
+        std::process::exit(1);
+    }
+    println!("qerror sweep ok (no under-estimates)");
 }

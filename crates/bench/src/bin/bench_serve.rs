@@ -29,7 +29,9 @@ use std::time::Instant;
 
 use dc_collab::EnvHandle;
 use dc_engine::{AggFunc, AggSpec, Column, Expr, JoinType, Table};
-use dc_serve::{Request, ServeConfig, ServeError, ServiceStats, SessionService, TenantConfig};
+use dc_serve::{
+    Request, ReservationMode, ServeConfig, ServeError, ServiceStats, SessionService, TenantConfig,
+};
 use dc_skills::{Env, SkillCall};
 use dc_storage::{BudgetConfig, CloudDatabase, FaultConfig, FaultInjector, Pricing};
 
@@ -107,6 +109,24 @@ fn tickets_table(n: usize) -> Table {
     .expect("tickets table")
 }
 
+/// Day-clustered log: `day` rises monotonically, so a blocked layout
+/// gives zone maps that genuinely prune day-range filters (unlike
+/// `tickets.priority`, which cycles inside every block). This is the
+/// table the estimator-based admission phase scans.
+fn history_table(n: usize) -> Table {
+    Table::new(vec![
+        (
+            "day",
+            Column::from_ints((0..n).map(|i| (i * 100 / n) as i64).collect::<Vec<_>>()),
+        ),
+        (
+            "v",
+            Column::from_floats((0..n).map(|i| (i % 53) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("history table")
+}
+
 /// One shared world per phase: a consumption-priced warehouse with the
 /// big events table, the small join dimension, and the interactive
 /// tickets table. `chaos_seed` arms seeded fault injection.
@@ -118,6 +138,13 @@ fn build_world(scale: Scale, chaos_seed: Option<u64>) -> EnvHandle {
     db.create_table("dims", &dims_table()).expect("create dims");
     db.create_table("tickets", &tickets_table(scale.ticket_rows))
         .expect("create tickets");
+    let history_rows = (scale.event_rows / 10).max(100);
+    db.create_table_with_blocks(
+        "history",
+        &history_table(history_rows),
+        (history_rows / 50).max(1),
+    )
+    .expect("create history");
     env.catalog.add_database(db).expect("add db");
     if let Some(seed) = chaos_seed {
         let injector = Arc::new(FaultInjector::new(FaultConfig {
@@ -145,6 +172,26 @@ fn interactive_request() -> Request {
         SkillCall::Compute {
             aggs: vec![AggSpec::count_records("n")],
             for_each: vec!["status".into()],
+        },
+    ])
+}
+
+/// Budget-fleet question: a selective day-range slice of the clustered
+/// history log. Submit-time pushdown fuses the filter into the load, so
+/// the estimator's reservation is the ~10% of blocks that survive
+/// pruning, while full-byte reservations still price the whole table.
+fn budget_fleet_request() -> Request {
+    Request::new(vec![
+        SkillCall::LoadTable {
+            database: "warehouse".into(),
+            table: "history".into(),
+        },
+        SkillCall::KeepRows {
+            predicate: Expr::col("day").ge(Expr::lit(90i64)),
+        },
+        SkillCall::Compute {
+            aggs: vec![AggSpec::count_records("n")],
+            for_each: vec![],
         },
     ])
 }
@@ -470,6 +517,103 @@ fn run_overload(scale: Scale, chaos_seed: Option<u64>) -> OverloadOut {
     }
 }
 
+struct BudgetFleetOut {
+    admitted: u64,
+    rejected_budget: u64,
+    violations: Vec<String>,
+}
+
+/// Budget-constrained interactive fleet: one tenant whose fixed deposit
+/// is *smaller than a single full history scan*, submitting selective
+/// day-range questions open-loop. Under [`ReservationMode::FullBytes`]
+/// every submission is dead on arrival; under the default
+/// [`ReservationMode::Estimated`] the analyzer's pruned-scan bound fits
+/// several jobs into the same deposit. The strict `Estimated > FullBytes`
+/// admission comparison in `main` is the PR's acceptance gate.
+fn run_budget_fleet(
+    scale: Scale,
+    mode: ReservationMode,
+    chaos_seed: Option<u64>,
+) -> BudgetFleetOut {
+    let env = build_world(scale, chaos_seed);
+    let history_bytes = env.with(|env| {
+        env.catalog
+            .database("warehouse")
+            .unwrap()
+            .table("history")
+            .unwrap()
+            .total_bytes()
+    });
+    let service = SessionService::start(
+        env,
+        ServeConfig {
+            workers: 2,
+            global_queue_limit: 64,
+            reservation: mode,
+            ..ServeConfig::default()
+        },
+    );
+    service
+        .register_tenant(
+            "capped",
+            TenantConfig::new()
+                .queue_limit(32)
+                .budget(BudgetConfig::fixed(history_bytes * 6 / 10)),
+        )
+        .unwrap();
+
+    let mut violations = Vec::new();
+    let mut rejected_budget = 0u64;
+    let mut handles = Vec::new();
+    for i in 0..10 {
+        match service.submit("capped", budget_fleet_request()) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Rejected { reason, .. }) => {
+                if reason == dc_serve::RejectReason::BudgetExhausted {
+                    rejected_budget += 1;
+                } else {
+                    violations.push(format!("capped submit {i}: wrong reason {reason:?}"));
+                }
+            }
+            Err(other) => violations.push(format!("capped submit {i}: untyped: {other}")),
+        }
+    }
+    let admitted = handles.len() as u64;
+    // Exactly-once: every admitted job resolves with a typed answer.
+    for handle in handles {
+        let result = handle.wait();
+        if let Err(err) = &result.outcome {
+            match err {
+                ServeError::Failed { .. }
+                | ServeError::Evicted { .. }
+                | ServeError::ShuttingDown => {}
+                other => violations.push(format!("budget-fleet job answered oddly: {other}")),
+            }
+        }
+    }
+    let stats = service.stats();
+    if stats.admitted != stats.answered() {
+        violations.push(format!(
+            "budget fleet lost jobs: admitted {} != answered {}",
+            stats.admitted,
+            stats.answered()
+        ));
+    }
+    if let Some((_avail, deposited, charged)) = service.budget_state("capped") {
+        if charged > deposited {
+            violations.push(format!(
+                "budget fleet overcharge: charged {charged} > deposited {deposited}"
+            ));
+        }
+    }
+    service.shutdown();
+    BudgetFleetOut {
+        admitted,
+        rejected_budget,
+        violations,
+    }
+}
+
 fn phase_json(name: &str, p: &PhaseOut) -> String {
     format!(
         "  {{\"phase\": \"{}\", \"interactive_jobs\": {}, \"p50_ms\": {:.3}, \
@@ -505,11 +649,22 @@ fn main() {
     let baseline = run_phase(scale, false, chaos_seed);
     let contended = run_phase(scale, true, chaos_seed);
     let overload = run_overload(scale, chaos_seed);
+    let fleet_full = run_budget_fleet(scale, ReservationMode::FullBytes, chaos_seed);
+    let fleet_est = run_budget_fleet(scale, ReservationMode::Estimated, chaos_seed);
 
     let mut violations = Vec::new();
     violations.extend(baseline.violations.iter().cloned());
     violations.extend(contended.violations.iter().cloned());
     violations.extend(overload.violations.iter().cloned());
+    violations.extend(fleet_full.violations.iter().cloned());
+    violations.extend(fleet_est.violations.iter().cloned());
+    if fleet_est.admitted <= fleet_full.admitted {
+        violations.push(format!(
+            "estimator-based reservations admitted {} jobs vs {} under full-byte \
+             reservations (must be strictly more)",
+            fleet_est.admitted, fleet_full.admitted
+        ));
+    }
 
     let ratio = if baseline.p99_ms > 0.0 {
         contended.p99_ms / baseline.p99_ms
@@ -536,6 +691,14 @@ fn main() {
         overload.shed_at_shutdown,
         overload.stats.admitted,
     );
+    println!(
+        "budget fleet: estimated reservations admitted {}/10 (rejected {}), \
+         full-byte admitted {}/10 (rejected {})",
+        fleet_est.admitted,
+        fleet_est.rejected_budget,
+        fleet_full.admitted,
+        fleet_full.rejected_budget,
+    );
 
     if !smoke {
         let json = format!(
@@ -545,6 +708,8 @@ fn main() {
              \"noisy_p99_ratio\": {:.3},\n\
              \"overload\": {{\"rejected_budget\": {}, \"rejected_queue\": {}, \
              \"shed_at_shutdown\": {}, \"admitted\": {}, \"answered\": {}}},\n\
+             \"budget_fleet\": {{\"estimated_admitted\": {}, \"estimated_rejected\": {}, \
+             \"full_bytes_admitted\": {}, \"full_bytes_rejected\": {}}},\n\
              \"total_wall_s\": {:.2}\n}}\n",
             scale.event_rows,
             scale.ticket_rows,
@@ -559,6 +724,10 @@ fn main() {
             overload.shed_at_shutdown,
             overload.stats.admitted,
             overload.stats.answered(),
+            fleet_est.admitted,
+            fleet_est.rejected_budget,
+            fleet_full.admitted,
+            fleet_full.rejected_budget,
             started.elapsed().as_secs_f64(),
         );
         std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

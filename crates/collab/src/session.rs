@@ -171,6 +171,22 @@ impl Session {
         env: &mut Env,
         policy: &ExecPolicy,
     ) -> Result<ExecReport> {
+        self.execute_staged_with_estimates(user, node, env, policy, &[])
+    }
+
+    /// [`Session::execute_staged`] with per-node scan-byte estimates from
+    /// a preflight analysis, recorded on the report's nodes as
+    /// `bytes_estimated` (estimate-vs-actual q-error at the serving
+    /// layer). Estimates for nodes outside the executed slice are
+    /// ignored.
+    pub fn execute_staged_with_estimates(
+        &self,
+        user: &str,
+        node: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+        estimates: &[(NodeId, u64)],
+    ) -> Result<ExecReport> {
         self.check_can_act(user)?;
         if self.executing.swap(true, Ordering::AcqRel) {
             return Err(CollabError::SessionBusy { session: self.id });
@@ -178,7 +194,8 @@ impl Session {
         let result = (|| {
             let mut ex = self.executor.lock();
             let dag = self.dag.lock();
-            let report = ex.run_resilient(&dag, node, env, policy)?;
+            let report =
+                ex.run_resilient_with_preflight(&dag, node, env, policy, &[], estimates)?;
             if report.succeeded() {
                 let gel = dc_gel::format_skill(&dag.node(node)?.call);
                 self.current.store(node as u64, Ordering::Release);

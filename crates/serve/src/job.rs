@@ -74,6 +74,10 @@ pub struct JobResult {
     pub bytes_reserved: u64,
     /// Scan bytes the job's receipts actually charged.
     pub bytes_charged: u64,
+    /// Statically estimated scan-byte upper bound across the job's steps
+    /// (0 when admission did not estimate). Against `bytes_charged` this
+    /// is the serving layer's estimate-vs-actual q-error.
+    pub bytes_estimated: u64,
     /// Shared-cache hits the job's waves scored.
     pub cache_hits: u64,
     /// Scan bytes those hits avoided re-charging.
@@ -167,6 +171,10 @@ pub(crate) struct Job {
     pub preemptions: u32,
     /// Scan bytes reserved against the tenant budget at admission.
     pub reserved: u64,
+    /// Per-step scan-byte upper bounds from the admission estimator,
+    /// aligned with `steps` (empty when admission did not estimate).
+    /// Threaded into each slice so node reports carry `bytes_estimated`.
+    pub estimates: Vec<u64>,
     /// Scan bytes charged so far across slices.
     pub charged: u64,
     pub cache_hits: u64,
@@ -196,6 +204,7 @@ impl Job {
             preemptions: self.preemptions,
             bytes_reserved: self.reserved,
             bytes_charged: self.charged,
+            bytes_estimated: self.estimates.iter().sum(),
             cache_hits: self.cache_hits,
             bytes_saved: self.bytes_saved,
         };

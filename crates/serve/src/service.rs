@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use dc_collab::{EnvHandle, SessionRef, SessionRegistry};
 use dc_skills::resilient::{ExecPolicy, RetryPolicy};
-use dc_skills::{Env, SkillCall};
+use dc_skills::{plan_linear_pushdown, Env, SkillCall};
 
 use crate::error::{Result, ServeError};
 use crate::job::{Job, JobCell, JobHandle, Request};
@@ -67,6 +67,25 @@ pub struct ServeConfig {
     /// checkpointed results, they are dropped (the DAG survives, so
     /// continuity is re-computed, not lost). `None` = unbounded.
     pub session_cache_limit: Option<u64>,
+    /// How admission sizes the byte reservation it takes against a
+    /// metered tenant's budget.
+    pub reservation: ReservationMode,
+}
+
+/// Admission reservation policy for metered tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReservationMode {
+    /// Reserve the `dc-analyze` estimator's scan-byte upper bound: the
+    /// fused plan priced block-by-block with zone-map prune verdicts,
+    /// deduped by load identity. Sound (scans cannot charge more under a
+    /// cold cache) yet far tighter than full bytes for selective
+    /// programs, so a fixed budget admits strictly more of them.
+    #[default]
+    Estimated,
+    /// Reserve the total stored bytes of every distinct table the
+    /// program loads — the pre-estimator behavior, kept for comparison
+    /// benchmarks and as a belt-and-suspenders mode.
+    FullBytes,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +98,7 @@ impl Default for ServeConfig {
             max_preemptions: 12,
             retry: RetryPolicy::default(),
             session_cache_limit: Some(256 << 20),
+            reservation: ReservationMode::default(),
         }
     }
 }
@@ -172,16 +192,31 @@ impl SessionService {
                 .ok_or_else(|| ServeError::UnknownTenant {
                     tenant: tenant.to_string(),
                 })?;
-        // Reservation estimate: the full bytes of every table the program
-        // loads (scans can only read less — pruning, pushdown, cache
-        // hits). Unmetered tenants skip this so their submissions never
-        // touch the world lock.
-        let reserved = if metered {
+        // Fuse filter steps into their scans up front. A step-at-a-time
+        // session can't benefit from DAG-level pushdown (the load is each
+        // slice's protected target, and the late fused re-plan is a
+        // structural cache miss that rescans), so the step list itself is
+        // rewritten. Only the final step's output is observable, so this
+        // is outcome-preserving — and it makes the estimator's pruned
+        // bound the bytes the scan will actually charge.
+        let steps = match plan_linear_pushdown(&request.steps) {
+            Some(fused) => fused,
+            None => request.steps,
+        };
+        // Reservation against the tenant's budget. Unmetered tenants skip
+        // this so their submissions never touch the world lock.
+        let (reserved, estimates) = if metered {
             self.inner
                 .env
-                .with(|env| estimate_scan_bytes(env, &request.steps))
+                .with(|env| match self.inner.config.reservation {
+                    ReservationMode::Estimated => {
+                        let est = dc_analyze::estimate_steps(env, &steps);
+                        (est.reserve, est.per_step)
+                    }
+                    ReservationMode::FullBytes => (estimate_scan_bytes(env, &steps), Vec::new()),
+                })
         } else {
-            0
+            (0, Vec::new())
         };
         let cell = Arc::new(JobCell::default());
         let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
@@ -193,13 +228,14 @@ impl SessionService {
         let job = Job {
             id,
             tenant: tenant.to_string(),
-            steps: request.steps,
+            steps,
             name_result: request.name_result,
             next_step: 0,
             staged: None,
             quantum: self.inner.config.initial_quantum,
             preemptions: 0,
             reserved,
+            estimates,
             charged: 0,
             cache_hits: 0,
             bytes_saved: 0,
@@ -228,6 +264,7 @@ impl SessionService {
                 preemptions: 0,
                 bytes_reserved: 0,
                 bytes_charged: 0,
+                bytes_estimated: 0,
                 cache_hits: 0,
                 bytes_saved: 0,
             },
@@ -293,21 +330,30 @@ impl Drop for SessionService {
 }
 
 /// Upper bound on the scan bytes `steps` could charge: the total stored
-/// bytes of every cloud table the program loads. Snapshots and datasets
-/// already in the session are off the metered path and count zero.
+/// bytes of every *distinct* cloud table the program loads — a program
+/// loading one table twice hits the session's structural cache on the
+/// second load and charges it once, so reserving per mention would
+/// double-count. Snapshots and datasets already in the session are off
+/// the metered path and count zero.
 fn estimate_scan_bytes(env: &Env, steps: &[SkillCall]) -> u64 {
+    let mut seen: Vec<(&str, &str)> = Vec::new();
     steps
         .iter()
         .map(|call| match call {
             SkillCall::LoadTable { database, table }
             | SkillCall::LoadTableFiltered {
                 database, table, ..
-            } => env
-                .catalog
-                .database(database)
-                .ok()
-                .and_then(|db| db.table(table).ok())
-                .map_or(0, |t| t.total_bytes()),
+            } => {
+                if seen.contains(&(database.as_str(), table.as_str())) {
+                    return 0;
+                }
+                seen.push((database, table));
+                env.catalog
+                    .database(database)
+                    .ok()
+                    .and_then(|db| db.table(table).ok())
+                    .map_or(0, |t| t.total_bytes())
+            }
             _ => 0,
         })
         .sum()
@@ -444,7 +490,21 @@ fn run_slice(
             run_budget: Some(job.quantum - elapsed),
             ..ExecPolicy::default()
         };
-        let report = match session.execute_staged(&job.tenant, node, env, &policy) {
+        // The admission estimate for this step, pinned to its staged node
+        // so the report's q-error accounting lines up per node.
+        let estimates: Vec<(dc_skills::NodeId, u64)> = job
+            .estimates
+            .get(job.next_step)
+            .map(|&b| (node, b))
+            .into_iter()
+            .collect();
+        let report = match session.execute_staged_with_estimates(
+            &job.tenant,
+            node,
+            env,
+            &policy,
+            &estimates,
+        ) {
             Ok(report) => report,
             // Structural errors (permissions, session lock) — the
             // in-flight gate makes these unreachable in practice, but

@@ -40,7 +40,7 @@ pub use exec::{
 pub use exec_plan::{run_planned, PlannedStats};
 pub use output::SkillOutput;
 pub use planner::{plan, ExecutionTask};
-pub use pushdown::plan_pushdown;
+pub use pushdown::{plan_linear_pushdown, plan_pushdown};
 pub use resilient::{ExecPolicy, ExecReport, NodeOutcome, NodeReport, RetryPolicy};
 pub use skill::{registry, Category, DatePart, SkillCall, SkillInfo};
 pub use slicing::{slice, sliced_recipe, SliceStats};

@@ -68,6 +68,48 @@ pub fn plan_pushdown(dag: &SkillDag, protected: &[NodeId], vetoed: &[NodeId]) ->
     rewritten
 }
 
+/// Step-level pushdown for *linear* programs (`dc-serve` requests),
+/// where each step is staged and executed one at a time and only the
+/// final step's output is observable.
+///
+/// The DAG-level [`plan_pushdown`] cannot help a step-at-a-time
+/// executor: by the time the filter step arrives, its load has already
+/// been materialized as a full scan (the load was that slice's target,
+/// hence protected), and the fused re-plan is a *different* structural
+/// sub-DAG — a cache miss that rescans. Fusing the step list up front
+/// fixes both: the load step itself becomes `LoadTableFiltered`, charges
+/// the pruned bytes, and the following filter step is a cheap
+/// re-evaluation over the reduced rows.
+///
+/// Only the last step of a program is delivered (and optionally
+/// name-bound), so an interior load's unfiltered rows are never
+/// observable — unlike `plan_pushdown` there is no "protected" set. A
+/// trailing load (the program's result) is left untouched.
+///
+/// Returns `None` when no step is eligible.
+pub fn plan_linear_pushdown(steps: &[SkillCall]) -> Option<Vec<SkillCall>> {
+    let mut fused: Option<Vec<SkillCall>> = None;
+    for i in 0..steps.len().saturating_sub(1) {
+        let SkillCall::LoadTable { database, table } = &steps[i] else {
+            continue;
+        };
+        let candidate = match &steps[i + 1] {
+            SkillCall::KeepRows { predicate } => predicate.clone(),
+            SkillCall::DropRows { predicate } => nnf(predicate.clone().not()),
+            _ => continue,
+        };
+        let Some(pushed) = conjoin(prunable_conjuncts(&candidate)) else {
+            continue;
+        };
+        fused.get_or_insert_with(|| steps.to_vec())[i] = SkillCall::LoadTableFiltered {
+            database: database.clone(),
+            table: table.clone(),
+            predicate: pushed,
+        };
+    }
+    fused
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +237,82 @@ mod tests {
         // A name binding makes the load addressable later.
         dag.bind_name("raw", l).unwrap();
         assert!(plan_pushdown(&dag, &[f], &[]).is_none());
+    }
+
+    #[test]
+    fn linear_pushdown_fuses_interior_loads() {
+        let steps = vec![
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            SkillCall::KeepRows {
+                predicate: Expr::col("x").gt(Expr::lit(5)),
+            },
+            SkillCall::CountRows,
+        ];
+        let fused = plan_linear_pushdown(&steps).unwrap();
+        assert_eq!(
+            fused[0],
+            SkillCall::LoadTableFiltered {
+                database: "db".into(),
+                table: "t".into(),
+                predicate: Expr::col("x").gt(Expr::lit(5)),
+            }
+        );
+        // The filter step stays in place; only the load changed.
+        assert_eq!(fused[1], steps[1]);
+        assert_eq!(fused[2], steps[2]);
+
+        // DropRows pushes the negation-normal-form of NOT pred.
+        let steps = vec![
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            SkillCall::DropRows {
+                predicate: Expr::col("x").le(Expr::lit(5)),
+            },
+        ];
+        let fused = plan_linear_pushdown(&steps).unwrap();
+        assert_eq!(
+            fused[0],
+            SkillCall::LoadTableFiltered {
+                database: "db".into(),
+                table: "t".into(),
+                predicate: Expr::col("x").gt(Expr::lit(5)),
+            }
+        );
+    }
+
+    #[test]
+    fn linear_pushdown_leaves_ineligible_programs_alone() {
+        // A trailing load is the delivered result — untouched.
+        let steps = vec![SkillCall::LoadTable {
+            database: "db".into(),
+            table: "t".into(),
+        }];
+        assert!(plan_linear_pushdown(&steps).is_none());
+        // A non-filter consumer blocks fusion.
+        let steps = vec![
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            SkillCall::CountRows,
+        ];
+        assert!(plan_linear_pushdown(&steps).is_none());
+        // An unprunable predicate has nothing to push.
+        let steps = vec![
+            SkillCall::LoadTable {
+                database: "db".into(),
+                table: "t".into(),
+            },
+            SkillCall::KeepRows {
+                predicate: Expr::col("x").add(Expr::lit(1)).gt(Expr::lit(5)),
+            },
+        ];
+        assert!(plan_linear_pushdown(&steps).is_none());
     }
 
     #[test]

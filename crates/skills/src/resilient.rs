@@ -170,6 +170,10 @@ pub struct NodeReport {
     pub bytes_scanned: u64,
     /// Storage bytes zone-map pruning saved this node's scans.
     pub bytes_pruned: u64,
+    /// Statically estimated scan-byte upper bound for this node, when a
+    /// preflight analysis supplied one (0 otherwise). Comparing against
+    /// `bytes_scanned` gives the estimator's q-error per node.
+    pub bytes_estimated: u64,
 }
 
 impl NodeReport {
@@ -184,6 +188,7 @@ impl NodeReport {
             wall: Duration::ZERO,
             bytes_scanned: 0,
             bytes_pruned: 0,
+            bytes_estimated: 0,
         }
     }
 }
@@ -261,6 +266,12 @@ impl ExecReport {
     /// Total storage bytes zone-map pruning saved across all nodes.
     pub fn bytes_pruned(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_pruned).sum()
+    }
+
+    /// Total statically estimated scan bytes across all nodes (0 when no
+    /// preflight estimates were supplied).
+    pub fn bytes_estimated(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_estimated).sum()
     }
 
     /// The first failure in topological order, if any.
@@ -459,6 +470,24 @@ impl Executor {
         policy: &ExecPolicy,
         rejections: &[(NodeId, String)],
     ) -> Result<ExecReport> {
+        self.run_resilient_with_preflight(dag, target, env, policy, rejections, &[])
+    }
+
+    /// [`Executor::run_resilient_with_rejections`] plus the analyzer's
+    /// per-node scan-byte estimates, recorded on each [`NodeReport`] as
+    /// `bytes_estimated` so callers can compare predicted against actual
+    /// scan charges (estimate-vs-actual q-error). Estimates are keyed by
+    /// the *original* DAG's node ids — pushdown preserves ids, so they
+    /// transfer to the fused plan unchanged.
+    pub fn run_resilient_with_preflight(
+        &mut self,
+        dag: &SkillDag,
+        target: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+        rejections: &[(NodeId, String)],
+        estimates: &[(NodeId, u64)],
+    ) -> Result<ExecReport> {
         // The whole-run slice starts now: planning, interning, and every
         // wave all count against it.
         let run_deadline = policy.run_budget.map(|b| Instant::now() + b);
@@ -600,7 +629,10 @@ impl Executor {
         };
         let mut nodes: Vec<NodeReport> = Vec::with_capacity(order.len());
         for &nid in &order {
-            if let Some(r) = reports.remove(&nid) {
+            if let Some(mut r) = reports.remove(&nid) {
+                if let Some(&(_, est)) = estimates.iter().find(|(n, _)| *n == nid) {
+                    r.bytes_estimated = est;
+                }
                 nodes.push(r);
             }
         }

@@ -254,8 +254,9 @@ impl BlockTable {
     /// Zone-map statistics for block `bi`, column `ci`, in the form the
     /// tri-state evaluator consumes. Dictionary code bounds translate to
     /// their strings here (the dictionary is sorted, so the code range
-    /// *is* the string range).
-    fn column_stats(&self, bi: usize, ci: usize) -> ColumnStats {
+    /// *is* the string range). Public so the static estimator can price a
+    /// scan with exactly the statistics the scan itself prunes by.
+    pub fn column_stats(&self, bi: usize, ci: usize) -> ColumnStats {
         let zone = &self.zones[bi][ci];
         let block = &self.blocks[bi];
         let col = &block.columns()[ci];
@@ -282,6 +283,25 @@ impl BlockTable {
     /// Column names.
     pub fn column_names(&self) -> &[String] {
         &self.schema_names
+    }
+
+    /// Rows stored in block `bi`.
+    pub fn block_rows(&self, bi: usize) -> usize {
+        self.blocks[bi].num_rows()
+    }
+
+    /// Per-column payload bytes of block `bi` (dictionaries excluded —
+    /// they are shared table-wide and reported by [`dict_byte_sizes`]).
+    ///
+    /// [`dict_byte_sizes`]: BlockTable::dict_byte_sizes
+    pub fn block_data_bytes(&self, bi: usize) -> &[u64] {
+        &self.data_bytes[bi]
+    }
+
+    /// Per-column shared-dictionary bytes (zero for non-dict columns),
+    /// charged once per scan that touches any block.
+    pub fn dict_byte_sizes(&self) -> &[u64] {
+        &self.dict_bytes
     }
 
     /// The stored table's typed schema. Constructors always push at

@@ -15,11 +15,20 @@
 //! expected one — extra or missing findings both fail — and every
 //! anchored expectation to match at least one finding at that span.
 
+//! Two per-file directives configure the estimation pass (PR 8), so only
+//! scenarios that opt in can trigger the DC03xx family:
+//!
+//! ```text
+//! -- budget: 1000            (tenant's remaining byte budget)
+//! -- cache_capacity: 2000    (shared materialized-cache capacity)
+//! ```
+
 use std::fs;
 use std::path::PathBuf;
 
 use datachat::analyze::{AnalysisContext, TableStats};
 use datachat::engine::{DataType, Field, Schema};
+use datachat::storage::BlockTable;
 
 fn schema(fields: &[(&str, DataType)]) -> Schema {
     Schema::new(
@@ -29,6 +38,38 @@ fn schema(fields: &[(&str, DataType)]) -> Schema {
             .collect::<Vec<_>>(),
     )
     .unwrap()
+}
+
+/// A real blocked table whose stats feed the estimation pass: the other
+/// context tables are stats-only literals (no block detail, so the
+/// estimator degrades conservatively on them), while these let goldens
+/// exercise tight, zone-map-priced bounds.
+fn block_backed(csv: &str, block_rows: usize) -> (Schema, TableStats) {
+    let t = datachat::engine::csv::read_csv(csv)
+        .expect("golden csv parses")
+        .encode_strings();
+    let bt = BlockTable::new(&t, block_rows).expect("blocked table builds");
+    (bt.schema().clone(), TableStats::from_block_table(&bt))
+}
+
+/// `history`: `day` rises monotonically (i / 10 over 1000 rows, 100-row
+/// blocks), so zone maps genuinely prune day-range filters.
+fn history_table() -> (Schema, TableStats) {
+    let mut csv = String::from("day,label\n");
+    for i in 0..1000 {
+        csv.push_str(&format!("{},r{}\n", i / 10, i % 3));
+    }
+    block_backed(&csv, 100)
+}
+
+/// A table whose `k` column provably holds one constant — the degenerate
+/// join key that turns a join into a cross product.
+fn constant_key_table(value_col: &str) -> (Schema, TableStats) {
+    let mut csv = format!("k,{value_col}\n");
+    for i in 0..40 {
+        csv.push_str(&format!("7,{i}\n"));
+    }
+    block_backed(&csv, 8)
 }
 
 /// The world every golden scenario is analyzed against.
@@ -94,6 +135,7 @@ fn golden_context() -> AnalysisContext {
             blocks: 8,
             bytes: 2_097_152,
             dict_sizes: vec![("session_id".to_string(), 49_500), ("url".to_string(), 120)],
+            ..TableStats::default()
         },
     )
     // A snapshot shadowing big_log: scanning the table triggers DC0202.
@@ -121,7 +163,28 @@ fn golden_context() -> AnalysisContext {
         "nums.csv",
         schema(&[("x", DataType::Int), ("y", DataType::Int)]),
     );
+    let (history_schema, history_stats) = history_table();
+    ctx.add_table("MainDatabase", "history", history_schema, history_stats);
+    let (pairs_schema, pairs_stats) = constant_key_table("v");
+    ctx.add_table("MainDatabase", "pairs", pairs_schema, pairs_stats);
+    let (pairs2_schema, pairs2_stats) = constant_key_table("w");
+    ctx.add_table("MainDatabase", "pairs2", pairs2_schema, pairs2_stats);
     ctx
+}
+
+/// Per-file estimation knobs (`-- budget:`, `-- cache_capacity:`).
+fn parse_knobs(text: &str) -> (Option<u64>, Option<u64>) {
+    let mut budget = None;
+    let mut capacity = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("-- budget:") {
+            budget = Some(v.trim().parse().expect("budget parses"));
+        } else if let Some(v) = line.strip_prefix("-- cache_capacity:") {
+            capacity = Some(v.trim().parse().expect("cache_capacity parses"));
+        }
+    }
+    (budget, capacity)
 }
 
 /// One `-- expect:` annotation.
@@ -180,6 +243,14 @@ fn golden_corpus_matches_expected_diagnostics() {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let text = fs::read_to_string(&path).unwrap();
         let expects = parse_expects(&text);
+        let (budget, capacity) = parse_knobs(&text);
+        let mut ctx = ctx.clone();
+        if let Some(b) = budget {
+            ctx.set_remaining_budget(b);
+        }
+        if let Some(c) = capacity {
+            ctx.set_cache_capacity(c);
+        }
         let analysis = datachat::gel::analyze_gel(&text, &ctx);
 
         let mut actual: Vec<&str> = analysis
