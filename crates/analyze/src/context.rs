@@ -304,6 +304,58 @@ impl AnalysisContext {
     }
 }
 
+/// The static half of the plan-time statistics contract: the analyzer's
+/// snapshot answers the optimizer's questions exactly the way the live
+/// [`Env`] does (same schema source, same dictionary cardinalities, same
+/// per-block uniqueness proof), so the estimation pass prices the *same*
+/// rewritten plan the executor runs.
+impl dc_skills::PlanStats for AnalysisContext {
+    fn table_schema(&self, database: &str, table: &str) -> Option<Schema> {
+        self.table(database, table).map(|(s, _)| s.clone())
+    }
+
+    fn table_rows(&self, database: &str, table: &str) -> Option<u64> {
+        self.table(database, table).map(|(_, st)| st.rows as u64)
+    }
+
+    fn column_distinct(&self, database: &str, table: &str, column: &str) -> Option<u64> {
+        let (_, st) = self.table(database, table)?;
+        st.dict_sizes
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(column))
+            .map(|(_, n)| *n as u64)
+    }
+
+    fn column_unique(&self, database: &str, table: &str, column: &str) -> bool {
+        let Some((schema, st)) = self.table(database, table) else {
+            return false;
+        };
+        let Some(ci) = schema.index_of(column) else {
+            return false;
+        };
+        let stats: Vec<ColumnStats> = st
+            .block_stats
+            .iter()
+            .filter_map(|b| b.columns.get(ci).cloned())
+            .collect();
+        if stats.len() != st.block_stats.len() || st.block_stats.is_empty() {
+            return false;
+        }
+        if stats.iter().map(|s| s.null_count).sum::<u64>() == 0 {
+            if let Some((_, dict)) = st
+                .dict_sizes
+                .iter()
+                .find(|(name, _)| name.eq_ignore_ascii_case(column))
+            {
+                if *dict == st.rows {
+                    return true;
+                }
+            }
+        }
+        dc_skills::int_blocks_unique(&stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,11 @@ use crate::context::AnalysisContext;
 use crate::diag::{Code, Diagnostic, Fix, Span};
 use crate::schema_pass::ancestor_sets;
 
+/// DC0206 fires only when the dead columns' payload reaches this many
+/// bytes — narrowing a scan that saves less than a block of I/O is
+/// noise, not advice.
+pub const DEAD_COLUMN_BYTES: u64 = 32 * 1024;
+
 /// Estimated scan price of one node, from block statistics. Only nodes
 /// that touch storage appear; pure transforms are free under the §3
 /// meter.
@@ -61,6 +66,9 @@ pub fn cost_pass(
         // get a NodeCost and the same lints as plain loads.
         if let SkillCall::LoadTable { database, table }
         | SkillCall::LoadTableFiltered {
+            database, table, ..
+        }
+        | SkillCall::LoadTableProjected {
             database, table, ..
         } = &node.call
         {
@@ -245,4 +253,152 @@ pub fn cost_pass(
         }
     }
     costs
+}
+
+/// Optimizer-backed lints: rewrites the cost optimizer would apply that
+/// are worth surfacing to the author even though the executor applies
+/// them transparently.
+///
+/// * **DC0206** — a scan loads columns no reachable step ever reads.
+///   Detected by running the plan optimizer and diffing which loads it
+///   narrowed to [`SkillCall::LoadTableProjected`]. Fires only with full
+///   per-block statistics and only when the dead columns' payload
+///   (block data bytes plus their dictionaries) reaches
+///   [`DEAD_COLUMN_BYTES`] — the executor already skips the waste, but
+///   the recipe as written over-states its own byte footprint.
+/// * **DC0207** — an inner-join chain whose written order is provably
+///   ≥4× worse (by the sound intermediate-row bound) than the best
+///   order. Advised on the *written* DAG via
+///   [`dc_skills::join_order_advice`], so it fires even when
+///   name-bindings block the automatic rewrite.
+pub fn optimizer_lints(
+    dag: &SkillDag,
+    targets: &[NodeId],
+    ctx: &AnalysisContext,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // DC0206: diff the optimizer's projected plan against the written one.
+    let optimized = if targets.is_empty() {
+        None
+    } else {
+        dc_skills::optimize_dag(dag, targets, &[], ctx)
+    };
+    if let Some(opt) = &optimized {
+        for node in opt.nodes() {
+            let SkillCall::LoadTableProjected {
+                database,
+                table,
+                columns,
+                ..
+            } = &node.call
+            else {
+                continue;
+            };
+            // Only loads the optimizer itself narrowed; a projected load
+            // the author wrote is already as narrow as they asked for.
+            let written = dag.node(node.id).map(|n| &n.call);
+            if !written.is_ok_and(|call| {
+                matches!(
+                    call,
+                    SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. }
+                )
+            }) {
+                continue;
+            }
+            let Some((schema, stats)) = ctx.table(database, table) else {
+                continue;
+            };
+            let ncols = schema.fields().len();
+            let detail = !stats.block_stats.is_empty()
+                && stats.block_stats.len() == stats.blocks
+                && stats.dict_bytes.len() == ncols
+                && stats
+                    .block_stats
+                    .iter()
+                    .all(|b| b.columns.len() == ncols && b.data_bytes.len() == ncols);
+            if !detail {
+                continue;
+            }
+            let live: Vec<usize> = columns.iter().filter_map(|c| schema.index_of(c)).collect();
+            let dead: Vec<usize> = (0..ncols).filter(|ci| !live.contains(ci)).collect();
+            let dead_bytes: u64 = dead
+                .iter()
+                .map(|&ci| {
+                    stats
+                        .block_stats
+                        .iter()
+                        .map(|b| b.data_bytes[ci])
+                        .sum::<u64>()
+                        + stats.dict_bytes[ci]
+                })
+                .sum();
+            if dead_bytes < DEAD_COLUMN_BYTES {
+                continue;
+            }
+            let dead_names: Vec<&str> = dead
+                .iter()
+                .map(|&ci| schema.fields()[ci].name.as_str())
+                .collect();
+            let written_name = dag.node(node.id).map_or("LoadTable", |n| n.call.name());
+            let replacement = match &node.call {
+                SkillCall::LoadTableProjected {
+                    predicate: Some(p), ..
+                } => format!(
+                    "Load the columns {} of the table {table} from the database {database} \
+                     where {}",
+                    columns.join(", "),
+                    p.to_sql()
+                ),
+                _ => format!(
+                    "Load the columns {} of the table {table} from the database {database}",
+                    columns.join(", ")
+                ),
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::DeadColumnLoaded,
+                    format!(
+                        "the scan of {database:?}.{table:?} loads {} column(s) ({}) that no \
+                         reachable step reads, ~{dead_bytes} wasted bytes per run",
+                        dead.len(),
+                        dead_names.join(", "),
+                    ),
+                )
+                .with_span(Span::node(node.id, written_name))
+                .with_fix(Fix::replace(
+                    format!(
+                        "load only the columns the recipe uses ({})",
+                        columns.join(", ")
+                    ),
+                    replacement,
+                )),
+            );
+        }
+    }
+
+    // DC0207: join_order_advice only returns chains whose written cost is
+    // provably ≥4× the best order's bound, so every entry is a finding.
+    for advice in dc_skills::join_order_advice(dag, ctx) {
+        let ratio = advice.written_cost / advice.best_cost.max(1);
+        let name = dag.node(advice.join).map_or("Join", |n| n.call.name());
+        diags.push(
+            Diagnostic::new(
+                Code::SuboptimalJoinOrder,
+                format!(
+                    "this inner-join chain joins [{}] in written order with an \
+                     intermediate-row bound of {}; joining [{}] instead bounds it at {} \
+                     ({ratio}x smaller)",
+                    advice.written_tables.join(", "),
+                    advice.written_cost,
+                    advice.best_tables.join(", "),
+                    advice.best_cost,
+                ),
+            )
+            .with_span(Span::node(advice.join, name))
+            .with_fix(Fix::new(
+                "join the most selective (unique-key) dimensions first and the \
+                 fan-out dimension last",
+            )),
+        );
+    }
 }

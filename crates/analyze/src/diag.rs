@@ -101,6 +101,14 @@ pub enum Code {
     /// reading the snapshot is fixed-cost while the re-derivation re-pays
     /// the scan bytes every run.
     SnapshotPrefixReload,
+    /// `DC0206` — a scan loads columns the pipeline provably never
+    /// reads and the dead payload is substantial; the optimizer's
+    /// projected scan would skip those bytes entirely.
+    DeadColumnLoaded,
+    /// `DC0207` — a chain of inner joins is written in a provably
+    /// suboptimal order: statistics bound every join's fan-out, and the
+    /// best order's intermediate-row bound is at least 4× smaller.
+    SuboptimalJoinOrder,
     /// `DC0301` — the pipeline's *guaranteed-lower-bound* scan cost
     /// already exceeds the tenant's remaining byte budget, so execution
     /// is certain to be evicted mid-run with `BudgetExhausted`. Fires
@@ -147,6 +155,8 @@ impl Code {
             Code::HighCardinalityDict => "DC0203",
             Code::UnprunablePredicate => "DC0204",
             Code::SnapshotPrefixReload => "DC0205",
+            Code::DeadColumnLoaded => "DC0206",
+            Code::SuboptimalJoinOrder => "DC0207",
             Code::PredictedBudgetExhaustion => "DC0301",
             Code::ExplosiveJoin => "DC0302",
             Code::UncacheableResult => "DC0303",
@@ -176,6 +186,8 @@ impl Code {
             Code::HighCardinalityDict => "high-cardinality dictionary column",
             Code::UnprunablePredicate => "filter above a scan cannot be pushed down",
             Code::SnapshotPrefixReload => "re-derives a snapshot-materialized sub-DAG",
+            Code::DeadColumnLoaded => "scan loads columns the pipeline never reads",
+            Code::SuboptimalJoinOrder => "join order provably suboptimal",
             Code::PredictedBudgetExhaustion => "predicted budget exhaustion",
             Code::ExplosiveJoin => "join output guaranteed to explode",
             Code::UncacheableResult => "estimated result exceeds cache capacity",
@@ -196,6 +208,8 @@ impl Code {
             | Code::HighCardinalityDict
             | Code::UnprunablePredicate
             | Code::SnapshotPrefixReload
+            | Code::DeadColumnLoaded
+            | Code::SuboptimalJoinOrder
             | Code::ExplosiveJoin
             | Code::UncacheableResult => Severity::Warning,
             _ => Severity::Error,
@@ -222,6 +236,8 @@ impl Code {
             Code::HighCardinalityDict,
             Code::UnprunablePredicate,
             Code::SnapshotPrefixReload,
+            Code::DeadColumnLoaded,
+            Code::SuboptimalJoinOrder,
             Code::PredictedBudgetExhaustion,
             Code::ExplosiveJoin,
             Code::UncacheableResult,

@@ -124,10 +124,16 @@ struct ScanEstimate {
 
 /// Price one catalog scan. Replicates `scan_with` exactly: a predicate
 /// naming any column absent from the schema is ignored wholesale; empty
-/// blocks count as pruned under a predicate; every scanned block pays
-/// all column payloads (loads never project), and each shared dictionary
-/// is paid once if any block is read.
-fn scan_estimate(schema: &Schema, stats: &TableStats, predicate: Option<&Expr>) -> ScanEstimate {
+/// blocks count as pruned under a predicate; the columns actually read
+/// are the projection (all, when absent) plus every predicate column,
+/// and each read column's shared dictionary is paid once if any block
+/// is read.
+fn scan_estimate(
+    schema: &Schema,
+    stats: &TableStats,
+    predicate: Option<&Expr>,
+    projection: Option<&[String]>,
+) -> ScanEstimate {
     let predicate = predicate.filter(|p| {
         let mut cols = Vec::new();
         p.referenced_columns(&mut cols);
@@ -140,44 +146,75 @@ fn scan_estimate(schema: &Schema, stats: &TableStats, predicate: Option<&Expr>) 
             .iter()
             .all(|b| b.columns.len() == cols && b.data_bytes.len() == cols)
     };
-    match predicate {
-        // No (usable) predicate: the scan reads everything and filters
-        // nothing — exact on whole-table counters alone.
-        None => ScanEstimate {
+    // `None` = the scan reads every column (the pre-projection charge).
+    let read_cols: Option<Vec<usize>> = projection.map(|cols| {
+        let mut read: Vec<usize> = cols.iter().filter_map(|c| schema.index_of(c)).collect();
+        if let Some(p) = predicate {
+            let mut pred_cols = Vec::new();
+            p.referenced_columns(&mut pred_cols);
+            for c in &pred_cols {
+                if let Some(i) = schema.index_of(c) {
+                    if !read.contains(&i) {
+                        read.push(i);
+                    }
+                }
+            }
+        }
+        read
+    });
+    match (&read_cols, predicate) {
+        // No projection, no (usable) predicate: the scan reads
+        // everything and filters nothing — exact on whole-table
+        // counters alone.
+        (None, None) => ScanEstimate {
             bytes_lo: stats.bytes,
             bytes_hi: stats.bytes,
             rows: RowBounds::exact(stats.rows as u64),
         },
-        Some(p) if detail => {
+        (read, p) if detail => {
+            let block_bytes = |bytes: &[u64]| -> u64 {
+                match read {
+                    Some(cols) => cols.iter().map(|&ci| bytes[ci]).sum(),
+                    None => bytes.iter().sum(),
+                }
+            };
             let mut bytes = 0u64;
             let mut scanned = 0usize;
             let mut rows_lo = 0u64;
             let mut rows_hi = 0u64;
             for block in &stats.block_stats {
-                let verdict = if block.rows == 0 {
-                    Tri::AllFalse
-                } else {
-                    let lookup =
-                        |name: &str| schema.index_of(name).map(|ci| block.columns[ci].clone());
-                    prune_predicate(p, &lookup)
+                let verdict = match p {
+                    None => Tri::AllTrue,
+                    Some(_) if block.rows == 0 => Tri::AllFalse,
+                    Some(p) => {
+                        let lookup =
+                            |name: &str| schema.index_of(name).map(|ci| block.columns[ci].clone());
+                        prune_predicate(p, &lookup)
+                    }
                 };
                 match verdict {
                     Tri::AllFalse => {}
                     Tri::AllTrue => {
                         scanned += 1;
-                        bytes += block.data_bytes.iter().sum::<u64>();
+                        bytes += block_bytes(&block.data_bytes);
                         rows_lo += block.rows;
                         rows_hi += block.rows;
                     }
                     Tri::Unknown => {
                         scanned += 1;
-                        bytes += block.data_bytes.iter().sum::<u64>();
+                        bytes += block_bytes(&block.data_bytes);
                         rows_hi += block.rows;
                     }
                 }
             }
             if scanned > 0 {
-                bytes += stats.dict_bytes.iter().sum::<u64>();
+                bytes += match read {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|&ci| stats.dict_bytes.get(ci).copied().unwrap_or(0))
+                        .sum(),
+                    None => stats.dict_bytes.iter().sum::<u64>(),
+                };
             }
             ScanEstimate {
                 bytes_lo: bytes,
@@ -188,15 +225,19 @@ fn scan_estimate(schema: &Schema, stats: &TableStats, predicate: Option<&Expr>) 
                 },
             }
         }
-        // Predicate but no block detail (builder-made context): degrade
-        // to the conservative two-sided bound — the scan may prune
-        // everything or nothing.
-        Some(_) => ScanEstimate {
+        // Projection and/or predicate but no block detail (builder-made
+        // context): degrade bytes to the conservative two-sided bound.
+        // A pure projection still returns every row.
+        (_, p) => ScanEstimate {
             bytes_lo: 0,
             bytes_hi: stats.bytes,
-            rows: RowBounds {
-                lo: 0,
-                hi: Some(stats.rows as u64),
+            rows: if p.is_none() {
+                RowBounds::exact(stats.rows as u64)
+            } else {
+                RowBounds {
+                    lo: 0,
+                    hi: Some(stats.rows as u64),
+                }
             },
         },
     }
@@ -321,6 +362,9 @@ fn load_table<'a>(ctx: &'a AnalysisContext, call: &SkillCall) -> Option<&'a (Sch
         SkillCall::LoadTable { database, table }
         | SkillCall::LoadTableFiltered {
             database, table, ..
+        }
+        | SkillCall::LoadTableProjected {
+            database, table, ..
         } => ctx.table(database, table),
         _ => None,
     }
@@ -330,6 +374,15 @@ fn load_table<'a>(ctx: &'a AnalysisContext, call: &SkillCall) -> Option<&'a (Sch
 fn load_predicate(call: &SkillCall) -> Option<&Expr> {
     match call {
         SkillCall::LoadTableFiltered { predicate, .. } => Some(predicate),
+        SkillCall::LoadTableProjected { predicate, .. } => predicate.as_ref(),
+        _ => None,
+    }
+}
+
+/// The column projection planned into a node's scan, if any.
+fn load_projection(call: &SkillCall) -> Option<&[String]> {
+    match call {
+        SkillCall::LoadTableProjected { columns, .. } => Some(columns),
         _ => None,
     }
 }
@@ -397,8 +450,19 @@ pub fn estimate_pass(
     schemas: &HashMap<NodeId, Option<Schema>>,
     diags: &mut Vec<Diagnostic>,
 ) -> DagEstimates {
-    // Price the plan the executor actually runs: filters fused into
-    // scans exactly as `run_resilient` will fuse them.
+    // Price the plan the executor actually runs: the cost-based
+    // optimizer first (projection pushdown, filter hoisting, join
+    // ordering — the context implements the same `PlanStats` interface
+    // the executor plans with, so both sides rewrite identically), then
+    // predicate pushdown exactly as `run_resilient` will fuse it.
+    // Whole-DAG analyses (empty target set) skip the optimizer: without
+    // targets every node is observable and nothing may be rewritten.
+    let optimized = if targets.is_empty() {
+        None
+    } else {
+        dc_skills::optimize_dag(dag, targets, &[], ctx)
+    };
+    let dag = optimized.as_ref().unwrap_or(dag);
     let planned = plan_pushdown(dag, targets, &[]);
     let dag = planned.as_ref().unwrap_or(dag);
 
@@ -431,24 +495,31 @@ pub fn estimate_pass(
         let mut bytes_hi = 0u64;
         let mut out_bytes_override: Option<u64> = None;
         let bounds = match &node.call {
-            SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. } => {
-                match load_table(ctx, &node.call) {
-                    Some((schema, stats)) => {
-                        let est = scan_estimate(schema, stats, load_predicate(&node.call));
-                        bytes_lo = est.bytes_lo;
-                        bytes_hi = est.bytes_hi;
-                        // Loads re-emit stored rows: scale the stored
-                        // footprint instead of the width model.
-                        if stats.rows > 0 {
-                            out_bytes_override = est.rows.hi.map(|h| {
-                                (stats.bytes as u128 * u128::from(h) / stats.rows as u128) as u64
-                            });
-                        }
-                        est.rows
+            SkillCall::LoadTable { .. }
+            | SkillCall::LoadTableFiltered { .. }
+            | SkillCall::LoadTableProjected { .. } => match load_table(ctx, &node.call) {
+                Some((schema, stats)) => {
+                    let est = scan_estimate(
+                        schema,
+                        stats,
+                        load_predicate(&node.call),
+                        load_projection(&node.call),
+                    );
+                    bytes_lo = est.bytes_lo;
+                    bytes_hi = est.bytes_hi;
+                    // Loads re-emit stored rows: scale the stored
+                    // footprint instead of the width model. Projected
+                    // loads emit narrower rows — fall through to the
+                    // width model over the projected schema instead.
+                    if stats.rows > 0 && load_projection(&node.call).is_none() {
+                        out_bytes_override = est.rows.hi.map(|h| {
+                            (stats.bytes as u128 * u128::from(h) / stats.rows as u128) as u64
+                        });
                     }
-                    None => RowBounds::unknown(),
+                    est.rows
                 }
-            }
+                None => RowBounds::unknown(),
+            },
             // A bound `UseDataset` re-reads its producer; unbound falls
             // through to the environment (unknown to the analyzer).
             SkillCall::UseDataset { .. } => {
@@ -863,6 +934,9 @@ pub fn estimate_steps(env: &dc_skills::Env, steps: &[SkillCall]) -> StepEstimate
             SkillCall::LoadTable { database, table }
             | SkillCall::LoadTableFiltered {
                 database, table, ..
+            }
+            | SkillCall::LoadTableProjected {
+                database, table, ..
             } => (database.clone(), table.clone()),
             _ => {
                 per_step.push(0);
@@ -879,7 +953,9 @@ pub fn estimate_steps(env: &dc_skills::Env, steps: &[SkillCall]) -> StepEstimate
                     .map(|bt| (bt.schema().clone(), TableStats::from_block_table(bt)))
             });
         let bytes = match entry {
-            Some((schema, stats)) => scan_estimate(schema, stats, load_predicate(step)).bytes_hi,
+            Some((schema, stats)) => {
+                scan_estimate(schema, stats, load_predicate(step), load_projection(step)).bytes_hi
+            }
             None => 0, // unknown table: the step will fail before scanning
         };
         per_step.push(bytes);

@@ -156,6 +156,7 @@ pub fn analyze_dag(dag: &SkillDag, targets: &[NodeId], ctx: &AnalysisContext) ->
     let schemas = schema_pass::schema_pass(dag, ctx, &mut diagnostics);
     dataflow::dataflow_pass(dag, targets, &mut diagnostics);
     let costs = cost::cost_pass(dag, ctx, &mut diagnostics);
+    cost::optimizer_lints(dag, targets, ctx, &mut diagnostics);
     let estimates = estimate::estimate_pass(dag, targets, ctx, &schemas, &mut diagnostics);
     Analysis {
         diagnostics,

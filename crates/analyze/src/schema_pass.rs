@@ -193,6 +193,32 @@ impl Pass<'_> {
                     None
                 }
             },
+            // Planner-internal projected scan: the output carries the
+            // projected columns only, in the call's column order.
+            LoadTableProjected {
+                database,
+                table,
+                columns,
+                ..
+            } => match self.ctx.table(database, table) {
+                Some((schema, _stats)) => {
+                    let fields: Vec<_> = columns
+                        .iter()
+                        .filter_map(|c| schema.field(c).cloned())
+                        .collect();
+                    dc_engine::Schema::new(fields).ok()
+                }
+                None => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::UnknownDataset,
+                            format!("unknown table {database:?}.{table:?} in the catalog"),
+                        )
+                        .with_span(span()),
+                    );
+                    None
+                }
+            },
             UseDataset { name, .. } => {
                 if !inputs.is_empty() {
                     // The DAG wired the named node as our input.

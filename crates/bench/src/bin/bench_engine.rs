@@ -268,6 +268,253 @@ fn assert_gather_fast(t: &Table) {
     );
 }
 
+/// The optimizer phase's 3-join star world: `fact` rows carry a fan-out
+/// key (`fan_keys` values, `per_key` dimension rows each) and a sparse
+/// key of which the unique-key dimension covers only `sel_keys` of
+/// `key_space` values. The written plan joins the fan-out dimension
+/// first — the worst order — and the optimizer provably flips it.
+fn star_env(
+    fact_rows: usize,
+    fan_keys: usize,
+    per_key: usize,
+    key_space: usize,
+    sel_keys: usize,
+) -> dc_skills::Env {
+    use dc_storage::{CloudDatabase, Pricing};
+    let fact = Table::new(vec![
+        (
+            "fk",
+            Column::from_ints((0..fact_rows as i64).map(|i| i % fan_keys as i64).collect()),
+        ),
+        (
+            "uk",
+            Column::from_ints(
+                (0..fact_rows as i64)
+                    .map(|i| (i * 7919) % key_space as i64)
+                    .collect(),
+            ),
+        ),
+        (
+            "v",
+            Column::from_floats((0..fact_rows).map(|i| (i % 997) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("fact builds");
+    let fan_rows = fan_keys * per_key;
+    let fan = Table::new(vec![
+        (
+            "k",
+            Column::from_ints((0..fan_rows as i64).map(|i| i % fan_keys as i64).collect()),
+        ),
+        (
+            "fw",
+            Column::from_floats((0..fan_rows).map(|i| i as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("fan builds");
+    let sel = Table::new(vec![
+        ("k", Column::from_ints((0..sel_keys as i64).collect())),
+        (
+            "sw",
+            Column::from_floats((0..sel_keys).map(|i| (i * 2) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .expect("sel builds");
+    let mut env = dc_skills::Env::new();
+    let mut db = CloudDatabase::new("bench", Pricing::default_cloud());
+    db.create_table_with_blocks("fact", &fact, 8192)
+        .expect("fact");
+    db.create_table_with_blocks("fan", &fan, 4096).expect("fan");
+    db.create_table_with_blocks("sel", &sel, 512).expect("sel");
+    env.catalog.add_database(db).expect("db");
+    env
+}
+
+/// fact ⋈ fan ⋈ sel → sum(v) by fk, joins written fan-first.
+fn star_dag() -> (dc_skills::SkillDag, dc_skills::NodeId) {
+    use dc_skills::{SkillCall, SkillDag};
+    let mut dag = SkillDag::new();
+    let load = |dag: &mut SkillDag, table: &str| {
+        dag.add(
+            SkillCall::LoadTable {
+                database: "bench".into(),
+                table: table.into(),
+            },
+            vec![],
+        )
+        .expect("load node")
+    };
+    let fact = load(&mut dag, "fact");
+    let fan = load(&mut dag, "fan");
+    let sel = load(&mut dag, "sel");
+    let j1 = dag
+        .add(
+            SkillCall::Join {
+                other: "fan".into(),
+                left_on: vec!["fk".into()],
+                right_on: vec!["k".into()],
+                how: JoinType::Inner,
+            },
+            vec![fact, fan],
+        )
+        .expect("join fan");
+    let j2 = dag
+        .add(
+            SkillCall::Join {
+                other: "sel".into(),
+                left_on: vec!["uk".into()],
+                right_on: vec!["k".into()],
+                how: JoinType::Inner,
+            },
+            vec![j1, sel],
+        )
+        .expect("join sel");
+    let g = dag
+        .add(
+            SkillCall::Compute {
+                aggs: vec![AggSpec::new(AggFunc::Sum, "v", "total")],
+                for_each: vec!["fk".into()],
+            },
+            vec![j2],
+        )
+        .expect("compute node");
+    (dag, g)
+}
+
+/// A 24-column table of which the wide-projection recipe reads two.
+fn wide_env(rows: usize) -> dc_skills::Env {
+    use dc_storage::{CloudDatabase, Pricing};
+    let mut t = Table::new(vec![(
+        "day",
+        Column::from_ints((0..rows as i64).map(|i| i / 1000).collect()),
+    )])
+    .expect("wide builds");
+    for c in 1..24i64 {
+        t.add_column(
+            &format!("m{c}"),
+            Column::from_ints((0..rows as i64).map(|i| (i * c) % 1009).collect()),
+        )
+        .expect("metric column");
+    }
+    let mut env = dc_skills::Env::new();
+    let mut db = CloudDatabase::new("bench", Pricing::default_cloud());
+    db.create_table_with_blocks("wide", &t, 8192).expect("wide");
+    env.catalog.add_database(db).expect("db");
+    env
+}
+
+/// load wide → filter on day → sum(m1) by day. Only 2 of 24 columns are
+/// live, so projection pushdown should drop ~11/12 of the scan bytes.
+fn wide_dag() -> (dc_skills::SkillDag, dc_skills::NodeId) {
+    use dc_skills::{SkillCall, SkillDag};
+    let mut dag = SkillDag::new();
+    let l = dag
+        .add(
+            SkillCall::LoadTable {
+                database: "bench".into(),
+                table: "wide".into(),
+            },
+            vec![],
+        )
+        .expect("load node");
+    let f = dag
+        .add(
+            SkillCall::KeepRows {
+                predicate: Expr::col("day").gt(Expr::lit(0i64)),
+            },
+            vec![l],
+        )
+        .expect("filter node");
+    let g = dag
+        .add(
+            SkillCall::Compute {
+                aggs: vec![AggSpec::new(AggFunc::Sum, "m1", "total")],
+                for_each: vec!["day".into()],
+            },
+            vec![f],
+        )
+        .expect("compute node");
+    (dag, g)
+}
+
+/// Run one optimizer-phase pipeline to completion through the resilient
+/// scheduler with the optimizer on or off; returns (ns, bytes_scanned,
+/// output). A fresh executor per run keeps the sub-DAG cache cold.
+fn run_plan(
+    env_of: &dyn Fn() -> dc_skills::Env,
+    dag: &dc_skills::SkillDag,
+    target: dc_skills::NodeId,
+    optimize: bool,
+) -> (u128, u64, dc_skills::SkillOutput) {
+    use dc_skills::resilient::ExecPolicy;
+    use dc_skills::Executor;
+    let policy = ExecPolicy {
+        optimize,
+        ..ExecPolicy::default()
+    };
+    let mut best_ns = u128::MAX;
+    let mut bytes = 0;
+    let mut output = None;
+    for _ in 0..REPEATS {
+        let mut env = env_of();
+        let mut ex = Executor::new();
+        let start = Instant::now();
+        let report = ex
+            .run_resilient(dag, target, &mut env, &policy)
+            .expect("pipeline runs");
+        best_ns = best_ns.min(start.elapsed().as_nanos());
+        assert!(report.succeeded(), "optimizer-phase pipeline failed");
+        bytes = report.nodes.iter().map(|n| n.bytes_scanned).sum();
+        output = report.output;
+    }
+    (best_ns, bytes, output.expect("pipeline output"))
+}
+
+/// `--smoke` half 3: the optimizer must leave results untouched while
+/// never charging more scan bytes than the plan as written.
+/// `(name, env builder, dag, target)` of one optimizer smoke case.
+type OptCase = (
+    &'static str,
+    Box<dyn Fn() -> dc_skills::Env>,
+    dc_skills::SkillDag,
+    dc_skills::NodeId,
+);
+
+fn optimizer_divergences() -> Vec<String> {
+    let mut bad = Vec::new();
+    let cases: Vec<OptCase> = {
+        let (star, star_t) = star_dag();
+        let (wide, wide_t) = wide_dag();
+        vec![
+            (
+                "star_3join",
+                Box::new(|| star_env(20_000, 500, 10, 10_000, 200)),
+                star,
+                star_t,
+            ),
+            (
+                "wide_projection",
+                Box::new(|| wide_env(4_000)),
+                wide,
+                wide_t,
+            ),
+        ]
+    };
+    for (name, env_of, dag, target) in &cases {
+        let (_, opt_bytes, opt_out) = run_plan(env_of, dag, *target, true);
+        let (_, raw_bytes, raw_out) = run_plan(env_of, dag, *target, false);
+        if opt_out != raw_out {
+            bad.push(format!("{name}: optimized output diverges from as-written"));
+        }
+        if opt_bytes > raw_bytes {
+            bad.push(format!(
+                "{name}: optimized plan charged {opt_bytes} bytes, as-written {raw_bytes}"
+            ));
+        }
+    }
+    bad
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         // CI gate: small input, no timing, no JSON — just dict/plain
@@ -283,7 +530,15 @@ fn main() {
             eprintln!("smoke FAILED: zone-map pruning violations: {bad:?}");
             std::process::exit(1);
         }
-        println!("smoke ok: dict kernels agree and pruned scans are cheaper + identical");
+        let bad = optimizer_divergences();
+        if !bad.is_empty() {
+            eprintln!("smoke FAILED: optimizer violations: {bad:?}");
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: dict kernels agree, pruned scans are cheaper + identical, \
+             optimized plans are byte-cheaper + identical"
+        );
         return;
     }
 
@@ -545,6 +800,50 @@ fn main() {
         }
     }
 
+    // Cost-based optimizer phase: the same written DAG through the
+    // executor with the optimizer on and off. The star prices join
+    // reordering (fan-out dimension written first); the wide scan prices
+    // projection pushdown (2 of 24 columns live).
+    {
+        let (star, star_t) = star_dag();
+        let star_world: Box<dyn Fn() -> dc_skills::Env> =
+            Box::new(|| star_env(300_000, 5_000, 10, 100_000, 1_000));
+        let (wide, wide_t) = wide_dag();
+        let wide_world: Box<dyn Fn() -> dc_skills::Env> = Box::new(|| wide_env(200_000));
+        for (op, rows, env_of, dag, target) in [
+            ("exec_star_3join", 300_000, &star_world, &star, star_t),
+            ("exec_wide_projection", 200_000, &wide_world, &wide, wide_t),
+        ] {
+            let (opt_ns, opt_bytes, opt_out) = run_plan(env_of, dag, target, true);
+            let (raw_ns, raw_bytes, raw_out) = run_plan(env_of, dag, target, false);
+            assert_eq!(opt_out, raw_out, "{op}: optimized output diverged");
+            assert!(
+                opt_bytes <= raw_bytes,
+                "{op}: optimized plan charged more bytes ({opt_bytes} > {raw_bytes})"
+            );
+            for (mode, ns, bytes) in [
+                ("optimized", opt_ns, opt_bytes),
+                ("as_written", raw_ns, raw_bytes),
+            ] {
+                println!(
+                    "{op:<28} {mode:<10} {:>10.2} ms  ({bytes} bytes scanned)",
+                    ns as f64 / 1e6
+                );
+                records.push(Record {
+                    op,
+                    rows,
+                    mode,
+                    ns_per_op: ns,
+                    out_rows: 0,
+                    bytes_scanned: bytes,
+                    bytes_pruned: 0,
+                    cache_hits: 0,
+                    bytes_saved: 0,
+                });
+            }
+        }
+    }
+
     // Hand-rolled JSON: the workspace deliberately carries no serde.
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
@@ -598,6 +897,20 @@ fn main() {
             ratio(op, "pruned", "unpruned"),
             r.bytes_pruned,
             r.bytes_pruned + r.bytes_scanned,
+        );
+    }
+    for op in ["exec_star_3join", "exec_wide_projection"] {
+        let bytes = |mode: &str| {
+            records
+                .iter()
+                .find(|r| r.op == op && r.mode == mode)
+                .expect("optimizer record")
+                .bytes_scanned
+        };
+        println!(
+            "{op:<28} optimizer speedup {:>5.2}x wall, {:.2}x bytes",
+            ratio(op, "optimized", "as_written"),
+            bytes("as_written") as f64 / (bytes("optimized").max(1)) as f64,
         );
     }
     println!("wrote BENCH_engine.json");

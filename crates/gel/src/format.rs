@@ -68,6 +68,22 @@ pub fn format_skill(call: &SkillCall) -> String {
             "Load the table {table} from the database {database} where {}",
             format_condition(predicate)
         ),
+        LoadTableProjected {
+            database,
+            table,
+            columns,
+            predicate,
+        } => match predicate {
+            Some(p) => format!(
+                "Load the columns {} of the table {table} from the database {database} where {}",
+                format_list(columns),
+                format_condition(p)
+            ),
+            None => format!(
+                "Load the columns {} of the table {table} from the database {database}",
+                format_list(columns)
+            ),
+        },
         UseDataset { name, version } => match version {
             Some(v) => format!("Use the dataset {name}, version {v}"),
             None => format!("Use the dataset {name}"),

@@ -276,6 +276,27 @@ pub fn parse_gel(sentence: &str) -> Result<SkillCall> {
     if let Some(rest) = strip_ci(s, "load data from the url") {
         return Ok(SkillCall::LoadUrl { url: rest.into() });
     }
+    if let Some(rest) = strip_ci(s, "load the columns") {
+        let (cols, rest) = split_word_ci(rest, "of the table")
+            .ok_or_else(|| GelError::bad_phrase("expected of the table <table>", rest))?;
+        let (table, db) = split_word_ci(rest, "from the database")
+            .ok_or_else(|| GelError::bad_phrase("expected from the database <db>", rest))?;
+        let columns = parse_list(cols);
+        if let Some((db, cond)) = split_word_ci(db, "where") {
+            return Ok(SkillCall::LoadTableProjected {
+                database: db.into(),
+                table: table.into(),
+                columns,
+                predicate: Some(parse_condition(cond)?),
+            });
+        }
+        return Ok(SkillCall::LoadTableProjected {
+            database: db.into(),
+            table: table.into(),
+            columns,
+            predicate: None,
+        });
+    }
     if let Some(rest) = strip_ci(s, "load the table") {
         let (table, db) = split_word_ci(rest, "from the database")
             .ok_or_else(|| GelError::bad_phrase("expected from the database <db>", rest))?;

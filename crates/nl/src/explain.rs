@@ -104,6 +104,13 @@ fn english_of(call: &SkillCall) -> String {
         LoadUrl { url } => format!("Downloads {url}, parses it as CSV, and makes the result the current dataset."),
         LoadTable { database, table } => format!("Scans the table {table} in the database {database}; the scan is metered under that database's pricing."),
         LoadTableFiltered { database, table, predicate } => format!("Scans the table {table} in the database {database} with the filter {} pushed into the scan, skipping blocks whose zone maps prove no row can match; only blocks actually read are metered.", predicate.to_sql()),
+        LoadTableProjected { database, table, columns, predicate } => {
+            let pred = match predicate {
+                Some(p) => format!(" and the filter {} pushed into the scan", p.to_sql()),
+                None => String::new(),
+            };
+            format!("Scans only the columns {} of the table {table} in the database {database}{pred}; untouched columns cost no scan bytes.", columns.join(", "))
+        }
         UseDataset { name, .. } => format!("Switches the current dataset back to the earlier result named {name} without recomputing it."),
         UseSnapshot { name } => format!("Reads the locally cached snapshot {name}; no cloud scan is charged."),
         DescribeColumn { column } => format!("Summarizes column {column}: row and null counts, distinct values, and numeric moments where applicable. The data itself is unchanged."),

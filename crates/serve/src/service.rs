@@ -343,6 +343,9 @@ fn estimate_scan_bytes(env: &Env, steps: &[SkillCall]) -> u64 {
             SkillCall::LoadTable { database, table }
             | SkillCall::LoadTableFiltered {
                 database, table, ..
+            }
+            | SkillCall::LoadTableProjected {
+                database, table, ..
             } => {
                 if seen.contains(&(database.as_str(), table.as_str())) {
                     return 0;

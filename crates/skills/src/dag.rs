@@ -168,6 +168,53 @@ impl SkillDag {
         Ok(())
     }
 
+    /// Every node bound to a dataset name, across all versions. These
+    /// nodes are addressable from outside the DAG (`Use the dataset`),
+    /// so plan rewrites must leave their outputs untouched.
+    pub fn bound_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.names.values().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Repoint `consumer`'s input edges from `from` to `to`. Used by
+    /// plan-time rewrites (load dedup) that merge structurally identical
+    /// producers; `to` must precede `consumer` so the topological
+    /// invariant (`inputs < id`) is preserved.
+    pub fn redirect_input(&mut self, consumer: NodeId, from: NodeId, to: NodeId) -> Result<()> {
+        if self.nodes.get(consumer).is_none() || self.nodes.get(to).is_none() {
+            return Err(SkillError::NodeNotFound {
+                id: consumer.max(to),
+            });
+        }
+        if to >= consumer {
+            return Err(SkillError::invalid(format!(
+                "redirect target {to} does not precede consumer {consumer}"
+            )));
+        }
+        for input in self.nodes[consumer].inputs.iter_mut() {
+            if *input == from {
+                *input = to;
+            }
+        }
+        Ok(())
+    }
+
+    /// How many consumer edges point at each node (a node feeding two
+    /// inputs of one consumer counts twice). One O(edges) pass, shared
+    /// by the pushdown planner and the optimizer so neither rescans the
+    /// whole DAG per candidate node.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &input in &node.inputs {
+                counts[input] += 1;
+            }
+        }
+        counts
+    }
+
     /// Render the DAG in Graphviz dot syntax (the §2.3 graphical view).
     /// Node labels are the skill names; edges carry the data flow.
     pub fn to_dot(&self) -> String {

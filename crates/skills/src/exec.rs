@@ -46,6 +46,7 @@ pub fn needs_env(call: &SkillCall, has_input: bool) -> bool {
         | LoadUrl { .. }
         | LoadTable { .. }
         | LoadTableFiltered { .. }
+        | LoadTableProjected { .. }
         | UseSnapshot { .. }
         | ListDatasets
         | TrainModel { .. }
@@ -92,6 +93,21 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             let db = env.catalog.database(database)?;
             let mut opts = ScanOptions::full();
             opts.predicate = Some(predicate.clone());
+            opts.cancel = Some(env.cancel.clone());
+            let (data, receipt) = db.scan(table, &opts)?;
+            env.scan_tally.record(&receipt);
+            Ok(SkillOutput::Table(data))
+        }
+        LoadTableProjected {
+            database,
+            table,
+            columns,
+            predicate,
+        } => {
+            let db = env.catalog.database(database)?;
+            let mut opts = ScanOptions::full();
+            opts.columns = Some(columns.clone());
+            opts.predicate = predicate.clone();
             opts.cancel = Some(env.cancel.clone());
             let (data, receipt) = db.scan(table, &opts)?;
             env.scan_tally.record(&receipt);
@@ -783,6 +799,9 @@ fn versioned_call_sig(call: &SkillCall, env: &Env) -> (String, bool) {
         SkillCall::LoadTable { database, table }
         | SkillCall::LoadTableFiltered {
             database, table, ..
+        }
+        | SkillCall::LoadTableProjected {
+            database, table, ..
         } => {
             let version = env
                 .catalog
@@ -852,8 +871,12 @@ pub(crate) type BeforeExecuteHook = Arc<dyn Fn(&SkillCall) + Send + Sync>;
 /// the `parallel` feature is on. Cached tables are held behind
 /// [`Arc`], so cache hits and fan-out reuse are pointer copies, never
 /// deep clones.
-#[derive(Default)]
 pub struct Executor {
+    /// Whether the cost-based optimizer pass ([`crate::optimize`]) runs
+    /// over each DAG before pushdown planning. On by default; turn off
+    /// to execute plans exactly as written (the rewrites are invisible
+    /// to results either way).
+    pub optimize: bool,
     /// Structural signature → interned sub-DAG id.
     pub(crate) interner: HashMap<KeySig, SubDagId>,
     /// Interned id → (output, downstream-facing table).
@@ -869,6 +892,20 @@ pub struct Executor {
     /// Test/chaos instrumentation (e.g. to make specific nodes slow or
     /// panic on demand).
     pub(crate) before_execute: Option<BeforeExecuteHook>,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor {
+            optimize: true,
+            interner: HashMap::new(),
+            cache: HashMap::new(),
+            costs: HashMap::new(),
+            tainted: HashSet::new(),
+            stats: ExecutorStats::default(),
+            before_execute: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Executor {
@@ -988,9 +1025,17 @@ impl Executor {
 
     /// Ensure `target`'s sub-DAG result is in the cache, returning its id.
     fn materialize(&mut self, dag: &SkillDag, target: NodeId, env: &mut Env) -> Result<SubDagId> {
-        // Fuse single-consumer filters into their scans so zone maps can
-        // prune blocks. The rewrite preserves node ids and filter nodes,
-        // so caching, reporting, and error attribution are unaffected.
+        // Cost-based rewrites first (projection pushdown, filter
+        // hoisting, join reordering, dedup), then fuse single-consumer
+        // filters into their scans so zone maps can prune blocks. Both
+        // passes preserve node ids and filter nodes, so caching,
+        // reporting, and error attribution are unaffected.
+        let optimized = if self.optimize {
+            crate::optimize::optimize_dag(dag, &[target], &[], env)
+        } else {
+            None
+        };
+        let dag = optimized.as_ref().unwrap_or(dag);
         let planned = crate::pushdown::plan_pushdown(dag, &[target], &[]);
         let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;

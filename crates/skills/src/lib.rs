@@ -23,6 +23,7 @@ pub mod env;
 pub mod error;
 pub mod exec;
 pub mod exec_plan;
+pub mod optimize;
 pub mod output;
 pub mod planner;
 pub mod pushdown;
@@ -38,6 +39,9 @@ pub use exec::{
     execute_call, execute_pure_call, needs_env, structural_ids, Executor, ExecutorStats, SubDagId,
 };
 pub use exec_plan::{run_planned, PlannedStats};
+pub use optimize::{
+    int_blocks_unique, join_order_advice, optimize_dag, JoinOrderAdvice, PlanStats,
+};
 pub use output::SkillOutput;
 pub use planner::{plan, ExecutionTask};
 pub use pushdown::{plan_linear_pushdown, plan_pushdown};

@@ -1,0 +1,1662 @@
+//! Cost-based plan optimizer (ROADMAP item 4).
+//!
+//! Runs over a planned [`SkillDag`] after planning and before
+//! [`crate::pushdown::plan_pushdown`], applying four rewrite families:
+//!
+//! 1. **Projection pushdown** — a column-liveness pass threads the
+//!    minimal live column set of every unprotected `LoadTable` /
+//!    `LoadTableFiltered` into a [`SkillCall::LoadTableProjected`], so
+//!    the storage scan never reads (or charges for) dead columns.
+//! 2. **Filter hoisting** — prunable conjuncts of `KeepRows` /
+//!    `DropRows` predicates sink below joins, concats, and group-bys
+//!    whose semantics provably pass the referenced columns through
+//!    unchanged, landing as scan predicates on the source loads. This
+//!    generalizes PR 5's sole-consumer, directly-above-load fusion.
+//! 3. **Join-order selection** — chains/stars of 2–4 inner joins are
+//!    re-ordered by estimator-style interval upper bounds (dictionary
+//!    cardinalities and provable key uniqueness); the written order is
+//!    kept on ties or unbounded estimates.
+//! 4. **Flattening** — adjacent `KeepRows` pairs merge into one
+//!    conjunction (so deeper predicates reach the scan), and duplicate
+//!    load nodes dedup by redirecting consumers to the first copy.
+//!
+//! Every rewrite preserves the PR 5 discipline: node ids and node count
+//! never change (calls are swapped in place, edges only redirect to
+//! structural twins), targets / vetoed nodes / name-bound nodes are
+//! never rewritten and never observe different bytes, and the filter
+//! nodes above hoisted predicates still evaluate their full predicate,
+//! so pushed filters are purely an optimization.
+//!
+//! The pass is deterministic: given the same DAG and the same
+//! [`PlanStats`] answers it produces the same plan, which is how the
+//! executor (stats from [`Env`]) and the static estimator (stats from
+//! `dc-analyze`'s context) stay in agreement.
+
+use std::collections::BTreeSet;
+
+use dc_engine::expr::prune::{nnf, prunable_conjuncts, ColumnStats};
+use dc_engine::{Expr, Schema, Value};
+
+use crate::dag::{NodeId, SkillDag};
+use crate::env::Env;
+use crate::skill::SkillCall;
+
+/// The statistics interface the optimizer plans against. Implemented by
+/// [`Env`] (live catalog) and by `dc-analyze`'s `AnalysisContext`
+/// (static snapshot), so plan-time and analysis-time rewrites agree.
+///
+/// Schema answers drive the *semantic* rewrites (projection, hoisting);
+/// row counts, distinct counts, and uniqueness proofs drive only the
+/// join-order *cost* comparison, so a provider without them still
+/// produces a correct (just unreordered) plan.
+pub trait PlanStats {
+    /// Schema of a catalog table, if known.
+    fn table_schema(&self, database: &str, table: &str) -> Option<Schema>;
+    /// Exact row count of a catalog table, if known.
+    fn table_rows(&self, database: &str, table: &str) -> Option<u64>;
+    /// Exact distinct-value count of a column (dictionary cardinality),
+    /// if known.
+    fn column_distinct(&self, database: &str, table: &str, column: &str) -> Option<u64>;
+    /// Whether every row of `column` is provably distinct and non-null.
+    /// Must only return `true` on a proof — join reordering relies on
+    /// uniqueness for exact row-order preservation, not just cost.
+    fn column_unique(&self, database: &str, table: &str, column: &str) -> bool;
+}
+
+/// Uniqueness proof for an integer column from per-block statistics:
+/// every block is a dense null-free run (`max - min + 1 == rows`) and
+/// the block ranges are pairwise disjoint, so all values are distinct.
+/// This is exactly the shape of surrogate-key columns.
+pub fn int_blocks_unique(blocks: &[ColumnStats]) -> bool {
+    if blocks.is_empty() {
+        return false;
+    }
+    let mut spans: Vec<(i64, i64)> = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        if b.null_count != 0 {
+            return false;
+        }
+        if b.row_count == 0 {
+            continue;
+        }
+        let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (&b.min, &b.max) else {
+            return false;
+        };
+        if hi.saturating_sub(*lo).saturating_add(1) != b.row_count as i64 {
+            return false;
+        }
+        spans.push((*lo, *hi));
+    }
+    spans.sort_unstable();
+    spans.windows(2).all(|w| w[0].1 < w[1].0)
+}
+
+impl PlanStats for Env {
+    fn table_schema(&self, database: &str, table: &str) -> Option<Schema> {
+        let t = self.catalog.database(database).ok()?.table(table).ok()?;
+        Some(t.schema().clone())
+    }
+
+    fn table_rows(&self, database: &str, table: &str) -> Option<u64> {
+        let t = self.catalog.database(database).ok()?.table(table).ok()?;
+        Some(t.num_rows() as u64)
+    }
+
+    fn column_distinct(&self, database: &str, table: &str, column: &str) -> Option<u64> {
+        let t = self.catalog.database(database).ok()?.table(table).ok()?;
+        t.dict_sizes()
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(column))
+            .map(|(_, n)| *n as u64)
+    }
+
+    fn column_unique(&self, database: &str, table: &str, column: &str) -> bool {
+        let Ok(db) = self.catalog.database(database) else {
+            return false;
+        };
+        let Ok(t) = db.table(table) else {
+            return false;
+        };
+        let Some(ci) = t.schema().index_of(column) else {
+            return false;
+        };
+        let stats: Vec<ColumnStats> = (0..t.num_blocks())
+            .map(|bi| t.column_stats(bi, ci))
+            .collect();
+        let nulls: u64 = stats.iter().map(|s| s.null_count).sum();
+        if nulls == 0 {
+            if let Some((_, dict)) = t
+                .dict_sizes()
+                .iter()
+                .find(|(name, _)| name.eq_ignore_ascii_case(column))
+            {
+                if *dict == t.num_rows() {
+                    return true;
+                }
+            }
+        }
+        int_blocks_unique(&stats)
+    }
+}
+
+/// Optimize `dag` for `targets`. Returns the rewritten DAG, or `None`
+/// when no rewrite applies (execute the input as written). `vetoed`
+/// nodes (analyzer rejections) are protected exactly like targets.
+pub fn optimize_dag(
+    dag: &SkillDag,
+    targets: &[NodeId],
+    vetoed: &[NodeId],
+    stats: &dyn PlanStats,
+) -> Option<SkillDag> {
+    let mut out = dag.clone();
+    let mut changed = false;
+    let protected = protected_set(&out, targets, vetoed);
+    let mut vetoed_set = vec![false; out.len()];
+    for &v in vetoed {
+        if let Some(slot) = vetoed_set.get_mut(v) {
+            *slot = true;
+        }
+    }
+    dedup_loads(&mut out, &protected, &mut changed);
+    merge_adjacent_keeps(&mut out, &protected, &mut changed);
+    reorder_joins(&mut out, &protected, stats, &mut changed);
+    let names = forward_names(&out, stats);
+    hoist_filters(&mut out, &protected, &vetoed_set, &names, &mut changed);
+    project_loads(&mut out, targets, &protected, &names, stats, &mut changed);
+    changed.then_some(out)
+}
+
+/// Nodes whose call and output bytes must survive every rewrite:
+/// requested targets, analyzer-vetoed nodes, and anything bound to a
+/// dataset name (addressable by `Use the dataset`).
+fn protected_set(dag: &SkillDag, targets: &[NodeId], vetoed: &[NodeId]) -> Vec<bool> {
+    let mut protected = vec![false; dag.len()];
+    for &t in targets.iter().chain(vetoed) {
+        if let Some(p) = protected.get_mut(t) {
+            *p = true;
+        }
+    }
+    for b in dag.bound_nodes() {
+        protected[b] = true;
+    }
+    protected
+}
+
+fn is_load(call: &SkillCall) -> bool {
+    matches!(
+        call,
+        SkillCall::LoadTable { .. }
+            | SkillCall::LoadTableFiltered { .. }
+            | SkillCall::LoadTableProjected { .. }
+    )
+}
+
+/// Redirect consumers of duplicate load nodes to the first structural
+/// copy. The executor's sub-DAG cache would unify them anyway; doing it
+/// at plan time also unifies anything pushdown later fuses on top.
+fn dedup_loads(dag: &mut SkillDag, protected: &[bool], changed: &mut bool) {
+    let n = dag.len();
+    let mut first: Vec<(SkillCall, NodeId)> = Vec::new();
+    let mut alias: Vec<Option<NodeId>> = vec![None; n];
+    for id in 0..n {
+        let node = dag.node(id).expect("id in range");
+        if !is_load(&node.call) {
+            continue;
+        }
+        match first.iter().find(|(c, _)| *c == node.call) {
+            Some(&(_, twin)) if !protected[id] => alias[id] = Some(twin),
+            Some(_) => {}
+            None => first.push((node.call.clone(), id)),
+        }
+    }
+    for id in 0..n {
+        let inputs = dag.node(id).expect("id in range").inputs.clone();
+        for from in inputs {
+            if let Some(to) = alias[from] {
+                if dag.redirect_input(id, from, to).is_ok() {
+                    *changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Merge `KeepRows(p1) → KeepRows(p2)` chains by conjoining downstream
+/// predicates into the upstream node (descending, so whole chains
+/// cascade toward the scan). The downstream filter re-applies its own
+/// predicate, which is a row-preserving no-op, so results are
+/// unchanged; the upstream conjunction is what pushdown can now fuse
+/// into the scan.
+fn merge_adjacent_keeps(dag: &mut SkillDag, protected: &[bool], changed: &mut bool) {
+    let counts = dag.consumer_counts();
+    for id in (0..dag.len()).rev() {
+        let node = dag.node(id).expect("id in range");
+        let SkillCall::KeepRows { predicate: p2 } = &node.call else {
+            continue;
+        };
+        let p2 = p2.clone();
+        let Some(&up) = node.inputs.first() else {
+            continue;
+        };
+        if protected[up] || counts[up] != 1 {
+            continue;
+        }
+        let SkillCall::KeepRows { predicate: p1 } = &dag.node(up).expect("id in range").call else {
+            continue;
+        };
+        let merged = p1.clone().and(p2);
+        if dag
+            .update_call(up, SkillCall::KeepRows { predicate: merged })
+            .is_ok()
+        {
+            *changed = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forward column-name propagation
+// ---------------------------------------------------------------------
+
+/// Output column names per node (in order, schema casing), `None` when
+/// unknown. A miniature of `dc-analyze`'s schema pass covering exactly
+/// the calls the optimizer models; anything else is `None`, which
+/// downstream passes treat as "hands off".
+fn forward_names(dag: &SkillDag, stats: &dyn PlanStats) -> Vec<Option<Vec<String>>> {
+    use SkillCall::*;
+    let mut names: Vec<Option<Vec<String>>> = Vec::with_capacity(dag.len());
+    for node in dag.nodes() {
+        let input = |i: usize| -> Option<&Vec<String>> {
+            node.inputs.get(i).and_then(|&n| names[n].as_ref())
+        };
+        let find = |cols: Option<&Vec<String>>, name: &str| -> Option<usize> {
+            cols.and_then(|c| c.iter().position(|f| f.eq_ignore_ascii_case(name)))
+        };
+        let out: Option<Vec<String>> = match &node.call {
+            LoadTable { database, table }
+            | LoadTableFiltered {
+                database, table, ..
+            } => stats
+                .table_schema(database, table)
+                .map(|s| s.fields().iter().map(|f| f.name.clone()).collect()),
+            LoadTableProjected { columns, .. } => Some(columns.clone()),
+            UseDataset { .. } if !node.inputs.is_empty() => input(0).cloned(),
+            KeepRows { .. }
+            | DropRows { .. }
+            | Sort { .. }
+            | Top { .. }
+            | Limit { .. }
+            | Sample { .. }
+            | ShuffleRows { .. }
+            | Distinct { .. }
+            | DropMissing { .. }
+            | FillMissing { .. }
+            | ReplaceValues { .. }
+            | TrimColumn { .. }
+            | CastColumn { .. }
+            | CountRows
+            | DescribeColumn { .. }
+            | DescribeDataset
+            | ShowHead { .. }
+            | ProfileMissing
+            | Visualize { .. }
+            | Plot { .. }
+            | ExportCsv
+            | SaveArtifact { .. }
+            | Snapshot { .. } => input(0).cloned(),
+            KeepColumns { columns } => {
+                let cur = input(0);
+                columns
+                    .iter()
+                    .map(|c| find(cur, c).map(|i| cur.expect("found").get(i).cloned().expect("i")))
+                    .collect()
+            }
+            DropColumns { columns } => input(0).and_then(|cur| {
+                if columns.iter().any(|c| find(Some(cur), c).is_none()) {
+                    return None;
+                }
+                Some(
+                    cur.iter()
+                        .filter(|f| !columns.iter().any(|c| c.eq_ignore_ascii_case(f)))
+                        .cloned()
+                        .collect(),
+                )
+            }),
+            RenameColumn { from, to } => input(0).and_then(|cur| {
+                let i = find(Some(cur), from)?;
+                if find(Some(cur), to).is_some() {
+                    return None;
+                }
+                let mut out = cur.clone();
+                out[i] = to.clone();
+                Some(out)
+            }),
+            CreateColumn { name, .. } | CreateConstantColumn { name, .. } => {
+                input(0).and_then(|cur| {
+                    if find(Some(cur), name).is_some() {
+                        return None;
+                    }
+                    let mut out = cur.clone();
+                    out.push(name.clone());
+                    Some(out)
+                })
+            }
+            Compute { aggs, for_each } => input(0).and_then(|cur| {
+                let mut out: Vec<String> = Vec::with_capacity(for_each.len() + aggs.len());
+                for k in for_each {
+                    let i = find(Some(cur), k)?;
+                    out.push(cur[i].clone());
+                }
+                out.extend(aggs.iter().map(|a| a.output.clone()));
+                Some(out)
+            }),
+            Join { right_on, .. } => match (input(0), input(1)) {
+                (Some(l), Some(r)) => {
+                    let mut out = l.clone();
+                    for f in r {
+                        if right_on.iter().any(|k| k.eq_ignore_ascii_case(f)) {
+                            continue;
+                        }
+                        if l.iter().any(|x| x.eq_ignore_ascii_case(f)) {
+                            out.push(format!("{f}_right"));
+                        } else {
+                            out.push(f.clone());
+                        }
+                    }
+                    Some(out)
+                }
+                _ => None,
+            },
+            Concat { .. } => match (input(0), input(1)) {
+                (Some(a), Some(b))
+                    if a.len() == b.len()
+                        && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y)) =>
+                {
+                    Some(a.clone())
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        names.push(out);
+    }
+    names
+}
+
+// ---------------------------------------------------------------------
+// Column liveness (demand) and projection pushdown
+// ---------------------------------------------------------------------
+
+/// What a consumer needs from a node's output: everything, or a
+/// specific (lowercased) column set.
+#[derive(Debug, Clone, PartialEq)]
+enum Demand {
+    All,
+    Cols(BTreeSet<String>),
+}
+
+impl Demand {
+    fn none() -> Demand {
+        Demand::Cols(BTreeSet::new())
+    }
+
+    fn absorb(&mut self, other: Demand) {
+        match (&mut *self, other) {
+            (Demand::All, _) => {}
+            (_, Demand::All) => *self = Demand::All,
+            (Demand::Cols(a), Demand::Cols(b)) => a.extend(b),
+        }
+    }
+
+    fn with(mut self, cols: impl IntoIterator<Item = String>) -> Demand {
+        if let Demand::Cols(s) = &mut self {
+            s.extend(cols);
+        }
+        self
+    }
+}
+
+fn expr_cols(e: &Expr) -> Vec<String> {
+    let mut v = Vec::new();
+    e.referenced_columns(&mut v);
+    v.into_iter().map(|c| c.to_ascii_lowercase()).collect()
+}
+
+fn lower(names: &[String]) -> Vec<String> {
+    names.iter().map(|n| n.to_ascii_lowercase()).collect()
+}
+
+/// Reverse liveness pass: the column demand placed on every node's
+/// output. Protected nodes demand everything (their bytes are
+/// observable); each call then translates output demand into input
+/// demand, always including the columns the call itself references so
+/// projection can never turn a working plan into a missing-column
+/// error. Unmodeled calls conservatively demand everything.
+fn demands(dag: &SkillDag, protected: &[bool], names: &[Option<Vec<String>>]) -> Vec<Demand> {
+    use SkillCall::*;
+    let mut demand: Vec<Demand> = vec![Demand::none(); dag.len()];
+    for (id, p) in protected.iter().enumerate() {
+        if *p {
+            demand[id] = Demand::All;
+        }
+    }
+    for id in (0..dag.len()).rev() {
+        let node = dag.node(id).expect("id in range");
+        let d = demand[id].clone();
+        let low = |v: &[String]| v.iter().map(|c| c.to_ascii_lowercase()).collect::<Vec<_>>();
+        let per_input: Vec<Demand> = match &node.call {
+            KeepRows { predicate } | DropRows { predicate } => {
+                vec![d.with(expr_cols(predicate))]
+            }
+            KeepColumns { columns } => vec![Demand::none().with(low(columns))],
+            DropColumns { columns } => vec![d.with(low(columns))],
+            RenameColumn { from, to } => match d {
+                Demand::All => vec![Demand::All],
+                Demand::Cols(s) => {
+                    let mut s: BTreeSet<String> = s
+                        .into_iter()
+                        .filter(|c| !c.eq_ignore_ascii_case(to))
+                        .collect();
+                    s.insert(from.to_ascii_lowercase());
+                    vec![Demand::Cols(s)]
+                }
+            },
+            CreateColumn { name, expr } => match d {
+                Demand::All => vec![Demand::All],
+                Demand::Cols(s) => {
+                    let mut s: BTreeSet<String> = s
+                        .into_iter()
+                        .filter(|c| !c.eq_ignore_ascii_case(name))
+                        .collect();
+                    s.extend(expr_cols(expr));
+                    vec![Demand::Cols(s)]
+                }
+            },
+            CreateConstantColumn { name, .. } => match d {
+                Demand::All => vec![Demand::All],
+                Demand::Cols(s) => vec![Demand::Cols(
+                    s.into_iter()
+                        .filter(|c| !c.eq_ignore_ascii_case(name))
+                        .collect(),
+                )],
+            },
+            Compute { aggs, for_each } => {
+                let mut need = Demand::none().with(low(for_each));
+                need = need.with(
+                    aggs.iter()
+                        .filter_map(|a| a.column.as_ref().map(|c| c.to_ascii_lowercase())),
+                );
+                vec![need]
+            }
+            Pivot {
+                index,
+                columns,
+                values,
+                ..
+            } => vec![Demand::none().with([
+                index.to_ascii_lowercase(),
+                columns.to_ascii_lowercase(),
+                values.to_ascii_lowercase(),
+            ])],
+            Sort { keys } => vec![d.with(keys.iter().map(|(k, _)| k.to_ascii_lowercase()))],
+            Top { column, .. } => vec![d.with([column.to_ascii_lowercase()])],
+            Limit { .. } | Sample { .. } | ShuffleRows { .. } | CountRows => vec![d],
+            Distinct { columns } | DropMissing { columns } => {
+                if columns.is_empty() {
+                    vec![Demand::All]
+                } else {
+                    vec![d.with(low(columns))]
+                }
+            }
+            FillMissing { column, .. }
+            | ReplaceValues { column, .. }
+            | CastColumn { column, .. }
+            | BinColumn { column, .. }
+            | ExtractDatePart { column, .. }
+            | TrimColumn { column }
+            | DescribeColumn { column } => vec![d.with([column.to_ascii_lowercase()])],
+            Join {
+                left_on, right_on, ..
+            } => {
+                let (l, r) = (
+                    node.inputs.first().and_then(|&n| names[n].as_ref()),
+                    node.inputs.get(1).and_then(|&n| names[n].as_ref()),
+                );
+                match (&d, l, r) {
+                    (Demand::Cols(s), Some(l), Some(r)) => {
+                        let llow = lower(l);
+                        let mut ld: BTreeSet<String> =
+                            left_on.iter().map(|c| c.to_ascii_lowercase()).collect();
+                        ld.extend(s.iter().filter(|c| llow.contains(c)).cloned());
+                        let mut rd: BTreeSet<String> =
+                            right_on.iter().map(|c| c.to_ascii_lowercase()).collect();
+                        for f in r {
+                            let fl = f.to_ascii_lowercase();
+                            if s.contains(&fl) || s.contains(&format!("{fl}_right")) {
+                                rd.insert(fl);
+                            }
+                        }
+                        vec![Demand::Cols(ld), Demand::Cols(rd)]
+                    }
+                    _ => vec![Demand::All, Demand::All],
+                }
+            }
+            UseDataset { .. } if !node.inputs.is_empty() => vec![d],
+            _ => vec![Demand::All; node.inputs.len()],
+        };
+        for (slot, &input) in node.inputs.iter().enumerate() {
+            let nd = per_input.get(slot).cloned().unwrap_or(Demand::All);
+            demand[input].absorb(nd);
+        }
+    }
+    demand
+}
+
+/// Rewrite unprotected loads whose live column set is a strict subset
+/// of the table schema into [`SkillCall::LoadTableProjected`]. Columns
+/// are emitted in schema order (projection never reorders), demands
+/// that fail to resolve against the schema veto the rewrite, and an
+/// empty live set keeps the first column so row counts survive.
+fn project_loads(
+    dag: &mut SkillDag,
+    targets: &[NodeId],
+    protected: &[bool],
+    names: &[Option<Vec<String>>],
+    stats: &dyn PlanStats,
+    changed: &mut bool,
+) {
+    let _ = names;
+    let counts = dag.consumer_counts();
+    let demand = demands(dag, protected, &forward_names(dag, stats));
+    for id in 0..dag.len() {
+        if protected[id] {
+            continue;
+        }
+        if counts[id] == 0 && !targets.contains(&id) {
+            // Dead branch: never executed for these targets, and
+            // rewriting it would only obscure DC0101's report.
+            continue;
+        }
+        let node = dag.node(id).expect("id in range");
+        let (database, table, predicate) = match &node.call {
+            SkillCall::LoadTable { database, table } => (database.clone(), table.clone(), None),
+            SkillCall::LoadTableFiltered {
+                database,
+                table,
+                predicate,
+            } => (database.clone(), table.clone(), Some(predicate.clone())),
+            _ => continue,
+        };
+        let Demand::Cols(live) = &demand[id] else {
+            continue;
+        };
+        let Some(schema) = stats.table_schema(&database, &table) else {
+            continue;
+        };
+        if schema.fields().is_empty() {
+            continue;
+        }
+        if !live.iter().all(|c| {
+            schema
+                .fields()
+                .iter()
+                .any(|f| f.name.eq_ignore_ascii_case(c))
+        }) {
+            continue;
+        }
+        let mut columns: Vec<String> = schema
+            .fields()
+            .iter()
+            .filter(|f| live.contains(&f.name.to_ascii_lowercase()))
+            .map(|f| f.name.clone())
+            .collect();
+        if columns.is_empty() {
+            columns.push(schema.fields()[0].name.clone());
+        }
+        if columns.len() == schema.fields().len() {
+            continue;
+        }
+        let call = SkillCall::LoadTableProjected {
+            database,
+            table,
+            columns,
+            predicate,
+        };
+        if dag.update_call(id, call).is_ok() {
+            *changed = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filter hoisting
+// ---------------------------------------------------------------------
+
+/// Sink the prunable conjuncts of every filter toward source loads,
+/// through operators that provably pass the referenced columns'
+/// values and the filter's row semantics through. Each node strictly
+/// below the filter must be sole-consumed and unprotected (its output
+/// loses rows the filter would have dropped anyway — the same
+/// intermediate-visibility contract PR 5's pushdown established for
+/// the load itself).
+fn hoist_filters(
+    dag: &mut SkillDag,
+    protected: &[bool],
+    vetoed: &[bool],
+    names: &[Option<Vec<String>>],
+    changed: &mut bool,
+) {
+    let counts = dag.consumer_counts();
+    // Indexed loop: the body rewrites `dag` while walking it.
+    #[allow(clippy::needless_range_loop)]
+    for id in 0..dag.len() {
+        let node = dag.node(id).expect("id in range");
+        if vetoed[id] {
+            // A vetoed filter's predicate never earned the right to run
+            // anywhere. Target/name-bound filters may still sink: the
+            // rewrite leaves their node (and output) untouched — the
+            // prefilter only removes rows they would drop anyway.
+            continue;
+        }
+        let keep = match &node.call {
+            SkillCall::KeepRows { predicate } => predicate.clone(),
+            SkillCall::DropRows { predicate } => nnf(predicate.clone().not()),
+            _ => continue,
+        };
+        let conjuncts = prunable_conjuncts(&keep);
+        if conjuncts.is_empty() {
+            continue;
+        }
+        let Some(&below) = dag.node(id).expect("id in range").inputs.first() else {
+            continue;
+        };
+        sink(dag, below, conjuncts, protected, &counts, names, changed);
+    }
+}
+
+/// Recursive descent of one conjunct set from a filter toward loads.
+fn sink(
+    dag: &mut SkillDag,
+    id: NodeId,
+    conjuncts: Vec<Expr>,
+    protected: &[bool],
+    counts: &[usize],
+    names: &[Option<Vec<String>>],
+    changed: &mut bool,
+) {
+    use SkillCall::*;
+    if conjuncts.is_empty() || protected[id] || counts[id] != 1 {
+        return;
+    }
+    let node = dag.node(id).expect("id in range");
+    let inputs = node.inputs.clone();
+    let not_touching = |conjuncts: &[Expr], touched: &[&String]| -> Vec<Expr> {
+        conjuncts
+            .iter()
+            .filter(|c| {
+                let cols = expr_cols(c);
+                !touched
+                    .iter()
+                    .any(|t| cols.iter().any(|x| x.eq_ignore_ascii_case(t)))
+            })
+            .cloned()
+            .collect()
+    };
+    match node.call.clone() {
+        LoadTable { database, table } => {
+            let mut pred = conjuncts[0].clone();
+            for c in conjuncts.into_iter().skip(1) {
+                pred = pred.and(c);
+            }
+            let call = LoadTableFiltered {
+                database,
+                table,
+                predicate: pred,
+            };
+            if dag.update_call(id, call).is_ok() {
+                *changed = true;
+            }
+        }
+        // Row-removing and row-preserving operators that keep every
+        // referenced column's values intact pass all conjuncts through.
+        KeepRows { .. } | DropRows { .. } | Sort { .. } | DropMissing { .. } => {
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, conjuncts, protected, counts, names, changed);
+            }
+        }
+        Distinct { columns } => {
+            // Empty = whole-row distinct: duplicate rows agree on every
+            // column, so a prefilter removes whole duplicate classes.
+            // Keyed distinct keeps its first-occurrence representative
+            // only if the conjunct is constant per key.
+            let pass = if columns.is_empty() {
+                conjuncts
+            } else {
+                let keys = lower(&columns);
+                conjuncts
+                    .into_iter()
+                    .filter(|c| expr_cols(c).iter().all(|x| keys.contains(x)))
+                    .collect()
+            };
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        Compute { for_each, .. } => {
+            // Group keys partition rows: a conjunct over key columns is
+            // constant per group, so prefiltering removes exactly the
+            // groups the filter above would drop, and aggregates of the
+            // surviving groups see every one of their rows.
+            let keys = lower(&for_each);
+            let pass: Vec<Expr> = conjuncts
+                .into_iter()
+                .filter(|c| expr_cols(c).iter().all(|x| keys.contains(x)))
+                .collect();
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        Concat { .. } => {
+            for &next in &inputs {
+                sink(
+                    dag,
+                    next,
+                    conjuncts.clone(),
+                    protected,
+                    counts,
+                    names,
+                    changed,
+                );
+            }
+        }
+        Join { right_on, .. } => {
+            let (Some(l), Some(r)) = (
+                inputs.first().and_then(|&n| names[n].as_ref()),
+                inputs.get(1).and_then(|&n| names[n].as_ref()),
+            ) else {
+                return;
+            };
+            let llow = lower(l);
+            // Right columns only route when they appear unsuffixed in
+            // the join output: non-key and not shadowed by a left name.
+            let rlow: Vec<String> = lower(r)
+                .into_iter()
+                .filter(|f| {
+                    !right_on.iter().any(|k| k.eq_ignore_ascii_case(f)) && !llow.contains(f)
+                })
+                .collect();
+            let mut left_c = Vec::new();
+            let mut right_c = Vec::new();
+            for c in conjuncts {
+                let cols = expr_cols(&c);
+                if cols.iter().all(|x| llow.contains(x)) {
+                    left_c.push(c);
+                } else if cols.iter().all(|x| rlow.contains(x)) {
+                    right_c.push(c);
+                }
+            }
+            sink(dag, inputs[0], left_c, protected, counts, names, changed);
+            if let Some(&ri) = inputs.get(1) {
+                sink(dag, ri, right_c, protected, counts, names, changed);
+            }
+        }
+        FillMissing { column, .. } | ReplaceValues { column, .. } | TrimColumn { column } => {
+            let pass = not_touching(&conjuncts, &[&column]);
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        CreateColumn { name, .. } | CreateConstantColumn { name, .. } => {
+            let pass = not_touching(&conjuncts, &[&name]);
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        RenameColumn { from, to } => {
+            let pass = not_touching(&conjuncts, &[&from, &to]);
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        ExtractDatePart {
+            name: Some(name), ..
+        } => {
+            let pass = not_touching(&conjuncts, &[&name]);
+            if let Some(&next) = inputs.first() {
+                sink(dag, next, pass, protected, counts, names, changed);
+            }
+        }
+        // Everything else either selects rows by position or sample
+        // (Limit/Top/Sample/ShuffleRows), can fail per-row (CastColumn,
+        // BinColumn), renders its input (display skills), or is not
+        // modeled — prefiltering through those changes behavior.
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join-order selection
+// ---------------------------------------------------------------------
+
+/// One join of a star: the join node, its dimension load, and the call
+/// pieces that travel together when the order changes.
+#[derive(Debug, Clone)]
+struct StarJoin {
+    join: NodeId,
+    dim: NodeId,
+    other: String,
+    left_on: Vec<String>,
+    right_on: Vec<String>,
+}
+
+/// A left-deep chain of inner joins rooted at `base`.
+#[derive(Debug)]
+struct Star {
+    base: NodeId,
+    joins: Vec<StarJoin>,
+}
+
+/// Per-dimension cost-model inputs.
+struct DimCost {
+    /// Upper bound on output-rows multiplication per probe row:
+    /// 1 for provably unique keys, `rows - distinct + 1` when the
+    /// dictionary cardinality is known, `rows` as a last resort.
+    mult: Option<u64>,
+    /// Whether `mult` came from real statistics (no rows-fallback).
+    bounded: bool,
+    /// Whether the join key is provably unique in the data.
+    unique: bool,
+    table: String,
+}
+
+/// Collect maximal left-deep inner-join chains whose second inputs are
+/// load nodes. Chains longer than 4 joins are skipped (the enumeration
+/// window of the tentpole).
+/// `(inputs, other, left_on, right_on)` of an inner-join node.
+type JoinParts = (Vec<NodeId>, String, Vec<String>, Vec<String>);
+
+fn collect_stars(dag: &SkillDag, consumers: &[Vec<NodeId>]) -> Vec<Star> {
+    use SkillCall::*;
+    let inner_join = |id: NodeId| -> Option<JoinParts> {
+        let node = dag.node(id).ok()?;
+        match &node.call {
+            Join {
+                other,
+                left_on,
+                right_on,
+                how,
+            } if *how == dc_engine::JoinType::Inner => Some((
+                node.inputs.clone(),
+                other.clone(),
+                left_on.clone(),
+                right_on.clone(),
+            )),
+            _ => None,
+        }
+    };
+    let mut stars = Vec::new();
+    let mut in_chain = vec![false; dag.len()];
+    for id in 0..dag.len() {
+        if in_chain[id] {
+            continue;
+        }
+        let Some((inputs, other, left_on, right_on)) = inner_join(id) else {
+            continue;
+        };
+        // Chain starts where input[0] is not itself an inner join.
+        if inputs.first().is_some_and(|&b| inner_join(b).is_some()) {
+            continue;
+        }
+        let (Some(&base), Some(&dim)) = (inputs.first(), inputs.get(1)) else {
+            continue;
+        };
+        let mut joins = vec![StarJoin {
+            join: id,
+            dim,
+            other,
+            left_on,
+            right_on,
+        }];
+        let mut cur = id;
+        loop {
+            in_chain[cur] = true;
+            let [next] = consumers[cur][..] else { break };
+            let Some((inputs, other, left_on, right_on)) = inner_join(next) else {
+                break;
+            };
+            if inputs.first() != Some(&cur) {
+                break;
+            }
+            let Some(&dim) = inputs.get(1) else { break };
+            joins.push(StarJoin {
+                join: next,
+                dim,
+                other,
+                left_on,
+                right_on,
+            });
+            cur = next;
+        }
+        if joins.len() < 2 || joins.len() > 4 {
+            continue;
+        }
+        if !joins.iter().all(|j| {
+            is_load(
+                &dag.node(j.dim)
+                    .map(|n| n.call.clone())
+                    .unwrap_or(SkillCall::ExportCsv),
+            )
+        }) {
+            continue;
+        }
+        stars.push(Star { base, joins });
+    }
+    stars
+}
+
+fn dim_cost(dag: &SkillDag, j: &StarJoin, stats: &dyn PlanStats) -> Option<DimCost> {
+    let node = dag.node(j.dim).ok()?;
+    let (database, table) = match &node.call {
+        SkillCall::LoadTable { database, table }
+        | SkillCall::LoadTableFiltered {
+            database, table, ..
+        }
+        | SkillCall::LoadTableProjected {
+            database, table, ..
+        } => (database.clone(), table.clone()),
+        _ => return None,
+    };
+    let unique = j.right_on.len() == 1 && stats.column_unique(&database, &table, &j.right_on[0]);
+    if unique {
+        return Some(DimCost {
+            mult: Some(1),
+            bounded: true,
+            unique,
+            table,
+        });
+    }
+    let rows = stats.table_rows(&database, &table);
+    let distinct = if j.right_on.len() == 1 {
+        stats.column_distinct(&database, &table, &j.right_on[0])
+    } else {
+        None
+    };
+    let (mult, bounded) = match (rows, distinct) {
+        (Some(r), Some(v)) => (Some(r.saturating_sub(v).saturating_add(1)), true),
+        (Some(r), None) => (Some(r), false),
+        (None, _) => (None, false),
+    };
+    Some(DimCost {
+        mult,
+        bounded,
+        unique,
+        table,
+    })
+}
+
+/// Sum of intermediate-result row bounds for one join order (the final
+/// join's output is the same size in every order, so it is excluded).
+fn order_cost(perm: &[usize], mults: &[u64]) -> u128 {
+    let mut rows: u128 = 1;
+    let mut cost: u128 = 0;
+    for (i, &p) in perm.iter().enumerate() {
+        rows = rows.saturating_mul(mults[p] as u128);
+        if i + 1 < perm.len() {
+            cost = cost.saturating_add(rows);
+        }
+    }
+    cost
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, cur, out);
+            if k.is_multiple_of(2) {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut cur, &mut out);
+    out
+}
+
+/// Columns a dimension contributes to the join output (lowercased,
+/// non-key fields), or `None` when the schema is unknown.
+fn dim_nonkeys(dag: &SkillDag, j: &StarJoin, stats: &dyn PlanStats) -> Option<Vec<String>> {
+    let node = dag.node(j.dim).ok()?;
+    let (database, table) = match &node.call {
+        SkillCall::LoadTable { database, table }
+        | SkillCall::LoadTableFiltered {
+            database, table, ..
+        } => (database, table),
+        _ => return None,
+    };
+    let schema = stats.table_schema(database, table)?;
+    // Every right_on key must exist in the dimension schema.
+    for k in &j.right_on {
+        schema.field(k)?;
+    }
+    Some(
+        schema
+            .fields()
+            .iter()
+            .map(|f| f.name.to_ascii_lowercase())
+            .filter(|f| !j.right_on.iter().any(|k| k.eq_ignore_ascii_case(f)))
+            .collect(),
+    )
+}
+
+/// Whether the star's written order and every permutation produce the
+/// same rows in the same order and route every key to the base: all
+/// left keys come from the base, no dimension column shadows another
+/// or the base, and at most one dimension can fan rows out.
+fn star_semantics_ok(
+    star: &Star,
+    base_names: Option<&Vec<String>>,
+    nonkeys: &[Vec<String>],
+    costs: &[DimCost],
+) -> bool {
+    let Some(base) = base_names else { return false };
+    let base_low = lower(base);
+    for j in &star.joins {
+        if !j
+            .left_on
+            .iter()
+            .all(|k| base_low.contains(&k.to_ascii_lowercase()))
+        {
+            return false;
+        }
+    }
+    // Dimension payload columns must not collide with the base or each
+    // other (no `_right` suffixing anywhere, in any order).
+    let mut seen: BTreeSet<String> = base_low.into_iter().collect();
+    for nk in nonkeys {
+        for c in nk {
+            if !seen.insert(c.clone()) {
+                return false;
+            }
+        }
+    }
+    costs.iter().filter(|c| !c.unique).count() <= 1
+}
+
+/// Walk from the chain root through its sole consumers until an
+/// operator whose output is independent of input column order
+/// (`KeepColumns`, `Compute`, or a terminal `CountRows`). Intermediate
+/// row-preserving steps may pass through but must be unprotected and
+/// sole-consumed, since their outputs carry the permuted column order.
+fn order_insensitive_downstream(
+    dag: &SkillDag,
+    consumers: &[Vec<NodeId>],
+    protected: &[bool],
+    root: NodeId,
+) -> bool {
+    use SkillCall::*;
+    let mut cur = root;
+    loop {
+        let cs = &consumers[cur];
+        if cs.is_empty() {
+            // Nothing observes the permuted order (the root itself is
+            // already known unprotected and un-targeted).
+            return cur != root;
+        }
+        let [next] = cs[..] else { return false };
+        let node = dag.node(next).expect("consumer in range");
+        match &node.call {
+            KeepColumns { .. } | Compute { .. } => return true,
+            CountRows => {
+                if consumers[next].is_empty() {
+                    return true;
+                }
+                cur = next;
+            }
+            KeepRows { .. } | DropRows { .. } | Sort { .. } | Top { .. } | Limit { .. } => {
+                if protected[next] {
+                    return false;
+                }
+                cur = next;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Pick the cheapest join order for every eligible star and swap the
+/// dimension loads' calls (and each join's key tuple) in place — node
+/// ids and edges never change. Written order wins ties and anything
+/// the cost model cannot bound.
+fn reorder_joins(
+    dag: &mut SkillDag,
+    protected: &[bool],
+    stats: &dyn PlanStats,
+    changed: &mut bool,
+) {
+    let consumers = consumer_lists(dag);
+    let names = forward_names(dag, stats);
+    let stars = collect_stars(dag, &consumers);
+    for star in stars {
+        let n = star.joins.len();
+        // Safety conditions: every rewritten node unprotected, interior
+        // results and dimensions sole-consumed, downstream insensitive
+        // to the column-order change at the root.
+        if star
+            .joins
+            .iter()
+            .any(|j| protected[j.join] || protected[j.dim])
+        {
+            continue;
+        }
+        if star.joins.iter().any(|j| consumers[j.dim].len() != 1) {
+            continue;
+        }
+        if star.joins[..n - 1]
+            .iter()
+            .any(|j| consumers[j.join].len() != 1)
+        {
+            continue;
+        }
+        let root = star.joins[n - 1].join;
+        if !order_insensitive_downstream(dag, &consumers, protected, root) {
+            continue;
+        }
+        let Some(costs) = star
+            .joins
+            .iter()
+            .map(|j| dim_cost(dag, j, stats))
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        let Some(nonkeys) = star
+            .joins
+            .iter()
+            .map(|j| dim_nonkeys(dag, j, stats))
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        if !star_semantics_ok(&star, names[star.base].as_ref(), &nonkeys, &costs) {
+            continue;
+        }
+        let Some(mults) = costs.iter().map(|c| c.mult).collect::<Option<Vec<_>>>() else {
+            continue;
+        };
+        let written: Vec<usize> = (0..n).collect();
+        let mut best = written.clone();
+        let mut best_cost = order_cost(&written, &mults);
+        for perm in permutations(n) {
+            let cost = order_cost(&perm, &mults);
+            if cost < best_cost {
+                best_cost = cost;
+                best = perm;
+            }
+        }
+        if best == written {
+            continue;
+        }
+        let dim_calls: Vec<SkillCall> = star
+            .joins
+            .iter()
+            .map(|j| dag.node(j.dim).expect("dim in range").call.clone())
+            .collect();
+        for (slot, &src) in best.iter().enumerate() {
+            let j = &star.joins[slot];
+            let s = &star.joins[src];
+            let _ = dag.update_call(j.dim, dim_calls[src].clone());
+            let _ = dag.update_call(
+                j.join,
+                SkillCall::Join {
+                    other: s.other.clone(),
+                    left_on: s.left_on.clone(),
+                    right_on: s.right_on.clone(),
+                    how: dc_engine::JoinType::Inner,
+                },
+            );
+        }
+        *changed = true;
+    }
+}
+
+fn consumer_lists(dag: &SkillDag) -> Vec<Vec<NodeId>> {
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); dag.len()];
+    for node in dag.nodes() {
+        for &input in &node.inputs {
+            consumers[input].push(node.id);
+        }
+    }
+    consumers
+}
+
+// ---------------------------------------------------------------------
+// Join-order advice (DC0207)
+// ---------------------------------------------------------------------
+
+/// One provably suboptimal written join order, for the analyzer's
+/// DC0207 lint. Costs are the optimizer's interval upper bounds on
+/// intermediate rows; both sides are fully statistics-backed (no
+/// row-count fallbacks), so the ratio is a proof, not a guess.
+#[derive(Debug, Clone)]
+pub struct JoinOrderAdvice {
+    /// The first join whose position differs from the best order.
+    pub join: NodeId,
+    /// Upper-bound cost of the order as written.
+    pub written_cost: u64,
+    /// Upper-bound cost of the best order.
+    pub best_cost: u64,
+    /// Dimension tables in written order.
+    pub written_tables: Vec<String>,
+    /// Dimension tables in the best order.
+    pub best_tables: Vec<String>,
+}
+
+/// Statically rank every 2–4 inner-join chain's written order against
+/// the best order. Unlike [`optimize_dag`]'s rewrite, this advises the
+/// plan *as written* — protection and sole-consumer guards don't apply
+/// because nothing is rewritten — but it only speaks when every
+/// multiplier is statistics-backed.
+pub fn join_order_advice(dag: &SkillDag, stats: &dyn PlanStats) -> Vec<JoinOrderAdvice> {
+    let consumers = consumer_lists(dag);
+    let names = forward_names(dag, stats);
+    let mut advice = Vec::new();
+    for star in collect_stars(dag, &consumers) {
+        let n = star.joins.len();
+        let Some(costs) = star
+            .joins
+            .iter()
+            .map(|j| dim_cost(dag, j, stats))
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        if costs.iter().any(|c| !c.bounded) {
+            continue;
+        }
+        let Some(base) = names[star.base].as_ref() else {
+            continue;
+        };
+        let base_low = lower(base);
+        if !star.joins.iter().all(|j| {
+            j.left_on
+                .iter()
+                .all(|k| base_low.contains(&k.to_ascii_lowercase()))
+        }) {
+            continue;
+        }
+        let mults: Vec<u64> = costs.iter().map(|c| c.mult.unwrap_or(u64::MAX)).collect();
+        let written: Vec<usize> = (0..n).collect();
+        let written_cost = order_cost(&written, &mults);
+        let mut best = written.clone();
+        let mut best_cost = written_cost;
+        for perm in permutations(n) {
+            let cost = order_cost(&perm, &mults);
+            if cost < best_cost {
+                best_cost = cost;
+                best = perm;
+            }
+        }
+        if best_cost == 0 || written_cost < best_cost.saturating_mul(4) {
+            continue;
+        }
+        let first_diff = best
+            .iter()
+            .zip(&written)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        advice.push(JoinOrderAdvice {
+            join: star.joins[first_diff].join,
+            written_cost: u64::try_from(written_cost).unwrap_or(u64::MAX),
+            best_cost: u64::try_from(best_cost).unwrap_or(u64::MAX),
+            written_tables: costs.iter().map(|c| c.table.clone()).collect(),
+            best_tables: best.iter().map(|&i| costs[i].table.clone()).collect(),
+        });
+    }
+    advice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_engine::{Column, JoinType, Table};
+    use dc_storage::{CloudDatabase, Pricing};
+
+    fn env_with(tables: &[(&str, Table, usize)]) -> Env {
+        let mut env = Env::new();
+        let mut db = CloudDatabase::new("Main", Pricing::default_cloud());
+        for (name, table, block_rows) in tables {
+            db.create_table_with_blocks(*name, table, *block_rows)
+                .unwrap();
+        }
+        env.catalog.add_database(db).unwrap();
+        env
+    }
+
+    fn wide_table(rows: usize) -> Table {
+        Table::new(vec![
+            ("k", Column::from_ints((0..rows as i64).collect())),
+            ("a", Column::from_ints(vec![1; rows])),
+            ("b", Column::from_ints(vec![2; rows])),
+            ("c", Column::from_ints(vec![3; rows])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn projection_narrows_a_load_below_a_compute() {
+        let env = env_with(&[("wide", wide_table(64), 16)]);
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let agg = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec {
+                        func: dc_engine::AggFunc::Sum,
+                        column: Some("a".into()),
+                        output: "sum_a".into(),
+                    }],
+                    for_each: vec!["k".into()],
+                },
+                vec![load],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[agg], &[], &env).expect("rewrite applies");
+        match &out.node(load).unwrap().call {
+            SkillCall::LoadTableProjected { columns, .. } => {
+                assert_eq!(columns, &["k".to_string(), "a".to_string()]);
+            }
+            other => panic!("expected projected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_loads_are_never_projected() {
+        let env = env_with(&[("wide", wide_table(64), 16)]);
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        assert!(optimize_dag(&dag, &[load], &[], &env).is_none());
+    }
+
+    #[test]
+    fn filters_hoist_below_a_join_to_the_owning_side() {
+        let env = env_with(&[("wide", wide_table(64), 16), ("dims", dim_table(8), 8)]);
+        let mut dag = SkillDag::new();
+        let fact = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let dim = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "dims".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let join = dag
+            .add(
+                SkillCall::Join {
+                    other: "dims".into(),
+                    left_on: vec!["k".into()],
+                    right_on: vec!["id".into()],
+                    how: JoinType::Inner,
+                },
+                vec![fact, dim],
+            )
+            .unwrap();
+        let filter = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("a").gt(Expr::lit(0)),
+                },
+                vec![join],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[filter], &[], &env).expect("rewrite applies");
+        match &out.node(fact).unwrap().call {
+            SkillCall::LoadTableProjected {
+                predicate: Some(_), ..
+            } => {}
+            SkillCall::LoadTableFiltered { .. } => {}
+            other => panic!("expected hoisted predicate on the fact load, got {other:?}"),
+        }
+        // The filter itself still evaluates in full.
+        assert!(matches!(
+            out.node(filter).unwrap().call,
+            SkillCall::KeepRows { .. }
+        ));
+    }
+
+    fn dim_table(rows: usize) -> Table {
+        Table::new(vec![
+            ("id", Column::from_ints((0..rows as i64).collect())),
+            ("label", Column::from_ints(vec![7; rows])),
+        ])
+        .unwrap()
+    }
+
+    fn fanout_table(rows: usize, distinct: usize) -> Table {
+        Table::new(vec![
+            (
+                "k",
+                Column::from_strs(
+                    (0..rows)
+                        .map(|i| format!("g{}", i % distinct))
+                        .collect::<Vec<_>>(),
+                )
+                .dict_encode(),
+            ),
+            (
+                "tag",
+                Column::from_strs((0..rows).map(|i| ["x", "y"][i % 2]).collect::<Vec<_>>())
+                    .dict_encode(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn join_order_moves_the_fanout_dimension_last() {
+        let rows = 32usize;
+        let fact = Table::new(vec![
+            ("fk", Column::from_ints((0..rows as i64).collect())),
+            (
+                "gk",
+                Column::from_strs((0..rows).map(|i| format!("g{}", i % 4)).collect::<Vec<_>>())
+                    .dict_encode(),
+            ),
+            ("v", Column::from_ints(vec![1; rows])),
+        ])
+        .unwrap();
+        let env = env_with(&[
+            ("fact", fact, 8),
+            ("fan", fanout_table(16, 4), 8),
+            ("uni", dim_table(32), 8),
+        ]);
+        let mut dag = SkillDag::new();
+        let base = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "fact".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let d1 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "fan".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let j1 = dag
+            .add(
+                SkillCall::Join {
+                    other: "fan".into(),
+                    left_on: vec!["gk".into()],
+                    right_on: vec!["k".into()],
+                    how: JoinType::Inner,
+                },
+                vec![base, d1],
+            )
+            .unwrap();
+        let d2 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "uni".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let j2 = dag
+            .add(
+                SkillCall::Join {
+                    other: "uni".into(),
+                    left_on: vec!["fk".into()],
+                    right_on: vec!["id".into()],
+                    how: JoinType::Inner,
+                },
+                vec![j1, d2],
+            )
+            .unwrap();
+        let count = dag.add(SkillCall::CountRows, vec![j2]).unwrap();
+        let out = optimize_dag(&dag, &[count], &[], &env).expect("rewrite applies");
+        // The unique dimension now joins first; the fanout moved last.
+        match &out.node(j1).unwrap().call {
+            SkillCall::Join { other, .. } => assert_eq!(other, "uni"),
+            other => panic!("expected join, got {other:?}"),
+        }
+        match &out.node(d1).unwrap().call {
+            SkillCall::LoadTable { table, .. } | SkillCall::LoadTableProjected { table, .. } => {
+                assert_eq!(table, "uni")
+            }
+            other => panic!("expected load of uni, got {other:?}"),
+        }
+        // Advice on the written DAG flags the same star.
+        let advice = join_order_advice(&dag, &env);
+        assert_eq!(advice.len(), 1);
+        assert!(advice[0].written_cost >= advice[0].best_cost * 4);
+        assert_eq!(advice[0].best_tables, vec!["uni", "fan"]);
+    }
+
+    #[test]
+    fn duplicate_loads_dedup_to_one_node() {
+        let env = env_with(&[("wide", wide_table(16), 8)]);
+        let mut dag = SkillDag::new();
+        let l1 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let l2 = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let cat = dag
+            .add(
+                SkillCall::Concat {
+                    other: "self".into(),
+                    remove_duplicates: false,
+                },
+                vec![l1, l2],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[cat], &[], &env).expect("rewrite applies");
+        assert_eq!(out.node(cat).unwrap().inputs, vec![l1, l1]);
+        let _ = l2;
+    }
+
+    #[test]
+    fn adjacent_keeps_merge_into_a_conjunction() {
+        let env = env_with(&[("wide", wide_table(16), 8)]);
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let f1 = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("a").gt(Expr::lit(0)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let f2 = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("b").gt(Expr::lit(1)),
+                },
+                vec![f1],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[f2], &[], &env).expect("rewrite applies");
+        let SkillCall::KeepRows { predicate } = &out.node(f1).unwrap().call else {
+            panic!("expected KeepRows");
+        };
+        let mut cols = Vec::new();
+        predicate.referenced_columns(&mut cols);
+        assert!(cols.contains(&"a".to_string()) && cols.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn int_blocks_unique_requires_dense_disjoint_spans() {
+        let dense = |lo: i64, hi: i64| ColumnStats {
+            dtype: dc_engine::DataType::Int,
+            min: Some(Value::Int(lo)),
+            max: Some(Value::Int(hi)),
+            null_count: 0,
+            row_count: (hi - lo + 1) as u64,
+        };
+        assert!(int_blocks_unique(&[dense(0, 9), dense(10, 19)]));
+        assert!(!int_blocks_unique(&[dense(0, 9), dense(5, 14)]));
+        assert!(!int_blocks_unique(&[]));
+    }
+}

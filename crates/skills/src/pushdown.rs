@@ -29,7 +29,18 @@ use crate::skill::SkillCall;
 /// the right to run must not sneak into a scan either.
 pub fn plan_pushdown(dag: &SkillDag, protected: &[NodeId], vetoed: &[NodeId]) -> Option<SkillDag> {
     let mut rewritten: Option<SkillDag> = None;
-    let named: Vec<NodeId> = dag.dataset_names().iter().map(|&(_, id)| id).collect();
+    let named: Vec<NodeId> = dag.bound_nodes();
+    // One O(edges) sweep replaces the per-load consumer scan that made
+    // this pass quadratic in DAG size: `counts` holds each node's
+    // consumer count, `last_consumer` its most recent consumer (only
+    // meaningful when the count is exactly one).
+    let counts = dag.consumer_counts();
+    let mut last_consumer: Vec<NodeId> = vec![0; dag.len()];
+    for node in dag.nodes() {
+        for &input in &node.inputs {
+            last_consumer[input] = node.id;
+        }
+    }
     for node in dag.nodes() {
         let SkillCall::LoadTable { database, table } = &node.call else {
             continue;
@@ -39,10 +50,10 @@ pub fn plan_pushdown(dag: &SkillDag, protected: &[NodeId], vetoed: &[NodeId]) ->
             continue;
         }
         // Exactly one consumer, and it is a filter directly above us.
-        let mut consumers = dag.nodes().iter().filter(|n| n.inputs.contains(&node.id));
-        let (Some(consumer), None) = (consumers.next(), consumers.next()) else {
+        if counts[node.id] != 1 {
             continue;
-        };
+        }
+        let consumer = dag.node(last_consumer[node.id]).expect("consumer in range");
         if vetoed.contains(&consumer.id) {
             continue;
         }
@@ -87,27 +98,26 @@ pub fn plan_pushdown(dag: &SkillDag, protected: &[NodeId], vetoed: &[NodeId]) ->
 /// trailing load (the program's result) is left untouched.
 ///
 /// Returns `None` when no step is eligible.
+///
+/// Implemented as a thin wrapper over [`plan_pushdown`]: the step list
+/// is lowered to a linear [`SkillDag`] (each input-taking step consumes
+/// its predecessor, loads restart the chain), planned with the final
+/// step as the sole protected target, and the rewritten calls are read
+/// back in step order. One rewrite engine, one set of eligibility
+/// rules.
 pub fn plan_linear_pushdown(steps: &[SkillCall]) -> Option<Vec<SkillCall>> {
-    let mut fused: Option<Vec<SkillCall>> = None;
-    for i in 0..steps.len().saturating_sub(1) {
-        let SkillCall::LoadTable { database, table } = &steps[i] else {
-            continue;
+    let mut dag = SkillDag::new();
+    let mut prev: Option<NodeId> = None;
+    for call in steps {
+        let inputs = match prev {
+            Some(p) if call.needs_input() => vec![p],
+            _ => vec![],
         };
-        let candidate = match &steps[i + 1] {
-            SkillCall::KeepRows { predicate } => predicate.clone(),
-            SkillCall::DropRows { predicate } => nnf(predicate.clone().not()),
-            _ => continue,
-        };
-        let Some(pushed) = conjoin(prunable_conjuncts(&candidate)) else {
-            continue;
-        };
-        fused.get_or_insert_with(|| steps.to_vec())[i] = SkillCall::LoadTableFiltered {
-            database: database.clone(),
-            table: table.clone(),
-            predicate: pushed,
-        };
+        prev = Some(dag.add(call.clone(), inputs).ok()?);
     }
-    fused
+    let target = prev?;
+    let planned = plan_pushdown(&dag, &[target], &[])?;
+    Some(planned.nodes().iter().map(|n| n.call.clone()).collect())
 }
 
 #[cfg(test)]

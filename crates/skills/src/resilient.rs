@@ -121,6 +121,11 @@ pub struct ExecPolicy {
     pub degraded_fraction: f64,
     /// Seed for degraded-scan block choices.
     pub degraded_seed: u64,
+    /// Whether the cost-based optimizer pass ([`crate::optimize`]) runs
+    /// over the DAG before pushdown planning. On by default; the
+    /// rewrites are invisible to results and preserve node ids, so
+    /// per-node reporting and preflight estimates are unaffected.
+    pub optimize: bool,
 }
 
 impl Default for ExecPolicy {
@@ -132,6 +137,7 @@ impl Default for ExecPolicy {
             degrade_after: None,
             degraded_fraction: 0.2,
             degraded_seed: 7,
+            optimize: true,
         }
     }
 }
@@ -308,7 +314,9 @@ where
 {
     let can_degrade = matches!(
         call,
-        SkillCall::LoadTable { .. } | SkillCall::LoadTableFiltered { .. }
+        SkillCall::LoadTable { .. }
+            | SkillCall::LoadTableFiltered { .. }
+            | SkillCall::LoadTableProjected { .. }
     );
     let started = Instant::now();
     let mut faults_absorbed = 0u32;
@@ -417,17 +425,24 @@ fn run_pure_job(
 /// The cost meter naturally records the cheaper path — only the blocks
 /// actually read are charged.
 fn degraded_load(call: &SkillCall, env: &mut Env, policy: &ExecPolicy) -> Result<SkillOutput> {
-    let (database, table, predicate) = match call {
-        SkillCall::LoadTable { database, table } => (database, table, None),
+    let (database, table, predicate, columns) = match call {
+        SkillCall::LoadTable { database, table } => (database, table, None, None),
         SkillCall::LoadTableFiltered {
             database,
             table,
             predicate,
-        } => (database, table, Some(predicate)),
+        } => (database, table, Some(predicate), None),
+        SkillCall::LoadTableProjected {
+            database,
+            table,
+            columns,
+            predicate,
+        } => (database, table, predicate.as_ref(), Some(columns)),
         _ => unreachable!("degradation only applies to table-load nodes"),
     };
     let db = env.catalog.database(database)?;
     let mut opts = ScanOptions::block_sampled(policy.degraded_fraction, policy.degraded_seed);
+    opts.columns = columns.cloned();
     opts.predicate = predicate.cloned();
     opts.cancel = Some(env.cancel.clone());
     let (data, receipt) = db.scan(table, &opts)?;
@@ -491,10 +506,16 @@ impl Executor {
         // The whole-run slice starts now: planning, interning, and every
         // wave all count against it.
         let run_deadline = policy.run_budget.map(|b| Instant::now() + b);
-        // Same pushdown rewrite as the fast path, with one extra guard:
-        // a rejected filter must keep its load un-fused, since its
-        // predicate never earned the right to run anywhere.
+        // Same optimizer + pushdown rewrites as the fast path, with one
+        // extra guard: a rejected filter must keep its load un-fused,
+        // since its predicate never earned the right to run anywhere.
         let vetoed: Vec<NodeId> = rejections.iter().map(|(n, _)| *n).collect();
+        let optimized = if policy.optimize {
+            crate::optimize::optimize_dag(dag, &[target], &vetoed, env)
+        } else {
+            None
+        };
+        let dag = optimized.as_ref().unwrap_or(dag);
         let planned = crate::pushdown::plan_pushdown(dag, &[target], &vetoed);
         let dag = planned.as_ref().unwrap_or(dag);
         let order = dag.ancestors(target)?;

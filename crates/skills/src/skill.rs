@@ -90,6 +90,19 @@ pub enum SkillCall {
         table: String,
         predicate: Expr,
     },
+    /// `Load the columns <columns> of the table <table> from the
+    /// database <database> [where <predicate>]` — a
+    /// [`SkillCall::LoadTable`] narrowed to the columns the downstream
+    /// plan actually touches, optionally carrying a pushed filter.
+    /// Produced by the optimizer's projection-pushdown rewrite (not in
+    /// the user-facing registry); downstream steps still evaluate their
+    /// full logic, so narrowing is purely an optimization.
+    LoadTableProjected {
+        database: String,
+        table: String,
+        columns: Vec<String>,
+        predicate: Option<Expr>,
+    },
     /// `Use the dataset <name>, version <v>` (Figure 2 step 5).
     UseDataset { name: String, version: Option<u64> },
     /// `Use the snapshot <name>` (§3).
@@ -257,6 +270,7 @@ impl SkillCall {
             | LoadUrl { .. }
             | LoadTable { .. }
             | LoadTableFiltered { .. }
+            | LoadTableProjected { .. }
             | UseDataset { .. }
             | UseSnapshot { .. } => Category::DataIngestion,
             DescribeColumn { .. }
@@ -313,6 +327,7 @@ impl SkillCall {
             LoadUrl { .. } => "LoadUrl",
             LoadTable { .. } => "LoadTable",
             LoadTableFiltered { .. } => "LoadTableFiltered",
+            LoadTableProjected { .. } => "LoadTableProjected",
             UseDataset { .. } => "UseDataset",
             UseSnapshot { .. } => "UseSnapshot",
             DescribeColumn { .. } => "DescribeColumn",
@@ -373,6 +388,7 @@ impl SkillCall {
                 | LoadUrl { .. }
                 | LoadTable { .. }
                 | LoadTableFiltered { .. }
+                | LoadTableProjected { .. }
                 | UseDataset { .. }
                 | UseSnapshot { .. }
                 | ListDatasets

@@ -368,10 +368,15 @@ fn failed_representative_poisons_structural_duplicates() {
         &mut env,
         FaultConfig::disabled().schedule(FaultOp::Scan, 0, InjectedFault::Unavailable),
     );
+    // The optimizer would dedup l2 onto l1 at plan time; keep it off so
+    // the wave scheduler still sees the structural-duplicate shape this
+    // test exists to poison correctly.
+    let policy = ExecPolicy {
+        optimize: false,
+        ..ExecPolicy::default()
+    };
     let mut ex = Executor::new();
-    let report = ex
-        .run_resilient(&dag, j, &mut env, &ExecPolicy::default())
-        .unwrap();
+    let report = ex.run_resilient(&dag, j, &mut env, &policy).unwrap();
     assert!(!report.succeeded());
     assert_eq!(report.failed_nodes().len(), 1);
     // Everything else is either skipped outright or an alias of a
@@ -380,9 +385,7 @@ fn failed_representative_poisons_structural_duplicates() {
     assert_eq!(report.skipped_nodes().len(), 4, "l2, f1, f2, join");
 
     // Resume completes once the outage has passed.
-    let resumed = ex
-        .resume(&dag, j, &mut env, &ExecPolicy::default())
-        .unwrap();
+    let resumed = ex.resume(&dag, j, &mut env, &policy).unwrap();
     assert!(resumed.succeeded());
 }
 

@@ -62,6 +62,46 @@ fn history_table() -> (Schema, TableStats) {
     block_backed(&csv, 100)
 }
 
+/// `wide_metrics`: seven numeric columns over 2500 rows. Recipes that
+/// read only a couple of them leave well over DC0206's 32 KB dead-byte
+/// floor in columns the scan pays for and nothing reads.
+fn wide_metrics_table() -> (Schema, TableStats) {
+    let mut csv = String::from("day,m1,m2,m3,m4,m5,m6\n");
+    for i in 0..2500 {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            i / 50,
+            i % 97,
+            i % 89,
+            i % 83,
+            i % 79,
+            i % 73,
+            i % 71
+        ));
+    }
+    block_backed(&csv, 250)
+}
+
+/// A star for the join-order lint: `fact` (40 rows) joins `dim_fan`
+/// (40 rows, 10 distinct keys → ×31 intermediate-row bound) and
+/// `dim_uniq` (provably unique int key → ×1). Written fan-first, the
+/// chain's intermediate bound is 31× the unique-first order's.
+fn star_tables() -> Vec<(&'static str, (Schema, TableStats))> {
+    let mut fact = String::from("gk,uk,val\n");
+    let mut fan = String::from("k,fan_rate\n");
+    let mut uniq = String::from("k,u_val\n");
+    for i in 0..40 {
+        fact.push_str(&format!("g{},{},{}\n", i % 10, i, i % 7));
+        fan.push_str(&format!("g{},{}\n", i % 10, i));
+        uniq.push_str(&format!("{},{}\n", i, i * 2));
+    }
+    vec![
+        ("fact", block_backed(&fact, 8)),
+        ("dim_fan", block_backed(&fan, 8)),
+        ("dim_uniq", block_backed(&uniq, 8)),
+    ]
+}
+
 /// A table whose `k` column provably holds one constant — the degenerate
 /// join key that turns a join into a cross product.
 fn constant_key_table(value_col: &str) -> (Schema, TableStats) {
@@ -169,6 +209,11 @@ fn golden_context() -> AnalysisContext {
     ctx.add_table("MainDatabase", "pairs", pairs_schema, pairs_stats);
     let (pairs2_schema, pairs2_stats) = constant_key_table("w");
     ctx.add_table("MainDatabase", "pairs2", pairs2_schema, pairs2_stats);
+    let (wide_schema, wide_stats) = wide_metrics_table();
+    ctx.add_table("MainDatabase", "wide_metrics", wide_schema, wide_stats);
+    for (name, (schema, stats)) in star_tables() {
+        ctx.add_table("MainDatabase", name, schema, stats);
+    }
     ctx
 }
 

@@ -1,0 +1,235 @@
+//! The cost-based optimizer's defining property, fuzzed: for any DAG,
+//! executing with the optimizer on must produce exactly the output of
+//! executing the plan as written — under both the serial executor and
+//! the resilient wave scheduler. Programs that fail must fail either
+//! way (the optimizer never rescues or invents an error), though the
+//! failing node's attribution may shift when adjacent filters merge.
+//!
+//! The generator mixes plain column transforms with inner-join chains
+//! against a unique-key dimension and a fan-out dimension, plus
+//! self-concats, so every rewrite family (projection pushdown, filter
+//! hoisting, join reordering, dedup, filter merging) gets exercised.
+
+use datachat::engine::{AggFunc, AggSpec, Column, DataType, Expr, JoinType, Table};
+use datachat::skills::{Env, ExecPolicy, Executor, SkillCall, SkillDag};
+use datachat::storage::{CloudDatabase, Pricing};
+use proptest::prelude::*;
+
+/// Mostly-real columns with a couple of ghosts, so the error path (both
+/// plans must fail) is exercised alongside the success path.
+fn column() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("order_id".to_string()),
+        Just("order_date".to_string()),
+        Just("region".to_string()),
+        Just("product".to_string()),
+        Just("price".to_string()),
+        Just("quantity".to_string()),
+        Just("tax".to_string()),
+        Just("ghost_col".to_string()),
+    ]
+}
+
+/// One chained transform over the current dataset.
+fn transform() -> impl Strategy<Value = SkillCall> {
+    prop_oneof![
+        (column(), -50i64..50).prop_map(|(c, v)| SkillCall::KeepRows {
+            predicate: Expr::col(c).gt(Expr::lit(v)),
+        }),
+        (column(), column(), -20i64..20).prop_map(|(a, b, v)| SkillCall::KeepRows {
+            predicate: Expr::col(a)
+                .gt(Expr::lit(v))
+                .and(Expr::col(b).lt(Expr::lit(40))),
+        }),
+        prop::collection::vec(column(), 1..4).prop_map(|mut columns| {
+            columns.sort();
+            columns.dedup();
+            SkillCall::KeepColumns { columns }
+        }),
+        (AggFunc::Sum as u8..=AggFunc::Sum as u8, column(), column()).prop_map(|(_, col, key)| {
+            SkillCall::Compute {
+                aggs: vec![AggSpec {
+                    func: AggFunc::Sum,
+                    column: Some(col.clone()),
+                    output: AggSpec::default_output(AggFunc::Sum, Some(&col)),
+                }],
+                for_each: vec![key],
+            }
+        }),
+        column().prop_map(|c| SkillCall::Sort {
+            keys: vec![(c, true)],
+        }),
+        (1usize..50).prop_map(|n| SkillCall::Limit { n }),
+        Just(SkillCall::Distinct { columns: vec![] }),
+        Just(SkillCall::DropMissing { columns: vec![] }),
+        (column(), DataType::Float as u8..=DataType::Float as u8).prop_map(|(column, _)| {
+            SkillCall::CastColumn {
+                column,
+                to: DataType::Float,
+            }
+        }),
+    ]
+}
+
+/// One structural step: a chained transform, an inner join against one
+/// of the two dimension tables, or a self-concat (fan-out consumer).
+#[derive(Debug, Clone)]
+enum Step {
+    Chain(SkillCall),
+    JoinUnique,
+    JoinFanout,
+    SelfConcat,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        transform().prop_map(Step::Chain),
+        transform().prop_map(Step::Chain),
+        transform().prop_map(Step::Chain),
+        Just(Step::JoinUnique),
+        Just(Step::JoinFanout),
+        Just(Step::SelfConcat),
+    ]
+}
+
+/// Sales facts plus a provably-unique dimension (one row per region)
+/// and a fan-out dimension (three rows per region).
+fn world() -> Env {
+    let mut env = Env::new();
+    let mut db = CloudDatabase::new("MainDatabase", Pricing::default_cloud());
+    db.create_table_with_blocks("sales", &datachat::storage::demo::sales(60, 5), 10)
+        .unwrap();
+    let regions = ["north", "south", "east", "west"];
+    let info = Table::new(vec![
+        (
+            "region",
+            Column::from_strs(regions.iter().map(|r| r.to_string()).collect::<Vec<_>>())
+                .dict_encode(),
+        ),
+        ("tax", Column::from_floats(vec![0.1, 0.2, 0.05, 0.15])),
+    ])
+    .unwrap();
+    db.create_table_with_blocks("region_info", &info, 2)
+        .unwrap();
+    let mut fan_region = Vec::new();
+    let mut note = Vec::new();
+    for r in regions {
+        for i in 0..3 {
+            fan_region.push(r.to_string());
+            note.push(format!("{r}-{i}"));
+        }
+    }
+    let notes = Table::new(vec![
+        ("region", Column::from_strs(fan_region).dict_encode()),
+        ("note", Column::from_strs(note).dict_encode()),
+    ])
+    .unwrap();
+    db.create_table_with_blocks("region_notes", &notes, 4)
+        .unwrap();
+    env.catalog.add_database(db).unwrap();
+    env
+}
+
+fn build_dag(steps: &[Step]) -> (SkillDag, datachat::skills::NodeId) {
+    let mut dag = SkillDag::new();
+    let load = |dag: &mut SkillDag, table: &str| {
+        dag.add(
+            SkillCall::LoadTable {
+                database: "MainDatabase".into(),
+                table: table.into(),
+            },
+            vec![],
+        )
+        .unwrap()
+    };
+    let mut cur = load(&mut dag, "sales");
+    for step in steps {
+        cur = match step {
+            Step::Chain(call) => dag.add(call.clone(), vec![cur]).unwrap(),
+            Step::JoinUnique | Step::JoinFanout => {
+                let table = match step {
+                    Step::JoinUnique => "region_info",
+                    _ => "region_notes",
+                };
+                let dim = load(&mut dag, table);
+                dag.add(
+                    SkillCall::Join {
+                        other: table.into(),
+                        left_on: vec!["region".into()],
+                        right_on: vec!["region".into()],
+                        how: JoinType::Inner,
+                    },
+                    vec![cur, dim],
+                )
+                .unwrap()
+            }
+            Step::SelfConcat => dag
+                .add(
+                    SkillCall::Concat {
+                        other: "self".into(),
+                        remove_duplicates: false,
+                    },
+                    vec![cur, cur],
+                )
+                .unwrap(),
+        };
+    }
+    (dag, cur)
+}
+
+proptest! {
+    /// Serial executor: optimized and as-written runs agree exactly.
+    #[test]
+    fn optimized_run_matches_as_written(steps in prop::collection::vec(step(), 1..7)) {
+        let (dag, target) = build_dag(&steps);
+
+        let mut env_on = world();
+        let mut on = Executor::new();
+        let got_on = on.run(&dag, target, &mut env_on);
+
+        let mut env_off = world();
+        let mut off = Executor::new();
+        off.optimize = false;
+        let got_off = off.run(&dag, target, &mut env_off);
+
+        match (&got_on, &got_off) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "outputs diverge\nDAG:\n{:?}", dag),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "one plan failed, the other succeeded: on={:?} off={:?}\nDAG:\n{:?}",
+                a.is_ok(), b.is_ok(), dag
+            ),
+        }
+    }
+
+    /// Resilient wave scheduler: same property, through the
+    /// preflight/poisoning path.
+    #[test]
+    fn optimized_resilient_matches_as_written(steps in prop::collection::vec(step(), 1..7)) {
+        let (dag, target) = build_dag(&steps);
+
+        let mut env_on = world();
+        let mut on = Executor::new();
+        let report_on = on
+            .run_resilient(&dag, target, &mut env_on, &ExecPolicy::default())
+            .expect("structurally valid DAG");
+
+        let mut env_off = world();
+        let mut off = Executor::new();
+        let policy_off = ExecPolicy { optimize: false, ..ExecPolicy::default() };
+        let report_off = off
+            .run_resilient(&dag, target, &mut env_off, &policy_off)
+            .expect("structurally valid DAG");
+
+        prop_assert_eq!(
+            report_on.output.is_some(),
+            report_off.output.is_some(),
+            "one plan reached the target, the other did not\nDAG:\n{:?}",
+            dag
+        );
+        if let (Some(a), Some(b)) = (&report_on.output, &report_off.output) {
+            prop_assert_eq!(a, b, "outputs diverge\nDAG:\n{:?}", dag);
+        }
+    }
+}
