@@ -158,7 +158,7 @@ pub fn optimize_dag(
         }
     }
     dedup_loads(&mut out, &protected, &mut changed);
-    merge_adjacent_keeps(&mut out, &protected, &mut changed);
+    merge_adjacent_keeps(&mut out, &protected, &vetoed_set, &mut changed);
     reorder_joins(&mut out, &protected, stats, &mut changed);
     let names = forward_names(&out, stats);
     hoist_filters(&mut out, &protected, &vetoed_set, &names, &mut changed);
@@ -227,9 +227,20 @@ fn dedup_loads(dag: &mut SkillDag, protected: &[bool], changed: &mut bool) {
 /// predicate, which is a row-preserving no-op, so results are
 /// unchanged; the upstream conjunction is what pushdown can now fuse
 /// into the scan.
-fn merge_adjacent_keeps(dag: &mut SkillDag, protected: &[bool], changed: &mut bool) {
+fn merge_adjacent_keeps(
+    dag: &mut SkillDag,
+    protected: &[bool],
+    vetoed: &[bool],
+    changed: &mut bool,
+) {
     let counts = dag.consumer_counts();
     for id in (0..dag.len()).rev() {
+        if vetoed[id] {
+            // An analyzer-rejected predicate never earned the right to
+            // run anywhere — merging it upstream would execute it at the
+            // unvetoed node (and let hoisting sink it into a scan).
+            continue;
+        }
         let node = dag.node(id).expect("id in range");
         let SkillCall::KeepRows { predicate: p2 } = &node.call else {
             continue;
@@ -458,6 +469,18 @@ fn demands(dag: &SkillDag, protected: &[bool], names: &[Option<Vec<String>>]) ->
                         .filter(|c| !c.eq_ignore_ascii_case(to))
                         .collect();
                     s.insert(from.to_ascii_lowercase());
+                    // `Table::rename_column` fails with DuplicateColumn
+                    // when `to` already exists. Demand `to` whenever the
+                    // input provably has it (or its names are unknown)
+                    // so projection can't drop it and silently convert a
+                    // deterministic failure into a success.
+                    let input_has_to = match node.inputs.first().and_then(|&n| names[n].as_ref()) {
+                        Some(cur) => cur.iter().any(|c| c.eq_ignore_ascii_case(to)),
+                        None => true,
+                    };
+                    if input_has_to {
+                        s.insert(to.to_ascii_lowercase());
+                    }
                     vec![Demand::Cols(s)]
                 }
             },
@@ -532,7 +555,17 @@ fn demands(dag: &SkillDag, protected: &[bool], names: &[Option<Vec<String>>]) ->
                             right_on.iter().map(|c| c.to_ascii_lowercase()).collect();
                         for f in r {
                             let fl = f.to_ascii_lowercase();
-                            if s.contains(&fl) || s.contains(&format!("{fl}_right")) {
+                            if s.contains(&fl) {
+                                rd.insert(fl);
+                            } else if s.contains(&format!("{fl}_right")) {
+                                // The `_right` suffix only exists because
+                                // the left side also has `fl`: keep that
+                                // left column alive too, or projection
+                                // would emit the right column unsuffixed
+                                // and break the `{fl}_right` reference.
+                                if llow.contains(&fl) {
+                                    ld.insert(fl.clone());
+                                }
                                 rd.insert(fl);
                             }
                         }
@@ -769,7 +802,15 @@ fn sink(
                 );
             }
         }
-        Join { right_on, .. } => {
+        Join { right_on, how, .. } => {
+            // Only inner joins: an outer join null-pads the other side
+            // for unmatched rows, so prefiltering an input with a
+            // prunable conjunct (e.g. `c IS NULL`) manufactures padded
+            // rows the upper filter then keeps — the classic left-join
+            // anti-join idiom would return wrong rows.
+            if how != dc_engine::JoinType::Inner {
+                return;
+            }
             let (Some(l), Some(r)) = (
                 inputs.first().and_then(|&n| names[n].as_ref()),
                 inputs.get(1).and_then(|&n| names[n].as_ref()),
@@ -1454,6 +1495,261 @@ mod tests {
             out.node(filter).unwrap().call,
             SkillCall::KeepRows { .. }
         ));
+    }
+
+    #[test]
+    fn filters_never_hoist_through_outer_joins() {
+        // `label IS NULL` is prunable, but prefiltering the right side
+        // of a LEFT join would turn matched rows into null-padded rows
+        // the upper filter then keeps (the left-join anti-join idiom).
+        let env = env_with(&[("wide", wide_table(64), 16), ("dims", dim_table(8), 8)]);
+        let mut dag = SkillDag::new();
+        let fact = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let dim = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "dims".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let join = dag
+            .add(
+                SkillCall::Join {
+                    other: "dims".into(),
+                    left_on: vec!["k".into()],
+                    right_on: vec!["id".into()],
+                    how: JoinType::Left,
+                },
+                vec![fact, dim],
+            )
+            .unwrap();
+        let filter = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("label").is_null(),
+                },
+                vec![join],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[filter], &[], &env);
+        if let Some(out) = out {
+            for id in [fact, dim] {
+                match &out.node(id).unwrap().call {
+                    SkillCall::LoadTable { .. } => {}
+                    SkillCall::LoadTableProjected {
+                        predicate: None, ..
+                    } => {}
+                    other => panic!("predicate leaked through an outer join: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demanding_a_suffixed_column_keeps_the_shadowing_left_column() {
+        // The join output has `a_right` only because the left side also
+        // has `a`; dropping left `a` would emit the right column
+        // unsuffixed and break the `a_right` reference downstream.
+        let shadow = Table::new(vec![
+            ("id", Column::from_ints((0..8).collect())),
+            ("a", Column::from_ints(vec![9; 8])),
+        ])
+        .unwrap();
+        let env = env_with(&[("wide", wide_table(64), 16), ("shadow", shadow, 8)]);
+        let mut dag = SkillDag::new();
+        let fact = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let dim = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "shadow".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let join = dag
+            .add(
+                SkillCall::Join {
+                    other: "shadow".into(),
+                    left_on: vec!["k".into()],
+                    right_on: vec!["id".into()],
+                    how: JoinType::Inner,
+                },
+                vec![fact, dim],
+            )
+            .unwrap();
+        let keep = dag
+            .add(
+                SkillCall::KeepColumns {
+                    columns: vec!["a_right".into()],
+                },
+                vec![join],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[keep], &[], &env).expect("rewrite applies");
+        match &out.node(fact).unwrap().call {
+            SkillCall::LoadTableProjected { columns, .. } => {
+                assert_eq!(columns, &["k".to_string(), "a".to_string()]);
+            }
+            other => panic!("expected projected fact load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_onto_an_existing_column_keeps_the_target_alive() {
+        // `rename a -> b` fails with DuplicateColumn because `b` exists;
+        // projection must not drop `b` and convert that deterministic
+        // failure into a silent success.
+        let env = env_with(&[("wide", wide_table(64), 16)]);
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let ren = dag
+            .add(
+                SkillCall::RenameColumn {
+                    from: "a".into(),
+                    to: "b".into(),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let agg = dag
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec {
+                        func: dc_engine::AggFunc::Sum,
+                        column: Some("b".into()),
+                        output: "sum_b".into(),
+                    }],
+                    for_each: vec!["k".into()],
+                },
+                vec![ren],
+            )
+            .unwrap();
+        let out = optimize_dag(&dag, &[agg], &[], &env).expect("rewrite applies");
+        match &out.node(load).unwrap().call {
+            SkillCall::LoadTableProjected { columns, .. } => {
+                assert_eq!(
+                    columns,
+                    &["k".to_string(), "a".to_string(), "b".to_string()]
+                );
+            }
+            other => panic!("expected projected load, got {other:?}"),
+        }
+        // The common case (fresh target name) still projects tightly.
+        let mut dag2 = SkillDag::new();
+        let load2 = dag2
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let ren2 = dag2
+            .add(
+                SkillCall::RenameColumn {
+                    from: "a".into(),
+                    to: "z".into(),
+                },
+                vec![load2],
+            )
+            .unwrap();
+        let agg2 = dag2
+            .add(
+                SkillCall::Compute {
+                    aggs: vec![dc_engine::AggSpec {
+                        func: dc_engine::AggFunc::Sum,
+                        column: Some("z".into()),
+                        output: "sum_z".into(),
+                    }],
+                    for_each: vec!["k".into()],
+                },
+                vec![ren2],
+            )
+            .unwrap();
+        let out2 = optimize_dag(&dag2, &[agg2], &[], &env).expect("rewrite applies");
+        match &out2.node(load2).unwrap().call {
+            SkillCall::LoadTableProjected { columns, .. } => {
+                assert_eq!(columns, &["k".to_string(), "a".to_string()]);
+            }
+            other => panic!("expected projected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vetoed_filters_never_merge_upstream() {
+        let env = env_with(&[("wide", wide_table(16), 8)]);
+        let mut dag = SkillDag::new();
+        let load = dag
+            .add(
+                SkillCall::LoadTable {
+                    database: "Main".into(),
+                    table: "wide".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let f1 = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("a").gt(Expr::lit(0)),
+                },
+                vec![load],
+            )
+            .unwrap();
+        let f2 = dag
+            .add(
+                SkillCall::KeepRows {
+                    predicate: Expr::col("b").gt(Expr::lit(1)),
+                },
+                vec![f1],
+            )
+            .unwrap();
+        // f2 is analyzer-vetoed: its predicate must not execute at f1
+        // (nor reach the scan via f1's hoist).
+        if let Some(out) = optimize_dag(&dag, &[f2], &[f2], &env) {
+            let SkillCall::KeepRows { predicate } = &out.node(f1).unwrap().call else {
+                panic!("expected KeepRows at f1");
+            };
+            let mut cols = Vec::new();
+            predicate.referenced_columns(&mut cols);
+            assert_eq!(cols, vec!["a".to_string()]);
+            if let SkillCall::LoadTableFiltered { predicate, .. } = &out.node(load).unwrap().call {
+                let mut cols = Vec::new();
+                predicate.referenced_columns(&mut cols);
+                assert!(
+                    !cols.contains(&"b".to_string()),
+                    "vetoed predicate reached the scan"
+                );
+            }
+        }
     }
 
     fn dim_table(rows: usize) -> Table {
