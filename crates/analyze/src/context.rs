@@ -114,6 +114,10 @@ pub struct AnalysisContext {
     /// Capacity of the shared materialized cache, when known. Gates the
     /// DC0303 uncacheable-result lint; `None` disables it.
     cache_capacity: Option<u64>,
+    /// The executor's operator-memory budget (the memory governor's
+    /// byte budget), when known. Gates the DC0208 predicted-spill lint;
+    /// `None` disables it.
+    mem_budget: Option<u64>,
 }
 
 impl AnalysisContext {
@@ -170,6 +174,9 @@ impl AnalysisContext {
         if let Some(cache) = &env.shared_cache {
             ctx.cache_capacity = Some(cache.capacity_bytes());
         }
+        if let Some(memory) = &env.memory {
+            ctx.mem_budget = Some(memory.governor.budget());
+        }
         ctx
     }
 
@@ -196,6 +203,19 @@ impl AnalysisContext {
     /// The materialized-cache capacity, when known.
     pub fn cache_capacity(&self) -> Option<u64> {
         self.cache_capacity
+    }
+
+    /// Declare the executor's operator-memory budget (the byte budget
+    /// its memory governor admits transient join/group-by/sort state
+    /// against). Enables the DC0208 predicted-spill lint.
+    pub fn set_mem_budget(&mut self, bytes: u64) -> &mut Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// The executor's operator-memory budget, when declared.
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.mem_budget
     }
 
     /// Register a catalog table.

@@ -109,6 +109,11 @@ pub enum Code {
     /// suboptimal order: statistics bound every join's fan-out, and the
     /// best order's intermediate-row bound is at least 4× smaller.
     SuboptimalJoinOrder,
+    /// `DC0208` — an operator's *guaranteed-lower-bound* transient
+    /// state already exceeds the executor's operator-memory budget, so
+    /// the memory governor is certain to deny its reservation and the
+    /// operator will run out of core (partitioned spill to disk).
+    PredictedSpill,
     /// `DC0301` — the pipeline's *guaranteed-lower-bound* scan cost
     /// already exceeds the tenant's remaining byte budget, so execution
     /// is certain to be evicted mid-run with `BudgetExhausted`. Fires
@@ -157,6 +162,7 @@ impl Code {
             Code::SnapshotPrefixReload => "DC0205",
             Code::DeadColumnLoaded => "DC0206",
             Code::SuboptimalJoinOrder => "DC0207",
+            Code::PredictedSpill => "DC0208",
             Code::PredictedBudgetExhaustion => "DC0301",
             Code::ExplosiveJoin => "DC0302",
             Code::UncacheableResult => "DC0303",
@@ -188,6 +194,7 @@ impl Code {
             Code::SnapshotPrefixReload => "re-derives a snapshot-materialized sub-DAG",
             Code::DeadColumnLoaded => "scan loads columns the pipeline never reads",
             Code::SuboptimalJoinOrder => "join order provably suboptimal",
+            Code::PredictedSpill => "operator state exceeds the memory budget",
             Code::PredictedBudgetExhaustion => "predicted budget exhaustion",
             Code::ExplosiveJoin => "join output guaranteed to explode",
             Code::UncacheableResult => "estimated result exceeds cache capacity",
@@ -210,6 +217,7 @@ impl Code {
             | Code::SnapshotPrefixReload
             | Code::DeadColumnLoaded
             | Code::SuboptimalJoinOrder
+            | Code::PredictedSpill
             | Code::ExplosiveJoin
             | Code::UncacheableResult => Severity::Warning,
             _ => Severity::Error,
@@ -238,6 +246,7 @@ impl Code {
             Code::SnapshotPrefixReload,
             Code::DeadColumnLoaded,
             Code::SuboptimalJoinOrder,
+            Code::PredictedSpill,
             Code::PredictedBudgetExhaustion,
             Code::ExplosiveJoin,
             Code::UncacheableResult,

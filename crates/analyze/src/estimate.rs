@@ -61,6 +61,14 @@ pub struct NodeEstimate {
     /// Heuristic output footprint in bytes (drives DC0303); `None` when
     /// rows or schema are unknown.
     pub out_bytes: Option<u64>,
+    /// Guaranteed lower bound (under the width model) on the transient
+    /// state this operator must hold resident: the build side of a
+    /// join, the full input of a sort, the input a group-by's
+    /// admission check reserves against. Zero for streaming operators.
+    /// Against a memory-governor budget this is the "will spill"
+    /// signal — if it exceeds the budget, the governor is certain to
+    /// deny the reservation and the operator runs out of core.
+    pub state_bytes_lo: u64,
 }
 
 /// The whole-DAG estimate: per-node bounds plus structurally deduped
@@ -81,6 +89,17 @@ impl DagEstimates {
     /// The estimate for one node, if it was reachable.
     pub fn get(&self, node: NodeId) -> Option<&NodeEstimate> {
         self.nodes.iter().find(|e| e.node == node)
+    }
+
+    /// Nodes whose guaranteed-lower-bound operator state exceeds
+    /// `budget` bytes — the ones a memory governor with that budget is
+    /// certain to push out of core.
+    pub fn spilling_nodes(&self, budget: u64) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|e| e.state_bytes_lo > budget)
+            .map(|e| e.node)
+            .collect()
     }
 }
 
@@ -680,6 +699,27 @@ pub fn estimate_pass(
             let schema = schemas.get(&node.id).and_then(|s| s.as_ref())?;
             bounds.hi.map(|h| h.saturating_mul(row_width(schema)))
         });
+        // Guaranteed-lower-bound resident state, mirroring the engine's
+        // spill admission checks: a sort (or group-by admission) holds
+        // its whole input, a hash join holds its build (second) side.
+        // Rows are the inputs' guaranteed lower bounds; widths come
+        // from the same model as `out_bytes`.
+        let input_state = |idx: usize| -> u64 {
+            let Some(&id) = node.inputs.get(idx) else {
+                return 0;
+            };
+            let lo = rows.get(&id).map_or(0, |b| b.lo);
+            let width = schemas
+                .get(&id)
+                .and_then(|s| s.as_ref())
+                .map_or(0, row_width);
+            lo.saturating_mul(width)
+        };
+        let state_bytes_lo = match &node.call {
+            SkillCall::Sort { .. } | SkillCall::Compute { .. } => input_state(0),
+            SkillCall::Join { .. } => input_state(1),
+            _ => 0,
+        };
         rows.insert(node.id, bounds);
         estimates.push(NodeEstimate {
             node: node.id,
@@ -688,6 +728,7 @@ pub fn estimate_pass(
             bytes_lo,
             bytes_hi,
             out_bytes,
+            state_bytes_lo,
         });
     }
 
@@ -736,6 +777,44 @@ pub fn estimate_pass(
                     "filter or sample the scans to fit the budget, read a snapshot, \
                      or wait for the budget to refill",
                 )),
+            );
+        }
+    }
+
+    // DC0208: the operator's guaranteed-lower-bound resident state
+    // exceeds the executor's memory budget, so the governor is certain
+    // to deny its reservation and the operator will run out of core.
+    // Warning, not error — spilling is correct, just slower — with the
+    // estimator-backed partition fan-out the executor will use.
+    if let Some(budget) = ctx.mem_budget() {
+        for est in &estimates {
+            if est.state_bytes_lo <= budget {
+                continue;
+            }
+            let Ok(node) = dag.node(est.node) else {
+                continue;
+            };
+            let partitions = est.state_bytes_lo.div_ceil(budget.max(1)).max(2);
+            diags.push(
+                Diagnostic::new(
+                    Code::PredictedSpill,
+                    format!(
+                        "{} must hold at least {} bytes of transient state, over the \
+                         {budget}-byte operator-memory budget; the governor will deny \
+                         the reservation and the operator runs out of core, spilling \
+                         into ~{partitions} disk partitions",
+                        node.call.name(),
+                        est.state_bytes_lo,
+                    ),
+                )
+                .with_span(Span::node(est.node, node.call.name()))
+                .with_fix(Fix::new(format!(
+                    "filter, project, or aggregate earlier so the {}'s state fits in \
+                     memory, or raise the memory budget to at least {} bytes to keep \
+                     it in core",
+                    node.call.name(),
+                    est.state_bytes_lo,
+                ))),
             );
         }
     }

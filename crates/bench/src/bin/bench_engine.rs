@@ -14,18 +14,31 @@
 //! dispatching kernel over the same table dictionary-encoded, so the
 //! pair prices the end-to-end win of keeping strings encoded.
 //!
+//! The scale sweep runs join, group-by, and sort at 1M/10M/100M rows
+//! through the memory-governed entry points under a 1 GiB budget
+//! (`--mem-budget 64mb`-style override accepted), recording wall time,
+//! `bytes_spilled`, and `spill_partitions` per tier. Tiers whose input
+//! alone exceeds the budget must spill — the run aborts if they don't —
+//! and the 1M/10M constrained outputs are checked identical to the
+//! in-memory kernels'.
+//!
 //! `--smoke` skips all timing: it runs every string-keyed op at a small
 //! row count in both encodings and exits nonzero if any pair of results
 //! diverges — a cheap CI gate that the dict kernels stay equivalent.
+//! `--smoke --mem-budget 64mb` additionally runs the 10M-row sweep under
+//! that budget and fails unless every op spills, matches the in-memory
+//! result, and leaves no spill files behind.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use dc_engine::bitmap::Bitmap;
 use dc_engine::ops::{
-    filter, filter_serial, group_by, group_by_serial, join, join_serial, sort_by, sort_by_serial,
-    AggFunc, AggSpec, JoinType, SortKey,
+    filter, filter_serial, group_by, group_by_serial, group_by_with_mem, join, join_serial,
+    join_with_mem, sort_by, sort_by_serial, sort_by_with_mem, AggFunc, AggSpec, JoinType, SortKey,
 };
-use dc_engine::{parallel, Column, Expr, Table, Value};
-use dc_storage::{BlockTable, ScanOptions};
+use dc_engine::{parallel, Column, Expr, MemContext, SpillSnapshot, Table, Value};
+use dc_storage::{BlockTable, DiskBlockTable, ScanOptions, ScanReceipt};
 
 const ROWS: usize = 1_000_000;
 const REPEATS: usize = 3;
@@ -87,6 +100,182 @@ fn str_dim() -> Table {
     .expect("dim builds")
 }
 
+/// Parse a byte size like `64mb`, `1gb`, `512kb`, or plain bytes.
+fn parse_size(s: &str) -> u64 {
+    let lower = s.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(p) = lower.strip_suffix("gb") {
+        (p, 1u64 << 30)
+    } else if let Some(p) = lower.strip_suffix("mb") {
+        (p, 1 << 20)
+    } else if let Some(p) = lower.strip_suffix("kb") {
+        (p, 1 << 10)
+    } else if let Some(p) = lower.strip_suffix('b') {
+        (p, 1)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n: u64 = num
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad size {s:?} (want e.g. 64mb, 1gb, or bytes)"));
+    n * mult
+}
+
+/// Round-trip a fixture through an on-disk block file and hand back the
+/// scanned table plus the receipt, so kernel records carry the real
+/// storage footprint of their input instead of 0. The file is deleted
+/// once scanned.
+fn disk_backed(name: &str, t: &Table) -> (Table, ScanReceipt) {
+    let dir = std::env::temp_dir().join(format!("dc-bench-fixtures-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    let path = dir.join(name);
+    let dt = DiskBlockTable::create(&path, t, 8192).expect("fixture block file");
+    let (out, receipt) = dt.scan(&ScanOptions::full()).expect("fixture scan");
+    assert!(
+        receipt.bytes_read <= receipt.bytes_scanned,
+        "{name}: faulted {} bytes but only {} were charged",
+        receipt.bytes_read,
+        receipt.bytes_scanned
+    );
+    drop(dt);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+    (out, receipt)
+}
+
+/// Scale-sweep fact table: int id, 50-key dictionary group column, float
+/// value. Columns are built directly (no per-row string formatting) so
+/// the 100M tier constructs in seconds.
+fn sweep_table(n: usize) -> Table {
+    let dict: Arc<Vec<String>> = Arc::new((0..50).map(|i| format!("g{i:02}")).collect());
+    Table::new(vec![
+        (
+            "id",
+            Column::Int((0..n as i64).collect(), Bitmap::new_valid(n)),
+        ),
+        (
+            "k",
+            Column::Dict(
+                (0..n).map(|i| (i % 50) as u32).collect(),
+                dict,
+                Bitmap::new_valid(n),
+            ),
+        ),
+        (
+            "v",
+            Column::Float(
+                (0..n).map(|i| ((i * 7919) % 100_000) as f64).collect(),
+                Bitmap::new_valid(n),
+            ),
+        ),
+    ])
+    .expect("sweep table builds")
+}
+
+/// Join probe side: every id matches, one-tenth the fact rows, so the
+/// fact table is the build side the governor has to page out.
+fn probe_table(n: usize) -> Table {
+    Table::new(vec![(
+        "pid",
+        Column::Int((0..n as i64).collect(), Bitmap::new_valid(n)),
+    )])
+    .expect("probe table builds")
+}
+
+/// One scale-sweep tier: join, group-by, and sort at `n` rows through
+/// the memory-governed entry points. `budget == 0` runs unlimited (the
+/// in-memory reference); otherwise the ops run under a fresh
+/// [`MemContext`] and, when `verify` is set, every constrained output is
+/// compared with the in-memory kernel's. Returns human-readable
+/// violations (empty = the tier is clean).
+fn sweep_tier(n: usize, budget: u64, verify: bool, records: &mut Vec<Record>) -> Vec<String> {
+    let mut bad = Vec::new();
+    let t = sweep_table(n);
+    let probe = probe_table(n / 10 + 1);
+    let ctx = (budget > 0).then(|| MemContext::with_budget(budget).expect("spill context builds"));
+    let mem = ctx.as_ref();
+    // Every op's state estimate is at least the byte size of the table it
+    // holds transient, so spilling is certain whenever the input alone
+    // exceeds the budget.
+    let must_spill = budget > 0 && t.byte_size() as u64 > budget;
+    let aggs = [
+        AggSpec::new(AggFunc::Sum, "v", "s"),
+        AggSpec::count_records("n"),
+    ];
+    let skeys = [SortKey::desc("v"), SortKey::asc("id")];
+    type OpFn<'a> = Box<dyn Fn(Option<&MemContext>) -> Table + 'a>;
+    let ops: Vec<(&'static str, OpFn)> = vec![
+        (
+            "sweep_hash_join",
+            Box::new(|m: Option<&MemContext>| {
+                join_with_mem(&probe, &t, &["pid"], &["id"], JoinType::Inner, m)
+                    .expect("sweep join")
+            }),
+        ),
+        (
+            "sweep_group_by",
+            Box::new(|m: Option<&MemContext>| {
+                group_by_with_mem(&t, &["k"], &aggs, m).expect("sweep group-by")
+            }),
+        ),
+        (
+            "sweep_sort",
+            Box::new(|m: Option<&MemContext>| {
+                sort_by_with_mem(&t, &skeys, m).expect("sweep sort")
+            }),
+        ),
+    ];
+    let mode = if budget > 0 { "budget" } else { "unbounded" };
+    for (op, f) in &ops {
+        let before = mem
+            .map(|c| c.metrics.snapshot())
+            .unwrap_or(SpillSnapshot::default());
+        let start = Instant::now();
+        let out = f(mem);
+        let ns = start.elapsed().as_nanos();
+        let spilled = mem
+            .map(|c| c.metrics.snapshot().delta_since(before))
+            .unwrap_or(SpillSnapshot::default());
+        println!(
+            "{op:<28} {mode:<8} {:>10.2} ms  ({n} rows in, {} out, {} bytes spilled / {} partitions)",
+            ns as f64 / 1e6,
+            out.num_rows(),
+            spilled.bytes_spilled,
+            spilled.spill_partitions
+        );
+        if must_spill && spilled.bytes_spilled == 0 {
+            bad.push(format!("{op}@{n}: input exceeds the budget but nothing spilled"));
+        }
+        if verify && budget > 0 && out != f(None) {
+            bad.push(format!("{op}@{n}: constrained output diverges from in-memory"));
+        }
+        records.push(Record {
+            op,
+            rows: n,
+            mode,
+            ns_per_op: ns,
+            out_rows: out.num_rows(),
+            bytes_scanned: 0,
+            bytes_read: 0,
+            bytes_pruned: 0,
+            cache_hits: 0,
+            bytes_saved: 0,
+            bytes_spilled: spilled.bytes_spilled,
+            spill_partitions: spilled.spill_partitions,
+            mem_budget: budget,
+        });
+    }
+    if let Some(c) = &ctx {
+        let leaked = std::fs::read_dir(&c.spill_root)
+            .map(|rd| rd.count())
+            .unwrap_or(0);
+        if leaked > 0 {
+            bad.push(format!("{n}-row tier leaked {leaked} spill dirs"));
+        }
+    }
+    bad
+}
+
 /// Minimum wall-clock nanoseconds per run over [`REPEATS`] runs.
 fn min_ns(mut f: impl FnMut() -> Table) -> (u128, usize) {
     let mut best = u128::MAX;
@@ -106,14 +295,22 @@ struct Record {
     mode: &'static str,
     ns_per_op: u128,
     out_rows: usize,
-    /// Bytes the storage scan charged (0 for pure in-memory kernels).
+    /// Bytes the storage scan of the op's input charged.
     bytes_scanned: u64,
+    /// Bytes actually faulted in from disk (`<= bytes_scanned` always).
+    bytes_read: u64,
     /// Bytes the zone maps skipped (0 when no predicate was pushed).
     bytes_pruned: u64,
     /// Sub-DAG cache hits the run was served from (executor records).
     cache_hits: u64,
     /// Scan bytes those hits avoided re-charging (executor records).
     bytes_saved: u64,
+    /// Bytes written to spill files while the op ran out of core.
+    bytes_spilled: u64,
+    /// Spill partitions (or sort runs) the op wrote.
+    spill_partitions: u64,
+    /// Operator-memory budget the op ran under (0 = unlimited).
+    mem_budget: u64,
 }
 
 /// 1M rows clustered on both keys: `id` ascending and `key` changing
@@ -516,7 +713,12 @@ fn optimizer_divergences() -> Vec<String> {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    let mem_budget = args
+        .iter()
+        .position(|a| a == "--mem-budget")
+        .map(|i| parse_size(args.get(i + 1).expect("--mem-budget needs a size")));
+    if args.iter().any(|a| a == "--smoke") {
         // CI gate: small input, no timing, no JSON — just dict/plain
         // agreement across every string-keyed kernel.
         let plain = str_events(20_000);
@@ -535,6 +737,16 @@ fn main() {
             eprintln!("smoke FAILED: optimizer violations: {bad:?}");
             std::process::exit(1);
         }
+        // Low-memory gate: the 10M-row sweep must complete out of core
+        // with identical results and no leaked spill files.
+        if let Some(budget) = mem_budget {
+            let bad = sweep_tier(10_000_000, budget, true, &mut Vec::new());
+            if !bad.is_empty() {
+                eprintln!("smoke FAILED: out-of-core violations: {bad:?}");
+                std::process::exit(1);
+            }
+            println!("smoke ok: 10M-row sweep spilled under a {budget}-byte budget, results identical");
+        }
         println!(
             "smoke ok: dict kernels agree, pruned scans are cheaper + identical, \
              optimized plans are byte-cheaper + identical"
@@ -542,10 +754,13 @@ fn main() {
         return;
     }
 
-    let t = events(ROWS);
+    let (t, t_receipt) = disk_backed("events.dcb", &events(ROWS));
     let threads = parallel::num_threads();
     let mut records: Vec<Record> = Vec::new();
-    let mut push = |op: &'static str, mode: &'static str, (ns, out_rows): (u128, usize)| {
+    let mut push = |op: &'static str,
+                    mode: &'static str,
+                    (ns, out_rows): (u128, usize),
+                    fixture: &ScanReceipt| {
         let pretty_ms = ns as f64 / 1e6;
         println!("{op:<28} {mode:<8} {pretty_ms:>10.2} ms  ({out_rows} rows out)");
         records.push(Record {
@@ -554,10 +769,14 @@ fn main() {
             mode,
             ns_per_op: ns,
             out_rows,
-            bytes_scanned: 0,
+            bytes_scanned: fixture.bytes_scanned,
+            bytes_read: fixture.bytes_read,
             bytes_pruned: 0,
             cache_hits: 0,
             bytes_saved: 0,
+            bytes_spilled: 0,
+            spill_partitions: 0,
+            mem_budget: 0,
         });
     };
 
@@ -566,11 +785,13 @@ fn main() {
         "filter_1m",
         "parallel",
         min_ns(|| filter(&t, &pred).expect("filters")),
+        &t_receipt,
     );
     push(
         "filter_1m",
         "serial",
         min_ns(|| filter_serial(&t, &pred).expect("filters")),
+        &t_receipt,
     );
 
     let aggs = [
@@ -582,22 +803,26 @@ fn main() {
         "group_by_1m_50groups",
         "parallel",
         min_ns(|| group_by(&t, &["k"], &aggs).expect("groups")),
+        &t_receipt,
     );
     push(
         "group_by_1m_50groups",
         "serial",
         min_ns(|| group_by_serial(&t, &["k"], &aggs).expect("groups")),
+        &t_receipt,
     );
 
     push(
         "hash_join_1m_x_1m",
         "parallel",
         min_ns(|| join(&t, &t, &["id"], &["id"], JoinType::Inner).expect("joins")),
+        &t_receipt,
     );
     push(
         "hash_join_1m_x_1m",
         "serial",
         min_ns(|| join_serial(&t, &t, &["id"], &["id"], JoinType::Inner).expect("joins")),
+        &t_receipt,
     );
 
     let keys = [SortKey::desc("v"), SortKey::asc("id")];
@@ -605,16 +830,21 @@ fn main() {
         "sort_1m",
         "parallel",
         min_ns(|| sort_by(&t, &keys).expect("sorts")),
+        &t_receipt,
     );
     push(
         "sort_1m",
         "serial",
         min_ns(|| sort_by_serial(&t, &keys).expect("sorts")),
+        &t_receipt,
     );
 
-    // String-keyed kernels, plain `Str` vs dictionary-encoded.
-    let plain = str_events(ROWS).materialize_strings();
-    let enc = plain.encode_strings();
+    // String-keyed kernels, plain `Str` vs dictionary-encoded. Both
+    // variants come off disk so their records carry the footprint each
+    // encoding actually pays for.
+    let (plain, plain_receipt) = disk_backed("str_events.dcb", &str_events(ROWS));
+    let plain = plain.materialize_strings();
+    let (enc, enc_receipt) = disk_backed("str_events_enc.dcb", &plain.encode_strings());
     let dim = str_dim();
     let enc_dim = dim.encode_strings();
 
@@ -623,11 +853,13 @@ fn main() {
         "filter_1m_str_eq",
         "dict",
         min_ns(|| filter(&enc, &spred).expect("filters")),
+        &enc_receipt,
     );
     push(
         "filter_1m_str_eq",
         "plain",
         min_ns(|| filter_serial(&plain, &spred).expect("filters")),
+        &plain_receipt,
     );
 
     let saggs = [
@@ -638,22 +870,26 @@ fn main() {
         "group_by_1m_str_keys",
         "dict",
         min_ns(|| group_by(&enc, &["s"], &saggs).expect("groups")),
+        &enc_receipt,
     );
     push(
         "group_by_1m_str_keys",
         "plain",
         min_ns(|| group_by_serial(&plain, &["s"], &saggs).expect("groups")),
+        &plain_receipt,
     );
 
     push(
         "hash_join_1m_str",
         "dict",
         min_ns(|| join(&enc, &enc_dim, &["s"], &["s"], JoinType::Inner).expect("joins")),
+        &enc_receipt,
     );
     push(
         "hash_join_1m_str",
         "plain",
         min_ns(|| join_serial(&plain, &dim, &["s"], &["s"], JoinType::Inner).expect("joins")),
+        &plain_receipt,
     );
 
     let skeys = [SortKey::asc("s"), SortKey::asc("id")];
@@ -661,11 +897,13 @@ fn main() {
         "sort_1m_str",
         "dict",
         min_ns(|| sort_by(&enc, &skeys).expect("sorts")),
+        &enc_receipt,
     );
     push(
         "sort_1m_str",
         "plain",
         min_ns(|| sort_by_serial(&plain, &skeys).expect("sorts")),
+        &plain_receipt,
     );
 
     assert_gather_fast(&plain);
@@ -693,6 +931,10 @@ fn main() {
             filter(&full, pred).expect("filters"),
             "pruned scan must match full-scan-then-filter for {op}"
         );
+        assert!(
+            receipt.bytes_read <= receipt.bytes_scanned,
+            "{op}: faulted more bytes than charged"
+        );
         let op: &'static str = Box::leak(op.clone().into_boxed_str());
         let (ns, out_rows) = min_ns(|| bt.scan(&opts).expect("pruned scan").0);
         println!(
@@ -706,9 +948,13 @@ fn main() {
             ns_per_op: ns,
             out_rows,
             bytes_scanned: receipt.bytes_scanned,
+            bytes_read: receipt.bytes_read,
             bytes_pruned: receipt.bytes_pruned,
             cache_hits: 0,
             bytes_saved: 0,
+            bytes_spilled: 0,
+            spill_partitions: 0,
+            mem_budget: 0,
         });
         let (ns, out_rows) = min_ns(|| {
             let (t, _) = bt.scan(&ScanOptions::full()).expect("full scan");
@@ -725,9 +971,13 @@ fn main() {
             ns_per_op: ns,
             out_rows,
             bytes_scanned: full_receipt.bytes_scanned,
+            bytes_read: full_receipt.bytes_read,
             bytes_pruned: 0,
             cache_hits: 0,
             bytes_saved: 0,
+            bytes_spilled: 0,
+            spill_partitions: 0,
+            mem_budget: 0,
         });
     }
 
@@ -793,9 +1043,13 @@ fn main() {
                 ns_per_op: ns,
                 out_rows: 0,
                 bytes_scanned: 0,
+                bytes_read: 0,
                 bytes_pruned: 0,
                 cache_hits: report.cache_hits,
                 bytes_saved: report.bytes_saved,
+                bytes_spilled: report.bytes_spilled,
+                spill_partitions: report.spill_partitions,
+                mem_budget: 0,
             });
         }
     }
@@ -836,12 +1090,35 @@ fn main() {
                     ns_per_op: ns,
                     out_rows: 0,
                     bytes_scanned: bytes,
+                    bytes_read: 0,
                     bytes_pruned: 0,
                     cache_hits: 0,
                     bytes_saved: 0,
+                    bytes_spilled: 0,
+                    spill_partitions: 0,
+                    mem_budget: 0,
                 });
             }
         }
+    }
+
+    // Out-of-core scale sweep: join/group-by/sort at rising row counts
+    // under an operator-memory budget. The 1M and 10M tiers also run
+    // unlimited (the in-memory reference the budget run must match); the
+    // 100M tier exceeds the default 1 GiB budget several times over, so
+    // completing it at all proves the spill paths carry the load.
+    let budget = mem_budget.unwrap_or(1 << 30);
+    for &(n, verify) in &[
+        (1_000_000usize, true),
+        (10_000_000, true),
+        (100_000_000, false),
+    ] {
+        if verify {
+            let bad = sweep_tier(n, 0, false, &mut records);
+            assert!(bad.is_empty(), "unbounded sweep violations: {bad:?}");
+        }
+        let bad = sweep_tier(n, budget, verify, &mut records);
+        assert!(bad.is_empty(), "scale sweep violations: {bad:?}");
     }
 
     // Hand-rolled JSON: the workspace deliberately carries no serde.
@@ -849,8 +1126,8 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         json.push_str(&format!(
-            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}, \"bytes_scanned\": {}, \"bytes_pruned\": {}, \"cache_hits\": {}, \"bytes_saved\": {}}}{}\n",
-            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, r.bytes_scanned, r.bytes_pruned, r.cache_hits, r.bytes_saved, sep
+            "  {{\"op\": \"{}\", \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \"ns_per_op\": {}, \"out_rows\": {}, \"bytes_scanned\": {}, \"bytes_read\": {}, \"bytes_pruned\": {}, \"cache_hits\": {}, \"bytes_saved\": {}, \"bytes_spilled\": {}, \"spill_partitions\": {}, \"mem_budget\": {}}}{}\n",
+            r.op, r.rows, r.mode, threads, r.ns_per_op, r.out_rows, r.bytes_scanned, r.bytes_read, r.bytes_pruned, r.cache_hits, r.bytes_saved, r.bytes_spilled, r.spill_partitions, r.mem_budget, sep
         ));
     }
     json.push_str("]\n");
@@ -912,6 +1189,29 @@ fn main() {
             ratio(op, "optimized", "as_written"),
             bytes("as_written") as f64 / (bytes("optimized").max(1)) as f64,
         );
+    }
+    for r in records.iter().filter(|r| r.mode == "budget") {
+        match records
+            .iter()
+            .find(|u| u.op == r.op && u.rows == r.rows && u.mode == "unbounded")
+        {
+            Some(u) => println!(
+                "{:<28} {:>4}M rows: spill overhead {:>5.2}x  ({} bytes spilled / {} partitions)",
+                r.op,
+                r.rows / 1_000_000,
+                r.ns_per_op as f64 / u.ns_per_op.max(1) as f64,
+                r.bytes_spilled,
+                r.spill_partitions
+            ),
+            None => println!(
+                "{:<28} {:>4}M rows: completed under {}-byte budget  ({} bytes spilled / {} partitions)",
+                r.op,
+                r.rows / 1_000_000,
+                r.mem_budget,
+                r.bytes_spilled,
+                r.spill_partitions
+            ),
+        }
     }
     println!("wrote BENCH_engine.json");
 }

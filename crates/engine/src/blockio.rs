@@ -1,0 +1,1051 @@
+//! On-disk columnar block format.
+//!
+//! One file holds a sequence of immutable row blocks sharing a schema,
+//! followed by a footer with everything needed to *decide* before
+//! reading: per-block/per-column byte ranges, zone maps (min/max bounds
+//! and null counts in the shape the tri-state pruning evaluator
+//! consumes), and the shared string dictionaries — so dictionary columns
+//! stay encoded on disk and blocks share one in-memory dictionary
+//! allocation after read-back, exactly like [`crate::column::Column::Dict`]
+//! in RAM.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "DCB1" | block payloads... | footer | footer_len: u64 | "DCB1"
+//! ```
+//!
+//! Block payloads store each column contiguously (validity bits, then
+//! data), and the footer records each column's absolute byte range, so a
+//! projected read faults in only the columns it needs. The default read
+//! path is positional buffered reads (`pread`); the `mmap` feature
+//! switches to a memory map.
+//!
+//! Both spill files (operator partitions, sort runs) and the storage
+//! layer's on-disk tables use this format; the storage layer adds scan
+//! receipts and pricing on top.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::dtype::DataType;
+use crate::error::{EngineError, Result};
+use crate::governor::spill_error;
+use crate::table::Table;
+use crate::value::Value;
+
+/// File magic, leading and trailing.
+const MAGIC: &[u8; 4] = b"DCB1";
+
+/// Column encodings as stored. `Dict` is an encoding of logical `Str`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Enc {
+    Bool = 0,
+    Int = 1,
+    Float = 2,
+    Str = 3,
+    Date = 4,
+    Dict = 5,
+}
+
+impl Enc {
+    fn from_u8(v: u8) -> Result<Enc> {
+        Ok(match v {
+            0 => Enc::Bool,
+            1 => Enc::Int,
+            2 => Enc::Float,
+            3 => Enc::Str,
+            4 => Enc::Date,
+            5 => Enc::Dict,
+            _ => return Err(EngineError::parse(format!("bad column encoding {v}"))),
+        })
+    }
+
+    fn of(col: &Column) -> Enc {
+        match col {
+            Column::Bool(..) => Enc::Bool,
+            Column::Int(..) => Enc::Int,
+            Column::Float(..) => Enc::Float,
+            Column::Str(..) => Enc::Str,
+            Column::Date(..) => Enc::Date,
+            Column::Dict(..) => Enc::Dict,
+        }
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn dtype_from_tag(v: u8) -> Result<DataType> {
+    Ok(match v {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        4 => DataType::Date,
+        _ => return Err(EngineError::parse(format!("bad dtype tag {v}"))),
+    })
+}
+
+/// Zone-map bounds for one block of one column, as persisted in the
+/// footer. Mirrors the storage layer's in-RAM zone maps: value bounds for
+/// numeric/date columns, code bounds into the sorted dictionary for dict
+/// columns, nothing for unsummarizable blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneBoundsIo {
+    /// No usable bounds (all-null, NaN present, bool/plain-str, or zone
+    /// computation disabled at write time).
+    None,
+    /// Value bounds over valid rows.
+    Values { min: Value, max: Value },
+    /// Code bounds into the column's shared sorted dictionary.
+    DictCodes { min: u32, max: u32 },
+}
+
+/// Persisted zone map for one block of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneInfo {
+    pub bounds: ZoneBoundsIo,
+    pub null_count: u64,
+}
+
+/// Footer metadata for one column of one block.
+#[derive(Debug, Clone)]
+pub struct ColMeta {
+    enc: Enc,
+    /// Absolute byte offset of this column's stored bytes.
+    pub offset: u64,
+    /// Stored length in bytes.
+    pub len: u64,
+    /// Logical in-memory payload bytes (excluding shared dictionary
+    /// heap), the same quantity the in-RAM block table charges scans.
+    pub data_bytes: u64,
+    /// For dict columns, index into [`FileMeta::dicts`].
+    dict_id: u32,
+    /// Zone map.
+    pub zone: ZoneInfo,
+}
+
+impl ColMeta {
+    /// For dict-encoded columns, the index into [`FileMeta::dicts`].
+    pub fn dict_index(&self) -> Option<usize> {
+        (self.enc == Enc::Dict).then_some(self.dict_id as usize)
+    }
+}
+
+/// Footer metadata for one block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Rows in this block.
+    pub rows: u32,
+    /// Per-column metadata, in schema order.
+    pub cols: Vec<ColMeta>,
+}
+
+/// Parsed footer of a block file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Column names and logical dtypes.
+    pub schema: Vec<(String, DataType)>,
+    /// Shared dictionaries, one `Arc` per registered dictionary; all
+    /// blocks referencing dict `i` share `dicts[i]` after read-back.
+    pub dicts: Vec<Arc<Vec<String>>>,
+    /// Per-block metadata.
+    pub blocks: Vec<BlockMeta>,
+    /// Bytes of footer + magic/trailer (metadata read once at open).
+    pub meta_bytes: u64,
+}
+
+impl FileMeta {
+    /// Total rows across blocks.
+    pub fn num_rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.rows as usize).sum()
+    }
+
+    /// Heap bytes of dictionary `i`'s strings (0 when out of range).
+    pub fn dict_heap_bytes(&self, i: usize) -> u64 {
+        self.dicts.get(i).map_or(0, |d| {
+            d.iter()
+                .map(|s| s.len() + std::mem::size_of::<String>())
+                .sum::<usize>() as u64
+        })
+    }
+
+    /// Dictionary heap bytes for column `ci` (0 for non-dict columns),
+    /// derived from the first block that stores it dict-encoded.
+    pub fn column_dict_bytes(&self, ci: usize) -> u64 {
+        for b in &self.blocks {
+            let c = &b.cols[ci];
+            if c.enc == Enc::Dict {
+                return self.dict_heap_bytes(c.dict_id as usize);
+            }
+        }
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+/// Cursor over a byte slice with bounds-checked reads.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(EngineError::parse("truncated block file metadata"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let b = self.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| EngineError::parse("non-utf8 string"))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap())),
+            3 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.bytes(8)?.try_into().unwrap(),
+            ))),
+            4 => Value::Str(self.str()?),
+            5 => Value::Date(i32::from_le_bytes(self.bytes(4)?.try_into().unwrap())),
+            t => return Err(EngineError::parse(format!("bad value tag {t}"))),
+        })
+    }
+}
+
+fn pack_bits(bits: impl Iterator<Item = bool>, n: usize) -> Vec<u8> {
+    let mut out = vec![0u8; n.div_ceil(8)];
+    for (i, b) in bits.enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(buf: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| buf[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Zone computation (mirrors the storage layer's in-RAM zone maps)
+// ---------------------------------------------------------------------------
+
+fn compute_zone(col: &Column) -> ZoneInfo {
+    let null_count = col.null_count() as u64;
+    let n = col.len();
+    if null_count as usize >= n {
+        return ZoneInfo {
+            bounds: ZoneBoundsIo::None,
+            null_count,
+        };
+    }
+    let bounds = if let Some((codes, _, validity)) = col.as_dict() {
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for (i, &c) in codes.iter().enumerate() {
+            if validity.get(i) {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+        }
+        ZoneBoundsIo::DictCodes { min: lo, max: hi }
+    } else {
+        match col.dtype() {
+            DataType::Int | DataType::Float | DataType::Date => {
+                let mut min: Option<Value> = None;
+                let mut max: Option<Value> = None;
+                let mut usable = true;
+                for i in 0..n {
+                    let v = col.get(i);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if matches!(&v, Value::Float(f) if f.is_nan()) {
+                        usable = false;
+                        break;
+                    }
+                    let lower = match &min {
+                        None => true,
+                        Some(m) => v.partial_cmp_sql(m) == Some(std::cmp::Ordering::Less),
+                    };
+                    if lower {
+                        min = Some(v.clone());
+                    }
+                    let higher = match &max {
+                        None => true,
+                        Some(m) => v.partial_cmp_sql(m) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if higher {
+                        max = Some(v);
+                    }
+                }
+                match (usable, min, max) {
+                    (true, Some(min), Some(max)) => ZoneBoundsIo::Values { min, max },
+                    _ => ZoneBoundsIo::None,
+                }
+            }
+            _ => ZoneBoundsIo::None,
+        }
+    };
+    ZoneInfo {
+        bounds,
+        null_count,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Summary returned by [`BlockWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSummary {
+    /// Total file size, footer included.
+    pub total_bytes: u64,
+    /// Logical data bytes across blocks (same accounting as the in-RAM
+    /// block table: payload excluding shared dictionary heap).
+    pub data_bytes: u64,
+    /// Blocks written.
+    pub blocks: usize,
+    /// Rows written.
+    pub rows: usize,
+}
+
+/// Streaming writer: append whole blocks, then `finish` to seal the
+/// footer. All appended blocks must share one schema.
+pub struct BlockWriter {
+    file: File,
+    path: PathBuf,
+    offset: u64,
+    schema: Option<Vec<(String, DataType)>>,
+    dicts: Vec<Arc<Vec<String>>>,
+    blocks: Vec<BlockMeta>,
+    rows: usize,
+    compute_zones: bool,
+}
+
+impl BlockWriter {
+    /// Create (truncate) `path`. Zone maps are computed per block by
+    /// default; disable with [`BlockWriter::without_zones`] for spill
+    /// files that are always read back in full.
+    pub fn create(path: impl Into<PathBuf>) -> Result<BlockWriter> {
+        let path = path.into();
+        let mut file = File::create(&path).map_err(|e| spill_error("block file create", e))?;
+        file.write_all(MAGIC)
+            .map_err(|e| spill_error("block file write", e))?;
+        Ok(BlockWriter {
+            file,
+            path,
+            offset: MAGIC.len() as u64,
+            schema: None,
+            dicts: Vec::new(),
+            blocks: Vec::new(),
+            rows: 0,
+            compute_zones: true,
+        })
+    }
+
+    /// Skip zone-map computation (spill files that never prune).
+    pub fn without_zones(mut self) -> BlockWriter {
+        self.compute_zones = false;
+        self
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn dict_id(&mut self, dict: &Arc<Vec<String>>) -> u32 {
+        for (i, d) in self.dicts.iter().enumerate() {
+            if Arc::ptr_eq(d, dict) {
+                return i as u32;
+            }
+        }
+        self.dicts.push(Arc::clone(dict));
+        (self.dicts.len() - 1) as u32
+    }
+
+    /// Append one block. Returns the bytes written for this block.
+    pub fn append(&mut self, block: &Table) -> Result<u64> {
+        let schema: Vec<(String, DataType)> = block
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), f.dtype))
+            .collect();
+        match &self.schema {
+            None => self.schema = Some(schema),
+            Some(s) if *s == schema => {}
+            Some(_) => {
+                return Err(EngineError::schema_mismatch(
+                    "block file appends must share one schema",
+                ))
+            }
+        }
+        let n = block.num_rows();
+        let mut cols = Vec::with_capacity(block.num_columns());
+        let mut written = 0u64;
+        for col in block.columns() {
+            let mut buf = Vec::new();
+            let validity = pack_bits(col.validity().iter(), n);
+            buf.extend_from_slice(&validity);
+            let mut dict_id = u32::MAX;
+            match col {
+                Column::Bool(v, _) => buf.extend_from_slice(&pack_bits(v.iter().copied(), n)),
+                Column::Int(v, _) => {
+                    for x in v {
+                        buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                Column::Float(v, _) => {
+                    for x in v {
+                        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+                    }
+                }
+                Column::Date(v, _) => {
+                    for x in v {
+                        buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                Column::Str(v, b) => {
+                    for (i, s) in v.iter().enumerate() {
+                        if b.get(i) {
+                            put_str(&mut buf, s);
+                        } else {
+                            put_u32(&mut buf, 0);
+                        }
+                    }
+                }
+                Column::Dict(codes, dict, _) => {
+                    dict_id = self.dict_id(dict);
+                    for c in codes {
+                        buf.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+            }
+            let zone = if self.compute_zones {
+                compute_zone(col)
+            } else {
+                ZoneInfo {
+                    bounds: ZoneBoundsIo::None,
+                    null_count: col.null_count() as u64,
+                }
+            };
+            self.file
+                .write_all(&buf)
+                .map_err(|e| spill_error("block file write", e))?;
+            cols.push(ColMeta {
+                enc: Enc::of(col),
+                offset: self.offset,
+                len: buf.len() as u64,
+                data_bytes: (col.byte_size() - col.dict_heap_bytes()) as u64,
+                dict_id,
+                zone,
+            });
+            self.offset += buf.len() as u64;
+            written += buf.len() as u64;
+        }
+        self.blocks.push(BlockMeta {
+            rows: n as u32,
+            cols,
+        });
+        self.rows += n;
+        Ok(written)
+    }
+
+    /// Write the footer and seal the file.
+    pub fn finish(mut self) -> Result<FileSummary> {
+        let mut f = Vec::new();
+        let schema = self.schema.clone().unwrap_or_default();
+        put_u32(&mut f, schema.len() as u32);
+        for (name, dtype) in &schema {
+            put_str(&mut f, name);
+            f.push(dtype_tag(*dtype));
+        }
+        put_u32(&mut f, self.dicts.len() as u32);
+        for dict in &self.dicts {
+            put_u32(&mut f, dict.len() as u32);
+            for s in dict.iter() {
+                put_str(&mut f, s);
+            }
+        }
+        put_u32(&mut f, self.blocks.len() as u32);
+        for b in &self.blocks {
+            put_u32(&mut f, b.rows);
+            for c in &b.cols {
+                f.push(c.enc as u8);
+                put_u64(&mut f, c.offset);
+                put_u64(&mut f, c.len);
+                put_u64(&mut f, c.data_bytes);
+                put_u32(&mut f, c.dict_id);
+                match &c.zone.bounds {
+                    ZoneBoundsIo::None => f.push(0),
+                    ZoneBoundsIo::Values { min, max } => {
+                        f.push(1);
+                        put_value(&mut f, min);
+                        put_value(&mut f, max);
+                    }
+                    ZoneBoundsIo::DictCodes { min, max } => {
+                        f.push(2);
+                        put_u32(&mut f, *min);
+                        put_u32(&mut f, *max);
+                    }
+                }
+                put_u64(&mut f, c.zone.null_count);
+            }
+        }
+        let footer_len = f.len() as u64;
+        put_u64(&mut f, footer_len);
+        f.extend_from_slice(MAGIC);
+        self.file
+            .write_all(&f)
+            .map_err(|e| spill_error("block file write", e))?;
+        self.file
+            .flush()
+            .map_err(|e| spill_error("block file flush", e))?;
+        let data_bytes = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.cols.iter())
+            .map(|c| c.data_bytes)
+            .sum();
+        Ok(FileSummary {
+            total_bytes: self.offset + f.len() as u64,
+            data_bytes,
+            blocks: self.blocks.len(),
+            rows: self.rows,
+        })
+    }
+}
+
+/// Write `table` to `path` in blocks of `block_rows` rows.
+pub fn write_table(path: impl Into<PathBuf>, table: &Table, block_rows: usize) -> Result<FileSummary> {
+    if block_rows == 0 {
+        return Err(EngineError::invalid_argument("block_rows must be positive"));
+    }
+    let mut w = BlockWriter::create(path)?;
+    let rows = table.num_rows();
+    if rows == 0 {
+        w.append(table)?;
+    } else {
+        let mut start = 0;
+        while start < rows {
+            w.append(&table.slice(start, block_rows))?;
+            start += block_rows;
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// An opened block file: parsed footer plus a handle for paging blocks
+/// in on demand. The footer (schema, dictionaries, zone maps) is resident
+/// after `open`; block payloads are faulted off storage per read.
+pub struct BlockFile {
+    file: File,
+    /// Parsed footer.
+    pub meta: FileMeta,
+    #[cfg(feature = "mmap")]
+    map: Option<memmap2::Mmap>,
+}
+
+impl std::fmt::Debug for BlockFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockFile")
+            .field("blocks", &self.meta.blocks.len())
+            .field("rows", &self.meta.num_rows())
+            .finish()
+    }
+}
+
+impl BlockFile {
+    /// Open `path`, reading and parsing the footer.
+    pub fn open(path: impl AsRef<Path>) -> Result<BlockFile> {
+        let mut file = File::open(path.as_ref()).map_err(|e| spill_error("block file open", e))?;
+        let total = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| spill_error("block file seek", e))?;
+        let tail_len = 8 + MAGIC.len() as u64;
+        if total < MAGIC.len() as u64 + tail_len {
+            return Err(EngineError::parse("block file too short"));
+        }
+        let mut tail = [0u8; 12];
+        read_at(&mut file, total - tail_len, &mut tail)?;
+        if &tail[8..] != MAGIC {
+            return Err(EngineError::parse("block file trailer magic mismatch"));
+        }
+        let footer_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        if footer_len + tail_len > total {
+            return Err(EngineError::parse("block file footer length out of range"));
+        }
+        let mut footer = vec![0u8; footer_len as usize];
+        read_at(&mut file, total - tail_len - footer_len, &mut footer)?;
+        let meta = parse_footer(&footer, footer_len + tail_len)?;
+        Ok(BlockFile {
+            file,
+            meta,
+            #[cfg(feature = "mmap")]
+            map: None,
+        })
+    }
+
+    /// Open with an mmap-backed read path (only with the `mmap` feature).
+    #[cfg(feature = "mmap")]
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<BlockFile> {
+        let mut bf = BlockFile::open(path)?;
+        let map = unsafe { memmap2::Mmap::map(&bf.file) }
+            .map_err(|e| spill_error("block file mmap", e))?;
+        bf.map = Some(map);
+        Ok(bf)
+    }
+
+    /// Blocks in the file.
+    pub fn num_blocks(&self) -> usize {
+        self.meta.blocks.len()
+    }
+
+    /// Total rows.
+    pub fn num_rows(&self) -> usize {
+        self.meta.num_rows()
+    }
+
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        #[cfg(feature = "mmap")]
+        if let Some(map) = &self.map {
+            let start = offset as usize;
+            let end = start + len as usize;
+            if end > map.len() {
+                return Err(EngineError::parse("block range out of file bounds"));
+            }
+            return Ok(map[start..end].to_vec());
+        }
+        let mut buf = vec![0u8; len as usize];
+        read_exact_at(&self.file, offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read one whole block. Returns the table and the bytes actually
+    /// faulted off storage for it.
+    pub fn read_block(&self, bi: usize) -> Result<(Table, u64)> {
+        let all: Vec<usize> = (0..self.meta.schema.len()).collect();
+        self.read_block_projected(bi, &all)
+    }
+
+    /// Read a projection of one block (columns by schema index, in the
+    /// given order). Only the selected columns' byte ranges are read.
+    pub fn read_block_projected(&self, bi: usize, cols: &[usize]) -> Result<(Table, u64)> {
+        let block = self
+            .meta
+            .blocks
+            .get(bi)
+            .ok_or_else(|| EngineError::invalid_argument(format!("block {bi} out of range")))?;
+        let n = block.rows as usize;
+        let mut out = Table::empty();
+        let mut bytes_read = 0u64;
+        for &ci in cols {
+            let (name, _) = self
+                .meta
+                .schema
+                .get(ci)
+                .ok_or_else(|| EngineError::invalid_argument(format!("column {ci} out of range")))?;
+            let cm = &block.cols[ci];
+            let buf = self.read_range(cm.offset, cm.len)?;
+            bytes_read += cm.len;
+            let mut cur = Cur::new(&buf);
+            let validity = Bitmap::from_bools(&unpack_bits(cur.bytes(n.div_ceil(8))?, n));
+            let col = match cm.enc {
+                Enc::Bool => {
+                    let bits = unpack_bits(cur.bytes(n.div_ceil(8))?, n);
+                    Column::Bool(bits, validity)
+                }
+                Enc::Int => {
+                    let raw = cur.bytes(n * 8)?;
+                    let v = raw
+                        .chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    Column::Int(v, validity)
+                }
+                Enc::Float => {
+                    let raw = cur.bytes(n * 8)?;
+                    let v = raw
+                        .chunks_exact(8)
+                        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                        .collect();
+                    Column::Float(v, validity)
+                }
+                Enc::Date => {
+                    let raw = cur.bytes(n * 4)?;
+                    let v = raw
+                        .chunks_exact(4)
+                        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    Column::Date(v, validity)
+                }
+                Enc::Str => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(cur.str()?);
+                    }
+                    Column::Str(v, validity)
+                }
+                Enc::Dict => {
+                    let dict = self
+                        .meta
+                        .dicts
+                        .get(cm.dict_id as usize)
+                        .ok_or_else(|| EngineError::parse("dict id out of range"))?;
+                    let raw = cur.bytes(n * 4)?;
+                    let codes = raw
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    Column::Dict(codes, Arc::clone(dict), validity)
+                }
+            };
+            out.add_column(name, col)?;
+        }
+        Ok((out, bytes_read))
+    }
+
+    /// Read every block and concatenate (spill partition read-back).
+    pub fn read_all(&self) -> Result<(Table, u64)> {
+        let mut out: Option<Table> = None;
+        let mut bytes = 0u64;
+        for bi in 0..self.num_blocks() {
+            let (block, b) = self.read_block(bi)?;
+            bytes += b;
+            match &mut out {
+                None => out = Some(block),
+                Some(t) => t.append(&block)?,
+            }
+        }
+        Ok((
+            out.unwrap_or_else(Table::empty),
+            bytes,
+        ))
+    }
+}
+
+fn parse_footer(buf: &[u8], meta_bytes: u64) -> Result<FileMeta> {
+    let mut cur = Cur::new(buf);
+    let ncols = cur.u32()? as usize;
+    let mut schema = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = cur.str()?;
+        let dtype = dtype_from_tag(cur.u8()?)?;
+        schema.push((name, dtype));
+    }
+    let ndicts = cur.u32()? as usize;
+    let mut dicts = Vec::with_capacity(ndicts);
+    for _ in 0..ndicts {
+        let n = cur.u32()? as usize;
+        let mut d = Vec::with_capacity(n);
+        for _ in 0..n {
+            d.push(cur.str()?);
+        }
+        dicts.push(Arc::new(d));
+    }
+    let nblocks = cur.u32()? as usize;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let rows = cur.u32()?;
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let enc = Enc::from_u8(cur.u8()?)?;
+            let offset = cur.u64()?;
+            let len = cur.u64()?;
+            let data_bytes = cur.u64()?;
+            let dict_id = cur.u32()?;
+            let bounds = match cur.u8()? {
+                0 => ZoneBoundsIo::None,
+                1 => ZoneBoundsIo::Values {
+                    min: cur.value()?,
+                    max: cur.value()?,
+                },
+                2 => ZoneBoundsIo::DictCodes {
+                    min: cur.u32()?,
+                    max: cur.u32()?,
+                },
+                t => return Err(EngineError::parse(format!("bad zone tag {t}"))),
+            };
+            let null_count = cur.u64()?;
+            cols.push(ColMeta {
+                enc,
+                offset,
+                len,
+                data_bytes,
+                dict_id,
+                zone: ZoneInfo {
+                    bounds,
+                    null_count,
+                },
+            });
+        }
+        blocks.push(BlockMeta { rows, cols });
+    }
+    Ok(FileMeta {
+        schema,
+        dicts,
+        blocks,
+        meta_bytes,
+    })
+}
+
+/// Positional read at `offset` (buffered pread; no shared-cursor races).
+#[cfg(unix)]
+fn read_exact_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+        .map_err(|e| spill_error("block file read", e))
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    let mut f = file
+        .try_clone()
+        .map_err(|e| spill_error("block file clone", e))?;
+    f.seek(SeekFrom::Start(offset))
+        .map_err(|e| spill_error("block file seek", e))?;
+    f.read_exact(buf).map_err(|e| spill_error("block file read", e))
+}
+
+/// Positional read through a `&mut File` during open (footer parsing).
+fn read_at(file: &mut File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| spill_error("block file seek", e))?;
+    file.read_exact(buf)
+        .map_err(|e| spill_error("block file read", e))
+}
+
+// Silence unused-import warnings on non-unix builds.
+#[allow(unused_imports)]
+use io::ErrorKind as _IoErrorKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            (
+                "i",
+                Column::from_opt_ints(vec![Some(3), None, Some(-7), Some(40), Some(5)]),
+            ),
+            (
+                "f",
+                Column::from_opt_floats(vec![Some(1.5), Some(-0.0), None, Some(2.25), Some(9.0)]),
+            ),
+            (
+                "s",
+                Column::from_opt_strs(vec![
+                    Some("b".into()),
+                    Some("a".into()),
+                    None,
+                    Some("b".into()),
+                    Some("c".into()),
+                ]),
+            ),
+            ("b", Column::from_bools(vec![true, false, true, true, false])),
+            (
+                "d",
+                Column::from_opt_dates(vec![Some(10), Some(20), Some(30), None, Some(50)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_plain_and_dict() {
+        let dir = ScopedDir::new("blockio-rt");
+        let t = sample();
+        let path = dir.0.join("t.dcb");
+        let summary = write_table(&path, &t, 2).unwrap();
+        assert_eq!(summary.rows, 5);
+        assert_eq!(summary.blocks, 3);
+        let f = BlockFile::open(&path).unwrap();
+        let (back, bytes) = f.read_all().unwrap();
+        assert!(bytes > 0);
+        assert_eq!(back, t);
+
+        // Dict-encoded strings stay encoded on disk and share one Arc
+        // across read-back blocks.
+        let enc = t.encode_strings();
+        let path2 = dir.0.join("t2.dcb");
+        write_table(&path2, &enc, 2).unwrap();
+        let f2 = BlockFile::open(&path2).unwrap();
+        assert_eq!(f2.meta.dicts.len(), 1);
+        let (b0, _) = f2.read_block(0).unwrap();
+        let (b1, _) = f2.read_block(1).unwrap();
+        let d0 = b0.column("s").unwrap().as_dict().unwrap().1;
+        let d1 = b1.column("s").unwrap().as_dict().unwrap().1;
+        assert!(Arc::ptr_eq(d0, d1), "blocks must share the dict Arc");
+        let (back2, _) = f2.read_all().unwrap();
+        assert_eq!(back2.num_rows(), 5);
+        assert_eq!(back2.column("s").unwrap().str_at(0), Some("b"));
+    }
+
+    #[test]
+    fn projected_read_faults_fewer_bytes() {
+        let dir = ScopedDir::new("blockio-proj");
+        let t = sample();
+        let path = dir.0.join("t.dcb");
+        write_table(&path, &t, 4).unwrap();
+        let f = BlockFile::open(&path).unwrap();
+        let (full, full_bytes) = f.read_block(0).unwrap();
+        let (proj, proj_bytes) = f.read_block_projected(0, &[0]).unwrap();
+        assert_eq!(proj.num_columns(), 1);
+        assert_eq!(proj.column("i").unwrap(), full.column("i").unwrap());
+        assert!(proj_bytes < full_bytes);
+    }
+
+    #[test]
+    fn zones_match_in_ram_semantics() {
+        let dir = ScopedDir::new("blockio-zones");
+        let t = sample();
+        let path = dir.0.join("t.dcb");
+        write_table(&path, &t, 5).unwrap();
+        let f = BlockFile::open(&path).unwrap();
+        let zone_i = &f.meta.blocks[0].cols[0].zone;
+        assert_eq!(zone_i.null_count, 1);
+        assert_eq!(
+            zone_i.bounds,
+            ZoneBoundsIo::Values {
+                min: Value::Int(-7),
+                max: Value::Int(40)
+            }
+        );
+        // Bool columns publish no bounds.
+        assert_eq!(f.meta.blocks[0].cols[3].zone.bounds, ZoneBoundsIo::None);
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let dir = ScopedDir::new("blockio-empty");
+        let t = sample().slice(0, 0);
+        let path = dir.0.join("e.dcb");
+        write_table(&path, &t, 4).unwrap();
+        let f = BlockFile::open(&path).unwrap();
+        assert_eq!(f.num_rows(), 0);
+        let (back, _) = f.read_all().unwrap();
+        assert_eq!(back.schema().names(), t.schema().names());
+    }
+
+    #[test]
+    fn corrupt_trailer_rejected() {
+        let dir = ScopedDir::new("blockio-corrupt");
+        let path = dir.0.join("c.dcb");
+        std::fs::write(&path, b"not a block file at all....").unwrap();
+        assert!(BlockFile::open(&path).is_err());
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_read_matches_pread() {
+        let dir = ScopedDir::new("blockio-mmap");
+        let t = sample();
+        let path = dir.0.join("t.dcb");
+        write_table(&path, &t, 2).unwrap();
+        let pread = BlockFile::open(&path).unwrap().read_all().unwrap().0;
+        let mapped = BlockFile::open_mmap(&path).unwrap().read_all().unwrap().0;
+        assert_eq!(pread, mapped);
+    }
+
+    struct ScopedDir(PathBuf);
+    impl ScopedDir {
+        fn new(label: &str) -> ScopedDir {
+            let p = std::env::temp_dir().join(format!("{label}-{}", std::process::id()));
+            std::fs::create_dir_all(&p).unwrap();
+            ScopedDir(p)
+        }
+    }
+    impl Drop for ScopedDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}

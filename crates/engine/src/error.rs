@@ -33,6 +33,10 @@ pub enum EngineError {
     InvalidArgument { message: String },
     /// Schemas are incompatible (e.g. for concatenation or union).
     SchemaMismatch { message: String },
+    /// Out-of-core spill I/O failed (writing or reading spill partitions,
+    /// sort runs, or on-disk blocks). `retryable` marks transient faults
+    /// (e.g. interrupted writes) that the resilient executor may retry.
+    Spill { message: String, retryable: bool },
 }
 
 impl EngineError {
@@ -68,6 +72,14 @@ impl EngineError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for a non-retryable [`EngineError::Spill`].
+    pub fn spill(message: impl Into<String>) -> Self {
+        EngineError::Spill {
+            message: message.into(),
+            retryable: false,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -100,6 +112,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::SchemaMismatch { message } => {
                 write!(f, "schema mismatch: {message}")
+            }
+            EngineError::Spill { message, retryable } => {
+                let kind = if *retryable { "transient" } else { "permanent" };
+                write!(f, "spill I/O error ({kind}): {message}")
             }
         }
     }

@@ -19,6 +19,7 @@
 //! before any computation happens.
 
 pub mod bitmap;
+pub mod blockio;
 pub mod column;
 pub mod csv;
 pub mod date;
@@ -26,6 +27,7 @@ pub mod dtype;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod governor;
 pub mod hash;
 pub mod ops;
 pub mod parallel;
@@ -39,6 +41,10 @@ pub use dtype::DataType;
 pub use error::{EngineError, Result};
 pub use expr::prune::{ColumnStats, Tri};
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
+pub use governor::{
+    MemContext, MemoryGovernor, Reservation, ScopedSpillDir, SpillHooks, SpillMetrics,
+    SpillSnapshot,
+};
 pub use ops::{AggFunc, AggSpec, JoinType, SortKey};
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};

@@ -588,14 +588,42 @@ fn assemble_output(
         out.add_column(name, col)?;
     }
     for (ai, spec) in aggs.iter().enumerate() {
-        let vals: Vec<Value> = accs
-            .iter()
-            .map(|group| group[ai].clone().finish(spec.func))
-            .collect();
-        let col = Column::from_values(&vals)?;
+        // Type the output from the spec, never from value inference: a
+        // group set whose aggregate values are all null (or empty) must
+        // still produce the dtype a non-null group would, so partial
+        // results from disjoint row subsets always concatenate.
+        let dtype = agg_output_dtype(spec.func, inputs.agg_cols[ai].map(|c| c.dtype()));
+        let mut col = Column::empty(dtype);
+        for group in &accs {
+            col.push_value(&group[ai].clone().finish(spec.func))?;
+        }
         out.add_column(&spec.output, col)?;
     }
     Ok(out)
+}
+
+/// The dtype [`Acc::finish`] produces for `func` over an `input`-typed
+/// argument column, independent of whether any group has a non-null
+/// result.
+fn agg_output_dtype(
+    func: AggFunc,
+    input: Option<crate::dtype::DataType>,
+) -> crate::dtype::DataType {
+    use crate::dtype::DataType;
+    match func {
+        AggFunc::Count | AggFunc::CountRecords | AggFunc::CountDistinct => DataType::Int,
+        AggFunc::Avg | AggFunc::Median | AggFunc::StdDev | AggFunc::Variance => DataType::Float,
+        AggFunc::Sum => {
+            if input == Some(DataType::Int) {
+                DataType::Int
+            } else {
+                DataType::Float
+            }
+        }
+        AggFunc::Min | AggFunc::Max | AggFunc::First | AggFunc::Last => {
+            input.unwrap_or(DataType::Str)
+        }
+    }
 }
 
 /// Group `table` by `keys` and compute `aggs` within each group.

@@ -12,6 +12,7 @@ pub mod join;
 pub mod pivot;
 pub mod sample;
 pub mod sort;
+pub mod spill;
 pub mod window;
 
 pub use aggregate::{group_by, group_by_serial, AggFunc, AggSpec};
@@ -22,4 +23,5 @@ pub use join::{join, join_serial, JoinType};
 pub use pivot::pivot;
 pub use sample::{sample_fraction, sample_n};
 pub use sort::{sort_by, sort_by_serial, top_n, SortKey};
+pub use spill::{group_by_with_mem, join_with_mem, sort_by_with_mem};
 pub use window::{add_row_numbers, lag, rolling_mean};

@@ -82,6 +82,10 @@ pub struct JobResult {
     pub cache_hits: u64,
     /// Scan bytes those hits avoided re-charging.
     pub bytes_saved: u64,
+    /// Bytes the job spilled to disk while executing out of core under
+    /// the service's per-slice memory budget (0 when unbudgeted or the
+    /// job fit in memory).
+    pub bytes_spilled: u64,
 }
 
 /// One-shot answer cell. `fill` panics if the slot is already occupied —
@@ -179,6 +183,8 @@ pub(crate) struct Job {
     pub charged: u64,
     pub cache_hits: u64,
     pub bytes_saved: u64,
+    /// Spill bytes written so far across slices.
+    pub spilled: u64,
     pub exec: Duration,
     pub submitted: Instant,
     pub first_dispatch: Option<Instant>,
@@ -207,6 +213,7 @@ impl Job {
             bytes_estimated: self.estimates.iter().sum(),
             cache_hits: self.cache_hits,
             bytes_saved: self.bytes_saved,
+            bytes_spilled: self.spilled,
         };
         self.cell.fill(result);
     }

@@ -226,6 +226,53 @@ mod tests {
     }
 
     #[test]
+    fn mem_budget_spills_and_books_bytes_per_tenant() {
+        // A sort over 5 000 sales rows cannot hold its state inside an
+        // 8 KiB operator budget, so each slice runs the sort out of
+        // core. The answer must match the unbudgeted service's, and the
+        // spill traffic must land on the tenant's counters.
+        let request = || {
+            Request::new(vec![
+                SkillCall::LoadTable {
+                    database: "cloud".into(),
+                    table: "sales".into(),
+                },
+                SkillCall::Sort {
+                    keys: vec![("order_id".into(), false)],
+                },
+            ])
+        };
+        let plain = SessionService::start(world(5_000), ServeConfig::default());
+        plain.register_tenant("t", TenantConfig::new()).unwrap();
+        let expected = plain.run("t", request());
+        let expected = expected.outcome.unwrap();
+
+        let config = ServeConfig {
+            mem_budget: Some(8 * 1024),
+            ..ServeConfig::default()
+        };
+        let service = SessionService::start(world(5_000), config);
+        service.register_tenant("t", TenantConfig::new()).unwrap();
+        let result = service.run("t", request());
+        let output = result.outcome.as_ref().unwrap();
+        assert_eq!(
+            output.as_table().unwrap(),
+            expected.as_table().unwrap(),
+            "out-of-core serving must not change answers"
+        );
+        assert!(
+            result.bytes_spilled > 0,
+            "an 8 KiB budget must force the sort to spill"
+        );
+        let stats = service.tenant_stats("t").unwrap();
+        assert_eq!(
+            stats.bytes_spilled, result.bytes_spilled,
+            "tenant accounting must match the job's spill telemetry"
+        );
+        assert!(result.bytes_charged > 0, "scan accounting is unaffected");
+    }
+
+    #[test]
     fn tiny_quantum_preempts_and_resumes() {
         let config = ServeConfig {
             workers: 1,

@@ -284,6 +284,7 @@ impl Scheduler {
         tenant: usize,
         reserved: u64,
         charged: u64,
+        spilled: u64,
         spent: Duration,
         end: JobEnd,
     ) {
@@ -295,6 +296,7 @@ impl Scheduler {
             budget.settle(reserved, charged);
         }
         entry.stats.bytes_charged += charged;
+        entry.stats.bytes_spilled += spilled;
         match end {
             JobEnd::Completed => entry.stats.completed += 1,
             JobEnd::Failed => entry.stats.failed += 1,
@@ -319,6 +321,7 @@ impl Scheduler {
                     budget.settle(job.reserved, job.charged);
                 }
                 entry.stats.bytes_charged += job.charged;
+                entry.stats.bytes_spilled += job.spilled;
                 entry.stats.shed_at_shutdown += 1;
                 shed.push(job);
             }

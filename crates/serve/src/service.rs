@@ -70,6 +70,13 @@ pub struct ServeConfig {
     /// How admission sizes the byte reservation it takes against a
     /// metered tenant's budget.
     pub reservation: ReservationMode,
+    /// Per-slice operator-memory budget. When set, each slice runs under
+    /// a [`dc_engine::MemContext`] with this many bytes of transient
+    /// join/group-by/sort state; heavier operators spill to disk instead
+    /// of growing the worker's footprint. Spill traffic is booked per
+    /// tenant ([`TenantStats::bytes_spilled`]) next to the scan bytes
+    /// their budgets meter. `None` = unbounded in-memory execution.
+    pub mem_budget: Option<u64>,
 }
 
 /// Admission reservation policy for metered tenants.
@@ -99,6 +106,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             session_cache_limit: Some(256 << 20),
             reservation: ReservationMode::default(),
+            mem_budget: None,
         }
     }
 }
@@ -239,6 +247,7 @@ impl SessionService {
             charged: 0,
             cache_hits: 0,
             bytes_saved: 0,
+            spilled: 0,
             exec: Duration::ZERO,
             submitted: Instant::now(),
             first_dispatch: None,
@@ -267,6 +276,7 @@ impl SessionService {
                 bytes_estimated: 0,
                 cache_hits: 0,
                 bytes_saved: 0,
+                bytes_spilled: 0,
             },
         }
     }
@@ -419,9 +429,14 @@ fn drive(inner: &Inner, dispatch: Dispatch) {
             if let Some(name) = &job.name_result {
                 let _ = session.name_current(name.clone());
             }
-            inner
-                .sched
-                .release(tenant, job.reserved, job.charged, spent, JobEnd::Completed);
+            inner.sched.release(
+                tenant,
+                job.reserved,
+                job.charged,
+                job.spilled,
+                spent,
+                JobEnd::Completed,
+            );
             let output = job
                 .last_output
                 .take()
@@ -431,9 +446,14 @@ fn drive(inner: &Inner, dispatch: Dispatch) {
         SliceEnd::Preempted => {
             job.preemptions += 1;
             if job.preemptions > inner.config.max_preemptions {
-                inner
-                    .sched
-                    .release(tenant, job.reserved, job.charged, spent, JobEnd::Failed);
+                inner.sched.release(
+                    tenant,
+                    job.reserved,
+                    job.charged,
+                    job.spilled,
+                    spent,
+                    JobEnd::Failed,
+                );
                 let preemptions = job.preemptions;
                 job.finish(Err(ServeError::Evicted { preemptions }));
                 return;
@@ -441,16 +461,26 @@ fn drive(inner: &Inner, dispatch: Dispatch) {
             job.quantum = (job.quantum * 2).min(inner.config.max_quantum);
             if let Err(job) = inner.sched.preempt(tenant, job, spent) {
                 // The pool is draining; answer instead of re-queueing.
-                inner
-                    .sched
-                    .release(tenant, job.reserved, job.charged, spent, JobEnd::Shed);
+                inner.sched.release(
+                    tenant,
+                    job.reserved,
+                    job.charged,
+                    job.spilled,
+                    spent,
+                    JobEnd::Shed,
+                );
                 job.finish(Err(ServeError::ShuttingDown));
             }
         }
         SliceEnd::Fail(err) => {
-            inner
-                .sched
-                .release(tenant, job.reserved, job.charged, spent, JobEnd::Failed);
+            inner.sched.release(
+                tenant,
+                job.reserved,
+                job.charged,
+                job.spilled,
+                spent,
+                JobEnd::Failed,
+            );
             job.finish(Err(err));
         }
     }
@@ -491,6 +521,7 @@ fn run_slice(
         let policy = ExecPolicy {
             retry: inner.config.retry.clone(),
             run_budget: Some(job.quantum - elapsed),
+            mem_budget: inner.config.mem_budget,
             ..ExecPolicy::default()
         };
         // The admission estimate for this step, pinned to its staged node
@@ -522,6 +553,7 @@ fn run_slice(
         job.charged += report.bytes_scanned();
         job.cache_hits += report.cache_hits;
         job.bytes_saved += report.bytes_saved;
+        job.spilled += report.bytes_spilled;
         if report.succeeded() {
             job.last_output = report.output;
             job.staged = None;

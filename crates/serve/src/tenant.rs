@@ -74,4 +74,9 @@ pub struct TenantStats {
     pub bytes_charged: u64,
     /// Scan bytes reserved at admission (upper bounds, mostly refunded).
     pub bytes_reserved: u64,
+    /// Bytes the tenant's jobs wrote to spill files while executing out
+    /// of core under the service's memory budget. Sits next to
+    /// `bytes_charged` so operators can see which tenants trade scan
+    /// traffic for disk traffic when memory is tight.
+    pub bytes_spilled: u64,
 }

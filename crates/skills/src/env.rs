@@ -70,6 +70,14 @@ pub struct Env {
     /// hit and how many scan bytes each hit saved. `None` (the default)
     /// books traffic under the aggregate counters only.
     pub attribution: Option<String>,
+    /// Out-of-core memory context: a [`MemContext`] carries the memory
+    /// governor, spill directory, spill metrics and fault hooks. `None`
+    /// (the default) means unbounded in-memory execution — join,
+    /// group-by and sort never spill. The resilient executor installs
+    /// one when [`crate::resilient::ExecPolicy::mem_budget`] is set.
+    ///
+    /// [`MemContext`]: dc_engine::MemContext
+    pub memory: Option<Arc<dc_engine::MemContext>>,
     /// Virtual filesystem: path → CSV text.
     files: HashMap<String, String>,
     /// Virtual network: URL → CSV text.

@@ -52,6 +52,7 @@ impl SkillError {
         match self {
             SkillError::Storage(e) => e.is_retryable(),
             SkillError::Sql(e) => e.is_retryable(),
+            SkillError::Engine(dc_engine::EngineError::Spill { retryable, .. }) => *retryable,
             SkillError::Timeout { .. } => true,
             _ => false,
         }

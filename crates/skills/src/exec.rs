@@ -13,9 +13,10 @@ use std::sync::Arc;
 
 use dc_engine::csv::{read_csv, write_csv};
 use dc_engine::ops::{
-    concat, distinct, filter, group_by, join, limit, pivot, sample_fraction, sort_by, top_n,
-    SortKey,
+    concat, distinct, filter, group_by_with_mem, join_with_mem, limit, pivot, sample_fraction,
+    sort_by, sort_by_with_mem, top_n, SortKey,
 };
+use dc_engine::MemContext;
 use dc_engine::{Column, Expr, ScalarFunc, Table, Value};
 use dc_ml::{detect_outliers, fit_kmeans, fit_time_series, predict, train_model, ModelKind};
 use dc_storage::ScanOptions;
@@ -238,15 +239,29 @@ pub fn execute_call(call: &SkillCall, inputs: &[&Table], env: &mut Env) -> Resul
             Ok(SkillOutput::Text(format!("Defined {phrase:?}")))
         }
 
-        other => execute_pure_call(other, inputs),
+        other => execute_pure_call_with_mem(other, inputs, env.memory.as_deref()),
     }
 }
 
 /// Execute one environment-free skill call against its input tables.
 ///
 /// These skills are pure functions of `inputs`, which is what lets the
-/// executor's wave scheduler run them on worker threads.
+/// executor's wave scheduler run them on worker threads. Runs without a
+/// memory budget (never spills); the executor threads one through
+/// [`execute_pure_call_with_mem`].
 pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOutput> {
+    execute_pure_call_with_mem(call, inputs, None)
+}
+
+/// [`execute_pure_call`] with an optional out-of-core memory context.
+/// When `mem` is set, join, group-by (`Compute`) and sort admit their
+/// transient state against the context's governor and spill to disk
+/// instead of exceeding the budget.
+pub fn execute_pure_call_with_mem(
+    call: &SkillCall,
+    inputs: &[&Table],
+    mem: Option<&MemContext>,
+) -> Result<SkillOutput> {
     use SkillCall::*;
     let primary = || -> Result<&Table> {
         inputs
@@ -368,7 +383,12 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
         }
         Compute { aggs, for_each } => {
             let keys: Vec<&str> = for_each.iter().map(|s| s.as_str()).collect();
-            Ok(SkillOutput::Table(group_by(primary()?, &keys, aggs)?))
+            Ok(SkillOutput::Table(group_by_with_mem(
+                primary()?,
+                &keys,
+                aggs,
+                mem,
+            )?))
         }
         Pivot {
             index,
@@ -393,7 +413,7 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
                     }
                 })
                 .collect();
-            Ok(SkillOutput::Table(sort_by(primary()?, &sk)?))
+            Ok(SkillOutput::Table(sort_by_with_mem(primary()?, &sk, mem)?))
         }
         Top { column, n } => Ok(SkillOutput::Table(top_n(primary()?, column, *n)?)),
         Limit { n } => Ok(SkillOutput::Table(limit(primary()?, *n))),
@@ -411,12 +431,13 @@ pub fn execute_pure_call(call: &SkillCall, inputs: &[&Table]) -> Result<SkillOut
         } => {
             let l: Vec<&str> = left_on.iter().map(|s| s.as_str()).collect();
             let r: Vec<&str> = right_on.iter().map(|s| s.as_str()).collect();
-            Ok(SkillOutput::Table(join(
+            Ok(SkillOutput::Table(join_with_mem(
                 primary()?,
                 secondary()?,
                 &l,
                 &r,
                 *how,
+                mem,
             )?))
         }
         Distinct { columns } => {
@@ -1123,6 +1144,7 @@ impl Executor {
             .map(|node| (node, self.input_tables(node, ids)))
             .collect();
         type JobResult<'d> = (&'d SkillNode, Vec<Arc<Table>>, Result<SkillOutput>);
+        let mem = env.memory.clone();
         let results: Vec<JobResult<'_>> = if cfg!(feature = "parallel") && jobs.len() > 1 {
             let hook = self.before_execute.clone();
             std::thread::scope(|scope| {
@@ -1130,12 +1152,14 @@ impl Executor {
                     .into_iter()
                     .map(|(node, inputs)| {
                         let hook = hook.clone();
+                        let mem = mem.clone();
                         scope.spawn(move || {
                             if let Some(hook) = &hook {
                                 hook(&node.call);
                             }
                             let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
-                            let out = execute_pure_call(&node.call, &refs);
+                            let out =
+                                execute_pure_call_with_mem(&node.call, &refs, mem.as_deref());
                             (node, inputs, out)
                         })
                     })
@@ -1152,7 +1176,7 @@ impl Executor {
                         hook(&node.call);
                     }
                     let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
-                    let out = execute_pure_call(&node.call, &refs);
+                    let out = execute_pure_call_with_mem(&node.call, &refs, mem.as_deref());
                     (node, inputs, out)
                 })
                 .collect()

@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dc_engine::Table;
+use dc_engine::{MemContext, SpillSnapshot, Table};
 use dc_storage::{CancelToken, ScanOptions};
 
 use crate::cache::MaterializedCache;
@@ -39,7 +39,8 @@ use crate::dag::{NodeId, SkillDag};
 use crate::env::Env;
 use crate::error::{Result, SkillError};
 use crate::exec::{
-    execute_call, execute_pure_call, needs_env, BeforeExecuteHook, Executor, Interned, SubDagId,
+    execute_call, execute_pure_call_with_mem, needs_env, BeforeExecuteHook, Executor, Interned,
+    SubDagId,
 };
 use crate::output::SkillOutput;
 use crate::skill::SkillCall;
@@ -126,6 +127,13 @@ pub struct ExecPolicy {
     /// rewrites are invisible to results and preserve node ids, so
     /// per-node reporting and preflight estimates are unaffected.
     pub optimize: bool,
+    /// Out-of-core memory budget in bytes for operator state (hash
+    /// tables, aggregation state, sort buffers). When set and the
+    /// environment carries no [`MemContext`] of its own, the run installs
+    /// a fresh context (budget + temp spill directory, removed at run
+    /// end) so join/group-by/sort spill instead of exceeding the budget.
+    /// `None` = unbounded in-memory execution.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ExecPolicy {
@@ -138,6 +146,7 @@ impl Default for ExecPolicy {
             degraded_fraction: 0.2,
             degraded_seed: 7,
             optimize: true,
+            mem_budget: None,
         }
     }
 }
@@ -180,6 +189,13 @@ pub struct NodeReport {
     /// preflight analysis supplied one (0 otherwise). Comparing against
     /// `bytes_scanned` gives the estimator's q-error per node.
     pub bytes_estimated: u64,
+    /// Bytes this node's operators wrote to spill files (all attempts).
+    /// Under the parallel wave scheduler attribution is best-effort:
+    /// concurrently spilling siblings may book into each other's delta,
+    /// but [`ExecReport::bytes_spilled`] stays exact run-wide.
+    pub bytes_spilled: u64,
+    /// Spill partitions / sort runs this node wrote (same caveat).
+    pub spill_partitions: u64,
 }
 
 impl NodeReport {
@@ -195,6 +211,8 @@ impl NodeReport {
             bytes_scanned: 0,
             bytes_pruned: 0,
             bytes_estimated: 0,
+            bytes_spilled: 0,
+            spill_partitions: 0,
         }
     }
 }
@@ -214,6 +232,11 @@ pub struct ExecReport {
     /// Scan footprint (`bytes_scanned + bytes_pruned`) those hits
     /// avoided re-charging against storage.
     pub bytes_saved: u64,
+    /// Bytes written to spill files across the whole run (exact: measured
+    /// as a delta on the run's shared spill metrics).
+    pub bytes_spilled: u64,
+    /// Spill partitions / sort runs written across the whole run.
+    pub spill_partitions: u64,
 }
 
 impl ExecReport {
@@ -399,26 +422,35 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-type PureJobResult = (NodeId, Vec<Arc<Table>>, AttemptOutcome);
+type PureJobResult = (NodeId, Vec<Arc<Table>>, AttemptOutcome, SpillSnapshot);
 
 /// One pure node's whole attempt loop, suitable for a worker thread.
 /// Pure compute cannot observe a cancel token, so its budget is enforced
-/// post-hoc inside [`run_attempts`].
+/// post-hoc inside [`run_attempts`]. The returned [`SpillSnapshot`] is
+/// this job's delta on the shared spill metrics (best-effort attribution
+/// when siblings spill concurrently).
 fn run_pure_job(
     policy: &ExecPolicy,
     nid: NodeId,
     inputs: Vec<Arc<Table>>,
     hook: Option<BeforeExecuteHook>,
     call: &SkillCall,
+    mem: Option<Arc<MemContext>>,
 ) -> PureJobResult {
+    let spill_before = mem.as_ref().map(|m| m.metrics.snapshot());
     let att = run_attempts(policy, nid, call, None, None, |_| {
         if let Some(h) = &hook {
             h(call);
         }
         let refs: Vec<&Table> = inputs.iter().map(|t| t.as_ref()).collect();
-        execute_pure_call(call, &refs)
+        execute_pure_call_with_mem(call, &refs, mem.as_deref())
     });
-    (nid, inputs, att)
+    let spill = mem
+        .as_ref()
+        .zip(spill_before)
+        .map(|(m, before)| m.metrics.snapshot().delta_since(before))
+        .unwrap_or_default();
+    (nid, inputs, att, spill)
 }
 
 /// Degraded `LoadTable`: a block-sampled scan instead of the full scan.
@@ -495,6 +527,43 @@ impl Executor {
     /// the *original* DAG's node ids — pushdown preserves ids, so they
     /// transfer to the fused plan unchanged.
     pub fn run_resilient_with_preflight(
+        &mut self,
+        dag: &SkillDag,
+        target: NodeId,
+        env: &mut Env,
+        policy: &ExecPolicy,
+        rejections: &[(NodeId, String)],
+        estimates: &[(NodeId, u64)],
+    ) -> Result<ExecReport> {
+        // Install a run-scoped memory context when the policy budgets one
+        // and the environment carries none of its own. The context owns a
+        // temp spill directory that is removed when it drops below.
+        let installed = env.memory.is_none() && policy.mem_budget.is_some();
+        if installed {
+            let budget = policy.mem_budget.expect("checked");
+            env.memory = Some(Arc::new(MemContext::with_budget(budget)?));
+        }
+        let spill_before = env.memory.as_ref().map(|m| m.metrics.snapshot());
+        let result = self.run_resilient_inner(dag, target, env, policy, rejections, estimates);
+        let spill_delta = env
+            .memory
+            .as_ref()
+            .zip(spill_before)
+            .map(|(m, before)| m.metrics.snapshot().delta_since(before))
+            .unwrap_or_default();
+        if installed {
+            // Drop the run-scoped context (and its spill directory) even
+            // when the run errored structurally.
+            env.memory = None;
+        }
+        result.map(|mut report| {
+            report.bytes_spilled = spill_delta.bytes_spilled;
+            report.spill_partitions = spill_delta.spill_partitions;
+            report
+        })
+    }
+
+    fn run_resilient_inner(
         &mut self,
         dag: &SkillDag,
         target: NodeId,
@@ -663,6 +732,8 @@ impl Executor {
             nodes,
             cache_hits,
             bytes_saved,
+            bytes_spilled: 0,    // filled in by the outer preflight wrapper
+            spill_partitions: 0, // likewise
         })
     }
 
@@ -725,6 +796,7 @@ impl Executor {
             let hook = self.before_execute.clone();
             let token = env.cancel.clone();
             let tally_before = env.scan_tally;
+            let spill_before = env.memory.as_ref().map(|m| m.metrics.snapshot());
             let att = run_attempts(
                 policy,
                 nid,
@@ -744,6 +816,12 @@ impl Executor {
                 },
             );
             let scan = env.scan_tally.delta_since(tally_before);
+            let spill = env
+                .memory
+                .as_ref()
+                .zip(spill_before)
+                .map(|(m, before)| m.metrics.snapshot().delta_since(before))
+                .unwrap_or_default();
             self.commit_attempt(
                 dag,
                 nid,
@@ -759,6 +837,8 @@ impl Executor {
             if let Some(r) = reports.get_mut(&nid) {
                 r.bytes_scanned = scan.bytes_scanned;
                 r.bytes_pruned = scan.bytes_pruned;
+                r.bytes_spilled = spill.bytes_spilled;
+                r.spill_partitions = spill.spill_partitions;
             }
         }
 
@@ -778,14 +858,16 @@ impl Executor {
             .map(|&nid| (nid, self.input_tables(dag.node(nid).expect("checked"), ids)))
             .collect();
         let hook = self.before_execute.clone();
+        let mem = env.memory.clone();
         let results: Vec<PureJobResult> = if cfg!(feature = "parallel") && jobs.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = jobs
                     .into_iter()
                     .map(|(nid, inputs)| {
                         let hook = hook.clone();
+                        let mem = mem.clone();
                         let call = &dag.node(nid).expect("checked").call;
-                        scope.spawn(move || run_pure_job(policy, nid, inputs, hook, call))
+                        scope.spawn(move || run_pure_job(policy, nid, inputs, hook, call, mem))
                     })
                     .collect();
                 handles
@@ -799,11 +881,11 @@ impl Executor {
             jobs.into_iter()
                 .map(|(nid, inputs)| {
                     let call = &dag.node(nid).expect("checked").call;
-                    run_pure_job(policy, nid, inputs, hook.clone(), call)
+                    run_pure_job(policy, nid, inputs, hook.clone(), call, mem.clone())
                 })
                 .collect()
         };
-        for (nid, inputs, att) in results {
+        for (nid, inputs, att, spill) in results {
             self.commit_attempt(
                 dag,
                 nid,
@@ -816,6 +898,10 @@ impl Executor {
                 reports,
                 unusable,
             )?;
+            if let Some(r) = reports.get_mut(&nid) {
+                r.bytes_spilled = spill.bytes_spilled;
+                r.spill_partitions = spill.spill_partitions;
+            }
         }
         Ok(())
     }

@@ -470,6 +470,230 @@ fn rejection_poisons_dependents_and_trumps_cache() {
     ));
 }
 
+// ---------------------------------------------------------------------------
+// Out-of-core spill chaos: memory-budgeted runs, injected spill-write
+// faults, spill-dir leak checks, and byte-identical cache admissibility.
+// ---------------------------------------------------------------------------
+
+use dc_engine::MemContext;
+use dc_storage::InjectedSpillHooks;
+
+/// A tiny budget every sort/join/group-by state estimate exceeds for the
+/// 4 000-row fixture, forcing the spill path.
+const TINY_BUDGET: u64 = 8 * 1024;
+
+fn sort(dag: &mut SkillDag, input: usize) -> usize {
+    dag.add(
+        SkillCall::Sort {
+            keys: vec![("x".into(), false)],
+        },
+        vec![input],
+    )
+    .unwrap()
+}
+
+/// Count entries left under a spill root (operator dirs or stray files).
+fn spill_root_entries(ctx: &MemContext) -> usize {
+    std::fs::read_dir(&ctx.spill_root)
+        .map(|rd| rd.count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn mem_budget_policy_spills_and_matches_unconstrained() {
+    let mut dag = SkillDag::new();
+    let l = load(&mut dag, "events");
+    let s = sort(&mut dag, l);
+
+    let mut env0 = env_with(&["events"]);
+    let expected = Executor::new().run(&dag, s, &mut env0).unwrap();
+
+    let mut env = env_with(&["events"]);
+    let policy = ExecPolicy {
+        mem_budget: Some(TINY_BUDGET),
+        ..ExecPolicy::default()
+    };
+    let mut ex = Executor::new();
+    let report = ex.run_resilient(&dag, s, &mut env, &policy).unwrap();
+
+    assert!(report.succeeded());
+    assert_eq!(
+        report.output.as_ref().unwrap().as_table().unwrap(),
+        expected.as_table().unwrap(),
+        "spilled run must produce the same rows as the in-memory run"
+    );
+    assert!(
+        report.bytes_spilled > 0,
+        "a {TINY_BUDGET}-byte budget must force sorting out of core"
+    );
+    assert!(report.spill_partitions > 0);
+    assert!(
+        env.memory.is_none(),
+        "the run-scoped memory context must be uninstalled after the run"
+    );
+}
+
+#[test]
+fn spill_write_transient_fault_is_retried_and_cleaned_up() {
+    let mut dag = SkillDag::new();
+    let l = load(&mut dag, "events");
+    let s = sort(&mut dag, l);
+
+    let mut env0 = env_with(&["events"]);
+    let expected = Executor::new().run(&dag, s, &mut env0).unwrap();
+
+    // The very first spill write fails transiently; the retry redoes the
+    // whole sort and succeeds. The injector is private to the spill
+    // hooks — catalog scans never see it.
+    let inj = Arc::new(FaultInjector::new(
+        FaultConfig::disabled().schedule(FaultOp::SpillWrite, 0, InjectedFault::Transient),
+    ));
+    let ctx = Arc::new(
+        MemContext::with_budget(TINY_BUDGET)
+            .unwrap()
+            .with_hooks(Arc::new(InjectedSpillHooks::new(Arc::clone(&inj)))),
+    );
+    let mut env = env_with(&["events"]);
+    env.memory = Some(Arc::clone(&ctx));
+
+    let mut ex = Executor::new();
+    let report = ex
+        .run_resilient(&dag, s, &mut env, &ExecPolicy::default())
+        .unwrap();
+
+    assert!(report.succeeded(), "transient spill fault must be absorbed");
+    assert_eq!(
+        report.output.as_ref().unwrap().as_table().unwrap(),
+        expected.as_table().unwrap()
+    );
+    let sr = report.node(s).unwrap();
+    assert_eq!(sr.attempts, 2, "one spill-write failure, one retry");
+    assert_eq!(sr.faults_absorbed, 1);
+    assert!(
+        report.bytes_spilled > 0,
+        "the successful retry still runs out of core"
+    );
+    // Leak check: the failed attempt's partial partition files and the
+    // successful attempt's run files are both gone.
+    assert_eq!(
+        spill_root_entries(&ctx),
+        0,
+        "no spill files may outlive their operator"
+    );
+}
+
+#[test]
+fn spill_dirs_are_cleaned_even_when_a_downstream_node_panics() {
+    // load → sort (spills) → limit(999) which panics. The sort's spill
+    // files must be removed even though the run as a whole fails.
+    let mut dag = SkillDag::new();
+    let l = load(&mut dag, "events");
+    let s = sort(&mut dag, l);
+    let bomb = dag.add(SkillCall::Limit { n: 999 }, vec![s]).unwrap();
+
+    let ctx = Arc::new(MemContext::with_budget(TINY_BUDGET).unwrap());
+    let mut env = env_with(&["events"]);
+    env.memory = Some(Arc::clone(&ctx));
+
+    let mut ex = Executor::new();
+    ex.set_before_execute(|call| {
+        if matches!(call, SkillCall::Limit { n: 999 }) {
+            panic!("boom");
+        }
+    });
+    let report = ex
+        .run_resilient(&dag, bomb, &mut env, &ExecPolicy::default())
+        .unwrap();
+
+    assert!(!report.succeeded());
+    assert!(matches!(
+        report.node(bomb).unwrap().outcome,
+        NodeOutcome::Failed(SkillError::Panic { .. })
+    ));
+    assert!(matches!(report.node(s).unwrap().outcome, NodeOutcome::Ok));
+    assert!(report.bytes_spilled > 0, "the sort ran out of core");
+    assert_eq!(
+        spill_root_entries(&ctx),
+        0,
+        "spill files must not leak past a failed run"
+    );
+    // Dropping the context removes the temp root itself.
+    let root = ctx.spill_root.clone();
+    env.memory = None;
+    drop(ctx);
+    assert!(!root.exists(), "temp spill root must vanish with the context");
+}
+
+#[test]
+fn spilled_and_retried_result_is_byte_identical_and_cache_admissible() {
+    let mut dag = SkillDag::new();
+    let l = load(&mut dag, "events");
+    let s = sort(&mut dag, l);
+
+    // Unconstrained reference.
+    let mut env0 = env_with(&["events"]);
+    let expected = Executor::new().run(&dag, s, &mut env0).unwrap();
+    let expected = expected.as_table().unwrap();
+
+    // Constrained run with an injected transient spill-write fault AND a
+    // shared cache installed: the recovered (non-degraded) result must
+    // still be admitted, and only because it is byte-identical to what
+    // an in-memory run would have produced.
+    let inj = Arc::new(FaultInjector::new(
+        FaultConfig::disabled().schedule(FaultOp::SpillWrite, 0, InjectedFault::Transient),
+    ));
+    let ctx = Arc::new(
+        MemContext::with_budget(TINY_BUDGET)
+            .unwrap()
+            .with_hooks(Arc::new(InjectedSpillHooks::new(inj))),
+    );
+    let shared = Arc::new(dc_skills::MaterializedCache::new(64 * 1024 * 1024));
+    let mut env = env_with(&["events"]);
+    env.memory = Some(Arc::clone(&ctx));
+    env.shared_cache = Some(Arc::clone(&shared));
+
+    let mut ex = Executor::new();
+    let report = ex
+        .run_resilient(&dag, s, &mut env, &ExecPolicy::default())
+        .unwrap();
+    assert!(report.succeeded());
+    assert!(report.bytes_spilled > 0);
+    let got = report.output.as_ref().unwrap().as_table().unwrap();
+
+    // Byte-level identity: serialize both tables through the spill block
+    // format and compare the files bit for bit.
+    let dir = std::env::temp_dir().join(format!("dc-chaos-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (pa, pb) = (dir.join("expected.dcb"), dir.join("spilled.dcb"));
+    dc_engine::blockio::write_table(&pa, expected, 512).unwrap();
+    dc_engine::blockio::write_table(&pb, got, 512).unwrap();
+    let identical = std::fs::read(&pa).unwrap() == std::fs::read(&pb).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        identical,
+        "spilled-and-retried output must be byte-identical to the in-memory result"
+    );
+
+    // Both the load and the recovered sort were admitted as
+    // authoritative shared-cache entries (spilling is not degradation).
+    assert!(
+        shared.stats().insertions >= 2,
+        "recovered results must stay cache-admissible (got {:?})",
+        shared.stats()
+    );
+    let probe = shared.stats().hits;
+    let mut env2 = env_with(&["events"]);
+    env2.shared_cache = Some(Arc::clone(&shared));
+    let again = Executor::new()
+        .run_resilient(&dag, s, &mut env2, &ExecPolicy::default())
+        .unwrap();
+    assert!(again.succeeded());
+    assert!(
+        shared.stats().hits > probe,
+        "a second session must be served from the shared entry"
+    );
+}
+
 #[test]
 fn structural_duplicates_of_rejected_nodes_are_skipped() {
     let mut dag = SkillDag::new();

@@ -492,6 +492,8 @@ impl BlockTable {
             out,
             ScanReceipt {
                 bytes_scanned: bytes,
+                // In-memory blocks: every logical byte scanned is resident.
+                bytes_read: bytes,
                 rows_scanned,
                 blocks_scanned,
                 total_blocks: self.blocks.len() as u64,
@@ -676,6 +678,7 @@ mod tests {
             full.bytes_scanned
         );
         assert!(receipt.bytes_scanned < full.bytes_scanned / 5);
+        assert!(receipt.bytes_read <= receipt.bytes_scanned);
         // Same rows as filtering after a full, unpruned scan.
         let (all, _) = bt.scan(&ScanOptions::full()).unwrap();
         let expect = filter_serial(&all, &pred).unwrap();
@@ -693,6 +696,7 @@ mod tests {
         assert_eq!(receipt.blocks_scanned, 0);
         assert_eq!(receipt.blocks_pruned, receipt.total_blocks);
         assert_eq!(receipt.bytes_scanned, 0);
+        assert_eq!(receipt.bytes_read, 0);
         assert_eq!(receipt.bytes_pruned, bt.total_bytes());
     }
 

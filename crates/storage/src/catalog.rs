@@ -7,6 +7,7 @@ use std::sync::Arc;
 use dc_engine::Table;
 
 use crate::block::{BlockTable, ScanOptions};
+use crate::disk::DiskBlockTable;
 use crate::error::{Result, StorageError};
 use crate::fault::FaultInjector;
 use crate::pricing::{CostMeter, Pricing, ScanReceipt};
@@ -21,6 +22,9 @@ pub struct CloudDatabase {
     name: String,
     pricing: Pricing,
     tables: BTreeMap<String, BlockTable>,
+    /// Tables persisted in the on-disk block format (footer resident,
+    /// payload paged in per scan). Disjoint from `tables` by name.
+    disk_tables: BTreeMap<String, DiskBlockTable>,
     meter: Arc<CostMeter>,
     injector: Option<Arc<FaultInjector>>,
     /// Monotonic counter driving per-table versions. Never reused, so a
@@ -38,6 +42,7 @@ impl CloudDatabase {
             name: name.into(),
             pricing,
             tables: BTreeMap::new(),
+            disk_tables: BTreeMap::new(),
             meter: Arc::new(CostMeter::new()),
             injector: None,
             version_counter: 0,
@@ -89,7 +94,7 @@ impl CloudDatabase {
         block_rows: usize,
     ) -> Result<()> {
         let name = name.into();
-        if self.tables.contains_key(&name) {
+        if self.tables.contains_key(&name) || self.disk_tables.contains_key(&name) {
             return Err(StorageError::AlreadyExists { name });
         }
         self.tables
@@ -99,20 +104,48 @@ impl CloudDatabase {
         Ok(())
     }
 
-    /// Drop a table.
+    /// Register a table backed by the on-disk block format: its payload
+    /// lives in a block file under `dir` and is paged in per scan, with
+    /// only the footer (schema, dictionaries, zone maps) resident. Scans
+    /// dispatch transparently by name, so callers cannot tell the
+    /// backends apart except through `bytes_read` on the receipt.
+    pub fn create_table_on_disk(
+        &mut self,
+        name: impl Into<String>,
+        table: &Table,
+        block_rows: usize,
+        dir: &std::path::Path,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) || self.disk_tables.contains_key(&name) {
+            return Err(StorageError::AlreadyExists { name });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| {
+            StorageError::invalid(format!("cannot create disk-table dir {dir:?}: {e}"))
+        })?;
+        let path = dir.join(format!("{}.{}.dcb", self.name, name));
+        let dt = DiskBlockTable::create(path, table, block_rows)?;
+        self.disk_tables.insert(name.clone(), dt);
+        self.version_counter += 1;
+        self.versions.insert(name, self.version_counter);
+        Ok(())
+    }
+
+    /// Drop a table (either backend; disk-backed files are removed).
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
-        match self.tables.remove(name) {
-            Some(_) => {
-                // Bump the counter so any future recreation under the same
-                // name is distinguishable from the dropped incarnation.
-                self.version_counter += 1;
-                self.versions.remove(name);
-                Ok(())
-            }
-            None => Err(StorageError::TableNotFound {
+        let dropped =
+            self.tables.remove(name).is_some() || self.disk_tables.remove(name).is_some();
+        if dropped {
+            // Bump the counter so any future recreation under the same
+            // name is distinguishable from the dropped incarnation.
+            self.version_counter += 1;
+            self.versions.remove(name);
+            Ok(())
+        } else {
+            Err(StorageError::TableNotFound {
                 database: self.name.clone(),
                 name: name.to_string(),
-            }),
+            })
         }
     }
 
@@ -126,12 +159,19 @@ impl CloudDatabase {
         self.versions.get(name).copied()
     }
 
-    /// Table names in sorted order.
+    /// Table names in sorted order (both backends).
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(|s| s.as_str()).collect()
+        let mut names: Vec<&str> = self
+            .tables
+            .keys()
+            .chain(self.disk_tables.keys())
+            .map(|s| s.as_str())
+            .collect();
+        names.sort_unstable();
+        names
     }
 
-    /// Access a stored table's block structure.
+    /// Access a stored in-memory table's block structure.
     pub fn table(&self, name: &str) -> Result<&BlockTable> {
         self.tables
             .get(name)
@@ -141,11 +181,29 @@ impl CloudDatabase {
             })
     }
 
-    /// Scan a table, recording the cost on the database meter and pricing
-    /// the receipt.
+    /// Access a disk-backed table's structure, if `name` is disk-backed.
+    pub fn disk_table(&self, name: &str) -> Result<&DiskBlockTable> {
+        self.disk_tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound {
+                database: self.name.clone(),
+                name: name.to_string(),
+            })
+    }
+
+    /// Scan a table (either backend), recording the cost on the database
+    /// meter and pricing the receipt.
     pub fn scan(&self, table: &str, opts: &ScanOptions) -> Result<(Table, ScanReceipt)> {
-        let bt = self.table(table)?;
-        let (data, mut receipt) = bt.scan_with(opts, self.injector.as_deref())?;
+        let (data, mut receipt) = if let Some(bt) = self.tables.get(table) {
+            bt.scan_with(opts, self.injector.as_deref())?
+        } else if let Some(dt) = self.disk_tables.get(table) {
+            dt.scan_with(opts, self.injector.as_deref())?
+        } else {
+            return Err(StorageError::TableNotFound {
+                database: self.name.clone(),
+                name: table.to_string(),
+            });
+        };
         receipt.cost_dollars = self.pricing.scan_cost(receipt.bytes_scanned);
         self.meter.record(
             &self.pricing,
@@ -159,7 +217,8 @@ impl CloudDatabase {
     /// Dataset listing matching the Figure 1 UI panel: name, rows,
     /// columns, column names.
     pub fn dataset_listing(&self) -> Vec<DatasetInfo> {
-        self.tables
+        let mut out: Vec<DatasetInfo> = self
+            .tables
             .iter()
             .map(|(name, bt)| DatasetInfo {
                 database: self.name.clone(),
@@ -168,7 +227,16 @@ impl CloudDatabase {
                 num_columns: bt.column_names().len(),
                 columns: bt.column_names().to_vec(),
             })
-            .collect()
+            .chain(self.disk_tables.iter().map(|(name, dt)| DatasetInfo {
+                database: self.name.clone(),
+                dataset_name: name.clone(),
+                num_rows: dt.num_rows(),
+                num_columns: dt.column_names().len(),
+                columns: dt.column_names().to_vec(),
+            }))
+            .collect();
+        out.sort_by(|a, b| a.dataset_name.cmp(&b.dataset_name));
+        out
     }
 }
 

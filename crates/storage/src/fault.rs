@@ -36,7 +36,14 @@ pub enum FaultOp {
     BlockRead,
     /// A snapshot create/refresh write.
     SnapshotWrite,
+    /// An out-of-core spill partition/run write.
+    SpillWrite,
+    /// An out-of-core spill partition/run read-back.
+    SpillRead,
 }
+
+/// Number of distinct [`FaultOp`] kinds (size of per-kind counters).
+const FAULT_OPS: usize = 5;
 
 impl FaultOp {
     fn index(self) -> usize {
@@ -44,6 +51,8 @@ impl FaultOp {
             FaultOp::Scan => 0,
             FaultOp::BlockRead => 1,
             FaultOp::SnapshotWrite => 2,
+            FaultOp::SpillWrite => 3,
+            FaultOp::SpillRead => 4,
         }
     }
 
@@ -53,6 +62,8 @@ impl FaultOp {
             FaultOp::Scan => "scan",
             FaultOp::BlockRead => "block read",
             FaultOp::SnapshotWrite => "snapshot write",
+            FaultOp::SpillWrite => "spill write",
+            FaultOp::SpillRead => "spill read",
         }
     }
 }
@@ -93,6 +104,11 @@ pub struct FaultConfig {
     pub slow_block_ms: u64,
     /// Probability that a snapshot write fails with a transient error.
     pub snapshot_write_p: f64,
+    /// Probability that a spill write fails with a transient error (the
+    /// spill path retries into a fresh spill directory).
+    pub spill_write_p: f64,
+    /// Probability that a spill read-back stalls for `slow_block_ms`.
+    pub slow_spill_read_p: f64,
     /// When set, block-sampled scans are never injected: only full scans
     /// are flaky. This models long scans being the ones that hit
     /// transients, and is what makes the degraded-mode fallback (retry a
@@ -110,6 +126,8 @@ impl Default for FaultConfig {
             slow_block_p: 0.0,
             slow_block_ms: 0,
             snapshot_write_p: 0.0,
+            spill_write_p: 0.0,
+            slow_spill_read_p: 0.0,
             spare_sampled_scans: false,
             schedule: Vec::new(),
         }
@@ -137,8 +155,9 @@ impl FaultConfig {
 /// chaos driver's summaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
-    /// Operations observed, per kind (scan, block read, snapshot write).
-    pub ops_seen: [u64; 3],
+    /// Operations observed, per kind (scan, block read, snapshot write,
+    /// spill write, spill read).
+    pub ops_seen: [u64; FAULT_OPS],
     /// Transient failures injected.
     pub transient_injected: u64,
     /// Unavailable failures injected.
@@ -157,7 +176,7 @@ impl FaultStats {
 #[derive(Debug)]
 struct InjectorState {
     rng: StdRng,
-    counts: [u64; 3],
+    counts: [u64; FAULT_OPS],
     stats: FaultStats,
 }
 
@@ -178,7 +197,7 @@ impl FaultInjector {
             config,
             state: Mutex::new(InjectorState {
                 rng,
-                counts: [0; 3],
+                counts: [0; FAULT_OPS],
                 stats: FaultStats::default(),
             }),
         }
@@ -213,6 +232,11 @@ impl FaultInjector {
                 InjectedFault::SlowMs(self.config.slow_block_ms),
             ),
             FaultOp::SnapshotWrite => (self.config.snapshot_write_p, InjectedFault::Transient),
+            FaultOp::SpillWrite => (self.config.spill_write_p, InjectedFault::Transient),
+            FaultOp::SpillRead => (
+                self.config.slow_spill_read_p,
+                InjectedFault::SlowMs(self.config.slow_block_ms),
+            ),
         };
         // Always draw so spared scans keep the RNG stream aligned with an
         // unsampled replay of the same config.
@@ -271,6 +295,19 @@ impl FaultInjector {
     pub fn on_snapshot_write(&self) -> Result<()> {
         let fault = self.decide(FaultOp::SnapshotWrite, false);
         self.apply(FaultOp::SnapshotWrite, fault, None)
+    }
+
+    /// Injection point before each spill partition/run write.
+    pub fn on_spill_write(&self) -> Result<()> {
+        let fault = self.decide(FaultOp::SpillWrite, false);
+        self.apply(FaultOp::SpillWrite, fault, None)
+    }
+
+    /// Injection point before each spill partition/run read-back. Slow
+    /// spill reads stall cooperatively like slow blocks.
+    pub fn on_spill_read(&self, cancel: Option<&CancelToken>) -> Result<()> {
+        let fault = self.decide(FaultOp::SpillRead, false);
+        self.apply(FaultOp::SpillRead, fault, cancel)
     }
 }
 
@@ -363,9 +400,42 @@ mod tests {
             inj.on_scan(false, None).unwrap();
             inj.on_block_read(None).unwrap();
             inj.on_snapshot_write().unwrap();
+            inj.on_spill_write().unwrap();
+            inj.on_spill_read(None).unwrap();
         }
         assert_eq!(inj.stats().total_injected(), 0);
-        assert_eq!(inj.stats().ops_seen, [100, 100, 100]);
+        assert_eq!(inj.stats().ops_seen, [100, 100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn spill_faults_fire_on_spill_ops_only() {
+        let cfg = FaultConfig {
+            spill_write_p: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let inj = FaultInjector::new(cfg);
+        assert!(inj.on_scan(false, None).is_ok());
+        assert!(inj.on_spill_read(None).is_ok());
+        let e = inj.on_spill_write().unwrap_err();
+        assert!(e.is_retryable());
+        assert_eq!(inj.stats().transient_injected, 1);
+    }
+
+    #[test]
+    fn slow_spill_read_stalls_and_cancels() {
+        let cfg =
+            FaultConfig::disabled().schedule(FaultOp::SpillRead, 0, InjectedFault::SlowMs(200));
+        let inj = FaultInjector::new(cfg);
+        let token = CancelToken::new();
+        token.arm(Duration::from_millis(20));
+        let start = Instant::now();
+        let e = inj.on_spill_read(Some(&token)).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "not cancelled"
+        );
+        assert!(e.is_retryable());
+        assert_eq!(inj.stats().slow_injected, 1);
     }
 
     #[test]

@@ -26,15 +26,19 @@ pub mod block;
 pub mod budget;
 pub mod catalog;
 pub mod demo;
+pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod pricing;
 pub mod snapshot;
+pub mod spill;
 
 pub use block::{BlockTable, ScanOptions};
 pub use budget::{BudgetConfig, ByteBudget};
 pub use catalog::{Catalog, CloudDatabase, DatasetInfo, DEFAULT_BLOCK_ROWS};
+pub use disk::DiskBlockTable;
 pub use error::{Result, StorageError};
+pub use spill::InjectedSpillHooks;
 pub use fault::{
     CancelToken, FaultConfig, FaultInjector, FaultOp, FaultStats, InjectedFault, ScheduledFault,
 };

@@ -108,6 +108,11 @@ impl CostMeter {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanReceipt {
     pub bytes_scanned: u64,
+    /// Bytes actually faulted in from storage. For in-memory block tables
+    /// this equals `bytes_scanned`; for on-disk block tables it counts only
+    /// the column payloads paged in (projection and zone pruning shrink it),
+    /// so `bytes_read <= bytes_scanned` always holds.
+    pub bytes_read: u64,
     pub rows_scanned: u64,
     pub blocks_scanned: u64,
     pub total_blocks: u64,

@@ -46,6 +46,7 @@ proptest! {
         let (sample, receipt) = bt.scan(&ScanOptions::block_sampled(rate, seed)).unwrap();
         let (_, full) = bt.scan(&ScanOptions::full()).unwrap();
         prop_assert!(receipt.bytes_scanned <= full.bytes_scanned);
+        prop_assert!(receipt.bytes_read <= receipt.bytes_scanned);
         prop_assert!(sample.num_rows() <= t.num_rows());
         // Every sampled id exists in the source (block sampling never
         // fabricates rows).

@@ -150,7 +150,10 @@ proptest! {
 
         // Pruning only ever removes cost, and the split is exact: what
         // was scanned plus what was skipped is the full-scan footprint.
+        // Faulted bytes can never exceed the logical charge.
         prop_assert!(receipt.bytes_scanned <= full_receipt.bytes_scanned);
+        prop_assert!(receipt.bytes_read <= receipt.bytes_scanned);
+        prop_assert!(full_receipt.bytes_read <= full_receipt.bytes_scanned);
         prop_assert_eq!(
             receipt.bytes_scanned + receipt.bytes_pruned,
             full_receipt.bytes_scanned

@@ -217,19 +217,23 @@ fn golden_context() -> AnalysisContext {
     ctx
 }
 
-/// Per-file estimation knobs (`-- budget:`, `-- cache_capacity:`).
-fn parse_knobs(text: &str) -> (Option<u64>, Option<u64>) {
+/// Per-file estimation knobs (`-- budget:`, `-- cache_capacity:`,
+/// `-- mem_budget:`).
+fn parse_knobs(text: &str) -> (Option<u64>, Option<u64>, Option<u64>) {
     let mut budget = None;
     let mut capacity = None;
+    let mut mem_budget = None;
     for line in text.lines() {
         let line = line.trim();
         if let Some(v) = line.strip_prefix("-- budget:") {
             budget = Some(v.trim().parse().expect("budget parses"));
         } else if let Some(v) = line.strip_prefix("-- cache_capacity:") {
             capacity = Some(v.trim().parse().expect("cache_capacity parses"));
+        } else if let Some(v) = line.strip_prefix("-- mem_budget:") {
+            mem_budget = Some(v.trim().parse().expect("mem_budget parses"));
         }
     }
-    (budget, capacity)
+    (budget, capacity, mem_budget)
 }
 
 /// One `-- expect:` annotation.
@@ -288,13 +292,16 @@ fn golden_corpus_matches_expected_diagnostics() {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let text = fs::read_to_string(&path).unwrap();
         let expects = parse_expects(&text);
-        let (budget, capacity) = parse_knobs(&text);
+        let (budget, capacity, mem_budget) = parse_knobs(&text);
         let mut ctx = ctx.clone();
         if let Some(b) = budget {
             ctx.set_remaining_budget(b);
         }
         if let Some(c) = capacity {
             ctx.set_cache_capacity(c);
+        }
+        if let Some(m) = mem_budget {
+            ctx.set_mem_budget(m);
         }
         let analysis = datachat::gel::analyze_gel(&text, &ctx);
 

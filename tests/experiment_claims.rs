@@ -20,9 +20,12 @@ fn sec3_block_sampling_cost_proportionality() {
         (5.0..20.0).contains(&ratio),
         "10% sample ratio = {ratio:.1}"
     );
+    assert!(full.bytes_read <= full.bytes_scanned);
+    assert!(sampled.bytes_read <= sampled.bytes_scanned);
     // Row sampling scans everything (the §3 contrast).
     let (_, rowwise) = db.scan("iot", &ScanOptions::row_sampled(0.1, 5)).unwrap();
     assert_eq!(rowwise.bytes_scanned, full.bytes_scanned);
+    assert!(rowwise.bytes_read <= rowwise.bytes_scanned);
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Out-of-core equivalence: random join/group-by/sort pipelines over
+//! nullable int/float/dict tables must produce byte-identical results
+//! whether they run fully in memory or spill under a budget of roughly
+//! 10% of the input size.
+//!
+//! Every op's state estimate is at least the byte size of a table it
+//! holds transient (the join adds 16 bytes per probe row on top), so a
+//! 10% budget guarantees each pipeline step takes the spill path —
+//! asserted via `bytes_spilled > 0` — while the hidden row-id machinery
+//! in `ops::spill` restores the exact in-memory row order.
+//!
+//! Tables stay well under the 32k-row morsel threshold so a default
+//! (parallel) build and a `--no-default-features` (serial) build take
+//! the same kernel fold paths; the property must hold bit-for-bit on
+//! either scheduler, float aggregates included.
+
+use datachat::engine::ops::{
+    group_by_with_mem, join_with_mem, sort_by_with_mem, AggFunc, AggSpec, JoinType, SortKey,
+};
+use datachat::engine::{Column, MemContext, Table};
+use proptest::prelude::*;
+
+/// Cheap deterministic stream so a case is fully described by its seed
+/// (proptest shrinks the seed, not 3000-element vectors).
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Fact side: nullable int key, nullable float value, nullable
+/// dictionary-encoded category, and a unique row id for sort ties.
+fn fact(n: usize, seed: u64) -> Table {
+    let mut r = xorshift(seed);
+    let ks: Vec<Option<i64>> = (0..n)
+        .map(|_| {
+            let x = r();
+            (x % 13 != 0).then_some((x % 37) as i64)
+        })
+        .collect();
+    let vs: Vec<Option<f64>> = (0..n)
+        .map(|_| {
+            let x = r();
+            (x % 11 != 0).then_some((x % 1000) as f64 * 0.5 - 100.0)
+        })
+        .collect();
+    let cs: Vec<Option<String>> = (0..n)
+        .map(|_| {
+            let x = r();
+            (x % 7 != 0).then_some(format!("c{}", x % 11))
+        })
+        .collect();
+    Table::new(vec![
+        ("k", Column::from_opt_ints(ks)),
+        ("v", Column::from_opt_floats(vs)),
+        ("c", Column::from_opt_strs(cs)),
+        ("id", Column::from_ints((0..n as i64).collect())),
+    ])
+    .expect("fact builds")
+    .encode_strings()
+}
+
+/// Dimension side: the same nullable key domain plus one payload column.
+fn dim(m: usize, seed: u64, payload: &str) -> Table {
+    let mut r = xorshift(seed);
+    let ks: Vec<Option<i64>> = (0..m)
+        .map(|_| {
+            let x = r();
+            (x % 17 != 0).then_some((x % 37) as i64)
+        })
+        .collect();
+    let ws: Vec<f64> = (0..m).map(|_| (r() % 500) as f64 * 0.25).collect();
+    Table::new(vec![
+        ("k", Column::from_opt_ints(ks)),
+        (payload, Column::from_floats(ws)),
+    ])
+    .expect("dim builds")
+}
+
+/// One of nine pipeline shapes over the governed entry points. Shapes
+/// with a group-by place it after any joins (its output schema drops the
+/// value columns the other ops need), and sorts pick keys that exist at
+/// that point in the pipeline.
+fn run_pipeline(
+    shape: u8,
+    how: JoinType,
+    t: &Table,
+    d1: &Table,
+    d2: &Table,
+    mem: Option<&MemContext>,
+) -> Table {
+    let join = |cur: &Table, d: &Table| {
+        join_with_mem(cur, d, &["k"], &["k"], how, mem).expect("pipeline join")
+    };
+    let group = |cur: &Table| {
+        let aggs = [
+            AggSpec::new(AggFunc::Sum, "v", "s"),
+            AggSpec::new(AggFunc::Min, "v", "mn"),
+            AggSpec::count_records("n"),
+        ];
+        group_by_with_mem(cur, &["k", "c"], &aggs, mem).expect("pipeline group-by")
+    };
+    let sort = |cur: &Table| {
+        let keys = [SortKey::desc("v"), SortKey::asc("id")];
+        sort_by_with_mem(cur, &keys, mem).expect("pipeline sort")
+    };
+    let sort_grouped = |cur: &Table| {
+        let keys = [SortKey::asc("s"), SortKey::desc("n"), SortKey::asc("k")];
+        sort_by_with_mem(cur, &keys, mem).expect("pipeline grouped sort")
+    };
+    match shape {
+        0 => sort(t),
+        1 => join(t, d1),
+        2 => group(t),
+        3 => sort(&join(t, d1)),
+        4 => group(&join(t, d1)),
+        5 => join(&sort(t), d1),
+        6 => join(&join(t, d1), d2),
+        7 => sort_grouped(&group(&join(t, d1))),
+        _ => sort_grouped(&group(t)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Unlimited vs ~10%-budget runs of the same random pipeline are
+    /// identical, the constrained run provably spills, and no spill
+    /// files survive the ops.
+    #[test]
+    fn spilled_pipelines_match_in_memory(
+        n in 600usize..3000,
+        m in 40usize..300,
+        seed in 0u64..1_000_000,
+        shape in 0u8..9,
+        how_sel in 0u8..4,
+    ) {
+        let how = [JoinType::Inner, JoinType::Left, JoinType::Right, JoinType::Full]
+            [how_sel as usize];
+        let t = fact(n, seed);
+        let d1 = dim(m, seed ^ 0x9e37_79b9, "w1");
+        let d2 = dim(m / 2 + 1, seed ^ 0x51ab_3c44, "w2");
+
+        let expect = run_pipeline(shape, how, &t, &d1, &d2, None);
+        let budget = (t.byte_size() as u64 / 10).max(1);
+        let ctx = MemContext::with_budget(budget).expect("spill context builds");
+        let got = run_pipeline(shape, how, &t, &d1, &d2, Some(&ctx));
+        prop_assert_eq!(got, expect, "shape {} under a {}-byte budget diverged", shape, budget);
+
+        let snap = ctx.metrics.snapshot();
+        prop_assert!(snap.bytes_spilled > 0, "pipeline never spilled under a 10% budget");
+        prop_assert!(snap.spill_partitions > 0);
+        let leaked = std::fs::read_dir(&ctx.spill_root).map(|rd| rd.count()).unwrap_or(0);
+        prop_assert_eq!(leaked, 0, "spill files leaked");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The real crate wraps `mmap(2)`. This build environment vendors all
+//! dependencies, so the stand-in provides the same read-only API surface
+//! (`Mmap::map`, `Deref<Target = [u8]>`) backed by one buffered read of
+//! the whole file. Callers get identical semantics — an immutable byte
+//! view of the file at map time — without the page-fault laziness, which
+//! is why the engine's buffered-pread path stays the default and the
+//! `mmap` feature is opt-in.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+/// A read-only memory map of a file.
+#[derive(Debug)]
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    ///
+    /// The real memmap2 marks this unsafe because the underlying file must
+    /// not be truncated while mapped. The stand-in copies the bytes at map
+    /// time, so no such hazard exists; the signature is kept for API
+    /// compatibility.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::new();
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("memmap2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"hello mmap")
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&map[..], b"hello mmap");
+        assert_eq!(map.len(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
